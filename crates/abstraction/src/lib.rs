@@ -1,0 +1,30 @@
+//! Homomorphic test-model abstraction.
+//!
+//! Section 6 of the paper derives test models from implementations by a
+//! *homomorphic*, many-to-one, transition-preserving mapping `A` over state
+//! variables: remove observable / control-irrelevant state, cut signals
+//! become inputs, and every concrete transition maps to an abstract one.
+//! This crate provides both halves of that story:
+//!
+//! * **Structural pipelines** ([`Pipeline`]) — named sequences of
+//!   netlist-level abstraction passes (the six steps of Fig 3(b)), with
+//!   measured statistics after every step;
+//! * **Semantic quotients** ([`Quotient`], [`build_quotient`]) — the
+//!   state/input classification induced by an abstraction on an explicit
+//!   machine, with checks that the mapping is transition-preserving and
+//!   that abstract outputs are deterministic (the measure behind
+//!   Requirement 1: non-deterministic abstract outputs are exactly the
+//!   situations in which an output error may be *non-uniform*, i.e. the
+//!   test model has abstracted too much — Section 6.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod quotient;
+
+pub use pipeline::{Pipeline, Step, StepReport};
+pub use quotient::{
+    build_quotient, check_homomorphism, HomomorphismReport, OutputConflict, Quotient,
+    QuotientError, QuotientResult, TransitionConflict,
+};

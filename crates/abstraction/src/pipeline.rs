@@ -1,0 +1,267 @@
+//! Named sequences of structural abstraction passes with measured
+//! statistics — the executable form of Fig 3(b).
+
+use simcov_netlist::{transform, LatchId, Netlist, NetlistStats};
+
+/// Predicate selecting latches for a structural pass.
+pub type LatchPred = Box<dyn Fn(LatchId, &simcov_netlist::Latch) -> bool>;
+/// Predicate selecting outputs to keep.
+pub type OutputPred = Box<dyn Fn(&str) -> bool>;
+
+/// One abstraction pass.
+pub enum Step {
+    /// Bypass latches matching the predicate (synchronizing output
+    /// latches: they only delay already-computed signals).
+    Bypass(LatchPred),
+    /// Cut latches matching the predicate to primary inputs.
+    AbstractLatches(LatchPred),
+    /// Remove a whole module (cut to inputs).
+    RemoveModule(String),
+    /// Keep only the outputs whose names satisfy the predicate; sweeping
+    /// then removes observation-only state.
+    KeepOutputs(OutputPred),
+    /// Replace latches matching the predicate with their initial values
+    /// (flags proven redundant by the abstraction).
+    ConstantFold(LatchPred),
+    /// Re-encode a one-hot latch group (named latches, in code order) as a
+    /// binary register.
+    ReencodeOneHot {
+        /// Latch names forming the group, in code order.
+        members: Vec<String>,
+        /// Name of the replacement binary register.
+        new_name: String,
+    },
+    /// Arbitrary custom transform.
+    Custom(Box<dyn Fn(&Netlist) -> Netlist>),
+}
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Step::Bypass(_) => "Bypass",
+            Step::AbstractLatches(_) => "AbstractLatches",
+            Step::RemoveModule(m) => return write!(f, "RemoveModule({m})"),
+            Step::KeepOutputs(_) => "KeepOutputs",
+            Step::ConstantFold(_) => "ConstantFold",
+            Step::ReencodeOneHot { new_name, .. } => {
+                return write!(f, "ReencodeOneHot({new_name})")
+            }
+            Step::Custom(_) => "Custom",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Statistics measured after one pipeline step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// Human-readable step label (e.g. `"no synchronizing latches for
+    /// outputs"`).
+    pub label: String,
+    /// Netlist statistics after the step.
+    pub stats: NetlistStats,
+}
+
+/// A named sequence of abstraction steps applied to a netlist, recording
+/// the statistics after each step — regenerating the latch-count sequence
+/// of Fig 3(b) is `pipeline.run(&initial).iter().map(|r| r.stats.latches)`.
+///
+/// # Example
+///
+/// ```
+/// use simcov_abstraction::{Pipeline, Step};
+/// use simcov_netlist::Netlist;
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let q = n.add_latch_in("q", false, "obs");
+/// n.set_latch_next(q, a);
+/// let qo = n.latch_output(q);
+/// n.add_output("watch", qo);
+/// n.add_output("direct", a);
+///
+/// let mut p = Pipeline::new();
+/// p.push("drop observation outputs",
+///        Step::KeepOutputs(Box::new(|name| name != "watch")));
+/// let (result, reports) = p.run(&n);
+/// assert_eq!(result.stats().latches, 0);
+/// assert_eq!(reports[0].stats.latches, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    steps: Vec<(String, Step)>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Appends a labelled step.
+    pub fn push(&mut self, label: impl Into<String>, step: Step) -> &mut Self {
+        self.steps.push((label.into(), step));
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the pipeline has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Applies every step in order, returning the final netlist and a
+    /// per-step report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Step::ReencodeOneHot`] group is invalid (a structural
+    /// mistake in the pipeline definition, not a data-dependent error) or
+    /// names a latch that does not exist at that point of the pipeline.
+    pub fn run(&self, initial: &Netlist) -> (Netlist, Vec<StepReport>) {
+        let mut cur = initial.clone();
+        let mut reports = Vec::with_capacity(self.steps.len());
+        for (label, step) in &self.steps {
+            cur = match step {
+                Step::Bypass(pred) => transform::bypass_latches(&cur, pred),
+                Step::AbstractLatches(pred) => transform::abstract_latches(&cur, pred),
+                Step::RemoveModule(m) => transform::remove_module(&cur, m),
+                Step::KeepOutputs(keep) => transform::remove_outputs(&cur, keep),
+                Step::ConstantFold(pred) => transform::constant_fold_latches(&cur, pred),
+                Step::ReencodeOneHot { members, new_name } => {
+                    let group: Vec<LatchId> = members
+                        .iter()
+                        .map(|name| {
+                            cur.latch_by_name(name).unwrap_or_else(|| {
+                                panic!("one-hot member `{name}` not found at step `{label}`")
+                            })
+                        })
+                        .collect();
+                    transform::reencode_onehot(&cur, &group, new_name)
+                        .unwrap_or_else(|e| panic!("step `{label}`: {e}"))
+                }
+                Step::Custom(f) => f(&cur),
+            };
+            reports.push(StepReport { label: label.clone(), stats: cur.stats() });
+        }
+        (cur, reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Design with one-hot control, a sync output latch and an observation
+    /// register, exercising several steps at once.
+    fn design() -> Netlist {
+        let mut n = Netlist::new();
+        let go = n.add_input("go");
+        // 4-state one-hot ring in module "ctl".
+        let latches: Vec<_> = (0..4)
+            .map(|i| n.add_latch_in(format!("s{i}"), i == 0, "ctl"))
+            .collect();
+        let outs: Vec<_> = latches.iter().map(|&l| n.latch_output(l)).collect();
+        for i in 0..4 {
+            let prev = outs[(i + 3) % 4];
+            let stay = outs[i];
+            let nx = n.mux(go, prev, stay);
+            n.set_latch_next(latches[i], nx);
+        }
+        // Control signal: in state 2.
+        let sig = outs[2];
+        // Synchronizing latch on the way out.
+        let sy = n.add_latch_in("sync0", false, "sync_out");
+        n.set_latch_next(sy, sig);
+        let syo = n.latch_output(sy);
+        n.add_output("ctl_sig", syo);
+        // Observation register not affecting control.
+        let ob = n.add_latch_in("obs0", false, "obs");
+        n.set_latch_next(ob, go);
+        let obo = n.latch_output(ob);
+        n.add_output("trace", obo);
+        n
+    }
+
+    #[test]
+    fn multi_step_pipeline_counts() {
+        let n = design();
+        assert_eq!(n.stats().latches, 6);
+        let mut p = Pipeline::new();
+        p.push(
+            "no synchronizing latches for outputs",
+            Step::Bypass(Box::new(|_, l| l.module == "sync_out")),
+        );
+        p.push(
+            "remove outputs not affecting control logic",
+            Step::KeepOutputs(Box::new(|name| name != "trace")),
+        );
+        p.push(
+            "1-hot to binary encoding",
+            Step::ReencodeOneHot {
+                members: (0..4).map(|i| format!("s{i}")).collect(),
+                new_name: "ctl_bin".into(),
+            },
+        );
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        let (fin, reports) = p.run(&n);
+        let latch_seq: Vec<usize> = reports.iter().map(|r| r.stats.latches).collect();
+        assert_eq!(latch_seq, vec![5, 4, 2]);
+        assert_eq!(fin.stats().latches, 2);
+        assert_eq!(reports[0].label, "no synchronizing latches for outputs");
+    }
+
+    #[test]
+    fn pipeline_preserves_output_behaviour_modulo_retiming() {
+        // After re-encoding only (no retiming), behaviour is identical.
+        let n = design();
+        let mut p = Pipeline::new();
+        p.push(
+            "reencode",
+            Step::ReencodeOneHot {
+                members: (0..4).map(|i| format!("s{i}")).collect(),
+                new_name: "ctl_bin".into(),
+            },
+        );
+        let (fin, _) = p.run(&n);
+        let mut a = simcov_netlist::SimState::new(&n);
+        let mut b = simcov_netlist::SimState::new(&fin);
+        for cyc in 0..20 {
+            let go = cyc % 3 != 0;
+            assert_eq!(a.step(&n, &[go]), b.step(&fin, &[go]), "cycle {cyc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not found at step")]
+    fn missing_onehot_member_panics() {
+        let n = design();
+        let mut p = Pipeline::new();
+        p.push(
+            "bad",
+            Step::ReencodeOneHot { members: vec!["nope".into(), "s0".into()], new_name: "x".into() },
+        );
+        let _ = p.run(&n);
+    }
+
+    #[test]
+    fn custom_and_module_steps() {
+        let n = design();
+        let mut p = Pipeline::new();
+        p.push("remove obs module", Step::RemoveModule("obs".into()));
+        p.push(
+            "custom sweep",
+            Step::Custom(Box::new(simcov_netlist::transform::sweep)),
+        );
+        let (fin, reports) = p.run(&n);
+        // obs latch replaced by a cut input feeding output `trace`.
+        assert_eq!(reports[0].stats.latches, 5);
+        assert!(fin.input_by_name("cut:obs0").is_some());
+        assert!(format!("{:?}", p).contains("RemoveModule(obs)"));
+    }
+}

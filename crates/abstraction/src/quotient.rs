@@ -1,0 +1,379 @@
+//! Semantic quotients: the state/input classification induced by an
+//! abstraction mapping on an explicit machine, with transition-preservation
+//! and output-determinism checks.
+//!
+//! In the paper's terms (Section 6.1): the abstraction is a many-to-one
+//! mapping `A` from concrete states to abstract states that preserves the
+//! transition relation. Because multiple concrete transitions (with
+//! possibly different outputs) map to the same abstract transition, the
+//! test model may have *non-deterministic outputs* (Section 4.1) — exactly
+//! the situation in which an output error may be non-uniform, violating
+//! Requirement 1. [`build_quotient`] surfaces both kinds of conflicts.
+
+use simcov_fsm::{ExplicitMealy, InputSym, MealyBuilder, OutputSym, StateId};
+use std::collections::HashMap;
+
+/// A many-to-one mapping from the states/inputs/outputs of a concrete
+/// machine onto abstract classes.
+///
+/// Classes are dense indices starting at 0. Outputs are mapped too because
+/// abstraction usually drops observable detail (e.g. datapath values) from
+/// the outputs as well.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quotient {
+    /// `state_class[s]` = abstract class of concrete state `s`.
+    pub state_class: Vec<u32>,
+    /// `input_class[i]` = abstract class of concrete input `i`.
+    pub input_class: Vec<u32>,
+    /// `output_class[o]` = abstract class of concrete output `o`.
+    pub output_class: Vec<u32>,
+}
+
+impl Quotient {
+    /// The identity quotient of a machine (every class a singleton).
+    pub fn identity(m: &ExplicitMealy) -> Self {
+        Quotient {
+            state_class: (0..m.num_states() as u32).collect(),
+            input_class: (0..m.num_inputs() as u32).collect(),
+            output_class: (0..m.num_outputs() as u32).collect(),
+        }
+    }
+
+    /// Builds a quotient by classifying states with `f` (and keeping
+    /// inputs/outputs identical). Class indices are assigned densely in
+    /// first-seen order of `f`'s values.
+    pub fn by_state_key<K: std::hash::Hash + Eq>(
+        m: &ExplicitMealy,
+        mut f: impl FnMut(StateId) -> K,
+    ) -> Self {
+        let mut classes: HashMap<K, u32> = HashMap::new();
+        let mut state_class = Vec::with_capacity(m.num_states());
+        for s in m.states() {
+            let k = f(s);
+            let next_id = classes.len() as u32;
+            let id = *classes.entry(k).or_insert(next_id);
+            state_class.push(id);
+        }
+        Quotient {
+            state_class,
+            input_class: (0..m.num_inputs() as u32).collect(),
+            output_class: (0..m.num_outputs() as u32).collect(),
+        }
+    }
+
+    fn num_state_classes(&self) -> usize {
+        self.state_class.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+    }
+
+    fn num_input_classes(&self) -> usize {
+        self.input_class.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+    }
+
+    fn num_output_classes(&self) -> usize {
+        self.output_class.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+    }
+}
+
+/// Two concrete transitions mapping to the same abstract `(state, input)`
+/// but different abstract next-state classes: the mapping is not a
+/// function on transitions (the abstract machine would be
+/// non-deterministic in its *transition* relation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionConflict {
+    /// Abstract source class.
+    pub abs_state: u32,
+    /// Abstract input class.
+    pub abs_input: u32,
+    /// First concrete witness `(state, input)` and its abstract next class.
+    pub first: (StateId, InputSym, u32),
+    /// Conflicting concrete witness.
+    pub second: (StateId, InputSym, u32),
+}
+
+/// Two concrete transitions mapping to the same abstract transition but
+/// with different abstract outputs — the paper's non-deterministic-output
+/// situation (Section 4.1), i.e. a potential *non-uniform output error*
+/// and a Requirement 1 violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputConflict {
+    /// Abstract source class.
+    pub abs_state: u32,
+    /// Abstract input class.
+    pub abs_input: u32,
+    /// First concrete witness and its abstract output class.
+    pub first: (StateId, InputSym, u32),
+    /// Conflicting concrete witness.
+    pub second: (StateId, InputSym, u32),
+}
+
+/// Result of [`build_quotient`].
+#[derive(Debug)]
+pub struct QuotientResult {
+    /// The abstract machine (first-seen choices where conflicts exist).
+    pub machine: ExplicitMealy,
+    /// Transition-preservation violations (empty ⇔ the mapping is a
+    /// homomorphism onto a deterministic abstract machine).
+    pub transition_conflicts: Vec<TransitionConflict>,
+    /// Output-determinism violations (empty ⇔ Requirement 1's uniformity
+    /// measure holds for this abstraction).
+    pub output_conflicts: Vec<OutputConflict>,
+}
+
+impl QuotientResult {
+    /// `true` if the quotient is a clean homomorphism with deterministic
+    /// outputs.
+    pub fn is_clean(&self) -> bool {
+        self.transition_conflicts.is_empty() && self.output_conflicts.is_empty()
+    }
+}
+
+/// Errors from [`build_quotient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuotientError {
+    /// A class vector has the wrong length for the machine.
+    WidthMismatch {
+        /// Which vector is wrong: `"state"`, `"input"` or `"output"`.
+        which: &'static str,
+    },
+}
+
+impl std::fmt::Display for QuotientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuotientError::WidthMismatch { which } => {
+                write!(f, "{which} class vector length mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotientError {}
+
+/// Builds the abstract (quotient) machine induced by `q` on the reachable
+/// part of `m`, collecting transition and output conflicts.
+///
+/// # Errors
+///
+/// [`QuotientError::WidthMismatch`] if the class vectors do not match the
+/// machine's sizes.
+pub fn build_quotient(m: &ExplicitMealy, q: &Quotient) -> Result<QuotientResult, QuotientError> {
+    if q.state_class.len() != m.num_states() {
+        return Err(QuotientError::WidthMismatch { which: "state" });
+    }
+    if q.input_class.len() != m.num_inputs() {
+        return Err(QuotientError::WidthMismatch { which: "input" });
+    }
+    if q.output_class.len() != m.num_outputs() {
+        return Err(QuotientError::WidthMismatch { which: "output" });
+    }
+    let ns = q.num_state_classes();
+    let ni = q.num_input_classes();
+    let no = q.num_output_classes();
+    let mut b = MealyBuilder::new();
+    for c in 0..ns {
+        b.add_state(format!("A{c}"));
+    }
+    for c in 0..ni {
+        b.add_input(format!("i{c}"));
+    }
+    for c in 0..no {
+        b.add_output(format!("o{c}"));
+    }
+    // chosen[(as, ai)] = (abstract next, abstract out, concrete witness)
+    type Chosen = HashMap<(u32, u32), (u32, u32, (StateId, InputSym))>;
+    let mut chosen: Chosen = HashMap::new();
+    let mut transition_conflicts = Vec::new();
+    let mut output_conflicts = Vec::new();
+    for s in m.reachable_states() {
+        for i in m.inputs() {
+            let Some((n, o)) = m.step(s, i) else { continue };
+            let a_s = q.state_class[s.index()];
+            let a_i = q.input_class[i.index()];
+            let a_n = q.state_class[n.index()];
+            let a_o = q.output_class[o.index()];
+            match chosen.get(&(a_s, a_i)) {
+                None => {
+                    chosen.insert((a_s, a_i), (a_n, a_o, (s, i)));
+                    b.add_transition(
+                        StateId(a_s),
+                        InputSym(a_i),
+                        StateId(a_n),
+                        OutputSym(a_o),
+                    );
+                }
+                Some(&(c_n, c_o, w)) => {
+                    if c_n != a_n {
+                        transition_conflicts.push(TransitionConflict {
+                            abs_state: a_s,
+                            abs_input: a_i,
+                            first: (w.0, w.1, c_n),
+                            second: (s, i, a_n),
+                        });
+                    }
+                    if c_o != a_o {
+                        output_conflicts.push(OutputConflict {
+                            abs_state: a_s,
+                            abs_input: a_i,
+                            first: (w.0, w.1, c_o),
+                            second: (s, i, a_o),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let reset_class = StateId(q.state_class[m.reset().index()]);
+    let machine = b.build(reset_class).expect("first-seen choices are deterministic");
+    Ok(QuotientResult { machine, transition_conflicts, output_conflicts })
+}
+
+/// Report of [`check_homomorphism`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomomorphismReport {
+    /// `true` when every concrete transition maps onto an abstract
+    /// transition of `ma` (same abstract next class and output class).
+    pub is_homomorphism: bool,
+    /// Concrete transitions with no matching abstract transition.
+    pub mismatches: Vec<(StateId, InputSym)>,
+}
+
+/// Checks that `q` maps the (reachable) transitions of `mc` onto
+/// transitions of the abstract machine `ma`: for every concrete `(s, i)`
+/// with `mc.step(s,i) = (n, o)`, `ma.step(A(s), A(i))` must be
+/// `(A(n), A(o))`. This is the paper's transition-preservation property,
+/// which makes ∀k-distinguishability inherited by abstractions
+/// (Section 6.2).
+pub fn check_homomorphism(
+    mc: &ExplicitMealy,
+    ma: &ExplicitMealy,
+    q: &Quotient,
+) -> HomomorphismReport {
+    let mut mismatches = Vec::new();
+    for s in mc.reachable_states() {
+        for i in mc.inputs() {
+            let Some((n, o)) = mc.step(s, i) else { continue };
+            let a_s = StateId(q.state_class[s.index()]);
+            let a_i = InputSym(q.input_class[i.index()]);
+            let expect = (
+                StateId(q.state_class[n.index()]),
+                OutputSym(q.output_class[o.index()]),
+            );
+            if ma.step(a_s, a_i) != Some(expect) {
+                mismatches.push((s, i));
+            }
+        }
+    }
+    HomomorphismReport { is_homomorphism: mismatches.is_empty(), mismatches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-state machine: a 2-bit counter where the low bit is "datapath"
+    /// (to be abstracted) and the high bit is "control".
+    fn counter() -> ExplicitMealy {
+        let mut b = MealyBuilder::new();
+        let states: Vec<_> = (0..4).map(|i| b.add_state(format!("{i}"))).collect();
+        let tick = b.add_input("tick");
+        let outs: Vec<_> = (0..4).map(|i| b.add_output(format!("out{i}"))).collect();
+        for i in 0..4 {
+            b.add_transition(states[i], tick, states[(i + 1) % 4], outs[i]);
+        }
+        b.build(states[0]).unwrap()
+    }
+
+    #[test]
+    fn identity_quotient_is_clean() {
+        let m = counter();
+        let q = Quotient::identity(&m);
+        let r = build_quotient(&m, &q).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.machine.num_states(), 4);
+        let h = check_homomorphism(&m, &r.machine, &q);
+        assert!(h.is_homomorphism);
+    }
+
+    #[test]
+    fn grouping_with_consistent_outputs_by_parity_conflicts() {
+        // Group states by low bit ({0,2} and {1,3}): on `tick`, 0→1 and
+        // 2→3 both go to class 1, fine; outputs differ (out0 vs out2) →
+        // output conflict, and it is reported.
+        let m = counter();
+        let q = Quotient::by_state_key(&m, |s| s.0 % 2);
+        let r = build_quotient(&m, &q).unwrap();
+        assert!(r.transition_conflicts.is_empty());
+        assert_eq!(r.output_conflicts.len(), 2);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn output_merge_restores_cleanliness() {
+        // Same state grouping, but also merge outputs by parity: now
+        // out0/out2 are the same abstract output — clean quotient, i.e.
+        // the abstraction kept "enough state" in the Requirement-1 sense.
+        let m = counter();
+        let mut q = Quotient::by_state_key(&m, |s| s.0 % 2);
+        q.output_class = vec![0, 1, 0, 1];
+        let r = build_quotient(&m, &q).unwrap();
+        assert!(r.is_clean(), "{:?}", r.output_conflicts);
+        assert_eq!(r.machine.num_states(), 2);
+        assert!(check_homomorphism(&m, &r.machine, &q).is_homomorphism);
+    }
+
+    #[test]
+    fn transition_conflict_detected() {
+        // Machine: s0 -a-> s1, s1 -a-> s2, s2 -a-> s0, s3 unreachable.
+        // Group {s0, s1}: on `a`, s0 → class(s1)=0 but s1 → class(s2)=1:
+        // transition conflict.
+        let mut b = MealyBuilder::new();
+        let s: Vec<_> = (0..3).map(|i| b.add_state(format!("s{i}"))).collect();
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s[0], a, s[1], o);
+        b.add_transition(s[1], a, s[2], o);
+        b.add_transition(s[2], a, s[0], o);
+        let m = b.build(s[0]).unwrap();
+        let q = Quotient::by_state_key(&m, |st| if st.0 <= 1 { 0 } else { 1 });
+        let r = build_quotient(&m, &q).unwrap();
+        assert_eq!(r.transition_conflicts.len(), 1);
+        let c = &r.transition_conflicts[0];
+        assert_eq!(c.abs_state, 0);
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let m = counter();
+        let mut q = Quotient::identity(&m);
+        q.state_class.pop();
+        assert_eq!(
+            build_quotient(&m, &q).unwrap_err(),
+            QuotientError::WidthMismatch { which: "state" }
+        );
+        let mut q = Quotient::identity(&m);
+        q.input_class.push(0);
+        assert_eq!(
+            build_quotient(&m, &q).unwrap_err(),
+            QuotientError::WidthMismatch { which: "input" }
+        );
+        let mut q = Quotient::identity(&m);
+        q.output_class.clear();
+        assert_eq!(
+            build_quotient(&m, &q).unwrap_err(),
+            QuotientError::WidthMismatch { which: "output" }
+        );
+    }
+
+    #[test]
+    fn homomorphism_violation_reported() {
+        let m = counter();
+        let q = Quotient::identity(&m);
+        // Abstract machine with one transition redirected: not a
+        // homomorphic image any more.
+        let tick = m.input_by_label("tick").unwrap();
+        let ma = m.with_redirected_transition(m.reset(), tick, m.reset());
+        let h = check_homomorphism(&m, &ma, &q);
+        assert!(!h.is_homomorphism);
+        assert_eq!(h.mismatches, vec![(m.reset(), tick)]);
+    }
+}

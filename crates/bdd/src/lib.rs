@@ -1,0 +1,46 @@
+//! Reduced Ordered Binary Decision Diagrams (ROBDDs) for implicit
+//! state-space traversal.
+//!
+//! This crate is the symbolic substrate of the `simcov` workspace. It
+//! implements the classic ROBDD package of Bryant (IEEE ToC 1986) with the
+//! operations needed for implicit FSM enumeration in the style of Touati et
+//! al. (ICCAD 1990), which is the machinery the DAC'97 paper runs inside SIS:
+//!
+//! * hash-consed node storage with a unique table ([`BddManager`]),
+//! * the `ITE` operator and derived Boolean connectives,
+//! * existential/universal quantification and the combined
+//!   *relational product* (`and_exists`) used by image computation,
+//! * variable substitution ([`BddManager::compose`]) and renaming
+//!   ([`BddManager::rename`]),
+//! * exact satisfying-assignment counting ([`BddManager::sat_count`]),
+//! * cube extraction ([`BddManager::pick_cube`]) and minterm iteration
+//!   ([`BddManager::cubes`]),
+//! * don't-care minimization ([`BddManager::constrain`],
+//!   [`BddManager::restrict_dc`]) and Graphviz export
+//!   ([`BddManager::to_dot`]).
+//!
+//! # Example
+//!
+//! ```
+//! use simcov_bdd::BddManager;
+//!
+//! let mut m = BddManager::new(3);
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! let f = m.and(a, b);
+//! let g = m.or(f, c);
+//! // (a & b) | c has 5 satisfying assignments over 3 variables.
+//! assert_eq!(m.sat_count(g, 3), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count;
+mod cube;
+mod dontcare;
+mod manager;
+mod ops;
+mod util;
+
+pub use cube::{Assignment, Cube, CubeIter};
+pub use manager::{Bdd, BddManager, Var};

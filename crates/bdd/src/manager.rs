@@ -1,0 +1,393 @@
+//! Node storage, unique table and the [`BddManager`] type.
+
+use crate::util::TripleMap;
+use std::fmt;
+
+/// A BDD variable, identified by its level in the (static) variable order.
+///
+/// Level 0 is the topmost variable. The order is fixed at
+/// [`BddManager::new`] time; callers that need a particular interleaving
+/// (e.g. current-state / next-state variables for image computation) choose
+/// it by assigning levels accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The level of this variable in the global order.
+    pub fn level(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A handle to a BDD node owned by a [`BddManager`].
+///
+/// Handles are plain indices: copying them is free, and they stay valid for
+/// the lifetime of the manager (nodes are never garbage collected out from
+/// under a live computation; see [`BddManager::clear_caches`]).
+///
+/// The two terminal nodes are [`Bdd::FALSE`] and [`Bdd::TRUE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false terminal.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true terminal.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this is the constant-false terminal.
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Returns `true` if this is the constant-true terminal.
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Returns `true` if this is either terminal.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Raw index of the node inside its manager (stable for the manager's
+    /// lifetime). Mostly useful for debugging and external caching.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Variable level assigned to terminal nodes: below every real variable.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) low: u32,
+    pub(crate) high: u32,
+}
+
+/// A manager owning a forest of hash-consed ROBDD nodes over a fixed
+/// variable order.
+///
+/// All operations go through the manager (`C-SMART-PTR`-style: [`Bdd`]
+/// handles carry no inherent methods that mutate state). Operation results
+/// are memoized in internal caches; [`BddManager::clear_caches`] frees that
+/// memory without invalidating any handle.
+///
+/// # Example
+///
+/// ```
+/// use simcov_bdd::{Bdd, BddManager};
+///
+/// let mut m = BddManager::new(2);
+/// let a = m.var(0);
+/// let not_a = m.not(a);
+/// assert_eq!(m.or(a, not_a), Bdd::TRUE);
+/// ```
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    unique: TripleMap,
+    pub(crate) ite_cache: TripleMap,
+    pub(crate) quant_cache: TripleMap,
+    pub(crate) and_exists_cache: TripleMap,
+    pub(crate) compose_cache: TripleMap,
+    num_vars: u32,
+}
+
+impl BddManager {
+    /// Creates a manager over `num_vars` variables (levels `0..num_vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars >= u32::MAX - 1` (needed for the terminal level
+    /// sentinel).
+    pub fn new(num_vars: u32) -> Self {
+        assert!(num_vars < u32::MAX - 1, "too many variables");
+        let mut nodes = Vec::with_capacity(1024);
+        // Index 0: FALSE, index 1: TRUE.
+        nodes.push(Node { var: TERMINAL_LEVEL, low: 0, high: 0 });
+        nodes.push(Node { var: TERMINAL_LEVEL, low: 1, high: 1 });
+        BddManager {
+            nodes,
+            unique: TripleMap::with_capacity_pow2(1 << 12),
+            ite_cache: TripleMap::with_capacity_pow2(1 << 12),
+            quant_cache: TripleMap::with_capacity_pow2(1 << 10),
+            and_exists_cache: TripleMap::with_capacity_pow2(1 << 10),
+            compose_cache: TripleMap::with_capacity_pow2(1 << 10),
+            num_vars,
+        }
+    }
+
+    /// Number of variables in the order.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Total number of nodes allocated so far (including both terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Grows the variable order by `extra` fresh variables appended at the
+    /// bottom, returning the first new [`Var`].
+    ///
+    /// Existing BDDs are unaffected (the new variables are below all
+    /// existing levels, so no node changes shape).
+    pub fn add_vars(&mut self, extra: u32) -> Var {
+        let first = self.num_vars;
+        self.num_vars += extra;
+        Var(first)
+    }
+
+    /// The BDD for the single variable at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.num_vars()`.
+    pub fn var(&mut self, level: u32) -> Bdd {
+        assert!(level < self.num_vars, "variable level out of range");
+        self.mk_node(level, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The BDD for the negation of the variable at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.num_vars()`.
+    pub fn nvar(&mut self, level: u32) -> Bdd {
+        assert!(level < self.num_vars, "variable level out of range");
+        self.mk_node(level, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// The BDD for a constant.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// Hash-consed node constructor enforcing the two ROBDD invariants:
+    /// no redundant tests (`low == high` collapses) and no duplicate nodes.
+    pub(crate) fn mk_node(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        if let Some(idx) = self.unique.get(var, low.0, high.0) {
+            return Bdd(idx);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { var, low: low.0, high: high.0 });
+        self.unique.insert(var, low.0, high.0, idx);
+        Bdd(idx)
+    }
+
+    /// Level of the top variable of `f` (`u32::MAX` for terminals).
+    pub(crate) fn level_of(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    /// Cofactors of `f` with respect to its own top variable.
+    pub(crate) fn cofactors(&self, f: Bdd, at_level: u32) -> (Bdd, Bdd) {
+        let n = self.nodes[f.0 as usize];
+        if n.var == at_level {
+            (Bdd(n.low), Bdd(n.high))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// The top variable of `f`, or `None` for terminals.
+    pub fn top_var(&self, f: Bdd) -> Option<Var> {
+        let l = self.level_of(f);
+        if l == TERMINAL_LEVEL {
+            None
+        } else {
+            Some(Var(l))
+        }
+    }
+
+    /// Number of distinct nodes in the DAG rooted at `f` (counting
+    /// terminals).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            if node.var != TERMINAL_LEVEL {
+                stack.push(node.low);
+                stack.push(node.high);
+            }
+        }
+        seen.len()
+    }
+
+    /// The set of variables appearing in the DAG rooted at `f`, in level
+    /// order.
+    pub fn support(&self, f: Bdd) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            if node.var != TERMINAL_LEVEL {
+                vars.insert(node.var);
+                stack.push(node.low);
+                stack.push(node.high);
+            }
+        }
+        vars.into_iter().map(Var).collect()
+    }
+
+    /// Evaluates `f` under a total assignment (indexed by level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than some variable level
+    /// appearing in `f`.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f.0;
+        loop {
+            let node = self.nodes[cur as usize];
+            if node.var == TERMINAL_LEVEL {
+                return cur == 1;
+            }
+            cur = if assignment[node.var as usize] {
+                node.high
+            } else {
+                node.low
+            };
+        }
+    }
+
+    /// Drops all memoization caches (unique table is kept — handles remain
+    /// valid). Call between large, unrelated computations to bound memory.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.quant_cache.clear();
+        self.and_exists_cache.clear();
+        self.compose_cache.clear();
+    }
+
+    /// Approximate heap usage of the node store, in bytes. Useful for
+    /// instrumentation in benchmarks.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.num_vars)
+            .field("num_nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let m = BddManager::new(4);
+        assert!(Bdd::TRUE.is_true());
+        assert!(Bdd::FALSE.is_false());
+        assert!(Bdd::TRUE.is_const());
+        assert_eq!(m.constant(true), Bdd::TRUE);
+        assert_eq!(m.constant(false), Bdd::FALSE);
+        assert_eq!(m.num_nodes(), 2);
+    }
+
+    #[test]
+    fn var_is_hash_consed() {
+        let mut m = BddManager::new(4);
+        let a1 = m.var(2);
+        let a2 = m.var(2);
+        assert_eq!(a1, a2);
+        assert_eq!(m.num_nodes(), 3);
+    }
+
+    #[test]
+    fn redundant_test_collapses() {
+        let mut m = BddManager::new(4);
+        let t = m.mk_node(1, Bdd::TRUE, Bdd::TRUE);
+        assert_eq!(t, Bdd::TRUE);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable level out of range")]
+    fn var_out_of_range_panics() {
+        let mut m = BddManager::new(2);
+        let _ = m.var(2);
+    }
+
+    #[test]
+    fn eval_variable() {
+        let mut m = BddManager::new(3);
+        let b = m.var(1);
+        assert!(m.eval(b, &[false, true, false]));
+        assert!(!m.eval(b, &[true, false, true]));
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.and(a, c);
+        assert_eq!(m.support(f), vec![Var(0), Var(2)]);
+        // Nodes: a-node, c-node, two terminals.
+        assert_eq!(m.size(f), 4);
+    }
+
+    #[test]
+    fn add_vars_extends_order() {
+        let mut m = BddManager::new(2);
+        let first = m.add_vars(3);
+        assert_eq!(first, Var(2));
+        assert_eq!(m.num_vars(), 5);
+        let v = m.var(4);
+        assert!(!v.is_const());
+    }
+
+    #[test]
+    fn clear_caches_preserves_results() {
+        let mut m = BddManager::new(6);
+        let a = m.var(0);
+        let b = m.var(3);
+        let f = m.xor(a, b);
+        let g = m.and(f, a);
+        m.clear_caches();
+        // Recomputation after clearing yields the identical nodes
+        // (canonicity is carried by the unique table, not the caches).
+        let f2 = m.xor(a, b);
+        let g2 = m.and(f2, a);
+        assert_eq!(f, f2);
+        assert_eq!(g, g2);
+        assert!(m.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn top_var() {
+        let mut m = BddManager::new(3);
+        let b = m.var(1);
+        assert_eq!(m.top_var(b), Some(Var(1)));
+        assert_eq!(m.top_var(Bdd::TRUE), None);
+    }
+}

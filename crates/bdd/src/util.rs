@@ -1,0 +1,248 @@
+//! Internal open-addressing hash tables specialized for the hot paths of the
+//! BDD package (unique table and operation caches).
+//!
+//! `std::collections::HashMap` with SipHash is measurably slow for the tight
+//! `(u32, u32, u32) -> u32` lookups that dominate BDD construction, so we use
+//! a simple power-of-two, linear-probing table with a Fibonacci multiplicative
+//! hash. Keys never collide with the `EMPTY` sentinel because valid node
+//! indices are < `u32::MAX`.
+
+/// Sentinel marking an empty slot.
+const EMPTY: u64 = u64::MAX;
+
+#[inline]
+fn mix(a: u32, b: u32, c: u32) -> u64 {
+    // SplitMix64-style finalizer over the packed key; cheap and well mixed.
+    let mut z = (a as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((b as u64).rotate_left(32) ^ (c as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn pack(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Open-addressing map from `(u32, u32, u32)` to `u32`.
+///
+/// Used for the unique table (`(var, low, high) -> node`) and the ternary
+/// operation caches (`(f, g, h) -> result`).
+pub(crate) struct TripleMap {
+    // Slot layout: key0 = pack(a, b), key1 = pack(c, value). An empty slot
+    // has key0 == EMPTY.
+    key0: Vec<u64>,
+    key1: Vec<u64>,
+    len: usize,
+    mask: usize,
+}
+
+impl TripleMap {
+    pub(crate) fn with_capacity_pow2(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(16);
+        TripleMap {
+            key0: vec![EMPTY; cap],
+            key1: vec![0; cap],
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, a: u32, b: u32, c: u32) -> Option<u32> {
+        let k0 = pack(a, b);
+        let mut idx = (mix(a, b, c) as usize) & self.mask;
+        loop {
+            let s0 = self.key0[idx];
+            if s0 == EMPTY {
+                return None;
+            }
+            if s0 == k0 && (self.key1[idx] >> 32) as u32 == c {
+                return Some(self.key1[idx] as u32);
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, a: u32, b: u32, c: u32, value: u32) {
+        if self.len * 4 >= self.key0.len() * 3 {
+            self.grow();
+        }
+        let k0 = pack(a, b);
+        let k1 = pack(c, value);
+        let mut idx = (mix(a, b, c) as usize) & self.mask;
+        loop {
+            let s0 = self.key0[idx];
+            if s0 == EMPTY {
+                self.key0[idx] = k0;
+                self.key1[idx] = k1;
+                self.len += 1;
+                return;
+            }
+            if s0 == k0 && (self.key1[idx] >> 32) as u32 == c {
+                // Overwrite (operation caches may be refreshed).
+                self.key1[idx] = k1;
+                return;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.key0.fill(EMPTY);
+        self.len = 0;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.key0.len() * 2;
+        let old_key0 = std::mem::replace(&mut self.key0, vec![EMPTY; new_cap]);
+        let old_key1 = std::mem::replace(&mut self.key1, vec![0; new_cap]);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (s0, s1) in old_key0.into_iter().zip(old_key1) {
+            if s0 != EMPTY {
+                let a = (s0 >> 32) as u32;
+                let b = s0 as u32;
+                let c = (s1 >> 32) as u32;
+                let v = s1 as u32;
+                self.insert(a, b, c, v);
+            }
+        }
+    }
+}
+
+/// Open-addressing map from a single `u32` key to `u64` (used by counting and
+/// support caches where the value does not fit in 32 bits).
+pub(crate) struct U32Map64 {
+    keys: Vec<u32>,
+    vals: Vec<u64>,
+    len: usize,
+    mask: usize,
+}
+
+const EMPTY32: u32 = u32::MAX;
+
+impl U32Map64 {
+    pub(crate) fn new() -> Self {
+        U32Map64 {
+            keys: vec![EMPTY32; 64],
+            vals: vec![0; 64],
+            len: 0,
+            mask: 63,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, k: u32) -> Option<u64> {
+        let mut idx = (mix(k, 0, 0) as usize) & self.mask;
+        loop {
+            let s = self.keys[idx];
+            if s == EMPTY32 {
+                return None;
+            }
+            if s == k {
+                return Some(self.vals[idx]);
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, k: u32, v: u64) {
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut idx = (mix(k, 0, 0) as usize) & self.mask;
+        loop {
+            let s = self.keys[idx];
+            if s == EMPTY32 {
+                self.keys[idx] = k;
+                self.vals[idx] = v;
+                self.len += 1;
+                return;
+            }
+            if s == k {
+                self.vals[idx] = v;
+                return;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY32; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY32 {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_map_roundtrip() {
+        let mut m = TripleMap::with_capacity_pow2(16);
+        for i in 0..1000u32 {
+            m.insert(i, i.wrapping_mul(7), i ^ 3, i + 1);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(i, i.wrapping_mul(7), i ^ 3), Some(i + 1));
+        }
+        assert_eq!(m.get(5000, 1, 2), None);
+    }
+
+    #[test]
+    fn triple_map_overwrite() {
+        let mut m = TripleMap::with_capacity_pow2(16);
+        m.insert(1, 2, 3, 10);
+        m.insert(1, 2, 3, 20);
+        assert_eq!(m.get(1, 2, 3), Some(20));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn triple_map_clear() {
+        let mut m = TripleMap::with_capacity_pow2(16);
+        m.insert(1, 2, 3, 10);
+        m.clear();
+        assert_eq!(m.get(1, 2, 3), None);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn u32map_roundtrip() {
+        let mut m = U32Map64::new();
+        for i in 0..500u32 {
+            m.insert(i, (i as u64) << 33);
+        }
+        for i in 0..500u32 {
+            assert_eq!(m.get(i), Some((i as u64) << 33));
+        }
+        assert_eq!(m.get(501), None);
+    }
+
+    #[test]
+    fn u32map_overwrite() {
+        let mut m = U32Map64::new();
+        m.insert(7, 1);
+        m.insert(7, 2);
+        assert_eq!(m.get(7), Some(2));
+    }
+}

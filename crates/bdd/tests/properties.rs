@@ -1,0 +1,197 @@
+//! Property-based tests: the BDD package against a brute-force
+//! truth-table oracle.
+
+use proptest::prelude::*;
+use simcov_bdd::{Bdd, BddManager, Var};
+
+const NVARS: u32 = 5;
+
+/// A random Boolean expression over `NVARS` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn build(m: &mut BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Const(b) => m.constant(*b),
+        Expr::Not(a) => {
+            let a = build(m, a);
+            m.not(a)
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.and(a, b)
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.or(a, b)
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.xor(a, b)
+        }
+        Expr::Ite(a, b, c) => {
+            let (a, b, c) = (build(m, a), build(m, b), build(m, c));
+            m.ite(a, b, c)
+        }
+    }
+}
+
+fn eval(e: &Expr, asg: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => asg[*v as usize],
+        Expr::Const(b) => *b,
+        Expr::Not(a) => !eval(a, asg),
+        Expr::And(a, b) => eval(a, asg) && eval(b, asg),
+        Expr::Or(a, b) => eval(a, asg) || eval(b, asg),
+        Expr::Xor(a, b) => eval(a, asg) ^ eval(b, asg),
+        Expr::Ite(a, b, c) => {
+            if eval(a, asg) {
+                eval(b, asg)
+            } else {
+                eval(c, asg)
+            }
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << NVARS)).map(|code| (0..NVARS).map(|b| (code >> b) & 1 == 1).collect())
+}
+
+proptest! {
+    /// The BDD of an expression evaluates identically to the expression.
+    #[test]
+    fn bdd_matches_truth_table(e in expr_strategy()) {
+        let mut m = BddManager::new(NVARS);
+        let f = build(&mut m, &e);
+        for asg in assignments() {
+            prop_assert_eq!(m.eval(f, &asg), eval(&e, &asg));
+        }
+    }
+
+    /// Canonicity: semantically equal expressions share the same node.
+    #[test]
+    fn bdd_is_canonical(e in expr_strategy()) {
+        let mut m = BddManager::new(NVARS);
+        let f = build(&mut m, &e);
+        // Rebuild through double negation and De Morgan-style reshaping.
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        prop_assert_eq!(f, nnf);
+        // XOR with itself is false; XOR with constant false is identity.
+        let z = m.xor(f, f);
+        prop_assert_eq!(z, Bdd::FALSE);
+        let same = m.xor(f, Bdd::FALSE);
+        prop_assert_eq!(same, f);
+    }
+
+    /// sat_count equals brute-force model counting.
+    #[test]
+    fn sat_count_matches_enumeration(e in expr_strategy()) {
+        let mut m = BddManager::new(NVARS);
+        let f = build(&mut m, &e);
+        let expect = assignments().filter(|a| eval(&e, a)).count() as u128;
+        prop_assert_eq!(m.sat_count(f, NVARS), expect);
+    }
+
+    /// Quantification agrees with expansion: ∃v.f = f[v:=0] | f[v:=1],
+    /// ∀v.f = f[v:=0] & f[v:=1].
+    #[test]
+    fn quantification_matches_expansion(e in expr_strategy(), v in 0..NVARS) {
+        let mut m = BddManager::new(NVARS);
+        let f = build(&mut m, &e);
+        let cube = m.cube_from_vars(&[Var(v)]);
+        let f0 = m.restrict(f, &[(Var(v), false)]);
+        let f1 = m.restrict(f, &[(Var(v), true)]);
+        let ex = m.exists(f, cube);
+        let expect_ex = m.or(f0, f1);
+        prop_assert_eq!(ex, expect_ex);
+        let fa = m.forall(f, cube);
+        let expect_fa = m.and(f0, f1);
+        prop_assert_eq!(fa, expect_fa);
+    }
+
+    /// The fused relational product equals quantify-after-conjoin.
+    #[test]
+    fn and_exists_is_sound(a in expr_strategy(), b in expr_strategy(),
+                           vs in proptest::collection::vec(0..NVARS, 0..3)) {
+        let mut m = BddManager::new(NVARS);
+        let fa = build(&mut m, &a);
+        let fb = build(&mut m, &b);
+        let vars: Vec<Var> = vs.into_iter().map(Var).collect();
+        let cube = m.cube_from_vars(&vars);
+        let fused = m.and_exists(fa, fb, cube);
+        let conj = m.and(fa, fb);
+        let unfused = m.exists(conj, cube);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    /// compose agrees with semantic substitution.
+    #[test]
+    fn compose_is_substitution(e in expr_strategy(), g in expr_strategy(), v in 0..NVARS) {
+        let mut m = BddManager::new(NVARS);
+        let f = build(&mut m, &e);
+        let gg = build(&mut m, &g);
+        let composed = m.compose(f, Var(v), gg);
+        for asg in assignments() {
+            let mut modified = asg.clone();
+            modified[v as usize] = eval(&g, &asg);
+            prop_assert_eq!(m.eval(composed, &asg), eval(&e, &modified));
+        }
+    }
+
+    /// pick_cube returns satisfying cubes; cube iteration is exact.
+    #[test]
+    fn cubes_are_satisfying_and_exhaustive(e in expr_strategy()) {
+        let mut m = BddManager::new(NVARS);
+        let f = build(&mut m, &e);
+        match m.pick_cube(f) {
+            None => prop_assert_eq!(f, Bdd::FALSE),
+            Some(c) => prop_assert!(m.eval(f, &c.to_assignment(NVARS))),
+        }
+        let vars: Vec<Var> = (0..NVARS).map(Var).collect();
+        let count = m.cubes(f, &vars).count() as u128;
+        prop_assert_eq!(count, m.sat_count(f, NVARS));
+    }
+
+    /// Renaming to fresh variables then back is the identity.
+    #[test]
+    fn rename_roundtrip(e in expr_strategy()) {
+        let mut m = BddManager::new(2 * NVARS);
+        let f = build(&mut m, &e);
+        let fwd: Vec<(Var, Var)> = (0..NVARS).map(|i| (Var(i), Var(i + NVARS))).collect();
+        let bwd: Vec<(Var, Var)> = (0..NVARS).map(|i| (Var(i + NVARS), Var(i))).collect();
+        let shifted = m.rename(f, &fwd);
+        let back = m.rename(shifted, &bwd);
+        prop_assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,73 @@
+//! E6: error-coverage comparison — transition tour vs state tour vs
+//! random vectors, under exhaustive single-fault injection (the paper's
+//! motivating claim for transition coverage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_bench::reduced_dlx_machine;
+use simcov_core::{enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace};
+use simcov_tour::{coverage_set, random_test_set, state_tour, transition_tour, TestSet};
+
+fn report() {
+    let m = reduced_dlx_machine();
+    let faults = enumerate_single_faults(
+        &m,
+        &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+    );
+    eprintln!("== Error coverage: transition tour vs baselines ==");
+    eprintln!("  model: {m:?}; {} injected faults", faults.len());
+    let tt = transition_tour(&m).unwrap();
+    let st = state_tour(&m).unwrap();
+    let suites: Vec<(String, TestSet)> = vec![
+        (
+            format!("transition tour ({} vectors)", tt.len() + 1),
+            TestSet::single(extend_cyclically(&tt.inputs, 1)),
+        ),
+        (
+            format!("state tour ({} vectors)", st.len() + 1),
+            TestSet::single(extend_cyclically(&st.inputs, 1)),
+        ),
+        (
+            format!("random walks (same budget: {} vectors)", tt.len() + 1),
+            random_test_set(&m, 1, tt.len() + 1, 2024),
+        ),
+        (
+            "random walks (10x budget)".into(),
+            random_test_set(&m, 10, tt.len() + 1, 2024),
+        ),
+    ];
+    eprintln!(
+        "  {:<44} {:>10} {:>10} {:>9}",
+        "test set", "trans cov", "detection", "escapes"
+    );
+    for (name, tests) in &suites {
+        let seqs: Vec<&[_]> = tests.sequences.iter().map(Vec::as_slice).collect();
+        let cov = coverage_set(&m, seqs.iter().copied());
+        let rep = run_campaign(&m, &faults, tests);
+        eprintln!(
+            "  {:<44} {:>9.1}% {:>9.1}% {:>9}",
+            name,
+            100.0 * cov.transition_fraction(),
+            100.0 * rep.detection_rate(),
+            rep.escapes().count()
+        );
+    }
+    eprintln!("  (paper's claim: transition coverage => complete error coverage)");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let m = reduced_dlx_machine();
+    let mut g = c.benchmark_group("error_coverage");
+    g.sample_size(10);
+    g.bench_function("transition_tour_gen", |b| {
+        b.iter(|| transition_tour(&m).unwrap())
+    });
+    g.bench_function("state_tour_gen", |b| b.iter(|| state_tour(&m).unwrap()));
+    g.bench_function("random_set_gen", |b| {
+        b.iter(|| random_test_set(&m, 10, 600, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

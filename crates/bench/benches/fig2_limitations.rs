@@ -1,0 +1,57 @@
+//! E1 / Figure 2: "Limitations of Transition Tours".
+//!
+//! Regenerates the figure's story — the transfer error 2 -a-> 3' is
+//! excited by every transition tour but exposed only along the <a, b>
+//! continuation — and benchmarks the machinery involved.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_core::models::figure2;
+use simcov_core::{detects, excited_at, forall_k_distinguishable};
+use simcov_tour::transition_tour;
+
+fn report() {
+    let (m, fault) = figure2();
+    let faulty = fault.inject(&m);
+    let a = m.input_by_label("a").unwrap();
+    let b = m.input_by_label("b").unwrap();
+    let c = m.input_by_label("c").unwrap();
+    eprintln!("== Figure 2: limitations of transition tours ==");
+    eprintln!("fault: {fault}");
+    eprintln!(
+        "  <a,a,c>: excited={:?} exposed={:?}   (paper: excited, NOT exposed)",
+        excited_at(&faulty, &fault, &[a, a, c]),
+        detects(&m, &faulty, &[a, a, c])
+    );
+    eprintln!(
+        "  <a,a,b>: excited={:?} exposed={:?}   (paper: excited AND exposed)",
+        excited_at(&faulty, &fault, &[a, a, b]),
+        detects(&m, &faulty, &[a, a, b])
+    );
+    let d = forall_k_distinguishable(&m, 1, 16).unwrap();
+    eprintln!(
+        "  forall-1-distinguishability violations: {} (3/3' among them)",
+        d.violations.len()
+    );
+    let tour = transition_tour(&m).unwrap();
+    eprintln!("  optimal transition tour: {tour}");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let (m, fault) = figure2();
+    c.bench_function("fig2/transition_tour", |bch| {
+        bch.iter(|| transition_tour(&m).unwrap())
+    });
+    c.bench_function("fig2/forall_k_check", |bch| {
+        bch.iter(|| forall_k_distinguishable(&m, 3, 0).unwrap())
+    });
+    let faulty = fault.inject(&m);
+    let a = m.input_by_label("a").unwrap();
+    let c2 = m.input_by_label("c").unwrap();
+    c.bench_function("fig2/detect_on_sequence", |bch| {
+        bch.iter(|| detects(&m, &faulty, &[a, a, c2]))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E7 / Section 6.3: "Abstracting Too Much" — dropping the
+//! destination-register state makes interlock output errors non-uniform
+//! (Requirement 1 violations), caught by the quotient analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_abstraction::{build_quotient, Quotient};
+use simcov_bench::reduced_dlx_machine;
+use simcov_core::check_req1_uniform_outputs;
+
+fn strip_quotient(m: &simcov_fsm::ExplicitMealy, bit: usize) -> Quotient {
+    Quotient::by_state_key(m, |s| {
+        let label = m.state_label(s);
+        let mut chars: Vec<char> = label.chars().collect();
+        let pos = chars.len() - 1 - bit;
+        chars[pos] = '_';
+        chars.into_iter().collect::<String>()
+    })
+}
+
+fn report() {
+    let n = simcov_dlx::testmodel::reduced_control_netlist_observable();
+    let m = reduced_dlx_machine();
+    eprintln!("== Over-abstraction (Req 1 as the abstraction limit) ==");
+    for latch in ["ex.writes", "ex.is_load", "ex.is_branch", "id.stallflag"] {
+        let bit = n.latch_by_name(latch).unwrap().index();
+        let q = strip_quotient(&m, bit);
+        let r = build_quotient(&m, &q).unwrap();
+        let req1 = check_req1_uniform_outputs(&m, &q);
+        eprintln!(
+            "  drop {:<14} -> {:>3} abstract states, {:>3} output conflicts, Req 1 {}",
+            latch,
+            r.machine.num_states(),
+            r.output_conflicts.len(),
+            if req1.is_ok() { "OK " } else { "VIOLATED" }
+        );
+    }
+    eprintln!("  (paper: without the destination register, interlock errors are non-uniform)");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let n = simcov_dlx::testmodel::reduced_control_netlist_observable();
+    let m = reduced_dlx_machine();
+    let bit = n.latch_by_name("ex.writes").unwrap().index();
+    c.bench_function("overabstraction/quotient_and_req1", |b| {
+        b.iter(|| {
+            let q = strip_quotient(&m, bit);
+            check_req1_uniform_outputs(&m, &q).is_err()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

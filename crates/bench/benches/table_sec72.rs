@@ -1,0 +1,65 @@
+//! E5 / Section 7.2: the experimental-results statistics of the final
+//! 22-latch test model — transition-relation construction time, valid
+//! input combinations, reachable states and transition count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_dlx::testmodel::{derive_test_model, valid_inputs_bdd};
+use simcov_fsm::SymbolicFsm;
+
+fn report() {
+    let (fin, _) = derive_test_model();
+    eprintln!("== Section 7.2: experimental results ==");
+    eprintln!("  model: {}   (paper: 22 latches, 25 PIs, 4 POs)", fin.stats());
+    let mut fsm = SymbolicFsm::from_netlist(&fin);
+    let valid = valid_inputs_bdd(&mut fsm);
+    fsm.set_valid_inputs(valid);
+    let t0 = std::time::Instant::now();
+    let _tr = fsm.transition_relation();
+    eprintln!(
+        "  transition relation: {:?}   (paper: ~10 s on a 166 MHz UltraSparc)",
+        t0.elapsed()
+    );
+    eprintln!(
+        "  valid input combinations: {} of 2^25   (paper: 8228 of 2^25)",
+        fsm.count_valid_inputs()
+    );
+    let r = fsm.reachable();
+    eprintln!(
+        "  reachable states: {} of 2^22   (paper: 13720 of 2^22)",
+        fsm.count_states(r.reached)
+    );
+    eprintln!(
+        "  transitions: {}   (paper: 123 million; tour of 1069 million)",
+        fsm.count_transitions(r.reached)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let (fin, _) = derive_test_model();
+    let mut g = c.benchmark_group("sec72");
+    g.sample_size(10);
+    g.bench_function("build_symbolic_fsm", |b| {
+        b.iter(|| SymbolicFsm::from_netlist(&fin))
+    });
+    g.bench_function("transition_relation", |b| {
+        b.iter(|| {
+            let mut fsm = SymbolicFsm::from_netlist(&fin);
+            let valid = valid_inputs_bdd(&mut fsm);
+            fsm.set_valid_inputs(valid);
+            fsm.transition_relation()
+        })
+    });
+    g.bench_function("reachability_fixpoint", |b| {
+        b.iter(|| {
+            let mut fsm = SymbolicFsm::from_netlist(&fin);
+            let valid = valid_inputs_bdd(&mut fsm);
+            fsm.set_valid_inputs(valid);
+            fsm.reachable()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

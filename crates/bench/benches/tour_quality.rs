@@ -1,0 +1,53 @@
+//! E8 / Section 6.5: tour optimality — Chinese-postman optimum vs the
+//! greedy heuristic (the paper's own tour was "not an optimal tour"),
+//! across model sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcov_bench::{reduced_dlx_machine, ring_with_chords};
+use simcov_tour::{greedy_transition_tour, transition_tour};
+
+fn report() {
+    eprintln!("== Tour quality: Chinese postman vs greedy ==");
+    eprintln!(
+        "  {:<24} {:>6} {:>8} {:>8} {:>8} {:>7}",
+        "model", "states", "edges", "postman", "greedy", "ratio"
+    );
+    for (name, m) in [
+        ("ring16".to_string(), ring_with_chords(16)),
+        ("ring64".to_string(), ring_with_chords(64)),
+        ("ring256".to_string(), ring_with_chords(256)),
+        ("reduced DLX control".to_string(), reduced_dlx_machine()),
+    ] {
+        let opt = transition_tour(&m).unwrap();
+        let greedy = greedy_transition_tour(&m).unwrap();
+        eprintln!(
+            "  {:<24} {:>6} {:>8} {:>8} {:>8} {:>7.2}",
+            name,
+            m.num_states(),
+            m.num_transitions(),
+            opt.len(),
+            greedy.len(),
+            greedy.len() as f64 / opt.len() as f64
+        );
+        assert!(greedy.len() >= opt.len());
+    }
+    eprintln!("  (paper: 123M transitions, tour 1069M = ratio 8.7, \"not an optimal tour\")");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("tour_quality");
+    for n in [16usize, 64, 256] {
+        let m = ring_with_chords(n);
+        g.bench_with_input(BenchmarkId::new("postman", n), &m, |b, m| {
+            b.iter(|| transition_tour(m).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &m, |b, m| {
+            b.iter(|| greedy_transition_tour(m).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,431 @@
+//! Library half of the `simcov` command-line tool: every subcommand is a
+//! function from parsed arguments to a printable report, so the whole
+//! surface is unit-testable without spawning processes.
+//!
+//! ```text
+//! simcov stats <model.blif>                 netlist + symbolic statistics
+//! simcov tour <model.blif> [--greedy|--state]   generate a tour
+//! simcov distinguish <model.blif> --k <K>   symbolic forall-k analysis
+//! simcov campaign <model.blif> [--max-faults N] [--seed S]
+//! simcov dot <model.blif>                   reachable FSM as Graphviz
+//! simcov normalize <model.blif>             parse + re-emit BLIF
+//! simcov dlx <fig3a|fig3b|final|reduced>    export the case-study models
+//! ```
+//!
+//! Models are sequential BLIF files (the SIS interchange format; see
+//! [`simcov_netlist::blif`]). Explicit-machine commands (`tour`,
+//! `campaign`, `dot`) enumerate the model over its full input alphabet
+//! and are guarded to 16 primary inputs; `stats` and `distinguish` work
+//! symbolically and scale much further.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simcov_core::{enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace};
+use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PairFsm, SymbolicFsm};
+use simcov_netlist::Netlist;
+use simcov_tour::{coverage, greedy_transition_tour, state_tour, transition_tour, TestSet};
+use std::fmt::Write as _;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError { message: message.into(), code: 2 }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError { message: message.into(), code: 1 }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+simcov — validation methodology using simulation coverage (DAC'97)
+
+USAGE:
+  simcov stats <model.blif>
+  simcov tour <model.blif> [--greedy | --state]
+  simcov distinguish <model.blif> --k <K> [--all-pairs]
+  simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>]
+  simcov dot <model.blif>
+  simcov normalize <model.blif>
+  simcov dlx <fig3a | fig3b | final | reduced | reduced-obs>
+";
+
+fn load_model(path: &str) -> Result<Netlist, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    simcov_netlist::from_blif(&text)
+        .map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))
+}
+
+fn enumerate(n: &Netlist) -> Result<ExplicitMealy, CliError> {
+    if n.num_inputs() > 16 {
+        return Err(CliError::runtime(format!(
+            "model has {} primary inputs; explicit commands are limited to 16 \
+             (use `stats`/`distinguish`, which work symbolically)",
+            n.num_inputs()
+        )));
+    }
+    enumerate_netlist(n, &EnumerateOptions::exhaustive(n))
+        .map_err(|e| CliError::runtime(format!("enumeration failed: {e}")))
+}
+
+/// `simcov stats`: interface + symbolic reachability statistics.
+pub fn cmd_stats(path: &str) -> Result<String, CliError> {
+    let n = load_model(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "model: {}", n.stats());
+    for m in n.module_names() {
+        if !m.is_empty() {
+            let _ = writeln!(out, "  module {:<12} {:>4} latches", m, n.module_latches(&m).len());
+        }
+    }
+    let mut fsm = SymbolicFsm::from_netlist(&n);
+    let r = fsm.reachable();
+    let _ = writeln!(
+        out,
+        "reachable states: {} of 2^{} ({} image iterations)",
+        fsm.count_states(r.reached),
+        n.num_latches(),
+        r.iterations
+    );
+    let _ = writeln!(out, "transitions: {}", fsm.count_transitions(r.reached));
+    Ok(out)
+}
+
+/// `simcov tour`: generate a transition (default), greedy, or state tour.
+pub fn cmd_tour(path: &str, kind: &str) -> Result<String, CliError> {
+    let n = load_model(path)?;
+    let m = enumerate(&n)?;
+    let tour = match kind {
+        "postman" => transition_tour(&m),
+        "greedy" => greedy_transition_tour(&m),
+        "state" => state_tour(&m),
+        other => return Err(CliError::usage(format!("unknown tour kind `{other}`"))),
+    }
+    .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
+    let report = coverage(&m, &tour.inputs);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {kind} tour: {tour}; coverage: {report}");
+    for &i in &tour.inputs {
+        let _ = writeln!(out, "{}", m.input_label(i));
+    }
+    Ok(out)
+}
+
+/// `simcov distinguish`: symbolic ∀k-distinguishability.
+pub fn cmd_distinguish(path: &str, k: usize, all_pairs: bool) -> Result<String, CliError> {
+    let n = load_model(path)?;
+    let init = n.initial_state();
+    let mut pf = PairFsm::from_netlist(&n);
+    let r = pf.forall_k(&init, k, !all_pairs);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "forall-{k} distinguishability over {} {}:",
+        r.reachable_states,
+        if all_pairs { "states (entire state space)" } else { "reachable states" }
+    );
+    let _ = writeln!(
+        out,
+        "  violating pairs: {}{}",
+        r.violating_pairs,
+        if r.fixed_point { " (fixed point: holds for all larger k too)" } else { "" }
+    );
+    let _ = writeln!(out, "  property {}", if r.holds { "HOLDS" } else { "VIOLATED" });
+    if !r.holds && n.num_latches() <= 16 {
+        let examples = pf.violating_pair_examples(&init, k, 4);
+        for (a, b) in examples {
+            let fmt = |v: &[bool]| -> String {
+                v.iter().rev().map(|&x| if x { '1' } else { '0' }).collect()
+            };
+            let _ = writeln!(out, "  example pair: {} vs {}", fmt(&a), fmt(&b));
+        }
+    }
+    Ok(out)
+}
+
+/// `simcov campaign`: tour-driven fault campaign.
+pub fn cmd_campaign(path: &str, max_faults: usize, seed: u64, k: usize) -> Result<String, CliError> {
+    let n = load_model(path)?;
+    let m = enumerate(&n)?;
+    let tour = transition_tour(&m)
+        .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
+    let faults = enumerate_single_faults(
+        &m,
+        &FaultSpace { max_faults, seed, ..FaultSpace::default() },
+    );
+    let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
+    let report = run_campaign(&m, &faults, &tests);
+    let mut out = String::new();
+    let _ = writeln!(out, "model: {m:?}");
+    let _ = writeln!(out, "tour: {tour} (extended by k={k})");
+    let _ = writeln!(out, "campaign: {report}");
+    for esc in report.escapes().take(8) {
+        let _ = writeln!(out, "  escape: {}", esc.fault);
+    }
+    Ok(out)
+}
+
+/// `simcov dot`: the reachable FSM in Graphviz format.
+pub fn cmd_dot(path: &str) -> Result<String, CliError> {
+    let n = load_model(path)?;
+    let m = enumerate(&n)?;
+    Ok(m.to_dot())
+}
+
+/// `simcov normalize`: parse + re-emit BLIF.
+pub fn cmd_normalize(path: &str) -> Result<String, CliError> {
+    let n = load_model(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("model");
+    Ok(simcov_netlist::to_blif(&n, name))
+}
+
+/// `simcov dlx`: export the case-study models as BLIF.
+pub fn cmd_dlx(which: &str) -> Result<String, CliError> {
+    let n = match which {
+        "fig3a" => simcov_dlx::control::initial_control_netlist(),
+        "fig3b" | "final" => simcov_dlx::testmodel::derive_test_model().0,
+        "reduced" => simcov_dlx::testmodel::reduced_control_netlist(),
+        "reduced-obs" => simcov_dlx::testmodel::reduced_control_netlist_observable(),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown dlx model `{other}` (fig3a|fig3b|final|reduced|reduced-obs)"
+            )))
+        }
+    };
+    Ok(simcov_netlist::to_blif(&n, &format!("dlx_{which}")))
+}
+
+/// Parses and dispatches a full argument vector (without the program name).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Err(CliError::usage(USAGE));
+    };
+    let rest: Vec<&String> = it.collect();
+    let flag_value = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let positional = || -> Result<&str, CliError> {
+        rest.iter()
+            .find(|a| !a.starts_with("--"))
+            .map(|s| s.as_str())
+            .ok_or_else(|| CliError::usage(format!("`{cmd}` needs a model path\n\n{USAGE}")))
+    };
+    match cmd.as_str() {
+        "stats" => cmd_stats(positional()?),
+        "tour" => {
+            let kind = if rest.iter().any(|a| a.as_str() == "--greedy") {
+                "greedy"
+            } else if rest.iter().any(|a| a.as_str() == "--state") {
+                "state"
+            } else {
+                "postman"
+            };
+            cmd_tour(positional()?, kind)
+        }
+        "distinguish" => {
+            let k: usize = flag_value("--k")
+                .ok_or_else(|| CliError::usage("distinguish requires --k <K>"))?
+                .parse()
+                .map_err(|_| CliError::usage("--k must be a number"))?;
+            let all_pairs = rest.iter().any(|a| a.as_str() == "--all-pairs");
+            cmd_distinguish(positional()?, k, all_pairs)
+        }
+        "campaign" => {
+            let max_faults = flag_value("--max-faults")
+                .map(|v| v.parse().map_err(|_| CliError::usage("--max-faults must be a number")))
+                .transpose()?
+                .unwrap_or(2000);
+            let seed = flag_value("--seed")
+                .map(|v| v.parse().map_err(|_| CliError::usage("--seed must be a number")))
+                .transpose()?
+                .unwrap_or(0);
+            let k = flag_value("--k")
+                .map(|v| v.parse().map_err(|_| CliError::usage("--k must be a number")))
+                .transpose()?
+                .unwrap_or(2);
+            cmd_campaign(positional()?, max_faults, seed, k)
+        }
+        "dot" => cmd_dot(positional()?),
+        "normalize" => cmd_normalize(positional()?),
+        "dlx" => {
+            let which = rest
+                .first()
+                .map(|s| s.as_str())
+                .ok_or_else(|| CliError::usage("dlx needs a model name"))?;
+            cmd_dlx(which)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn write_reduced_blif() -> tempfile::TempPath {
+        let n = simcov_dlx::testmodel::reduced_control_netlist_observable();
+        let blif = simcov_netlist::to_blif(&n, "reduced");
+        tempfile::path(&blif)
+    }
+
+    /// Minimal temp-file helper (std-only).
+    mod tempfile {
+        pub struct TempPath(pub std::path::PathBuf);
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().expect("utf-8 path")
+            }
+        }
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        pub fn path(contents: &str) -> TempPath {
+            let mut p = std::env::temp_dir();
+            let unique = format!(
+                "simcov_cli_test_{}_{:?}.blif",
+                std::process::id(),
+                std::thread::current().id()
+            );
+            p.push(unique);
+            std::fs::write(&p, contents).expect("write temp blif");
+            TempPath(p)
+        }
+    }
+
+    #[test]
+    fn usage_on_empty() {
+        let e = run(&[]).unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("simcov stats"));
+    }
+
+    #[test]
+    fn dlx_export_parses_back() {
+        let out = run(&args(&["dlx", "reduced"])).unwrap();
+        let n = simcov_netlist::from_blif(&out).unwrap();
+        assert_eq!(n.stats().latches, 8);
+        assert!(run(&args(&["dlx", "nope"])).is_err());
+    }
+
+    #[test]
+    fn stats_on_exported_model() {
+        let tmp = write_reduced_blif();
+        let out = cmd_stats(tmp.as_str()).unwrap();
+        assert!(out.contains("8 latches"));
+        assert!(out.contains("reachable states: 18"));
+    }
+
+    #[test]
+    fn tour_covers_and_prints_vectors() {
+        let tmp = write_reduced_blif();
+        let out = cmd_tour(tmp.as_str(), "postman").unwrap();
+        assert!(out.contains("transitions"));
+        // One vector per line after the header; the model has 5 inputs.
+        let vectors: Vec<&str> =
+            out.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+        assert!(vectors.len() > 100);
+        assert!(vectors.iter().all(|v| v.len() == 5));
+        // Greedy and state tours also work.
+        assert!(cmd_tour(tmp.as_str(), "greedy").is_ok());
+        assert!(cmd_tour(tmp.as_str(), "state").is_ok());
+        assert!(cmd_tour(tmp.as_str(), "zigzag").is_err());
+    }
+
+    #[test]
+    fn distinguish_reports_verdicts() {
+        let tmp = write_reduced_blif();
+        let out = cmd_distinguish(tmp.as_str(), 1, false).unwrap();
+        // Exhaustive alphabet (not the valid-input subset) still leaves
+        // the observable model distinguishable at k=1.
+        assert!(out.contains("HOLDS") || out.contains("VIOLATED"));
+        // Hidden model violates.
+        let n = simcov_dlx::testmodel::reduced_control_netlist();
+        let blif = simcov_netlist::to_blif(&n, "hidden");
+        let tmp2 = tempfile::path(&blif);
+        let out = cmd_distinguish(tmp2.as_str(), 3, false).unwrap();
+        assert!(out.contains("VIOLATED"));
+        assert!(out.contains("example pair"));
+    }
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let tmp = write_reduced_blif();
+        let out = cmd_campaign(tmp.as_str(), 300, 7, 1).unwrap();
+        assert!(out.contains("campaign:"));
+        assert!(out.contains("faults detected"));
+    }
+
+    #[test]
+    fn normalize_roundtrips() {
+        let tmp = write_reduced_blif();
+        let out = cmd_normalize(tmp.as_str()).unwrap();
+        let n = simcov_netlist::from_blif(&out).unwrap();
+        assert_eq!(n.stats().latches, 8);
+    }
+
+    #[test]
+    fn dot_output() {
+        let tmp = write_reduced_blif();
+        let out = cmd_dot(tmp.as_str()).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn missing_file_is_runtime_error() {
+        let e = cmd_stats("/nonexistent/path.blif").unwrap_err();
+        assert_eq!(e.code, 1);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let e = run(&args(&["distinguish", "x.blif"])).unwrap_err();
+        assert!(e.message.contains("--k"));
+        let e = run(&args(&["campaign", "x.blif", "--max-faults", "abc"])).unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! The `simcov` binary: thin wrapper over [`simcov_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match simcov_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

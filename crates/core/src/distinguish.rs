@@ -1,0 +1,367 @@
+//! ∀k-distinguishability (Definition 5).
+//!
+//! A state `s1` is ∀k-distinguishable from `s2` if **every** input sequence
+//! of length `k` distinguishes them (produces a different output somewhere
+//! along the way). This is much stronger than ordinary (∃) distinguish-
+//! ability, and it is precisely what lets a transition tour expose transfer
+//! errors: after a wrong transition lands in `s2` instead of `s1`,
+//! *whatever* the tour does next (length ≥ k) reveals the difference
+//! (Theorem 1).
+//!
+//! The computation iterates the "equal-output-reachable" pair relation:
+//! `E_0` holds for every pair; `E_j(s, t)` holds iff some input keeps the
+//! outputs equal and leads to a pair in `E_{j-1}`. A pair is
+//! ∀k-distinguishable iff it is *not* in `E_k`.
+
+use simcov_fsm::{ExplicitMealy, InputSym, StateId};
+
+/// A pair of states that some length-`k` sequence fails to distinguish,
+/// with the witnessing input sequence (all outputs equal along it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairWitness {
+    /// First state of the indistinguishable pair.
+    pub s1: StateId,
+    /// Second state.
+    pub s2: StateId,
+    /// An input sequence of length `k` along which both states produce
+    /// identical outputs.
+    pub witness: Vec<InputSym>,
+}
+
+/// Result of the ∀k-distinguishability analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distinguishability {
+    /// The `k` that was checked.
+    pub k: usize,
+    /// Number of reachable states analysed.
+    pub states: usize,
+    /// Pairs (restricted to distinct reachable states) violating
+    /// ∀k-distinguishability, with witnesses. Empty ⇔ the property holds.
+    pub violations: Vec<PairWitness>,
+}
+
+impl Distinguishability {
+    /// `true` if every pair of distinct reachable states is
+    /// ∀k-distinguishable — the hypothesis of Theorem 1.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Errors from [`forall_k_distinguishable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistinguishError {
+    /// Some reachable `(state, input)` transition is undefined; the
+    /// universal quantification over input sequences is only meaningful
+    /// on machines complete over their (valid) alphabet.
+    IncompleteMachine {
+        /// A reachable state with a missing transition.
+        state: StateId,
+        /// The input with no transition.
+        input: InputSym,
+    },
+}
+
+impl std::fmt::Display for DistinguishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistinguishError::IncompleteMachine { state, input } => write!(
+                f,
+                "machine is not complete: no transition from state {} on input {}",
+                state.0, input.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistinguishError {}
+
+/// Checks ∀k-distinguishability of every pair of distinct reachable states
+/// of `m`, returning witnesses for the violating pairs (at most
+/// `max_witnesses`; the count of violations is exact regardless).
+///
+/// # Errors
+///
+/// [`DistinguishError::IncompleteMachine`] if a reachable transition is
+/// missing — restrict the machine to its valid alphabet first.
+///
+/// # Complexity
+///
+/// `O(k · n² · |I|)` time, `O(n²)` space over `n` reachable states.
+pub fn forall_k_distinguishable(
+    m: &ExplicitMealy,
+    k: usize,
+    max_witnesses: usize,
+) -> Result<Distinguishability, DistinguishError> {
+    let reach = m.reachable_states();
+    let n = reach.len();
+    let ni = m.num_inputs();
+    // Dense renumbering of reachable states.
+    let mut idx_of = vec![usize::MAX; m.num_states()];
+    for (i, &s) in reach.iter().enumerate() {
+        idx_of[s.index()] = i;
+    }
+    for &s in &reach {
+        for i in m.inputs() {
+            if m.step(s, i).is_none() {
+                return Err(DistinguishError::IncompleteMachine { state: s, input: i });
+            }
+        }
+    }
+    // Precompute dense successor/output tables.
+    let mut succ = vec![0usize; n * ni];
+    let mut out = vec![0u32; n * ni];
+    for (si, &s) in reach.iter().enumerate() {
+        for i in 0..ni {
+            let (nx, o) = m.step(s, InputSym(i as u32)).expect("checked complete");
+            succ[si * ni + i] = idx_of[nx.index()];
+            out[si * ni + i] = o.0;
+        }
+    }
+    // e[p] = true iff pair p is in E_j. Pairs are ordered (s, t) with
+    // s <= t stored at s * n + t (diagonal always true).
+    let pair = |a: usize, b: usize| if a <= b { a * n + b } else { b * n + a };
+    let mut e = vec![true; n * n];
+    for round in 0..k {
+        let mut next = vec![false; n * n];
+        let mut changed = false;
+        for a in 0..n {
+            next[pair(a, a)] = true;
+            for b in (a + 1)..n {
+                let mut hold = false;
+                for i in 0..ni {
+                    if out[a * ni + i] == out[b * ni + i]
+                        && e[pair(succ[a * ni + i], succ[b * ni + i])]
+                    {
+                        hold = true;
+                        break;
+                    }
+                }
+                next[pair(a, b)] = hold;
+                if hold != e[pair(a, b)] {
+                    changed = true;
+                }
+            }
+        }
+        e = next;
+        if !changed && round > 0 {
+            // Fixed point: E_j = E_{j+1} = ... = E_k.
+            break;
+        }
+    }
+    // Collect violations with witnesses.
+    let mut violations = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if e[pair(a, b)] {
+                let witness = if violations.len() < max_witnesses {
+                    reconstruct_witness(n, ni, &succ, &out, k, a, b)
+                } else {
+                    Vec::new()
+                };
+                violations.push(PairWitness { s1: reach[a], s2: reach[b], witness });
+            }
+        }
+    }
+    Ok(Distinguishability { k, states: n, violations })
+}
+
+/// Rebuilds one equal-output sequence of length `k` for the pair `(a, b)`
+/// by recomputing the `E_j` levels (memory-light: recompute rather than
+/// store all k levels).
+fn reconstruct_witness(
+    n: usize,
+    ni: usize,
+    succ: &[usize],
+    out: &[u32],
+    k: usize,
+    a: usize,
+    b: usize,
+) -> Vec<InputSym> {
+    // levels[j] = E_j for j in 0..=k (E_0 all true).
+    let pair = |x: usize, y: usize| if x <= y { x * n + y } else { y * n + x };
+    let mut levels: Vec<Vec<bool>> = Vec::with_capacity(k + 1);
+    levels.push(vec![true; n * n]);
+    for _ in 0..k {
+        let prev = levels.last().expect("nonempty");
+        let mut next = vec![false; n * n];
+        for x in 0..n {
+            next[pair(x, x)] = true;
+            for y in (x + 1)..n {
+                for i in 0..ni {
+                    if out[x * ni + i] == out[y * ni + i]
+                        && prev[pair(succ[x * ni + i], succ[y * ni + i])]
+                    {
+                        next[pair(x, y)] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        levels.push(next);
+    }
+    let mut seq = Vec::with_capacity(k);
+    let (mut x, mut y) = (a, b);
+    for j in (1..=k).rev() {
+        let mut chosen = None;
+        for i in 0..ni {
+            if out[x * ni + i] == out[y * ni + i]
+                && levels[j - 1][pair(succ[x * ni + i], succ[y * ni + i])]
+            {
+                chosen = Some(i);
+                break;
+            }
+        }
+        let i = chosen.expect("pair is in E_j, a continuation must exist");
+        seq.push(InputSym(i as u32));
+        let (nx, nyy) = (succ[x * ni + i], succ[y * ni + i]);
+        x = nx;
+        y = nyy;
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_fsm::MealyBuilder;
+
+    /// Two states distinguished by every input: ∀1-distinguishable.
+    #[test]
+    fn immediately_distinguishable() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let o0 = b.add_output("o0");
+        let o1 = b.add_output("o1");
+        b.add_transition(s0, a, s1, o0);
+        b.add_transition(s1, a, s0, o1);
+        let m = b.build(s0).unwrap();
+        let d = forall_k_distinguishable(&m, 1, 10).unwrap();
+        assert!(d.holds());
+        assert_eq!(d.states, 2);
+    }
+
+    /// Figure-2-style: states 3 and 3' agree on input c but differ on b —
+    /// ∃-distinguishable but NOT ∀1-distinguishable.
+    #[test]
+    fn exists_but_not_forall() {
+        let (m, _) = crate::testutil::figure2();
+        let d = forall_k_distinguishable(&m, 1, 100).unwrap();
+        assert!(!d.holds());
+        let s3 = m.state_by_label("3").unwrap();
+        let s3p = m.state_by_label("3'").unwrap();
+        let c = m.input_by_label("c").unwrap();
+        let v = d
+            .violations
+            .iter()
+            .find(|v| (v.s1 == s3 && v.s2 == s3p) || (v.s1 == s3p && v.s2 == s3))
+            .expect("3/3' must violate forall-1");
+        assert_eq!(v.witness, vec![c]);
+    }
+
+    /// Witness sequences really do keep outputs equal.
+    #[test]
+    fn witnesses_are_sound() {
+        let (m, _) = crate::testutil::figure2();
+        for k in 1..=3 {
+            let d = forall_k_distinguishable(&m, k, 1000).unwrap();
+            for v in &d.violations {
+                assert_eq!(v.witness.len(), k);
+                let (_, out1) = m.run(v.s1, &v.witness);
+                let (_, out2) = m.run(v.s2, &v.witness);
+                assert_eq!(out1, out2, "witness must keep outputs equal (k={k})");
+            }
+        }
+    }
+
+    /// Exhaustive cross-check on a small machine: compare against
+    /// brute-force enumeration of all input sequences of length k.
+    #[test]
+    fn matches_brute_force() {
+        let (m, _) = crate::testutil::figure2();
+        let reach = m.reachable_states();
+        let ni = m.num_inputs() as u32;
+        for k in 1..=3usize {
+            let d = forall_k_distinguishable(&m, k, usize::MAX).unwrap();
+            let mut brute = Vec::new();
+            for (ai, &a) in reach.iter().enumerate() {
+                for &b in reach.iter().skip(ai + 1) {
+                    // Does some sequence of length k keep outputs equal?
+                    let total = (ni as usize).pow(k as u32);
+                    let mut found = false;
+                    for code in 0..total {
+                        let mut c = code;
+                        let seq: Vec<InputSym> = (0..k)
+                            .map(|_| {
+                                let i = InputSym((c % ni as usize) as u32);
+                                c /= ni as usize;
+                                i
+                            })
+                            .collect();
+                        if m.run(a, &seq).1 == m.run(b, &seq).1 {
+                            found = true;
+                            break;
+                        }
+                    }
+                    if found {
+                        brute.push((a, b));
+                    }
+                }
+            }
+            let mut got: Vec<(StateId, StateId)> =
+                d.violations.iter().map(|v| (v.s1, v.s2)).collect();
+            got.sort();
+            brute.sort();
+            assert_eq!(got, brute, "k={k}");
+        }
+    }
+
+    #[test]
+    fn incomplete_machine_rejected() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let _s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s0, o);
+        let m = b.build(s0).unwrap();
+        // s1 unreachable: machine is complete on reachable part -> Ok.
+        assert!(forall_k_distinguishable(&m, 2, 10).is_ok());
+        // Make s1 reachable but leave it undefined.
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        let m = b.build(s0).unwrap();
+        assert_eq!(
+            forall_k_distinguishable(&m, 2, 10).unwrap_err(),
+            DistinguishError::IncompleteMachine { state: s1, input: a }
+        );
+    }
+
+    /// Monotonicity: if ∀k holds then ∀(k+1) holds (more steps can only
+    /// help distinguish).
+    #[test]
+    fn monotone_in_k() {
+        let (m, _) = crate::testutil::figure2();
+        let mut prev_violations = usize::MAX;
+        for k in 1..=4 {
+            let d = forall_k_distinguishable(&m, k, 0).unwrap();
+            assert!(d.violations.len() <= prev_violations, "k={k}");
+            prev_violations = d.violations.len();
+        }
+    }
+
+    #[test]
+    fn witness_cap_respected() {
+        let (m, _) = crate::testutil::figure2();
+        let d = forall_k_distinguishable(&m, 1, 1).unwrap();
+        assert!(!d.violations.is_empty());
+        let with_witness = d.violations.iter().filter(|v| !v.witness.is_empty()).count();
+        assert!(with_witness <= 1);
+    }
+}

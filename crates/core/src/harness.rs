@@ -1,0 +1,192 @@
+//! The checkpointed co-simulation harness of Figure 1.
+//!
+//! The specification and the implementation live at different levels of
+//! abstraction (ISA vs RTL), so there is no cycle-equivalent comparison —
+//! they are compared at *checkpointing steps*, e.g. at the completion of
+//! each instruction, using the observable implementation state (for a
+//! processor: most of the datapath state).
+//!
+//! [`TraceSource`] abstracts "something that turns a stimulus stream into
+//! a stream of checkpoint events"; [`validate`] runs two sources on the
+//! same stimuli and reports the first mismatch.
+
+use simcov_fsm::{ExplicitMealy, InputSym, OutputSym};
+
+/// A simulation model producing a stream of checkpoint events from a
+/// stimulus stream.
+///
+/// Both the behavioural specification simulator and the RTL-level
+/// implementation simulator implement this; the events must be directly
+/// comparable (same type), which encodes the paper's requirement that the
+/// implementation state used for comparison is observable.
+pub trait TraceSource {
+    /// One stimulus (e.g. an instruction, or an abstract input vector).
+    type Stimulus;
+    /// One checkpoint event (e.g. the architectural effect of a retired
+    /// instruction).
+    type Event: PartialEq + Clone + std::fmt::Debug;
+
+    /// Returns to the power-on state.
+    fn reset(&mut self);
+
+    /// Consumes the stimuli and returns the checkpoint events in order.
+    fn trace(&mut self, stimuli: &[Self::Stimulus]) -> Vec<Self::Event>;
+}
+
+/// A detected divergence between specification and implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch<E> {
+    /// Index of the first differing checkpoint.
+    pub index: usize,
+    /// The specification's event at that index (`None` = spec trace ended
+    /// early).
+    pub spec: Option<E>,
+    /// The implementation's event (`None` = implementation trace ended
+    /// early).
+    pub imp: Option<E>,
+}
+
+impl<E: std::fmt::Debug> std::fmt::Display for Mismatch<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint {} differs: spec={:?} imp={:?}",
+            self.index, self.spec, self.imp
+        )
+    }
+}
+
+/// Runs both sources from reset over the same stimuli and compares their
+/// checkpoint streams.
+///
+/// Returns the number of checkpoints compared on success.
+///
+/// # Errors
+///
+/// The first [`Mismatch`], including early termination of either trace.
+pub fn validate<S, I>(
+    spec: &mut S,
+    imp: &mut I,
+    stimuli: &[S::Stimulus],
+) -> Result<usize, Mismatch<S::Event>>
+where
+    S: TraceSource,
+    I: TraceSource<Stimulus = S::Stimulus, Event = S::Event>,
+{
+    spec.reset();
+    imp.reset();
+    let st = spec.trace(stimuli);
+    let it = imp.trace(stimuli);
+    let common = st.len().min(it.len());
+    for idx in 0..common {
+        if st[idx] != it[idx] {
+            return Err(Mismatch {
+                index: idx,
+                spec: Some(st[idx].clone()),
+                imp: Some(it[idx].clone()),
+            });
+        }
+    }
+    if st.len() != it.len() {
+        return Err(Mismatch {
+            index: common,
+            spec: st.get(common).cloned(),
+            imp: it.get(common).cloned(),
+        });
+    }
+    Ok(common)
+}
+
+/// Adapter making an [`ExplicitMealy`] a [`TraceSource`]: stimuli are
+/// input symbols, events are output symbols. Lets the explicit-machine
+/// fault experiments run through the same harness as the DLX case study.
+#[derive(Debug, Clone)]
+pub struct MachineTrace {
+    machine: ExplicitMealy,
+}
+
+impl MachineTrace {
+    /// Wraps a machine.
+    pub fn new(machine: ExplicitMealy) -> Self {
+        MachineTrace { machine }
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &ExplicitMealy {
+        &self.machine
+    }
+}
+
+impl TraceSource for MachineTrace {
+    type Stimulus = InputSym;
+    type Event = OutputSym;
+
+    fn reset(&mut self) {}
+
+    fn trace(&mut self, stimuli: &[InputSym]) -> Vec<OutputSym> {
+        self.machine.output_trace(stimuli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::figure2;
+
+    #[test]
+    fn identical_machines_validate() {
+        let (m, _) = figure2();
+        let a = m.input_by_label("a").unwrap();
+        let b = m.input_by_label("b").unwrap();
+        let mut spec = MachineTrace::new(m.clone());
+        let mut imp = MachineTrace::new(m);
+        let n = validate(&mut spec, &mut imp, &[a, a, b]).unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn faulty_machine_mismatch_located() {
+        let (m, fault) = figure2();
+        let faulty = fault.inject(&m);
+        let a = m.input_by_label("a").unwrap();
+        let b = m.input_by_label("b").unwrap();
+        let mut spec = MachineTrace::new(m);
+        let mut imp = MachineTrace::new(faulty);
+        let e = validate(&mut spec, &mut imp, &[a, a, b]).unwrap_err();
+        assert_eq!(e.index, 2);
+        assert!(e.spec.is_some() && e.imp.is_some());
+        assert!(e.to_string().contains("checkpoint 2"));
+    }
+
+    #[test]
+    fn missed_by_wrong_path() {
+        let (m, fault) = figure2();
+        let faulty = fault.inject(&m);
+        let a = m.input_by_label("a").unwrap();
+        let c = m.input_by_label("c").unwrap();
+        let mut spec = MachineTrace::new(m);
+        let mut imp = MachineTrace::new(faulty);
+        // <a, a, c> does not expose the transfer error.
+        assert!(validate(&mut spec, &mut imp, &[a, a, c]).is_ok());
+    }
+
+    /// Trace sources with different lengths mismatch at the truncation.
+    #[test]
+    fn length_mismatch_detected() {
+        struct Fixed(Vec<u32>);
+        impl TraceSource for Fixed {
+            type Stimulus = ();
+            type Event = u32;
+            fn reset(&mut self) {}
+            fn trace(&mut self, _: &[()]) -> Vec<u32> {
+                self.0.clone()
+            }
+        }
+        let mut a = Fixed(vec![1, 2, 3]);
+        let mut b = Fixed(vec![1, 2]);
+        let e = validate(&mut a, &mut b, &[]).unwrap_err();
+        assert_eq!(e.index, 2);
+        assert_eq!(e.spec, Some(3));
+        assert_eq!(e.imp, None);
+    }
+}

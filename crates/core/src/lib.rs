@@ -1,0 +1,59 @@
+//! The simulation-coverage validation methodology of Gupta, Malik & Ashar
+//! (DAC 1997), as an executable library.
+//!
+//! The paper's central result (Theorem 3): **a transition tour of a test
+//! model is a complete test set** — it exposes *every* output and transfer
+//! error of the implementation with respect to the specification —
+//! provided the test model satisfies five requirements:
+//!
+//! 1. all output errors are *uniform* (the abstraction kept enough state);
+//! 2. processing of each input completes within `k` transitions;
+//! 3. each unique input produces a unique output (data selection);
+//! 4. transfer errors are not masked;
+//! 5. the state mediating interactions between successive inputs is
+//!    observable.
+//!
+//! Module map:
+//!
+//! * [`error_model`] — Definitions 1–4: output errors, transfer errors,
+//!   fault injection, detection, excitation and masking analysis;
+//! * [`distinguish`] — Definition 5: ∀k-distinguishability with witness
+//!   extraction (the hypothesis of Theorem 1);
+//! * [`requirements`] — executable checkers for Requirements 1–5;
+//! * [`theorems`] — Theorems 1–3 as certificate-producing procedures;
+//! * [`faults`] — fault campaigns that *empirically* validate the
+//!   certificates: every injected fault must be caught by a transition
+//!   tour on a compliant model;
+//! * [`harness`] — the checkpointed co-simulation harness of Figure 1
+//!   (specification vs implementation, compared at instruction
+//!   completion);
+//! * [`expand`] — test-set expansion from abstract test-model inputs to
+//!   concrete simulation vectors (Section 6.5's "appropriate input values
+//!   must be filled in").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distinguish;
+pub mod error_model;
+pub mod models;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod expand;
+pub mod faults;
+pub mod harness;
+pub mod requirements;
+pub mod theorems;
+
+pub use distinguish::{forall_k_distinguishable, DistinguishError, Distinguishability, PairWitness};
+pub use error_model::{detects, excited_at, is_masked_on, Fault, FaultKind};
+pub use faults::{
+    enumerate_single_faults, extend_cyclically, run_campaign, sample_faults, CampaignReport,
+    FaultOutcome, FaultSpace,
+};
+pub use harness::{validate, MachineTrace, Mismatch, TraceSource};
+pub use requirements::{
+    check_req1_uniform_outputs, check_req2_bounded_processing, check_req3_unique_outputs,
+    check_req5_observable, StallBound,
+};
+pub use theorems::{certify_completeness, CompletenessCertificate, CompletenessViolation};

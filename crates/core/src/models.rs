@@ -1,0 +1,177 @@
+//! Ready-made models from the paper, for examples, tests and benchmarks.
+
+use crate::error_model::{Fault, FaultKind};
+use simcov_fsm::{ExplicitMealy, MealyBuilder};
+
+/// The machine of the paper's **Figure 2** ("Limitations of Transition
+/// Tours") and the transfer fault `2 —a→ 3'` it illustrates.
+///
+/// From state 3 and its error twin 3', input `b` produces different
+/// outputs while input `c` leads to the same state 5 with the same
+/// output. A transition tour that covers `2 —a→ …` with the continuation
+/// `⟨a, c⟩` therefore *excites* the transfer error without *exposing* it;
+/// only tours choosing `⟨a, b⟩` expose it. The pair (3, 3') is
+/// ∃-distinguishable but not ∀1-distinguishable — the property Theorem 1
+/// requires.
+///
+/// The fragment is closed into a strongly connected machine so tours
+/// exist; 3' is reachable in the golden machine as well (via 5 on `b`).
+///
+/// # Example
+///
+/// ```
+/// use simcov_core::models::figure2;
+/// use simcov_core::detects;
+///
+/// let (m, fault) = figure2();
+/// let faulty = fault.inject(&m);
+/// let a = m.input_by_label("a").unwrap();
+/// let b = m.input_by_label("b").unwrap();
+/// let c = m.input_by_label("c").unwrap();
+/// assert_eq!(detects(&m, &faulty, &[a, a, c]), None); // missed
+/// assert_eq!(detects(&m, &faulty, &[a, a, b]), Some(2)); // exposed
+/// ```
+pub fn figure2() -> (ExplicitMealy, Fault) {
+    let mut b = MealyBuilder::new();
+    let s1 = b.add_state("1");
+    let s2 = b.add_state("2");
+    let s3 = b.add_state("3");
+    let s3p = b.add_state("3'");
+    let s4 = b.add_state("4");
+    let s4p = b.add_state("4'");
+    let s5 = b.add_state("5");
+    let a = b.add_input("a");
+    let bb = b.add_input("b");
+    let c = b.add_input("c");
+    let o0 = b.add_output("o0");
+    let ob3 = b.add_output("ob3"); // b from 3 (differs from 3')
+    let ob3p = b.add_output("ob3p");
+    let oc = b.add_output("oc"); // c from 3 and 3' agree
+    let oa3 = b.add_output("oa3"); // a self-loops on 3 and 3' differ too
+    let oa3p = b.add_output("oa3p");
+    // Golden edges of the figure.
+    b.add_transition(s1, a, s2, o0);
+    b.add_transition(s2, a, s3, o0);
+    b.add_transition(s3, bb, s4, ob3);
+    b.add_transition(s3, c, s5, oc);
+    b.add_transition(s3p, bb, s4p, ob3p);
+    b.add_transition(s3p, c, s5, oc);
+    // Close the graph so walks continue; 3' is legitimately reachable in
+    // the golden machine too (via 5 on b) — the transfer error merely
+    // reroutes 2 -a-> into it.
+    for s in [s4, s4p] {
+        b.add_transition(s, a, s1, o0);
+        b.add_transition(s, bb, s1, o0);
+        b.add_transition(s, c, s1, o0);
+    }
+    b.add_transition(s5, a, s1, o0);
+    b.add_transition(s5, bb, s3p, o0);
+    b.add_transition(s5, c, s1, o0);
+    b.add_transition(s1, bb, s1, o0);
+    b.add_transition(s1, c, s1, o0);
+    b.add_transition(s2, bb, s2, o0);
+    b.add_transition(s2, c, s2, o0);
+    // Input a distinguishes 3 from 3' as well; only c fails to.
+    b.add_transition(s3, a, s3, oa3);
+    b.add_transition(s3p, a, s3p, oa3p);
+    let m = b.build(s1).expect("figure 2 machine is well-formed");
+    let fault = Fault {
+        state: s2,
+        input: a,
+        kind: FaultKind::Transfer { new_next: s3p },
+    };
+    (m, fault)
+}
+
+/// A traffic-light controller — the "non-processor FSM" counterpoint used
+/// in examples: a design whose outputs do *not* expose enough state, so
+/// the requirement checkers reject it until a sensor-latch output is
+/// added.
+///
+/// States: NS-green, NS-yellow, EW-green, EW-yellow × a latched
+/// pedestrian request. Inputs: `tick`, `ped`. Output: the 2-bit light
+/// code only (the pedestrian latch is interaction state that remains
+/// hidden — a Requirement 5 violation by construction).
+pub fn traffic_light(expose_request: bool) -> ExplicitMealy {
+    let mut b = MealyBuilder::new();
+    // State = (phase 0..4, pending request)
+    let mut states = Vec::new();
+    for phase in 0..4 {
+        for pending in 0..2 {
+            states.push(b.add_state(format!("p{phase}r{pending}")));
+        }
+    }
+    let idx = |phase: usize, pending: usize| states[phase * 2 + pending];
+    let tick = b.add_input("tick");
+    let ped = b.add_input("ped");
+    // Output alphabet: light code (2 bits) × optionally the request bit.
+    let mut outs = Vec::new();
+    for light in 0..4 {
+        for r in 0..2 {
+            let label = if expose_request {
+                format!("L{light}R{r}")
+            } else {
+                format!("L{light}")
+            };
+            outs.push(b.add_output(label));
+        }
+    }
+    let out = |light: usize, pending: usize| {
+        if expose_request {
+            outs[light * 2 + pending]
+        } else {
+            outs[light * 2] // request bit hidden
+        }
+    };
+    for phase in 0..4 {
+        for pending in 0..2 {
+            let s = idx(phase, pending);
+            // `tick`: advance the phase. Yellow->green transitions
+            // consume a pending request by extending the green (modelled
+            // as jumping back to the same green).
+            let (next_phase, consumed) = match (phase, pending) {
+                (1, 1) => (0, true), // NS-yellow + request: replay NS-green
+                (p, _) => ((p + 1) % 4, false),
+            };
+            let next_pending = if consumed { 0 } else { pending };
+            b.add_transition(s, tick, idx(next_phase, next_pending), out(phase, pending));
+            // `ped`: latch a request, stay in phase.
+            b.add_transition(s, ped, idx(phase, 1), out(phase, pending));
+        }
+    }
+    b.build(idx(0, 0)).expect("traffic light machine is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinguish::forall_k_distinguishable;
+
+    #[test]
+    fn figure2_shape() {
+        let (m, fault) = figure2();
+        assert_eq!(m.num_states(), 7);
+        assert_eq!(m.reachable_states().len(), 7);
+        assert!(m.is_complete());
+        assert!(m.is_strongly_connected());
+        assert!(fault.is_effective(&m));
+    }
+
+    #[test]
+    fn traffic_light_hidden_request_is_indistinguishable() {
+        let hidden = traffic_light(false);
+        assert!(hidden.is_strongly_connected());
+        let d = forall_k_distinguishable(&hidden, 2, 4).unwrap();
+        assert!(!d.holds(), "hidden request must create indistinguishable pairs");
+        let exposed = traffic_light(true);
+        let d1 = forall_k_distinguishable(&exposed, 1, 4).unwrap();
+        // With the request visible every pair differs within one step of
+        // output... except pairs that differ only in phase with same
+        // light+request; allow up to k=4.
+        let d4 = forall_k_distinguishable(&exposed, 4, 4).unwrap();
+        assert!(
+            d1.holds() || d4.violations.len() < d1.violations.len() || d4.holds(),
+            "exposing the request must improve distinguishability"
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Executable checkers for the paper's Requirements 1–5 (Sections 4–6).
+//!
+//! | Requirement | Statement | Checker |
+//! |---|---|---|
+//! | 1 | all output errors are uniform | [`check_req1_uniform_outputs`] (output-determinism of the abstraction) |
+//! | 2 | processing completes in ≤ k transitions | [`check_req2_bounded_processing`] (no all-stall cycle) |
+//! | 3 | unique input ⇒ unique output | [`check_req3_unique_outputs`] (per-state output injectivity) |
+//! | 4 | transfer errors are not masked | assumption; per-sequence symptom detector in [`crate::error_model::is_masked_on`] |
+//! | 5 | interaction state is observable | [`check_req5_observable`] (name-set containment) |
+
+use simcov_abstraction::{build_quotient, OutputConflict, Quotient};
+use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+
+/// Requirement 1 — *"All output errors are uniform."*
+///
+/// The paper's measure of "did we abstract too much" (Section 6.3): if two
+/// concrete transitions map to the same test-model transition but produce
+/// different (abstract) outputs, then an output error on that test-model
+/// transition would be exposed only for *some* preceding sequences — a
+/// non-uniform output error. Returns the conflicting witnesses.
+///
+/// # Errors
+///
+/// The output conflicts found (empty ⇔ requirement satisfied).
+pub fn check_req1_uniform_outputs(
+    concrete: &ExplicitMealy,
+    q: &Quotient,
+) -> Result<(), Vec<OutputConflict>> {
+    let r = build_quotient(concrete, q).expect("quotient dimensions must match the machine");
+    if r.output_conflicts.is_empty() {
+        Ok(())
+    } else {
+        Err(r.output_conflicts)
+    }
+}
+
+/// Evidence from [`check_req2_bounded_processing`]: the longest possible
+/// run of consecutive "processing not complete" transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallBound {
+    /// Maximum number of consecutive stalled transitions from any
+    /// reachable state; processing of an input therefore completes within
+    /// `bound + 1` transitions.
+    pub bound: usize,
+}
+
+/// A cycle on which processing never completes — Requirement 2 violated
+/// (`k` would have to be infinite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfiniteStallWitness {
+    /// States of one offending cycle (each consecutive pair connected by
+    /// a stalled transition, wrapping around).
+    pub cycle: Vec<StateId>,
+}
+
+/// Requirement 2 — *"The processing required to generate the output for
+/// each input completes in at most k transitions."*
+///
+/// `stalled(output)` marks transitions during which processing has not
+/// completed (e.g. a pipeline `stall` output is asserted). The requirement
+/// holds iff the stalled-transition subgraph is acyclic; the returned
+/// [`StallBound`] is its longest path, so `k = bound + 1` bounds the
+/// processing latency.
+///
+/// # Errors
+///
+/// [`InfiniteStallWitness`] with a concrete stall cycle if one exists.
+pub fn check_req2_bounded_processing(
+    m: &ExplicitMealy,
+    stalled: impl Fn(OutputSym) -> bool,
+) -> Result<StallBound, InfiniteStallWitness> {
+    let reach = m.reachable_states();
+    let n = reach.len();
+    let mut idx_of = vec![usize::MAX; m.num_states()];
+    for (i, &s) in reach.iter().enumerate() {
+        idx_of[s.index()] = i;
+    }
+    // Stalled-edge adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, &s) in reach.iter().enumerate() {
+        for i in m.inputs() {
+            if let Some((nx, o)) = m.step(s, i) {
+                if stalled(o) {
+                    adj[u].push(idx_of[nx.index()]);
+                }
+            }
+        }
+    }
+    // Detect a cycle / compute longest path by DFS with colours.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour = vec![Colour::White; n];
+    let mut longest = vec![0usize; n];
+    let mut on_path: Vec<usize> = Vec::new();
+    // Iterative DFS (enter/exit events).
+    for root in 0..n {
+        if colour[root] != Colour::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        colour[root] = Colour::Grey;
+        on_path.push(root);
+        while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+            if *ei < adj[u].len() {
+                let v = adj[u][*ei];
+                *ei += 1;
+                match colour[v] {
+                    Colour::White => {
+                        colour[v] = Colour::Grey;
+                        on_path.push(v);
+                        stack.push((v, 0));
+                    }
+                    Colour::Grey => {
+                        // Found a stall cycle: extract it from on_path.
+                        let pos = on_path
+                            .iter()
+                            .position(|&x| x == v)
+                            .expect("grey node is on the DFS path");
+                        let cycle = on_path[pos..].iter().map(|&x| reach[x]).collect();
+                        return Err(InfiniteStallWitness { cycle });
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[u] = Colour::Black;
+                on_path.pop();
+                stack.pop();
+                let best = adj[u]
+                    .iter()
+                    .map(|&v| longest[v] + 1)
+                    .max()
+                    .unwrap_or(0);
+                longest[u] = best;
+            }
+        }
+    }
+    Ok(StallBound { bound: longest.iter().copied().max().unwrap_or(0) })
+}
+
+/// Requirement 3 — *"Each unique input results in a unique output."*
+///
+/// Checked per state (the form used in conformance testing and in the
+/// proof of Case 1): from any reachable state, two distinct inputs must
+/// not produce the same output. In practice this is *achieved* by data
+/// selection during vector expansion (see [`crate::expand`]); this checker
+/// verifies the achieved machine.
+///
+/// # Errors
+///
+/// The list of `(state, input, input)` collisions.
+pub fn check_req3_unique_outputs(
+    m: &ExplicitMealy,
+) -> Result<(), Vec<(StateId, InputSym, InputSym)>> {
+    let mut collisions = Vec::new();
+    for s in m.reachable_states() {
+        for i1 in m.inputs() {
+            for i2 in m.inputs() {
+                if i2.0 <= i1.0 {
+                    continue;
+                }
+                if let (Some((_, o1)), Some((_, o2))) = (m.step(s, i1), m.step(s, i2)) {
+                    if o1 == o2 {
+                        collisions.push((s, i1, i2));
+                    }
+                }
+            }
+        }
+    }
+    if collisions.is_empty() {
+        Ok(())
+    } else {
+        Err(collisions)
+    }
+}
+
+/// Requirement 5 — *"The state associated with interactions between
+/// processing of subsequent inputs is made observable."*
+///
+/// `interaction_state` names the `s2` state variables (in the paper's DLX
+/// case: the destination-register addresses of the current and two
+/// previous instructions, and the Processor Status Word); `observable`
+/// names everything the functional simulation model exposes for
+/// comparison. Containment check, by name.
+///
+/// # Errors
+///
+/// The interaction-state names that are not observable.
+pub fn check_req5_observable(
+    interaction_state: &[&str],
+    observable: &[&str],
+) -> Result<(), Vec<String>> {
+    let obs: std::collections::HashSet<&str> = observable.iter().copied().collect();
+    let missing: Vec<String> = interaction_state
+        .iter()
+        .filter(|s| !obs.contains(**s))
+        .map(|s| s.to_string())
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_abstraction::Quotient;
+    use simcov_fsm::MealyBuilder;
+
+    #[test]
+    fn req1_identity_quotient_uniform() {
+        let (m, _) = crate::testutil::figure2();
+        let q = Quotient::identity(&m);
+        assert!(check_req1_uniform_outputs(&m, &q).is_ok());
+    }
+
+    #[test]
+    fn req1_overabstraction_caught() {
+        // Merge states 3 and 3' (which have different outputs on b): the
+        // abstraction lost the state distinguishing them — exactly the
+        // "interlock without destination register" situation of §6.3.
+        let (m, _) = crate::testutil::figure2();
+        let s3 = m.state_by_label("3").unwrap();
+        let s3p = m.state_by_label("3'").unwrap();
+        let q = Quotient::by_state_key(&m, |s| {
+            if s == s3 || s == s3p {
+                u32::MAX
+            } else {
+                s.0
+            }
+        });
+        let conflicts = check_req1_uniform_outputs(&m, &q).unwrap_err();
+        assert!(!conflicts.is_empty());
+    }
+
+    #[test]
+    fn req2_bounded_when_stall_acyclic() {
+        // s0 -stall-> s1 -stall-> s2 -ok-> s0 : bound 2.
+        let mut b = MealyBuilder::new();
+        let s: Vec<_> = (0..3).map(|i| b.add_state(format!("s{i}"))).collect();
+        let i = b.add_input("i");
+        let stall = b.add_output("stall");
+        let ok = b.add_output("ok");
+        b.add_transition(s[0], i, s[1], stall);
+        b.add_transition(s[1], i, s[2], stall);
+        b.add_transition(s[2], i, s[0], ok);
+        let m = b.build(s[0]).unwrap();
+        let bound = check_req2_bounded_processing(&m, |o| o == stall).unwrap();
+        assert_eq!(bound.bound, 2);
+    }
+
+    #[test]
+    fn req2_infinite_stall_detected() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let i = b.add_input("i");
+        let j = b.add_input("j");
+        let stall = b.add_output("stall");
+        let ok = b.add_output("ok");
+        b.add_transition(s0, i, s1, stall);
+        b.add_transition(s1, i, s0, stall); // stall cycle s0 <-> s1
+        b.add_transition(s0, j, s0, ok);
+        b.add_transition(s1, j, s0, ok);
+        let m = b.build(s0).unwrap();
+        let w = check_req2_bounded_processing(&m, |o| o == stall).unwrap_err();
+        assert_eq!(w.cycle.len(), 2);
+    }
+
+    #[test]
+    fn req2_self_loop_stall_detected() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let i = b.add_input("i");
+        let stall = b.add_output("stall");
+        b.add_transition(s0, i, s0, stall);
+        let m = b.build(s0).unwrap();
+        let w = check_req2_bounded_processing(&m, |o| o == stall).unwrap_err();
+        assert_eq!(w.cycle, vec![s0]);
+    }
+
+    #[test]
+    fn req2_no_stalls_bound_zero() {
+        let (m, _) = crate::testutil::figure2();
+        let bound = check_req2_bounded_processing(&m, |_| false).unwrap();
+        assert_eq!(bound.bound, 0);
+    }
+
+    #[test]
+    fn req3_collisions_reported() {
+        let (m, _) = crate::testutil::figure2();
+        // figure2 has many same-output transitions per state (o0 loops).
+        let collisions = check_req3_unique_outputs(&m).unwrap_err();
+        assert!(!collisions.is_empty());
+        // A machine with per-state unique outputs passes.
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let oa = b.add_output("oa");
+        let oc = b.add_output("oc");
+        b.add_transition(s0, a, s0, oa);
+        b.add_transition(s0, c, s0, oc);
+        let m = b.build(s0).unwrap();
+        assert!(check_req3_unique_outputs(&m).is_ok());
+    }
+
+    #[test]
+    fn req5_containment() {
+        assert!(check_req5_observable(
+            &["ex.dest", "psw.zero"],
+            &["ex.dest", "psw.zero", "regfile"]
+        )
+        .is_ok());
+        let missing =
+            check_req5_observable(&["ex.dest", "psw.zero"], &["regfile"]).unwrap_err();
+        assert_eq!(missing, vec!["ex.dest".to_string(), "psw.zero".to_string()]);
+    }
+}

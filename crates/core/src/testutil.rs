@@ -1,0 +1,3 @@
+//! Shared test fixtures (test builds only).
+
+pub(crate) use crate::models::figure2;

@@ -1,0 +1,190 @@
+//! Theorems 1–3 as certificate-producing procedures.
+//!
+//! * **Theorem 1**: Requirement 1 + ∀k-distinguishability ⇒ a transition
+//!   tour exposes all errors.
+//! * **Theorem 2**: Requirements 2–5 ⇒ ∀k-distinguishability (the
+//!   processor-specific route to the hypothesis).
+//! * **Theorem 3**: Requirements 1–5 ⇒ a transition tour is a complete
+//!   test set.
+//!
+//! [`certify_completeness`] checks the *checkable* hypotheses directly on
+//! the test model (∀k-distinguishability; output-determinism when the
+//! concrete machine and abstraction are supplied) and records the assumed
+//! ones (Requirements 2 and 4 "are regarded as assumptions", Section 6.4).
+//! The certificate is then validated *empirically* by the fault campaigns
+//! of [`crate::faults`]: on a certified model, every effective injected
+//! fault must be caught — that is the experiment of this reproduction's
+//! `completeness` benchmark.
+
+use crate::distinguish::{forall_k_distinguishable, DistinguishError, PairWitness};
+use simcov_abstraction::{OutputConflict, Quotient};
+use simcov_fsm::ExplicitMealy;
+
+/// Proof that a transition tour of the test model is a complete test set
+/// (Theorem 3), with the parameters under which it was established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletenessCertificate {
+    /// The distinguishing horizon: any transfer error is exposed within
+    /// `k` transitions after excitation, so tours must be extended by `k`
+    /// extra vectors (see [`crate::faults::extend_cyclically`]).
+    pub k: usize,
+    /// Reachable states of the test model.
+    pub states: usize,
+    /// Distinct state pairs proven ∀k-distinguishable.
+    pub pairs_proven: usize,
+    /// `true` if Requirement 1 was *checked* against a concrete machine
+    /// and abstraction (rather than assumed).
+    pub req1_checked: bool,
+}
+
+/// Why a completeness certificate could not be issued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletenessViolation {
+    /// Some state pairs are not ∀k-distinguishable (Theorem 1's
+    /// hypothesis fails) — witnesses included.
+    NotDistinguishable(Vec<PairWitness>),
+    /// The abstraction has non-deterministic outputs: output errors may be
+    /// non-uniform (Requirement 1 fails).
+    NonUniformOutputs(Vec<OutputConflict>),
+    /// The test model is not complete over its valid alphabet.
+    Incomplete(DistinguishError),
+}
+
+impl std::fmt::Display for CompletenessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompletenessViolation::NotDistinguishable(v) => {
+                write!(f, "{} state pairs are not forall-k-distinguishable", v.len())
+            }
+            CompletenessViolation::NonUniformOutputs(c) => {
+                write!(f, "{} abstract transitions have non-deterministic outputs", c.len())
+            }
+            CompletenessViolation::Incomplete(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompletenessViolation {}
+
+/// Certifies that a transition tour of `test_model` (extended by `k`
+/// vectors) is a complete test set.
+///
+/// `abstraction_evidence`, when given as `(concrete_machine, quotient)`,
+/// discharges Requirement 1 by checking output-determinism of the
+/// abstraction; when `None`, Requirement 1 is assumed (recorded in the
+/// certificate).
+///
+/// # Errors
+///
+/// [`CompletenessViolation`] naming the failed hypothesis, with witnesses.
+pub fn certify_completeness(
+    test_model: &ExplicitMealy,
+    k: usize,
+    abstraction_evidence: Option<(&ExplicitMealy, &Quotient)>,
+) -> Result<CompletenessCertificate, CompletenessViolation> {
+    let req1_checked = match abstraction_evidence {
+        Some((concrete, q)) => {
+            crate::requirements::check_req1_uniform_outputs(concrete, q)
+                .map_err(CompletenessViolation::NonUniformOutputs)?;
+            true
+        }
+        None => false,
+    };
+    let d = forall_k_distinguishable(test_model, k, 16)
+        .map_err(CompletenessViolation::Incomplete)?;
+    if !d.holds() {
+        return Err(CompletenessViolation::NotDistinguishable(d.violations));
+    }
+    let n = d.states;
+    Ok(CompletenessCertificate {
+        k,
+        states: n,
+        pairs_proven: n * (n - 1) / 2,
+        req1_checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_fsm::MealyBuilder;
+
+    /// A machine whose states all differ on every input's output:
+    /// ∀1-distinguishable, certificate issued.
+    fn all_distinct() -> ExplicitMealy {
+        let mut b = MealyBuilder::new();
+        let s: Vec<_> = (0..3).map(|i| b.add_state(format!("s{i}"))).collect();
+        let i = b.add_input("i");
+        let j = b.add_input("j");
+        let outs: Vec<_> = (0..6).map(|x| b.add_output(format!("o{x}"))).collect();
+        for (si, &st) in s.iter().enumerate() {
+            b.add_transition(st, i, s[(si + 1) % 3], outs[si]);
+            b.add_transition(st, j, s[(si + 2) % 3], outs[si + 3]);
+        }
+        b.build(s[0]).unwrap()
+    }
+
+    #[test]
+    fn certificate_issued_on_distinguishable_model() {
+        let m = all_distinct();
+        let cert = certify_completeness(&m, 1, None).unwrap();
+        assert_eq!(cert.states, 3);
+        assert_eq!(cert.pairs_proven, 3);
+        assert!(!cert.req1_checked);
+    }
+
+    #[test]
+    fn violation_on_figure2() {
+        let (m, _) = crate::testutil::figure2();
+        // Figure 2's model is NOT forall-1-distinguishable (3 vs 3' on c).
+        match certify_completeness(&m, 1, None).unwrap_err() {
+            CompletenessViolation::NotDistinguishable(v) => assert!(!v.is_empty()),
+            other => panic!("unexpected violation: {other}"),
+        }
+    }
+
+    #[test]
+    fn req1_evidence_accepted_and_rejected() {
+        let m = all_distinct();
+        let q = simcov_abstraction::Quotient::identity(&m);
+        let cert = certify_completeness(&m, 1, Some((&m, &q))).unwrap();
+        assert!(cert.req1_checked);
+        // Merge all outputs-differing states: Req1 violated.
+        let (f2, _) = crate::testutil::figure2();
+        let s3 = f2.state_by_label("3").unwrap();
+        let s3p = f2.state_by_label("3'").unwrap();
+        let q = simcov_abstraction::Quotient::by_state_key(&f2, |s| {
+            if s == s3 || s == s3p {
+                99
+            } else {
+                s.0
+            }
+        });
+        match certify_completeness(&f2, 1, Some((&f2, &q))).unwrap_err() {
+            CompletenessViolation::NonUniformOutputs(c) => assert!(!c.is_empty()),
+            other => panic!("unexpected violation: {other}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_model_rejected() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let i = b.add_input("i");
+        let o = b.add_output("o");
+        b.add_transition(s0, i, s1, o);
+        let m = b.build(s0).unwrap();
+        assert!(matches!(
+            certify_completeness(&m, 2, None).unwrap_err(),
+            CompletenessViolation::Incomplete(_)
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        let (m, _) = crate::testutil::figure2();
+        let err = certify_completeness(&m, 1, None).unwrap_err();
+        assert!(err.to_string().contains("not forall-k-distinguishable"));
+    }
+}

@@ -1,0 +1,285 @@
+//! A small DLX assembler for writing test programs.
+//!
+//! Supports one instruction per line, `;` or `#` comments, decimal or
+//! `0x` hexadecimal immediates (branch/jump offsets in *instructions*,
+//! relative to the following instruction), and the memory operand form
+//! `disp(reg)`.
+//!
+//! ```
+//! use simcov_dlx::asm;
+//!
+//! let prog = asm::program(&[
+//!     "addi r1, r0, 5",
+//!     "lw r2, 4(r1)   ; load",
+//!     "beqz r2, -2",
+//!     "halt",
+//! ]);
+//! assert_eq!(prog.len(), 4);
+//! ```
+
+use crate::isa::{AluOp, Instr, MemWidth, Reg};
+
+/// Assembles one instruction.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on a syntax error — test programs are
+/// compiled into the test suite, so failing fast is the right behaviour.
+pub fn parse(line: &str) -> Instr {
+    try_parse(line).unwrap_or_else(|e| panic!("asm error in {line:?}: {e}"))
+}
+
+/// Assembles a whole program (panics on error, skips blank/comment
+/// lines).
+pub fn program(lines: &[&str]) -> Vec<Instr> {
+    lines
+        .iter()
+        .filter_map(|l| {
+            let stripped = strip_comment(l).trim();
+            if stripped.is_empty() {
+                None
+            } else {
+                Some(parse(stripped))
+            }
+        })
+        .collect()
+}
+
+fn strip_comment(l: &str) -> &str {
+    let end = l.find([';', '#']).unwrap_or(l.len());
+    &l[..end]
+}
+
+/// Fallible assembly of one instruction.
+pub fn try_parse(line: &str) -> Result<Instr, String> {
+    let line = strip_comment(line).trim();
+    let (mn, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let mn = mn.to_ascii_lowercase();
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let alu3 = |op: AluOp, args: &[&str]| -> Result<Instr, String> {
+        expect_args(args, 3)?;
+        Ok(Instr::Alu { op, rd: reg(args[0])?, rs1: reg(args[1])?, rs2: reg(args[2])? })
+    };
+    let alui = |op: AluOp, args: &[&str]| -> Result<Instr, String> {
+        expect_args(args, 3)?;
+        Ok(Instr::AluImm { op, rd: reg(args[0])?, rs1: reg(args[1])?, imm: imm16(args[2])? })
+    };
+    let loadi = |width: MemWidth, signed: bool, args: &[&str]| -> Result<Instr, String> {
+        expect_args(args, 2)?;
+        let (imm, rs1) = mem_operand(args[1])?;
+        Ok(Instr::Load { width, signed, rd: reg(args[0])?, rs1, imm })
+    };
+    let storei = |width: MemWidth, args: &[&str]| -> Result<Instr, String> {
+        expect_args(args, 2)?;
+        let (imm, rs1) = mem_operand(args[1])?;
+        Ok(Instr::Store { width, rs2: reg(args[0])?, rs1, imm })
+    };
+    match mn.as_str() {
+        "nop" => Ok(Instr::Nop),
+        "halt" => Ok(Instr::Halt),
+        "add" => alu3(AluOp::Add, &args),
+        "addu" => alu3(AluOp::Addu, &args),
+        "sub" => alu3(AluOp::Sub, &args),
+        "subu" => alu3(AluOp::Subu, &args),
+        "and" => alu3(AluOp::And, &args),
+        "or" => alu3(AluOp::Or, &args),
+        "xor" => alu3(AluOp::Xor, &args),
+        "sll" => alu3(AluOp::Sll, &args),
+        "srl" => alu3(AluOp::Srl, &args),
+        "sra" => alu3(AluOp::Sra, &args),
+        "seq" => alu3(AluOp::Seq, &args),
+        "sne" => alu3(AluOp::Sne, &args),
+        "slt" => alu3(AluOp::Slt, &args),
+        "sgt" => alu3(AluOp::Sgt, &args),
+        "sle" => alu3(AluOp::Sle, &args),
+        "sge" => alu3(AluOp::Sge, &args),
+        "addi" => alui(AluOp::Add, &args),
+        "addui" => alui(AluOp::Addu, &args),
+        "subi" => alui(AluOp::Sub, &args),
+        "subui" => alui(AluOp::Subu, &args),
+        "andi" => alui(AluOp::And, &args),
+        "ori" => alui(AluOp::Or, &args),
+        "xori" => alui(AluOp::Xor, &args),
+        "slli" => alui(AluOp::Sll, &args),
+        "srli" => alui(AluOp::Srl, &args),
+        "srai" => alui(AluOp::Sra, &args),
+        "seqi" => alui(AluOp::Seq, &args),
+        "snei" => alui(AluOp::Sne, &args),
+        "slti" => alui(AluOp::Slt, &args),
+        "sgti" => alui(AluOp::Sgt, &args),
+        "slei" => alui(AluOp::Sle, &args),
+        "sgei" => alui(AluOp::Sge, &args),
+        "lhi" => {
+            expect_args(&args, 2)?;
+            Ok(Instr::Lhi { rd: reg(args[0])?, imm: imm16(args[1])? })
+        }
+        "lb" => loadi(MemWidth::Byte, true, &args),
+        "lbu" => loadi(MemWidth::Byte, false, &args),
+        "lh" => loadi(MemWidth::Half, true, &args),
+        "lhu" => loadi(MemWidth::Half, false, &args),
+        "lw" => loadi(MemWidth::Word, true, &args),
+        "sb" => storei(MemWidth::Byte, &args),
+        "sh" => storei(MemWidth::Half, &args),
+        "sw" => storei(MemWidth::Word, &args),
+        "beqz" => {
+            expect_args(&args, 2)?;
+            Ok(Instr::Branch { on_zero: true, rs1: reg(args[0])?, imm: imm16(args[1])? })
+        }
+        "bnez" => {
+            expect_args(&args, 2)?;
+            Ok(Instr::Branch { on_zero: false, rs1: reg(args[0])?, imm: imm16(args[1])? })
+        }
+        "j" => {
+            expect_args(&args, 1)?;
+            Ok(Instr::Jump { link: false, offset: int(args[0])? as i32 })
+        }
+        "jal" => {
+            expect_args(&args, 1)?;
+            Ok(Instr::Jump { link: true, offset: int(args[0])? as i32 })
+        }
+        "jr" => {
+            expect_args(&args, 1)?;
+            Ok(Instr::JumpReg { link: false, rs1: reg(args[0])? })
+        }
+        "jalr" => {
+            expect_args(&args, 1)?;
+            Ok(Instr::JumpReg { link: true, rs1: reg(args[0])? })
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+fn expect_args(args: &[&str], n: usize) -> Result<(), String> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(format!("expected {n} operands, found {}", args.len()))
+    }
+}
+
+fn reg(s: &str) -> Result<Reg, String> {
+    let s = s.trim();
+    let num = s
+        .strip_prefix(['r', 'R'])
+        .ok_or_else(|| format!("bad register `{s}`"))?;
+    let n: u8 = num.parse().map_err(|_| format!("bad register `{s}`"))?;
+    if n < 32 {
+        Ok(Reg(n))
+    } else {
+        Err(format!("register out of range `{s}`"))
+    }
+}
+
+fn int(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| format!("bad number `{s}`"))?
+    } else {
+        body.parse::<i64>().map_err(|_| format!("bad number `{s}`"))?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn imm16(s: &str) -> Result<u16, String> {
+    let v = int(s)?;
+    if (-(1 << 15)..(1 << 16)).contains(&v) {
+        Ok(v as u16)
+    } else {
+        Err(format!("immediate out of 16-bit range `{s}`"))
+    }
+}
+
+fn mem_operand(s: &str) -> Result<(u16, Reg), String> {
+    let open = s.find('(').ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let close = s.find(')').ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let disp = if open == 0 { 0 } else { int(&s[..open])? };
+    if !(-(1 << 15)..(1 << 16)).contains(&disp) {
+        return Err(format!("displacement out of range `{s}`"));
+    }
+    Ok((disp as u16, reg(&s[open + 1..close])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_operand_forms() {
+        assert_eq!(
+            parse("add r1, r2, r3"),
+            Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }
+        );
+        assert_eq!(
+            parse("addi r1, r0, -5"),
+            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: (-5i16) as u16 }
+        );
+        assert_eq!(
+            parse("lw r4, 0x10(r2)"),
+            Instr::Load {
+                width: MemWidth::Word,
+                signed: true,
+                rd: Reg(4),
+                rs1: Reg(2),
+                imm: 16
+            }
+        );
+        assert_eq!(
+            parse("sw r4, (r2)"),
+            Instr::Store { width: MemWidth::Word, rs2: Reg(4), rs1: Reg(2), imm: 0 }
+        );
+        assert_eq!(
+            parse("beqz r9, -3"),
+            Instr::Branch { on_zero: true, rs1: Reg(9), imm: (-3i16) as u16 }
+        );
+        assert_eq!(parse("jal 100"), Instr::Jump { link: true, offset: 100 });
+        assert_eq!(parse("jr r31"), Instr::JumpReg { link: false, rs1: Reg(31) });
+        assert_eq!(parse("nop"), Instr::Nop);
+        assert_eq!(parse("halt"), Instr::Halt);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = program(&["", "; pure comment", "nop  # trailing", "halt"]);
+        assert_eq!(p, vec![Instr::Nop, Instr::Halt]);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(try_parse("frob r1, r2").unwrap_err().contains("unknown mnemonic"));
+        assert!(try_parse("add r1, r2").unwrap_err().contains("expected 3"));
+        assert!(try_parse("add r1, r2, r40").unwrap_err().contains("out of range"));
+        assert!(try_parse("addi r1, r0, 0x1ffff").unwrap_err().contains("16-bit"));
+        assert!(try_parse("lw r1, 4[r2]").unwrap_err().contains("memory operand"));
+    }
+
+    #[test]
+    #[should_panic(expected = "asm error")]
+    fn parse_panics_on_error() {
+        let _ = parse("bogus");
+    }
+
+    #[test]
+    fn roundtrip_through_encoding() {
+        for line in [
+            "add r1, r2, r3",
+            "slti r4, r5, 100",
+            "lhi r6, 0x7fff",
+            "lbu r7, 3(r8)",
+            "sh r9, -2(r10)",
+            "bnez r11, 5",
+            "j -10",
+            "jalr r12",
+        ] {
+            let i = parse(line);
+            assert_eq!(Instr::decode(i.encode()), Some(i), "{line}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Retire-event checkpoints and [`TraceSource`] adapters.
+//!
+//! Section 2: *"The comparison between them is made at special
+//! checkpointing steps, e.g. at the completion of each instruction. To
+//! enable this, the implementation state used in this comparison is
+//! observable during functional simulation."* A [`RetireEvent`] is
+//! exactly that observation: everything architecturally visible about one
+//! completed instruction.
+
+use crate::isa::{Instr, Reg};
+use crate::pipeline::{ControlFault, Pipeline};
+use crate::spec::Spec;
+use simcov_core::TraceSource;
+
+/// The architectural effect of one retired instruction — the checkpoint
+/// unit compared between specification and implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireEvent {
+    /// Word-addressed PC of the instruction.
+    pub pc: u32,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Register write performed, if any (r0 writes are discarded and
+    /// never reported).
+    pub reg_write: Option<(Reg, u32)>,
+    /// Memory write performed, if any: `(byte address, value)` with the
+    /// value truncated to the access width.
+    pub mem_write: Option<(u32, u32)>,
+    /// The PC of the next instruction in program order (branch outcome
+    /// included).
+    pub next_pc: u32,
+}
+
+/// [`TraceSource`] adapter for the ISA-level specification: stimuli are
+/// the program, events are its retire events.
+#[derive(Debug, Clone)]
+pub struct SpecTrace {
+    /// Retirement bound (guards non-terminating programs).
+    pub max_instrs: usize,
+}
+
+impl Default for SpecTrace {
+    fn default() -> Self {
+        SpecTrace { max_instrs: 10_000 }
+    }
+}
+
+impl TraceSource for SpecTrace {
+    type Stimulus = Instr;
+    type Event = RetireEvent;
+
+    fn reset(&mut self) {}
+
+    fn trace(&mut self, program: &[Instr]) -> Vec<RetireEvent> {
+        Spec::new(program.to_vec()).run_to_halt(self.max_instrs)
+    }
+}
+
+/// [`TraceSource`] adapter for the pipelined implementation, with an
+/// optional injected control fault.
+#[derive(Debug, Clone)]
+pub struct PipelineTrace {
+    /// The control fault to inject ([`ControlFault::None`] for the golden
+    /// implementation).
+    pub fault: ControlFault,
+    /// Cycle bound (guards livelocked faulty pipelines).
+    pub max_cycles: usize,
+    /// Retirement bound, matching the specification's.
+    pub max_instrs: usize,
+}
+
+impl Default for PipelineTrace {
+    fn default() -> Self {
+        PipelineTrace { fault: ControlFault::None, max_cycles: 100_000, max_instrs: 10_000 }
+    }
+}
+
+impl TraceSource for PipelineTrace {
+    type Stimulus = Instr;
+    type Event = RetireEvent;
+
+    fn reset(&mut self) {}
+
+    fn trace(&mut self, program: &[Instr]) -> Vec<RetireEvent> {
+        let mut p = Pipeline::new(program.to_vec()).with_fault(self.fault);
+        p.run_to_halt(self.max_cycles, self.max_instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use simcov_core::validate;
+
+    #[test]
+    fn golden_pipeline_validates_against_spec() {
+        let prog = asm::program(&[
+            "addi r1, r0, 3",
+            "add r2, r1, r1",
+            "sw r2, 4(r0)",
+            "lw r3, 4(r0)",
+            "add r4, r3, r1",
+            "halt",
+        ]);
+        let mut spec = SpecTrace::default();
+        let mut imp = PipelineTrace::default();
+        let n = validate(&mut spec, &mut imp, &prog).unwrap();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn faulty_pipeline_mismatch_found() {
+        // Back-to-back dependent load: interlock fault is exposed.
+        let prog = asm::program(&[
+            "addi r1, r0, 42",
+            "sw r1, 0(r0)",
+            "lw r2, 0(r0)",
+            "add r3, r2, r0", // load-use dependence
+            "halt",
+        ]);
+        let mut spec = SpecTrace::default();
+        let mut imp = PipelineTrace {
+            fault: ControlFault::DisableLoadInterlock,
+            ..PipelineTrace::default()
+        };
+        let e = validate(&mut spec, &mut imp, &prog).unwrap_err();
+        assert_eq!(e.index, 3); // the dependent add retires a stale value
+    }
+}

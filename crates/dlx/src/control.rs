@@ -1,0 +1,804 @@
+//! The pipeline-control netlist: the initial abstract test model of
+//! Fig 3(a).
+//!
+//! Built the way Section 7.1 describes: the datapath is abstracted away,
+//! leaving the individual controllers for the five pipeline stages, the
+//! interlock unit and the branch-select multiplexor. Signals from the
+//! datapath (including the instruction word) become primary inputs;
+//! control signals to the datapath become primary outputs.
+//!
+//! Inventory (matching the paper's 160 latches / 41 PIs / 32 POs):
+//!
+//! | module      | latches | contents |
+//! |-------------|---------|----------|
+//! | `fetch`     | 24      | 16-state one-hot fetch sequencer, instruction-buffer valid bits, squash bookkeeping |
+//! | `id`        | 4       | decode valid/stall/branch/jump flags |
+//! | `ex`        | 19      | 10-class one-hot opcode register, 5-bit destination address, valid, is-load, link (r31) and upper-bank flags |
+//! | `mem`       | 10      | 4-class one-hot register, 5-bit destination address, valid |
+//! | `wb`        | 2       | write-enable, valid |
+//! | `interlock` | 24      | hazard-history shift register, 8-state one-hot stall sequencer, comparator pipeline flags |
+//! | `branch`    | 3       | pending / squash / select |
+//! | `sync_out`  | 42      | synchronizing latches on the 24 control signals (18 double-registered) |
+//! | `obs`       | 32      | instruction trace register (observation only) |
+//!
+//! Primary inputs (41): the 32-bit instruction word, `zero_flag`,
+//! `mem_ready`, `psw[0..5]`, `icache_stall`, `perf_event`.
+//! Primary outputs (32): 24 synchronized control signals + 8 trace
+//! signatures.
+
+use simcov_netlist::{Netlist, SignalId, Word};
+
+/// Instruction-word bit positions.
+pub mod fields {
+    /// Opcode bits `instr[26..32]`.
+    pub const OP: (usize, usize) = (26, 6);
+    /// `rs1` bits `instr[21..26]`.
+    pub const RS1: (usize, usize) = (21, 5);
+    /// `rs2` / I-type `rd` bits `instr[16..21]`.
+    pub const RFIELD: (usize, usize) = (16, 5);
+    /// R-type `rd` bits `instr[11..16]`.
+    pub const RD_R: (usize, usize) = (11, 5);
+    /// Low six bits of the R-type `func` field `instr[0..6]`.
+    pub const FUNC: (usize, usize) = (0, 6);
+}
+
+/// The control signals of the design, in output order (the first 18 are
+/// double-registered through `sync_out`, the rest single-registered).
+pub const CONTROL_SIGNALS: [&str; 24] = [
+    "stall",
+    "squash",
+    "br_sel",
+    "rf_wen",
+    "alu_op0",
+    "alu_op1",
+    "alu_op2",
+    "alu_op3",
+    "alu_op4",
+    "alu_src",
+    "mem_read",
+    "mem_write",
+    "mem_be0",
+    "mem_be1",
+    "mem_be2",
+    "mem_be3",
+    "wb_sel0",
+    "wb_sel1",
+    "pc_src0",
+    "pc_src1",
+    "fetch_en",
+    "id_en",
+    "ex_en",
+    "imm_sel",
+];
+
+/// The four control signals that survive the final abstraction (the
+/// paper's 4 primary outputs).
+pub const FINAL_OUTPUTS: [&str; 4] = ["stall", "squash", "br_sel", "rf_wen"];
+
+/// Names of the instruction-word upper register-address bits tied to zero
+/// by the "4 registers instead of 32" abstraction step.
+pub fn upper_addr_bit_names() -> Vec<String> {
+    let mut v = Vec::new();
+    for (lo, w) in [fields::RS1, fields::RFIELD, fields::RD_R] {
+        for b in (lo + 2)..(lo + w) {
+            v.push(format!("instr[{b}]"));
+        }
+    }
+    v
+}
+
+/// Member names of the EX-stage 10-class one-hot register, in code order
+/// (matches [`crate::isa::OpClass::ALL`]).
+pub fn ex_class_names() -> Vec<String> {
+    (0..10).map(|i| format!("ex.class[{i}]")).collect()
+}
+
+/// Member names of the MEM-stage 4-class one-hot register, in code order
+/// (`bubble`, `load`, `store`, `other`).
+pub fn mem_class_names() -> Vec<String> {
+    (0..4).map(|i| format!("mem.class[{i}]")).collect()
+}
+
+/// Opcode-class decode signals computed from an instruction word.
+struct ClassDecode {
+    /// One signal per [`crate::isa::OpClass`], in `ALL` order.
+    class: Vec<SignalId>,
+    uses_rs1: SignalId,
+    uses_rs2: SignalId,
+    writes_reg: SignalId,
+    is_rtype: SignalId,
+    is_jump_any: SignalId,
+    is_branch: SignalId,
+}
+
+fn op_in(n: &mut Netlist, op: &Word, codes: &[u32]) -> SignalId {
+    let mut acc = n.constant(false);
+    for &c in codes {
+        let hit = op.eq_const(n, c as u64);
+        acc = n.or(acc, hit);
+    }
+    acc
+}
+
+fn decode_classes(n: &mut Netlist, op: &Word, func: &Word) -> ClassDecode {
+    use crate::isa::opcode::*;
+    let is_rtype_op = op.eq_const(n, OP_RTYPE as u64);
+    // R-type is legal only for the 16 defined functions (func < 16, i.e.
+    // the top two of our six func bits are zero).
+    let f4 = n.not(func.bit(4));
+    let f5 = n.not(func.bit(5));
+    let func_legal = n.and(f4, f5);
+    let alu = n.and(is_rtype_op, func_legal);
+    let aluimm = op_in(
+        n,
+        op,
+        &[
+            OP_ADDI, OP_ADDUI, OP_SUBI, OP_SUBUI, OP_ANDI, OP_ORI, OP_XORI, OP_LHI, OP_SLLI,
+            OP_SRLI, OP_SRAI, OP_SEQI, OP_SNEI, OP_SLTI, OP_SGTI, OP_SLEI, OP_SGEI,
+        ],
+    );
+    let load = op_in(n, op, &[OP_LB, OP_LH, OP_LW, OP_LBU, OP_LHU]);
+    let store = op_in(n, op, &[OP_SB, OP_SH, OP_SW]);
+    let branch = op_in(n, op, &[OP_BEQZ, OP_BNEZ]);
+    let jump = op.eq_const(n, OP_J as u64);
+    let jumplink = op.eq_const(n, OP_JAL as u64);
+    let jumpreg = op_in(n, op, &[OP_JR, OP_JALR]);
+    let halt = op.eq_const(n, OP_HALT as u64);
+    // Everything else (including explicit NOP and illegal opcodes)
+    // decodes as a NOP, keeping the class vector one-hot by construction.
+    let mut any_other = n.constant(false);
+    for s in [alu, aluimm, load, store, branch, jump, jumplink, jumpreg, halt] {
+        any_other = n.or(any_other, s);
+    }
+    let nop = n.not(any_other);
+    let is_jalr = op.eq_const(n, OP_JALR as u64);
+    let uses_rs1 = {
+        let mut u = n.or(alu, aluimm);
+        u = n.or(u, load);
+        u = n.or(u, store);
+        u = n.or(u, branch);
+        n.or(u, jumpreg)
+    };
+    let uses_rs2 = n.or(alu, store);
+    let writes_reg = {
+        let mut w = n.or(alu, aluimm);
+        w = n.or(w, load);
+        w = n.or(w, jumplink);
+        n.or(w, is_jalr)
+    };
+    let is_jump_any = {
+        let j = n.or(jump, jumplink);
+        n.or(j, jumpreg)
+    };
+    ClassDecode {
+        class: vec![nop, alu, aluimm, load, store, branch, jump, jumplink, jumpreg, halt],
+        uses_rs1,
+        uses_rs2,
+        writes_reg,
+        is_rtype: alu,
+        is_jump_any,
+        is_branch: branch,
+    }
+}
+
+/// Builds the initial abstract test model of Fig 3(a).
+///
+/// # Example
+///
+/// ```
+/// let n = simcov_dlx::control::initial_control_netlist();
+/// let s = n.stats();
+/// assert_eq!((s.latches, s.inputs, s.outputs), (160, 41, 32));
+/// ```
+pub fn initial_control_netlist() -> Netlist {
+    let mut n = Netlist::new();
+
+    // ---------------- primary inputs ----------------
+    let instr = Word::inputs(&mut n, "instr", 32);
+    let zero_flag = n.add_input("zero_flag");
+    let mem_ready = n.add_input("mem_ready");
+    let psw = Word::inputs(&mut n, "psw", 5);
+    let icache_stall = n.add_input("icache_stall");
+    let perf_event = n.add_input("perf_event");
+
+    let op = instr.slice(fields::OP.0, fields::OP.1);
+    let func = instr.slice(fields::FUNC.0, fields::FUNC.1);
+    let rs1_f = instr.slice(fields::RS1.0, fields::RS1.1);
+    let rfield = instr.slice(fields::RFIELD.0, fields::RFIELD.1);
+    let rd_r = instr.slice(fields::RD_R.0, fields::RD_R.1);
+
+    let dec = decode_classes(&mut n, &op, &func);
+
+    // ---------------- state declarations ----------------
+    let mut fstate = Vec::new();
+    for i in 0..16 {
+        fstate.push(n.add_latch_in(format!("fetch.state[{i}]"), i == 0, "fetch"));
+    }
+    let fstate_out: Vec<SignalId> = fstate.iter().map(|&l| n.latch_output(l)).collect();
+    let if_valid = n.add_latch_in("fetch.if_valid", true, "fetch");
+    let if_valid_o = n.latch_output(if_valid);
+    let f_brpend = n.add_latch_in("fetch.branch_pending", false, "fetch");
+    let f_brpend_o = n.latch_output(f_brpend);
+    let (squash_cnt, squash_cnt_h) = Word::register(&mut n, "fetch.squash_cnt", 2, 0, "fetch");
+    let (ibuf, ibuf_h) = Word::register(&mut n, "fetch.ibuf_valid", 4, 0, "fetch");
+
+    let id_valid = n.add_latch_in("id.valid", true, "id");
+    let id_valid_o = n.latch_output(id_valid);
+    let id_stallflag = n.add_latch_in("id.stallflag", false, "id");
+    let id_stallflag_o = n.latch_output(id_stallflag);
+    let id_is_branch = n.add_latch_in("id.is_branch", false, "id");
+    let id_is_branch_o = n.latch_output(id_is_branch);
+    let id_is_jump = n.add_latch_in("id.is_jump", false, "id");
+    let id_is_jump_o = n.latch_output(id_is_jump);
+
+    let mut ex_class = Vec::new();
+    for i in 0..10 {
+        ex_class.push(n.add_latch_in(format!("ex.class[{i}]"), i == 0, "ex"));
+    }
+    let ex_class_o: Vec<SignalId> = ex_class.iter().map(|&l| n.latch_output(l)).collect();
+    let (ex_dest, ex_dest_h) = Word::register(&mut n, "ex.dest", 5, 0, "ex");
+    let ex_valid = n.add_latch_in("ex.valid", false, "ex");
+    let ex_valid_o = n.latch_output(ex_valid);
+    let ex_is_load = n.add_latch_in("ex.is_load", false, "ex");
+    let ex_is_load_o = n.latch_output(ex_is_load);
+    let ex_link_flag = n.add_latch_in("ex.link_flag", false, "ex");
+    let ex_link_flag_o = n.latch_output(ex_link_flag);
+    let ex_hi_flag = n.add_latch_in("ex.hi_flag", false, "ex");
+    let ex_hi_flag_o = n.latch_output(ex_hi_flag);
+
+    let mut mem_class = Vec::new();
+    for i in 0..4 {
+        mem_class.push(n.add_latch_in(format!("mem.class[{i}]"), i == 0, "mem"));
+    }
+    let mem_class_o: Vec<SignalId> = mem_class.iter().map(|&l| n.latch_output(l)).collect();
+    let (mem_dest, mem_dest_h) = Word::register(&mut n, "mem.dest", 5, 0, "mem");
+    let mem_valid = n.add_latch_in("mem.valid", false, "mem");
+    let mem_valid_o = n.latch_output(mem_valid);
+
+    let wb_wen = n.add_latch_in("wb.wen", false, "wb");
+    let wb_wen_o = n.latch_output(wb_wen);
+    let wb_valid = n.add_latch_in("wb.valid", false, "wb");
+    let wb_valid_o = n.latch_output(wb_valid);
+
+    let (haz_hist, haz_hist_h) = Word::register(&mut n, "interlock.hist", 8, 0, "interlock");
+    let mut ilk_state = Vec::new();
+    for i in 0..8 {
+        ilk_state.push(n.add_latch_in(format!("interlock.state[{i}]"), i == 0, "interlock"));
+    }
+    let ilk_state_o: Vec<SignalId> = ilk_state.iter().map(|&l| n.latch_output(l)).collect();
+    let ld_prev1 = n.add_latch_in("interlock.ld_prev1", false, "interlock");
+    let ld_prev1_o = n.latch_output(ld_prev1);
+    let ld_prev2 = n.add_latch_in("interlock.ld_prev2", false, "interlock");
+    let ld_prev2_o = n.latch_output(ld_prev2);
+    let (cmp_sync, cmp_sync_h) = Word::register(&mut n, "interlock.cmp_sync", 2, 0, "interlock");
+    let (ilk_flags, ilk_flags_h) = Word::register(&mut n, "interlock.flags", 4, 0, "interlock");
+
+    let br_pending = n.add_latch_in("branch.pending", false, "branch");
+    let br_pending_o = n.latch_output(br_pending);
+    let br_squash = n.add_latch_in("branch.squash", false, "branch");
+    let br_squash_o = n.latch_output(br_squash);
+    let br_sel = n.add_latch_in("branch.sel", false, "branch");
+    let br_sel_o = n.latch_output(br_sel);
+
+    // ---------------- combinational control ----------------
+    // Destination-address field of the instruction at decode: R-type uses
+    // rd, I-type (including JAL/JALR by input-format convention) uses the
+    // rs2/rd field.
+    let dest_field = Word::mux(&mut n, dec.is_rtype, &rd_r, &rfield);
+
+    // Load-use interlock comparators.
+    let m1 = ex_dest.eq_word(&mut n, &rs1_f);
+    let m2 = ex_dest.eq_word(&mut n, &rfield);
+    let raw_rs1 = n.and(m1, dec.uses_rs1);
+    let raw_rs2 = n.and(m2, dec.uses_rs2);
+    let raw_any = n.or(raw_rs1, raw_rs2);
+    let ex_dest_nz = ex_dest.any(&mut n);
+    let not_stallflag = n.not(id_stallflag_o);
+    let mut load_stall = n.and(ex_is_load_o, ex_valid_o);
+    load_stall = n.and(load_stall, raw_any);
+    load_stall = n.and(load_stall, ex_dest_nz);
+    load_stall = n.and(load_stall, id_valid_o);
+    load_stall = n.and(load_stall, not_stallflag);
+
+    // Memory-wait stall.
+    let mem_op = n.or(mem_class_o[1], mem_class_o[2]);
+    let not_ready = n.not(mem_ready);
+    let mem_stall = n.and(mem_op, not_ready);
+
+    // Redundant deadlock guard through the interlock state (provably
+    // inert: two consecutive load stalls are impossible because of the
+    // `stallflag` guard, so the sequencer never advances). This is
+    // exactly the kind of state the paper's "remove interlock registers"
+    // step proves away.
+    let mut guard = n.and(ilk_state_o[7], haz_hist.bit(7));
+    let g1 = n.and(cmp_sync.bit(0), cmp_sync.bit(1));
+    guard = n.and(guard, g1);
+    let g2 = n.and(ilk_flags.bit(3), ld_prev2_o);
+    guard = n.and(guard, g2);
+
+    // The paper's own structure: `assign stall = load_stall | mem_stall`.
+    let mut stall = n.or(load_stall, mem_stall);
+    stall = n.or(stall, guard);
+
+    // Branch resolution at EX: the datapath's condition evaluation
+    // arrives as `zero_flag`; the PSW inputs select extended conditions.
+    let mut ext_cond = n.constant(false);
+    for i in 0..5 {
+        let t = n.and(psw.bit(i), func.bit(i));
+        ext_cond = n.or(ext_cond, t);
+    }
+    let zf5 = n.and(zero_flag, func.bit(5));
+    ext_cond = n.or(ext_cond, zf5);
+    let cond = n.or(zero_flag, ext_cond);
+    let ex_is_jump_any = {
+        let j = n.or(ex_class_o[6], ex_class_o[7]);
+        n.or(j, ex_class_o[8])
+    };
+    let br_taken = n.and(ex_class_o[5], cond);
+    let taken = n.or(br_taken, ex_is_jump_any);
+    let squash = n.or(taken, br_squash_o);
+
+    let not_stall = n.not(stall);
+    let not_squash = n.not(squash);
+    let advance = n.and(not_stall, not_squash);
+
+    // ---------------- next-state functions ----------------
+    // fetch sequencer: rotate when fetching, hold on stall, reset on
+    // squash.
+    let f_go = {
+        let ni = n.not(icache_stall);
+        n.and(not_stall, ni)
+    };
+    for i in 0..16 {
+        let prev = fstate_out[(i + 15) % 16];
+        let rot = n.mux(f_go, prev, fstate_out[i]);
+        let is0 = n.constant(i == 0);
+        let nx = n.mux(squash, is0, rot);
+        n.set_latch_next(fstate[i], nx);
+    }
+    {
+        let ni = n.not(icache_stall);
+        let v = n.or(ni, f_brpend_o);
+        let nx = n.mux(squash, ni, v);
+        n.set_latch_next(if_valid, nx);
+        n.set_latch_next(f_brpend, squash);
+        // Squash counter: shift in squash events.
+        let c0 = squash;
+        let c1 = n.and(squash_cnt.bit(0), squash);
+        squash_cnt_h.set_next(&mut n, &Word::from_bits(vec![c0, c1]));
+        // Instruction-buffer valid shift register.
+        let b0 = f_go;
+        let b1 = n.and(ibuf.bit(0), f_go);
+        let b2 = n.and(ibuf.bit(1), f_go);
+        let b3 = n.and(ibuf.bit(2), f_go);
+        ibuf_h.set_next(&mut n, &Word::from_bits(vec![b0, b1, b2, b3]));
+    }
+
+    // id flags.
+    {
+        let v = n.and(if_valid_o, not_squash);
+        let nx = n.mux(stall, id_valid_o, v);
+        n.set_latch_next(id_valid, nx);
+        n.set_latch_next(id_stallflag, stall);
+        let brn = n.and(dec.is_branch, advance);
+        n.set_latch_next(id_is_branch, brn);
+        let jmpn = n.and(dec.is_jump_any, advance);
+        n.set_latch_next(id_is_jump, jmpn);
+    }
+
+    // ex stage: classes advance from the decoded input instruction;
+    // bubbles (Nop-hot) on stall or squash.
+    {
+        let issue = {
+            let t = n.and(id_valid_o, advance);
+            n.and(t, if_valid_o)
+        };
+        let mut others = n.constant(false);
+        for (cls, &latch) in dec.class.iter().zip(&ex_class).skip(1) {
+            let nx = n.and(*cls, issue);
+            n.set_latch_next(latch, nx);
+            others = n.or(others, nx);
+        }
+        // Nop is hot whenever no other class is (one-hot by construction).
+        let nop_next = n.not(others);
+        n.set_latch_next(ex_class[0], nop_next);
+
+        let issue_w = n.and(issue, dec.writes_reg);
+        let gated = dest_field.gate(&mut n, issue_w);
+        ex_dest_h.set_next(&mut n, &gated);
+        n.set_latch_next(ex_valid, issue);
+        let ldn = n.and(dec.class[3], issue);
+        n.set_latch_next(ex_is_load, ldn);
+        let is31 = dest_field.eq_const(&mut n, 31);
+        let linkn = n.and(is31, issue_w);
+        n.set_latch_next(ex_link_flag, linkn);
+        let hin = n.and(dest_field.bit(4), issue_w);
+        n.set_latch_next(ex_hi_flag, hin);
+    }
+
+    // mem stage.
+    {
+        let to_load = n.and(ex_valid_o, ex_class_o[3]);
+        let to_store = n.and(ex_valid_o, ex_class_o[4]);
+        let mut oth = n.or(ex_class_o[1], ex_class_o[2]);
+        oth = n.or(oth, ex_class_o[7]);
+        oth = n.or(oth, ex_class_o[8]);
+        oth = n.or(oth, ex_class_o[9]);
+        let to_other = n.and(ex_valid_o, oth);
+        let nv = n.not(ex_valid_o);
+        let mut bub = n.or(nv, ex_class_o[0]);
+        bub = n.or(bub, ex_class_o[5]);
+        bub = n.or(bub, ex_class_o[6]);
+        // Hold the MEM stage while waiting for memory.
+        let hold = mem_stall;
+        let nb = n.mux(hold, mem_class_o[0], bub);
+        let nl = n.mux(hold, mem_class_o[1], to_load);
+        let nst = n.mux(hold, mem_class_o[2], to_store);
+        let no = n.mux(hold, mem_class_o[3], to_other);
+        n.set_latch_next(mem_class[0], nb);
+        n.set_latch_next(mem_class[1], nl);
+        n.set_latch_next(mem_class[2], nst);
+        n.set_latch_next(mem_class[3], no);
+        let dn = Word::mux(&mut n, hold, &mem_dest, &ex_dest);
+        mem_dest_h.set_next(&mut n, &dn);
+        let vn = n.mux(hold, mem_valid_o, ex_valid_o);
+        n.set_latch_next(mem_valid, vn);
+    }
+
+    // wb stage.
+    {
+        let writes = n.or(mem_class_o[1], mem_class_o[3]);
+        let dnz = mem_dest.any(&mut n);
+        let mut wen = n.and(mem_valid_o, writes);
+        wen = n.and(wen, dnz);
+        n.set_latch_next(wb_wen, wen);
+        let nbub = n.not(mem_class_o[0]);
+        let v = n.and(mem_valid_o, nbub);
+        n.set_latch_next(wb_valid, v);
+    }
+
+    // interlock bookkeeping.
+    {
+        let mut hist_bits = vec![load_stall];
+        for i in 0..7 {
+            hist_bits.push(haz_hist.bit(i));
+        }
+        haz_hist_h.set_next(&mut n, &Word::from_bits(hist_bits));
+        let adv = n.and(haz_hist.bit(0), haz_hist.bit(1));
+        for i in 0..8 {
+            let prev = ilk_state_o[(i + 7) % 8];
+            let nx = n.mux(adv, prev, ilk_state_o[i]);
+            n.set_latch_next(ilk_state[i], nx);
+        }
+        n.set_latch_next(ld_prev1, ex_is_load_o);
+        n.set_latch_next(ld_prev2, ld_prev1_o);
+        cmp_sync_h.set_next(&mut n, &Word::from_bits(vec![raw_rs1, raw_rs2]));
+        let waw = {
+            let t = ex_dest.eq_word(&mut n, &mem_dest);
+            let u = n.and(ex_valid_o, mem_valid_o);
+            n.and(t, u)
+        };
+        let f1 = ilk_flags.bit(0);
+        let f2 = ilk_flags.bit(1);
+        let f3 = ilk_flags.bit(2);
+        ilk_flags_h.set_next(&mut n, &Word::from_bits(vec![waw, f1, f2, f3]));
+    }
+
+    // branch unit.
+    {
+        let pend = {
+            let t = n.or(id_is_branch_o, id_is_jump_o);
+            n.and(t, not_squash)
+        };
+        n.set_latch_next(br_pending, pend);
+        n.set_latch_next(br_squash, taken);
+        let seln = n.mux(br_pending_o, id_is_jump_o, br_sel_o);
+        n.set_latch_next(br_sel, seln);
+    }
+
+    // ---------------- outputs ----------------
+    let rf_wen = n.and(wb_wen_o, wb_valid_o);
+    let is_alu_like = n.or(dec.class[1], dec.class[2]);
+    let alu_ops: Vec<SignalId> = (0..5)
+        .map(|i| {
+            let b = func.bit(i);
+            n.and(b, is_alu_like)
+        })
+        .collect();
+    let alu_src = dec.class[2];
+    let mem_read = mem_class_o[1];
+    let mem_write = mem_class_o[2];
+    let mem_be: Vec<SignalId> = (0..4)
+        .map(|i| {
+            let b0 = op.bit(i % 2);
+            let b1 = op.bit(3 - (i % 2));
+            let t = n.xor(b0, b1);
+            n.and(t, mem_op)
+        })
+        .collect();
+    let wb_sel0 = mem_class_o[1]; // select load data
+    let wb_sel1 = ex_link_flag_o; // select link value
+    let pc_src0 = squash;
+    let pc_src1 = br_sel_o;
+    let fetch_en = {
+        let mut early = n.constant(false);
+        for &s in fstate_out.iter().take(8) {
+            early = n.or(early, s);
+        }
+        let mut en = n.and(early, not_stall);
+        // Throttle on a full instruction buffer or a recent double squash.
+        let buf_full = ibuf.bit(3);
+        let nb = n.not(buf_full);
+        en = n.and(en, nb);
+        let double_squash = squash_cnt.bit(1);
+        let nd = n.not(double_squash);
+        n.and(en, nd)
+    };
+    let id_en = not_stall;
+    let ex_en = {
+        let h = n.not(ex_hi_flag_o);
+        n.and(advance, h)
+    };
+    let imm_sel = {
+        let mut t = n.or(dec.class[2], dec.class[3]);
+        t = n.or(t, dec.class[4]);
+        t
+    };
+    let signals: Vec<SignalId> = vec![
+        stall, squash, br_sel_o, rf_wen, alu_ops[0], alu_ops[1], alu_ops[2], alu_ops[3],
+        alu_ops[4], alu_src, mem_read, mem_write, mem_be[0], mem_be[1], mem_be[2], mem_be[3],
+        wb_sel0, wb_sel1, pc_src0, pc_src1, fetch_en, id_en, ex_en, imm_sel,
+    ];
+    for (idx, sig) in signals.into_iter().enumerate() {
+        let name = CONTROL_SIGNALS[idx];
+        let double = idx < 18;
+        let l1 = n.add_latch_in(format!("sync.{name}.0"), false, "sync_out");
+        n.set_latch_next(l1, sig);
+        let l1o = n.latch_output(l1);
+        let out = if double {
+            let l2 = n.add_latch_in(format!("sync.{name}.1"), false, "sync_out");
+            n.set_latch_next(l2, l1o);
+            n.latch_output(l2)
+        } else {
+            l1o
+        };
+        n.add_output(name, out);
+    }
+
+    // Observation module: instruction trace register + perf signatures.
+    // Every bit is scrambled with the perf-event strobe, as trace
+    // compactors do — which also means no trace bit is ever a constant.
+    let mut obs_out = Vec::new();
+    for i in 0..32 {
+        let l = n.add_latch_in(format!("obs.trace[{i}]"), false, "obs");
+        let src = n.xor(instr.bit(i), perf_event);
+        n.set_latch_next(l, src);
+        obs_out.push(n.latch_output(l));
+    }
+    for g in 0..8 {
+        let mut sig = n.constant(false);
+        for b in 0..4 {
+            sig = n.xor(sig, obs_out[g * 4 + b]);
+        }
+        n.add_output(format!("trace_sig{g}"), sig);
+    }
+
+    debug_assert!(n.check().is_empty(), "{:?}", n.check());
+    n
+}
+
+/// Encodes the standard 41-bit input vector of the initial control model
+/// from an instruction word and status bits.
+pub fn initial_inputs(
+    instr_word: u32,
+    zero_flag: bool,
+    mem_ready: bool,
+    psw: u8,
+    icache_stall: bool,
+    perf_event: bool,
+) -> Vec<bool> {
+    let mut v = Vec::with_capacity(41);
+    for b in 0..32 {
+        v.push((instr_word >> b) & 1 == 1);
+    }
+    v.push(zero_flag);
+    v.push(mem_ready);
+    for b in 0..5 {
+        v.push((psw >> b) & 1 == 1);
+    }
+    v.push(icache_stall);
+    v.push(perf_event);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Instr, MemWidth, Reg};
+    use simcov_netlist::SimState;
+
+    #[test]
+    fn figure_3a_statistics() {
+        let n = initial_control_netlist();
+        let s = n.stats();
+        assert_eq!(s.latches, 160, "Fig 3(a): 160 state elements");
+        assert_eq!(s.inputs, 41, "Fig 3(a): 41 primary inputs");
+        assert_eq!(s.outputs, 32, "Fig 3(a): 32 primary outputs");
+    }
+
+    #[test]
+    fn module_inventory() {
+        let n = initial_control_netlist();
+        let count = |m: &str| n.module_latches(m).len();
+        assert_eq!(count("fetch"), 24);
+        assert_eq!(count("id"), 4);
+        assert_eq!(count("ex"), 19);
+        assert_eq!(count("mem"), 10);
+        assert_eq!(count("wb"), 2);
+        assert_eq!(count("interlock"), 24);
+        assert_eq!(count("branch"), 3);
+        assert_eq!(count("sync_out"), 42);
+        assert_eq!(count("obs"), 32);
+    }
+
+    /// Drives the control with an instruction stream; returns the
+    /// `(stall, squash)` output history (synchronized outputs, so events
+    /// appear two cycles after the combinational condition).
+    fn drive(
+        n: &simcov_netlist::Netlist,
+        instrs: &[u32],
+        status: impl Fn(usize) -> (bool, bool),
+    ) -> Vec<(bool, bool)> {
+        let mut sim = SimState::new(n);
+        let mut hist = Vec::new();
+        for (cyc, &w) in instrs.iter().enumerate() {
+            let (zf, ready) = status(cyc);
+            let inputs = initial_inputs(w, zf, ready, 0, false, false);
+            let outs = sim.step(n, &inputs);
+            hist.push((outs[0], outs[1]));
+        }
+        hist
+    }
+
+    #[test]
+    fn load_use_hazard_asserts_stall() {
+        let n = initial_control_netlist();
+        let lw = Instr::Load {
+            width: MemWidth::Word,
+            signed: true,
+            rd: Reg(2),
+            rs1: Reg(1),
+            imm: 0,
+        }
+        .encode();
+        let dep = Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(2), rs2: Reg(2) }.encode();
+        let nop = Instr::Nop.encode();
+        let hist = drive(&n, &[lw, dep, nop, nop, nop, nop, nop, nop], |_| (false, true));
+        assert!(hist.iter().any(|&(s, _)| s), "stall must assert somewhere: {hist:?}");
+        // Without the dependence, no stall.
+        let indep =
+            Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(1) }.encode();
+        let hist = drive(&n, &[lw, indep, nop, nop, nop, nop, nop, nop], |_| (false, true));
+        assert!(hist.iter().all(|&(s, _)| !s), "no stall expected: {hist:?}");
+    }
+
+    #[test]
+    fn branch_causes_squash() {
+        let n = initial_control_netlist();
+        let br = Instr::Branch { on_zero: true, rs1: Reg(1), imm: 4 }.encode();
+        let nop = Instr::Nop.encode();
+        let hist = drive(&n, &[br, nop, nop, nop, nop, nop, nop], |_| (true, true));
+        assert!(hist.iter().any(|&(_, q)| q), "squash must assert: {hist:?}");
+        let hist = drive(&n, &[br, nop, nop, nop, nop, nop, nop], |_| (false, true));
+        assert!(hist.iter().all(|&(_, q)| !q), "no squash expected: {hist:?}");
+    }
+
+    #[test]
+    fn jump_always_squashes() {
+        let n = initial_control_netlist();
+        let j = Instr::Jump { link: false, offset: 4 }.encode();
+        let nop = Instr::Nop.encode();
+        let hist = drive(&n, &[j, nop, nop, nop, nop, nop], |_| (false, true));
+        assert!(hist.iter().any(|&(_, q)| q), "{hist:?}");
+    }
+
+    #[test]
+    fn mem_wait_stalls_persistently() {
+        let n = initial_control_netlist();
+        let sw = Instr::Store { width: MemWidth::Word, rs2: Reg(2), rs1: Reg(1), imm: 0 }
+            .encode();
+        let nop = Instr::Nop.encode();
+        let hist = drive(&n, &[sw, nop, nop, nop, nop, nop, nop, nop], |_| (false, false));
+        let stalls = hist.iter().filter(|&&(s, _)| s).count();
+        assert!(stalls >= 3, "persistent mem stall expected: {hist:?}");
+    }
+
+    #[test]
+    fn nop_stream_is_quiet() {
+        let n = initial_control_netlist();
+        let nop = Instr::Nop.encode();
+        let hist = drive(&n, &[nop; 10], |_| (false, true));
+        assert!(hist.iter().all(|&(s, q)| !s && !q), "{hist:?}");
+    }
+
+    #[test]
+    fn rf_wen_follows_alu_instruction() {
+        let n = initial_control_netlist();
+        let add = Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode();
+        let nop = Instr::Nop.encode();
+        let mut sim = SimState::new(&n);
+        let mut wen_hist = Vec::new();
+        for &w in &[add, nop, nop, nop, nop, nop, nop, nop] {
+            let outs = sim.step(&n, &initial_inputs(w, false, true, 0, false, false));
+            wen_hist.push(outs[3]);
+        }
+        assert!(wen_hist.iter().any(|&w| w), "rf_wen must pulse: {wen_hist:?}");
+        // An instruction writing r0 must not enable the write port.
+        let add0 = Instr::Alu { op: AluOp::Add, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) }.encode();
+        let mut sim = SimState::new(&n);
+        let mut wen_hist = Vec::new();
+        for &w in &[add0, nop, nop, nop, nop, nop, nop, nop] {
+            let outs = sim.step(&n, &initial_inputs(w, false, true, 0, false, false));
+            wen_hist.push(outs[3]);
+        }
+        assert!(wen_hist.iter().all(|&w| !w), "r0 write must be discarded: {wen_hist:?}");
+    }
+
+    #[test]
+    fn ex_class_stays_one_hot() {
+        use rand::{Rng, SeedableRng};
+        let n = initial_control_netlist();
+        let class_latches: Vec<usize> = ex_class_names()
+            .iter()
+            .map(|nm| n.latch_by_name(nm).unwrap().index())
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut sim = SimState::new(&n);
+        for _ in 0..200 {
+            let w: u32 = rng.gen();
+            let zf: bool = rng.gen();
+            let ready: bool = rng.gen_bool(0.8);
+            sim.step(&n, &initial_inputs(w, zf, ready, rng.gen::<u8>() & 31, false, false));
+            let hot = class_latches.iter().filter(|&&i| sim.state()[i]).count();
+            assert_eq!(hot, 1, "ex.class must stay one-hot");
+        }
+    }
+
+    #[test]
+    fn mem_class_stays_one_hot() {
+        use rand::{Rng, SeedableRng};
+        let n = initial_control_netlist();
+        let class_latches: Vec<usize> = mem_class_names()
+            .iter()
+            .map(|nm| n.latch_by_name(nm).unwrap().index())
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut sim = SimState::new(&n);
+        for _ in 0..200 {
+            let w: u32 = rng.gen();
+            sim.step(
+                &n,
+                &initial_inputs(w, rng.gen(), rng.gen_bool(0.7), 0, false, false),
+            );
+            let hot = class_latches.iter().filter(|&&i| sim.state()[i]).count();
+            assert_eq!(hot, 1, "mem.class must stay one-hot");
+        }
+    }
+
+    #[test]
+    fn interlock_sequencer_never_advances() {
+        // The invariant justifying the "remove interlock registers" step:
+        // the 8-state sequencer is stuck at its initial state because two
+        // consecutive load stalls are impossible.
+        use rand::{Rng, SeedableRng};
+        let n = initial_control_netlist();
+        let state0 = n.latch_by_name("interlock.state[0]").unwrap().index();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut sim = SimState::new(&n);
+        for _ in 0..500 {
+            let w: u32 = rng.gen();
+            sim.step(&n, &initial_inputs(w, rng.gen(), rng.gen_bool(0.9), 0, false, false));
+            assert!(sim.state()[state0], "interlock sequencer must stay at state 0");
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! The DLX integer instruction set: encoding, decoding and opcode
+//! classes.
+//!
+//! The subset matches the paper's case-study design: the full integer ISA
+//! without floating point and without exception handling. Encodings
+//! follow the classic DLX layout:
+//!
+//! ```text
+//! R-type: | op(6)=0 | rs1(5) | rs2(5) | rd(5) | func(11) |
+//! I-type: | op(6)   | rs1(5) | rd(5)  |     imm(16)      |
+//! J-type: | op(6)   |            offset(26)              |
+//! ```
+//!
+//! The program counter is *word-addressed* in this model (one instruction
+//! per address); branch and jump offsets are in instructions. Data memory
+//! is byte-addressed.
+
+use std::fmt;
+
+/// A register number `r0..r31` (`r0` reads as zero; writes to it are
+/// discarded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const R0: Reg = Reg(0);
+    /// The link register used by `JAL`/`JALR`.
+    pub const LINK: Reg = Reg(31);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// R-type ALU operations (`func` field values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Addu,
+    Sub,
+    Subu,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Seq,
+    Sne,
+    Slt,
+    Sgt,
+    Sle,
+    Sge,
+}
+
+impl AluOp {
+    /// All ALU operations, in `func`-code order.
+    pub const ALL: [AluOp; 16] = [
+        AluOp::Add,
+        AluOp::Addu,
+        AluOp::Sub,
+        AluOp::Subu,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Seq,
+        AluOp::Sne,
+        AluOp::Slt,
+        AluOp::Sgt,
+        AluOp::Sle,
+        AluOp::Sge,
+    ];
+
+    /// The `func` field encoding.
+    pub fn func_code(self) -> u32 {
+        AluOp::ALL.iter().position(|&o| o == self).expect("in table") as u32
+    }
+
+    /// Decodes a `func` field value.
+    pub fn from_func_code(code: u32) -> Option<AluOp> {
+        AluOp::ALL.get(code as usize).copied()
+    }
+
+    /// Applies the operation to two 32-bit values.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        let sa = a as i32;
+        let sb = b as i32;
+        match self {
+            AluOp::Add | AluOp::Addu => a.wrapping_add(b),
+            AluOp::Sub | AluOp::Subu => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => (sa.wrapping_shr(b & 31)) as u32,
+            AluOp::Seq => (a == b) as u32,
+            AluOp::Sne => (a != b) as u32,
+            AluOp::Slt => (sa < sb) as u32,
+            AluOp::Sgt => (sa > sb) as u32,
+            AluOp::Sle => (sa <= sb) as u32,
+            AluOp::Sge => (sa >= sb) as u32,
+        }
+    }
+}
+
+/// Memory access widths for loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MemWidth {
+    Byte,
+    Half,
+    Word,
+}
+
+/// One DLX instruction, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// R-type ALU: `rd = rs1 op rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// I-type ALU: `rd = rs1 op imm` (imm sign-extended for arithmetic /
+    /// comparisons, zero-extended for logical ops, as in DLX).
+    AluImm {
+        /// Operation (shift amounts use the low 5 bits of `imm`).
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+    },
+    /// `LHI rd, imm`: load the immediate into the high half-word.
+    Lhi {
+        /// Destination.
+        rd: Reg,
+        /// Immediate placed in bits 31..16.
+        imm: u16,
+    },
+    /// Load: `rd = mem[rs1 + imm]`.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend the loaded value (LB/LH vs LBU/LHU).
+        signed: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Sign-extended displacement.
+        imm: u16,
+    },
+    /// Store: `mem[rs1 + imm] = rs2`.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Value register.
+        rs2: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Sign-extended displacement.
+        imm: u16,
+    },
+    /// `BEQZ`/`BNEZ rs1, offset`: branch when `rs1 == 0` (`on_zero`) or
+    /// `rs1 != 0`.
+    Branch {
+        /// Branch when the register equals zero (`BEQZ`) or not (`BNEZ`).
+        on_zero: bool,
+        /// Tested register.
+        rs1: Reg,
+        /// Sign-extended instruction offset, relative to the *next* PC.
+        imm: u16,
+    },
+    /// `J offset` / `JAL offset` (link in r31).
+    Jump {
+        /// Save the return address in r31.
+        link: bool,
+        /// Sign-extended 26-bit instruction offset, relative to next PC.
+        offset: i32,
+    },
+    /// `JR rs1` / `JALR rs1`.
+    JumpReg {
+        /// Save the return address in r31.
+        link: bool,
+        /// Target register (word-addressed PC value).
+        rs1: Reg,
+    },
+    /// Stop the machine (`TRAP 0` in the class design).
+    Halt,
+}
+
+/// Primary opcodes (I/J-type); R-type instructions use `OP_RTYPE` with a
+/// `func` field.
+pub mod opcode {
+    #![allow(missing_docs)]
+    pub const OP_RTYPE: u32 = 0x00;
+    pub const OP_J: u32 = 0x02;
+    pub const OP_JAL: u32 = 0x03;
+    pub const OP_BEQZ: u32 = 0x04;
+    pub const OP_BNEZ: u32 = 0x05;
+    pub const OP_ADDI: u32 = 0x08;
+    pub const OP_ADDUI: u32 = 0x09;
+    pub const OP_SUBI: u32 = 0x0A;
+    pub const OP_SUBUI: u32 = 0x0B;
+    pub const OP_ANDI: u32 = 0x0C;
+    pub const OP_ORI: u32 = 0x0D;
+    pub const OP_XORI: u32 = 0x0E;
+    pub const OP_LHI: u32 = 0x0F;
+    pub const OP_JR: u32 = 0x12;
+    pub const OP_JALR: u32 = 0x13;
+    pub const OP_SLLI: u32 = 0x14;
+    pub const OP_NOP: u32 = 0x15;
+    pub const OP_SRLI: u32 = 0x16;
+    pub const OP_SRAI: u32 = 0x17;
+    pub const OP_SEQI: u32 = 0x18;
+    pub const OP_SNEI: u32 = 0x19;
+    pub const OP_SLTI: u32 = 0x1A;
+    pub const OP_SGTI: u32 = 0x1B;
+    pub const OP_SLEI: u32 = 0x1C;
+    pub const OP_SGEI: u32 = 0x1D;
+    pub const OP_LB: u32 = 0x20;
+    pub const OP_LH: u32 = 0x21;
+    pub const OP_LW: u32 = 0x23;
+    pub const OP_LBU: u32 = 0x24;
+    pub const OP_LHU: u32 = 0x25;
+    pub const OP_SB: u32 = 0x28;
+    pub const OP_SH: u32 = 0x29;
+    pub const OP_SW: u32 = 0x2B;
+    pub const OP_HALT: u32 = 0x3F;
+}
+
+/// Coarse instruction classes — the granularity at which the pipeline
+/// *control* distinguishes instructions, and therefore the class alphabet
+/// of the control test model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// `NOP` (and pipeline bubbles).
+    Nop,
+    /// R-type register ALU.
+    Alu,
+    /// I-type immediate ALU (including `LHI`).
+    AluImm,
+    /// Loads.
+    Load,
+    /// Stores.
+    Store,
+    /// Conditional branches.
+    Branch,
+    /// `J`.
+    Jump,
+    /// `JAL` (writes r31).
+    JumpLink,
+    /// `JR` / `JALR`.
+    JumpReg,
+    /// `HALT`.
+    Halt,
+}
+
+impl OpClass {
+    /// All classes, in the order used by the control model's one-hot
+    /// encoding.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::Nop,
+        OpClass::Alu,
+        OpClass::AluImm,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Jump,
+        OpClass::JumpLink,
+        OpClass::JumpReg,
+        OpClass::Halt,
+    ];
+
+    /// Index of this class in [`OpClass::ALL`].
+    pub fn index(self) -> usize {
+        OpClass::ALL.iter().position(|&c| c == self).expect("in table")
+    }
+
+    /// `true` for classes that write a destination register. (`JumpReg`
+    /// is conservatively `false`; `JALR`'s r31 write is visible through
+    /// [`Instr::dest`].)
+    pub fn writes_reg(self) -> bool {
+        matches!(
+            self,
+            OpClass::Alu | OpClass::AluImm | OpClass::Load | OpClass::JumpLink
+        )
+    }
+}
+
+impl Instr {
+    /// The control-level class of this instruction.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Instr::Nop => OpClass::Nop,
+            Instr::Alu { .. } => OpClass::Alu,
+            Instr::AluImm { .. } | Instr::Lhi { .. } => OpClass::AluImm,
+            Instr::Load { .. } => OpClass::Load,
+            Instr::Store { .. } => OpClass::Store,
+            Instr::Branch { .. } => OpClass::Branch,
+            Instr::Jump { link: false, .. } => OpClass::Jump,
+            Instr::Jump { link: true, .. } => OpClass::JumpLink,
+            Instr::JumpReg { .. } => OpClass::JumpReg,
+            Instr::Halt => OpClass::Halt,
+        }
+    }
+
+    /// The destination register written by this instruction, if any
+    /// (writes to r0 are discarded and reported as `None`).
+    pub fn dest(&self) -> Option<Reg> {
+        let d = match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Lhi { rd, .. }
+            | Instr::Load { rd, .. } => Some(rd),
+            Instr::Jump { link: true, .. } | Instr::JumpReg { link: true, .. } => {
+                Some(Reg::LINK)
+            }
+            _ => None,
+        };
+        d.filter(|r| r.0 != 0)
+    }
+
+    /// Source registers read by this instruction (up to two).
+    pub fn sources(&self) -> (Option<Reg>, Option<Reg>) {
+        match *self {
+            Instr::Alu { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instr::AluImm { rs1, .. } | Instr::Load { rs1, .. } => (Some(rs1), None),
+            Instr::Store { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instr::Branch { rs1, .. } | Instr::JumpReg { rs1, .. } => (Some(rs1), None),
+            _ => (None, None),
+        }
+    }
+
+    /// Encodes to the 32-bit instruction word.
+    pub fn encode(&self) -> u32 {
+        use opcode::*;
+        fn r(op: u32, rs1: Reg, rs2: Reg, rd: Reg, func: u32) -> u32 {
+            (op << 26)
+                | ((rs1.0 as u32) << 21)
+                | ((rs2.0 as u32) << 16)
+                | ((rd.0 as u32) << 11)
+                | (func & 0x7ff)
+        }
+        fn i(op: u32, rs1: Reg, rd: Reg, imm: u16) -> u32 {
+            (op << 26) | ((rs1.0 as u32) << 21) | ((rd.0 as u32) << 16) | imm as u32
+        }
+        match *self {
+            Instr::Nop => OP_NOP << 26,
+            Instr::Alu { op, rd, rs1, rs2 } => r(OP_RTYPE, rs1, rs2, rd, op.func_code()),
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let opc = match op {
+                    AluOp::Add => OP_ADDI,
+                    AluOp::Addu => OP_ADDUI,
+                    AluOp::Sub => OP_SUBI,
+                    AluOp::Subu => OP_SUBUI,
+                    AluOp::And => OP_ANDI,
+                    AluOp::Or => OP_ORI,
+                    AluOp::Xor => OP_XORI,
+                    AluOp::Sll => OP_SLLI,
+                    AluOp::Srl => OP_SRLI,
+                    AluOp::Sra => OP_SRAI,
+                    AluOp::Seq => OP_SEQI,
+                    AluOp::Sne => OP_SNEI,
+                    AluOp::Slt => OP_SLTI,
+                    AluOp::Sgt => OP_SGTI,
+                    AluOp::Sle => OP_SLEI,
+                    AluOp::Sge => OP_SGEI,
+                };
+                i(opc, rs1, rd, imm)
+            }
+            Instr::Lhi { rd, imm } => i(OP_LHI, Reg::R0, rd, imm),
+            Instr::Load { width, signed, rd, rs1, imm } => {
+                let opc = match (width, signed) {
+                    (MemWidth::Byte, true) => OP_LB,
+                    (MemWidth::Byte, false) => OP_LBU,
+                    (MemWidth::Half, true) => OP_LH,
+                    (MemWidth::Half, false) => OP_LHU,
+                    (MemWidth::Word, _) => OP_LW,
+                };
+                i(opc, rs1, rd, imm)
+            }
+            Instr::Store { width, rs2, rs1, imm } => {
+                let opc = match width {
+                    MemWidth::Byte => OP_SB,
+                    MemWidth::Half => OP_SH,
+                    MemWidth::Word => OP_SW,
+                };
+                i(opc, rs1, rs2, imm)
+            }
+            Instr::Branch { on_zero, rs1, imm } => {
+                i(if on_zero { OP_BEQZ } else { OP_BNEZ }, rs1, Reg::R0, imm)
+            }
+            Instr::Jump { link, offset } => {
+                let op = if link { OP_JAL } else { OP_J };
+                (op << 26) | ((offset as u32) & 0x03ff_ffff)
+            }
+            Instr::JumpReg { link, rs1 } => {
+                i(if link { OP_JALR } else { OP_JR }, rs1, Reg::R0, 0)
+            }
+            Instr::Halt => OP_HALT << 26,
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// Returns `None` for illegal encodings (unknown opcode or R-type
+    /// `func`).
+    pub fn decode(word: u32) -> Option<Instr> {
+        use opcode::*;
+        let op = word >> 26;
+        let rs1 = Reg(((word >> 21) & 31) as u8);
+        let rfield = Reg(((word >> 16) & 31) as u8); // rs2 (R/store) or rd (I)
+        let imm = (word & 0xffff) as u16;
+        let decoded = match op {
+            OP_RTYPE => {
+                let rd = Reg(((word >> 11) & 31) as u8);
+                let func = word & 0x7ff;
+                let alu = AluOp::from_func_code(func)?;
+                Instr::Alu { op: alu, rd, rs1, rs2: rfield }
+            }
+            OP_NOP => Instr::Nop,
+            OP_J => Instr::Jump { link: false, offset: sext26(word) },
+            OP_JAL => Instr::Jump { link: true, offset: sext26(word) },
+            OP_BEQZ => Instr::Branch { on_zero: true, rs1, imm },
+            OP_BNEZ => Instr::Branch { on_zero: false, rs1, imm },
+            OP_ADDI => imm_alu(AluOp::Add, rfield, rs1, imm),
+            OP_ADDUI => imm_alu(AluOp::Addu, rfield, rs1, imm),
+            OP_SUBI => imm_alu(AluOp::Sub, rfield, rs1, imm),
+            OP_SUBUI => imm_alu(AluOp::Subu, rfield, rs1, imm),
+            OP_ANDI => imm_alu(AluOp::And, rfield, rs1, imm),
+            OP_ORI => imm_alu(AluOp::Or, rfield, rs1, imm),
+            OP_XORI => imm_alu(AluOp::Xor, rfield, rs1, imm),
+            OP_SLLI => imm_alu(AluOp::Sll, rfield, rs1, imm),
+            OP_SRLI => imm_alu(AluOp::Srl, rfield, rs1, imm),
+            OP_SRAI => imm_alu(AluOp::Sra, rfield, rs1, imm),
+            OP_SEQI => imm_alu(AluOp::Seq, rfield, rs1, imm),
+            OP_SNEI => imm_alu(AluOp::Sne, rfield, rs1, imm),
+            OP_SLTI => imm_alu(AluOp::Slt, rfield, rs1, imm),
+            OP_SGTI => imm_alu(AluOp::Sgt, rfield, rs1, imm),
+            OP_SLEI => imm_alu(AluOp::Sle, rfield, rs1, imm),
+            OP_SGEI => imm_alu(AluOp::Sge, rfield, rs1, imm),
+            OP_LHI => Instr::Lhi { rd: rfield, imm },
+            OP_LB => load(MemWidth::Byte, true, rfield, rs1, imm),
+            OP_LBU => load(MemWidth::Byte, false, rfield, rs1, imm),
+            OP_LH => load(MemWidth::Half, true, rfield, rs1, imm),
+            OP_LHU => load(MemWidth::Half, false, rfield, rs1, imm),
+            OP_LW => load(MemWidth::Word, true, rfield, rs1, imm),
+            OP_SB => Instr::Store { width: MemWidth::Byte, rs2: rfield, rs1, imm },
+            OP_SH => Instr::Store { width: MemWidth::Half, rs2: rfield, rs1, imm },
+            OP_SW => Instr::Store { width: MemWidth::Word, rs2: rfield, rs1, imm },
+            OP_JR => Instr::JumpReg { link: false, rs1 },
+            OP_JALR => Instr::JumpReg { link: true, rs1 },
+            OP_HALT => Instr::Halt,
+            _ => return None,
+        };
+        Some(decoded)
+    }
+}
+
+fn imm_alu(op: AluOp, rd: Reg, rs1: Reg, imm: u16) -> Instr {
+    Instr::AluImm { op, rd, rs1, imm }
+}
+
+fn load(width: MemWidth, signed: bool, rd: Reg, rs1: Reg, imm: u16) -> Instr {
+    Instr::Load { width, signed, rd, rs1, imm }
+}
+
+fn sext26(word: u32) -> i32 {
+    ((word << 6) as i32) >> 6
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", format!("{op:?}").to_lowercase())
+            }
+            Instr::Lhi { rd, imm } => write!(f, "lhi {rd}, {imm}"),
+            Instr::Load { width, signed, rd, rs1, imm } => {
+                let m = mem_mnemonic("l", width, Some(signed));
+                write!(f, "{m} {rd}, {imm}({rs1})")
+            }
+            Instr::Store { width, rs2, rs1, imm } => {
+                let m = mem_mnemonic("s", width, None);
+                write!(f, "{m} {rs2}, {imm}({rs1})")
+            }
+            Instr::Branch { on_zero, rs1, imm } => {
+                write!(f, "{} {rs1}, {}", if on_zero { "beqz" } else { "bnez" }, imm as i16)
+            }
+            Instr::Jump { link, offset } => {
+                write!(f, "{} {offset}", if link { "jal" } else { "j" })
+            }
+            Instr::JumpReg { link, rs1 } => {
+                write!(f, "{} {rs1}", if link { "jalr" } else { "jr" })
+            }
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+fn mem_mnemonic(prefix: &str, width: MemWidth, signed: Option<bool>) -> String {
+    let w = match width {
+        MemWidth::Byte => "b",
+        MemWidth::Half => "h",
+        MemWidth::Word => "w",
+    };
+    let u = match signed {
+        Some(false) if width != MemWidth::Word => "u",
+        _ => "",
+    };
+    format!("{prefix}{w}{u}")
+}
+
+pub use AluOp as Alu;
+pub use MemWidth as Width;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let w = i.encode();
+        let d = Instr::decode(w).unwrap_or_else(|| panic!("decode failed for {i}"));
+        assert_eq!(i, d, "word {w:#010x}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        for op in AluOp::ALL {
+            roundtrip(Instr::Alu { op, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) });
+            roundtrip(Instr::AluImm { op, rd: Reg(7), rs1: Reg(30), imm: 0xBEEF });
+        }
+        roundtrip(Instr::Nop);
+        roundtrip(Instr::Lhi { rd: Reg(5), imm: 0x1234 });
+        for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
+            roundtrip(Instr::Load { width, signed: true, rd: Reg(4), rs1: Reg(2), imm: 8 });
+            roundtrip(Instr::Store { width, rs2: Reg(4), rs1: Reg(2), imm: 12 });
+        }
+        // Unsigned loads (word loads are canonically signed).
+        roundtrip(Instr::Load {
+            width: MemWidth::Byte,
+            signed: false,
+            rd: Reg(4),
+            rs1: Reg(2),
+            imm: 8,
+        });
+        roundtrip(Instr::Branch { on_zero: true, rs1: Reg(9), imm: (-4i16) as u16 });
+        roundtrip(Instr::Branch { on_zero: false, rs1: Reg(9), imm: 16 });
+        roundtrip(Instr::Jump { link: false, offset: -100 });
+        roundtrip(Instr::Jump { link: true, offset: 1 << 20 });
+        roundtrip(Instr::JumpReg { link: false, rs1: Reg(31) });
+        roundtrip(Instr::JumpReg { link: true, rs1: Reg(6) });
+        roundtrip(Instr::Halt);
+    }
+
+    #[test]
+    fn illegal_encodings_rejected() {
+        // Unknown opcode.
+        assert_eq!(Instr::decode(0x3E << 26), None);
+        // R-type with out-of-range func.
+        assert_eq!(Instr::decode(0x0000_0700), None);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u32::MAX);
+        assert_eq!(AluOp::Slt.apply(u32::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(AluOp::Sge.apply(u32::MAX, 0), 0);
+        assert_eq!(AluOp::Sra.apply(0x8000_0000, 31), 0xffff_ffff);
+        assert_eq!(AluOp::Srl.apply(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Sll.apply(1, 33), 2); // shift amount masked
+        assert_eq!(AluOp::Seq.apply(7, 7), 1);
+        assert_eq!(AluOp::Sne.apply(7, 7), 0);
+    }
+
+    #[test]
+    fn classes_and_dest() {
+        let i = Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) };
+        assert_eq!(i.class(), OpClass::Alu);
+        assert_eq!(i.dest(), Some(Reg(3)));
+        // r0 destination is discarded.
+        let z = Instr::Alu { op: AluOp::Add, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) };
+        assert_eq!(z.dest(), None);
+        let j = Instr::Jump { link: true, offset: 2 };
+        assert_eq!(j.class(), OpClass::JumpLink);
+        assert_eq!(j.dest(), Some(Reg::LINK));
+        assert_eq!(Instr::Halt.class(), OpClass::Halt);
+        assert_eq!(OpClass::Halt.index(), 9);
+    }
+
+    #[test]
+    fn sources() {
+        let st = Instr::Store { width: MemWidth::Word, rs2: Reg(4), rs1: Reg(2), imm: 0 };
+        assert_eq!(st.sources(), (Some(Reg(2)), Some(Reg(4))));
+        let b = Instr::Branch { on_zero: true, rs1: Reg(9), imm: 0 };
+        assert_eq!(b.sources(), (Some(Reg(9)), None));
+        assert_eq!(Instr::Nop.sources(), (None, None));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Instr::Load {
+            width: MemWidth::Byte,
+            signed: false,
+            rd: Reg(4),
+            rs1: Reg(2),
+            imm: 8,
+        };
+        assert_eq!(i.to_string(), "lbu r4, 8(r2)");
+        assert_eq!(Instr::Nop.to_string(), "nop");
+    }
+
+    #[test]
+    fn jump_offset_sign_extension() {
+        let j = Instr::Jump { link: false, offset: -1 };
+        let d = Instr::decode(j.encode()).unwrap();
+        assert_eq!(d, j);
+    }
+}

@@ -1,0 +1,46 @@
+//! The DLX processor case study (Section 7 of the paper).
+//!
+//! DLX (Hennessy & Patterson) is the canonical teaching RISC. The paper
+//! validates a 5-stage pipelined Verilog implementation (NCSU class
+//! project: integer subset, no floating point or exceptions, with an
+//! interlock module handling pipeline hazards) against its ISA
+//! specification, deriving a 22-latch control test model through the
+//! abstraction sequence of Fig 3(b).
+//!
+//! This crate rebuilds all of it in Rust:
+//!
+//! * [`isa`] — the DLX integer instruction set: encoding, decoding,
+//!   opcode classes;
+//! * [`asm`] — a small assembler for writing test programs;
+//! * [`spec`] — the ISA-level (behavioural) specification simulator:
+//!   one instruction per step, architectural state only;
+//! * [`pipeline`] — the cycle-accurate 5-stage pipelined implementation
+//!   with interlock detection, bypassing (forwarding), branch squashing
+//!   and stalling — plus injectable *control faults* that model the
+//!   output/transfer errors of the paper's fault model;
+//! * [`checkpoint`] — retire-event checkpoints and
+//!   [`simcov_core::TraceSource`] adapters for both models (the Figure 1
+//!   comparison);
+//! * [`control`] — the pipeline-control netlist: the initial abstract
+//!   test model of Fig 3(a) (160 latches, 41 PIs, 32 POs);
+//! * [`testmodel`] — the abstraction pipeline of Fig 3(b)
+//!   (160 → 118 → 110 → 86 → 54 → 46 → 22 latches), the 18-bit abstract
+//!   instruction format, the valid-input constraint, and reduced models
+//!   for explicit end-to-end experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod checkpoint;
+pub mod control;
+pub mod expand;
+pub mod isa;
+pub mod pipeline;
+pub mod spec;
+pub mod testmodel;
+
+pub use checkpoint::RetireEvent;
+pub use isa::{Instr, OpClass, Reg};
+pub use pipeline::{ControlFault, Pipeline};
+pub use spec::Spec;

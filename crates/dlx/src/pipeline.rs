@@ -1,0 +1,772 @@
+//! The cycle-accurate 5-stage pipelined DLX implementation.
+//!
+//! The micro-architecture mirrors the paper's case-study design: a
+//! standard IF/ID/EX/MEM/WB pipeline with
+//!
+//! * **interlock detection** — a load followed by a dependent instruction
+//!   stalls decode for one cycle (load-use hazard);
+//! * **bypassing** — ALU results forward from EX/MEM to EX, and
+//!   two-instruction-old results reach EX through the write-first
+//!   register file;
+//! * **squashing** — control flow resolves in EX; on a taken branch or
+//!   jump, the two younger instructions in IF and ID are squashed
+//!   (2-cycle penalty);
+//! * **stalling** — decode holds its instruction while an interlock is
+//!   pending.
+//!
+//! [`ControlFault`]s switch off individual control behaviours — these are
+//! the *implementation errors* (output/transfer errors of the pipeline
+//! control FSM) that the generated test sets must expose.
+
+use crate::checkpoint::RetireEvent;
+use crate::isa::{Instr, MemWidth, Reg};
+use crate::spec::imm_operand;
+use std::collections::{HashMap, VecDeque};
+
+/// An injectable pipeline-control error.
+///
+/// Each variant corresponds to a class of control-FSM error in the
+/// paper's model: broken interlocks and bypasses are *output errors* of
+/// the control (wrong stall/forward-select signals on specific
+/// transitions); a corrupted destination tag or missing squash is a
+/// *transfer error* (the control's bookkeeping state goes wrong).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ControlFault {
+    /// The golden (correct) implementation.
+    #[default]
+    None,
+    /// The load-use interlock never stalls: a dependent instruction
+    /// immediately after a load reads a stale register value.
+    DisableLoadInterlock,
+    /// The EX/MEM → EX forwarding path is broken: distance-1 ALU
+    /// dependencies read stale register values.
+    DisableExMemBypass,
+    /// The register file writes at the end of the cycle instead of the
+    /// beginning: distance-2 dependencies read stale values.
+    DisableMemWbBypass,
+    /// Taken branches redirect the PC but fail to squash the two
+    /// wrong-path instructions already fetched.
+    NoBranchSquash,
+    /// The destination-register tag is corrupted (low bit flipped) as an
+    /// instruction moves from EX to MEM: results are written to the wrong
+    /// register.
+    CorruptDestInMem,
+}
+
+impl ControlFault {
+    /// All faults (excluding [`ControlFault::None`]).
+    pub const ALL: [ControlFault; 5] = [
+        ControlFault::DisableLoadInterlock,
+        ControlFault::DisableExMemBypass,
+        ControlFault::DisableMemWbBypass,
+        ControlFault::NoBranchSquash,
+        ControlFault::CorruptDestInMem,
+    ];
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IfId {
+    instr: Instr,
+    pc: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IdEx {
+    instr: Instr,
+    pc: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ExMem {
+    instr: Instr,
+    pc: u32,
+    /// ALU result / effective address / link value.
+    alu: u32,
+    /// Store data (read in EX).
+    store_val: u32,
+    next_pc: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemWb {
+    instr: Instr,
+    pc: u32,
+    reg_write: Option<(Reg, u32)>,
+    mem_write: Option<(u32, u32)>,
+    next_pc: u32,
+}
+
+/// The pipelined implementation: program, architectural state, pipeline
+/// registers and the injected control fault.
+///
+/// # Example
+///
+/// ```
+/// use simcov_dlx::{asm, Pipeline};
+///
+/// let prog = simcov_dlx::asm::program(&["addi r1, r0, 2", "add r2, r1, r1", "halt"]);
+/// let mut p = Pipeline::new(prog);
+/// let events = p.run_to_halt(1000, 100);
+/// assert_eq!(events.len(), 3);
+/// assert_eq!(p.reg(simcov_dlx::isa::Reg(2)), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    program: Vec<Instr>,
+    fault: ControlFault,
+    pc: u32,
+    regs: [u32; 32],
+    mem: HashMap<u32, u8>,
+    if_id: Option<IfId>,
+    id_ex: Option<IdEx>,
+    ex_mem: Option<ExMem>,
+    mem_wb: Option<MemWb>,
+    halt_fetched: bool,
+    halted: bool,
+    cycles: u64,
+    stall_cycles: u64,
+    squashed_instrs: u64,
+    /// Test-mode override of branch conditions (the paper's "take control
+    /// of the datapath-sourced signals" solution): when non-empty, each
+    /// resolving conditional branch pops its outcome from this queue
+    /// instead of testing the register value.
+    forced_branches: Option<VecDeque<bool>>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the program loaded at PC 0 and zeroed
+    /// architectural state.
+    pub fn new(program: Vec<Instr>) -> Self {
+        Pipeline {
+            program,
+            fault: ControlFault::None,
+            pc: 0,
+            regs: [0; 32],
+            mem: HashMap::new(),
+            if_id: None,
+            id_ex: None,
+            ex_mem: None,
+            mem_wb: None,
+            halt_fetched: false,
+            halted: false,
+            cycles: 0,
+            stall_cycles: 0,
+            squashed_instrs: 0,
+            forced_branches: None,
+        }
+    }
+
+    /// Injects a control fault (builder style).
+    pub fn with_fault(mut self, fault: ControlFault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Takes control of conditional-branch outcomes: each resolving
+    /// branch pops the next queued direction instead of testing its
+    /// register (used when replaying test-model sequences whose
+    /// `zero_flag` was a free input; see Sections 6.1 and 6.5 of the
+    /// paper, and [`crate::expand::branch_outcomes`]). Once the queue is
+    /// exhausted, branches resolve naturally again.
+    pub fn with_forced_branch_outcomes(mut self, outcomes: Vec<bool>) -> Self {
+        self.forced_branches = Some(outcomes.into());
+        self
+    }
+
+    /// Register value (`r0` reads 0).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// One byte of data memory.
+    pub fn mem_byte(&self, addr: u32) -> u8 {
+        *self.mem.get(&addr).unwrap_or(&0)
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles lost to interlock stalls.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Wrong-path instructions squashed.
+    pub fn squashed_instrs(&self) -> u64 {
+        self.squashed_instrs
+    }
+
+    /// `true` once `HALT` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// `true` when the pipeline can make no further progress (halted, or
+    /// drained past the end of the program).
+    pub fn drained(&self) -> bool {
+        self.halted
+            || (self.if_id.is_none()
+                && self.id_ex.is_none()
+                && self.ex_mem.is_none()
+                && self.mem_wb.is_none()
+                && (self.halt_fetched || self.pc as usize >= self.program.len()))
+    }
+
+    fn load_value(&self, width: MemWidth, signed: bool, addr: u32) -> u32 {
+        let byte = |a: u32| self.mem_byte(a);
+        match (width, signed) {
+            (MemWidth::Byte, false) => byte(addr) as u32,
+            (MemWidth::Byte, true) => byte(addr) as i8 as i32 as u32,
+            (MemWidth::Half, false) => {
+                u16::from_le_bytes([byte(addr), byte(addr.wrapping_add(1))]) as u32
+            }
+            (MemWidth::Half, true) => {
+                u16::from_le_bytes([byte(addr), byte(addr.wrapping_add(1))]) as i16 as i32
+                    as u32
+            }
+            (MemWidth::Word, _) => u32::from_le_bytes([
+                byte(addr),
+                byte(addr.wrapping_add(1)),
+                byte(addr.wrapping_add(2)),
+                byte(addr.wrapping_add(3)),
+            ]),
+        }
+    }
+
+    fn store_value(&mut self, width: MemWidth, addr: u32, value: u32) -> (u32, u32) {
+        match width {
+            MemWidth::Byte => {
+                self.mem.insert(addr, value as u8);
+                (addr, value & 0xff)
+            }
+            MemWidth::Half => {
+                let b = (value as u16).to_le_bytes();
+                self.mem.insert(addr, b[0]);
+                self.mem.insert(addr.wrapping_add(1), b[1]);
+                (addr, value & 0xffff)
+            }
+            MemWidth::Word => {
+                for (i, b) in value.to_le_bytes().iter().enumerate() {
+                    self.mem.insert(addr.wrapping_add(i as u32), *b);
+                }
+                (addr, value)
+            }
+        }
+    }
+
+    /// Advances one clock cycle; returns the retire event of the
+    /// instruction completing WB this cycle, if any.
+    pub fn step(&mut self) -> Option<RetireEvent> {
+        if self.halted {
+            return None;
+        }
+        self.cycles += 1;
+
+        // ---------------- WB ----------------
+        let mut retire = None;
+        let mut deferred_write: Option<(Reg, u32)> = None;
+        if let Some(wb) = self.mem_wb.take() {
+            if let Some((r, v)) = wb.reg_write {
+                if self.fault == ControlFault::DisableMemWbBypass {
+                    // Faulty register file: write at end of cycle, after
+                    // EX has read its operands.
+                    deferred_write = Some((r, v));
+                } else {
+                    self.regs[r.0 as usize] = v;
+                }
+            }
+            retire = Some(RetireEvent {
+                pc: wb.pc,
+                instr: wb.instr,
+                reg_write: wb.reg_write,
+                mem_write: wb.mem_write,
+                next_pc: wb.next_pc,
+            });
+            if wb.instr == Instr::Halt {
+                self.halted = true;
+            }
+        }
+
+        // ---------------- MEM ----------------
+        let prev_ex_mem = self.ex_mem; // forwarding source for EX below
+        let new_mem_wb = self.ex_mem.take().map(|em| {
+            let mut mem_write = None;
+            let value = match em.instr {
+                Instr::Load { width, signed, .. } => self.load_value(width, signed, em.alu),
+                Instr::Store { width, .. } => {
+                    mem_write = Some(self.store_value(width, em.alu, em.store_val));
+                    0
+                }
+                _ => em.alu,
+            };
+            let mut dest = em.instr.dest();
+            if self.fault == ControlFault::CorruptDestInMem {
+                dest = dest.map(|r| Reg(r.0 ^ 1)).filter(|r| r.0 != 0);
+            }
+            MemWb {
+                instr: em.instr,
+                pc: em.pc,
+                reg_write: dest.map(|r| (r, value)),
+                mem_write,
+                next_pc: em.next_pc,
+            }
+        });
+
+        // ---------------- EX ----------------
+        let mut squash_redirect: Option<u32> = None;
+        let fault = self.fault;
+        let operand = move |regs: &[u32; 32], r: Reg| -> u32 {
+            if r.0 == 0 {
+                return 0;
+            }
+            if fault != ControlFault::DisableExMemBypass {
+                if let Some(em) = &prev_ex_mem {
+                    if em.instr.dest() == Some(r)
+                        && !matches!(em.instr, Instr::Load { .. })
+                    {
+                        return em.alu;
+                    }
+                }
+            }
+            regs[r.0 as usize]
+        };
+        let mut forced: Option<bool> = None;
+        if let Some(q) = self.forced_branches.as_mut() {
+            if matches!(self.id_ex.map(|d| d.instr), Some(Instr::Branch { .. })) {
+                forced = q.pop_front();
+            }
+        }
+        let new_ex_mem = self.id_ex.take().map(|de| {
+            let seq = de.pc.wrapping_add(1);
+            let mut alu = 0u32;
+            let mut store_val = 0u32;
+            let mut next_pc = seq;
+            match de.instr {
+                Instr::Nop => {}
+                Instr::Alu { op, rs1, rs2, .. } => {
+                    alu = op.apply(operand(&self.regs, rs1), operand(&self.regs, rs2));
+                }
+                Instr::AluImm { op, rs1, imm, .. } => {
+                    alu = op.apply(operand(&self.regs, rs1), imm_operand(op, imm));
+                }
+                Instr::Lhi { imm, .. } => alu = (imm as u32) << 16,
+                Instr::Load { rs1, imm, .. } => {
+                    alu = operand(&self.regs, rs1).wrapping_add(imm as i16 as i32 as u32);
+                }
+                Instr::Store { rs1, rs2, imm, .. } => {
+                    alu = operand(&self.regs, rs1).wrapping_add(imm as i16 as i32 as u32);
+                    store_val = operand(&self.regs, rs2);
+                }
+                Instr::Branch { on_zero, rs1, imm } => {
+                    let natural = (operand(&self.regs, rs1) == 0) == on_zero;
+                    let taken = match forced.take() {
+                        Some(dir) => dir,
+                        None => natural,
+                    };
+                    if taken {
+                        next_pc = seq.wrapping_add(imm as i16 as i32 as u32);
+                        squash_redirect = Some(next_pc);
+                    }
+                }
+                Instr::Jump { offset, .. } => {
+                    alu = seq; // link value (used by JAL)
+                    next_pc = seq.wrapping_add(offset as u32);
+                    squash_redirect = Some(next_pc);
+                }
+                Instr::JumpReg { rs1, .. } => {
+                    alu = seq;
+                    next_pc = operand(&self.regs, rs1);
+                    squash_redirect = Some(next_pc);
+                }
+                Instr::Halt => {
+                    next_pc = de.pc;
+                }
+            }
+            ExMem { instr: de.instr, pc: de.pc, alu, store_val, next_pc }
+        });
+        // The instruction that just executed (now in new_ex_mem) is also
+        // the interlock-relevant "previous" instruction for decode.
+        let ex_instr_is_load = matches!(
+            new_ex_mem.as_ref().map(|em| em.instr),
+            Some(Instr::Load { .. })
+        );
+        let ex_dest = new_ex_mem.as_ref().and_then(|em| em.instr.dest());
+
+        // ---------------- ID + IF ----------------
+        let mut new_id_ex;
+        let mut new_if_id;
+        if let Some(target) = squash_redirect {
+            self.pc = target;
+            if self.fault == ControlFault::NoBranchSquash {
+                // Buggy control: redirect without killing the wrong path.
+                (new_id_ex, new_if_id) = self.advance_front(ex_instr_is_load, ex_dest);
+            } else {
+                self.squashed_instrs +=
+                    self.if_id.is_some() as u64 + 1; // IF-stage fetch + ID instr
+                self.if_id = None;
+                new_id_ex = None;
+                new_if_id = None;
+                self.halt_fetched = false;
+            }
+        } else {
+            (new_id_ex, new_if_id) = self.advance_front(ex_instr_is_load, ex_dest);
+        }
+
+        // When halting, stop the front end from making progress.
+        if self.halted {
+            new_id_ex = None;
+            new_if_id = None;
+        }
+
+        // ---------------- commit ----------------
+        self.mem_wb = new_mem_wb;
+        self.ex_mem = new_ex_mem;
+        self.id_ex = new_id_ex;
+        self.if_id = new_if_id;
+        if let Some((r, v)) = deferred_write {
+            self.regs[r.0 as usize] = v;
+        }
+        retire
+    }
+
+    /// Decode + fetch for one cycle (no squash in progress). Returns
+    /// `(new ID/EX, new IF/ID)`.
+    fn advance_front(
+        &mut self,
+        ex_is_load: bool,
+        ex_dest: Option<Reg>,
+    ) -> (Option<IdEx>, Option<IfId>) {
+        // Load-use interlock: the instruction in decode depends on a load
+        // currently in EX.
+        let stall = if self.fault == ControlFault::DisableLoadInterlock {
+            false
+        } else if let (Some(f), true, Some(d)) = (&self.if_id, ex_is_load, ex_dest) {
+            let (s1, s2) = f.instr.sources();
+            s1 == Some(d) || s2 == Some(d)
+        } else {
+            false
+        };
+        if stall {
+            self.stall_cycles += 1;
+            // Bubble into EX; IF/ID holds; no fetch.
+            return (None, self.if_id);
+        }
+        let new_id_ex = self.if_id.take().map(|f| IdEx { instr: f.instr, pc: f.pc });
+        let new_if_id = if !self.halt_fetched {
+            match self.program.get(self.pc as usize) {
+                Some(&instr) => {
+                    let fetched = IfId { instr, pc: self.pc };
+                    if instr == Instr::Halt {
+                        self.halt_fetched = true;
+                    }
+                    self.pc = self.pc.wrapping_add(1);
+                    Some(fetched)
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        (new_id_ex, new_if_id)
+    }
+
+    /// Runs until `HALT` retires, the pipeline drains, or a bound is hit,
+    /// collecting retire events.
+    pub fn run_to_halt(&mut self, max_cycles: usize, max_instrs: usize) -> Vec<RetireEvent> {
+        let mut events = Vec::new();
+        for _ in 0..max_cycles {
+            if let Some(ev) = self.step() {
+                events.push(ev);
+                if events.len() >= max_instrs {
+                    break;
+                }
+            }
+            if self.drained() {
+                break;
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use crate::spec::Spec;
+
+    fn compare_with_spec(lines: &[&str]) {
+        let prog = asm::program(lines);
+        let mut spec = Spec::new(prog.clone());
+        let spec_events = spec.run_to_halt(5_000);
+        let mut pipe = Pipeline::new(prog);
+        let pipe_events = pipe.run_to_halt(100_000, 5_000);
+        assert_eq!(spec_events, pipe_events);
+    }
+
+    #[test]
+    fn straight_line_alu() {
+        compare_with_spec(&[
+            "addi r1, r0, 10",
+            "addi r2, r0, 3",
+            "add r3, r1, r2",
+            "sub r4, r3, r2",
+            "xor r5, r4, r1",
+            "halt",
+        ]);
+    }
+
+    #[test]
+    fn back_to_back_dependencies_use_bypass() {
+        compare_with_spec(&[
+            "addi r1, r0, 1",
+            "add r2, r1, r1", // d=1 on r1
+            "add r3, r2, r1", // d=1 on r2, d=2 on r1
+            "add r4, r3, r2",
+            "add r5, r4, r4",
+            "halt",
+        ]);
+    }
+
+    #[test]
+    fn load_use_interlock_stalls_once() {
+        let prog = asm::program(&[
+            "addi r1, r0, 7",
+            "sw r1, 0(r0)",
+            "lw r2, 0(r0)",
+            "add r3, r2, r2", // load-use
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog.clone());
+        let events = pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.reg(Reg(3)), 14);
+        assert_eq!(pipe.stall_cycles(), 1);
+        let mut spec = Spec::new(prog);
+        assert_eq!(spec.run_to_halt(100), events);
+    }
+
+    #[test]
+    fn load_then_independent_instr_no_stall() {
+        let prog = asm::program(&[
+            "lw r2, 0(r0)",
+            "addi r3, r0, 9", // independent
+            "add r4, r2, r3",
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog);
+        pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.stall_cycles(), 0);
+        assert_eq!(pipe.reg(Reg(4)), 9);
+    }
+
+    #[test]
+    fn taken_branch_squashes_two() {
+        let prog = asm::program(&[
+            "beqz r0, 2",      // always taken -> pc 3
+            "addi r1, r0, 1",  // wrong path
+            "addi r2, r0, 2",  // wrong path
+            "addi r3, r0, 3",  // target
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog.clone());
+        let events = pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.reg(Reg(1)), 0);
+        assert_eq!(pipe.reg(Reg(2)), 0);
+        assert_eq!(pipe.reg(Reg(3)), 3);
+        assert_eq!(pipe.squashed_instrs(), 2);
+        let mut spec = Spec::new(prog);
+        assert_eq!(spec.run_to_halt(100), events);
+    }
+
+    #[test]
+    fn not_taken_branch_no_penalty() {
+        compare_with_spec(&[
+            "addi r1, r0, 1",
+            "beqz r1, 2",
+            "addi r2, r0, 5",
+            "halt",
+        ]);
+    }
+
+    #[test]
+    fn branch_condition_uses_bypassed_value() {
+        // r1 becomes 0 only via the d=1 bypass; branch must see it.
+        compare_with_spec(&[
+            "addi r1, r0, 5",
+            "subi r1, r1, 5", // r1 = 0
+            "beqz r1, 1",     // taken, needs d=1 forward of r1
+            "addi r2, r0, 99",
+            "addi r3, r0, 1",
+            "halt",
+        ]);
+    }
+
+    #[test]
+    fn loops_match_spec() {
+        compare_with_spec(&[
+            "addi r1, r0, 5",
+            "add r2, r2, r1",
+            "subi r1, r1, 1",
+            "bnez r1, -3",
+            "halt",
+        ]);
+    }
+
+    #[test]
+    fn jumps_and_links_match_spec() {
+        compare_with_spec(&[
+            "jal 2",           // -> pc 3, r31 = 1
+            "halt",            // pc 1
+            "nop",
+            "addi r1, r0, 8",  // pc 3
+            "jr r31",          // back to 1
+        ]);
+    }
+
+    #[test]
+    fn jalr_through_pipeline() {
+        compare_with_spec(&[
+            "addi r5, r0, 4",
+            "jalr r5",        // r31 = 2, jump to 4
+            "halt",           // pc 2
+            "nop",
+            "addi r6, r0, 2", // pc 4
+            "jr r31",
+        ]);
+    }
+
+    #[test]
+    fn memory_widths_match_spec() {
+        compare_with_spec(&[
+            "lhi r1, 0xDEAD",
+            "ori r1, r1, 0xBEEF",
+            "sw r1, 0(r0)",
+            "lb r2, 0(r0)",
+            "lbu r3, 1(r0)",
+            "lh r4, 2(r0)",
+            "lhu r5, 2(r0)",
+            "sb r2, 8(r0)",
+            "sh r4, 12(r0)",
+            "lw r6, 8(r0)",
+            "halt",
+        ]);
+    }
+
+    #[test]
+    fn store_data_from_recent_producer() {
+        compare_with_spec(&[
+            "addi r1, r0, 321",
+            "sw r1, 0(r0)", // d=1 store data
+            "lw r2, 0(r0)",
+            "halt",
+        ]);
+    }
+
+    #[test]
+    fn interlock_fault_breaks_load_use() {
+        let prog = asm::program(&[
+            "addi r1, r0, 7",
+            "sw r1, 0(r0)",
+            "lw r2, 0(r0)",
+            "add r3, r2, r2",
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog).with_fault(ControlFault::DisableLoadInterlock);
+        pipe.run_to_halt(1000, 100);
+        // Stale r2 (0) used instead of 7.
+        assert_eq!(pipe.reg(Reg(3)), 0);
+    }
+
+    #[test]
+    fn exmem_bypass_fault_breaks_d1() {
+        let prog = asm::program(&["addi r1, r0, 3", "add r2, r1, r1", "halt"]);
+        let mut pipe = Pipeline::new(prog).with_fault(ControlFault::DisableExMemBypass);
+        pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.reg(Reg(2)), 0); // read stale r1
+    }
+
+    #[test]
+    fn memwb_bypass_fault_breaks_d2() {
+        let prog = asm::program(&[
+            "addi r1, r0, 3",
+            "nop",
+            "add r2, r1, r1", // d=2 on r1
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog).with_fault(ControlFault::DisableMemWbBypass);
+        pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.reg(Reg(2)), 0);
+        // d=3 still works (plain register file read).
+        let prog = asm::program(&[
+            "addi r1, r0, 3",
+            "nop",
+            "nop",
+            "add r2, r1, r1",
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog).with_fault(ControlFault::DisableMemWbBypass);
+        pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.reg(Reg(2)), 6);
+    }
+
+    #[test]
+    fn no_squash_fault_executes_wrong_path() {
+        let prog = asm::program(&[
+            "beqz r0, 2",
+            "addi r1, r0, 1", // wrong path (in ID at resolve): executes under the fault
+            "addi r2, r0, 2", // wrong path but never fetched (redirect wins)
+            "addi r3, r0, 3",
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog).with_fault(ControlFault::NoBranchSquash);
+        pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.reg(Reg(1)), 1);
+        assert_eq!(pipe.reg(Reg(2)), 0);
+        assert_eq!(pipe.reg(Reg(3)), 3);
+        // The golden pipeline leaves r1 untouched.
+        let prog = asm::program(&["beqz r0, 2", "addi r1, r0, 1", "addi r2, r0, 2", "addi r3, r0, 3", "halt"]);
+        let mut golden = Pipeline::new(prog);
+        golden.run_to_halt(1000, 100);
+        assert_eq!(golden.reg(Reg(1)), 0);
+    }
+
+    #[test]
+    fn corrupt_dest_writes_wrong_register() {
+        let prog = asm::program(&["addi r2, r0, 9", "halt"]);
+        let mut pipe = Pipeline::new(prog).with_fault(ControlFault::CorruptDestInMem);
+        pipe.run_to_halt(1000, 100);
+        assert_eq!(pipe.reg(Reg(2)), 0);
+        assert_eq!(pipe.reg(Reg(3)), 9); // r2 ^ 1 = r3
+    }
+
+    #[test]
+    fn drains_without_halt() {
+        let prog = asm::program(&["addi r1, r0, 1", "addi r2, r0, 2"]);
+        let mut pipe = Pipeline::new(prog);
+        let events = pipe.run_to_halt(100, 100);
+        assert_eq!(events.len(), 2);
+        assert!(pipe.drained());
+        assert!(!pipe.halted());
+    }
+
+    #[test]
+    fn cycle_count_reflects_pipeline_depth() {
+        // n instructions, no hazards: n + 4 cycles to drain (fill + run).
+        let prog = asm::program(&[
+            "addi r1, r0, 1",
+            "addi r2, r0, 2",
+            "addi r3, r0, 3",
+            "halt",
+        ]);
+        let mut pipe = Pipeline::new(prog);
+        let events = pipe.run_to_halt(100, 100);
+        assert_eq!(events.len(), 4);
+        assert_eq!(pipe.cycles(), 4 + 4);
+    }
+}

@@ -1,0 +1,394 @@
+//! The ISA-level specification simulator: the behavioural model at the
+//! top of Figure 1 ("switch (opcode) { case 'add': ... }").
+//!
+//! One architectural instruction executes per [`Spec::step`]; there is no
+//! notion of cycles, pipelines or hazards. The retire events it produces
+//! are the golden checkpoints the pipelined implementation is validated
+//! against.
+
+use crate::checkpoint::RetireEvent;
+use crate::isa::{AluOp, Instr, MemWidth, Reg};
+use std::collections::HashMap;
+
+/// Architectural state + program of the DLX specification.
+///
+/// The PC is word-addressed (an index into the program); data memory is
+/// byte-addressed and sparse.
+///
+/// # Example
+///
+/// ```
+/// use simcov_dlx::isa::{AluOp, Instr, Reg};
+/// use simcov_dlx::Spec;
+///
+/// let prog = vec![
+///     Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 5 },
+///     Instr::Alu { op: AluOp::Add, rd: Reg(2), rs1: Reg(1), rs2: Reg(1) },
+///     Instr::Halt,
+/// ];
+/// let mut spec = Spec::new(prog);
+/// spec.run_to_halt(100);
+/// assert_eq!(spec.reg(Reg(2)), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spec {
+    program: Vec<Instr>,
+    pc: u32,
+    regs: [u32; 32],
+    mem: HashMap<u32, u8>,
+    halted: bool,
+}
+
+impl Spec {
+    /// Creates a specification simulator with the given program loaded at
+    /// PC 0 and all architectural state zero.
+    pub fn new(program: Vec<Instr>) -> Self {
+        Spec { program, pc: 0, regs: [0; 32], mem: HashMap::new(), halted: false }
+    }
+
+    /// Resets architectural state (keeps the program).
+    pub fn reset(&mut self) {
+        self.pc = 0;
+        self.regs = [0; 32];
+        self.mem.clear();
+        self.halted = false;
+    }
+
+    /// Replaces the program and resets.
+    pub fn load_program(&mut self, program: Vec<Instr>) {
+        self.program = program;
+        self.reset();
+    }
+
+    /// Current program counter (word-addressed).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Register value (`r0` always reads 0).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Pre-sets a register (test setup convenience).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// One byte of data memory (0 if never written).
+    pub fn mem_byte(&self, addr: u32) -> u8 {
+        *self.mem.get(&addr).unwrap_or(&0)
+    }
+
+    /// One little-endian word of data memory.
+    pub fn mem_word(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.mem_byte(addr),
+            self.mem_byte(addr.wrapping_add(1)),
+            self.mem_byte(addr.wrapping_add(2)),
+            self.mem_byte(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word of data memory.
+    pub fn set_mem_word(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.mem.insert(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// `true` once a `HALT` has retired (or the PC fell off the program).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u32) -> Option<(Reg, u32)> {
+        if r.0 == 0 {
+            None
+        } else {
+            self.regs[r.0 as usize] = v;
+            Some((r, v))
+        }
+    }
+
+    fn load_value(&self, width: MemWidth, signed: bool, addr: u32) -> u32 {
+        match (width, signed) {
+            (MemWidth::Byte, false) => self.mem_byte(addr) as u32,
+            (MemWidth::Byte, true) => self.mem_byte(addr) as i8 as i32 as u32,
+            (MemWidth::Half, false) => {
+                u16::from_le_bytes([self.mem_byte(addr), self.mem_byte(addr + 1)]) as u32
+            }
+            (MemWidth::Half, true) => {
+                u16::from_le_bytes([self.mem_byte(addr), self.mem_byte(addr + 1)]) as i16
+                    as i32 as u32
+            }
+            (MemWidth::Word, _) => self.mem_word(addr),
+        }
+    }
+
+    fn store_value(&mut self, width: MemWidth, addr: u32, value: u32) -> (u32, u32) {
+        match width {
+            MemWidth::Byte => {
+                self.mem.insert(addr, value as u8);
+                (addr, value & 0xff)
+            }
+            MemWidth::Half => {
+                let b = (value as u16).to_le_bytes();
+                self.mem.insert(addr, b[0]);
+                self.mem.insert(addr.wrapping_add(1), b[1]);
+                (addr, value & 0xffff)
+            }
+            MemWidth::Word => {
+                self.set_mem_word(addr, value);
+                (addr, value)
+            }
+        }
+    }
+
+    /// Executes one instruction and returns its retire event, or `None`
+    /// when halted / past the end of the program.
+    pub fn step(&mut self) -> Option<RetireEvent> {
+        if self.halted {
+            return None;
+        }
+        let pc = self.pc;
+        let Some(&instr) = self.program.get(pc as usize) else {
+            self.halted = true;
+            return None;
+        };
+        let next_seq = pc.wrapping_add(1);
+        let mut ev = RetireEvent {
+            pc,
+            instr,
+            reg_write: None,
+            mem_write: None,
+            next_pc: next_seq,
+        };
+        match instr {
+            Instr::Nop => {}
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let b = imm_operand(op, imm);
+                let v = op.apply(self.reg(rs1), b);
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::Lhi { rd, imm } => {
+                ev.reg_write = self.write_reg(rd, (imm as u32) << 16);
+            }
+            Instr::Load { width, signed, rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
+                let v = self.load_value(width, signed, addr);
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::Store { width, rs2, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
+                ev.mem_write = Some(self.store_value(width, addr, self.reg(rs2)));
+            }
+            Instr::Branch { on_zero, rs1, imm } => {
+                let taken = (self.reg(rs1) == 0) == on_zero;
+                if taken {
+                    ev.next_pc = next_seq.wrapping_add(imm as i16 as i32 as u32);
+                }
+            }
+            Instr::Jump { link, offset } => {
+                if link {
+                    ev.reg_write = self.write_reg(Reg::LINK, next_seq);
+                }
+                ev.next_pc = next_seq.wrapping_add(offset as u32);
+            }
+            Instr::JumpReg { link, rs1 } => {
+                let target = self.reg(rs1);
+                if link {
+                    ev.reg_write = self.write_reg(Reg::LINK, next_seq);
+                }
+                ev.next_pc = target;
+            }
+            Instr::Halt => {
+                self.halted = true;
+                ev.next_pc = pc;
+            }
+        }
+        self.pc = ev.next_pc;
+        Some(ev)
+    }
+
+    /// Runs until `HALT` (or `max_instrs` retirements), collecting retire
+    /// events.
+    pub fn run_to_halt(&mut self, max_instrs: usize) -> Vec<RetireEvent> {
+        let mut events = Vec::new();
+        for _ in 0..max_instrs {
+            match self.step() {
+                Some(ev) => events.push(ev),
+                None => break,
+            }
+        }
+        events
+    }
+}
+
+/// The second ALU operand for an I-type instruction: DLX zero-extends the
+/// immediate for logical operations and sign-extends it otherwise.
+pub(crate) fn imm_operand(op: AluOp, imm: u16) -> u32 {
+    match op {
+        AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Sll | AluOp::Srl | AluOp::Sra => imm as u32,
+        _ => imm as i16 as i32 as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let prog = asm::program(&["addi r1, r0, 7", "add r2, r1, r1", "sub r3, r1, r2", "halt"]);
+        let mut s = Spec::new(prog);
+        let evs = s.run_to_halt(100);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(s.reg(Reg(1)), 7);
+        assert_eq!(s.reg(Reg(2)), 14);
+        assert_eq!(s.reg(Reg(3)), (-7i32) as u32);
+        assert!(s.halted());
+        assert_eq!(s.step(), None);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let prog = asm::program(&["addi r0, r0, 99", "add r1, r0, r0", "halt"]);
+        let mut s = Spec::new(prog);
+        let evs = s.run_to_halt(100);
+        assert_eq!(s.reg(Reg(0)), 0);
+        assert_eq!(s.reg(Reg(1)), 0);
+        // The r0 write produced no reg_write event.
+        assert_eq!(evs[0].reg_write, None);
+    }
+
+    #[test]
+    fn loads_and_stores_widths() {
+        let prog = asm::program(&[
+            "lhi r1, 0x1234",
+            "ori r1, r1, 0xabcd",
+            "sw r1, 0(r0)",
+            "lw r2, 0(r0)",
+            "lb r3, 1(r0)",
+            "lbu r4, 1(r0)",
+            "lh r5, 2(r0)",
+            "lhu r6, 2(r0)",
+            "sb r1, 8(r0)",
+            "sh r1, 12(r0)",
+            "halt",
+        ]);
+        let mut s = Spec::new(prog);
+        s.run_to_halt(100);
+        assert_eq!(s.reg(Reg(2)), 0x1234_abcd);
+        assert_eq!(s.reg(Reg(3)), 0xffff_ffab); // sign-extended 0xab
+        assert_eq!(s.reg(Reg(4)), 0xab);
+        assert_eq!(s.reg(Reg(5)), 0x1234);
+        assert_eq!(s.reg(Reg(6)), 0x1234);
+        assert_eq!(s.mem_byte(8), 0xcd);
+        assert_eq!(s.mem_byte(12), 0xcd);
+        assert_eq!(s.mem_byte(13), 0xab);
+        assert_eq!(s.mem_byte(14), 0);
+    }
+
+    #[test]
+    fn branches_taken_and_not() {
+        let prog = asm::program(&[
+            "addi r1, r0, 1",
+            "beqz r1, 2", // not taken
+            "addi r2, r0, 5",
+            "bnez r1, 1", // taken, skips next
+            "addi r2, r0, 99",
+            "halt",
+        ]);
+        let mut s = Spec::new(prog);
+        s.run_to_halt(100);
+        assert_eq!(s.reg(Reg(2)), 5);
+    }
+
+    #[test]
+    fn backward_branch_loop() {
+        // r1 counts down from 3; r2 accumulates.
+        let prog = asm::program(&[
+            "addi r1, r0, 3",
+            "add r2, r2, r1",
+            "subi r1, r1, 1",
+            "bnez r1, -3",
+            "halt",
+        ]);
+        let mut s = Spec::new(prog);
+        let evs = s.run_to_halt(100);
+        assert_eq!(s.reg(Reg(2)), 6);
+        assert!(evs.len() > 5);
+    }
+
+    #[test]
+    fn jumps_and_links() {
+        let prog = asm::program(&[
+            "jal 1",          // pc 0: link r31=1, jump to pc 2
+            "halt",           // pc 1: return target
+            "addi r1, r0, 4", // pc 2
+            "jr r31",         // pc 3: back to 1
+        ]);
+        let mut s = Spec::new(prog);
+        s.run_to_halt(100);
+        assert_eq!(s.reg(Reg(31)), 1);
+        assert_eq!(s.reg(Reg(1)), 4);
+        assert!(s.halted());
+    }
+
+    #[test]
+    fn jalr_links_and_jumps() {
+        let prog = asm::program(&[
+            "addi r5, r0, 3",
+            "jalr r5", // link r31 = 2, pc = 3
+            "halt",    // pc 2
+            "jr r31",  // pc 3 -> 2
+        ]);
+        let mut s = Spec::new(prog);
+        s.run_to_halt(100);
+        assert_eq!(s.reg(Reg(31)), 2);
+        assert!(s.halted());
+    }
+
+    #[test]
+    fn logical_imm_zero_extends_arith_sign_extends() {
+        let prog = asm::program(&["ori r1, r0, 0x8000", "addi r2, r0, 0x8000", "halt"]);
+        let mut s = Spec::new(prog);
+        s.run_to_halt(10);
+        assert_eq!(s.reg(Reg(1)), 0x8000);
+        assert_eq!(s.reg(Reg(2)), 0xffff_8000);
+    }
+
+    #[test]
+    fn pc_off_end_halts() {
+        let prog = asm::program(&["addi r1, r0, 1"]);
+        let mut s = Spec::new(prog);
+        let evs = s.run_to_halt(10);
+        assert_eq!(evs.len(), 1);
+        assert!(s.halted());
+    }
+
+    #[test]
+    fn reset_restores_zero_state() {
+        let prog = asm::program(&["addi r1, r0, 7", "sw r1, 0(r0)", "halt"]);
+        let mut s = Spec::new(prog);
+        s.run_to_halt(10);
+        assert_eq!(s.reg(Reg(1)), 7);
+        s.reset();
+        assert_eq!(s.reg(Reg(1)), 0);
+        assert_eq!(s.mem_word(0), 0);
+        assert_eq!(s.pc(), 0);
+        assert!(!s.halted());
+    }
+}

@@ -1,0 +1,248 @@
+//! The DSP control test model and its derivation — the same recipe as
+//! the DLX study, applied to a fixed-program processor.
+//!
+//! The initial control model keeps everything the real controller has:
+//! the one-hot tap sequencer, the busy and output-valid flags, a pair of
+//! synchronizing latches on the outgoing control signals, and a sample
+//! counter kept only for a trace port. The abstraction pipeline then
+//! mirrors Fig 3(b) in miniature:
+//!
+//! ```text
+//! 11 ──no synchronizing latches for outputs──▶ 9
+//!    ──remove outputs not affecting control──▶ 6
+//!    ──1-hot to binary encoding─────────────▶ 4
+//! ```
+//!
+//! and the 4-latch final model is small enough to certify, tour and
+//! attack exhaustively.
+
+use simcov_fsm::EnumerateOptions;
+use simcov_netlist::{transform, Netlist};
+
+/// The expected latch counts of the miniature derivation, including the
+/// initial model.
+pub const DERIVATION_LATCH_SEQUENCE: [usize; 4] = [11, 9, 6, 4];
+
+/// Builds the initial control model of the MAC unit: datapath (delay
+/// line, multiplier, accumulator) abstracted away; its status arrives as
+/// inputs, its control leaves as outputs.
+///
+/// Inputs: `in_valid`, `flush`. Outputs: `ready`, `out_valid`, `mac_en`,
+/// `shift_en`, `acc_clr`, `trace_parity`.
+pub fn initial_control_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let in_valid = n.add_input("in_valid");
+    let flush = n.add_input("flush");
+
+    // One-hot tap sequencer (tap 0 hot at reset).
+    let mut tap = Vec::new();
+    for i in 0..4 {
+        tap.push(n.add_latch_in(format!("tap[{i}]"), i == 0, "seq"));
+    }
+    let tap_o: Vec<_> = tap.iter().map(|&l| n.latch_output(l)).collect();
+    let busy = n.add_latch_in("busy", false, "seq");
+    let busy_o = n.latch_output(busy);
+    let ov = n.add_latch_in("out_valid_r", false, "seq");
+    let ov_o = n.latch_output(ov);
+
+    // Control equations.
+    let not_busy = n.not(busy_o);
+    let accept = n.and(in_valid, not_busy);
+    let last_tap = tap_o[3];
+    let finishing = n.and(busy_o, last_tap);
+    // busy: set on accept, cleared when the last tap completes or on flush.
+    let not_flush = n.not(flush);
+    let mut busy_next = n.or(accept, busy_o);
+    let not_finishing = n.not(finishing);
+    busy_next = n.and(busy_next, not_finishing);
+    busy_next = n.and(busy_next, not_flush);
+    n.set_latch_next(busy, busy_next);
+    // Tap ring: reset to 0 on accept/flush, rotate while busy.
+    for i in 0..4 {
+        let prev = tap_o[(i + 3) % 4];
+        let rot = n.mux(busy_o, prev, tap_o[i]);
+        let reset_val = n.constant(i == 0);
+        let reset_cond = n.or(accept, flush);
+        let nx = n.mux(reset_cond, reset_val, rot);
+        n.set_latch_next(tap[i], nx);
+    }
+    n.set_latch_next(ov, finishing);
+
+    // Raw control signals (out_valid is a registered output, as in the
+    // real design: the result register is written the cycle the last MAC
+    // completes and flagged valid the next).
+    let ready = not_busy;
+    let out_valid = ov_o;
+    let mac_en = busy_o;
+    let shift_en = accept;
+    let acc_clr = accept;
+
+    // Synchronizing latches on the two datapath-bound strobes.
+    let sy1 = n.add_latch_in("sync.mac_en", false, "sync_out");
+    n.set_latch_next(sy1, mac_en);
+    let sy1_o = n.latch_output(sy1);
+    let sy2 = n.add_latch_in("sync.acc_clr", false, "sync_out");
+    n.set_latch_next(sy2, acc_clr);
+    let sy2_o = n.latch_output(sy2);
+
+    // Observation-only sample counter (3 bits) feeding a trace port.
+    let mut cnt = Vec::new();
+    for i in 0..3 {
+        cnt.push(n.add_latch_in(format!("trace.cnt[{i}]"), false, "obs"));
+    }
+    let cnt_o: Vec<_> = cnt.iter().map(|&l| n.latch_output(l)).collect();
+    let mut carry = accept;
+    for i in 0..3 {
+        let nx = n.xor(cnt_o[i], carry);
+        n.set_latch_next(cnt[i], nx);
+        carry = n.and(carry, cnt_o[i]);
+    }
+    let mut parity = n.constant(false);
+    for &c in &cnt_o {
+        parity = n.xor(parity, c);
+    }
+
+    n.add_output("ready", ready);
+    n.add_output("out_valid", out_valid);
+    n.add_output("mac_en", sy1_o);
+    n.add_output("shift_en", shift_en);
+    n.add_output("acc_clr", sy2_o);
+    n.add_output("trace_parity", parity);
+
+    debug_assert!(n.check().is_empty());
+    n
+}
+
+/// Runs the miniature derivation, returning the final 4-latch test model
+/// and the measured latch counts after each step (including the initial
+/// model).
+pub fn derive_test_model() -> (Netlist, Vec<usize>) {
+    let initial = initial_control_netlist();
+    let mut counts = vec![initial.stats().latches];
+    // Step 1: bypass the synchronizing latches.
+    let s1 = transform::bypass_latches(&initial, |_, l| l.module == "sync_out");
+    counts.push(s1.stats().latches);
+    // Step 2: remove outputs not affecting control (the trace port).
+    let s2 = transform::remove_outputs(&s1, |name| name != "trace_parity");
+    counts.push(s2.stats().latches);
+    // Step 3: one-hot -> binary re-encoding of the tap sequencer.
+    let group: Vec<_> = (0..4)
+        .map(|i| s2.latch_by_name(&format!("tap[{i}]")).expect("tap latch present"))
+        .collect();
+    let s3 = transform::reencode_onehot(&s2, &group, "tap_bin").expect("tap ring is one-hot");
+    counts.push(s3.stats().latches);
+    (s3, counts)
+}
+
+/// The final test model with its state observable (Requirement 5) —
+/// certifiable at k = 1.
+pub fn derive_test_model_observable() -> Netlist {
+    let (mut n, _) = derive_test_model();
+    for l in n.latch_ids().collect::<Vec<_>>() {
+        let name = n.latches()[l.index()].name.clone();
+        let o = n.latch_output(l);
+        n.add_output(format!("obs:{name}"), o);
+    }
+    n
+}
+
+/// All four input vectors are legal stimuli (the handshake permits any
+/// `in_valid`/`flush` combination).
+pub fn valid_inputs(n: &Netlist) -> EnumerateOptions {
+    EnumerateOptions::exhaustive(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_core::{
+        certify_completeness, enumerate_single_faults, extend_cyclically, run_campaign,
+        FaultSpace,
+    };
+    use simcov_fsm::enumerate_netlist;
+    use simcov_netlist::SimState;
+    use simcov_tour::{transition_tour, TestSet};
+
+    #[test]
+    fn derivation_latch_counts() {
+        let (fin, counts) = derive_test_model();
+        assert_eq!(counts, DERIVATION_LATCH_SEQUENCE.to_vec());
+        assert_eq!(fin.stats().latches, 4);
+        // busy, out_valid_r, tap_bin[0..2]
+        assert!(fin.latch_by_name("busy").is_some());
+        assert!(fin.latch_by_name("tap_bin[0]").is_some());
+    }
+
+    #[test]
+    fn control_matches_mac_timing() {
+        // Drive the initial control model alongside the real MAC and
+        // compare the handshake signals. `ready` is combinational (same
+        // cycle); `out_valid` is registered (one cycle after the MAC
+        // produces its result).
+        let n = initial_control_netlist();
+        let mut sim = SimState::new(&n);
+        let mut mac = crate::FirMac::new(crate::COEFFS);
+        let mut offered = false;
+        let mut prev_done = false;
+        for cyc in 0..12 {
+            let mac_ready_now = mac.ready();
+            let offer = !offered && mac_ready_now;
+            let outs = sim.step(&n, &[offer, false]);
+            assert_eq!(outs[0], mac_ready_now, "cycle {cyc}: ready mismatch");
+            assert_eq!(outs[1], prev_done, "cycle {cyc}: out_valid mismatch");
+            let y = mac.step(if offer { Some(5) } else { None });
+            prev_done = y.is_some();
+            if offer {
+                offered = true;
+            }
+        }
+        assert!(offered);
+    }
+
+    #[test]
+    fn full_methodology_on_the_dsp_model() {
+        // Certify, tour, and exhaustively attack the observable model.
+        let n = derive_test_model_observable();
+        let m = enumerate_netlist(&n, &valid_inputs(&n)).expect("enumerates");
+        assert!(m.is_strongly_connected());
+        let cert = certify_completeness(&m, 1, None).expect("observable model certifies");
+        let tour = transition_tour(&m).expect("tour");
+        let faults = enumerate_single_faults(
+            &m,
+            &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+        );
+        let tests = TestSet::single(extend_cyclically(&tour.inputs, cert.k));
+        let report = run_campaign(&m, &faults, &tests);
+        assert!(report.complete(), "{report}");
+        assert!(faults.len() > 100);
+    }
+
+    #[test]
+    fn bare_model_not_certifiable() {
+        // With only the handshake outputs, lookalike states exist (the
+        // mid-run tap states produce identical output streams along some
+        // input sequences).
+        let (n, _) = derive_test_model();
+        let m = enumerate_netlist(&n, &valid_inputs(&n)).expect("enumerates");
+        let mut certified = false;
+        for k in 1..=4 {
+            if certify_completeness(&m, k, None).is_ok() {
+                certified = true;
+                break;
+            }
+        }
+        assert!(!certified, "bare DSP control should not certify without Req 5");
+    }
+
+    #[test]
+    fn flush_resets_the_sequencer() {
+        let n = initial_control_netlist();
+        let mut sim = SimState::new(&n);
+        sim.step(&n, &[true, false]); // accept
+        sim.step(&n, &[false, false]); // MAC 0
+        let o = sim.step(&n, &[false, true]); // flush mid-run
+        assert!(!o[1], "no out_valid during the flushed run");
+        let o = sim.step(&n, &[false, false]);
+        assert!(o[0], "ready again after flush");
+    }
+}

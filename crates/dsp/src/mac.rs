@@ -1,0 +1,271 @@
+//! The implementation: a serial multiply-accumulate datapath sequenced by
+//! a one-hot tap counter, four cycles per sample.
+
+use simcov_core::TraceSource;
+
+/// Injectable control faults of the MAC sequencer — output/transfer
+/// errors of the control FSM in the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DspFault {
+    /// The golden implementation.
+    #[default]
+    None,
+    /// The tap counter skips tap 2 (a transfer error in the one-hot
+    /// sequencer): one product is never accumulated.
+    SkipTap2,
+    /// `out_valid` asserts one cycle early (an output error): the result
+    /// misses the final product.
+    OutValidEarly,
+    /// The accumulator is not cleared between samples (a wrong
+    /// `acc_clr` control output): results accumulate across samples.
+    NoAccClear,
+    /// The busy flag never asserts, so a sample offered during an ongoing
+    /// MAC run restarts it mid-flight.
+    NoBusyFlag,
+}
+
+impl DspFault {
+    /// All faults (excluding [`DspFault::None`]).
+    pub const ALL: [DspFault; 4] = [
+        DspFault::SkipTap2,
+        DspFault::OutValidEarly,
+        DspFault::NoAccClear,
+        DspFault::NoBusyFlag,
+    ];
+}
+
+/// Cycle-accurate serial-MAC implementation of the 4-tap filter.
+///
+/// Protocol: `offer(sample)` presents a sample; it is accepted only when
+/// the unit is ready (not busy). Each accepted sample starts a 4-cycle
+/// MAC run; `take_output()` returns the result the cycle the run
+/// completes.
+///
+/// # Example
+///
+/// ```
+/// use simcov_dsp::FirMac;
+/// let mut m = FirMac::new([1, 3, 3, 1]);
+/// assert_eq!(m.run_sample(1), 1);
+/// assert_eq!(m.run_sample(0), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirMac {
+    coeffs: [i32; 4],
+    delay: [i32; 4],
+    acc: i32,
+    tap: usize,
+    busy: bool,
+    out: Option<i32>,
+    fault: DspFault,
+    cycles: u64,
+}
+
+impl FirMac {
+    /// A fresh unit with zeroed delay line.
+    pub fn new(coeffs: [i32; 4]) -> Self {
+        FirMac {
+            coeffs,
+            delay: [0; 4],
+            acc: 0,
+            tap: 0,
+            busy: false,
+            out: None,
+            fault: DspFault::None,
+            cycles: 0,
+        }
+    }
+
+    /// Injects a control fault (builder style).
+    pub fn with_fault(mut self, fault: DspFault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Returns to the power-on state (keeps coefficients and fault).
+    pub fn reset(&mut self) {
+        self.delay = [0; 4];
+        self.acc = 0;
+        self.tap = 0;
+        self.busy = false;
+        self.out = None;
+        self.cycles = 0;
+    }
+
+    /// `true` when a new sample can be accepted this cycle.
+    pub fn ready(&self) -> bool {
+        !self.busy || self.fault == DspFault::NoBusyFlag
+    }
+
+    /// Cycles simulated.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Advances one clock cycle. `sample` is the value on the input port
+    /// with `in_valid` asserted; `None` means no sample offered. Returns
+    /// the output-port value when `out_valid` pulses.
+    pub fn step(&mut self, sample: Option<i32>) -> Option<i32> {
+        self.cycles += 1;
+        let mut out = None;
+        // Accept a sample when offered and (nominally) ready.
+        if let Some(x) = sample {
+            if self.ready() {
+                self.delay.rotate_right(1);
+                self.delay[0] = x;
+                if self.fault != DspFault::NoAccClear {
+                    self.acc = 0;
+                }
+                self.tap = 0;
+                self.busy = true;
+                self.out = None;
+                return None; // capture cycle; MAC starts next cycle
+            }
+        }
+        if self.busy {
+            // One MAC per cycle, unless the sequencer skips this tap.
+            if !(self.fault == DspFault::SkipTap2 && self.tap == 2) {
+                self.acc = self
+                    .acc
+                    .wrapping_add(self.coeffs[self.tap].wrapping_mul(self.delay[self.tap]));
+            }
+            let done = match self.fault {
+                DspFault::OutValidEarly => self.tap == 2,
+                _ => self.tap == 3,
+            };
+            if done {
+                self.busy = false;
+                self.out = Some(self.acc);
+                out = self.out;
+            } else {
+                self.tap += 1;
+            }
+        }
+        out
+    }
+
+    /// Convenience: offers one sample, runs cycles until its output
+    /// appears, and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit fails to produce an output within 16 cycles
+    /// (possible only under certain injected faults).
+    pub fn run_sample(&mut self, x: i32) -> i32 {
+        let mut offered = false;
+        for _ in 0..16 {
+            let stim = if offered { None } else { Some(x) };
+            if !offered && self.ready() {
+                offered = true;
+            }
+            if let Some(y) = self.step(stim) {
+                return y;
+            }
+        }
+        panic!("MAC unit failed to produce an output");
+    }
+}
+
+impl TraceSource for FirMac {
+    type Stimulus = i32;
+    type Event = i32;
+
+    fn reset(&mut self) {
+        FirMac::reset(self);
+    }
+
+    fn trace(&mut self, samples: &[i32]) -> Vec<i32> {
+        // The testbench respects the handshake: each sample waits for
+        // ready, then the run completes before the next is offered —
+        // except under NoBusyFlag, where the testbench (correctly
+        // believing the unit is always ready) pipelines offers and
+        // corrupts in-flight runs.
+        let mut events = Vec::new();
+        for &x in samples {
+            let mut offered = false;
+            for _ in 0..16 {
+                let stim = if !offered && self.ready() {
+                    offered = true;
+                    Some(x)
+                } else {
+                    None
+                };
+                if let Some(y) = self.step(stim) {
+                    events.push(y);
+                    break;
+                }
+                if offered && self.fault == DspFault::NoBusyFlag {
+                    // Believed-ready unit: move on immediately; the next
+                    // offer will restart the engine mid-run.
+                    break;
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FirSpec;
+
+    const C: [i32; 4] = [1, 3, 3, 1];
+
+    #[test]
+    fn matches_spec_on_streams() {
+        let mut spec = FirSpec::new(C);
+        let mut mac = FirMac::new(C);
+        for x in [1, -1, 5, 0, 0, 9, 122, -55, 3, 3] {
+            assert_eq!(mac.run_sample(x), spec.process(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn four_cycles_per_sample_plus_capture() {
+        let mut mac = FirMac::new(C);
+        let before = mac.cycles();
+        mac.run_sample(7);
+        assert_eq!(mac.cycles() - before, 5); // 1 capture + 4 MACs
+    }
+
+    #[test]
+    fn skip_tap2_drops_one_product() {
+        let mut mac = FirMac::new(C).with_fault(DspFault::SkipTap2);
+        // Impulse: taps emerge as 1,3,_,1 with tap 2 missing when the
+        // impulse sits at delay slot 2.
+        assert_eq!(mac.run_sample(1), 1);
+        assert_eq!(mac.run_sample(0), 3);
+        assert_eq!(mac.run_sample(0), 0); // 3·x missing
+        assert_eq!(mac.run_sample(0), 1);
+    }
+
+    #[test]
+    fn out_valid_early_truncates() {
+        let mut mac = FirMac::new(C).with_fault(DspFault::OutValidEarly);
+        // Impulse at tap 3 contributes only after the 4th MAC: missing.
+        assert_eq!(mac.run_sample(1), 1);
+        assert_eq!(mac.run_sample(0), 3);
+        assert_eq!(mac.run_sample(0), 3);
+        assert_eq!(mac.run_sample(0), 0); // last tap never accumulated
+    }
+
+    #[test]
+    fn no_acc_clear_accumulates_across_samples() {
+        let mut mac = FirMac::new(C).with_fault(DspFault::NoAccClear);
+        let y1 = mac.run_sample(1);
+        let y2 = mac.run_sample(0);
+        // Second result carries the first one.
+        assert_eq!(y1, 1);
+        assert_eq!(y2, 1 + 3);
+    }
+
+    #[test]
+    fn reset_restores_power_on() {
+        let mut mac = FirMac::new(C);
+        mac.run_sample(9);
+        mac.reset();
+        assert_eq!(mac.run_sample(0), 0);
+        assert!(mac.ready());
+    }
+}

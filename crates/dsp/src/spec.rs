@@ -1,0 +1,103 @@
+//! The behavioural specification: direct 4-tap convolution.
+
+use simcov_core::TraceSource;
+
+/// ISA-level ("architectural") model of the filter: for each accepted
+/// sample `x[n]`, the output is `y[n] = Σ_k c[k] · x[n − k]` with zero
+/// history before the first sample.
+///
+/// # Example
+///
+/// ```
+/// use simcov_dsp::FirSpec;
+/// let mut f = FirSpec::new([1, 3, 3, 1]);
+/// assert_eq!(f.process(1), 1);  // 1·1
+/// assert_eq!(f.process(0), 3);  // 3·1
+/// assert_eq!(f.process(0), 3);
+/// assert_eq!(f.process(0), 1);
+/// assert_eq!(f.process(0), 0);  // impulse has left the delay line
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirSpec {
+    coeffs: [i32; 4],
+    delay: [i32; 4],
+}
+
+impl FirSpec {
+    /// A specification with the given coefficients and zeroed history.
+    pub fn new(coeffs: [i32; 4]) -> Self {
+        FirSpec { coeffs, delay: [0; 4] }
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay = [0; 4];
+    }
+
+    /// Accepts one sample and returns the filter output (wrapping
+    /// arithmetic, matching the implementation's fixed-width MAC).
+    pub fn process(&mut self, x: i32) -> i32 {
+        self.delay.rotate_right(1);
+        self.delay[0] = x;
+        let mut acc = 0i32;
+        for k in 0..4 {
+            acc = acc.wrapping_add(self.coeffs[k].wrapping_mul(self.delay[k]));
+        }
+        acc
+    }
+}
+
+impl TraceSource for FirSpec {
+    type Stimulus = i32;
+    type Event = i32;
+
+    fn reset(&mut self) {
+        FirSpec::reset(self);
+    }
+
+    fn trace(&mut self, samples: &[i32]) -> Vec<i32> {
+        samples.iter().map(|&x| self.process(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_response_is_the_kernel() {
+        let mut f = FirSpec::new([1, 3, 3, 1]);
+        let ys: Vec<i32> = [1, 0, 0, 0, 0].iter().map(|&x| f.process(x)).collect();
+        assert_eq!(ys, vec![1, 3, 3, 1, 0]);
+    }
+
+    #[test]
+    fn linearity() {
+        let xs = [4, -2, 9, 1, 0, 7];
+        let mut fa = FirSpec::new([1, 3, 3, 1]);
+        let mut fb = FirSpec::new([1, 3, 3, 1]);
+        let mut fsum = FirSpec::new([1, 3, 3, 1]);
+        for &x in &xs {
+            let a = fa.process(x);
+            let b = fb.process(2 * x);
+            let s = fsum.process(3 * x);
+            assert_eq!(a.wrapping_add(b), s);
+        }
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut f = FirSpec::new([1, 3, 3, 1]);
+        f.process(100);
+        f.reset();
+        assert_eq!(f.process(0), 0);
+    }
+
+    #[test]
+    fn wrapping_matches_hardware() {
+        let mut f = FirSpec::new([i32::MAX, 0, 0, 0]);
+        // MAX * 2 wraps rather than panicking.
+        let y = f.process(2);
+        assert_eq!(y, i32::MAX.wrapping_mul(2));
+    }
+}

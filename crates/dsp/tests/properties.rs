@@ -1,0 +1,76 @@
+//! Property-based tests: the serial MAC against the convolution oracle.
+
+use proptest::prelude::*;
+use simcov_dsp::{DspFault, FirMac, FirSpec};
+
+proptest! {
+    /// The golden MAC equals direct convolution on arbitrary streams and
+    /// coefficient sets.
+    #[test]
+    fn mac_equals_convolution(
+        coeffs in proptest::array::uniform4(-1000..1000i32),
+        xs in proptest::collection::vec(-10_000..10_000i32, 0..40),
+    ) {
+        let mut spec = FirSpec::new(coeffs);
+        let mut mac = FirMac::new(coeffs);
+        for &x in &xs {
+            prop_assert_eq!(mac.run_sample(x), spec.process(x));
+        }
+    }
+
+    /// Oracle cross-check: the MAC output equals a directly computed dot
+    /// product over the last four samples.
+    #[test]
+    fn mac_equals_dot_product(
+        coeffs in proptest::array::uniform4(-100..100i32),
+        xs in proptest::collection::vec(-1000..1000i32, 4..24),
+    ) {
+        let mut mac = FirMac::new(coeffs);
+        let mut ys = Vec::new();
+        for &x in &xs {
+            ys.push(mac.run_sample(x));
+        }
+        for n in 3..xs.len() {
+            let expect: i32 = (0..4)
+                .map(|k| coeffs[k].wrapping_mul(xs[n - k]))
+                .fold(0i32, |a, b| a.wrapping_add(b));
+            prop_assert_eq!(ys[n], expect, "n={}", n);
+        }
+    }
+
+    /// Every injected fault either leaves a given stream's results intact
+    /// (unexcited) or produces a divergence — and for streams with at
+    /// least four nonzero samples, SkipTap2 always diverges.
+    #[test]
+    fn faults_diverge_when_excited(
+        xs in proptest::collection::vec(1..100i32, 4..16),
+    ) {
+        let coeffs = [1, 3, 3, 1];
+        let golden: Vec<i32> = {
+            let mut m = FirMac::new(coeffs);
+            xs.iter().map(|&x| m.run_sample(x)).collect()
+        };
+        for fault in [DspFault::SkipTap2, DspFault::OutValidEarly, DspFault::NoAccClear] {
+            let bad: Vec<i32> = {
+                let mut m = FirMac::new(coeffs).with_fault(fault);
+                xs.iter().map(|&x| m.run_sample(x)).collect()
+            };
+            prop_assert_ne!(&bad, &golden, "{:?} must corrupt positive streams", fault);
+        }
+    }
+
+    /// Time-invariance: prepending zeros only delays the response.
+    #[test]
+    fn time_invariance(xs in proptest::collection::vec(-500..500i32, 1..12),
+                       delay in 1..4usize) {
+        let coeffs = [1, 3, 3, 1];
+        let mut direct = FirMac::new(coeffs);
+        let ys_direct: Vec<i32> = xs.iter().map(|&x| direct.run_sample(x)).collect();
+        let mut delayed = FirMac::new(coeffs);
+        for _ in 0..delay {
+            prop_assert_eq!(delayed.run_sample(0), 0);
+        }
+        let ys_delayed: Vec<i32> = xs.iter().map(|&x| delayed.run_sample(x)).collect();
+        prop_assert_eq!(ys_direct, ys_delayed);
+    }
+}

@@ -1,0 +1,284 @@
+//! Extraction of an [`ExplicitMealy`] machine from a netlist by forward
+//! enumeration of the reachable state graph.
+//!
+//! This is the bridge from the structural/symbolic world to the explicit
+//! algorithms (tour generation, ∀k-distinguishability, fault injection):
+//! small test models — the reduced DLX control models, the Figure 2
+//! example — are enumerated exactly.
+
+use crate::explicit::{ExplicitMealy, MealyBuilder, StateId};
+use simcov_netlist::Netlist;
+use std::collections::HashMap;
+
+/// Options for [`enumerate_netlist`].
+#[derive(Debug, Clone)]
+pub struct EnumerateOptions {
+    /// The valid input vectors (the paper's input don't-cares): each entry
+    /// is one input symbol of the resulting machine.
+    pub inputs: Vec<Vec<bool>>,
+    /// Optional labels for the input symbols (defaults to bit strings).
+    pub input_labels: Option<Vec<String>>,
+    /// Abort if the reachable state count exceeds this bound.
+    pub max_states: usize,
+}
+
+impl EnumerateOptions {
+    /// Options enumerating *all* `2^n` input vectors of an `n`-input
+    /// netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 20 inputs (2^20 symbols is the
+    /// sanity bound for exhaustive alphabets).
+    pub fn exhaustive(n: &Netlist) -> Self {
+        Self::filtered(n, |_| true)
+    }
+
+    /// Options enumerating the input vectors satisfying `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 20 inputs.
+    pub fn filtered(n: &Netlist, pred: impl Fn(&[bool]) -> bool) -> Self {
+        let k = n.num_inputs();
+        assert!(k <= 20, "exhaustive input enumeration limited to 20 inputs");
+        let mut inputs = Vec::new();
+        for v in 0..(1u64 << k) {
+            let vec: Vec<bool> = (0..k).map(|b| (v >> b) & 1 == 1).collect();
+            if pred(&vec) {
+                inputs.push(vec);
+            }
+        }
+        EnumerateOptions { inputs, input_labels: None, max_states: 1 << 20 }
+    }
+}
+
+/// Errors from [`enumerate_netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumerateError {
+    /// The reachable state count exceeded `max_states`.
+    TooManyStates {
+        /// The configured bound that was exceeded.
+        bound: usize,
+    },
+    /// An input vector has the wrong width.
+    BadInputWidth {
+        /// Index of the offending vector in `options.inputs`.
+        index: usize,
+        /// Its length.
+        got: usize,
+        /// The netlist's input count.
+        want: usize,
+    },
+    /// No input vectors were supplied.
+    EmptyAlphabet,
+}
+
+impl std::fmt::Display for EnumerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumerateError::TooManyStates { bound } => {
+                write!(f, "reachable state count exceeds bound {bound}")
+            }
+            EnumerateError::BadInputWidth { index, got, want } => write!(
+                f,
+                "input vector #{index} has width {got}, netlist expects {want}"
+            ),
+            EnumerateError::EmptyAlphabet => write!(f, "no valid input vectors supplied"),
+        }
+    }
+}
+
+impl std::error::Error for EnumerateError {}
+
+fn bits_label(bits: &[bool]) -> String {
+    bits.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Enumerates the reachable state graph of `n` under the given valid input
+/// vectors into an explicit Mealy machine.
+///
+/// States are labelled with their latch-value bit strings (latch 0 is the
+/// rightmost character); outputs are interned per distinct output vector.
+///
+/// # Errors
+///
+/// See [`EnumerateError`].
+///
+/// # Example
+///
+/// ```
+/// use simcov_netlist::Netlist;
+/// use simcov_fsm::{enumerate_netlist, EnumerateOptions};
+///
+/// let mut n = Netlist::new();
+/// let q = n.add_latch("q", false);
+/// let qo = n.latch_output(q);
+/// let nq = n.not(qo);
+/// n.set_latch_next(q, nq);
+/// n.add_output("q", qo);
+/// let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).unwrap();
+/// assert_eq!(m.num_states(), 2);
+/// ```
+pub fn enumerate_netlist(
+    n: &Netlist,
+    options: &EnumerateOptions,
+) -> Result<ExplicitMealy, EnumerateError> {
+    if options.inputs.is_empty() {
+        return Err(EnumerateError::EmptyAlphabet);
+    }
+    for (index, v) in options.inputs.iter().enumerate() {
+        if v.len() != n.num_inputs() {
+            return Err(EnumerateError::BadInputWidth {
+                index,
+                got: v.len(),
+                want: n.num_inputs(),
+            });
+        }
+    }
+    let mut b = MealyBuilder::new();
+    for (k, v) in options.inputs.iter().enumerate() {
+        let label = options
+            .input_labels
+            .as_ref()
+            .map(|ls| ls[k].clone())
+            .unwrap_or_else(|| bits_label(v));
+        b.add_input(label);
+    }
+    let mut out_syms: HashMap<Vec<bool>, crate::explicit::OutputSym> = HashMap::new();
+    let mut state_ids: HashMap<Vec<bool>, StateId> = HashMap::new();
+    let init = n.initial_state();
+    let s0 = b.add_state(bits_label(&init));
+    state_ids.insert(init.clone(), s0);
+    let mut worklist = vec![init];
+    while let Some(state) = worklist.pop() {
+        let sid = state_ids[&state];
+        for (k, inp) in options.inputs.iter().enumerate() {
+            let (next, outs) = n.step(&state, inp);
+            let osym = *out_syms.entry(outs.clone()).or_insert_with(|| {
+                b.add_output(bits_label(&outs))
+            });
+            let nid = match state_ids.get(&next) {
+                Some(&id) => id,
+                None => {
+                    if state_ids.len() >= options.max_states {
+                        return Err(EnumerateError::TooManyStates {
+                            bound: options.max_states,
+                        });
+                    }
+                    let id = b.add_state(bits_label(&next));
+                    state_ids.insert(next.clone(), id);
+                    worklist.push(next.clone());
+                    id
+                }
+            };
+            b.add_transition(sid, crate::explicit::InputSym(k as u32), nid, osym);
+        }
+    }
+    Ok(b.build(s0).expect("enumeration is deterministic by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_netlist::Netlist;
+
+    fn counter2() -> Netlist {
+        let mut n = Netlist::new();
+        let en = n.add_input("en");
+        let b0 = n.add_latch("b0", false);
+        let b1 = n.add_latch("b1", false);
+        let o0 = n.latch_output(b0);
+        let o1 = n.latch_output(b1);
+        let n0 = n.xor(o0, en);
+        let c = n.and(o0, en);
+        let n1 = n.xor(o1, c);
+        n.set_latch_next(b0, n0);
+        n.set_latch_next(b1, n1);
+        n.add_output("o0", o0);
+        n.add_output("o1", o1);
+        n
+    }
+
+    #[test]
+    fn enumerates_counter() {
+        let n = counter2();
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).unwrap();
+        assert_eq!(m.num_states(), 4);
+        assert_eq!(m.num_inputs(), 2);
+        assert_eq!(m.num_transitions(), 8);
+        assert!(m.is_complete());
+        assert!(m.is_strongly_connected());
+    }
+
+    #[test]
+    fn filtered_alphabet_restricts_reachability() {
+        let n = counter2();
+        // Only en=0 is valid: the counter never moves.
+        let opts = EnumerateOptions::filtered(&n, |v| !v[0]);
+        let m = enumerate_netlist(&n, &opts).unwrap();
+        assert_eq!(m.num_states(), 1);
+        assert_eq!(m.num_inputs(), 1);
+    }
+
+    #[test]
+    fn state_labels_are_bitstrings() {
+        let n = counter2();
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).unwrap();
+        assert_eq!(m.state_label(m.reset()), "00");
+        assert!(m.state_by_label("10").is_some());
+    }
+
+    #[test]
+    fn output_symbols_interned() {
+        let n = counter2();
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).unwrap();
+        // Outputs mirror the 4 state values (outputs sampled pre-clock).
+        assert_eq!(m.num_outputs(), 4);
+    }
+
+    #[test]
+    fn error_on_empty_alphabet() {
+        let n = counter2();
+        let opts = EnumerateOptions { inputs: vec![], input_labels: None, max_states: 10 };
+        assert_eq!(
+            enumerate_netlist(&n, &opts).unwrap_err(),
+            EnumerateError::EmptyAlphabet
+        );
+    }
+
+    #[test]
+    fn error_on_bad_width() {
+        let n = counter2();
+        let opts = EnumerateOptions {
+            inputs: vec![vec![true, false]],
+            input_labels: None,
+            max_states: 10,
+        };
+        assert!(matches!(
+            enumerate_netlist(&n, &opts).unwrap_err(),
+            EnumerateError::BadInputWidth { want: 1, got: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn error_on_state_blowup() {
+        let n = counter2();
+        let mut opts = EnumerateOptions::exhaustive(&n);
+        opts.max_states = 2;
+        assert_eq!(
+            enumerate_netlist(&n, &opts).unwrap_err(),
+            EnumerateError::TooManyStates { bound: 2 }
+        );
+    }
+
+    #[test]
+    fn agrees_with_symbolic_reachability() {
+        let n = counter2();
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).unwrap();
+        let mut fsm = crate::SymbolicFsm::from_netlist(&n);
+        let r = fsm.reachable();
+        assert_eq!(m.num_states() as u128, fsm.count_states(r.reached));
+        assert_eq!(m.num_transitions() as u128, fsm.count_transitions(r.reached));
+    }
+}

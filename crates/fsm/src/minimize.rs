@@ -1,0 +1,268 @@
+//! Mealy machine minimization by Moore-style partition refinement.
+//!
+//! Two states are *equivalent* when no input sequence distinguishes their
+//! output streams. A machine with equivalent states is *unreduced*: those
+//! states have no UIO sequences, no distinguishing sequences, and they
+//! trivially violate ∀k-distinguishability for every `k`. Minimization
+//! therefore diagnoses the root cause behind both the conformance-testing
+//! methods' inapplicability and the paper's Requirement 5 analysis: if
+//! the reachable machine minimizes to fewer states, the lost states are
+//! precisely the interaction state the outputs fail to expose.
+
+use crate::explicit::{ExplicitMealy, InputSym, MealyBuilder, StateId};
+use std::collections::HashMap;
+
+/// Result of [`minimize`].
+#[derive(Debug)]
+pub struct Minimized {
+    /// The minimized machine (one state per equivalence class of
+    /// reachable states).
+    pub machine: ExplicitMealy,
+    /// `class_of[s]` = the minimized-state index of each original
+    /// reachable state (`None` for unreachable states).
+    pub class_of: Vec<Option<u32>>,
+    /// Number of reachable states in the original machine.
+    pub original_states: usize,
+}
+
+impl Minimized {
+    /// `true` if the original machine was already reduced (no two
+    /// reachable states equivalent).
+    pub fn was_reduced(&self) -> bool {
+        self.machine.num_states() == self.original_states
+    }
+
+    /// The equivalence classes with more than one member — the lookalike
+    /// state groups the outputs cannot separate.
+    pub fn merged_groups(&self) -> Vec<Vec<StateId>> {
+        let mut groups: HashMap<u32, Vec<StateId>> = HashMap::new();
+        for (s, c) in self.class_of.iter().enumerate() {
+            if let Some(c) = c {
+                groups.entry(*c).or_default().push(StateId(s as u32));
+            }
+        }
+        let mut v: Vec<Vec<StateId>> =
+            groups.into_values().filter(|g| g.len() > 1).collect();
+        v.sort_by_key(|g| g[0]);
+        v
+    }
+}
+
+/// Minimizes the reachable part of `m` by partition refinement
+/// (initial partition by output rows, refined by successor classes until
+/// stable — Moore's algorithm, `O(k · n · |I|)` for `k` refinement
+/// rounds).
+///
+/// # Panics
+///
+/// Panics if a reachable transition is undefined (complete machines
+/// only; restrict to the valid alphabet first).
+pub fn minimize(m: &ExplicitMealy) -> Minimized {
+    let reach = m.reachable_states();
+    let n = reach.len();
+    let ni = m.num_inputs();
+    let mut idx_of = vec![usize::MAX; m.num_states()];
+    for (i, &s) in reach.iter().enumerate() {
+        idx_of[s.index()] = i;
+    }
+    // Dense tables.
+    let mut succ = vec![0usize; n * ni];
+    let mut out = vec![0u32; n * ni];
+    for (si, &s) in reach.iter().enumerate() {
+        for i in 0..ni {
+            let (nx, o) = m
+                .step(s, InputSym(i as u32))
+                .expect("minimize requires a machine complete over its alphabet");
+            succ[si * ni + i] = idx_of[nx.index()];
+            out[si * ni + i] = o.0;
+        }
+    }
+    // Initial partition: by output row.
+    let mut class = vec![0u32; n];
+    {
+        let mut seen: HashMap<&[u32], u32> = HashMap::new();
+        for s in 0..n {
+            let row = &out[s * ni..(s + 1) * ni];
+            let next_id = seen.len() as u32;
+            class[s] = *seen.entry(row).or_insert(next_id);
+        }
+    }
+    // Refine: signature = (class, successor classes). The signature
+    // includes the current class, so classes only ever split; the
+    // partition is stable when the class count stops growing.
+    loop {
+        let before = 1 + class.iter().copied().max().unwrap_or(0);
+        let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut next_class = vec![0u32; n];
+        for s in 0..n {
+            let mut sig = Vec::with_capacity(ni + 1);
+            sig.push(class[s]);
+            for i in 0..ni {
+                sig.push(class[succ[s * ni + i]]);
+            }
+            let next_id = seen.len() as u32;
+            next_class[s] = *seen.entry(sig).or_insert(next_id);
+        }
+        let after = seen.len() as u32;
+        class = next_class;
+        if after == before {
+            break;
+        }
+    }
+    // Build the quotient machine.
+    let num_classes = class.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut b = MealyBuilder::new();
+    for c in 0..num_classes {
+        // Label with a representative original state.
+        let rep = (0..n).find(|&s| class[s] as usize == c).expect("class non-empty");
+        b.add_state(format!("[{}]", m.state_label(reach[rep])));
+    }
+    for i in m.inputs() {
+        b.add_input(m.input_label(i));
+    }
+    for o in 0..m.num_outputs() {
+        b.add_output(m.output_label(crate::explicit::OutputSym(o as u32)));
+    }
+    let mut added = std::collections::HashSet::new();
+    for s in 0..n {
+        for i in 0..ni {
+            let key = (class[s], i);
+            if added.insert(key) {
+                b.add_transition(
+                    StateId(class[s]),
+                    InputSym(i as u32),
+                    StateId(class[succ[s * ni + i]]),
+                    crate::explicit::OutputSym(out[s * ni + i]),
+                );
+            }
+        }
+    }
+    let reset_class = StateId(class[idx_of[m.reset().index()]]);
+    let machine = b.build(reset_class).expect("quotient of a deterministic machine");
+    let mut class_of = vec![None; m.num_states()];
+    for (i, &s) in reach.iter().enumerate() {
+        class_of[s.index()] = Some(class[i]);
+    }
+    Minimized { machine, class_of, original_states: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::OutputSym;
+
+    /// A machine with two copies of the same 2-state loop: minimizes to 2.
+    fn duplicated() -> ExplicitMealy {
+        let mut b = MealyBuilder::new();
+        let s: Vec<_> = (0..4).map(|i| b.add_state(format!("s{i}"))).collect();
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let o0 = b.add_output("o0");
+        let o1 = b.add_output("o1");
+        // s0/s2 behave identically; s1/s3 behave identically.
+        b.add_transition(s[0], a, s[1], o0);
+        b.add_transition(s[0], c, s[2], o1); // crosses into the copy
+        b.add_transition(s[1], a, s[0], o1);
+        b.add_transition(s[1], c, s[3], o0);
+        b.add_transition(s[2], a, s[3], o0);
+        b.add_transition(s[2], c, s[0], o1);
+        b.add_transition(s[3], a, s[2], o1);
+        b.add_transition(s[3], c, s[1], o0);
+        b.build(s[0]).unwrap()
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        let m = duplicated();
+        let r = minimize(&m);
+        assert_eq!(r.original_states, 4);
+        assert_eq!(r.machine.num_states(), 2);
+        assert!(!r.was_reduced());
+        let groups = r.merged_groups();
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn minimized_machine_is_trace_equivalent() {
+        let m = duplicated();
+        let r = minimize(&m);
+        let a = m.input_by_label("a").unwrap();
+        let c = m.input_by_label("c").unwrap();
+        // All sequences up to length 6: identical output traces.
+        let inputs = [a, c];
+        for code in 0..(1 << 6) {
+            let seq: Vec<_> = (0..6).map(|b| inputs[(code >> b) & 1]).collect();
+            assert_eq!(m.output_trace(&seq), r.machine.output_trace(&seq), "{code:b}");
+        }
+    }
+
+    #[test]
+    fn reduced_machine_unchanged() {
+        // Distinct outputs per state: already reduced.
+        let mut b = MealyBuilder::new();
+        let s: Vec<_> = (0..3).map(|i| b.add_state(format!("s{i}"))).collect();
+        let a = b.add_input("a");
+        let outs: Vec<_> = (0..3).map(|i| b.add_output(format!("o{i}"))).collect();
+        for i in 0..3 {
+            b.add_transition(s[i], a, s[(i + 1) % 3], outs[i]);
+        }
+        let m = b.build(s[0]).unwrap();
+        let r = minimize(&m);
+        assert!(r.was_reduced());
+        assert_eq!(r.machine.num_states(), 3);
+        assert!(r.merged_groups().is_empty());
+    }
+
+    #[test]
+    fn unreachable_states_dropped() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let dead = b.add_state("dead");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s0, o);
+        b.add_transition(dead, a, dead, o);
+        let m = b.build(s0).unwrap();
+        let r = minimize(&m);
+        assert_eq!(r.machine.num_states(), 1);
+        assert_eq!(r.class_of[dead.index()], None);
+    }
+
+    #[test]
+    fn deep_distinction_preserved() {
+        // Two states that differ only at depth 3 must NOT merge.
+        let mut b = MealyBuilder::new();
+        let s: Vec<_> = (0..8).map(|i| b.add_state(format!("s{i}"))).collect();
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        let x = b.add_output("x");
+        // Chain A: s0->s1->s2->s3(loop, output x on the last hop)
+        b.add_transition(s[0], a, s[1], o);
+        b.add_transition(s[1], a, s[2], o);
+        b.add_transition(s[2], a, s[3], x);
+        b.add_transition(s[3], a, s[0], o);
+        // Chain B: s4->s5->s6->s7 with output o everywhere.
+        b.add_transition(s[4], a, s[5], o);
+        b.add_transition(s[5], a, s[6], o);
+        b.add_transition(s[6], a, s[7], o);
+        b.add_transition(s[7], a, s[4], o);
+        // Connect: make everything reachable via a second input.
+        let j = b.add_input("j");
+        for i in 0..8 {
+            b.add_transition(s[i], j, s[(i + 4) % 8], o);
+        }
+        let m = b.build(s[0]).unwrap();
+        let r = minimize(&m);
+        // s0 and s4 differ at depth 3 (x vs o): they must stay separate.
+        assert_ne!(r.class_of[s[0].index()], r.class_of[s[4].index()]);
+    }
+
+    #[test]
+    fn output_symbols_preserved() {
+        let m = duplicated();
+        let r = minimize(&m);
+        assert_eq!(r.machine.num_outputs(), m.num_outputs());
+        assert_eq!(r.machine.output_label(OutputSym(0)), "o0");
+    }
+}

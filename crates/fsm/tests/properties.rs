@@ -1,0 +1,163 @@
+//! Property-based tests: explicit/symbolic agreement on random netlists,
+//! and machine-level invariants.
+
+use proptest::prelude::*;
+use simcov_fsm::{enumerate_netlist, EnumerateOptions, PairFsm, SymbolicFsm};
+use simcov_netlist::{Netlist, SignalId};
+
+/// A recipe for a random well-formed netlist (operands resolved modulo
+/// the signal pool).
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    latch_inits: Vec<bool>,
+    gates: Vec<(u8, u16, u16, u16)>,
+    latch_next_picks: Vec<u16>,
+    output_picks: Vec<u16>,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        1..3usize,
+        proptest::collection::vec(any::<bool>(), 1..5),
+        proptest::collection::vec((0..5u8, any::<u16>(), any::<u16>(), any::<u16>()), 0..16),
+        proptest::collection::vec(any::<u16>(), 5),
+        proptest::collection::vec(any::<u16>(), 1..3),
+    )
+        .prop_map(|(num_inputs, latch_inits, gates, mut latch_next_picks, output_picks)| {
+            latch_next_picks.truncate(latch_inits.len());
+            while latch_next_picks.len() < latch_inits.len() {
+                latch_next_picks.push(3);
+            }
+            Recipe { num_inputs, latch_inits, gates, latch_next_picks, output_picks }
+        })
+}
+
+fn build(r: &Recipe) -> Netlist {
+    let mut n = Netlist::new();
+    let mut pool: Vec<SignalId> = Vec::new();
+    for i in 0..r.num_inputs {
+        pool.push(n.add_input(format!("i{i}")));
+    }
+    let latches: Vec<_> = r
+        .latch_inits
+        .iter()
+        .enumerate()
+        .map(|(i, &init)| n.add_latch(format!("q{i}"), init))
+        .collect();
+    for &l in &latches {
+        pool.push(n.latch_output(l));
+    }
+    for &(op, a, b, c) in &r.gates {
+        let pick = |x: u16| pool[x as usize % pool.len()];
+        let (sa, sb, sc) = (pick(a), pick(b), pick(c));
+        let g = match op {
+            0 => n.and(sa, sb),
+            1 => n.or(sa, sb),
+            2 => n.xor(sa, sb),
+            3 => n.not(sa),
+            _ => n.mux(sa, sb, sc),
+        };
+        pool.push(g);
+    }
+    for (i, &pick) in r.latch_next_picks.iter().enumerate() {
+        let s = pool[pick as usize % pool.len()];
+        n.set_latch_next(latches[i], s);
+    }
+    for (i, &pick) in r.output_picks.iter().enumerate() {
+        let s = pool[pick as usize % pool.len()];
+        n.add_output(format!("o{i}"), s);
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Explicit enumeration and symbolic reachability agree on state and
+    /// transition counts.
+    #[test]
+    fn explicit_symbolic_agree(r in recipe()) {
+        let n = build(&r);
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
+        let mut fsm = SymbolicFsm::from_netlist(&n);
+        let reach = fsm.reachable();
+        prop_assert_eq!(fsm.count_states(reach.reached), m.num_states() as u128);
+        prop_assert_eq!(fsm.count_transitions(reach.reached), m.num_transitions() as u128);
+    }
+
+    /// The symbolic pair analysis agrees with a brute-force pair check.
+    #[test]
+    fn pair_analysis_agrees_with_bruteforce(r in recipe(), k in 1..3usize) {
+        let n = build(&r);
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
+        // Brute force E_k over the explicit machine.
+        let reach = m.reachable_states();
+        let nn = reach.len();
+        let ni = m.num_inputs();
+        let mut idx = vec![usize::MAX; m.num_states()];
+        for (i, &s) in reach.iter().enumerate() {
+            idx[s.index()] = i;
+        }
+        let pair = |a: usize, b: usize| if a <= b { a * nn + b } else { b * nn + a };
+        let mut e = vec![true; nn * nn];
+        for _ in 0..k {
+            let mut next = vec![false; nn * nn];
+            for a in 0..nn {
+                next[pair(a, a)] = true;
+                for b in (a + 1)..nn {
+                    for i in 0..ni {
+                        let (na, oa) = m.step(reach[a], simcov_fsm::InputSym(i as u32)).expect("complete");
+                        let (nb, ob) = m.step(reach[b], simcov_fsm::InputSym(i as u32)).expect("complete");
+                        if oa == ob && e[pair(idx[na.index()], idx[nb.index()])] {
+                            next[pair(a, b)] = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            e = next;
+        }
+        let mut brute = 0u128;
+        for a in 0..nn {
+            for b in (a + 1)..nn {
+                if e[pair(a, b)] {
+                    brute += 1;
+                }
+            }
+        }
+        let mut pf = PairFsm::from_netlist(&n);
+        let sym = pf.forall_k(&n.initial_state(), k, true);
+        prop_assert_eq!(sym.violating_pairs, brute);
+        prop_assert_eq!(sym.reachable_states, nn as u128);
+    }
+
+    /// Machine mutations are involutive where expected: redirecting a
+    /// transition back restores the original machine.
+    #[test]
+    fn mutation_roundtrip(r in recipe(), s in any::<u16>(), i in any::<u16>()) {
+        let n = build(&r);
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
+        let s = simcov_fsm::StateId(s as u32 % m.num_states() as u32);
+        let i = simcov_fsm::InputSym(i as u32 % m.num_inputs() as u32);
+        let (orig_next, _) = m.step(s, i).expect("complete");
+        let other = simcov_fsm::StateId((orig_next.0 + 1) % m.num_states() as u32);
+        let mutated = m.with_redirected_transition(s, i, other);
+        let restored = mutated.with_redirected_transition(s, i, orig_next);
+        prop_assert_eq!(&restored, &m);
+    }
+
+    /// DOT export is syntactically coherent (every reachable state and
+    /// transition appears).
+    #[test]
+    fn dot_mentions_everything(r in recipe()) {
+        let n = build(&r);
+        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
+        let dot = m.to_dot();
+        for s in m.reachable_states() {
+            let label = format!("s{}", s.0);
+            prop_assert!(dot.contains(&label));
+        }
+        prop_assert!(dot.contains("init ->"));
+    }
+}

@@ -1,0 +1,533 @@
+//! BLIF (Berkeley Logic Interchange Format) export and import.
+//!
+//! BLIF is the native interchange format of SIS — the system the paper's
+//! experiments ran in — so a netlist written by this crate can be handed
+//! to the historical toolchain, and simple SIS-produced models can be
+//! read back.
+//!
+//! Export emits one single-output `.names` cover per gate and a
+//! `.latch <next> <out> re NIL <init>` per state element. Import accepts
+//! the general single-output-cover subset of BLIF: any `.names` whose
+//! cover lists the ON-set (`1` output column), plus constant covers.
+
+use crate::circuit::{LatchId, Netlist, NodeKind, SignalId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Errors from [`from_blif`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlifError {
+    /// The file has no `.model` line.
+    MissingModel,
+    /// A construct this importer does not support (e.g. OFF-set covers).
+    Unsupported {
+        /// Line number (1-based).
+        line: usize,
+        /// Explanation.
+        what: String,
+    },
+    /// A net is referenced but never defined.
+    UndefinedNet(String),
+    /// Combinational cycle through the named net.
+    CombinationalCycle(String),
+    /// Malformed syntax.
+    Syntax {
+        /// Line number (1-based).
+        line: usize,
+        /// Explanation.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for BlifError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlifError::MissingModel => write!(f, "missing .model"),
+            BlifError::Unsupported { line, what } => {
+                write!(f, "line {line}: unsupported construct: {what}")
+            }
+            BlifError::UndefinedNet(n) => write!(f, "undefined net `{n}`"),
+            BlifError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through `{n}`")
+            }
+            BlifError::Syntax { line, what } => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+fn net_name(kind: NodeKind, n: &Netlist, idx: usize) -> String {
+    match kind {
+        NodeKind::Input(i) => n.input_names().nth(i.index()).expect("input exists").to_string(),
+        NodeKind::LatchOut(l) => format!("L_{}", sanitize(&n.latches()[l.index()].name)),
+        _ => format!("n{idx}"),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+/// Serializes a netlist to BLIF.
+///
+/// Net naming: primary inputs keep their names, latch outputs become
+/// `L_<latch name>`, internal gates become `n<index>`. Output nets are
+/// emitted as buffers of their driving net so output names survive.
+pub fn to_blif(n: &Netlist, model_name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {}", sanitize(model_name));
+    let inputs: Vec<String> = n.input_names().map(sanitize).collect();
+    let _ = writeln!(s, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = n.outputs().iter().map(|(name, _)| sanitize(name)).collect();
+    let _ = writeln!(s, ".outputs {}", outputs.join(" "));
+    // Net names, indexed by signal id.
+    let names: Vec<String> = (0..n.num_nodes())
+        .map(|i| net_name(n.node_at(i).expect("in range"), n, i))
+        .collect();
+    // Latches.
+    for l in n.latches() {
+        let next = l.next.expect("latch has next function");
+        let _ = writeln!(
+            s,
+            ".latch {} L_{} re NIL {}",
+            names[next.index()],
+            sanitize(&l.name),
+            if l.init { 1 } else { 0 }
+        );
+    }
+    // Gates in topological (index) order.
+    for idx in 0..n.num_nodes() {
+        let kind = n.node_at(idx).expect("in range");
+        let out = &names[idx];
+        match kind {
+            NodeKind::Input(_) | NodeKind::LatchOut(_) => {}
+            NodeKind::Const(v) => {
+                let _ = writeln!(s, ".names {out}");
+                if v {
+                    let _ = writeln!(s, "1");
+                }
+            }
+            NodeKind::Not(a) => {
+                let _ = writeln!(s, ".names {} {out}", names[a.index()]);
+                let _ = writeln!(s, "0 1");
+            }
+            NodeKind::And(a, b) => {
+                let _ = writeln!(s, ".names {} {} {out}", names[a.index()], names[b.index()]);
+                let _ = writeln!(s, "11 1");
+            }
+            NodeKind::Or(a, b) => {
+                let _ = writeln!(s, ".names {} {} {out}", names[a.index()], names[b.index()]);
+                let _ = writeln!(s, "1- 1");
+                let _ = writeln!(s, "-1 1");
+            }
+            NodeKind::Xor(a, b) => {
+                let _ = writeln!(s, ".names {} {} {out}", names[a.index()], names[b.index()]);
+                let _ = writeln!(s, "10 1");
+                let _ = writeln!(s, "01 1");
+            }
+            NodeKind::Mux(sel, t, e) => {
+                let _ = writeln!(
+                    s,
+                    ".names {} {} {} {out}",
+                    names[sel.index()],
+                    names[t.index()],
+                    names[e.index()]
+                );
+                let _ = writeln!(s, "11- 1");
+                let _ = writeln!(s, "0-1 1");
+            }
+        }
+    }
+    // Output buffers.
+    for (name, sig) in n.outputs() {
+        let _ = writeln!(s, ".names {} {}", names[sig.index()], sanitize(name));
+        let _ = writeln!(s, "1 1");
+    }
+    let _ = writeln!(s, ".end");
+    s
+}
+
+/// One parsed `.names` cover.
+struct Cover {
+    inputs: Vec<String>,
+    /// Rows of the ON-set: input plane characters `0`, `1`, `-`.
+    rows: Vec<Vec<u8>>,
+    /// `true` if the cover is the constant-one function.
+    const_one: bool,
+}
+
+/// Parses the single-output-cover subset of BLIF back into a netlist.
+///
+/// # Errors
+///
+/// See [`BlifError`]. OFF-set covers (output column `0`), multiple
+/// models, and `.subckt` are unsupported.
+pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
+    // Join continuation lines, strip comments.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0;
+    for (lineno, raw) in text.lines().enumerate() {
+        let raw = raw.split('#').next().unwrap_or("");
+        let trimmed = raw.trim_end();
+        if pending.is_empty() {
+            pending_line = lineno + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(trimmed);
+        if !pending.trim().is_empty() {
+            lines.push((pending_line, std::mem::take(&mut pending)));
+        } else {
+            pending.clear();
+        }
+    }
+
+    let mut model_seen = false;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<(String, String, bool)> = Vec::new(); // (next_net, out_net, init)
+    let mut covers: HashMap<String, Cover> = HashMap::new();
+    let mut current: Option<(String, Cover)> = None;
+
+    let finish_cover =
+        |current: &mut Option<(String, Cover)>, covers: &mut HashMap<String, Cover>| {
+            if let Some((name, cover)) = current.take() {
+                covers.insert(name, cover);
+            }
+        };
+
+    for (lineno, line) in &lines {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.is_empty() {
+            continue;
+        }
+        match toks[0] {
+            ".model" => {
+                finish_cover(&mut current, &mut covers);
+                if model_seen {
+                    return Err(BlifError::Unsupported {
+                        line: *lineno,
+                        what: "multiple .model sections".into(),
+                    });
+                }
+                model_seen = true;
+            }
+            ".inputs" => {
+                finish_cover(&mut current, &mut covers);
+                inputs.extend(toks[1..].iter().map(|s| s.to_string()));
+            }
+            ".outputs" => {
+                finish_cover(&mut current, &mut covers);
+                outputs.extend(toks[1..].iter().map(|s| s.to_string()));
+            }
+            ".latch" => {
+                finish_cover(&mut current, &mut covers);
+                if toks.len() < 3 {
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        what: ".latch needs input and output".into(),
+                    });
+                }
+                // Optional [type control] then optional init.
+                let init = match toks.last() {
+                    Some(&"1") => true,
+                    Some(&"0") | Some(&"2") | Some(&"3") => false,
+                    _ => false,
+                };
+                latches.push((toks[1].to_string(), toks[2].to_string(), init));
+            }
+            ".names" => {
+                finish_cover(&mut current, &mut covers);
+                if toks.len() < 2 {
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        what: ".names needs an output".into(),
+                    });
+                }
+                let output = toks.last().expect("len checked").to_string();
+                let ins = toks[1..toks.len() - 1].iter().map(|s| s.to_string()).collect();
+                current = Some((
+                    output,
+                    Cover { inputs: ins, rows: Vec::new(), const_one: false },
+                ));
+            }
+            ".end" => {
+                finish_cover(&mut current, &mut covers);
+            }
+            ".subckt" | ".gate" | ".mlatch" | ".exdc" => {
+                return Err(BlifError::Unsupported {
+                    line: *lineno,
+                    what: format!("{} sections", toks[0]),
+                })
+            }
+            ".clock" | ".wire_load_slope" | ".default_input_arrival" => {
+                finish_cover(&mut current, &mut covers);
+            }
+            _ => {
+                // A cover row.
+                let Some((_, cover)) = current.as_mut() else {
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        what: format!("unexpected token `{}`", toks[0]),
+                    });
+                };
+                if cover.inputs.is_empty() {
+                    if toks == ["1"] {
+                        cover.const_one = true;
+                        continue;
+                    }
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        what: "constant cover row must be `1`".into(),
+                    });
+                }
+                if toks.len() != 2 {
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        what: "cover row must be `<plane> <value>`".into(),
+                    });
+                }
+                if toks[1] != "1" {
+                    return Err(BlifError::Unsupported {
+                        line: *lineno,
+                        what: "OFF-set (output 0) covers".into(),
+                    });
+                }
+                let plane = toks[0].as_bytes().to_vec();
+                if plane.len() != cover.inputs.len()
+                    || plane.iter().any(|&c| c != b'0' && c != b'1' && c != b'-')
+                {
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        what: "bad cover plane".into(),
+                    });
+                }
+                cover.rows.push(plane);
+            }
+        }
+    }
+    finish_cover(&mut current, &mut covers);
+    if !model_seen {
+        return Err(BlifError::MissingModel);
+    }
+
+    // Build the netlist. Latch outputs and inputs seed the net map; cover
+    // nets are resolved recursively.
+    let mut n = Netlist::new();
+    let mut nets: HashMap<String, SignalId> = HashMap::new();
+    for name in &inputs {
+        let s = n.add_input(name.clone());
+        nets.insert(name.clone(), s);
+    }
+    let mut latch_ids: Vec<LatchId> = Vec::new();
+    for (_, out_net, init) in &latches {
+        let name = out_net.strip_prefix("L_").unwrap_or(out_net).to_string();
+        let l = n.add_latch(name, *init);
+        latch_ids.push(l);
+        let s = n.latch_output(l);
+        nets.insert(out_net.clone(), s);
+    }
+
+    fn resolve(
+        name: &str,
+        covers: &HashMap<String, Cover>,
+        nets: &mut HashMap<String, SignalId>,
+        n: &mut Netlist,
+        visiting: &mut Vec<String>,
+    ) -> Result<SignalId, BlifError> {
+        if let Some(&s) = nets.get(name) {
+            return Ok(s);
+        }
+        if visiting.iter().any(|v| v == name) {
+            return Err(BlifError::CombinationalCycle(name.to_string()));
+        }
+        let Some(cover) = covers.get(name) else {
+            return Err(BlifError::UndefinedNet(name.to_string()));
+        };
+        visiting.push(name.to_string());
+        let result = if cover.inputs.is_empty() {
+            Ok(n.constant(cover.const_one))
+        } else {
+            let ins: Result<Vec<SignalId>, BlifError> = cover
+                .inputs
+                .iter()
+                .map(|i| resolve(i, covers, nets, n, visiting))
+                .collect();
+            let ins = ins?;
+            let mut acc = n.constant(false);
+            for row in &cover.rows {
+                let mut term = n.constant(true);
+                for (k, &c) in row.iter().enumerate() {
+                    let lit = match c {
+                        b'1' => ins[k],
+                        b'0' => n.not(ins[k]),
+                        _ => continue,
+                    };
+                    term = n.and(term, lit);
+                }
+                acc = n.or(acc, term);
+            }
+            Ok(acc)
+        };
+        visiting.pop();
+        let s = result?;
+        nets.insert(name.to_string(), s);
+        Ok(s)
+    }
+
+    let mut visiting = Vec::new();
+    for (i, (next_net, _, _)) in latches.iter().enumerate() {
+        let s = resolve(next_net, &covers, &mut nets, &mut n, &mut visiting)?;
+        n.set_latch_next(latch_ids[i], s);
+    }
+    for out in &outputs {
+        let s = resolve(out, &covers, &mut nets, &mut n, &mut visiting)?;
+        n.add_output(out.clone(), s);
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SimState;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let q = n.add_latch("q", true);
+        let qo = n.latch_output(q);
+        let x = n.xor(a, qo);
+        let m = n.mux(b, x, qo);
+        n.set_latch_next(q, m);
+        let o1 = n.and(x, b);
+        let no = n.not(o1);
+        n.add_output("out1", o1);
+        n.add_output("out2", no);
+        n.add_output("state", qo);
+        n
+    }
+
+    fn traces_equal(a: &Netlist, b: &Netlist, cycles: usize) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        let mut sa = SimState::new(a);
+        let mut sb = SimState::new(b);
+        let mut rng: u64 = 0x243F6A8885A308D3;
+        for cyc in 0..cycles {
+            let inputs: Vec<bool> = (0..a.num_inputs())
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (rng >> 40) & 1 == 1
+                })
+                .collect();
+            assert_eq!(sa.step(a, &inputs), sb.step(b, &inputs), "cycle {cyc}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let n = sample();
+        let blif = to_blif(&n, "sample");
+        let back = from_blif(&blif).unwrap();
+        traces_equal(&n, &back, 64);
+    }
+
+    #[test]
+    fn exported_blif_has_expected_sections() {
+        let n = sample();
+        let blif = to_blif(&n, "sample");
+        assert!(blif.starts_with(".model sample"));
+        assert!(blif.contains(".inputs a b"));
+        assert!(blif.contains(".outputs out1 out2 state"));
+        assert!(blif.contains(".latch"));
+        assert!(blif.contains(" re NIL 1"));
+        assert!(blif.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn roundtrip_control_netlists() {
+        // The real models of the case study survive a round trip.
+        let mut n = Netlist::new();
+        let d = n.add_input("d");
+        let en = n.add_input("en");
+        let q = n.add_latch("q", false);
+        let qo = n.latch_output(q);
+        let nx = n.mux(en, d, qo);
+        n.set_latch_next(q, nx);
+        n.add_output("q", qo);
+        let back = from_blif(&to_blif(&n, "dff_en")).unwrap();
+        traces_equal(&n, &back, 32);
+    }
+
+    #[test]
+    fn parses_hand_written_blif() {
+        let text = "\
+# a comment
+.model majority
+.inputs x y z
+.outputs maj
+.names x y z maj
+11- 1
+1-1 1
+-11 1
+.end
+";
+        let n = from_blif(text).unwrap();
+        assert_eq!(n.num_inputs(), 3);
+        assert_eq!(n.num_outputs(), 1);
+        let vals = n.eval_all(&[], &[true, true, false]);
+        let (_, sig) = n.outputs()[0];
+        assert!(vals[sig.index()]);
+        let vals = n.eval_all(&[], &[true, false, false]);
+        assert!(!vals[sig.index()]);
+    }
+
+    #[test]
+    fn continuation_lines_supported() {
+        let text = ".model m\n.inputs a \\\nb\n.outputs o\n.names a b o\n11 1\n.end\n";
+        let n = from_blif(text).unwrap();
+        assert_eq!(n.num_inputs(), 2);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(from_blif(""), Err(BlifError::MissingModel)));
+        assert!(matches!(
+            from_blif(".model m\n.outputs o\n.names a o\n0 0\n.end"),
+            Err(BlifError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            from_blif(".model m\n.outputs o\n.end"),
+            Err(BlifError::UndefinedNet(_))
+        ));
+        // Combinational cycle: o depends on itself.
+        assert!(matches!(
+            from_blif(".model m\n.outputs o\n.names o o\n1 1\n.end"),
+            Err(BlifError::CombinationalCycle(_))
+        ));
+        assert!(matches!(
+            from_blif(".model m\n.subckt foo\n.end"),
+            Err(BlifError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_covers() {
+        let text = ".model m\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let n = from_blif(text).unwrap();
+        let vals = n.eval_all(&[], &[]);
+        let (_, one) = n.outputs()[0];
+        let (_, zero) = n.outputs()[1];
+        assert!(vals[one.index()]);
+        assert!(!vals[zero.index()]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Multi-bit construction helpers.
+
+use crate::circuit::{Netlist, SignalId};
+
+/// A little-endian bundle of signals (bit 0 first), used to build
+/// registers, opcode fields and comparators without bit-index noise.
+///
+/// # Example
+///
+/// ```
+/// use simcov_netlist::{Netlist, Word};
+///
+/// let mut n = Netlist::new();
+/// let w = Word::inputs(&mut n, "op", 3);
+/// let is5 = w.eq_const(&mut n, 5); // op == 3'b101
+/// n.add_output("is5", is5);
+/// assert_eq!(n.num_inputs(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<SignalId>,
+}
+
+impl Word {
+    /// Wraps existing signals as a word (bit 0 first).
+    pub fn from_bits(bits: Vec<SignalId>) -> Self {
+        Word { bits }
+    }
+
+    /// Declares `width` fresh primary inputs named `name[0..width]`.
+    pub fn inputs(n: &mut Netlist, name: &str, width: usize) -> Self {
+        let bits = (0..width)
+            .map(|i| n.add_input(format!("{name}[{i}]")))
+            .collect();
+        Word { bits }
+    }
+
+    /// A constant word of the given width.
+    pub fn constant(n: &mut Netlist, value: u64, width: usize) -> Self {
+        let bits = (0..width)
+            .map(|i| n.constant((value >> i) & 1 == 1))
+            .collect();
+        Word { bits }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The underlying signals (bit 0 first).
+    pub fn bits(&self) -> &[SignalId] {
+        &self.bits
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> SignalId {
+        self.bits[i]
+    }
+
+    /// A sub-range of bits `[lo, lo + width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, width: usize) -> Word {
+        Word { bits: self.bits[lo..lo + width].to_vec() }
+    }
+
+    /// Equality with a constant: `∧_i (bit_i == value_i)`.
+    pub fn eq_const(&self, n: &mut Netlist, value: u64) -> SignalId {
+        let mut acc = n.constant(true);
+        for (i, &b) in self.bits.iter().enumerate() {
+            let lit = if (value >> i) & 1 == 1 { b } else { n.not(b) };
+            acc = n.and(acc, lit);
+        }
+        acc
+    }
+
+    /// Bitwise equality of two words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn eq_word(&self, n: &mut Netlist, other: &Word) -> SignalId {
+        assert_eq!(self.width(), other.width(), "word width mismatch");
+        let mut acc = n.constant(true);
+        for (&a, &b) in self.bits.iter().zip(&other.bits) {
+            let x = n.xor(a, b);
+            let eq = n.not(x);
+            acc = n.and(acc, eq);
+        }
+        acc
+    }
+
+    /// Bitwise mux: `sel ? t : e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mux(n: &mut Netlist, sel: SignalId, t: &Word, e: &Word) -> Word {
+        assert_eq!(t.width(), e.width(), "word width mismatch");
+        let bits = t
+            .bits
+            .iter()
+            .zip(&e.bits)
+            .map(|(&a, &b)| n.mux(sel, a, b))
+            .collect();
+        Word { bits }
+    }
+
+    /// Bitwise AND with a single enable signal (gating).
+    pub fn gate(&self, n: &mut Netlist, en: SignalId) -> Word {
+        let bits = self.bits.iter().map(|&b| n.and(b, en)).collect();
+        Word { bits }
+    }
+
+    /// Declares a register: `width` latches in `module` named
+    /// `name[0..width]`, with `init` as the power-on value. Returns
+    /// `(outputs-as-word, latch-setter)` — call the setter with the
+    /// next-value word once it is known.
+    pub fn register(
+        n: &mut Netlist,
+        name: &str,
+        width: usize,
+        init: u64,
+        module: &str,
+    ) -> (Word, RegisterHandle) {
+        let mut latches = Vec::with_capacity(width);
+        let mut bits = Vec::with_capacity(width);
+        for i in 0..width {
+            let l = n.add_latch_in(format!("{name}[{i}]"), (init >> i) & 1 == 1, module);
+            latches.push(l);
+            bits.push(n.latch_output(l));
+        }
+        (Word { bits }, RegisterHandle { latches })
+    }
+
+    /// Reduction OR of all bits.
+    pub fn any(&self, n: &mut Netlist) -> SignalId {
+        let mut acc = n.constant(false);
+        for &b in &self.bits {
+            acc = n.or(acc, b);
+        }
+        acc
+    }
+
+    /// Interprets a constant-valued word during simulation: helper to
+    /// decode a word from a value table produced by
+    /// [`Netlist::eval_all`].
+    pub fn decode(&self, values: &[bool]) -> u64 {
+        let mut v = 0u64;
+        for (i, &b) in self.bits.iter().enumerate() {
+            if values[b.index()] {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+/// The latch half of a register created by [`Word::register`]; assign the
+/// next-state word exactly once.
+#[derive(Debug)]
+pub struct RegisterHandle {
+    latches: Vec<crate::circuit::LatchId>,
+}
+
+impl RegisterHandle {
+    /// Connects the next-state word to the register's latches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the register's width.
+    pub fn set_next(self, n: &mut Netlist, next: &Word) {
+        assert_eq!(self.latches.len(), next.width(), "register width mismatch");
+        for (l, &b) in self.latches.iter().zip(next.bits()) {
+            n.set_latch_next(*l, b);
+        }
+    }
+
+    /// The latch ids of the register (bit 0 first).
+    pub fn latch_ids(&self) -> &[crate::circuit::LatchId] {
+        &self.latches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SimState;
+
+    #[test]
+    fn eq_const_truth() {
+        let mut n = Netlist::new();
+        let w = Word::inputs(&mut n, "x", 3);
+        let is5 = w.eq_const(&mut n, 5);
+        n.add_output("is5", is5);
+        let vals = n.eval_all(&[], &[true, false, true]); // x = 5
+        assert!(vals[is5.index()]);
+        let vals = n.eval_all(&[], &[true, true, true]); // x = 7
+        assert!(!vals[is5.index()]);
+    }
+
+    #[test]
+    fn eq_word_truth() {
+        let mut n = Netlist::new();
+        let a = Word::inputs(&mut n, "a", 2);
+        let b = Word::inputs(&mut n, "b", 2);
+        let eq = a.eq_word(&mut n, &b);
+        let vals = n.eval_all(&[], &[true, false, true, false]);
+        assert!(vals[eq.index()]);
+        let vals = n.eval_all(&[], &[true, false, false, false]);
+        assert!(!vals[eq.index()]);
+    }
+
+    #[test]
+    fn register_pipeline() {
+        // 2-bit register loading its input each cycle.
+        let mut n = Netlist::new();
+        let d = Word::inputs(&mut n, "d", 2);
+        let (q, h) = Word::register(&mut n, "q", 2, 0b10, "m");
+        h.set_next(&mut n, &d);
+        for (i, &b) in q.bits().iter().enumerate() {
+            n.add_output(format!("q{i}"), b);
+        }
+        let mut sim = SimState::new(&n);
+        let o = sim.step(&n, &[true, true]);
+        assert_eq!(o, vec![false, true]); // init 0b10
+        let o = sim.step(&n, &[false, false]);
+        assert_eq!(o, vec![true, true]); // loaded 0b11
+    }
+
+    #[test]
+    fn mux_and_gate() {
+        let mut n = Netlist::new();
+        let s = n.add_input("s");
+        let a = Word::inputs(&mut n, "a", 2);
+        let b = Word::inputs(&mut n, "b", 2);
+        let m = Word::mux(&mut n, s, &a, &b);
+        let g = m.gate(&mut n, s);
+        for (i, &bit) in m.bits().iter().enumerate() {
+            n.add_output(format!("m{i}"), bit);
+        }
+        for (i, &bit) in g.bits().iter().enumerate() {
+            n.add_output(format!("g{i}"), bit);
+        }
+        // s=1 selects a.
+        let vals = n.eval_all(&[], &[true, true, false, false, true]);
+        assert_eq!(m.decode(&vals), 0b01);
+        // s=0 selects b; gating with s=0 clears.
+        let vals = n.eval_all(&[], &[false, true, false, false, true]);
+        assert_eq!(m.decode(&vals), 0b10);
+        assert_eq!(g.decode(&vals), 0);
+    }
+
+    #[test]
+    fn constant_and_slice() {
+        let mut n = Netlist::new();
+        let c = Word::constant(&mut n, 0b1101, 4);
+        let lo = c.slice(0, 2);
+        let vals = n.eval_all(&[], &[]);
+        assert_eq!(c.decode(&vals), 0b1101);
+        assert_eq!(lo.decode(&vals), 0b01);
+        assert_eq!(c.width(), 4);
+    }
+
+    #[test]
+    fn any_reduction() {
+        let mut n = Netlist::new();
+        let w = Word::inputs(&mut n, "w", 3);
+        let any = w.any(&mut n);
+        let vals = n.eval_all(&[], &[false, false, true]);
+        assert!(vals[any.index()]);
+        let vals = n.eval_all(&[], &[false, false, false]);
+        assert!(!vals[any.index()]);
+    }
+}

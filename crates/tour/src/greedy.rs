@@ -1,0 +1,258 @@
+//! Greedy tour heuristics: nearest-uncovered-transition transition tours
+//! (the style of tour the paper's SIS implementation produced — complete
+//! but non-optimal) and greedy state tours.
+
+use crate::postman::{Graph, Tour, TourError};
+use simcov_fsm::{ExplicitMealy, InputSym};
+use std::collections::VecDeque;
+
+/// Generates a transition tour by repeatedly walking a shortest path to
+/// the nearest state with an uncovered outgoing transition and taking it.
+///
+/// The result covers every reachable transition but is generally longer
+/// than the Chinese-postman optimum of
+/// [`transition_tour`](crate::transition_tour) — this mirrors the paper's
+/// Section 7.2, which reports a tour of 1,069 M transitions over a
+/// 123 M-transition model and notes "this is not an optimal tour".
+///
+/// # Errors
+///
+/// Same conditions as [`transition_tour`](crate::transition_tour).
+pub fn greedy_transition_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
+    let g = Graph::reachable(m);
+    if g.num_edges() == 0 {
+        return Err(TourError::NoTransitions);
+    }
+    if !g.is_strongly_connected() {
+        return Err(TourError::NotStronglyConnected);
+    }
+    let n = g.adj.len();
+    let mut covered: Vec<Vec<bool>> = g.adj.iter().map(|e| vec![false; e.len()]).collect();
+    let mut remaining = g.num_edges();
+    let mut inputs: Vec<InputSym> = Vec::new();
+    let mut cur = g.root;
+    while remaining > 0 {
+        // Take an uncovered edge here if one exists.
+        if let Some(ei) = covered[cur].iter().position(|&c| !c) {
+            covered[cur][ei] = true;
+            remaining -= 1;
+            let (v, inp) = g.adj[cur][ei];
+            inputs.push(inp);
+            cur = v;
+            continue;
+        }
+        // BFS to the nearest state with an uncovered outgoing edge.
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[cur] = true;
+        let mut q = VecDeque::from([cur]);
+        let mut goal = None;
+        'bfs: while let Some(u) = q.pop_front() {
+            for (ei, &(v, _)) in g.adj[u].iter().enumerate() {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some((u, ei));
+                    if covered[v].iter().any(|&c| !c) {
+                        goal = Some(v);
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        let t = goal.expect("strong connectivity guarantees an uncovered edge is reachable");
+        let mut path = Vec::new();
+        let mut walk = t;
+        while let Some((p, ei)) = parent[walk] {
+            path.push((p, ei));
+            walk = p;
+        }
+        path.reverse();
+        for (u, ei) in path {
+            let (v, inp) = g.adj[u][ei];
+            if !covered[u][ei] {
+                covered[u][ei] = true;
+                remaining -= 1;
+            }
+            inputs.push(inp);
+            cur = v;
+        }
+    }
+    // Close the circuit: walk back to the reset state so the tour, like
+    // the Chinese-postman tour, can be extended cyclically.
+    if cur != g.root {
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[cur] = true;
+        let mut q = VecDeque::from([cur]);
+        'bfs: while let Some(u) = q.pop_front() {
+            for (ei, &(v, _)) in g.adj[u].iter().enumerate() {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some((u, ei));
+                    if v == g.root {
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        let mut path = Vec::new();
+        let mut walk = g.root;
+        while let Some((p, ei)) = parent[walk] {
+            path.push((p, ei));
+            walk = p;
+        }
+        path.reverse();
+        for (u, ei) in path {
+            let (_, inp) = g.adj[u][ei];
+            inputs.push(inp);
+        }
+    }
+    let duplicates = inputs.len() - g.num_edges();
+    Ok(Tour { inputs, duplicates })
+}
+
+/// Generates a *state tour*: an input sequence visiting every reachable
+/// state at least once (the weaker coverage measure the paper contrasts
+/// with — state coverage does not exercise every transition).
+///
+/// # Errors
+///
+/// [`TourError::NoTransitions`] if the machine has no edges. Unlike
+/// transition tours, state tours do not require strong connectivity —
+/// states are visited in BFS-closest order, which always succeeds on the
+/// reachable set.
+pub fn state_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
+    let g = Graph::reachable(m);
+    if g.num_edges() == 0 {
+        return Err(TourError::NoTransitions);
+    }
+    let n = g.adj.len();
+    let mut visited = vec![false; n];
+    visited[g.root] = true;
+    let mut num_visited = 1;
+    let mut inputs: Vec<InputSym> = Vec::new();
+    let mut cur = g.root;
+    while num_visited < n {
+        // BFS to the nearest unvisited state.
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[cur] = true;
+        let mut q = VecDeque::from([cur]);
+        let mut goal = None;
+        'bfs: while let Some(u) = q.pop_front() {
+            for (ei, &(v, _)) in g.adj[u].iter().enumerate() {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some((u, ei));
+                    if !visited[v] {
+                        goal = Some(v);
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        let t = goal.expect("all reachable states are reachable from any visited state via BFS from current position");
+        let mut path = Vec::new();
+        let mut walk = t;
+        while let Some((p, ei)) = parent[walk] {
+            path.push((p, ei));
+            walk = p;
+        }
+        path.reverse();
+        for (u, ei) in path {
+            let (v, inp) = g.adj[u][ei];
+            inputs.push(inp);
+            if !visited[v] {
+                visited[v] = true;
+                num_visited += 1;
+            }
+            cur = v;
+        }
+    }
+    Ok(Tour { inputs, duplicates: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::coverage;
+    use crate::transition_tour;
+    use simcov_fsm::MealyBuilder;
+
+    fn ring_with_chords(n: usize) -> ExplicitMealy {
+        let mut b = MealyBuilder::new();
+        let states: Vec<_> = (0..n).map(|i| b.add_state(format!("s{i}"))).collect();
+        let step = b.add_input("step");
+        let jump = b.add_input("jump");
+        let o = b.add_output("o");
+        for i in 0..n {
+            b.add_transition(states[i], step, states[(i + 1) % n], o);
+            b.add_transition(states[i], jump, states[(i + n / 2) % n], o);
+        }
+        b.build(states[0]).unwrap()
+    }
+
+    #[test]
+    fn greedy_covers_all_transitions() {
+        let m = ring_with_chords(8);
+        let tour = greedy_transition_tour(&m).unwrap();
+        let rep = coverage(&m, &tour.inputs);
+        assert!(rep.all_transitions_covered());
+        assert_eq!(tour.len(), m.num_transitions() + tour.duplicates);
+    }
+
+    #[test]
+    fn greedy_no_shorter_than_postman() {
+        for n in [4, 6, 8, 10] {
+            let m = ring_with_chords(n);
+            let opt = transition_tour(&m).unwrap();
+            let greedy = greedy_transition_tour(&m).unwrap();
+            assert!(greedy.len() >= opt.len(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn greedy_tour_is_a_circuit() {
+        let m = ring_with_chords(7);
+        let tour = greedy_transition_tour(&m).unwrap();
+        let (states, _) = m.run(m.reset(), &tour.inputs);
+        assert_eq!(*states.last().unwrap(), m.reset());
+    }
+
+    #[test]
+    fn state_tour_visits_all_states() {
+        let m = ring_with_chords(9);
+        let tour = state_tour(&m).unwrap();
+        let rep = coverage(&m, &tour.inputs);
+        assert!(rep.all_states_covered());
+    }
+
+    #[test]
+    fn state_tour_shorter_than_transition_tour() {
+        let m = ring_with_chords(12);
+        let st = state_tour(&m).unwrap();
+        let tt = transition_tour(&m).unwrap();
+        assert!(st.len() < tt.len());
+    }
+
+    #[test]
+    fn state_tour_works_without_strong_connectivity() {
+        // A dag-shaped machine: s0 -> s1 -> s2(sink).
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        b.add_transition(s1, a, s2, o);
+        b.add_transition(s2, a, s2, o);
+        let m = b.build(s0).unwrap();
+        let tour = state_tour(&m).unwrap();
+        assert!(coverage(&m, &tour.inputs).all_states_covered());
+        assert!(greedy_transition_tour(&m).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Transition- and state-tour generation.
+//!
+//! The test sets of the DAC'97 methodology are *transition tours*: input
+//! sequences that traverse every transition of the test model at least
+//! once (Section 6.5). The paper notes that minimum-cost transition tours
+//! correspond to the **Chinese postman problem**, solvable in polynomial
+//! time (Aho, Dahbura, Lee & Uyar 1991); the authors' own implementation
+//! generated a *non-optimal* tour with a greedy implicit traversal.
+//!
+//! This crate provides both, plus the baselines the evaluation compares
+//! against:
+//!
+//! * [`transition_tour`] — optimal (Chinese postman): Eulerian
+//!   augmentation by successive-shortest-path min-cost flow, then
+//!   Hierholzer's circuit algorithm;
+//! * [`greedy_transition_tour`] — the nearest-uncovered-transition
+//!   heuristic (what the paper actually ran inside SIS);
+//! * [`state_tour`] — covers every *state* at least once (the weaker
+//!   coverage measure of Iwashita et al. that Section 1 contrasts with);
+//! * [`random_test_set`] — random-walk functional vectors, the
+//!   conventional-simulation baseline;
+//! * [`coverage`] — transition/state coverage measurement for any input
+//!   sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use simcov_fsm::MealyBuilder;
+//! use simcov_tour::{transition_tour, coverage};
+//!
+//! let mut b = MealyBuilder::new();
+//! let s0 = b.add_state("s0");
+//! let s1 = b.add_state("s1");
+//! let a = b.add_input("a");
+//! let o = b.add_output("o");
+//! b.add_transition(s0, a, s1, o);
+//! b.add_transition(s1, a, s0, o);
+//! let m = b.build(s0).unwrap();
+//!
+//! let tour = transition_tour(&m).unwrap();
+//! let report = coverage(&m, &tour.inputs);
+//! assert!(report.all_transitions_covered());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod greedy;
+mod postman;
+mod random;
+mod uio;
+mod verify;
+mod wmethod;
+
+pub use greedy::{greedy_transition_tour, state_tour};
+pub use postman::{transition_tour, Tour, TourError};
+pub use random::{random_test_set, TestSet};
+pub use uio::{uio_sequence, uio_test_set, UioError};
+pub use verify::{coverage, coverage_set, CoverageReport};
+pub use wmethod::{characterization_set, w_method_test_set, WMethodError};

@@ -1,0 +1,524 @@
+//! Optimal transition tours via the Chinese postman problem.
+//!
+//! A transition tour visiting every edge of the state transition graph at
+//! least once, of minimum total length, is a directed Chinese postman
+//! tour: duplicate a minimum-cost set of edges to make the graph Eulerian
+//! (every vertex balanced), then extract an Euler circuit. Duplication is
+//! a transportation problem from surplus vertices (in-degree > out-degree)
+//! to deficit vertices, solved here with successive shortest paths —
+//! optimal because all arc costs are non-negative (one edge = one step).
+
+use simcov_fsm::{ExplicitMealy, InputSym};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A generated tour: an input sequence to apply from the reset state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tour {
+    /// The input sequence, applied from the machine's reset state.
+    pub inputs: Vec<InputSym>,
+    /// Number of edge *re-traversals* beyond one visit per transition
+    /// (`inputs.len() == num_transitions_on_reachable + duplicates`).
+    pub duplicates: usize,
+}
+
+impl Tour {
+    /// Total length of the tour (number of transitions taken).
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` if the tour is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+impl fmt::Display for Tour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tour of length {} ({} duplicates)", self.len(), self.duplicates)
+    }
+}
+
+/// Errors from tour generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TourError {
+    /// The reachable sub-graph is not strongly connected, so no single
+    /// input sequence can traverse every transition. (Use a resettable
+    /// test *set* instead — see the paper's note that a test set consists
+    /// of test vector *sequences*.)
+    NotStronglyConnected,
+    /// The machine has no transitions from the reset state.
+    NoTransitions,
+}
+
+impl fmt::Display for TourError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TourError::NotStronglyConnected => {
+                write!(f, "reachable state graph is not strongly connected")
+            }
+            TourError::NoTransitions => write!(f, "no transitions reachable from reset"),
+        }
+    }
+}
+
+impl std::error::Error for TourError {}
+
+/// Adjacency view of the reachable transition graph.
+pub(crate) struct Graph {
+    /// `adj[u]` = outgoing `(v, input)` edges; node indices are a dense
+    /// renumbering of the reachable states (BFS order from reset).
+    pub adj: Vec<Vec<(usize, InputSym)>>,
+    /// Reset node.
+    pub root: usize,
+}
+
+impl Graph {
+    pub(crate) fn reachable(m: &ExplicitMealy) -> Self {
+        let reach = m.reachable_states();
+        let mut node_of = vec![None; m.num_states()];
+        for (i, &s) in reach.iter().enumerate() {
+            node_of[s.index()] = Some(i);
+        }
+        let mut adj = vec![Vec::new(); reach.len()];
+        for (u, &s) in reach.iter().enumerate() {
+            for i in m.inputs() {
+                if let Some((n, _)) = m.step(s, i) {
+                    adj[u].push((node_of[n.index()].expect("successor reachable"), i));
+                }
+            }
+        }
+        let root = node_of[m.reset().index()].expect("reset reachable");
+        Graph { adj, root }
+    }
+
+    pub(crate) fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// BFS distances from `src` following edges forward.
+    fn bfs(&self, src: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.adj.len()];
+        dist[src] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if dist[v] == u32::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    pub(crate) fn is_strongly_connected(&self) -> bool {
+        let n = self.adj.len();
+        if self.bfs(self.root).contains(&u32::MAX) {
+            return false;
+        }
+        // Reverse reachability from root.
+        let mut radj = vec![Vec::new(); n];
+        for (u, edges) in self.adj.iter().enumerate() {
+            for &(v, _) in edges {
+                radj[v].push(u);
+            }
+        }
+        let mut seen = vec![false; n];
+        seen[self.root] = true;
+        let mut q = VecDeque::from([self.root]);
+        let mut cnt = 1;
+        while let Some(u) = q.pop_front() {
+            for &p in &radj[u] {
+                if !seen[p] {
+                    seen[p] = true;
+                    cnt += 1;
+                    q.push_back(p);
+                }
+            }
+        }
+        cnt == n
+    }
+}
+
+/// Computes a minimum-length transition tour of the reachable part of `m`
+/// (the directed Chinese postman tour), starting and ending at the reset
+/// state.
+///
+/// # Errors
+///
+/// * [`TourError::NotStronglyConnected`] if some reachable transition
+///   cannot be followed by a return to the rest of the graph;
+/// * [`TourError::NoTransitions`] for a machine with no edges.
+pub fn transition_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
+    let g = Graph::reachable(m);
+    if g.num_edges() == 0 {
+        return Err(TourError::NoTransitions);
+    }
+    if !g.is_strongly_connected() {
+        return Err(TourError::NotStronglyConnected);
+    }
+    let n = g.adj.len();
+    // Vertex balance: positive = needs extra outgoing duplicates.
+    let mut balance = vec![0i64; n];
+    for (u, edges) in g.adj.iter().enumerate() {
+        balance[u] -= edges.len() as i64;
+        for &(v, _) in edges {
+            balance[v] += 1;
+        }
+    }
+    // Duplication counts per (u, edge index).
+    let mut dup = vec![vec![0u64; 0]; n];
+    for (u, edges) in g.adj.iter().enumerate() {
+        dup[u] = vec![0; edges.len()];
+    }
+    let duplicates = solve_flow(&g, &mut balance, &mut dup);
+    // Build the multigraph and extract an Euler circuit from the root.
+    let mut multi: Vec<Vec<(usize, InputSym)>> = vec![Vec::new(); n];
+    for (u, edges) in g.adj.iter().enumerate() {
+        for (ei, &(v, inp)) in edges.iter().enumerate() {
+            for _ in 0..=dup[u][ei] {
+                multi[u].push((v, inp));
+            }
+        }
+    }
+    let inputs = hierholzer(&multi, g.root);
+    debug_assert_eq!(inputs.len(), g.num_edges() + duplicates as usize);
+    Ok(Tour { inputs, duplicates: duplicates as usize })
+}
+
+/// Minimum-cost transportation: route `balance > 0` supply to
+/// `balance < 0` demand along graph edges (cost 1 each), incrementing
+/// per-edge duplication counts. Returns total duplicated edge count.
+///
+/// The problem is solved exactly: pairwise shortest-path distances give a
+/// bipartite transportation instance, solved by successive shortest paths
+/// *with residual arcs* (plain greedy pairing is not optimal in general).
+fn solve_flow(g: &Graph, balance: &mut [i64], dup: &mut [Vec<u64>]) -> u64 {
+    let supplies: Vec<(usize, u64)> = balance
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b > 0)
+        .map(|(u, &b)| (u, b as u64))
+        .collect();
+    let demands: Vec<(usize, u64)> = balance
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b < 0)
+        .map(|(u, &b)| (u, (-b) as u64))
+        .collect();
+    if supplies.is_empty() {
+        return 0;
+    }
+    // BFS distances from each supply node.
+    let dists: Vec<Vec<u32>> = supplies.iter().map(|&(u, _)| g.bfs(u)).collect();
+    // Bipartite min-cost flow: node 0 = source, 1..=S supplies,
+    // S+1..=S+D demands, S+D+1 = sink.
+    let ns = supplies.len();
+    let nd = demands.len();
+    let mut mcmf = Mcmf::new(ns + nd + 2);
+    let src = 0;
+    let snk = ns + nd + 1;
+    for (i, &(_, amt)) in supplies.iter().enumerate() {
+        mcmf.add_edge(src, 1 + i, amt, 0);
+    }
+    for (j, &(_, amt)) in demands.iter().enumerate() {
+        mcmf.add_edge(1 + ns + j, snk, amt, 0);
+    }
+    for (i, &(_, s_amt)) in supplies.iter().enumerate() {
+        for (j, &(dv, _)) in demands.iter().enumerate() {
+            let d = dists[i][dv];
+            debug_assert_ne!(d, u32::MAX, "strong connectivity violated");
+            mcmf.add_edge(1 + i, 1 + ns + j, s_amt, d as i64);
+        }
+    }
+    let total = mcmf.run(src, snk);
+    // Materialise the flow: duplicate edges along one shortest path per
+    // supply/demand pair carrying flow.
+    for (i, &(su, _)) in supplies.iter().enumerate() {
+        for (j, &(dv, _)) in demands.iter().enumerate() {
+            let f = mcmf.flow_between(1 + i, 1 + ns + j);
+            if f == 0 {
+                continue;
+            }
+            duplicate_along_path(g, su, dv, f, dup);
+        }
+    }
+    for b in balance.iter_mut() {
+        *b = 0;
+    }
+    total
+}
+
+/// Duplicates every edge on one shortest `s → t` path `amount` times.
+fn duplicate_along_path(g: &Graph, s: usize, t: usize, amount: u64, dup: &mut [Vec<u64>]) {
+    let n = g.adj.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut q = VecDeque::new();
+    dist[s] = 0;
+    q.push_back(s);
+    while let Some(u) = q.pop_front() {
+        if u == t {
+            break;
+        }
+        for (ei, &(v, _)) in g.adj[u].iter().enumerate() {
+            if dist[v] == u32::MAX {
+                dist[v] = dist[u] + 1;
+                parent[v] = Some((u, ei));
+                q.push_back(v);
+            }
+        }
+    }
+    let mut cur = t;
+    while let Some((p, ei)) = parent[cur] {
+        dup[p][ei] += amount;
+        cur = p;
+    }
+    debug_assert_eq!(cur, s);
+}
+
+/// Minimal successive-shortest-path min-cost max-flow (SPFA variant,
+/// correct with the negative-cost residual arcs transportation creates).
+struct Mcmf {
+    // Edge arrays: to, cap, cost; edge i and i^1 are a residual pair.
+    to: Vec<usize>,
+    cap: Vec<u64>,
+    cost: Vec<i64>,
+    head: Vec<Vec<usize>>,
+    orig_cap: Vec<u64>,
+}
+
+impl Mcmf {
+    fn new(n: usize) -> Self {
+        Mcmf {
+            to: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+            head: vec![Vec::new(); n],
+            orig_cap: Vec::new(),
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, cap: u64, cost: i64) {
+        let e = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.cost.push(cost);
+        self.orig_cap.push(cap);
+        self.head[u].push(e);
+        self.to.push(u);
+        self.cap.push(0);
+        self.cost.push(-cost);
+        self.orig_cap.push(0);
+        self.head[v].push(e + 1);
+    }
+
+    /// Runs max-flow at min cost; returns total cost.
+    fn run(&mut self, src: usize, snk: usize) -> u64 {
+        let n = self.head.len();
+        let mut total_cost = 0i64;
+        loop {
+            // SPFA shortest path in residual network.
+            let mut dist = vec![i64::MAX; n];
+            let mut in_q = vec![false; n];
+            let mut pre: Vec<Option<usize>> = vec![None; n];
+            dist[src] = 0;
+            let mut q = VecDeque::from([src]);
+            in_q[src] = true;
+            while let Some(u) = q.pop_front() {
+                in_q[u] = false;
+                for &e in &self.head[u] {
+                    if self.cap[e] > 0 && dist[u] + self.cost[e] < dist[self.to[e]] {
+                        let v = self.to[e];
+                        dist[v] = dist[u] + self.cost[e];
+                        pre[v] = Some(e);
+                        if !in_q[v] {
+                            in_q[v] = true;
+                            q.push_back(v);
+                        }
+                    }
+                }
+            }
+            if dist[snk] == i64::MAX {
+                break;
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = u64::MAX;
+            let mut v = snk;
+            while let Some(e) = pre[v] {
+                bottleneck = bottleneck.min(self.cap[e]);
+                v = self.to[e ^ 1];
+            }
+            let mut v = snk;
+            while let Some(e) = pre[v] {
+                self.cap[e] -= bottleneck;
+                self.cap[e ^ 1] += bottleneck;
+                v = self.to[e ^ 1];
+            }
+            total_cost += dist[snk] * bottleneck as i64;
+        }
+        total_cost as u64
+    }
+
+    /// Flow sent on the (first) edge from `u` to `v`.
+    fn flow_between(&self, u: usize, v: usize) -> u64 {
+        for &e in &self.head[u] {
+            if e % 2 == 0 && self.to[e] == v {
+                return self.orig_cap[e] - self.cap[e];
+            }
+        }
+        0
+    }
+}
+
+/// Hierholzer's algorithm: Euler circuit of a balanced, connected directed
+/// multigraph, as the sequence of edge labels, starting from `root`.
+fn hierholzer(multi: &[Vec<(usize, InputSym)>], root: usize) -> Vec<InputSym> {
+    let n = multi.len();
+    let mut next_edge = vec![0usize; n];
+    // Iterative Hierholzer producing edges in reverse.
+    let mut stack: Vec<usize> = vec![root];
+    let mut edge_stack: Vec<InputSym> = Vec::new();
+    let mut circuit: Vec<InputSym> = Vec::new();
+    while let Some(&u) = stack.last() {
+        if next_edge[u] < multi[u].len() {
+            let (v, inp) = multi[u][next_edge[u]];
+            next_edge[u] += 1;
+            stack.push(v);
+            edge_stack.push(inp);
+        } else {
+            stack.pop();
+            if let Some(inp) = edge_stack.pop() {
+                circuit.push(inp);
+            }
+        }
+    }
+    circuit.reverse();
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::coverage;
+    use simcov_fsm::MealyBuilder;
+
+    fn two_state() -> ExplicitMealy {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        b.add_transition(s0, c, s0, o);
+        b.add_transition(s1, a, s0, o);
+        b.add_transition(s1, c, s1, o);
+        b.build(s0).unwrap()
+    }
+
+    #[test]
+    fn eulerian_graph_needs_no_duplicates() {
+        let m = two_state();
+        let tour = transition_tour(&m).unwrap();
+        assert_eq!(tour.duplicates, 0);
+        assert_eq!(tour.len(), 4);
+        assert!(coverage(&m, &tour.inputs).all_transitions_covered());
+    }
+
+    #[test]
+    fn unbalanced_graph_duplicates_minimally() {
+        // s0 -a-> s1, s0 -b-> s1, s1 -a-> s0 : s0 has out 2 / in 1.
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let bb = b.add_input("b");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        b.add_transition(s0, bb, s1, o);
+        b.add_transition(s1, a, s0, o);
+        let m = b.build(s0).unwrap();
+        let tour = transition_tour(&m).unwrap();
+        // Must retraverse s1->s0 once: 3 edges + 1 duplicate.
+        assert_eq!(tour.duplicates, 1);
+        assert_eq!(tour.len(), 4);
+        assert!(coverage(&m, &tour.inputs).all_transitions_covered());
+    }
+
+    #[test]
+    fn tour_returns_to_reset() {
+        let m = two_state();
+        let tour = transition_tour(&m).unwrap();
+        let (states, _) = m.run(m.reset(), &tour.inputs);
+        assert_eq!(*states.last().unwrap(), m.reset());
+    }
+
+    #[test]
+    fn rejects_non_strongly_connected() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let sink = b.add_state("sink");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, sink, o);
+        b.add_transition(sink, a, sink, o);
+        let m = b.build(s0).unwrap();
+        assert_eq!(transition_tour(&m).unwrap_err(), TourError::NotStronglyConnected);
+    }
+
+    #[test]
+    fn larger_ring_with_chords() {
+        // 6-state ring with chord edges; verify full coverage and
+        // optimality sanity (tour length ≥ edge count).
+        let mut b = MealyBuilder::new();
+        let states: Vec<_> = (0..6).map(|i| b.add_state(format!("s{i}"))).collect();
+        let step = b.add_input("step");
+        let jump = b.add_input("jump");
+        let o = b.add_output("o");
+        for i in 0..6 {
+            b.add_transition(states[i], step, states[(i + 1) % 6], o);
+            b.add_transition(states[i], jump, states[(i + 3) % 6], o);
+        }
+        let m = b.build(states[0]).unwrap();
+        let tour = transition_tour(&m).unwrap();
+        assert!(coverage(&m, &tour.inputs).all_transitions_covered());
+        assert_eq!(tour.len(), m.num_transitions() + tour.duplicates);
+        // This graph is Eulerian (every vertex has out=2, in=2).
+        assert_eq!(tour.duplicates, 0);
+    }
+
+    #[test]
+    fn unreachable_states_ignored() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let dead = b.add_state("dead");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        b.add_transition(s1, a, s0, o);
+        b.add_transition(dead, a, s0, o);
+        let m = b.build(s0).unwrap();
+        let tour = transition_tour(&m).unwrap();
+        assert_eq!(tour.len(), 2);
+    }
+
+    #[test]
+    fn single_state_self_loops() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s0, o);
+        b.add_transition(s0, c, s0, o);
+        let m = b.build(s0).unwrap();
+        let tour = transition_tour(&m).unwrap();
+        assert_eq!(tour.len(), 2);
+        assert_eq!(tour.duplicates, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Random-walk test sets: the conventional-simulation baseline the hybrid
+//! methodology is compared against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcov_fsm::{ExplicitMealy, InputSym};
+
+/// A test set: one or more input sequences, each applied from reset
+/// (matching the paper's note that a test set consists of test vector
+/// *sequences*).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestSet {
+    /// The sequences, each applied from the reset state.
+    pub sequences: Vec<Vec<InputSym>>,
+}
+
+impl TestSet {
+    /// A test set holding a single sequence.
+    pub fn single(seq: Vec<InputSym>) -> Self {
+        TestSet { sequences: vec![seq] }
+    }
+
+    /// Total number of vectors across all sequences.
+    pub fn total_vectors(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// `true` if there are no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+}
+
+impl FromIterator<Vec<InputSym>> for TestSet {
+    fn from_iter<T: IntoIterator<Item = Vec<InputSym>>>(iter: T) -> Self {
+        TestSet { sequences: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Vec<InputSym>> for TestSet {
+    fn extend<T: IntoIterator<Item = Vec<InputSym>>>(&mut self, iter: T) {
+        self.sequences.extend(iter);
+    }
+}
+
+/// Generates `num_sequences` uniformly random input walks of length
+/// `length` each, deterministically from `seed`.
+///
+/// Inputs are drawn uniformly from the machine's alphabet; the walk
+/// follows defined transitions (at an undefined transition the sequence is
+/// truncated, matching how a simulator would stop on an illegal vector).
+pub fn random_test_set(
+    m: &ExplicitMealy,
+    num_sequences: usize,
+    length: usize,
+    seed: u64,
+) -> TestSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ni = m.num_inputs() as u32;
+    let mut sequences = Vec::with_capacity(num_sequences);
+    for _ in 0..num_sequences {
+        let mut seq = Vec::with_capacity(length);
+        let mut cur = m.reset();
+        for _ in 0..length {
+            let i = InputSym(rng.gen_range(0..ni));
+            match m.step(cur, i) {
+                Some((n, _)) => {
+                    seq.push(i);
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        sequences.push(seq);
+    }
+    TestSet { sequences }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_fsm::MealyBuilder;
+
+    fn machine() -> ExplicitMealy {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        b.add_transition(s0, c, s0, o);
+        b.add_transition(s1, a, s0, o);
+        b.add_transition(s1, c, s1, o);
+        b.build(s0).unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = machine();
+        let t1 = random_test_set(&m, 3, 10, 42);
+        let t2 = random_test_set(&m, 3, 10, 42);
+        let t3 = random_test_set(&m, 3, 10, 43);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn shape() {
+        let m = machine();
+        let t = random_test_set(&m, 5, 7, 1);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.total_vectors(), 35);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn truncates_on_partial_machine() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        // s1 has no transitions at all.
+        let m = b.build(s0).unwrap();
+        let t = random_test_set(&m, 2, 10, 7);
+        for seq in &t.sequences {
+            assert!(seq.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let m = machine();
+        let a = m.input_by_label("a").unwrap();
+        let mut ts: TestSet = vec![vec![a]].into_iter().collect();
+        ts.extend(vec![vec![a, a]]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.total_vectors(), 3);
+        assert_eq!(TestSet::single(vec![a]).len(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for tour generation on random strongly connected
+//! machines.
+
+use proptest::prelude::*;
+use simcov_fsm::{ExplicitMealy, MealyBuilder, StateId};
+use simcov_tour::{
+    coverage, greedy_transition_tour, random_test_set, state_tour, transition_tour,
+};
+
+/// A random machine guaranteed strongly connected: a base ring on input 0
+/// plus arbitrary extra edges on the remaining inputs.
+#[derive(Debug, Clone)]
+struct MachineRecipe {
+    n: usize,
+    extra: Vec<(u16, u16, u16)>, // (state, input>=1, dest)
+    num_inputs: usize,
+}
+
+fn machine_strategy() -> impl Strategy<Value = MachineRecipe> {
+    (2..12usize, 1..4usize)
+        .prop_flat_map(|(n, num_inputs)| {
+            proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 0..20)
+                .prop_map(move |extra| MachineRecipe { n, extra, num_inputs })
+        })
+}
+
+fn build(r: &MachineRecipe) -> ExplicitMealy {
+    let mut b = MealyBuilder::new();
+    let states: Vec<_> = (0..r.n).map(|i| b.add_state(format!("s{i}"))).collect();
+    let inputs: Vec<_> = (0..r.num_inputs + 1)
+        .map(|i| b.add_input(format!("i{i}")))
+        .collect();
+    let outs: Vec<_> = (0..r.n).map(|i| b.add_output(format!("o{i}"))).collect();
+    for i in 0..r.n {
+        b.add_transition(states[i], inputs[0], states[(i + 1) % r.n], outs[i]);
+    }
+    let mut used = std::collections::HashSet::new();
+    for &(s, inp, d) in &r.extra {
+        let s = s as usize % r.n;
+        let inp = 1 + (inp as usize % r.num_inputs);
+        let d = d as usize % r.n;
+        if used.insert((s, inp)) {
+            b.add_transition(states[s], inputs[inp], states[d], outs[d]);
+        }
+    }
+    b.build(states[0]).expect("recipe machines are deterministic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The Chinese-postman tour covers every transition and has the
+    /// promised length (edges + duplicates).
+    #[test]
+    fn postman_tour_covers_everything(r in machine_strategy()) {
+        let m = build(&r);
+        let tour = transition_tour(&m).expect("ring base makes it strongly connected");
+        let report = coverage(&m, &tour.inputs);
+        prop_assert!(report.all_transitions_covered());
+        prop_assert!(report.all_states_covered());
+        prop_assert_eq!(tour.len(), m.num_transitions() + tour.duplicates);
+        // The tour is a circuit: it ends where it started.
+        let (states, _) = m.run(m.reset(), &tour.inputs);
+        prop_assert_eq!(*states.last().unwrap(), m.reset());
+    }
+
+    /// The greedy tour also covers everything and is never shorter than
+    /// the optimum.
+    #[test]
+    fn greedy_tour_covers_and_bounds(r in machine_strategy()) {
+        let m = build(&r);
+        let opt = transition_tour(&m).expect("strongly connected");
+        let greedy = greedy_transition_tour(&m).expect("strongly connected");
+        prop_assert!(coverage(&m, &greedy.inputs).all_transitions_covered());
+        prop_assert!(greedy.len() >= opt.len());
+        // And the optimum is at least the edge count.
+        prop_assert!(opt.len() >= m.num_transitions());
+    }
+
+    /// State tours visit every state, never more vectors than a
+    /// transition tour needs.
+    #[test]
+    fn state_tour_covers_states(r in machine_strategy()) {
+        let m = build(&r);
+        let st = state_tour(&m).expect("has transitions");
+        let report = coverage(&m, &st.inputs);
+        prop_assert!(report.all_states_covered());
+        let tt = transition_tour(&m).expect("strongly connected");
+        prop_assert!(st.len() <= tt.len());
+    }
+
+    /// Random test sets are reproducible and respect their budget.
+    #[test]
+    fn random_sets_deterministic(r in machine_strategy(), seed in any::<u64>()) {
+        let m = build(&r);
+        let t1 = random_test_set(&m, 3, 20, seed);
+        let t2 = random_test_set(&m, 3, 20, seed);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert!(t1.total_vectors() <= 60);
+        // Coverage of a random set never exceeds full coverage and the
+        // report's fraction is within [0, 1].
+        let seqs: Vec<&[_]> = t1.sequences.iter().map(Vec::as_slice).collect();
+        let rep = simcov_tour::coverage_set(&m, seqs);
+        prop_assert!(rep.transition_fraction() <= 1.0);
+        prop_assert!(rep.state_fraction() <= 1.0);
+    }
+
+    /// Tours on machines with unreachable states ignore them.
+    #[test]
+    fn unreachable_states_do_not_affect_tours(r in machine_strategy()) {
+        let m = build(&r);
+        // Append unreachable states by rebuilding with extras.
+        let mut b = MealyBuilder::new();
+        for s in m.states() {
+            b.add_state(m.state_label(s));
+        }
+        let dead = b.add_state("dead");
+        for i in m.inputs() {
+            b.add_input(m.input_label(i));
+        }
+        for o in 0..m.num_outputs() {
+            b.add_output(format!("o{o}"));
+        }
+        for t in m.transitions() {
+            b.add_transition(t.state, t.input, t.next, t.output);
+        }
+        b.add_transition(dead, simcov_fsm::InputSym(0), StateId(0), simcov_fsm::OutputSym(0));
+        let m2 = b.build(m.reset()).expect("extended machine builds");
+        let t1 = transition_tour(&m).expect("sc");
+        let t2 = transition_tour(&m2).expect("sc");
+        prop_assert_eq!(t1.len(), t2.len());
+    }
+}

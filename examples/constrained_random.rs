@@ -1,0 +1,62 @@
+//! Constrained-random simulation with symbolic coverage measurement —
+//! the modern face of the paper's input don't-cares.
+//!
+//! Inputs are sampled uniformly from the valid-input constraint (a BDD),
+//! the model is simulated cycle by cycle, and transition coverage is
+//! accumulated symbolically. On the full 22-latch DLX test model the
+//! coverage after tens of thousands of cycles is a vanishing fraction of
+//! the 287 million transitions — the gap that motivates tour-based,
+//! coverage-directed test generation.
+//!
+//! Run with: `cargo run --release --example constrained_random`
+
+use simcov::dlx::testmodel::{derive_test_model, valid_inputs_bdd};
+use simcov::fsm::{CoverageAccumulator, SymbolicFsm};
+
+fn main() {
+    let (model, _) = derive_test_model();
+    let mut fsm = SymbolicFsm::from_netlist(&model);
+    let valid = valid_inputs_bdd(&mut fsm);
+    fsm.set_valid_inputs(valid);
+    let reach = fsm.reachable();
+    let total = fsm.count_transitions(reach.reached);
+    println!(
+        "model: {} — {} reachable states, {} transitions",
+        model.stats(),
+        fsm.count_states(reach.reached),
+        total
+    );
+
+    let in_vars: Vec<simcov::bdd::Var> =
+        (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
+    let mut acc = CoverageAccumulator::new();
+    let mut state = model.initial_state();
+    let mut rng: u128 = 0x853c49e6748fea9b;
+    for cycle in 1..=20_000u32 {
+        let minterm = fsm
+            .mgr_ref()
+            .sample_minterm(fsm.valid_inputs(), &in_vars, |bound| {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng % bound
+            })
+            .expect("the valid-input constraint is satisfiable");
+        let assignment =
+            minterm.to_assignment((2 * fsm.num_latches() + fsm.num_inputs()) as u32);
+        let inputs: Vec<bool> = (0..fsm.num_inputs())
+            .map(|k| assignment[fsm.input_var(k).0 as usize])
+            .collect();
+        fsm.record_visit(&mut acc, &state, &inputs);
+        let (next, _) = model.step(&state, &inputs);
+        state = next;
+        if cycle % 5_000 == 0 {
+            let covered = fsm.coverage_count(&acc);
+            println!(
+                "after {cycle:>6} cycles: {covered:>7} transitions covered ({:.5}% of {total})",
+                100.0 * covered as f64 / total as f64
+            );
+        }
+    }
+    println!("\n(the transition-tour methodology covers all of them, with a certificate)");
+}

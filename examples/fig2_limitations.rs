@@ -1,0 +1,55 @@
+//! Figure 2 of the paper: the limitation of transition tours.
+//!
+//! The transfer error `2 —a→ 3'` is *excited* by any tour (tours cover
+//! every transition) but *exposed* only if the tour happens to continue
+//! with input `b` from the faulty state — continuing with `c` leads back
+//! to the correct path with identical outputs. The fix is Theorem 1's
+//! hypothesis: every state pair must be ∀k-distinguishable.
+//!
+//! Run with: `cargo run --example fig2_limitations`
+
+use simcov::core::models::figure2;
+use simcov::core::{
+    certify_completeness, detects, excited_at, forall_k_distinguishable, is_masked_on,
+};
+
+fn main() {
+    let (machine, fault) = figure2();
+    let faulty = fault.inject(&machine);
+    let a = machine.input_by_label("a").expect("input a");
+    let b = machine.input_by_label("b").expect("input b");
+    let c = machine.input_by_label("c").expect("input c");
+
+    println!("golden machine:\n{}", machine.to_dot());
+    println!("injected fault: {fault}");
+
+    // The two continuations of the paper.
+    for (name, seq) in [("<a,a,c>", vec![a, a, c]), ("<a,a,b>", vec![a, a, b])] {
+        let excited = excited_at(&faulty, &fault, &seq);
+        let exposed = detects(&machine, &faulty, &seq);
+        let masked = is_masked_on(&machine, &faulty, &seq);
+        println!(
+            "sequence {name}: excited at {excited:?}, exposed at {exposed:?}, \
+             masked excursion: {masked}"
+        );
+    }
+
+    // Why: states 3 and 3' are not ∀1-distinguishable (witness: c).
+    let d = forall_k_distinguishable(&machine, 1, 16).expect("machine is complete");
+    println!("\n∀1-distinguishability violations:");
+    for v in &d.violations {
+        let w: Vec<&str> = v.witness.iter().map(|&i| machine.input_label(i)).collect();
+        println!(
+            "  ({}, {}) not distinguished by all length-1 sequences; witness {:?}",
+            machine.state_label(v.s1),
+            machine.state_label(v.s2),
+            w
+        );
+    }
+
+    // Consequently no completeness certificate can be issued.
+    let err = certify_completeness(&machine, 1, None).expect_err("must be rejected");
+    println!("\ncompleteness certification: REJECTED — {err}");
+    println!("(the paper's remedy: keep enough state in the test model — Requirement 1 —");
+    println!(" and make interaction state observable — Requirement 5)");
+}

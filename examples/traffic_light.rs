@@ -1,0 +1,80 @@
+//! A non-processor design: requirement checking on a traffic-light
+//! controller.
+//!
+//! The controller latches a pedestrian request that changes *future*
+//! behaviour (an extended green) without being visible in the light
+//! outputs — interaction state in the paper's sense. The requirement
+//! checkers reject the hidden-request model and accept it once the
+//! request latch is observable (Requirement 5), after which a transition
+//! tour becomes a certified complete test set.
+//!
+//! Run with: `cargo run --example traffic_light`
+
+use simcov::core::models::traffic_light;
+use simcov::core::{
+    certify_completeness, check_req3_unique_outputs, enumerate_single_faults,
+    extend_cyclically, forall_k_distinguishable, run_campaign, FaultSpace,
+};
+use simcov::tour::{transition_tour, TestSet};
+
+fn main() {
+    // Hidden pedestrian request: indistinguishable state pairs exist.
+    let hidden = traffic_light(false);
+    println!("hidden-request model: {hidden:?}");
+    let d = forall_k_distinguishable(&hidden, 3, 8).expect("complete machine");
+    println!("  ∀3-distinguishable: {}", d.holds());
+    for v in d.violations.iter().take(4) {
+        println!(
+            "  indistinguishable: {} vs {}",
+            hidden.state_label(v.s1),
+            hidden.state_label(v.s2)
+        );
+    }
+    assert!(!d.holds());
+
+    // Requirement 3 (unique outputs per input) also fails for the hidden
+    // model — `tick` and `ped` often produce the same light code.
+    match check_req3_unique_outputs(&hidden) {
+        Ok(()) => println!("  Req 3: satisfied"),
+        Err(cs) => println!("  Req 3: {} same-output input collisions", cs.len()),
+    }
+
+    // Expose the request latch (Requirement 5).
+    let exposed = traffic_light(true);
+    println!("\nexposed-request model: {exposed:?}");
+    let mut certified_k = None;
+    for k in 1..=6 {
+        if certify_completeness(&exposed, k, None).is_ok() {
+            certified_k = Some(k);
+            break;
+        }
+    }
+    match certified_k {
+        Some(k) => {
+            println!("  certified complete at k = {k}");
+            let tour = transition_tour(&exposed).expect("strongly connected");
+            let faults = enumerate_single_faults(
+                &exposed,
+                &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+            );
+            let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
+            let report = run_campaign(&exposed, &faults, &tests);
+            println!("  {tour}; exhaustive campaign: {report}");
+            assert!(report.complete());
+        }
+        None => {
+            // Even the exposed model can retain deep lookalike pairs; the
+            // checkers then tell the designer exactly which state to
+            // surface next.
+            let d = forall_k_distinguishable(&exposed, 6, 4).expect("complete");
+            println!("  still {} indistinguishable pairs at k=6:", d.violations.len());
+            for v in &d.violations {
+                println!(
+                    "    {} vs {}",
+                    exposed.state_label(v.s1),
+                    exposed.state_label(v.s2)
+                );
+            }
+        }
+    }
+}

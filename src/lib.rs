@@ -1,0 +1,34 @@
+//! # simcov — validation methodology using simulation coverage
+//!
+//! A reproduction of *"Toward Formalizing a Validation Methodology Using
+//! Simulation Coverage"* (Gupta, Malik & Ashar, DAC 1997): transition tours
+//! on abstracted **test models** as provably complete test sets for
+//! processor-like designs.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`bdd`] — ROBDD engine (implicit state-space traversal substrate)
+//! * [`netlist`] — bit-level sequential circuit IR with structural
+//!   abstraction operators
+//! * [`fsm`] — explicit and symbolic Mealy machines, reachability, counting
+//! * [`tour`] — transition/state tour generation (Chinese postman,
+//!   greedy symbolic heuristic, random baselines)
+//! * [`abstraction`] — homomorphic test-model derivation and soundness
+//!   checks
+//! * [`core`] — the methodology itself: error model, ∀k-distinguishability,
+//!   Requirements 1–5, fault campaigns, co-simulation harness
+//! * [`dlx`] — the paper's case study: DLX ISA spec, 5-stage pipelined
+//!   implementation, control test-model derivation
+//! * [`dsp`] — a second case study: a fixed-program FIR-filter ASIC (the
+//!   paper's other design class)
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+pub use simcov_abstraction as abstraction;
+pub use simcov_bdd as bdd;
+pub use simcov_core as core;
+pub use simcov_dlx as dlx;
+pub use simcov_dsp as dsp;
+pub use simcov_fsm as fsm;
+pub use simcov_netlist as netlist;
+pub use simcov_tour as tour;

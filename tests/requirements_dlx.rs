@@ -1,0 +1,131 @@
+//! Requirements 1–5 exercised on the DLX models — each requirement with
+//! a satisfying and a violating configuration.
+
+use simcov::core::{
+    check_req2_bounded_processing, check_req3_unique_outputs, check_req5_observable,
+};
+use simcov::dlx::testmodel::{
+    reduced_control_netlist_with_memory, reduced_memory_valid_inputs,
+};
+use simcov::fsm::enumerate_netlist;
+
+/// Requirement 2 on the memory variant: with `mem_ready` free, a load
+/// waiting on memory can stall forever (infinite-stall cycle found); with
+/// the perfect-memory environment assumption (`mem_ready = 1`), the stall
+/// bound is finite — exactly how the paper treats Requirement 2 as an
+/// environment assumption.
+#[test]
+fn req2_memory_wait_is_an_environment_assumption() {
+    let n = reduced_control_netlist_with_memory();
+    // Free memory: infinite stall possible.
+    let opts = reduced_memory_valid_inputs(&n, None);
+    let m = enumerate_netlist(&n, &opts).expect("enumerates");
+    let stall_outputs: Vec<bool> = (0..m.num_outputs() as u32)
+        .map(|o| {
+            // Output label is the bit string; stall is output bit 0
+            // (rightmost character).
+            m.output_label(simcov::fsm::OutputSym(o))
+                .chars()
+                .last()
+                .map(|c| c == '1')
+                .unwrap_or(false)
+        })
+        .collect();
+    let witness = check_req2_bounded_processing(&m, |o| stall_outputs[o.index()]);
+    assert!(witness.is_err(), "free mem_ready must allow an infinite stall cycle");
+    let cycle = witness.unwrap_err();
+    assert!(!cycle.cycle.is_empty());
+
+    // Perfect memory: bounded.
+    let opts = reduced_memory_valid_inputs(&n, Some(true));
+    let m = enumerate_netlist(&n, &opts).expect("enumerates");
+    let stall_outputs: Vec<bool> = (0..m.num_outputs() as u32)
+        .map(|o| {
+            m.output_label(simcov::fsm::OutputSym(o))
+                .chars()
+                .last()
+                .map(|c| c == '1')
+                .unwrap_or(false)
+        })
+        .collect();
+    let bound = check_req2_bounded_processing(&m, |o| stall_outputs[o.index()])
+        .expect("perfect memory bounds the stall");
+    assert!(bound.bound <= 2, "load-use stalls are single-cycle: {:?}", bound);
+}
+
+/// Requirement 3 on the reduced model: the bare model collides outputs
+/// massively; a per-state collision report pinpoints where data selection
+/// must differentiate.
+#[test]
+fn req3_collisions_reported_on_reduced_model() {
+    let n = simcov::dlx::testmodel::reduced_control_netlist();
+    let opts = simcov::dlx::testmodel::reduced_valid_inputs(&n);
+    let m = enumerate_netlist(&n, &opts).expect("enumerates");
+    let collisions = check_req3_unique_outputs(&m).expect_err("bare control outputs collide");
+    assert!(collisions.len() > 100);
+    // The observable variant still collides per-state (outputs reveal
+    // state, not input identity) — Requirement 3 is about *data*
+    // selection during expansion, which DistinctData supplies.
+    let d = simcov::core::expand::DistinctData::default();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..1000 {
+        assert!(seen.insert(d.value(i, 32)), "expansion data must be unique");
+    }
+}
+
+/// Requirement 5 on the paper's own inventory: the DLX interaction state
+/// (destination-register addresses of the current and two previous
+/// instructions, the PSW) against observable-state lists.
+#[test]
+fn req5_dlx_interaction_state() {
+    let interaction = [
+        "ex.dest",
+        "mem.dest",
+        "wb.dest",
+        "psw",
+    ];
+    // The functional simulation model exposes registers, memory and the
+    // pipeline bookkeeping: containment holds.
+    let observable = [
+        "regfile",
+        "memory",
+        "ex.dest",
+        "mem.dest",
+        "wb.dest",
+        "psw",
+        "pc",
+    ];
+    assert!(check_req5_observable(&interaction, &observable).is_ok());
+    // Hiding the PSW (as a naive testbench might) is flagged.
+    let partial = ["regfile", "memory", "ex.dest", "mem.dest", "wb.dest"];
+    let missing = check_req5_observable(&interaction, &partial).unwrap_err();
+    assert_eq!(missing, vec!["psw".to_string()]);
+}
+
+/// The memory variant agrees with the plain reduced model when memory is
+/// always ready (the extension is conservative).
+#[test]
+fn memory_variant_conservative_extension() {
+    use simcov::netlist::SimState;
+    let plain = simcov::dlx::testmodel::reduced_control_netlist();
+    let mem = reduced_control_netlist_with_memory();
+    let mut sp = SimState::new(&plain);
+    let mut sm = SimState::new(&mem);
+    let stim: [[bool; 5]; 8] = [
+        [false, true, false, true, false], // load r1
+        [true, false, true, true, false],  // alu r1 -> stall
+        [true, false, false, false, false],
+        [true, true, false, false, true], // branch taken
+        [false, false, false, false, false],
+        [false, true, false, true, false],
+        [true, false, true, false, false],
+        [false, false, false, false, false],
+    ];
+    for (cyc, v) in stim.iter().enumerate() {
+        let po = sp.step(&plain, v);
+        let mut v6 = v.to_vec();
+        v6.push(true); // mem_ready = 1
+        let pm = sm.step(&mem, &v6);
+        assert_eq!(po, pm, "cycle {cyc}");
+    }
+}
