@@ -146,7 +146,10 @@ impl Pipeline {
                 }
                 Step::Custom(f) => f(&cur),
             };
-            reports.push(StepReport { label: label.clone(), stats: cur.stats() });
+            reports.push(StepReport {
+                label: label.clone(),
+                stats: cur.stats(),
+            });
         }
         (cur, reports)
     }
@@ -244,7 +247,10 @@ mod tests {
         let mut p = Pipeline::new();
         p.push(
             "bad",
-            Step::ReencodeOneHot { members: vec!["nope".into(), "s0".into()], new_name: "x".into() },
+            Step::ReencodeOneHot {
+                members: vec!["nope".into(), "s0".into()],
+                new_name: "x".into(),
+            },
         );
         let _ = p.run(&n);
     }

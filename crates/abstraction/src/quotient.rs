@@ -62,15 +62,27 @@ impl Quotient {
     }
 
     fn num_state_classes(&self) -> usize {
-        self.state_class.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+        self.state_class
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     fn num_input_classes(&self) -> usize {
-        self.input_class.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+        self.input_class
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     fn num_output_classes(&self) -> usize {
-        self.output_class.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+        self.output_class
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -194,12 +206,7 @@ pub fn build_quotient(m: &ExplicitMealy, q: &Quotient) -> Result<QuotientResult,
             match chosen.get(&(a_s, a_i)) {
                 None => {
                     chosen.insert((a_s, a_i), (a_n, a_o, (s, i)));
-                    b.add_transition(
-                        StateId(a_s),
-                        InputSym(a_i),
-                        StateId(a_n),
-                        OutputSym(a_o),
-                    );
+                    b.add_transition(StateId(a_s), InputSym(a_i), StateId(a_n), OutputSym(a_o));
                 }
                 Some(&(c_n, c_o, w)) => {
                     if c_n != a_n {
@@ -223,8 +230,14 @@ pub fn build_quotient(m: &ExplicitMealy, q: &Quotient) -> Result<QuotientResult,
         }
     }
     let reset_class = StateId(q.state_class[m.reset().index()]);
-    let machine = b.build(reset_class).expect("first-seen choices are deterministic");
-    Ok(QuotientResult { machine, transition_conflicts, output_conflicts })
+    let machine = b
+        .build(reset_class)
+        .expect("first-seen choices are deterministic");
+    Ok(QuotientResult {
+        machine,
+        transition_conflicts,
+        output_conflicts,
+    })
 }
 
 /// Report of [`check_homomorphism`].
@@ -251,7 +264,9 @@ pub fn check_homomorphism(
     let mut mismatches = Vec::new();
     for s in mc.reachable_states() {
         for i in mc.inputs() {
-            let Some((n, o)) = mc.step(s, i) else { continue };
+            let Some((n, o)) = mc.step(s, i) else {
+                continue;
+            };
             let a_s = StateId(q.state_class[s.index()]);
             let a_i = InputSym(q.input_class[i.index()]);
             let expect = (
@@ -263,7 +278,10 @@ pub fn check_homomorphism(
             }
         }
     }
-    HomomorphismReport { is_homomorphism: mismatches.is_empty(), mismatches }
+    HomomorphismReport {
+        is_homomorphism: mismatches.is_empty(),
+        mismatches,
+    }
 }
 
 #[cfg(test)]

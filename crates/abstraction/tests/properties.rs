@@ -1,8 +1,8 @@
 //! Property-based tests for quotient construction and homomorphism
-//! checking.
+//! checking, on the workspace's hermetic `forall` driver.
 
-use proptest::prelude::*;
 use simcov_abstraction::{build_quotient, check_homomorphism, Quotient};
+use simcov_core::testutil::{forall_cfg, Config, Gen};
 use simcov_fsm::{ExplicitMealy, MealyBuilder, StateId};
 
 #[derive(Debug, Clone)]
@@ -15,17 +15,20 @@ struct Recipe {
     classes: Vec<u16>,
 }
 
-fn recipe() -> impl Strategy<Value = Recipe> {
-    (2..8usize, 1..3usize)
-        .prop_flat_map(|(n, ni)| {
-            let cells = n * ni;
-            (
-                proptest::collection::vec(any::<u16>(), cells..=cells),
-                proptest::collection::vec(any::<u16>(), cells..=cells),
-                proptest::collection::vec(any::<u16>(), n..=n),
-            )
-                .prop_map(move |(dests, outs, classes)| Recipe { n, ni, dests, outs, classes })
-        })
+fn recipe(g: &mut Gen) -> Recipe {
+    let n = g.int_in(2..8usize);
+    let ni = g.int_in(1..3usize);
+    let cells = n * ni;
+    let dests = (0..cells).map(|_| g.u16()).collect();
+    let outs = (0..cells).map(|_| g.u16()).collect();
+    let classes = (0..n).map(|_| g.u16()).collect();
+    Recipe {
+        n,
+        ni,
+        dests,
+        outs,
+        classes,
+    }
 }
 
 fn build(r: &Recipe) -> ExplicitMealy {
@@ -38,7 +41,11 @@ fn build(r: &Recipe) -> ExplicitMealy {
         for i in 0..r.ni {
             let cell = s * r.ni + i;
             // Ring on input 0 keeps everything reachable.
-            let dest = if i == 0 { (s + 1) % r.n } else { r.dests[cell] as usize % r.n };
+            let dest = if i == 0 {
+                (s + 1) % r.n
+            } else {
+                r.dests[cell] as usize % r.n
+            };
             b.add_transition(
                 states[s],
                 inputs[i],
@@ -50,81 +57,91 @@ fn build(r: &Recipe) -> ExplicitMealy {
     b.build(states[0]).expect("complete machine")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The identity quotient is always clean and homomorphic, and its
-    /// machine equals the reachable original up to labels.
-    #[test]
-    fn identity_quotient_clean(r in recipe()) {
-        let m = build(&r);
+/// The identity quotient is always clean and homomorphic, and its
+/// machine equals the reachable original up to labels.
+#[test]
+fn identity_quotient_clean() {
+    forall_cfg("identity_quotient_clean", Config::with_cases(64), |g| {
+        let m = build(&recipe(g));
         let q = Quotient::identity(&m);
         let res = build_quotient(&m, &q).expect("dimensions match");
-        prop_assert!(res.is_clean());
-        prop_assert!(check_homomorphism(&m, &res.machine, &q).is_homomorphism);
-        prop_assert_eq!(res.machine.num_transitions(), {
+        assert!(res.is_clean());
+        assert!(check_homomorphism(&m, &res.machine, &q).is_homomorphism);
+        assert_eq!(res.machine.num_transitions(), {
             // Transitions from reachable states only.
             let reach = m.reachable_states();
             reach.len() * m.num_inputs()
         });
-    }
+    });
+}
 
-    /// For an arbitrary state grouping: the quotient build never panics,
-    /// conflicts are sound (each reported conflict really maps two
-    /// concrete transitions to the same abstract (state, input) with
-    /// different images), and a clean result implies homomorphism.
-    #[test]
-    fn arbitrary_quotients_sound(r in recipe()) {
+/// For an arbitrary state grouping: the quotient build never panics,
+/// conflicts are sound (each reported conflict really maps two
+/// concrete transitions to the same abstract (state, input) with
+/// different images), and a clean result implies homomorphism.
+#[test]
+fn arbitrary_quotients_sound() {
+    forall_cfg("arbitrary_quotients_sound", Config::with_cases(64), |g| {
+        let r = recipe(g);
         let m = build(&r);
         let q = Quotient::by_state_key(&m, |s: StateId| r.classes[s.index()] % 3);
         let res = build_quotient(&m, &q).expect("dimensions match");
         for c in &res.transition_conflicts {
             let (s1, i1, n1) = c.first;
             let (s2, i2, n2) = c.second;
-            prop_assert_eq!(q.state_class[s1.index()], q.state_class[s2.index()]);
-            prop_assert_eq!(q.input_class[i1.index()], q.input_class[i2.index()]);
-            prop_assert_ne!(n1, n2);
+            assert_eq!(q.state_class[s1.index()], q.state_class[s2.index()]);
+            assert_eq!(q.input_class[i1.index()], q.input_class[i2.index()]);
+            assert_ne!(n1, n2);
             // Recompute the images.
             let (next1, _) = m.step(s1, i1).expect("complete");
             let (next2, _) = m.step(s2, i2).expect("complete");
-            prop_assert_eq!(q.state_class[next1.index()], n1);
-            prop_assert_eq!(q.state_class[next2.index()], n2);
+            assert_eq!(q.state_class[next1.index()], n1);
+            assert_eq!(q.state_class[next2.index()], n2);
         }
         for c in &res.output_conflicts {
             let (s1, i1, o1) = c.first;
             let (s2, i2, o2) = c.second;
-            prop_assert_ne!(o1, o2);
+            assert_ne!(o1, o2);
             let (_, out1) = m.step(s1, i1).expect("complete");
             let (_, out2) = m.step(s2, i2).expect("complete");
-            prop_assert_eq!(q.output_class[out1.index()], o1);
-            prop_assert_eq!(q.output_class[out2.index()], o2);
+            assert_eq!(q.output_class[out1.index()], o1);
+            assert_eq!(q.output_class[out2.index()], o2);
         }
         if res.is_clean() {
-            prop_assert!(check_homomorphism(&m, &res.machine, &q).is_homomorphism);
+            assert!(check_homomorphism(&m, &res.machine, &q).is_homomorphism);
         }
-    }
+    });
+}
 
-    /// Trace preservation for clean quotients: the abstract machine's
-    /// output trace equals the classified concrete trace.
-    #[test]
-    fn clean_quotients_preserve_traces(r in recipe(), seq in proptest::collection::vec(any::<u8>(), 0..12)) {
-        let m = build(&r);
-        let q = Quotient::by_state_key(&m, |s: StateId| r.classes[s.index()] % 3);
-        let res = build_quotient(&m, &q).expect("dimensions match");
-        prop_assume!(res.is_clean());
-        let inputs: Vec<simcov_fsm::InputSym> = seq
-            .iter()
-            .map(|&x| simcov_fsm::InputSym(x as u32 % m.num_inputs() as u32))
-            .collect();
-        let concrete = m.output_trace(&inputs);
-        let abstract_inputs: Vec<simcov_fsm::InputSym> = inputs
-            .iter()
-            .map(|i| simcov_fsm::InputSym(q.input_class[i.index()]))
-            .collect();
-        let abstract_trace = res.machine.output_trace(&abstract_inputs);
-        let classified: Vec<u32> =
-            concrete.iter().map(|o| q.output_class[o.index()]).collect();
-        let abstract_ids: Vec<u32> = abstract_trace.iter().map(|o| o.0).collect();
-        prop_assert_eq!(classified, abstract_ids);
-    }
+/// Trace preservation for clean quotients: the abstract machine's
+/// output trace equals the classified concrete trace.
+#[test]
+fn clean_quotients_preserve_traces() {
+    forall_cfg(
+        "clean_quotients_preserve_traces",
+        Config::with_cases(64),
+        |g| {
+            let r = recipe(g);
+            let seq: Vec<u8> = g.vec_of(0..12usize, |g| g.u8());
+            let m = build(&r);
+            let q = Quotient::by_state_key(&m, |s: StateId| r.classes[s.index()] % 3);
+            let res = build_quotient(&m, &q).expect("dimensions match");
+            if !res.is_clean() {
+                return; // the property only speaks about clean quotients
+            }
+            let inputs: Vec<simcov_fsm::InputSym> = seq
+                .iter()
+                .map(|&x| simcov_fsm::InputSym(x as u32 % m.num_inputs() as u32))
+                .collect();
+            let concrete = m.output_trace(&inputs);
+            let abstract_inputs: Vec<simcov_fsm::InputSym> = inputs
+                .iter()
+                .map(|i| simcov_fsm::InputSym(q.input_class[i.index()]))
+                .collect();
+            let abstract_trace = res.machine.output_trace(&abstract_inputs);
+            let classified: Vec<u32> = concrete.iter().map(|o| q.output_class[o.index()]).collect();
+            let abstract_ids: Vec<u32> = abstract_trace.iter().map(|o| o.0).collect();
+            assert_eq!(classified, abstract_ids);
+        },
+    );
 }

@@ -27,7 +27,11 @@ impl BddManager {
         let mut big: std::collections::HashMap<u32, u128> = std::collections::HashMap::new();
         let c = self.count_rec(f, num_vars, &mut cache, &mut big);
         let top = self.level_of(f);
-        let gap = if top == TERMINAL_LEVEL { num_vars } else { top.min(num_vars) };
+        let gap = if top == TERMINAL_LEVEL {
+            num_vars
+        } else {
+            top.min(num_vars)
+        };
         c << gap
     }
 
@@ -51,7 +55,10 @@ impl BddManager {
             return v;
         }
         let level = self.level_of(f);
-        assert!(level < num_vars, "sat_count: variable out of declared range");
+        assert!(
+            level < num_vars,
+            "sat_count: variable out of declared range"
+        );
         let (f0, f1) = self.cofactors(f, level);
         let c0 = self.count_rec(f0, num_vars, cache, big);
         let c1 = self.count_rec(f1, num_vars, cache, big);

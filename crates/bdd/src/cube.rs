@@ -64,8 +64,7 @@ impl BddManager {
     pub fn pick_minterm(&self, f: Bdd, vars: &[Var]) -> Option<Cube> {
         let partial = self.pick_cube(f)?;
         let mut literals = partial.literals;
-        let have: std::collections::HashSet<u32> =
-            literals.iter().map(|&(v, _)| v.0).collect();
+        let have: std::collections::HashSet<u32> = literals.iter().map(|&(v, _)| v.0).collect();
         for &v in vars {
             if !have.contains(&v.0) {
                 literals.push((v, false));
@@ -74,7 +73,6 @@ impl BddManager {
         literals.sort_unstable_by_key(|&(v, _)| v.0);
         Some(Cube { literals })
     }
-
 
     /// Samples a satisfying minterm of `f` over `vars` *uniformly at
     /// random*, using exact solution counts to weight each branch
@@ -101,8 +99,14 @@ impl BddManager {
         if f.is_false() {
             return None;
         }
-        assert!(vars.len() <= 127, "sample_minterm supports at most 127 variables");
-        debug_assert!(vars.windows(2).all(|w| w[0].0 < w[1].0), "vars must be sorted");
+        assert!(
+            vars.len() <= 127,
+            "sample_minterm supports at most 127 variables"
+        );
+        debug_assert!(
+            vars.windows(2).all(|w| w[0].0 < w[1].0),
+            "vars must be sorted"
+        );
         let num_vars = vars.last().map(|v| v.0 + 1).unwrap_or(0);
         let mut literals = Vec::with_capacity(vars.len());
         let mut cur = f;
@@ -185,12 +189,7 @@ impl Iterator for CubeIter<'_> {
         while let Some((node, vi, lits)) = self.stack.pop() {
             if vi == self.vars.len() {
                 if node.is_true() {
-                    let literals = self
-                        .vars
-                        .iter()
-                        .zip(&lits)
-                        .map(|(&v, &p)| (v, p))
-                        .collect();
+                    let literals = self.vars.iter().zip(&lits).map(|(&v, &p)| (v, p)).collect();
                     return Some(Cube { literals });
                 }
                 // Support of f not covered by vars — skip (documented
@@ -272,8 +271,7 @@ mod tests {
             assert!(m.eval(f, &mt.to_assignment(3)));
         }
         // Lexicographic and unique.
-        let mut asgs: Vec<Assignment> =
-            minterms.iter().map(|c| c.to_assignment(3)).collect();
+        let mut asgs: Vec<Assignment> = minterms.iter().map(|c| c.to_assignment(3)).collect();
         let sorted = {
             let mut s = asgs.clone();
             s.sort();
@@ -294,7 +292,9 @@ mod tests {
 
     #[test]
     fn cube_to_assignment_default_false() {
-        let c = Cube { literals: vec![(Var(1), true)] };
+        let c = Cube {
+            literals: vec![(Var(1), true)],
+        };
         assert_eq!(c.to_assignment(3), vec![false, true, false]);
     }
 

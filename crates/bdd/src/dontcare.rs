@@ -137,7 +137,12 @@ impl BddManager {
                 var_name(crate::Var(node.var))
             );
             let _ = writeln!(s, "  {} -> {};", node_id(n), node_id(node.high));
-            let _ = writeln!(s, "  {} -> {} [style=dashed];", node_id(n), node_id(node.low));
+            let _ = writeln!(
+                s,
+                "  {} -> {} [style=dashed];",
+                node_id(n),
+                node_id(node.low)
+            );
             stack.push(node.low);
             stack.push(node.high);
         }
@@ -204,7 +209,10 @@ mod tests {
         let care = m.or(d, a);
         let g = m.restrict_dc(f, care);
         let support = m.support(g);
-        assert!(support.iter().all(|v| *v == Var(0) || *v == Var(1)), "{support:?}");
+        assert!(
+            support.iter().all(|v| *v == Var(0) || *v == Var(1)),
+            "{support:?}"
+        );
         // Still agrees on the care set.
         let lhs = m.and(f, care);
         let g_and = m.and(g, care);
@@ -232,15 +240,10 @@ mod tests {
         let t0 = m.and(vars[0], vars[2]);
         let t1 = m.xor(vars[1], vars[3]);
         let f = m.or(t0, t1);
-        let cares = [
-            vars[0],
-            m.or(vars[1], vars[3]),
-            m.xor(vars[0], vars[1]),
-            {
-                let t = m.and(vars[2], vars[3]);
-                m.or(t, vars[0])
-            },
-        ];
+        let cares = [vars[0], m.or(vars[1], vars[3]), m.xor(vars[0], vars[1]), {
+            let t = m.and(vars[2], vars[3]);
+            m.or(t, vars[0])
+        }];
         for &c in &cares {
             let g1 = m.constrain(f, c);
             let g2 = m.restrict_dc(f, c);

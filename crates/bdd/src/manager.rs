@@ -112,8 +112,16 @@ impl BddManager {
         assert!(num_vars < u32::MAX - 1, "too many variables");
         let mut nodes = Vec::with_capacity(1024);
         // Index 0: FALSE, index 1: TRUE.
-        nodes.push(Node { var: TERMINAL_LEVEL, low: 0, high: 0 });
-        nodes.push(Node { var: TERMINAL_LEVEL, low: 1, high: 1 });
+        nodes.push(Node {
+            var: TERMINAL_LEVEL,
+            low: 0,
+            high: 0,
+        });
+        nodes.push(Node {
+            var: TERMINAL_LEVEL,
+            low: 1,
+            high: 1,
+        });
         BddManager {
             nodes,
             unique: TripleMap::with_capacity_pow2(1 << 12),
@@ -185,7 +193,11 @@ impl BddManager {
             return Bdd(idx);
         }
         let idx = self.nodes.len() as u32;
-        self.nodes.push(Node { var, low: low.0, high: high.0 });
+        self.nodes.push(Node {
+            var,
+            low: low.0,
+            high: high.0,
+        });
         self.unique.insert(var, low.0, high.0, idx);
         Bdd(idx)
     }

@@ -433,7 +433,12 @@ mod tests {
         let f = m.or(t1, t2);
         let t3 = m.iff(vars[0], vars[3]);
         let g = m.and(t3, vars[1]);
-        for vs in [vec![], vec![Var(0)], vec![Var(1), Var(2)], vec![Var(0), Var(3)]] {
+        for vs in [
+            vec![],
+            vec![Var(0)],
+            vec![Var(1), Var(2)],
+            vec![Var(0), Var(3)],
+        ] {
             let cube = m.cube_from_vars(&vs);
             let fused = m.and_exists(f, g, cube);
             let conj = m.and(f, g);

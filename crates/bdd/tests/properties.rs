@@ -1,8 +1,8 @@
 //! Property-based tests: the BDD package against a brute-force
-//! truth-table oracle.
+//! truth-table oracle, on the workspace's hermetic `forall` driver.
 
-use proptest::prelude::*;
 use simcov_bdd::{Bdd, BddManager, Var};
+use simcov_core::testutil::{forall, Gen};
 
 const NVARS: u32 = 5;
 
@@ -18,24 +18,41 @@ enum Expr {
     Ite(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
-    })
+/// Random expression of depth at most `depth`. Branching choices are
+/// ranged draws, so shrinking collapses cases toward small leaf-heavy
+/// expressions.
+fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
+    let kind = if depth == 0 {
+        g.int_in(0..2u8)
+    } else {
+        g.int_in(0..7u8)
+    };
+    match kind {
+        0 => Expr::Var(g.int_in(0..NVARS)),
+        1 => Expr::Const(g.bool()),
+        2 => Expr::Not(Box::new(gen_expr(g, depth - 1))),
+        3 => Expr::And(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        4 => Expr::Or(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        5 => Expr::Xor(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        _ => Expr::Ite(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+    }
+}
+
+fn expr(g: &mut Gen) -> Expr {
+    gen_expr(g, 4)
 }
 
 fn build(m: &mut BddManager, e: &Expr) -> Bdd {
@@ -87,46 +104,57 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..(1u32 << NVARS)).map(|code| (0..NVARS).map(|b| (code >> b) & 1 == 1).collect())
 }
 
-proptest! {
-    /// The BDD of an expression evaluates identically to the expression.
-    #[test]
-    fn bdd_matches_truth_table(e in expr_strategy()) {
+/// The BDD of an expression evaluates identically to the expression.
+#[test]
+fn bdd_matches_truth_table() {
+    forall("bdd_matches_truth_table", |g| {
+        let e = expr(g);
         let mut m = BddManager::new(NVARS);
         let f = build(&mut m, &e);
         for asg in assignments() {
-            prop_assert_eq!(m.eval(f, &asg), eval(&e, &asg));
+            assert_eq!(m.eval(f, &asg), eval(&e, &asg));
         }
-    }
+    });
+}
 
-    /// Canonicity: semantically equal expressions share the same node.
-    #[test]
-    fn bdd_is_canonical(e in expr_strategy()) {
+/// Canonicity: semantically equal expressions share the same node.
+#[test]
+fn bdd_is_canonical() {
+    forall("bdd_is_canonical", |g| {
+        let e = expr(g);
         let mut m = BddManager::new(NVARS);
         let f = build(&mut m, &e);
         // Rebuild through double negation and De Morgan-style reshaping.
         let nf = m.not(f);
         let nnf = m.not(nf);
-        prop_assert_eq!(f, nnf);
+        assert_eq!(f, nnf);
         // XOR with itself is false; XOR with constant false is identity.
         let z = m.xor(f, f);
-        prop_assert_eq!(z, Bdd::FALSE);
+        assert_eq!(z, Bdd::FALSE);
         let same = m.xor(f, Bdd::FALSE);
-        prop_assert_eq!(same, f);
-    }
+        assert_eq!(same, f);
+    });
+}
 
-    /// sat_count equals brute-force model counting.
-    #[test]
-    fn sat_count_matches_enumeration(e in expr_strategy()) {
+/// sat_count equals brute-force model counting.
+#[test]
+fn sat_count_matches_enumeration() {
+    forall("sat_count_matches_enumeration", |g| {
+        let e = expr(g);
         let mut m = BddManager::new(NVARS);
         let f = build(&mut m, &e);
         let expect = assignments().filter(|a| eval(&e, a)).count() as u128;
-        prop_assert_eq!(m.sat_count(f, NVARS), expect);
-    }
+        assert_eq!(m.sat_count(f, NVARS), expect);
+    });
+}
 
-    /// Quantification agrees with expansion: ∃v.f = f[v:=0] | f[v:=1],
-    /// ∀v.f = f[v:=0] & f[v:=1].
-    #[test]
-    fn quantification_matches_expansion(e in expr_strategy(), v in 0..NVARS) {
+/// Quantification agrees with expansion: ∃v.f = f[v:=0] | f[v:=1],
+/// ∀v.f = f[v:=0] & f[v:=1].
+#[test]
+fn quantification_matches_expansion() {
+    forall("quantification_matches_expansion", |g| {
+        let e = expr(g);
+        let v = g.int_in(0..NVARS);
         let mut m = BddManager::new(NVARS);
         let f = build(&mut m, &e);
         let cube = m.cube_from_vars(&[Var(v)]);
@@ -134,30 +162,38 @@ proptest! {
         let f1 = m.restrict(f, &[(Var(v), true)]);
         let ex = m.exists(f, cube);
         let expect_ex = m.or(f0, f1);
-        prop_assert_eq!(ex, expect_ex);
+        assert_eq!(ex, expect_ex);
         let fa = m.forall(f, cube);
         let expect_fa = m.and(f0, f1);
-        prop_assert_eq!(fa, expect_fa);
-    }
+        assert_eq!(fa, expect_fa);
+    });
+}
 
-    /// The fused relational product equals quantify-after-conjoin.
-    #[test]
-    fn and_exists_is_sound(a in expr_strategy(), b in expr_strategy(),
-                           vs in proptest::collection::vec(0..NVARS, 0..3)) {
+/// The fused relational product equals quantify-after-conjoin.
+#[test]
+fn and_exists_is_sound() {
+    forall("and_exists_is_sound", |g| {
+        let a = expr(g);
+        let b = expr(g);
+        let vars: Vec<Var> = g.vec_of(0..3usize, |g| Var(g.int_in(0..NVARS)));
         let mut m = BddManager::new(NVARS);
         let fa = build(&mut m, &a);
         let fb = build(&mut m, &b);
-        let vars: Vec<Var> = vs.into_iter().map(Var).collect();
         let cube = m.cube_from_vars(&vars);
         let fused = m.and_exists(fa, fb, cube);
         let conj = m.and(fa, fb);
         let unfused = m.exists(conj, cube);
-        prop_assert_eq!(fused, unfused);
-    }
+        assert_eq!(fused, unfused);
+    });
+}
 
-    /// compose agrees with semantic substitution.
-    #[test]
-    fn compose_is_substitution(e in expr_strategy(), g in expr_strategy(), v in 0..NVARS) {
+/// compose agrees with semantic substitution.
+#[test]
+fn compose_is_substitution() {
+    forall("compose_is_substitution", |gen| {
+        let e = expr(gen);
+        let g = expr(gen);
+        let v = gen.int_in(0..NVARS);
         let mut m = BddManager::new(NVARS);
         let f = build(&mut m, &e);
         let gg = build(&mut m, &g);
@@ -165,33 +201,39 @@ proptest! {
         for asg in assignments() {
             let mut modified = asg.clone();
             modified[v as usize] = eval(&g, &asg);
-            prop_assert_eq!(m.eval(composed, &asg), eval(&e, &modified));
+            assert_eq!(m.eval(composed, &asg), eval(&e, &modified));
         }
-    }
+    });
+}
 
-    /// pick_cube returns satisfying cubes; cube iteration is exact.
-    #[test]
-    fn cubes_are_satisfying_and_exhaustive(e in expr_strategy()) {
+/// pick_cube returns satisfying cubes; cube iteration is exact.
+#[test]
+fn cubes_are_satisfying_and_exhaustive() {
+    forall("cubes_are_satisfying_and_exhaustive", |g| {
+        let e = expr(g);
         let mut m = BddManager::new(NVARS);
         let f = build(&mut m, &e);
         match m.pick_cube(f) {
-            None => prop_assert_eq!(f, Bdd::FALSE),
-            Some(c) => prop_assert!(m.eval(f, &c.to_assignment(NVARS))),
+            None => assert_eq!(f, Bdd::FALSE),
+            Some(c) => assert!(m.eval(f, &c.to_assignment(NVARS))),
         }
         let vars: Vec<Var> = (0..NVARS).map(Var).collect();
         let count = m.cubes(f, &vars).count() as u128;
-        prop_assert_eq!(count, m.sat_count(f, NVARS));
-    }
+        assert_eq!(count, m.sat_count(f, NVARS));
+    });
+}
 
-    /// Renaming to fresh variables then back is the identity.
-    #[test]
-    fn rename_roundtrip(e in expr_strategy()) {
+/// Renaming to fresh variables then back is the identity.
+#[test]
+fn rename_roundtrip() {
+    forall("rename_roundtrip", |g| {
+        let e = expr(g);
         let mut m = BddManager::new(2 * NVARS);
         let f = build(&mut m, &e);
         let fwd: Vec<(Var, Var)> = (0..NVARS).map(|i| (Var(i), Var(i + NVARS))).collect();
         let bwd: Vec<(Var, Var)> = (0..NVARS).map(|i| (Var(i + NVARS), Var(i))).collect();
         let shifted = m.rename(f, &fwd);
         let back = m.rename(shifted, &bwd);
-        prop_assert_eq!(back, f);
-    }
+        assert_eq!(back, f);
+    });
 }

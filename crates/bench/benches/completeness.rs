@@ -1,59 +1,61 @@
 //! E2 / Theorems 1-3: completeness of transition tours on a compliant
 //! test model, validated by exhaustive single-fault injection.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcov_bench::timing::bench;
 use simcov_bench::{reduced_dlx_machine, reduced_dlx_machine_hidden};
 use simcov_core::{
-    certify_completeness, enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace,
+    certify_completeness, enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace,
 };
 use simcov_tour::{transition_tour, TestSet};
 
 fn report() {
     eprintln!("== Completeness (Theorem 3) ==");
     for (name, m, k) in [
-        ("observable (Req 5 satisfied)", reduced_dlx_machine(), 1usize),
+        (
+            "observable (Req 5 satisfied)",
+            reduced_dlx_machine(),
+            1usize,
+        ),
         ("hidden (Req 5 violated)", reduced_dlx_machine_hidden(), 4),
     ] {
         let cert = certify_completeness(&m, k, None);
         let tour = transition_tour(&m).unwrap();
         let faults = enumerate_single_faults(
             &m,
-            &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+            &FaultSpace {
+                max_faults: usize::MAX,
+                ..FaultSpace::default()
+            },
         );
         let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
-        let rep = run_campaign(&m, &faults, &tests);
+        let run = FaultCampaign::new(&m, &faults, &tests).run();
         eprintln!(
-            "  {name}: certificate={}, tour len {}, campaign {rep}",
+            "  {name}: certificate={}, tour len {}, campaign {}",
             if cert.is_ok() { "ISSUED" } else { "REJECTED" },
             tour.len(),
+            run.report,
         );
+        eprintln!("    stats: {}", run.stats);
     }
     eprintln!("  (paper: certified model => complete test set; violated => escapes)");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let m = reduced_dlx_machine();
-    c.bench_function("completeness/certify_k1", |b| {
-        b.iter(|| certify_completeness(&m, 1, None).unwrap())
+    bench("completeness/certify_k1", || {
+        certify_completeness(&m, 1, None).unwrap()
     });
     let faults = enumerate_single_faults(
         &m,
-        &FaultSpace { max_faults: 500, ..FaultSpace::default() },
+        &FaultSpace {
+            max_faults: 500,
+            ..FaultSpace::default()
+        },
     );
     let tour = transition_tour(&m).unwrap();
     let tests = TestSet::single(extend_cyclically(&tour.inputs, 1));
-    let mut g = c.benchmark_group("completeness");
-    g.sample_size(10);
-    g.bench_function("campaign_500_faults", |b| {
-        b.iter_batched(
-            || (faults.clone(), tests.clone()),
-            |(f, t)| run_campaign(&m, &f, &t),
-            BatchSize::LargeInput,
-        )
+    bench("completeness/campaign_500_faults", || {
+        FaultCampaign::new(&m, &faults, &tests).run()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! random vectors, under exhaustive single-fault injection (the paper's
 //! motivating claim for transition coverage).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simcov_bench::reduced_dlx_machine;
+use simcov_bench::timing::bench;
 use simcov_core::{enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace};
 use simcov_tour::{coverage_set, random_test_set, state_tour, transition_tour, TestSet};
 
@@ -11,7 +11,10 @@ fn report() {
     let m = reduced_dlx_machine();
     let faults = enumerate_single_faults(
         &m,
-        &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+        &FaultSpace {
+            max_faults: usize::MAX,
+            ..FaultSpace::default()
+        },
     );
     eprintln!("== Error coverage: transition tour vs baselines ==");
     eprintln!("  model: {m:?}; {} injected faults", faults.len());
@@ -54,20 +57,14 @@ fn report() {
     eprintln!("  (paper's claim: transition coverage => complete error coverage)");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let m = reduced_dlx_machine();
-    let mut g = c.benchmark_group("error_coverage");
-    g.sample_size(10);
-    g.bench_function("transition_tour_gen", |b| {
-        b.iter(|| transition_tour(&m).unwrap())
+    bench("error_coverage/transition_tour_gen", || {
+        transition_tour(&m).unwrap()
     });
-    g.bench_function("state_tour_gen", |b| b.iter(|| state_tour(&m).unwrap()));
-    g.bench_function("random_set_gen", |b| {
-        b.iter(|| random_test_set(&m, 10, 600, 7))
+    bench("error_coverage/state_tour_gen", || state_tour(&m).unwrap());
+    bench("error_coverage/random_set_gen", || {
+        random_test_set(&m, 10, 600, 7)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

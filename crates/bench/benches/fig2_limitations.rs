@@ -4,7 +4,7 @@
 //! excited by every transition tour but exposed only along the <a, b>
 //! continuation — and benchmarks the machinery involved.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_bench::timing::bench;
 use simcov_core::models::figure2;
 use simcov_core::{detects, excited_at, forall_k_distinguishable};
 use simcov_tour::transition_tour;
@@ -36,22 +36,17 @@ fn report() {
     eprintln!("  optimal transition tour: {tour}");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let (m, fault) = figure2();
-    c.bench_function("fig2/transition_tour", |bch| {
-        bch.iter(|| transition_tour(&m).unwrap())
-    });
-    c.bench_function("fig2/forall_k_check", |bch| {
-        bch.iter(|| forall_k_distinguishable(&m, 3, 0).unwrap())
+    bench("fig2/transition_tour", || transition_tour(&m).unwrap());
+    bench("fig2/forall_k_check", || {
+        forall_k_distinguishable(&m, 3, 0).unwrap()
     });
     let faulty = fault.inject(&m);
     let a = m.input_by_label("a").unwrap();
     let c2 = m.input_by_label("c").unwrap();
-    c.bench_function("fig2/detect_on_sequence", |bch| {
-        bch.iter(|| detects(&m, &faulty, &[a, a, c2]))
+    bench("fig2/detect_on_sequence", || {
+        detects(&m, &faulty, &[a, a, c2])
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,14 +1,17 @@
 //! E3+E4 / Figure 3: the initial test model and the abstraction sequence
 //! 160 -> 118 -> 110 -> 86 -> 54 -> 46 -> 22.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_bench::timing::bench;
 use simcov_dlx::control::initial_control_netlist;
 use simcov_dlx::testmodel::{fig3b_pipeline, FIG3B_LATCH_SEQUENCE};
 
 fn report() {
     let initial = initial_control_netlist();
     eprintln!("== Figure 3(a): initial abstract test model ==");
-    eprintln!("  {}   (paper: 160 latches, 41 PIs, 32 POs)", initial.stats());
+    eprintln!(
+        "  {}   (paper: 160 latches, 41 PIs, 32 POs)",
+        initial.stats()
+    );
     eprintln!("== Figure 3(b): abstraction sequence ==");
     let (_, reports) = fig3b_pipeline().run(&initial);
     let mut prev = initial.stats().latches;
@@ -21,16 +24,11 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    c.bench_function("fig3/build_initial_model", |b| {
-        b.iter(initial_control_netlist)
-    });
+    bench("fig3/build_initial_model", initial_control_netlist);
     let initial = initial_control_netlist();
-    c.bench_function("fig3/run_abstraction_pipeline", |b| {
-        b.iter(|| fig3b_pipeline().run(&initial))
+    bench("fig3/run_abstraction_pipeline", || {
+        fig3b_pipeline().run(&initial)
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

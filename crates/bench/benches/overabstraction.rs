@@ -2,9 +2,9 @@
 //! destination-register state makes interlock output errors non-uniform
 //! (Requirement 1 violations), caught by the quotient analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simcov_abstraction::{build_quotient, Quotient};
 use simcov_bench::reduced_dlx_machine;
+use simcov_bench::timing::bench;
 use simcov_core::check_req1_uniform_outputs;
 
 fn strip_quotient(m: &simcov_fsm::ExplicitMealy, bit: usize) -> Quotient {
@@ -37,18 +37,13 @@ fn report() {
     eprintln!("  (paper: without the destination register, interlock errors are non-uniform)");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let n = simcov_dlx::testmodel::reduced_control_netlist_observable();
     let m = reduced_dlx_machine();
     let bit = n.latch_by_name("ex.writes").unwrap().index();
-    c.bench_function("overabstraction/quotient_and_req1", |b| {
-        b.iter(|| {
-            let q = strip_quotient(&m, bit);
-            check_req1_uniform_outputs(&m, &q).is_err()
-        })
+    bench("overabstraction/quotient_and_req1", || {
+        let q = strip_quotient(&m, bit);
+        check_req1_uniform_outputs(&m, &q).is_err()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,14 +2,17 @@
 //! 22-latch test model — transition-relation construction time, valid
 //! input combinations, reachable states and transition count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_bench::timing::bench;
 use simcov_dlx::testmodel::{derive_test_model, valid_inputs_bdd};
 use simcov_fsm::SymbolicFsm;
 
 fn report() {
     let (fin, _) = derive_test_model();
     eprintln!("== Section 7.2: experimental results ==");
-    eprintln!("  model: {}   (paper: 22 latches, 25 PIs, 4 POs)", fin.stats());
+    eprintln!(
+        "  model: {}   (paper: 22 latches, 25 PIs, 4 POs)",
+        fin.stats()
+    );
     let mut fsm = SymbolicFsm::from_netlist(&fin);
     let valid = valid_inputs_bdd(&mut fsm);
     fsm.set_valid_inputs(valid);
@@ -34,32 +37,22 @@ fn report() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let (fin, _) = derive_test_model();
-    let mut g = c.benchmark_group("sec72");
-    g.sample_size(10);
-    g.bench_function("build_symbolic_fsm", |b| {
-        b.iter(|| SymbolicFsm::from_netlist(&fin))
+    bench("sec72/build_symbolic_fsm", || {
+        SymbolicFsm::from_netlist(&fin)
     });
-    g.bench_function("transition_relation", |b| {
-        b.iter(|| {
-            let mut fsm = SymbolicFsm::from_netlist(&fin);
-            let valid = valid_inputs_bdd(&mut fsm);
-            fsm.set_valid_inputs(valid);
-            fsm.transition_relation()
-        })
+    bench("sec72/transition_relation", || {
+        let mut fsm = SymbolicFsm::from_netlist(&fin);
+        let valid = valid_inputs_bdd(&mut fsm);
+        fsm.set_valid_inputs(valid);
+        fsm.transition_relation()
     });
-    g.bench_function("reachability_fixpoint", |b| {
-        b.iter(|| {
-            let mut fsm = SymbolicFsm::from_netlist(&fin);
-            let valid = valid_inputs_bdd(&mut fsm);
-            fsm.set_valid_inputs(valid);
-            fsm.reachable()
-        })
+    bench("sec72/reachability_fixpoint", || {
+        let mut fsm = SymbolicFsm::from_netlist(&fin);
+        let valid = valid_inputs_bdd(&mut fsm);
+        fsm.set_valid_inputs(valid);
+        fsm.reachable()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

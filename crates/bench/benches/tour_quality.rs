@@ -2,7 +2,7 @@
 //! greedy heuristic (the paper's own tour was "not an optimal tour"),
 //! across model sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcov_bench::timing::bench;
 use simcov_bench::{reduced_dlx_machine, ring_with_chords};
 use simcov_tour::{greedy_transition_tour, transition_tour};
 
@@ -34,20 +34,15 @@ fn report() {
     eprintln!("  (paper: 123M transitions, tour 1069M = ratio 8.7, \"not an optimal tour\")");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("tour_quality");
     for n in [16usize, 64, 256] {
         let m = ring_with_chords(n);
-        g.bench_with_input(BenchmarkId::new("postman", n), &m, |b, m| {
-            b.iter(|| transition_tour(m).unwrap())
+        bench(&format!("tour_quality/postman/{n}"), || {
+            transition_tour(&m).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("greedy", n), &m, |b, m| {
-            b.iter(|| greedy_transition_tour(m).unwrap())
+        bench(&format!("tour_quality/greedy/{n}"), || {
+            greedy_transition_tour(&m).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

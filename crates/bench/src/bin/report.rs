@@ -10,8 +10,8 @@ use simcov_abstraction::{build_quotient, Quotient};
 use simcov_bench::{reduced_dlx_machine, reduced_dlx_machine_hidden, ring_with_chords};
 use simcov_core::models::figure2;
 use simcov_core::{
-    certify_completeness, check_req1_uniform_outputs, detects, enumerate_single_faults,
-    excited_at, extend_cyclically, forall_k_distinguishable, run_campaign, FaultSpace,
+    certify_completeness, check_req1_uniform_outputs, detects, enumerate_single_faults, excited_at,
+    extend_cyclically, forall_k_distinguishable, run_campaign, FaultCampaign, FaultSpace,
 };
 use simcov_dlx::control::initial_control_netlist;
 use simcov_dlx::testmodel::{
@@ -46,7 +46,10 @@ fn fig2() {
             "    ({}, {}) witness {:?}",
             m.state_label(v.s1),
             m.state_label(v.s2),
-            v.witness.iter().map(|&i| m.input_label(i)).collect::<Vec<_>>()
+            v.witness
+                .iter()
+                .map(|&i| m.input_label(i))
+                .collect::<Vec<_>>()
         );
     }
     println!("  paper: the error is exposed only via <a,b>; tours choosing <a,c> miss it\n");
@@ -90,7 +93,10 @@ fn fig3b() {
 fn sec72() {
     println!("================ E5 / Section 7.2: experimental results ================");
     let (fin, _) = derive_test_model();
-    println!("  final model: {}   (paper: 22 latches, 25 PIs, 4 POs)", fin.stats());
+    println!(
+        "  final model: {}   (paper: 22 latches, 25 PIs, 4 POs)",
+        fin.stats()
+    );
     let mut fsm = SymbolicFsm::from_netlist(&fin);
     let valid = valid_inputs_bdd(&mut fsm);
     fsm.set_valid_inputs(valid);
@@ -144,10 +150,8 @@ fn sec72() {
                 tour.duplicates,
                 t0.elapsed()
             );
-            println!(
-                "  (covers every behaviourally distinct transition; the paper's 1069M tour");
-            println!(
-                "   enumerated concrete vectors — scale by the class sizes for that view)");
+            println!("  (covers every behaviourally distinct transition; the paper's 1069M tour");
+            println!("   enumerated concrete vectors — scale by the class sizes for that view)");
         }
         Err(e) => println!("  full-model tour unavailable: {e}"),
     }
@@ -164,15 +168,26 @@ fn completeness() {
         let tour = transition_tour(&m).unwrap();
         let faults = enumerate_single_faults(
             &m,
-            &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+            &FaultSpace {
+                max_faults: usize::MAX,
+                ..FaultSpace::default()
+            },
         );
         let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
-        let rep = run_campaign(&m, &faults, &tests);
+        let run = FaultCampaign::new(&m, &faults, &tests).run();
         println!(
-            "  {:<26} certificate: {:<8} tour: {:>5} vectors   campaign: {rep}",
+            "  {:<26} certificate: {:<8} tour: {:>5} vectors   campaign: {}",
             name,
             if cert.is_ok() { "ISSUED" } else { "REJECTED" },
             tour.len() + k,
+            run.report,
+        );
+        println!(
+            "  {:<26} stats: {}   ({:.1} ms on {} worker thread(s))",
+            "",
+            run.stats,
+            run.wall.as_secs_f64() * 1e3,
+            run.jobs,
         );
     }
     println!("  (Theorem 3: certified => 100% detection; violated => escapes exist)\n");
@@ -183,18 +198,36 @@ fn coverage_table() {
     let m = reduced_dlx_machine();
     let faults = enumerate_single_faults(
         &m,
-        &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+        &FaultSpace {
+            max_faults: usize::MAX,
+            ..FaultSpace::default()
+        },
     );
     println!("  model {m:?}; {} faults", faults.len());
     let tt = transition_tour(&m).unwrap();
     let st = state_tour(&m).unwrap();
     let budget = tt.len() + 1;
     let suites: Vec<(String, TestSet)> = vec![
-        ("transition tour + k".into(), TestSet::single(extend_cyclically(&tt.inputs, 1))),
-        ("state tour + k".into(), TestSet::single(extend_cyclically(&st.inputs, 1))),
-        ("random (equal budget)".into(), random_test_set(&m, 1, budget, 2024)),
-        ("random (10x budget)".into(), random_test_set(&m, 10, budget, 2024)),
-        ("random (100x budget)".into(), random_test_set(&m, 100, budget, 2024)),
+        (
+            "transition tour + k".into(),
+            TestSet::single(extend_cyclically(&tt.inputs, 1)),
+        ),
+        (
+            "state tour + k".into(),
+            TestSet::single(extend_cyclically(&st.inputs, 1)),
+        ),
+        (
+            "random (equal budget)".into(),
+            random_test_set(&m, 1, budget, 2024),
+        ),
+        (
+            "random (10x budget)".into(),
+            random_test_set(&m, 10, budget, 2024),
+        ),
+        (
+            "random (100x budget)".into(),
+            random_test_set(&m, 100, budget, 2024),
+        ),
         (
             "UIO transition checking".into(),
             uio_test_set(&m, 4).expect("observable model has UIOs"),
@@ -239,7 +272,13 @@ fn overabstraction() {
         "  {:<16} {:>12} {:>16} {:>8}",
         "dropped state", "abs. states", "output conflicts", "Req 1"
     );
-    for latch in ["ex.writes", "ex.is_load", "ex.is_branch", "ex.valid", "id.stallflag"] {
+    for latch in [
+        "ex.writes",
+        "ex.is_load",
+        "ex.is_branch",
+        "ex.valid",
+        "id.stallflag",
+    ] {
         let bit = n.latch_by_name(latch).unwrap().index();
         let q = Quotient::by_state_key(&m, |s| {
             let label = m.state_label(s);
@@ -327,21 +366,25 @@ fn distinguishability() {
     let r = pf.forall_k(&obs.initial_state(), 1, true);
     println!(
         "  observable model (Req 5)      k=1: {:>7} violating pairs of {} states — holds={} ({:?})",
-        r.violating_pairs, r.reachable_states, r.holds, t0.elapsed()
+        r.violating_pairs,
+        r.reachable_states,
+        r.holds,
+        t0.elapsed()
     );
     println!("  (Theorem 2's conclusion, verified mechanically at the case study's full scale)\n");
 }
 
 fn full_scale_coverage() {
-    println!("================ E10 (beyond the paper): random coverage at full scale ================");
+    println!(
+        "================ E10 (beyond the paper): random coverage at full scale ================"
+    );
     let (fin, _) = derive_test_model();
     let mut fsm = SymbolicFsm::from_netlist(&fin);
     let valid = valid_inputs_bdd(&mut fsm);
     fsm.set_valid_inputs(valid);
     let r = fsm.reachable();
     let total = fsm.count_transitions(r.reached);
-    let in_vars: Vec<simcov_bdd::Var> =
-        (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
+    let in_vars: Vec<simcov_bdd::Var> = (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
     // Constrained-random simulation: inputs sampled uniformly from the
     // valid-input BDD; transition coverage accumulated symbolically.
     let mut acc = simcov_fsm::CoverageAccumulator::new();
@@ -361,9 +404,7 @@ fn full_scale_coverage() {
                 rng_state % bound
             })
             .expect("valid inputs are satisfiable");
-        let assignment = mt.to_assignment(
-            (2 * fsm.num_latches() + fsm.num_inputs()) as u32,
-        );
+        let assignment = mt.to_assignment((2 * fsm.num_latches() + fsm.num_inputs()) as u32);
         let inputs: Vec<bool> = (0..fsm.num_inputs())
             .map(|k| assignment[fsm.input_var(k).0 as usize])
             .collect();
@@ -413,13 +454,20 @@ fn full_scale_theorem3() {
     );
     let t0 = std::time::Instant::now();
     let tour = transition_tour(&m).expect("full model tours");
-    println!("  transition tour: {} vectors ({:?})", tour.len(), t0.elapsed());
+    println!(
+        "  transition tour: {} vectors ({:?})",
+        tour.len(),
+        t0.elapsed()
+    );
     let k = cert.as_ref().map(|c| c.k).unwrap_or(1);
     let faults = simcov_core::sample_faults(&m, 200, 42);
     let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
     let t0 = std::time::Instant::now();
     let rep = run_campaign(&m, &faults, &tests);
-    println!("  sampled-fault campaign (200 faults): {rep} ({:?})", t0.elapsed());
+    println!(
+        "  sampled-fault campaign (200 faults): {rep} ({:?})",
+        t0.elapsed()
+    );
     // The bare model for contrast: escapes exist.
     let t0 = std::time::Instant::now();
     let (mb, _) = simcov_dlx::testmodel::full_model_class_machine();

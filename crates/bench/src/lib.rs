@@ -4,6 +4,8 @@
 
 use simcov_fsm::{ExplicitMealy, MealyBuilder};
 
+pub mod timing;
+
 /// A strongly connected ring machine with *unevenly distributed* chord
 /// edges, parameterised by size — the synthetic workload for tour-quality
 /// scaling. The uneven chords unbalance vertex degrees, so a minimum

@@ -1,0 +1,46 @@
+//! Minimal wall-clock benchmarking, replacing the external criterion
+//! harness so the workspace builds offline with zero dependencies.
+//!
+//! Methodology: one untimed warm-up call sizes the iteration count to a
+//! ~0.5 s budget (clamped to [5, 10_000] iterations), then the measured
+//! loop reports mean wall time per iteration. `std::hint::black_box`
+//! keeps the optimizer from deleting the benchmarked computation.
+
+use std::time::{Duration, Instant};
+
+/// Target total measured time per benchmark.
+const BUDGET: Duration = Duration::from_millis(500);
+
+/// Times `f` and prints `name: <mean>/iter (<iters> iters)` to stderr.
+/// Returns the mean duration so callers can assert on relative timings
+/// (e.g. the parallel-speedup bench).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed();
+    let iters = if once.is_zero() {
+        10_000
+    } else {
+        (BUDGET.as_nanos() / once.as_nanos().max(1)).clamp(5, 10_000) as u32
+    };
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mean = t0.elapsed() / iters;
+    eprintln!("  {name:<44} {mean:>12.2?}/iter ({iters} iters)");
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_mean_for_real_work() {
+        let mean = bench("timing/self_test", || {
+            std::hint::black_box((0..10_000u64).sum::<u64>())
+        });
+        assert!(mean < Duration::from_secs(1));
+    }
+}

@@ -21,7 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use simcov_core::{enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace};
+use simcov_core::{enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace};
 use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PairFsm, SymbolicFsm};
 use simcov_netlist::Netlist;
 use simcov_tour::{coverage, greedy_transition_tour, state_tour, transition_tour, TestSet};
@@ -38,11 +38,17 @@ pub struct CliError {
 
 impl CliError {
     fn usage(message: impl Into<String>) -> Self {
-        CliError { message: message.into(), code: 2 }
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
     }
 
     fn runtime(message: impl Into<String>) -> Self {
-        CliError { message: message.into(), code: 1 }
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
     }
 }
 
@@ -62,10 +68,14 @@ USAGE:
   simcov stats <model.blif>
   simcov tour <model.blif> [--greedy | --state]
   simcov distinguish <model.blif> --k <K> [--all-pairs]
-  simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>]
+  simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>] [--jobs <J>]
   simcov dot <model.blif>
   simcov normalize <model.blif>
   simcov dlx <fig3a | fig3b | final | reduced | reduced-obs>
+
+OPTIONS:
+  --jobs <J>    worker threads for the fault campaign (0 or omitted =
+                all available cores); results are identical for every J
 ";
 
 fn load_model(path: &str) -> Result<Netlist, CliError> {
@@ -94,7 +104,12 @@ pub fn cmd_stats(path: &str) -> Result<String, CliError> {
     let _ = writeln!(out, "model: {}", n.stats());
     for m in n.module_names() {
         if !m.is_empty() {
-            let _ = writeln!(out, "  module {:<12} {:>4} latches", m, n.module_latches(&m).len());
+            let _ = writeln!(
+                out,
+                "  module {:<12} {:>4} latches",
+                m,
+                n.module_latches(&m).len()
+            );
         }
     }
     let mut fsm = SymbolicFsm::from_netlist(&n);
@@ -141,15 +156,27 @@ pub fn cmd_distinguish(path: &str, k: usize, all_pairs: bool) -> Result<String, 
         out,
         "forall-{k} distinguishability over {} {}:",
         r.reachable_states,
-        if all_pairs { "states (entire state space)" } else { "reachable states" }
+        if all_pairs {
+            "states (entire state space)"
+        } else {
+            "reachable states"
+        }
     );
     let _ = writeln!(
         out,
         "  violating pairs: {}{}",
         r.violating_pairs,
-        if r.fixed_point { " (fixed point: holds for all larger k too)" } else { "" }
+        if r.fixed_point {
+            " (fixed point: holds for all larger k too)"
+        } else {
+            ""
+        }
     );
-    let _ = writeln!(out, "  property {}", if r.holds { "HOLDS" } else { "VIOLATED" });
+    let _ = writeln!(
+        out,
+        "  property {}",
+        if r.holds { "HOLDS" } else { "VIOLATED" }
+    );
     if !r.holds && n.num_latches() <= 16 {
         let examples = pf.violating_pair_examples(&init, k, 4);
         for (a, b) in examples {
@@ -162,23 +189,42 @@ pub fn cmd_distinguish(path: &str, k: usize, all_pairs: bool) -> Result<String, 
     Ok(out)
 }
 
-/// `simcov campaign`: tour-driven fault campaign.
-pub fn cmd_campaign(path: &str, max_faults: usize, seed: u64, k: usize) -> Result<String, CliError> {
+/// `simcov campaign`: tour-driven fault campaign on the parallel engine
+/// (`jobs` worker threads; 0 = all available cores).
+pub fn cmd_campaign(
+    path: &str,
+    max_faults: usize,
+    seed: u64,
+    k: usize,
+    jobs: usize,
+) -> Result<String, CliError> {
     let n = load_model(path)?;
     let m = enumerate(&n)?;
     let tour = transition_tour(&m)
         .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
     let faults = enumerate_single_faults(
         &m,
-        &FaultSpace { max_faults, seed, ..FaultSpace::default() },
+        &FaultSpace {
+            max_faults,
+            seed,
+            ..FaultSpace::default()
+        },
     );
     let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
-    let report = run_campaign(&m, &faults, &tests);
+    let run = FaultCampaign::new(&m, &faults, &tests).jobs(jobs).run();
     let mut out = String::new();
     let _ = writeln!(out, "model: {m:?}");
     let _ = writeln!(out, "tour: {tour} (extended by k={k})");
-    let _ = writeln!(out, "campaign: {report}");
-    for esc in report.escapes().take(8) {
+    let _ = writeln!(out, "campaign: {}", run.report);
+    let _ = writeln!(out, "stats: {}", run.stats);
+    let _ = writeln!(
+        out,
+        "wall: {:.1} ms on {} worker thread{}",
+        run.wall.as_secs_f64() * 1e3,
+        run.jobs,
+        if run.jobs == 1 { "" } else { "s" }
+    );
+    for esc in run.report.escapes().take(8) {
         let _ = writeln!(out, "  escape: {}", esc.fault);
     }
     Ok(out)
@@ -258,18 +304,34 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "campaign" => {
             let max_faults = flag_value("--max-faults")
-                .map(|v| v.parse().map_err(|_| CliError::usage("--max-faults must be a number")))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::usage("--max-faults must be a number"))
+                })
                 .transpose()?
                 .unwrap_or(2000);
             let seed = flag_value("--seed")
-                .map(|v| v.parse().map_err(|_| CliError::usage("--seed must be a number")))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::usage("--seed must be a number"))
+                })
                 .transpose()?
                 .unwrap_or(0);
             let k = flag_value("--k")
-                .map(|v| v.parse().map_err(|_| CliError::usage("--k must be a number")))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::usage("--k must be a number"))
+                })
                 .transpose()?
                 .unwrap_or(2);
-            cmd_campaign(positional()?, max_faults, seed, k)
+            let jobs = flag_value("--jobs")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::usage("--jobs must be a number"))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            cmd_campaign(positional()?, max_faults, seed, k, jobs)
         }
         "dot" => cmd_dot(positional()?),
         "normalize" => cmd_normalize(positional()?),
@@ -281,7 +343,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_dlx(which)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -366,8 +430,10 @@ mod tests {
         let out = cmd_tour(tmp.as_str(), "postman").unwrap();
         assert!(out.contains("transitions"));
         // One vector per line after the header; the model has 5 inputs.
-        let vectors: Vec<&str> =
-            out.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+        let vectors: Vec<&str> = out
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
         assert!(vectors.len() > 100);
         assert!(vectors.iter().all(|v| v.len() == 5));
         // Greedy and state tours also work.
@@ -395,9 +461,25 @@ mod tests {
     #[test]
     fn campaign_runs_and_reports() {
         let tmp = write_reduced_blif();
-        let out = cmd_campaign(tmp.as_str(), 300, 7, 1).unwrap();
+        let out = cmd_campaign(tmp.as_str(), 300, 7, 1, 2).unwrap();
         assert!(out.contains("campaign:"));
         assert!(out.contains("faults detected"));
+        assert!(out.contains("stats:"));
+        assert!(out.contains("worker thread"));
+    }
+
+    #[test]
+    fn campaign_jobs_flag_does_not_change_results() {
+        let tmp = write_reduced_blif();
+        let strip_wall = |s: String| -> String {
+            s.lines()
+                .filter(|l| !l.starts_with("wall:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = strip_wall(cmd_campaign(tmp.as_str(), 200, 3, 1, 1).unwrap());
+        let four = strip_wall(cmd_campaign(tmp.as_str(), 200, 3, 1, 4).unwrap());
+        assert_eq!(one, four);
     }
 
     #[test]

@@ -159,11 +159,19 @@ pub fn forall_k_distinguishable(
                 } else {
                     Vec::new()
                 };
-                violations.push(PairWitness { s1: reach[a], s2: reach[b], witness });
+                violations.push(PairWitness {
+                    s1: reach[a],
+                    s2: reach[b],
+                    witness,
+                });
             }
         }
     }
-    Ok(Distinguishability { k, states: n, violations })
+    Ok(Distinguishability {
+        k,
+        states: n,
+        violations,
+    })
 }
 
 /// Rebuilds one equal-output sequence of length `k` for the pair `(a, b)`
@@ -339,7 +347,10 @@ mod tests {
         let m = b.build(s0).unwrap();
         assert_eq!(
             forall_k_distinguishable(&m, 2, 10).unwrap_err(),
-            DistinguishError::IncompleteMachine { state: s1, input: a }
+            DistinguishError::IncompleteMachine {
+                state: s1,
+                input: a
+            }
         );
     }
 
@@ -361,7 +372,11 @@ mod tests {
         let (m, _) = crate::testutil::figure2();
         let d = forall_k_distinguishable(&m, 1, 1).unwrap();
         assert!(!d.violations.is_empty());
-        let with_witness = d.violations.iter().filter(|v| !v.witness.is_empty()).count();
+        let with_witness = d
+            .violations
+            .iter()
+            .filter(|v| !v.witness.is_empty())
+            .count();
         assert!(with_witness <= 1);
     }
 }

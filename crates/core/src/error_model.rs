@@ -173,7 +173,9 @@ mod tests {
         let same_dest = Fault {
             state: fault.state,
             input: fault.input,
-            kind: FaultKind::Transfer { new_next: m.step(fault.state, fault.input).unwrap().0 },
+            kind: FaultKind::Transfer {
+                new_next: m.step(fault.state, fault.input).unwrap().0,
+            },
         };
         assert!(!same_dest.is_effective(&m));
         let o = m.step(fault.state, fault.input).unwrap().1;
@@ -192,7 +194,9 @@ mod tests {
         let f = Fault {
             state: m.reset(),
             input: a,
-            kind: FaultKind::Output { new_output: simcov_fsm::OutputSym(1) },
+            kind: FaultKind::Output {
+                new_output: simcov_fsm::OutputSym(1),
+            },
         };
         let faulty = f.inject(&m);
         assert_eq!(detects(&m, &faulty, &[a]), Some(0));
@@ -231,7 +235,9 @@ mod tests {
         let of = Fault {
             state: m.reset(),
             input: a,
-            kind: FaultKind::Output { new_output: simcov_fsm::OutputSym(2) },
+            kind: FaultKind::Output {
+                new_output: simcov_fsm::OutputSym(2),
+            },
         };
         assert!(of.to_string().contains("output error"));
     }

@@ -42,14 +42,19 @@ pub struct DistinctData {
 
 impl Default for DistinctData {
     fn default() -> Self {
-        DistinctData { base: 1, stride: 0x9e37_79b1 } // odd golden-ratio step
+        DistinctData {
+            base: 1,
+            stride: 0x9e37_79b1,
+        } // odd golden-ratio step
     }
 }
 
 impl DistinctData {
     /// The filler value for vector `index`, truncated to `bits` bits.
     pub fn value(&self, index: usize, bits: u32) -> u64 {
-        let v = self.base.wrapping_add(self.stride.wrapping_mul(index as u64));
+        let v = self
+            .base
+            .wrapping_add(self.stride.wrapping_mul(index as u64));
         if bits >= 64 {
             v
         } else {
@@ -85,7 +90,10 @@ mod tests {
 
     #[test]
     fn distinct_data_truncates() {
-        let d = DistinctData { base: 0xffff, stride: 1 };
+        let d = DistinctData {
+            base: 0xffff,
+            stride: 1,
+        };
         assert_eq!(d.value(0, 8), 0xff);
         assert_eq!(d.value(1, 64), 0x10000);
     }

@@ -12,10 +12,8 @@
 //! effective fault — the testable content of Theorem 3.
 
 use crate::error_model::{detects, excited_at, is_masked_on, Fault, FaultKind};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+use simcov_prng::Prng;
 use simcov_tour::TestSet;
 
 /// Which faults to enumerate, and how many.
@@ -34,7 +32,12 @@ pub struct FaultSpace {
 
 impl Default for FaultSpace {
     fn default() -> Self {
-        FaultSpace { transfer: true, output: true, max_faults: 10_000, seed: 0 }
+        FaultSpace {
+            transfer: true,
+            output: true,
+            max_faults: 10_000,
+            seed: 0,
+        }
     }
 }
 
@@ -50,7 +53,9 @@ pub fn enumerate_single_faults(m: &ExplicitMealy, space: &FaultSpace) -> Vec<Fau
     let no = m.num_outputs() as u32;
     for &s in &reach {
         for i in m.inputs() {
-            let Some((next, out)) = m.step(s, i) else { continue };
+            let Some((next, out)) = m.step(s, i) else {
+                continue;
+            };
             if space.transfer {
                 for &t in &reach {
                     if t != next {
@@ -68,7 +73,9 @@ pub fn enumerate_single_faults(m: &ExplicitMealy, space: &FaultSpace) -> Vec<Fau
                         faults.push(Fault {
                             state: s,
                             input: i,
-                            kind: FaultKind::Output { new_output: OutputSym(o) },
+                            kind: FaultKind::Output {
+                                new_output: OutputSym(o),
+                            },
                         });
                     }
                 }
@@ -76,8 +83,8 @@ pub fn enumerate_single_faults(m: &ExplicitMealy, space: &FaultSpace) -> Vec<Fau
         }
     }
     if faults.len() > space.max_faults {
-        let mut rng = StdRng::seed_from_u64(space.seed);
-        faults.shuffle(&mut rng);
+        let mut rng = Prng::seed_from_u64(space.seed);
+        rng.shuffle(&mut faults);
         faults.truncate(space.max_faults);
     }
     faults
@@ -87,14 +94,16 @@ pub fn enumerate_single_faults(m: &ExplicitMealy, space: &FaultSpace) -> Vec<Fau
 /// models, without materialising the exhaustive space).
 pub fn sample_faults(m: &ExplicitMealy, count: usize, seed: u64) -> Vec<Fault> {
     let reach = m.reachable_states();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut faults = Vec::with_capacity(count);
     let mut guard = 0;
     while faults.len() < count && guard < count * 100 {
         guard += 1;
         let s = reach[rng.gen_range(0..reach.len())];
         let i = InputSym(rng.gen_range(0..m.num_inputs() as u32));
-        let Some((next, out)) = m.step(s, i) else { continue };
+        let Some((next, out)) = m.step(s, i) else {
+            continue;
+        };
         let kind = if rng.gen_bool(0.5) {
             let t = reach[rng.gen_range(0..reach.len())];
             if t == next {
@@ -111,7 +120,11 @@ pub fn sample_faults(m: &ExplicitMealy, count: usize, seed: u64) -> Vec<Fault> {
             }
             FaultKind::Output { new_output: o }
         };
-        faults.push(Fault { state: s, input: i, kind });
+        faults.push(Fault {
+            state: s,
+            input: i,
+            kind,
+        });
     }
     faults
 }
@@ -140,7 +153,10 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Number of detected faults.
     pub fn num_detected(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.detected.is_some()).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.detected.is_some())
+            .count()
     }
 
     /// Number of faults excited by the test set (detected or not).
@@ -151,7 +167,9 @@ impl CampaignReport {
     /// Faults excited but never detected — the escapes that motivate the
     /// paper's requirements.
     pub fn escapes(&self) -> impl Iterator<Item = &FaultOutcome> {
-        self.outcomes.iter().filter(|o| o.excited && o.detected.is_none())
+        self.outcomes
+            .iter()
+            .filter(|o| o.excited && o.detected.is_none())
     }
 
     /// Fraction of faults detected in `[0, 1]`.
@@ -184,33 +202,49 @@ impl std::fmt::Display for CampaignReport {
     }
 }
 
+/// Simulates one injected fault against the whole test set — the unit of
+/// work the parallel campaign engine shards over. Purely deterministic:
+/// the outcome depends only on `(golden, fault, tests)`.
+pub fn simulate_fault(golden: &ExplicitMealy, fault: &Fault, tests: &TestSet) -> FaultOutcome {
+    let fault = *fault;
+    let faulty = fault.inject(golden);
+    let mut detected = None;
+    let mut excited = false;
+    let mut masked_somewhere = false;
+    for (si, seq) in tests.sequences.iter().enumerate() {
+        if excited_at(&faulty, &fault, seq).is_some() {
+            excited = true;
+        }
+        if detected.is_none() {
+            if let Some(vi) = detects(golden, &faulty, seq) {
+                detected = Some((si, vi));
+            }
+        }
+        if detected.is_none() && is_masked_on(golden, &faulty, seq) {
+            masked_somewhere = true;
+        }
+    }
+    FaultOutcome {
+        fault,
+        detected,
+        excited,
+        masked_somewhere,
+    }
+}
+
 /// Runs a fault campaign: every fault is injected in turn and the whole
 /// test set is simulated against the golden machine.
+///
+/// Dispatches through the sharded worker pool of
+/// [`FaultCampaign`](crate::parallel::FaultCampaign) with an automatic
+/// job count; results are bit-identical to a serial run (see the module
+/// docs of [`crate::parallel`]). Use [`FaultCampaign`](crate::parallel::
+/// FaultCampaign) directly to control the worker count or to read the
+/// per-campaign counters and shard timings.
 pub fn run_campaign(golden: &ExplicitMealy, faults: &[Fault], tests: &TestSet) -> CampaignReport {
-    let outcomes = faults
-        .iter()
-        .map(|&fault| {
-            let faulty = fault.inject(golden);
-            let mut detected = None;
-            let mut excited = false;
-            let mut masked_somewhere = false;
-            for (si, seq) in tests.sequences.iter().enumerate() {
-                if excited_at(&faulty, &fault, seq).is_some() {
-                    excited = true;
-                }
-                if detected.is_none() {
-                    if let Some(vi) = detects(golden, &faulty, seq) {
-                        detected = Some((si, vi));
-                    }
-                }
-                if detected.is_none() && is_masked_on(golden, &faulty, seq) {
-                    masked_somewhere = true;
-                }
-            }
-            FaultOutcome { fault, detected, excited, masked_somewhere }
-        })
-        .collect();
-    CampaignReport { outcomes }
+    crate::parallel::FaultCampaign::new(golden, faults, tests)
+        .run()
+        .report
 }
 
 /// Extends a tour cyclically by `k` vectors: a transition tour is a
@@ -227,11 +261,17 @@ pub fn extend_cyclically(tour: &[InputSym], k: usize) -> Vec<InputSym> {
 /// Convenience: all transfer faults of one specific transition (used for
 /// targeted experiments such as the Figure 2 reproduction).
 pub fn transfer_faults_of(m: &ExplicitMealy, state: StateId, input: InputSym) -> Vec<Fault> {
-    let Some((next, _)) = m.step(state, input) else { return Vec::new() };
+    let Some((next, _)) = m.step(state, input) else {
+        return Vec::new();
+    };
     m.reachable_states()
         .into_iter()
         .filter(|&t| t != next)
-        .map(|t| Fault { state, input, kind: FaultKind::Transfer { new_next: t } })
+        .map(|t| Fault {
+            state,
+            input,
+            kind: FaultKind::Transfer { new_next: t },
+        })
         .collect()
 }
 
@@ -244,11 +284,21 @@ mod tests {
     #[test]
     fn enumerate_counts() {
         let (m, _) = figure2();
-        let space = FaultSpace { transfer: true, output: false, max_faults: usize::MAX, seed: 0 };
+        let space = FaultSpace {
+            transfer: true,
+            output: false,
+            max_faults: usize::MAX,
+            seed: 0,
+        };
         let faults = enumerate_single_faults(&m, &space);
         // Each of the 21 transitions × 6 wrong destinations.
         assert_eq!(faults.len(), 21 * 6);
-        let space = FaultSpace { transfer: false, output: true, max_faults: usize::MAX, seed: 0 };
+        let space = FaultSpace {
+            transfer: false,
+            output: true,
+            max_faults: usize::MAX,
+            seed: 0,
+        };
         let faults = enumerate_single_faults(&m, &space);
         // Each transition × 5 wrong outputs (6 output symbols total).
         assert_eq!(faults.len(), 21 * 5);
@@ -257,7 +307,12 @@ mod tests {
     #[test]
     fn sampling_cap_and_determinism() {
         let (m, _) = figure2();
-        let space = FaultSpace { transfer: true, output: true, max_faults: 10, seed: 7 };
+        let space = FaultSpace {
+            transfer: true,
+            output: true,
+            max_faults: 10,
+            seed: 7,
+        };
         let f1 = enumerate_single_faults(&m, &space);
         let f2 = enumerate_single_faults(&m, &space);
         assert_eq!(f1.len(), 10);

@@ -189,4 +189,64 @@ mod tests {
         assert_eq!(e.spec, Some(3));
         assert_eq!(e.imp, None);
     }
+
+    /// An empty stimulus stream compares zero checkpoints and succeeds —
+    /// the harness never invents a divergence out of nothing.
+    #[test]
+    fn empty_stimulus_validates_vacuously() {
+        let (m, fault) = figure2();
+        let faulty = fault.inject(&m);
+        let mut spec = MachineTrace::new(m);
+        let mut imp = MachineTrace::new(faulty);
+        assert_eq!(validate(&mut spec, &mut imp, &[]), Ok(0));
+    }
+
+    /// When the *specification* trace is the shorter one (spec simulator
+    /// halts early), the mismatch points at the truncation with the
+    /// spec side `None` — symmetric to `length_mismatch_detected`.
+    #[test]
+    fn spec_shorter_than_imp_detected() {
+        struct Fixed(Vec<u32>);
+        impl TraceSource for Fixed {
+            type Stimulus = ();
+            type Event = u32;
+            fn reset(&mut self) {}
+            fn trace(&mut self, _: &[()]) -> Vec<u32> {
+                self.0.clone()
+            }
+        }
+        let mut spec = Fixed(vec![1]);
+        let mut imp = Fixed(vec![1, 2, 9]);
+        let e = validate(&mut spec, &mut imp, &[]).unwrap_err();
+        assert_eq!(e.index, 1);
+        assert_eq!(e.spec, None);
+        assert_eq!(e.imp, Some(2));
+        assert!(e.to_string().contains("checkpoint 1"));
+    }
+
+    /// A divergence on the very first checkpoint reports `index: 0` with
+    /// both sides populated.
+    #[test]
+    fn first_checkpoint_mismatch_is_index_zero() {
+        struct Fixed(Vec<u32>);
+        impl TraceSource for Fixed {
+            type Stimulus = ();
+            type Event = u32;
+            fn reset(&mut self) {}
+            fn trace(&mut self, _: &[()]) -> Vec<u32> {
+                self.0.clone()
+            }
+        }
+        let mut spec = Fixed(vec![7, 8]);
+        let mut imp = Fixed(vec![9, 8]);
+        let e = validate(&mut spec, &mut imp, &[]).unwrap_err();
+        assert_eq!(
+            e,
+            Mismatch {
+                index: 0,
+                spec: Some(7),
+                imp: Some(9)
+            }
+        );
+    }
 }

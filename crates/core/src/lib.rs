@@ -36,22 +36,27 @@
 
 pub mod distinguish;
 pub mod error_model;
-pub mod models;
-#[cfg(test)]
-pub(crate) mod testutil;
 pub mod expand;
 pub mod faults;
 pub mod harness;
+pub mod models;
+pub mod parallel;
 pub mod requirements;
+pub mod testutil;
 pub mod theorems;
 
-pub use distinguish::{forall_k_distinguishable, DistinguishError, Distinguishability, PairWitness};
+pub use distinguish::{
+    forall_k_distinguishable, DistinguishError, Distinguishability, PairWitness,
+};
 pub use error_model::{detects, excited_at, is_masked_on, Fault, FaultKind};
 pub use faults::{
-    enumerate_single_faults, extend_cyclically, run_campaign, sample_faults, CampaignReport,
-    FaultOutcome, FaultSpace,
+    enumerate_single_faults, extend_cyclically, run_campaign, sample_faults, simulate_fault,
+    CampaignReport, FaultOutcome, FaultSpace,
 };
 pub use harness::{validate, MachineTrace, Mismatch, TraceSource};
+pub use parallel::{
+    default_jobs, run_sharded, CampaignRun, CampaignStats, FaultCampaign, ShardTiming,
+};
 pub use requirements::{
     check_req1_uniform_outputs, check_req2_bounded_processing, check_req3_unique_outputs,
     check_req5_observable, StallBound,

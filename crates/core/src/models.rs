@@ -139,7 +139,8 @@ pub fn traffic_light(expose_request: bool) -> ExplicitMealy {
             b.add_transition(s, ped, idx(phase, 1), out(phase, pending));
         }
     }
-    b.build(idx(0, 0)).expect("traffic light machine is well-formed")
+    b.build(idx(0, 0))
+        .expect("traffic light machine is well-formed")
 }
 
 #[cfg(test)]
@@ -162,7 +163,10 @@ mod tests {
         let hidden = traffic_light(false);
         assert!(hidden.is_strongly_connected());
         let d = forall_k_distinguishable(&hidden, 2, 4).unwrap();
-        assert!(!d.holds(), "hidden request must create indistinguishable pairs");
+        assert!(
+            !d.holds(),
+            "hidden request must create indistinguishable pairs"
+        );
         let exposed = traffic_light(true);
         let d1 = forall_k_distinguishable(&exposed, 1, 4).unwrap();
         // With the request visible every pair differs within one step of

@@ -1,0 +1,421 @@
+//! Parallel, deterministic fault-simulation engine.
+//!
+//! A fault campaign is embarrassingly parallel — every injected fault is
+//! simulated against the golden machine independently — but the paper's
+//! empirical methodology (and this repo's tests) demand *bit-identical*
+//! results regardless of how the work is scheduled. The engine therefore
+//! separates three concerns:
+//!
+//! 1. **Sharding** is a pure function of the fault count: the fault list
+//!    is split into contiguous index ranges of a fixed size, never
+//!    influenced by the thread count.
+//! 2. **Scheduling** is dynamic: a `std::thread::scope` worker pool
+//!    drains shards from an atomic work queue, so a slow shard does not
+//!    stall the rest (work stealing by construction).
+//! 3. **Merging** is commutative and order-restoring: each worker
+//!    produces shard-local outcomes plus a [`CampaignStats`] tally;
+//!    shards are re-assembled in index order and tallies are combined
+//!    with [`CampaignStats::merge`], which is a plain component-wise sum.
+//!
+//! Because per-fault simulation is deterministic and the shard partition
+//! is thread-count independent, a campaign run with 1, 2 or 64 workers
+//! produces the same [`CampaignReport`] and the same [`CampaignStats`],
+//! byte for byte. Only the wall-clock [`ShardTiming`]s differ.
+
+use crate::error_model::Fault;
+use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
+use simcov_fsm::ExplicitMealy;
+use simcov_tour::TestSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism (1 if it cannot be queried).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Shard size for `len` items: contiguous ranges, at most 256 shards.
+/// Purely a function of `len` so the partition — and therefore every
+/// deterministic field of the result — is independent of the job count.
+fn default_shard_size(len: usize) -> usize {
+    len.div_ceil(256).max(1)
+}
+
+/// Runs `work` over contiguous shards of `items` on a pool of `jobs`
+/// scoped threads and returns the per-shard results **in shard order**.
+///
+/// `work` receives the shard index and the shard's slice. Shards are
+/// handed out through an atomic queue, so workers that finish early pick
+/// up the remaining shards. With `jobs <= 1` (or a single shard) the
+/// work runs on the calling thread — no thread is spawned, which keeps
+/// single-threaded callers allocation- and syscall-cheap.
+pub fn run_sharded<T, R, F>(items: &[T], shard_size: usize, jobs: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(shard_size > 0, "shard_size must be nonzero");
+    let shards: Vec<&[T]> = items.chunks(shard_size).collect();
+    let workers = jobs.max(1).min(shards.len());
+    if workers <= 1 {
+        return shards.iter().enumerate().map(|(i, s)| work(i, s)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..shards.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(shard) = shards.get(i) else { break };
+                let r = work(i, shard);
+                slots.lock().expect("no worker panicked holding the lock")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every shard index was claimed"))
+        .collect()
+}
+
+/// Deterministic campaign counters. Identical across thread counts for
+/// the same (machine, faults, tests) triple; merged across shards with
+/// the commutative, associative [`merge`](CampaignStats::merge).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Faults simulated (= faults injected).
+    pub faults_simulated: usize,
+    /// Faults whose output diverged from the golden machine.
+    pub detected: usize,
+    /// Faults whose faulty transition was traversed by some sequence.
+    pub excited: usize,
+    /// Faults showing a masked excursion (diverge/reconverge unobserved).
+    pub masked: usize,
+    /// Excited but never detected — the paper's escapes.
+    pub escapes: usize,
+    /// Shards merged into this tally.
+    pub shards: usize,
+}
+
+impl CampaignStats {
+    /// Tallies one shard's outcomes.
+    pub fn tally(outcomes: &[FaultOutcome]) -> Self {
+        let mut s = CampaignStats {
+            faults_simulated: outcomes.len(),
+            shards: 1,
+            ..Default::default()
+        };
+        for o in outcomes {
+            if o.detected.is_some() {
+                s.detected += 1;
+            }
+            if o.excited {
+                s.excited += 1;
+                if o.detected.is_none() {
+                    s.escapes += 1;
+                }
+            }
+            if o.masked_somewhere {
+                s.masked += 1;
+            }
+        }
+        s
+    }
+
+    /// Component-wise sum: commutative and associative, so any merge
+    /// tree over the same shard set yields the same totals.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.faults_simulated += other.faults_simulated;
+        self.detected += other.detected;
+        self.excited += other.excited;
+        self.masked += other.masked;
+        self.escapes += other.escapes;
+        self.shards += other.shards;
+    }
+
+    /// Fraction of faults detected in `[0, 1]` (1 on an empty campaign).
+    pub fn detection_rate(&self) -> f64 {
+        if self.faults_simulated == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.faults_simulated as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} faults simulated: {} detected ({:.1}%), {} excited, {} masked, {} escapes \
+             [{} shards]",
+            self.faults_simulated,
+            self.detected,
+            100.0 * self.detection_rate(),
+            self.excited,
+            self.masked,
+            self.escapes,
+            self.shards
+        )
+    }
+}
+
+/// Wall-clock record for one shard (non-deterministic; kept out of
+/// [`CampaignStats`] so equality checks over stats stay meaningful).
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// Shard index in fault order.
+    pub shard: usize,
+    /// Faults simulated in this shard.
+    pub faults: usize,
+    /// Time the owning worker spent in this shard.
+    pub wall: Duration,
+}
+
+/// Result of a [`FaultCampaign`] run: the full per-fault report, the
+/// deterministic counters, and the (run-specific) timing breakdown.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// Per-fault outcomes, in fault order — identical to the serial run.
+    pub report: CampaignReport,
+    /// Deterministic campaign counters.
+    pub stats: CampaignStats,
+    /// Per-shard wall time, in shard order.
+    pub timings: Vec<ShardTiming>,
+    /// Worker threads the run was configured with.
+    pub jobs: usize,
+    /// End-to-end wall time of the campaign.
+    pub wall: Duration,
+}
+
+/// A configured fault campaign: the golden machine, the fault list, the
+/// test set, and the execution knobs (worker count, shard size).
+///
+/// ```
+/// use simcov_core::{enumerate_single_faults, FaultCampaign, FaultSpace};
+/// use simcov_core::models::figure2;
+/// use simcov_tour::{transition_tour, TestSet};
+///
+/// let (m, _) = figure2();
+/// let faults = enumerate_single_faults(&m, &FaultSpace::default());
+/// let tour = transition_tour(&m).unwrap();
+/// let tests = TestSet::single(tour.inputs);
+/// let run = FaultCampaign::new(&m, &faults, &tests).jobs(2).run();
+/// assert_eq!(run.stats.faults_simulated, faults.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultCampaign<'a> {
+    golden: &'a ExplicitMealy,
+    faults: &'a [Fault],
+    tests: &'a TestSet,
+    jobs: usize,
+    shard_size: usize,
+}
+
+impl<'a> FaultCampaign<'a> {
+    /// A campaign with automatic worker count ([`default_jobs`]) and
+    /// automatic sharding.
+    pub fn new(golden: &'a ExplicitMealy, faults: &'a [Fault], tests: &'a TestSet) -> Self {
+        FaultCampaign {
+            golden,
+            faults,
+            tests,
+            jobs: 0,
+            shard_size: 0,
+        }
+    }
+
+    /// Sets the worker count (0 = automatic).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the shard size (0 = automatic). The shard partition is part
+    /// of the deterministic result surface (`stats.shards`), so two runs
+    /// only compare equal if they use the same shard size.
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size;
+        self
+    }
+
+    /// Runs the campaign on the worker pool.
+    pub fn run(&self) -> CampaignRun {
+        let jobs = if self.jobs == 0 {
+            default_jobs()
+        } else {
+            self.jobs
+        };
+        let shard_size = if self.shard_size == 0 {
+            default_shard_size(self.faults.len())
+        } else {
+            self.shard_size
+        };
+        let t0 = Instant::now();
+        let per_shard = run_sharded(self.faults, shard_size, jobs, |_, shard| {
+            let st = Instant::now();
+            let outcomes: Vec<FaultOutcome> = shard
+                .iter()
+                .map(|f| simulate_fault(self.golden, f, self.tests))
+                .collect();
+            let stats = CampaignStats::tally(&outcomes);
+            (outcomes, stats, st.elapsed())
+        });
+        let mut outcomes = Vec::with_capacity(self.faults.len());
+        let mut stats = CampaignStats::default();
+        let mut timings = Vec::with_capacity(per_shard.len());
+        for (shard, (shard_outcomes, shard_stats, wall)) in per_shard.into_iter().enumerate() {
+            timings.push(ShardTiming {
+                shard,
+                faults: shard_outcomes.len(),
+                wall,
+            });
+            stats.merge(&shard_stats);
+            outcomes.extend(shard_outcomes);
+        }
+        CampaignRun {
+            report: CampaignReport { outcomes },
+            stats,
+            timings,
+            jobs,
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{enumerate_single_faults, extend_cyclically, FaultSpace};
+    use crate::testutil::figure2;
+    use simcov_tour::transition_tour;
+
+    fn fixture() -> (ExplicitMealy, Vec<Fault>, TestSet) {
+        let (m, _) = figure2();
+        let faults = enumerate_single_faults(
+            &m,
+            &FaultSpace {
+                max_faults: usize::MAX,
+                ..FaultSpace::default()
+            },
+        );
+        let tour = transition_tour(&m).unwrap();
+        let tests = TestSet::single(extend_cyclically(&tour.inputs, 3));
+        (m, faults, tests)
+    }
+
+    #[test]
+    fn run_sharded_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for jobs in [1, 3, 8] {
+            let out = run_sharded(&items, 7, jobs, |idx, shard| (idx, shard.to_vec()));
+            let mut flat = Vec::new();
+            for (i, (idx, shard)) in out.into_iter().enumerate() {
+                assert_eq!(i, idx);
+                flat.extend(shard);
+            }
+            assert_eq!(flat, items);
+        }
+    }
+
+    #[test]
+    fn run_sharded_handles_empty_and_tiny_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_sharded(&none, 4, 8, |_, s| s.len()).is_empty());
+        let one = [42u32];
+        assert_eq!(run_sharded(&one, 4, 8, |_, s| s.len()), vec![1]);
+    }
+
+    #[test]
+    fn stats_merge_is_commutative() {
+        let a = CampaignStats {
+            faults_simulated: 10,
+            detected: 7,
+            excited: 9,
+            masked: 2,
+            escapes: 2,
+            shards: 1,
+        };
+        let b = CampaignStats {
+            faults_simulated: 4,
+            detected: 1,
+            excited: 3,
+            masked: 0,
+            escapes: 2,
+            shards: 3,
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.faults_simulated, 14);
+        assert_eq!(ab.shards, 4);
+    }
+
+    #[test]
+    fn campaign_identical_across_thread_counts() {
+        let (m, faults, tests) = fixture();
+        let baseline = FaultCampaign::new(&m, &faults, &tests).jobs(1).run();
+        for jobs in [2, 4, 8] {
+            let run = FaultCampaign::new(&m, &faults, &tests).jobs(jobs).run();
+            assert_eq!(
+                run.stats, baseline.stats,
+                "stats must not depend on {jobs} jobs"
+            );
+            assert_eq!(
+                run.report, baseline.report,
+                "per-fault outcomes must not depend on {jobs} jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_matches_serial_simulation() {
+        let (m, faults, tests) = fixture();
+        let serial = CampaignReport {
+            outcomes: faults
+                .iter()
+                .map(|f| simulate_fault(&m, f, &tests))
+                .collect(),
+        };
+        let parallel = FaultCampaign::new(&m, &faults, &tests).jobs(4).run();
+        assert_eq!(serial, parallel.report);
+        assert_eq!(parallel.stats.faults_simulated, faults.len());
+        assert_eq!(parallel.stats.detected, serial.num_detected());
+        assert_eq!(parallel.stats.excited, serial.num_excited());
+        assert_eq!(parallel.stats.escapes, serial.escapes().count());
+    }
+
+    #[test]
+    fn timings_cover_every_fault() {
+        let (m, faults, tests) = fixture();
+        let run = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(10)
+            .run();
+        let total: usize = run.timings.iter().map(|t| t.faults).sum();
+        assert_eq!(total, faults.len());
+        assert_eq!(run.stats.shards, run.timings.len());
+        assert_eq!(run.stats.shards, faults.len().div_ceil(10));
+        for (i, t) in run.timings.iter().enumerate() {
+            assert_eq!(t.shard, i);
+        }
+    }
+
+    #[test]
+    fn stats_display_mentions_the_counts() {
+        let (m, faults, tests) = fixture();
+        let run = FaultCampaign::new(&m, &faults, &tests).run();
+        let s = run.stats.to_string();
+        assert!(s.contains("faults simulated"), "{s}");
+        assert!(s.contains("shards"), "{s}");
+    }
+}

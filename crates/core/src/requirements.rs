@@ -129,16 +129,14 @@ pub fn check_req2_bounded_processing(
                 colour[u] = Colour::Black;
                 on_path.pop();
                 stack.pop();
-                let best = adj[u]
-                    .iter()
-                    .map(|&v| longest[v] + 1)
-                    .max()
-                    .unwrap_or(0);
+                let best = adj[u].iter().map(|&v| longest[v] + 1).max().unwrap_or(0);
                 longest[u] = best;
             }
         }
     }
-    Ok(StallBound { bound: longest.iter().copied().max().unwrap_or(0) })
+    Ok(StallBound {
+        bound: longest.iter().copied().max().unwrap_or(0),
+    })
 }
 
 /// Requirement 3 — *"Each unique input results in a unique output."*
@@ -227,13 +225,7 @@ mod tests {
         let (m, _) = crate::testutil::figure2();
         let s3 = m.state_by_label("3").unwrap();
         let s3p = m.state_by_label("3'").unwrap();
-        let q = Quotient::by_state_key(&m, |s| {
-            if s == s3 || s == s3p {
-                u32::MAX
-            } else {
-                s.0
-            }
-        });
+        let q = Quotient::by_state_key(&m, |s| if s == s3 || s == s3p { u32::MAX } else { s.0 });
         let conflicts = check_req1_uniform_outputs(&m, &q).unwrap_err();
         assert!(!conflicts.is_empty());
     }
@@ -317,8 +309,7 @@ mod tests {
             &["ex.dest", "psw.zero", "regfile"]
         )
         .is_ok());
-        let missing =
-            check_req5_observable(&["ex.dest", "psw.zero"], &["regfile"]).unwrap_err();
+        let missing = check_req5_observable(&["ex.dest", "psw.zero"], &["regfile"]).unwrap_err();
         assert_eq!(missing, vec!["ex.dest".to_string(), "psw.zero".to_string()]);
     }
 }

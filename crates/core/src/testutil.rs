@@ -1,3 +1,12 @@
-//! Shared test fixtures (test builds only).
+//! Shared testing utilities: the workspace's hermetic property-test
+//! driver plus canonical fixture machines.
+//!
+//! This module is `pub` (not `#[cfg(test)]`) so sibling crates can reach
+//! it from their dev-dependencies — `simcov_core::testutil::forall` is
+//! the workspace-wide entry point for property tests, replacing the
+//! external `proptest` crate. The driver itself lives in `simcov-prng`
+//! (the bottom of the dependency stack); this module re-exports it
+//! alongside the paper's fixture models.
 
-pub(crate) use crate::models::figure2;
+pub use crate::models::figure2;
+pub use simcov_prng::{forall, forall_cfg, Config, Gen, Prng};

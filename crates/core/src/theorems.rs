@@ -54,10 +54,18 @@ impl std::fmt::Display for CompletenessViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompletenessViolation::NotDistinguishable(v) => {
-                write!(f, "{} state pairs are not forall-k-distinguishable", v.len())
+                write!(
+                    f,
+                    "{} state pairs are not forall-k-distinguishable",
+                    v.len()
+                )
             }
             CompletenessViolation::NonUniformOutputs(c) => {
-                write!(f, "{} abstract transitions have non-deterministic outputs", c.len())
+                write!(
+                    f,
+                    "{} abstract transitions have non-deterministic outputs",
+                    c.len()
+                )
             }
             CompletenessViolation::Incomplete(e) => write!(f, "{e}"),
         }
@@ -90,8 +98,8 @@ pub fn certify_completeness(
         }
         None => false,
     };
-    let d = forall_k_distinguishable(test_model, k, 16)
-        .map_err(CompletenessViolation::Incomplete)?;
+    let d =
+        forall_k_distinguishable(test_model, k, 16).map_err(CompletenessViolation::Incomplete)?;
     if !d.holds() {
         return Err(CompletenessViolation::NotDistinguishable(d.violations));
     }

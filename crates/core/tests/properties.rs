@@ -1,7 +1,7 @@
 //! Property-based tests for the error model, distinguishability analysis
-//! and fault campaigns.
+//! and fault campaigns, on the workspace's hermetic `forall` driver.
 
-use proptest::prelude::*;
+use simcov_core::testutil::{forall_cfg, Config, Gen};
 use simcov_core::{
     certify_completeness, detects, enumerate_single_faults, extend_cyclically,
     forall_k_distinguishable, run_campaign, Fault, FaultKind, FaultSpace,
@@ -19,16 +19,20 @@ struct Recipe {
     distinct_outputs: bool,
 }
 
-fn recipe() -> impl Strategy<Value = Recipe> {
-    (2..8usize, 1..4usize, any::<bool>())
-        .prop_flat_map(|(n, ni, distinct_outputs)| {
-            let cells = n * ni;
-            (
-                proptest::collection::vec(any::<u16>(), cells..=cells),
-                proptest::collection::vec(any::<u16>(), cells..=cells),
-            )
-                .prop_map(move |(dests, outs)| Recipe { n, ni, dests, outs, distinct_outputs })
-        })
+fn recipe(g: &mut Gen) -> Recipe {
+    let n = g.int_in(2..8usize);
+    let ni = g.int_in(1..4usize);
+    let distinct_outputs = g.bool();
+    let cells = n * ni;
+    let dests = (0..cells).map(|_| g.u16()).collect();
+    let outs = (0..cells).map(|_| g.u16()).collect();
+    Recipe {
+        n,
+        ni,
+        dests,
+        outs,
+        distinct_outputs,
+    }
 }
 
 fn build(r: &Recipe) -> ExplicitMealy {
@@ -36,7 +40,9 @@ fn build(r: &Recipe) -> ExplicitMealy {
     let states: Vec<_> = (0..r.n).map(|i| b.add_state(format!("s{i}"))).collect();
     let inputs: Vec<_> = (0..r.ni).map(|i| b.add_input(format!("i{i}"))).collect();
     let num_outs = if r.distinct_outputs { r.n * r.ni } else { 2 };
-    let outs: Vec<_> = (0..num_outs).map(|i| b.add_output(format!("o{i}"))).collect();
+    let outs: Vec<_> = (0..num_outs)
+        .map(|i| b.add_output(format!("o{i}")))
+        .collect();
     for s in 0..r.n {
         #[allow(clippy::needless_range_loop)]
         for i in 0..r.ni {
@@ -58,103 +64,133 @@ fn build(r: &Recipe) -> ExplicitMealy {
     b.build(states[0]).expect("complete machine")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// An ineffective fault (same destination / same output) is never
-    /// detected; an effective output fault is detected by any sequence
-    /// traversing it.
-    #[test]
-    fn fault_injection_sanity(r in recipe(), s in any::<u16>(), i in any::<u16>()) {
+/// An ineffective fault (same destination / same output) is never
+/// detected; an effective output fault is detected by any sequence
+/// traversing it.
+#[test]
+fn fault_injection_sanity() {
+    forall_cfg("fault_injection_sanity", Config::with_cases(64), |g| {
+        let r = recipe(g);
         let m = build(&r);
-        let s = StateId(s as u32 % m.num_states() as u32);
-        let i = InputSym(i as u32 % m.num_inputs() as u32);
+        let s = StateId(g.u16() as u32 % m.num_states() as u32);
+        let i = InputSym(g.u16() as u32 % m.num_inputs() as u32);
         let (next, out) = m.step(s, i).expect("complete");
-        let noop = Fault { state: s, input: i, kind: FaultKind::Transfer { new_next: next } };
-        prop_assert!(!noop.is_effective(&m));
+        let noop = Fault {
+            state: s,
+            input: i,
+            kind: FaultKind::Transfer { new_next: next },
+        };
+        assert!(!noop.is_effective(&m));
         let tour = transition_tour(&m).expect("sc");
-        prop_assert_eq!(detects(&m, &noop.inject(&m), &tour.inputs), None);
+        assert_eq!(detects(&m, &noop.inject(&m), &tour.inputs), None);
         // Output fault with a different symbol is caught by the tour
         // (tours traverse every transition, and output errors on explicit
         // machines are uniform by construction).
         let other = OutputSym((out.0 + 1) % m.num_outputs() as u32);
         if other != out {
-            let of = Fault { state: s, input: i, kind: FaultKind::Output { new_output: other } };
-            prop_assert!(detects(&m, &of.inject(&m), &tour.inputs).is_some());
+            let of = Fault {
+                state: s,
+                input: i,
+                kind: FaultKind::Output { new_output: other },
+            };
+            assert!(detects(&m, &of.inject(&m), &tour.inputs).is_some());
         }
-    }
+    });
+}
 
-    /// ∀k-distinguishability is monotone in k, and with per-transition
-    /// distinct outputs it always holds at k = 1.
-    #[test]
-    fn distinguishability_monotone(r in recipe()) {
+/// ∀k-distinguishability is monotone in k, and with per-transition
+/// distinct outputs it always holds at k = 1.
+#[test]
+fn distinguishability_monotone() {
+    forall_cfg("distinguishability_monotone", Config::with_cases(64), |g| {
+        let r = recipe(g);
         let m = build(&r);
         let mut prev = usize::MAX;
         for k in 1..=4 {
             let d = forall_k_distinguishable(&m, k, 0).expect("complete");
-            prop_assert!(d.violations.len() <= prev, "k={k}");
+            assert!(d.violations.len() <= prev, "k={k}");
             prev = d.violations.len();
         }
         if r.distinct_outputs {
             let d = forall_k_distinguishable(&m, 1, 0).expect("complete");
-            prop_assert!(d.holds());
+            assert!(d.holds());
         }
-    }
+    });
+}
 
-    /// Theorem 3, universally: whenever a certificate is issued, the
-    /// extended transition tour detects every effective single fault.
-    #[test]
-    fn certificates_imply_complete_campaigns(r in recipe()) {
-        let m = build(&r);
-        for k in 1..=3 {
-            if let Ok(cert) = certify_completeness(&m, k, None) {
-                let tour = transition_tour(&m).expect("sc");
-                let faults = enumerate_single_faults(
-                    &m,
-                    &FaultSpace { max_faults: 400, ..FaultSpace::default() },
-                );
-                let tests = TestSet::single(extend_cyclically(&tour.inputs, cert.k));
-                let report = run_campaign(&m, &faults, &tests);
-                prop_assert!(
-                    report.complete(),
-                    "certified at k={k} but campaign reported {report}"
-                );
-                break;
+/// Theorem 3, universally: whenever a certificate is issued, the
+/// extended transition tour detects every effective single fault.
+#[test]
+fn certificates_imply_complete_campaigns() {
+    forall_cfg(
+        "certificates_imply_complete_campaigns",
+        Config::with_cases(64),
+        |g| {
+            let r = recipe(g);
+            let m = build(&r);
+            for k in 1..=3 {
+                if let Ok(cert) = certify_completeness(&m, k, None) {
+                    let tour = transition_tour(&m).expect("sc");
+                    let faults = enumerate_single_faults(
+                        &m,
+                        &FaultSpace {
+                            max_faults: 400,
+                            ..FaultSpace::default()
+                        },
+                    );
+                    let tests = TestSet::single(extend_cyclically(&tour.inputs, cert.k));
+                    let report = run_campaign(&m, &faults, &tests);
+                    assert!(
+                        report.complete(),
+                        "certified at k={k} but campaign reported {report}"
+                    );
+                    break;
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    /// Campaign bookkeeping: detected ⇒ excited for transfer faults run
-    /// on a tour (covering every transition necessarily excites every
-    /// reachable single fault).
-    #[test]
-    fn tours_excite_all_faults(r in recipe()) {
+/// Campaign bookkeeping: detected ⇒ excited for transfer faults run
+/// on a tour (covering every transition necessarily excites every
+/// reachable single fault).
+#[test]
+fn tours_excite_all_faults() {
+    forall_cfg("tours_excite_all_faults", Config::with_cases(64), |g| {
+        let r = recipe(g);
         let m = build(&r);
         let tour = transition_tour(&m).expect("sc");
         let faults = enumerate_single_faults(
             &m,
-            &FaultSpace { max_faults: 200, ..FaultSpace::default() },
+            &FaultSpace {
+                max_faults: 200,
+                ..FaultSpace::default()
+            },
         );
         let tests = TestSet::single(extend_cyclically(&tour.inputs, 2));
         let report = run_campaign(&m, &faults, &tests);
-        prop_assert_eq!(report.num_excited(), faults.len());
+        assert_eq!(report.num_excited(), faults.len());
         for o in &report.outcomes {
             if o.detected.is_some() {
-                prop_assert!(o.excited);
+                assert!(o.excited);
             }
         }
-    }
+    });
+}
 
-    /// Witness soundness: every reported indistinguishable pair's witness
-    /// sequence really produces equal outputs from both states.
-    #[test]
-    fn witnesses_sound(r in recipe(), k in 1..4usize) {
+/// Witness soundness: every reported indistinguishable pair's witness
+/// sequence really produces equal outputs from both states.
+#[test]
+fn witnesses_sound() {
+    forall_cfg("witnesses_sound", Config::with_cases(64), |g| {
+        let r = recipe(g);
+        let k = g.int_in(1..4usize);
         let m = build(&r);
         let d = forall_k_distinguishable(&m, k, 32).expect("complete");
         for v in d.violations.iter().filter(|v| !v.witness.is_empty()) {
             let (_, o1) = m.run(v.s1, &v.witness);
             let (_, o2) = m.run(v.s2, &v.witness);
-            prop_assert_eq!(o1, o2);
+            assert_eq!(o1, o2);
         }
-    }
+    });
 }

@@ -62,21 +62,42 @@ pub fn try_parse(line: &str) -> Result<Instr, String> {
         .collect();
     let alu3 = |op: AluOp, args: &[&str]| -> Result<Instr, String> {
         expect_args(args, 3)?;
-        Ok(Instr::Alu { op, rd: reg(args[0])?, rs1: reg(args[1])?, rs2: reg(args[2])? })
+        Ok(Instr::Alu {
+            op,
+            rd: reg(args[0])?,
+            rs1: reg(args[1])?,
+            rs2: reg(args[2])?,
+        })
     };
     let alui = |op: AluOp, args: &[&str]| -> Result<Instr, String> {
         expect_args(args, 3)?;
-        Ok(Instr::AluImm { op, rd: reg(args[0])?, rs1: reg(args[1])?, imm: imm16(args[2])? })
+        Ok(Instr::AluImm {
+            op,
+            rd: reg(args[0])?,
+            rs1: reg(args[1])?,
+            imm: imm16(args[2])?,
+        })
     };
     let loadi = |width: MemWidth, signed: bool, args: &[&str]| -> Result<Instr, String> {
         expect_args(args, 2)?;
         let (imm, rs1) = mem_operand(args[1])?;
-        Ok(Instr::Load { width, signed, rd: reg(args[0])?, rs1, imm })
+        Ok(Instr::Load {
+            width,
+            signed,
+            rd: reg(args[0])?,
+            rs1,
+            imm,
+        })
     };
     let storei = |width: MemWidth, args: &[&str]| -> Result<Instr, String> {
         expect_args(args, 2)?;
         let (imm, rs1) = mem_operand(args[1])?;
-        Ok(Instr::Store { width, rs2: reg(args[0])?, rs1, imm })
+        Ok(Instr::Store {
+            width,
+            rs2: reg(args[0])?,
+            rs1,
+            imm,
+        })
     };
     match mn.as_str() {
         "nop" => Ok(Instr::Nop),
@@ -115,7 +136,10 @@ pub fn try_parse(line: &str) -> Result<Instr, String> {
         "sgei" => alui(AluOp::Sge, &args),
         "lhi" => {
             expect_args(&args, 2)?;
-            Ok(Instr::Lhi { rd: reg(args[0])?, imm: imm16(args[1])? })
+            Ok(Instr::Lhi {
+                rd: reg(args[0])?,
+                imm: imm16(args[1])?,
+            })
         }
         "lb" => loadi(MemWidth::Byte, true, &args),
         "lbu" => loadi(MemWidth::Byte, false, &args),
@@ -127,27 +151,47 @@ pub fn try_parse(line: &str) -> Result<Instr, String> {
         "sw" => storei(MemWidth::Word, &args),
         "beqz" => {
             expect_args(&args, 2)?;
-            Ok(Instr::Branch { on_zero: true, rs1: reg(args[0])?, imm: imm16(args[1])? })
+            Ok(Instr::Branch {
+                on_zero: true,
+                rs1: reg(args[0])?,
+                imm: imm16(args[1])?,
+            })
         }
         "bnez" => {
             expect_args(&args, 2)?;
-            Ok(Instr::Branch { on_zero: false, rs1: reg(args[0])?, imm: imm16(args[1])? })
+            Ok(Instr::Branch {
+                on_zero: false,
+                rs1: reg(args[0])?,
+                imm: imm16(args[1])?,
+            })
         }
         "j" => {
             expect_args(&args, 1)?;
-            Ok(Instr::Jump { link: false, offset: int(args[0])? as i32 })
+            Ok(Instr::Jump {
+                link: false,
+                offset: int(args[0])? as i32,
+            })
         }
         "jal" => {
             expect_args(&args, 1)?;
-            Ok(Instr::Jump { link: true, offset: int(args[0])? as i32 })
+            Ok(Instr::Jump {
+                link: true,
+                offset: int(args[0])? as i32,
+            })
         }
         "jr" => {
             expect_args(&args, 1)?;
-            Ok(Instr::JumpReg { link: false, rs1: reg(args[0])? })
+            Ok(Instr::JumpReg {
+                link: false,
+                rs1: reg(args[0])?,
+            })
         }
         "jalr" => {
             expect_args(&args, 1)?;
-            Ok(Instr::JumpReg { link: true, rs1: reg(args[0])? })
+            Ok(Instr::JumpReg {
+                link: true,
+                rs1: reg(args[0])?,
+            })
         }
         other => Err(format!("unknown mnemonic `{other}`")),
     }
@@ -183,7 +227,8 @@ fn int(s: &str) -> Result<i64, String> {
     let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).map_err(|_| format!("bad number `{s}`"))?
     } else {
-        body.parse::<i64>().map_err(|_| format!("bad number `{s}`"))?
+        body.parse::<i64>()
+            .map_err(|_| format!("bad number `{s}`"))?
     };
     Ok(if neg { -v } else { v })
 }
@@ -198,8 +243,12 @@ fn imm16(s: &str) -> Result<u16, String> {
 }
 
 fn mem_operand(s: &str) -> Result<(u16, Reg), String> {
-    let open = s.find('(').ok_or_else(|| format!("bad memory operand `{s}`"))?;
-    let close = s.find(')').ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let close = s
+        .find(')')
+        .ok_or_else(|| format!("bad memory operand `{s}`"))?;
     let disp = if open == 0 { 0 } else { int(&s[..open])? };
     if !(-(1 << 15)..(1 << 16)).contains(&disp) {
         return Err(format!("displacement out of range `{s}`"));
@@ -215,11 +264,21 @@ mod tests {
     fn parses_all_operand_forms() {
         assert_eq!(
             parse("add r1, r2, r3"),
-            Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3)
+            }
         );
         assert_eq!(
             parse("addi r1, r0, -5"),
-            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: (-5i16) as u16 }
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: (-5i16) as u16
+            }
         );
         assert_eq!(
             parse("lw r4, 0x10(r2)"),
@@ -233,14 +292,35 @@ mod tests {
         );
         assert_eq!(
             parse("sw r4, (r2)"),
-            Instr::Store { width: MemWidth::Word, rs2: Reg(4), rs1: Reg(2), imm: 0 }
+            Instr::Store {
+                width: MemWidth::Word,
+                rs2: Reg(4),
+                rs1: Reg(2),
+                imm: 0
+            }
         );
         assert_eq!(
             parse("beqz r9, -3"),
-            Instr::Branch { on_zero: true, rs1: Reg(9), imm: (-3i16) as u16 }
+            Instr::Branch {
+                on_zero: true,
+                rs1: Reg(9),
+                imm: (-3i16) as u16
+            }
         );
-        assert_eq!(parse("jal 100"), Instr::Jump { link: true, offset: 100 });
-        assert_eq!(parse("jr r31"), Instr::JumpReg { link: false, rs1: Reg(31) });
+        assert_eq!(
+            parse("jal 100"),
+            Instr::Jump {
+                link: true,
+                offset: 100
+            }
+        );
+        assert_eq!(
+            parse("jr r31"),
+            Instr::JumpReg {
+                link: false,
+                rs1: Reg(31)
+            }
+        );
         assert_eq!(parse("nop"), Instr::Nop);
         assert_eq!(parse("halt"), Instr::Halt);
     }
@@ -253,11 +333,19 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(try_parse("frob r1, r2").unwrap_err().contains("unknown mnemonic"));
+        assert!(try_parse("frob r1, r2")
+            .unwrap_err()
+            .contains("unknown mnemonic"));
         assert!(try_parse("add r1, r2").unwrap_err().contains("expected 3"));
-        assert!(try_parse("add r1, r2, r40").unwrap_err().contains("out of range"));
-        assert!(try_parse("addi r1, r0, 0x1ffff").unwrap_err().contains("16-bit"));
-        assert!(try_parse("lw r1, 4[r2]").unwrap_err().contains("memory operand"));
+        assert!(try_parse("add r1, r2, r40")
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(try_parse("addi r1, r0, 0x1ffff")
+            .unwrap_err()
+            .contains("16-bit"));
+        assert!(try_parse("lw r1, 4[r2]")
+            .unwrap_err()
+            .contains("memory operand"));
     }
 
     #[test]

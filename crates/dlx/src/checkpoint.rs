@@ -71,7 +71,11 @@ pub struct PipelineTrace {
 
 impl Default for PipelineTrace {
     fn default() -> Self {
-        PipelineTrace { fault: ControlFault::None, max_cycles: 100_000, max_instrs: 10_000 }
+        PipelineTrace {
+            fault: ControlFault::None,
+            max_cycles: 100_000,
+            max_instrs: 10_000,
+        }
     }
 }
 

@@ -147,7 +147,9 @@ fn decode_classes(n: &mut Netlist, op: &Word, func: &Word) -> ClassDecode {
     // Everything else (including explicit NOP and illegal opcodes)
     // decodes as a NOP, keeping the class vector one-hot by construction.
     let mut any_other = n.constant(false);
-    for s in [alu, aluimm, load, store, branch, jump, jumplink, jumpreg, halt] {
+    for s in [
+        alu, aluimm, load, store, branch, jump, jumplink, jumpreg, halt,
+    ] {
         any_other = n.or(any_other, s);
     }
     let nop = n.not(any_other);
@@ -171,7 +173,9 @@ fn decode_classes(n: &mut Netlist, op: &Word, func: &Word) -> ClassDecode {
         n.or(j, jumpreg)
     };
     ClassDecode {
-        class: vec![nop, alu, aluimm, load, store, branch, jump, jumplink, jumpreg, halt],
+        class: vec![
+            nop, alu, aluimm, load, store, branch, jump, jumplink, jumpreg, halt,
+        ],
         uses_rs1,
         uses_rs2,
         writes_reg,
@@ -671,32 +675,62 @@ mod tests {
             imm: 0,
         }
         .encode();
-        let dep = Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(2), rs2: Reg(2) }.encode();
+        let dep = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(2),
+            rs2: Reg(2),
+        }
+        .encode();
         let nop = Instr::Nop.encode();
-        let hist = drive(&n, &[lw, dep, nop, nop, nop, nop, nop, nop], |_| (false, true));
-        assert!(hist.iter().any(|&(s, _)| s), "stall must assert somewhere: {hist:?}");
+        let hist = drive(&n, &[lw, dep, nop, nop, nop, nop, nop, nop], |_| {
+            (false, true)
+        });
+        assert!(
+            hist.iter().any(|&(s, _)| s),
+            "stall must assert somewhere: {hist:?}"
+        );
         // Without the dependence, no stall.
-        let indep =
-            Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(1) }.encode();
-        let hist = drive(&n, &[lw, indep, nop, nop, nop, nop, nop, nop], |_| (false, true));
+        let indep = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(1),
+        }
+        .encode();
+        let hist = drive(&n, &[lw, indep, nop, nop, nop, nop, nop, nop], |_| {
+            (false, true)
+        });
         assert!(hist.iter().all(|&(s, _)| !s), "no stall expected: {hist:?}");
     }
 
     #[test]
     fn branch_causes_squash() {
         let n = initial_control_netlist();
-        let br = Instr::Branch { on_zero: true, rs1: Reg(1), imm: 4 }.encode();
+        let br = Instr::Branch {
+            on_zero: true,
+            rs1: Reg(1),
+            imm: 4,
+        }
+        .encode();
         let nop = Instr::Nop.encode();
         let hist = drive(&n, &[br, nop, nop, nop, nop, nop, nop], |_| (true, true));
         assert!(hist.iter().any(|&(_, q)| q), "squash must assert: {hist:?}");
         let hist = drive(&n, &[br, nop, nop, nop, nop, nop, nop], |_| (false, true));
-        assert!(hist.iter().all(|&(_, q)| !q), "no squash expected: {hist:?}");
+        assert!(
+            hist.iter().all(|&(_, q)| !q),
+            "no squash expected: {hist:?}"
+        );
     }
 
     #[test]
     fn jump_always_squashes() {
         let n = initial_control_netlist();
-        let j = Instr::Jump { link: false, offset: 4 }.encode();
+        let j = Instr::Jump {
+            link: false,
+            offset: 4,
+        }
+        .encode();
         let nop = Instr::Nop.encode();
         let hist = drive(&n, &[j, nop, nop, nop, nop, nop], |_| (false, true));
         assert!(hist.iter().any(|&(_, q)| q), "{hist:?}");
@@ -705,10 +739,17 @@ mod tests {
     #[test]
     fn mem_wait_stalls_persistently() {
         let n = initial_control_netlist();
-        let sw = Instr::Store { width: MemWidth::Word, rs2: Reg(2), rs1: Reg(1), imm: 0 }
-            .encode();
+        let sw = Instr::Store {
+            width: MemWidth::Word,
+            rs2: Reg(2),
+            rs1: Reg(1),
+            imm: 0,
+        }
+        .encode();
         let nop = Instr::Nop.encode();
-        let hist = drive(&n, &[sw, nop, nop, nop, nop, nop, nop, nop], |_| (false, false));
+        let hist = drive(&n, &[sw, nop, nop, nop, nop, nop, nop, nop], |_| {
+            (false, false)
+        });
         let stalls = hist.iter().filter(|&&(s, _)| s).count();
         assert!(stalls >= 3, "persistent mem stall expected: {hist:?}");
     }
@@ -724,7 +765,13 @@ mod tests {
     #[test]
     fn rf_wen_follows_alu_instruction() {
         let n = initial_control_netlist();
-        let add = Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode();
+        let add = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        }
+        .encode();
         let nop = Instr::Nop.encode();
         let mut sim = SimState::new(&n);
         let mut wen_hist = Vec::new();
@@ -732,33 +779,45 @@ mod tests {
             let outs = sim.step(&n, &initial_inputs(w, false, true, 0, false, false));
             wen_hist.push(outs[3]);
         }
-        assert!(wen_hist.iter().any(|&w| w), "rf_wen must pulse: {wen_hist:?}");
+        assert!(
+            wen_hist.iter().any(|&w| w),
+            "rf_wen must pulse: {wen_hist:?}"
+        );
         // An instruction writing r0 must not enable the write port.
-        let add0 = Instr::Alu { op: AluOp::Add, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) }.encode();
+        let add0 = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(0),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        }
+        .encode();
         let mut sim = SimState::new(&n);
         let mut wen_hist = Vec::new();
         for &w in &[add0, nop, nop, nop, nop, nop, nop, nop] {
             let outs = sim.step(&n, &initial_inputs(w, false, true, 0, false, false));
             wen_hist.push(outs[3]);
         }
-        assert!(wen_hist.iter().all(|&w| !w), "r0 write must be discarded: {wen_hist:?}");
+        assert!(
+            wen_hist.iter().all(|&w| !w),
+            "r0 write must be discarded: {wen_hist:?}"
+        );
     }
 
     #[test]
     fn ex_class_stays_one_hot() {
-        use rand::{Rng, SeedableRng};
         let n = initial_control_netlist();
         let class_latches: Vec<usize> = ex_class_names()
             .iter()
             .map(|nm| n.latch_by_name(nm).unwrap().index())
             .collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = simcov_prng::Prng::seed_from_u64(42);
         let mut sim = SimState::new(&n);
         for _ in 0..200 {
-            let w: u32 = rng.gen();
-            let zf: bool = rng.gen();
-            let ready: bool = rng.gen_bool(0.8);
-            sim.step(&n, &initial_inputs(w, zf, ready, rng.gen::<u8>() & 31, false, false));
+            let w = rng.next_u32();
+            let zf = rng.gen_bool(0.5);
+            let ready = rng.gen_bool(0.8);
+            let dest = rng.next_u64() as u8 & 31;
+            sim.step(&n, &initial_inputs(w, zf, ready, dest, false, false));
             let hot = class_latches.iter().filter(|&&i| sim.state()[i]).count();
             assert_eq!(hot, 1, "ex.class must stay one-hot");
         }
@@ -766,19 +825,19 @@ mod tests {
 
     #[test]
     fn mem_class_stays_one_hot() {
-        use rand::{Rng, SeedableRng};
         let n = initial_control_netlist();
         let class_latches: Vec<usize> = mem_class_names()
             .iter()
             .map(|nm| n.latch_by_name(nm).unwrap().index())
             .collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = simcov_prng::Prng::seed_from_u64(7);
         let mut sim = SimState::new(&n);
         for _ in 0..200 {
-            let w: u32 = rng.gen();
+            let w = rng.next_u32();
+            let zf = rng.gen_bool(0.5);
             sim.step(
                 &n,
-                &initial_inputs(w, rng.gen(), rng.gen_bool(0.7), 0, false, false),
+                &initial_inputs(w, zf, rng.gen_bool(0.7), 0, false, false),
             );
             let hot = class_latches.iter().filter(|&&i| sim.state()[i]).count();
             assert_eq!(hot, 1, "mem.class must stay one-hot");
@@ -790,15 +849,21 @@ mod tests {
         // The invariant justifying the "remove interlock registers" step:
         // the 8-state sequencer is stuck at its initial state because two
         // consecutive load stalls are impossible.
-        use rand::{Rng, SeedableRng};
         let n = initial_control_netlist();
         let state0 = n.latch_by_name("interlock.state[0]").unwrap().index();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = simcov_prng::Prng::seed_from_u64(99);
         let mut sim = SimState::new(&n);
         for _ in 0..500 {
-            let w: u32 = rng.gen();
-            sim.step(&n, &initial_inputs(w, rng.gen(), rng.gen_bool(0.9), 0, false, false));
-            assert!(sim.state()[state0], "interlock sequencer must stay at state 0");
+            let w = rng.next_u32();
+            let zf = rng.gen_bool(0.5);
+            sim.step(
+                &n,
+                &initial_inputs(w, zf, rng.gen_bool(0.9), 0, false, false),
+            );
+            assert!(
+                sim.state()[state0],
+                "interlock sequencer must stay at state 0"
+            );
         }
     }
 }

@@ -108,8 +108,11 @@ pub fn realize_instruction(v: ReducedVector, index: usize, data: &DistinctData) 
 /// [`branch_outcomes`] to apply the same directions the abstract sequence
 /// assumed.
 pub fn realize_program(vectors: &[ReducedVector], data: &DistinctData) -> Vec<Instr> {
-    let mut prog: Vec<Instr> =
-        vectors.iter().enumerate().map(|(i, &v)| realize_instruction(v, i, data)).collect();
+    let mut prog: Vec<Instr> = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| realize_instruction(v, i, data))
+        .collect();
     prog.push(Instr::Halt);
     prog
 }
@@ -167,7 +170,12 @@ mod tests {
     use crate::testmodel::reduced_control_netlist;
 
     fn vec5(op: u8, rs1: bool, rd: bool, zf: bool) -> ReducedVector {
-        ReducedVector { op, rs1, rd, zero_flag: zf }
+        ReducedVector {
+            op,
+            rs1,
+            rd,
+            zero_flag: zf,
+        }
     }
 
     #[test]
@@ -179,13 +187,28 @@ mod tests {
     #[test]
     fn realization_maps_classes() {
         let d = DistinctData::default();
-        assert_eq!(realize_instruction(vec5(0, false, false, false), 0, &d), Instr::Nop);
+        assert_eq!(
+            realize_instruction(vec5(0, false, false, false), 0, &d),
+            Instr::Nop
+        );
         let alu = realize_instruction(vec5(1, true, true, false), 1, &d);
-        assert!(matches!(alu, Instr::AluImm { rd: Reg(1), rs1: Reg(1), .. }));
+        assert!(matches!(
+            alu,
+            Instr::AluImm {
+                rd: Reg(1),
+                rs1: Reg(1),
+                ..
+            }
+        ));
         let ld = realize_instruction(vec5(2, false, true, false), 2, &d);
         assert!(matches!(
             ld,
-            Instr::Load { rd: Reg(1), rs1: Reg(2), width: MemWidth::Word, .. }
+            Instr::Load {
+                rd: Reg(1),
+                rs1: Reg(2),
+                width: MemWidth::Word,
+                ..
+            }
         ));
         let br = realize_instruction(vec5(3, true, false, false), 3, &d);
         assert!(matches!(br, Instr::Branch { rs1: Reg(1), .. }));
@@ -269,9 +292,9 @@ mod tests {
     fn forced_branch_outcomes_respected() {
         let d = DistinctData::default();
         let vectors = vec![
-            vec5(1, false, true, false),  // write r1 (nonzero)
-            vec5(3, true, false, false),  // branch on r1
-            vec5(1, false, false, true),  // zero_flag=1: model says TAKEN
+            vec5(1, false, true, false), // write r1 (nonzero)
+            vec5(3, true, false, false), // branch on r1
+            vec5(1, false, false, true), // zero_flag=1: model says TAKEN
             vec5(0, false, false, false),
         ];
         let prog = realize_program(&vectors, &d);
@@ -280,8 +303,7 @@ mod tests {
         natural.run_to_halt(10_000, 100);
         assert_eq!(natural.squashed_instrs(), 0);
         // Forced to the model's assumed outcome: taken, squashing.
-        let mut forced = Pipeline::new(prog)
-            .with_forced_branch_outcomes(branch_outcomes(&vectors));
+        let mut forced = Pipeline::new(prog).with_forced_branch_outcomes(branch_outcomes(&vectors));
         forced.run_to_halt(10_000, 100);
         assert!(forced.squashed_instrs() > 0);
     }

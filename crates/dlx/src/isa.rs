@@ -80,7 +80,10 @@ impl AluOp {
 
     /// The `func` field encoding.
     pub fn func_code(self) -> u32 {
-        AluOp::ALL.iter().position(|&o| o == self).expect("in table") as u32
+        AluOp::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("in table") as u32
     }
 
     /// Decodes a `func` field value.
@@ -292,7 +295,10 @@ impl OpClass {
 
     /// Index of this class in [`OpClass::ALL`].
     pub fn index(self) -> usize {
-        OpClass::ALL.iter().position(|&c| c == self).expect("in table")
+        OpClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("in table")
     }
 
     /// `true` for classes that write a destination register. (`JumpReg`
@@ -331,9 +337,7 @@ impl Instr {
             | Instr::AluImm { rd, .. }
             | Instr::Lhi { rd, .. }
             | Instr::Load { rd, .. } => Some(rd),
-            Instr::Jump { link: true, .. } | Instr::JumpReg { link: true, .. } => {
-                Some(Reg::LINK)
-            }
+            Instr::Jump { link: true, .. } | Instr::JumpReg { link: true, .. } => Some(Reg::LINK),
             _ => None,
         };
         d.filter(|r| r.0 != 0)
@@ -388,7 +392,13 @@ impl Instr {
                 i(opc, rs1, rd, imm)
             }
             Instr::Lhi { rd, imm } => i(OP_LHI, Reg::R0, rd, imm),
-            Instr::Load { width, signed, rd, rs1, imm } => {
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => {
                 let opc = match (width, signed) {
                     (MemWidth::Byte, true) => OP_LB,
                     (MemWidth::Byte, false) => OP_LBU,
@@ -398,7 +408,12 @@ impl Instr {
                 };
                 i(opc, rs1, rd, imm)
             }
-            Instr::Store { width, rs2, rs1, imm } => {
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
                 let opc = match width {
                     MemWidth::Byte => OP_SB,
                     MemWidth::Half => OP_SH,
@@ -413,9 +428,7 @@ impl Instr {
                 let op = if link { OP_JAL } else { OP_J };
                 (op << 26) | ((offset as u32) & 0x03ff_ffff)
             }
-            Instr::JumpReg { link, rs1 } => {
-                i(if link { OP_JALR } else { OP_JR }, rs1, Reg::R0, 0)
-            }
+            Instr::JumpReg { link, rs1 } => i(if link { OP_JALR } else { OP_JR }, rs1, Reg::R0, 0),
             Instr::Halt => OP_HALT << 26,
         }
     }
@@ -435,13 +448,32 @@ impl Instr {
                 let rd = Reg(((word >> 11) & 31) as u8);
                 let func = word & 0x7ff;
                 let alu = AluOp::from_func_code(func)?;
-                Instr::Alu { op: alu, rd, rs1, rs2: rfield }
+                Instr::Alu {
+                    op: alu,
+                    rd,
+                    rs1,
+                    rs2: rfield,
+                }
             }
             OP_NOP => Instr::Nop,
-            OP_J => Instr::Jump { link: false, offset: sext26(word) },
-            OP_JAL => Instr::Jump { link: true, offset: sext26(word) },
-            OP_BEQZ => Instr::Branch { on_zero: true, rs1, imm },
-            OP_BNEZ => Instr::Branch { on_zero: false, rs1, imm },
+            OP_J => Instr::Jump {
+                link: false,
+                offset: sext26(word),
+            },
+            OP_JAL => Instr::Jump {
+                link: true,
+                offset: sext26(word),
+            },
+            OP_BEQZ => Instr::Branch {
+                on_zero: true,
+                rs1,
+                imm,
+            },
+            OP_BNEZ => Instr::Branch {
+                on_zero: false,
+                rs1,
+                imm,
+            },
             OP_ADDI => imm_alu(AluOp::Add, rfield, rs1, imm),
             OP_ADDUI => imm_alu(AluOp::Addu, rfield, rs1, imm),
             OP_SUBI => imm_alu(AluOp::Sub, rfield, rs1, imm),
@@ -464,9 +496,24 @@ impl Instr {
             OP_LH => load(MemWidth::Half, true, rfield, rs1, imm),
             OP_LHU => load(MemWidth::Half, false, rfield, rs1, imm),
             OP_LW => load(MemWidth::Word, true, rfield, rs1, imm),
-            OP_SB => Instr::Store { width: MemWidth::Byte, rs2: rfield, rs1, imm },
-            OP_SH => Instr::Store { width: MemWidth::Half, rs2: rfield, rs1, imm },
-            OP_SW => Instr::Store { width: MemWidth::Word, rs2: rfield, rs1, imm },
+            OP_SB => Instr::Store {
+                width: MemWidth::Byte,
+                rs2: rfield,
+                rs1,
+                imm,
+            },
+            OP_SH => Instr::Store {
+                width: MemWidth::Half,
+                rs2: rfield,
+                rs1,
+                imm,
+            },
+            OP_SW => Instr::Store {
+                width: MemWidth::Word,
+                rs2: rfield,
+                rs1,
+                imm,
+            },
             OP_JR => Instr::JumpReg { link: false, rs1 },
             OP_JALR => Instr::JumpReg { link: true, rs1 },
             OP_HALT => Instr::Halt,
@@ -481,7 +528,13 @@ fn imm_alu(op: AluOp, rd: Reg, rs1: Reg, imm: u16) -> Instr {
 }
 
 fn load(width: MemWidth, signed: bool, rd: Reg, rs1: Reg, imm: u16) -> Instr {
-    Instr::Load { width, signed, rd, rs1, imm }
+    Instr::Load {
+        width,
+        signed,
+        rd,
+        rs1,
+        imm,
+    }
 }
 
 fn sext26(word: u32) -> i32 {
@@ -496,19 +549,39 @@ impl fmt::Display for Instr {
                 write!(f, "{} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
             }
             Instr::AluImm { op, rd, rs1, imm } => {
-                write!(f, "{}i {rd}, {rs1}, {imm}", format!("{op:?}").to_lowercase())
+                write!(
+                    f,
+                    "{}i {rd}, {rs1}, {imm}",
+                    format!("{op:?}").to_lowercase()
+                )
             }
             Instr::Lhi { rd, imm } => write!(f, "lhi {rd}, {imm}"),
-            Instr::Load { width, signed, rd, rs1, imm } => {
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => {
                 let m = mem_mnemonic("l", width, Some(signed));
                 write!(f, "{m} {rd}, {imm}({rs1})")
             }
-            Instr::Store { width, rs2, rs1, imm } => {
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
                 let m = mem_mnemonic("s", width, None);
                 write!(f, "{m} {rs2}, {imm}({rs1})")
             }
             Instr::Branch { on_zero, rs1, imm } => {
-                write!(f, "{} {rs1}, {}", if on_zero { "beqz" } else { "bnez" }, imm as i16)
+                write!(
+                    f,
+                    "{} {rs1}, {}",
+                    if on_zero { "beqz" } else { "bnez" },
+                    imm as i16
+                )
             }
             Instr::Jump { link, offset } => {
                 write!(f, "{} {offset}", if link { "jal" } else { "j" })
@@ -550,14 +623,38 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_all_forms() {
         for op in AluOp::ALL {
-            roundtrip(Instr::Alu { op, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) });
-            roundtrip(Instr::AluImm { op, rd: Reg(7), rs1: Reg(30), imm: 0xBEEF });
+            roundtrip(Instr::Alu {
+                op,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2),
+            });
+            roundtrip(Instr::AluImm {
+                op,
+                rd: Reg(7),
+                rs1: Reg(30),
+                imm: 0xBEEF,
+            });
         }
         roundtrip(Instr::Nop);
-        roundtrip(Instr::Lhi { rd: Reg(5), imm: 0x1234 });
+        roundtrip(Instr::Lhi {
+            rd: Reg(5),
+            imm: 0x1234,
+        });
         for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
-            roundtrip(Instr::Load { width, signed: true, rd: Reg(4), rs1: Reg(2), imm: 8 });
-            roundtrip(Instr::Store { width, rs2: Reg(4), rs1: Reg(2), imm: 12 });
+            roundtrip(Instr::Load {
+                width,
+                signed: true,
+                rd: Reg(4),
+                rs1: Reg(2),
+                imm: 8,
+            });
+            roundtrip(Instr::Store {
+                width,
+                rs2: Reg(4),
+                rs1: Reg(2),
+                imm: 12,
+            });
         }
         // Unsigned loads (word loads are canonically signed).
         roundtrip(Instr::Load {
@@ -567,12 +664,32 @@ mod tests {
             rs1: Reg(2),
             imm: 8,
         });
-        roundtrip(Instr::Branch { on_zero: true, rs1: Reg(9), imm: (-4i16) as u16 });
-        roundtrip(Instr::Branch { on_zero: false, rs1: Reg(9), imm: 16 });
-        roundtrip(Instr::Jump { link: false, offset: -100 });
-        roundtrip(Instr::Jump { link: true, offset: 1 << 20 });
-        roundtrip(Instr::JumpReg { link: false, rs1: Reg(31) });
-        roundtrip(Instr::JumpReg { link: true, rs1: Reg(6) });
+        roundtrip(Instr::Branch {
+            on_zero: true,
+            rs1: Reg(9),
+            imm: (-4i16) as u16,
+        });
+        roundtrip(Instr::Branch {
+            on_zero: false,
+            rs1: Reg(9),
+            imm: 16,
+        });
+        roundtrip(Instr::Jump {
+            link: false,
+            offset: -100,
+        });
+        roundtrip(Instr::Jump {
+            link: true,
+            offset: 1 << 20,
+        });
+        roundtrip(Instr::JumpReg {
+            link: false,
+            rs1: Reg(31),
+        });
+        roundtrip(Instr::JumpReg {
+            link: true,
+            rs1: Reg(6),
+        });
         roundtrip(Instr::Halt);
     }
 
@@ -599,13 +716,26 @@ mod tests {
 
     #[test]
     fn classes_and_dest() {
-        let i = Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
         assert_eq!(i.class(), OpClass::Alu);
         assert_eq!(i.dest(), Some(Reg(3)));
         // r0 destination is discarded.
-        let z = Instr::Alu { op: AluOp::Add, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) };
+        let z = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(0),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
         assert_eq!(z.dest(), None);
-        let j = Instr::Jump { link: true, offset: 2 };
+        let j = Instr::Jump {
+            link: true,
+            offset: 2,
+        };
         assert_eq!(j.class(), OpClass::JumpLink);
         assert_eq!(j.dest(), Some(Reg::LINK));
         assert_eq!(Instr::Halt.class(), OpClass::Halt);
@@ -614,9 +744,18 @@ mod tests {
 
     #[test]
     fn sources() {
-        let st = Instr::Store { width: MemWidth::Word, rs2: Reg(4), rs1: Reg(2), imm: 0 };
+        let st = Instr::Store {
+            width: MemWidth::Word,
+            rs2: Reg(4),
+            rs1: Reg(2),
+            imm: 0,
+        };
         assert_eq!(st.sources(), (Some(Reg(2)), Some(Reg(4))));
-        let b = Instr::Branch { on_zero: true, rs1: Reg(9), imm: 0 };
+        let b = Instr::Branch {
+            on_zero: true,
+            rs1: Reg(9),
+            imm: 0,
+        };
         assert_eq!(b.sources(), (Some(Reg(9)), None));
         assert_eq!(Instr::Nop.sources(), (None, None));
     }
@@ -636,7 +775,10 @@ mod tests {
 
     #[test]
     fn jump_offset_sign_extension() {
-        let j = Instr::Jump { link: false, offset: -1 };
+        let j = Instr::Jump {
+            link: false,
+            offset: -1,
+        };
         let d = Instr::decode(j.encode()).unwrap();
         assert_eq!(d, j);
     }

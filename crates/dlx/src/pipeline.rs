@@ -227,8 +227,7 @@ impl Pipeline {
                 u16::from_le_bytes([byte(addr), byte(addr.wrapping_add(1))]) as u32
             }
             (MemWidth::Half, true) => {
-                u16::from_le_bytes([byte(addr), byte(addr.wrapping_add(1))]) as i16 as i32
-                    as u32
+                u16::from_le_bytes([byte(addr), byte(addr.wrapping_add(1))]) as i16 as i32 as u32
             }
             (MemWidth::Word, _) => u32::from_le_bytes([
                 byte(addr),
@@ -327,9 +326,7 @@ impl Pipeline {
             }
             if fault != ControlFault::DisableExMemBypass {
                 if let Some(em) = &prev_ex_mem {
-                    if em.instr.dest() == Some(r)
-                        && !matches!(em.instr, Instr::Load { .. })
-                    {
+                    if em.instr.dest() == Some(r) && !matches!(em.instr, Instr::Load { .. }) {
                         return em.alu;
                     }
                 }
@@ -388,7 +385,13 @@ impl Pipeline {
                     next_pc = de.pc;
                 }
             }
-            ExMem { instr: de.instr, pc: de.pc, alu, store_val, next_pc }
+            ExMem {
+                instr: de.instr,
+                pc: de.pc,
+                alu,
+                store_val,
+                next_pc,
+            }
         });
         // The instruction that just executed (now in new_ex_mem) is also
         // the interlock-relevant "previous" instruction for decode.
@@ -407,8 +410,7 @@ impl Pipeline {
                 // Buggy control: redirect without killing the wrong path.
                 (new_id_ex, new_if_id) = self.advance_front(ex_instr_is_load, ex_dest);
             } else {
-                self.squashed_instrs +=
-                    self.if_id.is_some() as u64 + 1; // IF-stage fetch + ID instr
+                self.squashed_instrs += self.if_id.is_some() as u64 + 1; // IF-stage fetch + ID instr
                 self.if_id = None;
                 new_id_ex = None;
                 new_if_id = None;
@@ -457,7 +459,10 @@ impl Pipeline {
             // Bubble into EX; IF/ID holds; no fetch.
             return (None, self.if_id);
         }
-        let new_id_ex = self.if_id.take().map(|f| IdEx { instr: f.instr, pc: f.pc });
+        let new_id_ex = self.if_id.take().map(|f| IdEx {
+            instr: f.instr,
+            pc: f.pc,
+        });
         let new_if_id = if !self.halt_fetched {
             match self.program.get(self.pc as usize) {
                 Some(&instr) => {
@@ -568,10 +573,10 @@ mod tests {
     #[test]
     fn taken_branch_squashes_two() {
         let prog = asm::program(&[
-            "beqz r0, 2",      // always taken -> pc 3
-            "addi r1, r0, 1",  // wrong path
-            "addi r2, r0, 2",  // wrong path
-            "addi r3, r0, 3",  // target
+            "beqz r0, 2",     // always taken -> pc 3
+            "addi r1, r0, 1", // wrong path
+            "addi r2, r0, 2", // wrong path
+            "addi r3, r0, 3", // target
             "halt",
         ]);
         let mut pipe = Pipeline::new(prog.clone());
@@ -586,12 +591,7 @@ mod tests {
 
     #[test]
     fn not_taken_branch_no_penalty() {
-        compare_with_spec(&[
-            "addi r1, r0, 1",
-            "beqz r1, 2",
-            "addi r2, r0, 5",
-            "halt",
-        ]);
+        compare_with_spec(&["addi r1, r0, 1", "beqz r1, 2", "addi r2, r0, 5", "halt"]);
     }
 
     #[test]
@@ -621,11 +621,11 @@ mod tests {
     #[test]
     fn jumps_and_links_match_spec() {
         compare_with_spec(&[
-            "jal 2",           // -> pc 3, r31 = 1
-            "halt",            // pc 1
+            "jal 2", // -> pc 3, r31 = 1
+            "halt",  // pc 1
             "nop",
-            "addi r1, r0, 8",  // pc 3
-            "jr r31",          // back to 1
+            "addi r1, r0, 8", // pc 3
+            "jr r31",         // back to 1
         ]);
     }
 
@@ -633,8 +633,8 @@ mod tests {
     fn jalr_through_pipeline() {
         compare_with_spec(&[
             "addi r5, r0, 4",
-            "jalr r5",        // r31 = 2, jump to 4
-            "halt",           // pc 2
+            "jalr r5", // r31 = 2, jump to 4
+            "halt",    // pc 2
             "nop",
             "addi r6, r0, 2", // pc 4
             "jr r31",
@@ -703,13 +703,7 @@ mod tests {
         pipe.run_to_halt(1000, 100);
         assert_eq!(pipe.reg(Reg(2)), 0);
         // d=3 still works (plain register file read).
-        let prog = asm::program(&[
-            "addi r1, r0, 3",
-            "nop",
-            "nop",
-            "add r2, r1, r1",
-            "halt",
-        ]);
+        let prog = asm::program(&["addi r1, r0, 3", "nop", "nop", "add r2, r1, r1", "halt"]);
         let mut pipe = Pipeline::new(prog).with_fault(ControlFault::DisableMemWbBypass);
         pipe.run_to_halt(1000, 100);
         assert_eq!(pipe.reg(Reg(2)), 6);
@@ -730,7 +724,13 @@ mod tests {
         assert_eq!(pipe.reg(Reg(2)), 0);
         assert_eq!(pipe.reg(Reg(3)), 3);
         // The golden pipeline leaves r1 untouched.
-        let prog = asm::program(&["beqz r0, 2", "addi r1, r0, 1", "addi r2, r0, 2", "addi r3, r0, 3", "halt"]);
+        let prog = asm::program(&[
+            "beqz r0, 2",
+            "addi r1, r0, 1",
+            "addi r2, r0, 2",
+            "addi r3, r0, 3",
+            "halt",
+        ]);
         let mut golden = Pipeline::new(prog);
         golden.run_to_halt(1000, 100);
         assert_eq!(golden.reg(Reg(1)), 0);
@@ -758,12 +758,7 @@ mod tests {
     #[test]
     fn cycle_count_reflects_pipeline_depth() {
         // n instructions, no hazards: n + 4 cycles to drain (fill + run).
-        let prog = asm::program(&[
-            "addi r1, r0, 1",
-            "addi r2, r0, 2",
-            "addi r3, r0, 3",
-            "halt",
-        ]);
+        let prog = asm::program(&["addi r1, r0, 1", "addi r2, r0, 2", "addi r3, r0, 3", "halt"]);
         let mut pipe = Pipeline::new(prog);
         let events = pipe.run_to_halt(100, 100);
         assert_eq!(events.len(), 4);

@@ -43,7 +43,13 @@ impl Spec {
     /// Creates a specification simulator with the given program loaded at
     /// PC 0 and all architectural state zero.
     pub fn new(program: Vec<Instr>) -> Self {
-        Spec { program, pc: 0, regs: [0; 32], mem: HashMap::new(), halted: false }
+        Spec {
+            program,
+            pc: 0,
+            regs: [0; 32],
+            mem: HashMap::new(),
+            halted: false,
+        }
     }
 
     /// Resets architectural state (keeps the program).
@@ -125,8 +131,8 @@ impl Spec {
                 u16::from_le_bytes([self.mem_byte(addr), self.mem_byte(addr + 1)]) as u32
             }
             (MemWidth::Half, true) => {
-                u16::from_le_bytes([self.mem_byte(addr), self.mem_byte(addr + 1)]) as i16
-                    as i32 as u32
+                u16::from_le_bytes([self.mem_byte(addr), self.mem_byte(addr + 1)]) as i16 as i32
+                    as u32
             }
             (MemWidth::Word, _) => self.mem_word(addr),
         }
@@ -184,12 +190,23 @@ impl Spec {
             Instr::Lhi { rd, imm } => {
                 ev.reg_write = self.write_reg(rd, (imm as u32) << 16);
             }
-            Instr::Load { width, signed, rd, rs1, imm } => {
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
                 let v = self.load_value(width, signed, addr);
                 ev.reg_write = self.write_reg(rd, v);
             }
-            Instr::Store { width, rs2, rs1, imm } => {
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
                 ev.mem_write = Some(self.store_value(width, addr, self.reg(rs2)));
             }

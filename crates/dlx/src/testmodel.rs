@@ -174,19 +174,20 @@ pub fn valid_inputs_constraint(
     let rd_zero = eq_const(mgr, &rd_r, 0);
 
     let mut valid = Bdd::FALSE;
-    let add_case = |mgr: &mut simcov_bdd::BddManager, valid: &mut Bdd, opc: u32, constraint: Bdd| {
-        let this_op = eq_const(mgr, &op, opc as u64);
-        let case = mgr.and(this_op, constraint);
-        *valid = mgr.or(*valid, case);
-    };
+    let add_case =
+        |mgr: &mut simcov_bdd::BddManager, valid: &mut Bdd, opc: u32, constraint: Bdd| {
+            let this_op = eq_const(mgr, &op, opc as u64);
+            let case = mgr.and(this_op, constraint);
+            *valid = mgr.or(*valid, case);
+        };
     // R-type: 16 legal funcs, all register fields free.
     add_case(mgr, &mut valid, OP_RTYPE, func_legal);
     // I-type ALU + LHI + loads + stores: func zero, R-type rd field zero.
     let itype = mgr.and(func_zero, rd_zero);
     for opc in [
-        OP_ADDI, OP_ADDUI, OP_SUBI, OP_SUBUI, OP_ANDI, OP_ORI, OP_XORI, OP_LHI, OP_SLLI,
-        OP_SRLI, OP_SRAI, OP_SEQI, OP_SNEI, OP_SLTI, OP_SGTI, OP_SLEI, OP_SGEI, OP_LB, OP_LH,
-        OP_LW, OP_LBU, OP_LHU, OP_SB, OP_SH, OP_SW,
+        OP_ADDI, OP_ADDUI, OP_SUBI, OP_SUBUI, OP_ANDI, OP_ORI, OP_XORI, OP_LHI, OP_SLLI, OP_SRLI,
+        OP_SRAI, OP_SEQI, OP_SNEI, OP_SLTI, OP_SGTI, OP_SLEI, OP_SGEI, OP_LB, OP_LH, OP_LW, OP_LBU,
+        OP_LHU, OP_SB, OP_SH, OP_SW,
     ] {
         add_case(mgr, &mut valid, opc, itype);
     }
@@ -234,12 +235,13 @@ pub fn full_model_class_machine() -> (simcov_fsm::ExplicitMealy, simcov_fsm::Inp
     let opts = EnumerateOptions {
         inputs: classes.representatives.clone(),
         input_labels: Some(
-            (0..classes.representatives.len()).map(|i| format!("c{i}")).collect(),
+            (0..classes.representatives.len())
+                .map(|i| format!("c{i}"))
+                .collect(),
         ),
         max_states: 1 << 20,
     };
-    let m = simcov_fsm::enumerate_netlist(&fin, &opts)
-        .expect("class-quotient machine enumerates");
+    let m = simcov_fsm::enumerate_netlist(&fin, &opts).expect("class-quotient machine enumerates");
     (m, classes)
 }
 
@@ -249,8 +251,8 @@ pub fn full_model_class_machine() -> (simcov_fsm::ExplicitMealy, simcov_fsm::Inp
 /// exported as outputs. This is the machine on which Theorem 3 is
 /// exercised at full scale: certifiable at k = 1, tourable, and
 /// attackable with fault campaigns.
-pub fn full_model_class_machine_observable()
--> (simcov_fsm::ExplicitMealy, simcov_fsm::InputClasses) {
+pub fn full_model_class_machine_observable() -> (simcov_fsm::ExplicitMealy, simcov_fsm::InputClasses)
+{
     let fin = derive_test_model_observable();
     let classes = simcov_fsm::input_equivalence_classes(
         &fin,
@@ -262,12 +264,13 @@ pub fn full_model_class_machine_observable()
     let opts = EnumerateOptions {
         inputs: classes.representatives.clone(),
         input_labels: Some(
-            (0..classes.representatives.len()).map(|i| format!("c{i}")).collect(),
+            (0..classes.representatives.len())
+                .map(|i| format!("c{i}"))
+                .collect(),
         ),
         max_states: 1 << 20,
     };
-    let m = simcov_fsm::enumerate_netlist(&fin, &opts)
-        .expect("class-quotient machine enumerates");
+    let m = simcov_fsm::enumerate_netlist(&fin, &opts).expect("class-quotient machine enumerates");
     (m, classes)
 }
 
@@ -536,9 +539,15 @@ mod tests {
     #[test]
     fn final_model_has_18_bit_instruction_format() {
         let (fin, _) = derive_test_model();
-        let instr_bits = fin.input_names().filter(|n| n.starts_with("instr[")).count();
+        let instr_bits = fin
+            .input_names()
+            .filter(|n| n.starts_with("instr["))
+            .count();
         assert_eq!(instr_bits, 18, "18-bit abstract instruction format");
-        let status_bits = fin.input_names().filter(|n| !n.starts_with("instr[")).count();
+        let status_bits = fin
+            .input_names()
+            .filter(|n| !n.starts_with("instr["))
+            .count();
         assert_eq!(status_bits, 7);
     }
 
@@ -581,7 +590,10 @@ mod tests {
         let obs = reduced_control_netlist_observable();
         let mo = enumerate_netlist(&obs, &reduced_valid_inputs(&obs)).unwrap();
         let d = forall_k_distinguishable(&mo, 1, 0).unwrap();
-        assert!(d.holds(), "observable model must be forall-1-distinguishable");
+        assert!(
+            d.holds(),
+            "observable model must be forall-1-distinguishable"
+        );
     }
 
     #[test]

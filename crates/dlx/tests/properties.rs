@@ -1,74 +1,105 @@
 //! Property-based tests for the DLX: encode/decode roundtrips over the
 //! whole instruction space, and spec/pipeline equivalence on random
-//! forward-flow programs.
+//! forward-flow programs — on the workspace's hermetic `forall` driver.
 
-use proptest::prelude::*;
+use simcov_core::testutil::{forall, forall_cfg, Config, Gen};
 use simcov_dlx::isa::{AluOp, Instr, MemWidth, Reg};
 use simcov_dlx::pipeline::Pipeline;
 use simcov_dlx::spec::Spec;
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0..32u8).prop_map(Reg)
+fn reg(g: &mut Gen) -> Reg {
+    Reg(g.int_in(0..32u8))
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    (0..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+fn alu_op(g: &mut Gen) -> AluOp {
+    AluOp::ALL[g.int_in(0..AluOp::ALL.len())]
 }
 
-fn width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![
-        Just(MemWidth::Byte),
-        Just(MemWidth::Half),
-        Just(MemWidth::Word)
-    ]
+fn width(g: &mut Gen) -> MemWidth {
+    match g.int_in(0..3u8) {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        _ => MemWidth::Word,
+    }
 }
 
-fn instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        (alu_op(), reg(), reg(), reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (alu_op(), reg(), reg(), any::<u16>())
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-        (reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lhi { rd, imm }),
-        (width(), any::<bool>(), reg(), reg(), any::<u16>())
-            .prop_map(|(w, s, rd, rs1, imm)| {
-                // Word loads are canonically signed in the encoding.
-                let signed = if w == MemWidth::Word { true } else { s };
-                Instr::Load { width: w, signed, rd, rs1, imm }
-            }),
-        (width(), reg(), reg(), any::<u16>())
-            .prop_map(|(w, rs2, rs1, imm)| Instr::Store { width: w, rs2, rs1, imm }),
-        (any::<bool>(), reg(), any::<u16>())
-            .prop_map(|(z, rs1, imm)| Instr::Branch { on_zero: z, rs1, imm }),
-        (any::<bool>(), -(1i32 << 25)..(1i32 << 25))
-            .prop_map(|(link, offset)| Instr::Jump { link, offset }),
-        (any::<bool>(), reg()).prop_map(|(link, rs1)| Instr::JumpReg { link, rs1 }),
-    ]
+fn instr(g: &mut Gen) -> Instr {
+    match g.int_in(0..10u8) {
+        0 => Instr::Nop,
+        1 => Instr::Halt,
+        2 => Instr::Alu {
+            op: alu_op(g),
+            rd: reg(g),
+            rs1: reg(g),
+            rs2: reg(g),
+        },
+        3 => Instr::AluImm {
+            op: alu_op(g),
+            rd: reg(g),
+            rs1: reg(g),
+            imm: g.u16(),
+        },
+        4 => Instr::Lhi {
+            rd: reg(g),
+            imm: g.u16(),
+        },
+        5 => {
+            let w = width(g);
+            // Word loads are canonically signed in the encoding.
+            let signed = if w == MemWidth::Word { true } else { g.bool() };
+            Instr::Load {
+                width: w,
+                signed,
+                rd: reg(g),
+                rs1: reg(g),
+                imm: g.u16(),
+            }
+        }
+        6 => Instr::Store {
+            width: width(g),
+            rs2: reg(g),
+            rs1: reg(g),
+            imm: g.u16(),
+        },
+        7 => Instr::Branch {
+            on_zero: g.bool(),
+            rs1: reg(g),
+            imm: g.u16(),
+        },
+        8 => Instr::Jump {
+            link: g.bool(),
+            offset: g.int_in(-(1i32 << 25)..(1i32 << 25)),
+        },
+        _ => Instr::JumpReg {
+            link: g.bool(),
+            rs1: reg(g),
+        },
+    }
 }
 
-proptest! {
-    /// Every instruction round-trips through its 32-bit encoding.
-    #[test]
-    fn encode_decode_roundtrip(i in instr()) {
+/// Every instruction round-trips through its 32-bit encoding.
+#[test]
+fn encode_decode_roundtrip() {
+    forall("encode_decode_roundtrip", |g| {
+        let i = instr(g);
         let w = i.encode();
-        prop_assert_eq!(Instr::decode(w), Some(i));
-    }
+        assert_eq!(Instr::decode(w), Some(i));
+    });
+}
 
-    /// Class, destination and sources are consistent: the destination is
-    /// only reported for register-writing classes and never r0.
-    #[test]
-    fn dest_class_consistency(i in instr()) {
+/// Class, destination and sources are consistent: the destination is
+/// only reported for register-writing classes and never r0.
+#[test]
+fn dest_class_consistency() {
+    forall("dest_class_consistency", |g| {
+        let i = instr(g);
         if let Some(d) = i.dest() {
-            prop_assert_ne!(d, Reg(0));
+            assert_ne!(d, Reg(0));
         }
-        if !i.class().writes_reg()
-            && !matches!(i, Instr::JumpReg { link: true, .. })
-        {
-            prop_assert_eq!(i.dest(), None);
+        if !i.class().writes_reg() && !matches!(i, Instr::JumpReg { link: true, .. }) {
+            assert_eq!(i.dest(), None);
         }
-    }
+    });
 }
 
 /// Random forward-flow program recipe: ALU/memory traffic plus forward
@@ -78,12 +109,17 @@ struct ProgRecipe {
     items: Vec<(u8, u8, u8, u8, u16)>,
 }
 
-fn prog_recipe() -> impl Strategy<Value = ProgRecipe> {
-    proptest::collection::vec(
-        (0..9u8, 0..8u8, 0..8u8, 0..8u8, any::<u16>()),
-        1..40,
-    )
-    .prop_map(|items| ProgRecipe { items })
+fn prog_recipe(g: &mut Gen) -> ProgRecipe {
+    let items = g.vec_of(1..40usize, |g| {
+        (
+            g.int_in(0..9u8),
+            g.int_in(0..8u8),
+            g.int_in(0..8u8),
+            g.int_in(0..8u8),
+            g.u16(),
+        )
+    });
+    ProgRecipe { items }
 }
 
 fn realize(r: &ProgRecipe) -> Vec<Instr> {
@@ -122,7 +158,11 @@ fn realize(r: &ProgRecipe) -> Vec<Instr> {
             7 => {
                 let skip = 1 + (imm % 2);
                 if pc + skip as usize + 1 < len {
-                    Instr::Branch { on_zero: imm & 4 == 0, rs1: ra, imm: skip }
+                    Instr::Branch {
+                        on_zero: imm & 4 == 0,
+                        rs1: ra,
+                        imm: skip,
+                    }
                 } else {
                     Instr::Nop
                 }
@@ -130,7 +170,10 @@ fn realize(r: &ProgRecipe) -> Vec<Instr> {
             _ => {
                 let skip = 1 + (imm as i32 % 2);
                 if pc + skip as usize + 1 < len {
-                    Instr::Jump { link: imm & 8 == 0, offset: skip }
+                    Instr::Jump {
+                        link: imm & 8 == 0,
+                        offset: skip,
+                    }
                 } else {
                     Instr::Nop
                 }
@@ -142,38 +185,42 @@ fn realize(r: &ProgRecipe) -> Vec<Instr> {
     prog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The golden pipeline's retire trace equals the specification's on
-    /// arbitrary forward-flow programs (the central correctness property
-    /// of the implementation under validation).
-    #[test]
-    fn pipeline_matches_spec(r in prog_recipe()) {
-        let prog = realize(&r);
+/// The golden pipeline's retire trace equals the specification's on
+/// arbitrary forward-flow programs (the central correctness property
+/// of the implementation under validation).
+#[test]
+fn pipeline_matches_spec() {
+    forall_cfg("pipeline_matches_spec", Config::with_cases(64), |g| {
+        let prog = realize(&prog_recipe(g));
         let mut spec = Spec::new(prog.clone());
         let spec_events = spec.run_to_halt(2_000);
         let mut pipe = Pipeline::new(prog);
         let pipe_events = pipe.run_to_halt(50_000, 2_000);
-        prop_assert_eq!(spec_events, pipe_events);
-    }
+        assert_eq!(spec_events, pipe_events);
+    });
+}
 
-    /// Every control fault either leaves the trace identical (fault not
-    /// excited by this program) or changes it — and the golden pipeline
-    /// never reports fault-only statistics.
-    #[test]
-    fn faults_change_traces_or_are_unexcited(r in prog_recipe()) {
-        use simcov_dlx::ControlFault;
-        let prog = realize(&r);
-        let mut golden = Pipeline::new(prog.clone());
-        let golden_events = golden.run_to_halt(50_000, 2_000);
-        for fault in ControlFault::ALL {
-            let mut faulty = Pipeline::new(prog.clone()).with_fault(fault);
-            let faulty_events = faulty.run_to_halt(50_000, 2_000);
-            // No assertion on inequality (the program may not excite the
-            // fault); but a *detected* difference must be a genuine
-            // divergence, not a panic or hang.
-            let _ = faulty_events == golden_events;
-        }
-    }
+/// Every control fault either leaves the trace identical (fault not
+/// excited by this program) or changes it — and the golden pipeline
+/// never reports fault-only statistics.
+#[test]
+fn faults_change_traces_or_are_unexcited() {
+    forall_cfg(
+        "faults_change_traces_or_are_unexcited",
+        Config::with_cases(64),
+        |g| {
+            use simcov_dlx::ControlFault;
+            let prog = realize(&prog_recipe(g));
+            let mut golden = Pipeline::new(prog.clone());
+            let golden_events = golden.run_to_halt(50_000, 2_000);
+            for fault in ControlFault::ALL {
+                let mut faulty = Pipeline::new(prog.clone()).with_fault(fault);
+                let faulty_events = faulty.run_to_halt(50_000, 2_000);
+                // No assertion on inequality (the program may not excite the
+                // fault); but a *detected* difference must be a genuine
+                // divergence, not a panic or hang.
+                let _ = faulty_events == golden_events;
+            }
+        },
+    );
 }

@@ -127,7 +127,10 @@ pub fn derive_test_model() -> (Netlist, Vec<usize>) {
     counts.push(s2.stats().latches);
     // Step 3: one-hot -> binary re-encoding of the tap sequencer.
     let group: Vec<_> = (0..4)
-        .map(|i| s2.latch_by_name(&format!("tap[{i}]")).expect("tap latch present"))
+        .map(|i| {
+            s2.latch_by_name(&format!("tap[{i}]"))
+                .expect("tap latch present")
+        })
         .collect();
     let s3 = transform::reencode_onehot(&s2, &group, "tap_bin").expect("tap ring is one-hot");
     counts.push(s3.stats().latches);
@@ -156,8 +159,7 @@ pub fn valid_inputs(n: &Netlist) -> EnumerateOptions {
 mod tests {
     use super::*;
     use simcov_core::{
-        certify_completeness, enumerate_single_faults, extend_cyclically, run_campaign,
-        FaultSpace,
+        certify_completeness, enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace,
     };
     use simcov_fsm::enumerate_netlist;
     use simcov_netlist::SimState;
@@ -209,7 +211,10 @@ mod tests {
         let tour = transition_tour(&m).expect("tour");
         let faults = enumerate_single_faults(
             &m,
-            &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+            &FaultSpace {
+                max_faults: usize::MAX,
+                ..FaultSpace::default()
+            },
         );
         let tests = TestSet::single(extend_cyclically(&tour.inputs, cert.k));
         let report = run_campaign(&m, &faults, &tests);
@@ -231,7 +236,10 @@ mod tests {
                 break;
             }
         }
-        assert!(!certified, "bare DSP control should not certify without Req 5");
+        assert!(
+            !certified,
+            "bare DSP control should not certify without Req 5"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct FirSpec {
 impl FirSpec {
     /// A specification with the given coefficients and zeroed history.
     pub fn new(coeffs: [i32; 4]) -> Self {
-        FirSpec { coeffs, delay: [0; 4] }
+        FirSpec {
+            coeffs,
+            delay: [0; 4],
+        }
     }
 
     /// Clears the delay line.

@@ -1,30 +1,40 @@
-//! Property-based tests: the serial MAC against the convolution oracle.
+//! Property-based tests: the serial MAC against the convolution oracle,
+//! on the workspace's hermetic `forall` driver.
 
-use proptest::prelude::*;
+use simcov_core::testutil::{forall, Gen};
 use simcov_dsp::{DspFault, FirMac, FirSpec};
 
-proptest! {
-    /// The golden MAC equals direct convolution on arbitrary streams and
-    /// coefficient sets.
-    #[test]
-    fn mac_equals_convolution(
-        coeffs in proptest::array::uniform4(-1000..1000i32),
-        xs in proptest::collection::vec(-10_000..10_000i32, 0..40),
-    ) {
+fn coeffs4(g: &mut Gen, lo: i32, hi: i32) -> [i32; 4] {
+    [
+        g.int_in(lo..hi),
+        g.int_in(lo..hi),
+        g.int_in(lo..hi),
+        g.int_in(lo..hi),
+    ]
+}
+
+/// The golden MAC equals direct convolution on arbitrary streams and
+/// coefficient sets.
+#[test]
+fn mac_equals_convolution() {
+    forall("mac_equals_convolution", |g| {
+        let coeffs = coeffs4(g, -1000, 1000);
+        let xs: Vec<i32> = g.vec_of(0..40usize, |g| g.int_in(-10_000..10_000i32));
         let mut spec = FirSpec::new(coeffs);
         let mut mac = FirMac::new(coeffs);
         for &x in &xs {
-            prop_assert_eq!(mac.run_sample(x), spec.process(x));
+            assert_eq!(mac.run_sample(x), spec.process(x));
         }
-    }
+    });
+}
 
-    /// Oracle cross-check: the MAC output equals a directly computed dot
-    /// product over the last four samples.
-    #[test]
-    fn mac_equals_dot_product(
-        coeffs in proptest::array::uniform4(-100..100i32),
-        xs in proptest::collection::vec(-1000..1000i32, 4..24),
-    ) {
+/// Oracle cross-check: the MAC output equals a directly computed dot
+/// product over the last four samples.
+#[test]
+fn mac_equals_dot_product() {
+    forall("mac_equals_dot_product", |g| {
+        let coeffs = coeffs4(g, -100, 100);
+        let xs: Vec<i32> = g.vec_of(4..24usize, |g| g.int_in(-1000..1000i32));
         let mut mac = FirMac::new(coeffs);
         let mut ys = Vec::new();
         for &x in &xs {
@@ -34,43 +44,51 @@ proptest! {
             let expect: i32 = (0..4)
                 .map(|k| coeffs[k].wrapping_mul(xs[n - k]))
                 .fold(0i32, |a, b| a.wrapping_add(b));
-            prop_assert_eq!(ys[n], expect, "n={}", n);
+            assert_eq!(ys[n], expect, "n={n}");
         }
-    }
+    });
+}
 
-    /// Every injected fault either leaves a given stream's results intact
-    /// (unexcited) or produces a divergence — and for streams with at
-    /// least four nonzero samples, SkipTap2 always diverges.
-    #[test]
-    fn faults_diverge_when_excited(
-        xs in proptest::collection::vec(1..100i32, 4..16),
-    ) {
+/// Every injected fault either leaves a given stream's results intact
+/// (unexcited) or produces a divergence — and for streams with at
+/// least four nonzero samples, SkipTap2 always diverges.
+#[test]
+fn faults_diverge_when_excited() {
+    forall("faults_diverge_when_excited", |g| {
+        let xs: Vec<i32> = g.vec_of(4..16usize, |g| g.int_in(1..100i32));
         let coeffs = [1, 3, 3, 1];
         let golden: Vec<i32> = {
             let mut m = FirMac::new(coeffs);
             xs.iter().map(|&x| m.run_sample(x)).collect()
         };
-        for fault in [DspFault::SkipTap2, DspFault::OutValidEarly, DspFault::NoAccClear] {
+        for fault in [
+            DspFault::SkipTap2,
+            DspFault::OutValidEarly,
+            DspFault::NoAccClear,
+        ] {
             let bad: Vec<i32> = {
                 let mut m = FirMac::new(coeffs).with_fault(fault);
                 xs.iter().map(|&x| m.run_sample(x)).collect()
             };
-            prop_assert_ne!(&bad, &golden, "{:?} must corrupt positive streams", fault);
+            assert_ne!(&bad, &golden, "{fault:?} must corrupt positive streams");
         }
-    }
+    });
+}
 
-    /// Time-invariance: prepending zeros only delays the response.
-    #[test]
-    fn time_invariance(xs in proptest::collection::vec(-500..500i32, 1..12),
-                       delay in 1..4usize) {
+/// Time-invariance: prepending zeros only delays the response.
+#[test]
+fn time_invariance() {
+    forall("time_invariance", |g| {
+        let xs: Vec<i32> = g.vec_of(1..12usize, |g| g.int_in(-500..500i32));
+        let delay = g.int_in(1..4usize);
         let coeffs = [1, 3, 3, 1];
         let mut direct = FirMac::new(coeffs);
         let ys_direct: Vec<i32> = xs.iter().map(|&x| direct.run_sample(x)).collect();
         let mut delayed = FirMac::new(coeffs);
         for _ in 0..delay {
-            prop_assert_eq!(delayed.run_sample(0), 0);
+            assert_eq!(delayed.run_sample(0), 0);
         }
         let ys_delayed: Vec<i32> = xs.iter().map(|&x| delayed.run_sample(x)).collect();
-        prop_assert_eq!(ys_direct, ys_delayed);
-    }
+        assert_eq!(ys_direct, ys_delayed);
+    });
 }

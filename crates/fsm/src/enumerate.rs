@@ -49,7 +49,11 @@ impl EnumerateOptions {
                 inputs.push(vec);
             }
         }
-        EnumerateOptions { inputs, input_labels: None, max_states: 1 << 20 }
+        EnumerateOptions {
+            inputs,
+            input_labels: None,
+            max_states: 1 << 20,
+        }
     }
 }
 
@@ -92,7 +96,10 @@ impl std::fmt::Display for EnumerateError {
 impl std::error::Error for EnumerateError {}
 
 fn bits_label(bits: &[bool]) -> String {
-    bits.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+    bits.iter()
+        .rev()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect()
 }
 
 /// Enumerates the reachable state graph of `n` under the given valid input
@@ -155,9 +162,9 @@ pub fn enumerate_netlist(
         let sid = state_ids[&state];
         for (k, inp) in options.inputs.iter().enumerate() {
             let (next, outs) = n.step(&state, inp);
-            let osym = *out_syms.entry(outs.clone()).or_insert_with(|| {
-                b.add_output(bits_label(&outs))
-            });
+            let osym = *out_syms
+                .entry(outs.clone())
+                .or_insert_with(|| b.add_output(bits_label(&outs)));
             let nid = match state_ids.get(&next) {
                 Some(&id) => id,
                 None => {
@@ -175,7 +182,8 @@ pub fn enumerate_netlist(
             b.add_transition(sid, crate::explicit::InputSym(k as u32), nid, osym);
         }
     }
-    Ok(b.build(s0).expect("enumeration is deterministic by construction"))
+    Ok(b.build(s0)
+        .expect("enumeration is deterministic by construction"))
 }
 
 #[cfg(test)]
@@ -240,7 +248,11 @@ mod tests {
     #[test]
     fn error_on_empty_alphabet() {
         let n = counter2();
-        let opts = EnumerateOptions { inputs: vec![], input_labels: None, max_states: 10 };
+        let opts = EnumerateOptions {
+            inputs: vec![],
+            input_labels: None,
+            max_states: 10,
+        };
         assert_eq!(
             enumerate_netlist(&n, &opts).unwrap_err(),
             EnumerateError::EmptyAlphabet
@@ -257,7 +269,11 @@ mod tests {
         };
         assert!(matches!(
             enumerate_netlist(&n, &opts).unwrap_err(),
-            EnumerateError::BadInputWidth { want: 1, got: 2, .. }
+            EnumerateError::BadInputWidth {
+                want: 1,
+                got: 2,
+                ..
+            }
         ));
     }
 
@@ -279,6 +295,9 @@ mod tests {
         let mut fsm = crate::SymbolicFsm::from_netlist(&n);
         let r = fsm.reachable();
         assert_eq!(m.num_states() as u128, fsm.count_states(r.reached));
-        assert_eq!(m.num_transitions() as u128, fsm.count_transitions(r.reached));
+        assert_eq!(
+            m.num_transitions() as u128,
+            fsm.count_transitions(r.reached)
+        );
     }
 }

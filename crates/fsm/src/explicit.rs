@@ -123,7 +123,12 @@ impl MealyBuilder {
         next: StateId,
         output: OutputSym,
     ) -> &mut Self {
-        self.transitions.push(Transition { state, input, next, output });
+        self.transitions.push(Transition {
+            state,
+            input,
+            next,
+            output,
+        });
         self
     }
 
@@ -277,9 +282,9 @@ impl ExplicitMealy {
     /// `true` if every `(reachable state, input)` pair has a transition.
     pub fn is_complete_on_reachable(&self) -> bool {
         let ni = self.num_inputs();
-        self.reachable_states().into_iter().all(|s| {
-            (0..ni).all(|i| self.table[s.index() * ni + i].is_some())
-        })
+        self.reachable_states()
+            .into_iter()
+            .all(|s| (0..ni).all(|i| self.table[s.index() * ni + i].is_some()))
     }
 
     /// States reachable from reset, in BFS order.
@@ -346,11 +351,7 @@ impl ExplicitMealy {
     /// visited states (`len + 1` entries, starting with `from`) and the
     /// emitted outputs (`len` entries). Stops early at an undefined
     /// transition.
-    pub fn run(
-        &self,
-        from: StateId,
-        inputs: &[InputSym],
-    ) -> (Vec<StateId>, Vec<OutputSym>) {
+    pub fn run(&self, from: StateId, inputs: &[InputSym]) -> (Vec<StateId>, Vec<OutputSym>) {
         let mut states = vec![from];
         let mut outputs = Vec::with_capacity(inputs.len());
         let mut cur = from;
@@ -517,7 +518,10 @@ mod tests {
         assert_eq!(b.build(StateId(0)).unwrap_err(), BuildError::Empty);
         let mut b = MealyBuilder::new();
         let _ = b.add_state("s");
-        assert_eq!(b.build(StateId(5)).unwrap_err(), BuildError::BadReset(StateId(5)));
+        assert_eq!(
+            b.build(StateId(5)).unwrap_err(),
+            BuildError::BadReset(StateId(5))
+        );
     }
 
     #[test]

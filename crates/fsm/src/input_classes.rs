@@ -122,7 +122,12 @@ pub fn input_equivalence_classes(
     let valid_i = valid(&mut mgr, &input_var);
     // valid(i'): rename even input vars to odd.
     let map: Vec<(Var, Var)> = (0..ni)
-        .map(|k| (Var(nl as u32 + 2 * k as u32), Var(nl as u32 + 2 * k as u32 + 1)))
+        .map(|k| {
+            (
+                Var(nl as u32 + 2 * k as u32),
+                Var(nl as u32 + 2 * k as u32 + 1),
+            )
+        })
         .collect();
     let valid_ip = mgr.rename(valid_i, &map);
 
@@ -162,7 +167,12 @@ pub fn input_equivalence_classes(
     // Enumerate classes: peel one representative at a time.
     let i_vars: Vec<Var> = (0..ni).map(|k| Var(nl as u32 + 2 * k as u32)).collect();
     let back_map: Vec<(Var, Var)> = (0..ni)
-        .map(|k| (Var(nl as u32 + 2 * k as u32 + 1), Var(nl as u32 + 2 * k as u32)))
+        .map(|k| {
+            (
+                Var(nl as u32 + 2 * k as u32 + 1),
+                Var(nl as u32 + 2 * k as u32),
+            )
+        })
         .collect();
     let mut remaining = valid_i;
     let mut representatives = Vec::new();
@@ -171,7 +181,9 @@ pub fn input_equivalence_classes(
         if representatives.len() >= max_classes {
             return None;
         }
-        let mt = mgr.pick_minterm(remaining, &i_vars).expect("remaining satisfiable");
+        let mt = mgr
+            .pick_minterm(remaining, &i_vars)
+            .expect("remaining satisfiable");
         let rep: Vec<bool> = (0..ni)
             .map(|k| mt.polarity(Var(nl as u32 + 2 * k as u32)).unwrap_or(false))
             .collect();
@@ -190,18 +202,16 @@ pub fn input_equivalence_classes(
         let not_class = mgr.not(class_i);
         remaining = mgr.and(remaining, not_class);
     }
-    Some(InputClasses { representatives, class_sizes })
+    Some(InputClasses {
+        representatives,
+        class_sizes,
+    })
 }
 
 /// Reachability over the `x` variables of the dual-input manager: appends
 /// temporary next-state variables at the bottom of the order, computes
 /// the fixed point, and returns the set over `x`.
-fn reachable_over(
-    mgr: &mut BddManager,
-    netlist: &Netlist,
-    sig_a: &[Bdd],
-    valid_i: Bdd,
-) -> Bdd {
+fn reachable_over(mgr: &mut BddManager, netlist: &Netlist, sig_a: &[Bdd], valid_i: Bdd) -> Bdd {
     let nl = netlist.num_latches();
     let ni = netlist.num_inputs();
     let y_base = mgr.add_vars(nl as u32).0;
@@ -251,9 +261,7 @@ fn reachable_over(
             let cube = mgr.cube_from_vars(&now);
             cur = mgr.and_exists(cur, conj, cube);
         }
-        let map: Vec<(Var, Var)> = (0..nl as u32)
-            .map(|j| (Var(y_base + j), Var(j)))
-            .collect();
+        let map: Vec<(Var, Var)> = (0..nl as u32).map(|j| (Var(y_base + j), Var(j))).collect();
         let img = mgr.rename(cur, &map);
         let nr = mgr.not(reached);
         let new = mgr.and(img, nr);
@@ -307,11 +315,9 @@ mod tests {
         let nx = n.xor(qo, gate);
         n.set_latch_next(q, nx);
         n.add_output("o", qo);
-        let with_reach =
-            input_equivalence_classes(&n, |_, _| Bdd::TRUE, true, 100).unwrap();
+        let with_reach = input_equivalence_classes(&n, |_, _| Bdd::TRUE, true, 100).unwrap();
         assert_eq!(with_reach.len(), 1, "a is dead on reachable states");
-        let without =
-            input_equivalence_classes(&n, |_, _| Bdd::TRUE, false, 100).unwrap();
+        let without = input_equivalence_classes(&n, |_, _| Bdd::TRUE, false, 100).unwrap();
         assert_eq!(without.len(), 2, "a matters when p=1 states are included");
     }
 

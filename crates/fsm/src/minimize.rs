@@ -41,8 +41,7 @@ impl Minimized {
                 groups.entry(*c).or_default().push(StateId(s as u32));
             }
         }
-        let mut v: Vec<Vec<StateId>> =
-            groups.into_values().filter(|g| g.len() > 1).collect();
+        let mut v: Vec<Vec<StateId>> = groups.into_values().filter(|g| g.len() > 1).collect();
         v.sort_by_key(|g| g[0]);
         v
     }
@@ -110,11 +109,18 @@ pub fn minimize(m: &ExplicitMealy) -> Minimized {
         }
     }
     // Build the quotient machine.
-    let num_classes = class.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let num_classes = class
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
     let mut b = MealyBuilder::new();
     for c in 0..num_classes {
         // Label with a representative original state.
-        let rep = (0..n).find(|&s| class[s] as usize == c).expect("class non-empty");
+        let rep = (0..n)
+            .find(|&s| class[s] as usize == c)
+            .expect("class non-empty");
         b.add_state(format!("[{}]", m.state_label(reach[rep])));
     }
     for i in m.inputs() {
@@ -138,12 +144,18 @@ pub fn minimize(m: &ExplicitMealy) -> Minimized {
         }
     }
     let reset_class = StateId(class[idx_of[m.reset().index()]]);
-    let machine = b.build(reset_class).expect("quotient of a deterministic machine");
+    let machine = b
+        .build(reset_class)
+        .expect("quotient of a deterministic machine");
     let mut class_of = vec![None; m.num_states()];
     for (i, &s) in reach.iter().enumerate() {
         class_of[s.index()] = Some(class[i]);
     }
-    Minimized { machine, class_of, original_states: n }
+    Minimized {
+        machine,
+        class_of,
+        original_states: n,
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +205,11 @@ mod tests {
         let inputs = [a, c];
         for code in 0..(1 << 6) {
             let seq: Vec<_> = (0..6).map(|b| inputs[(code >> b) & 1]).collect();
-            assert_eq!(m.output_trace(&seq), r.machine.output_trace(&seq), "{code:b}");
+            assert_eq!(
+                m.output_trace(&seq),
+                r.machine.output_trace(&seq),
+                "{code:b}"
+            );
         }
     }
 

@@ -432,7 +432,7 @@ mod tests {
         let q = n.add_latch("q", false);
         let qo = n.latch_output(q);
         n.set_latch_next(q, qo); // q holds forever
-        // Output reveals q only when probe=1.
+                                 // Output reveals q only when probe=1.
         let o = n.and(qo, probe);
         n.add_output("o", o);
         n
@@ -483,8 +483,7 @@ mod tests {
             let n = sweep(&n);
             let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).unwrap();
             for k in 1..=4 {
-                let explicit =
-                    simcov_core_shim::forall_k_violations(&m, k);
+                let explicit = simcov_core_shim::forall_k_violations(&m, k);
                 let mut pf = PairFsm::from_netlist(&n);
                 let sym = pf.forall_k(&n.initial_state(), k, true);
                 assert_eq!(
@@ -515,10 +514,12 @@ mod tests {
                     next[pair(a, a)] = true;
                     for b in (a + 1)..n {
                         for i in 0..ni {
-                            let (na, oa) =
-                                m.step(reach[a], crate::explicit::InputSym(i as u32)).unwrap();
-                            let (nb, ob) =
-                                m.step(reach[b], crate::explicit::InputSym(i as u32)).unwrap();
+                            let (na, oa) = m
+                                .step(reach[a], crate::explicit::InputSym(i as u32))
+                                .unwrap();
+                            let (nb, ob) = m
+                                .step(reach[b], crate::explicit::InputSym(i as u32))
+                                .unwrap();
                             if oa == ob && e[pair(idx[na.index()], idx[nb.index()])] {
                                 next[pair(a, b)] = true;
                                 break;

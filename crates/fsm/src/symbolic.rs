@@ -87,9 +87,7 @@ impl SymbolicFsm {
         // Map each netlist signal to a BDD, in topological (index) order.
         let mut sig_bdd: Vec<Bdd> = Vec::new();
         for idx in 0.. {
-            let sig = match n
-                .node_at(idx)
-            {
+            let sig = match n.node_at(idx) {
                 Some(k) => k,
                 None => break,
             };
@@ -114,8 +112,7 @@ impl SymbolicFsm {
                     mgr.xor(a, b)
                 }
                 NodeKind::Mux(s, t, e) => {
-                    let (s, t, e) =
-                        (sig_bdd[s.index()], sig_bdd[t.index()], sig_bdd[e.index()]);
+                    let (s, t, e) = (sig_bdd[s.index()], sig_bdd[t.index()], sig_bdd[e.index()]);
                     mgr.ite(s, t, e)
                 }
             };
@@ -332,7 +329,10 @@ impl SymbolicFsm {
                 self.mgr.and(img, nr)
             };
             if new.is_false() {
-                return ReachResult { reached, iterations };
+                return ReachResult {
+                    reached,
+                    iterations,
+                };
             }
             reached = self.mgr.or(reached, new);
             frontier = new;
@@ -394,7 +394,6 @@ impl SymbolicFsm {
     }
 }
 
-
 /// Accumulates visited `(state, input)` pairs as a BDD — transition
 /// coverage measurement on models whose transition count (hundreds of
 /// millions here, as in the paper's Section 7.2) is far beyond explicit
@@ -407,7 +406,9 @@ pub struct CoverageAccumulator {
 impl CoverageAccumulator {
     /// An empty accumulator.
     pub fn new() -> Self {
-        CoverageAccumulator { visited: Bdd::FALSE }
+        CoverageAccumulator {
+            visited: Bdd::FALSE,
+        }
     }
 
     /// The characteristic function of the visited pairs.
@@ -480,7 +481,9 @@ mod tests {
     fn counter3() -> Netlist {
         let mut n = Netlist::new();
         let en = n.add_input("en");
-        let b: Vec<_> = (0..3).map(|i| n.add_latch(format!("b{i}"), false)).collect();
+        let b: Vec<_> = (0..3)
+            .map(|i| n.add_latch(format!("b{i}"), false))
+            .collect();
         let o: Vec<_> = b.iter().map(|&l| n.latch_output(l)).collect();
         // carry chain
         let mut carry = en;

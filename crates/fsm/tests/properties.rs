@@ -1,8 +1,12 @@
 //! Property-based tests: explicit/symbolic agreement on random netlists,
-//! and machine-level invariants.
+//! minimization invariants, and machine-level invariants — all on the
+//! workspace's hermetic `forall` driver.
 
-use proptest::prelude::*;
-use simcov_fsm::{enumerate_netlist, EnumerateOptions, PairFsm, SymbolicFsm};
+use simcov_core::testutil::{forall_cfg, Config, Gen};
+use simcov_fsm::{
+    enumerate_netlist, minimize, EnumerateOptions, ExplicitMealy, InputSym, MealyBuilder, PairFsm,
+    StateId, SymbolicFsm,
+};
 use simcov_netlist::{Netlist, SignalId};
 
 /// A recipe for a random well-formed netlist (operands resolved modulo
@@ -16,21 +20,21 @@ struct Recipe {
     output_picks: Vec<u16>,
 }
 
-fn recipe() -> impl Strategy<Value = Recipe> {
-    (
-        1..3usize,
-        proptest::collection::vec(any::<bool>(), 1..5),
-        proptest::collection::vec((0..5u8, any::<u16>(), any::<u16>(), any::<u16>()), 0..16),
-        proptest::collection::vec(any::<u16>(), 5),
-        proptest::collection::vec(any::<u16>(), 1..3),
-    )
-        .prop_map(|(num_inputs, latch_inits, gates, mut latch_next_picks, output_picks)| {
-            latch_next_picks.truncate(latch_inits.len());
-            while latch_next_picks.len() < latch_inits.len() {
-                latch_next_picks.push(3);
-            }
-            Recipe { num_inputs, latch_inits, gates, latch_next_picks, output_picks }
-        })
+fn recipe(g: &mut Gen) -> Recipe {
+    let num_inputs = g.int_in(1..3usize);
+    let latch_inits: Vec<bool> = (0..g.int_in(1..5usize)).map(|_| g.bool()).collect();
+    let gates = (0..g.int_in(0..16usize))
+        .map(|_| (g.int_in(0..5u8), g.u16(), g.u16(), g.u16()))
+        .collect();
+    let latch_next_picks = (0..latch_inits.len()).map(|_| g.u16()).collect();
+    let output_picks = (0..g.int_in(1..3usize)).map(|_| g.u16()).collect();
+    Recipe {
+        num_inputs,
+        latch_inits,
+        gates,
+        latch_next_picks,
+        output_picks,
+    }
 }
 
 fn build(r: &Recipe) -> Netlist {
@@ -71,93 +75,162 @@ fn build(r: &Recipe) -> Netlist {
     n
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random complete Mealy machine over a ring backbone, for
+/// minimization properties.
+fn random_mealy(g: &mut Gen) -> ExplicitMealy {
+    let n = g.int_in(2..10usize);
+    let ni = g.int_in(1..4usize);
+    let no = g.int_in(1..4usize);
+    let mut b = MealyBuilder::new();
+    let states: Vec<_> = (0..n).map(|i| b.add_state(format!("s{i}"))).collect();
+    let inputs: Vec<_> = (0..ni).map(|i| b.add_input(format!("i{i}"))).collect();
+    let outs: Vec<_> = (0..no).map(|i| b.add_output(format!("o{i}"))).collect();
+    for s in 0..n {
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..ni {
+            let dest = if i == 0 { (s + 1) % n } else { g.int_in(0..n) };
+            let out = g.int_in(0..no);
+            b.add_transition(states[s], inputs[i], states[dest], outs[out]);
+        }
+    }
+    b.build(states[0]).expect("complete machine")
+}
 
-    /// Explicit enumeration and symbolic reachability agree on state and
-    /// transition counts.
-    #[test]
-    fn explicit_symbolic_agree(r in recipe()) {
-        let n = build(&r);
+/// Explicit enumeration and symbolic reachability agree on state and
+/// transition counts.
+#[test]
+fn explicit_symbolic_agree() {
+    forall_cfg("explicit_symbolic_agree", Config::with_cases(48), |g| {
+        let n = build(&recipe(g));
         let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
         let mut fsm = SymbolicFsm::from_netlist(&n);
         let reach = fsm.reachable();
-        prop_assert_eq!(fsm.count_states(reach.reached), m.num_states() as u128);
-        prop_assert_eq!(fsm.count_transitions(reach.reached), m.num_transitions() as u128);
-    }
+        assert_eq!(fsm.count_states(reach.reached), m.num_states() as u128);
+        assert_eq!(
+            fsm.count_transitions(reach.reached),
+            m.num_transitions() as u128
+        );
+    });
+}
 
-    /// The symbolic pair analysis agrees with a brute-force pair check.
-    #[test]
-    fn pair_analysis_agrees_with_bruteforce(r in recipe(), k in 1..3usize) {
-        let n = build(&r);
-        let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
-        // Brute force E_k over the explicit machine.
-        let reach = m.reachable_states();
-        let nn = reach.len();
-        let ni = m.num_inputs();
-        let mut idx = vec![usize::MAX; m.num_states()];
-        for (i, &s) in reach.iter().enumerate() {
-            idx[s.index()] = i;
-        }
-        let pair = |a: usize, b: usize| if a <= b { a * nn + b } else { b * nn + a };
-        let mut e = vec![true; nn * nn];
-        for _ in 0..k {
-            let mut next = vec![false; nn * nn];
-            for a in 0..nn {
-                next[pair(a, a)] = true;
-                for b in (a + 1)..nn {
-                    for i in 0..ni {
-                        let (na, oa) = m.step(reach[a], simcov_fsm::InputSym(i as u32)).expect("complete");
-                        let (nb, ob) = m.step(reach[b], simcov_fsm::InputSym(i as u32)).expect("complete");
-                        if oa == ob && e[pair(idx[na.index()], idx[nb.index()])] {
-                            next[pair(a, b)] = true;
-                            break;
+/// The symbolic pair analysis agrees with a brute-force pair check.
+#[test]
+fn pair_analysis_agrees_with_bruteforce() {
+    forall_cfg(
+        "pair_analysis_agrees_with_bruteforce",
+        Config::with_cases(48),
+        |g| {
+            let n = build(&recipe(g));
+            let k = g.int_in(1..3usize);
+            let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
+            // Brute force E_k over the explicit machine.
+            let reach = m.reachable_states();
+            let nn = reach.len();
+            let ni = m.num_inputs();
+            let mut idx = vec![usize::MAX; m.num_states()];
+            for (i, &s) in reach.iter().enumerate() {
+                idx[s.index()] = i;
+            }
+            let pair = |a: usize, b: usize| if a <= b { a * nn + b } else { b * nn + a };
+            let mut e = vec![true; nn * nn];
+            for _ in 0..k {
+                let mut next = vec![false; nn * nn];
+                for a in 0..nn {
+                    next[pair(a, a)] = true;
+                    for b in (a + 1)..nn {
+                        for i in 0..ni {
+                            let (na, oa) = m.step(reach[a], InputSym(i as u32)).expect("complete");
+                            let (nb, ob) = m.step(reach[b], InputSym(i as u32)).expect("complete");
+                            if oa == ob && e[pair(idx[na.index()], idx[nb.index()])] {
+                                next[pair(a, b)] = true;
+                                break;
+                            }
                         }
                     }
                 }
+                e = next;
             }
-            e = next;
-        }
-        let mut brute = 0u128;
-        for a in 0..nn {
-            for b in (a + 1)..nn {
-                if e[pair(a, b)] {
-                    brute += 1;
+            let mut brute = 0u128;
+            for a in 0..nn {
+                for b in (a + 1)..nn {
+                    if e[pair(a, b)] {
+                        brute += 1;
+                    }
                 }
             }
-        }
-        let mut pf = PairFsm::from_netlist(&n);
-        let sym = pf.forall_k(&n.initial_state(), k, true);
-        prop_assert_eq!(sym.violating_pairs, brute);
-        prop_assert_eq!(sym.reachable_states, nn as u128);
-    }
+            let mut pf = PairFsm::from_netlist(&n);
+            let sym = pf.forall_k(&n.initial_state(), k, true);
+            assert_eq!(sym.violating_pairs, brute);
+            assert_eq!(sym.reachable_states, nn as u128);
+        },
+    );
+}
 
-    /// Machine mutations are involutive where expected: redirecting a
-    /// transition back restores the original machine.
-    #[test]
-    fn mutation_roundtrip(r in recipe(), s in any::<u16>(), i in any::<u16>()) {
-        let n = build(&r);
+/// Machine mutations are involutive where expected: redirecting a
+/// transition back restores the original machine.
+#[test]
+fn mutation_roundtrip() {
+    forall_cfg("mutation_roundtrip", Config::with_cases(48), |g| {
+        let n = build(&recipe(g));
         let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
-        let s = simcov_fsm::StateId(s as u32 % m.num_states() as u32);
-        let i = simcov_fsm::InputSym(i as u32 % m.num_inputs() as u32);
+        let s = StateId(g.u16() as u32 % m.num_states() as u32);
+        let i = InputSym(g.u16() as u32 % m.num_inputs() as u32);
         let (orig_next, _) = m.step(s, i).expect("complete");
-        let other = simcov_fsm::StateId((orig_next.0 + 1) % m.num_states() as u32);
+        let other = StateId((orig_next.0 + 1) % m.num_states() as u32);
         let mutated = m.with_redirected_transition(s, i, other);
         let restored = mutated.with_redirected_transition(s, i, orig_next);
-        prop_assert_eq!(&restored, &m);
-    }
+        assert_eq!(&restored, &m);
+    });
+}
 
-    /// DOT export is syntactically coherent (every reachable state and
-    /// transition appears).
-    #[test]
-    fn dot_mentions_everything(r in recipe()) {
-        let n = build(&r);
+/// DOT export is syntactically coherent (every reachable state and
+/// transition appears).
+#[test]
+fn dot_mentions_everything() {
+    forall_cfg("dot_mentions_everything", Config::with_cases(48), |g| {
+        let n = build(&recipe(g));
         let m = enumerate_netlist(&n, &EnumerateOptions::exhaustive(&n)).expect("enumerates");
         let dot = m.to_dot();
         for s in m.reachable_states() {
             let label = format!("s{}", s.0);
-            prop_assert!(dot.contains(&label));
+            assert!(dot.contains(&label));
         }
-        prop_assert!(dot.contains("init ->"));
-    }
+        assert!(dot.contains("init ->"));
+    });
+}
+
+/// Minimization preserves the machine's language: on random input words
+/// the minimized machine produces exactly the golden output trace, and
+/// every original state agrees with its equivalence-class representative.
+#[test]
+fn minimize_preserves_language() {
+    forall_cfg("minimize_preserves_language", Config::with_cases(48), |g| {
+        let m = random_mealy(g);
+        let min = minimize(&m);
+        assert!(min.machine.num_states() <= m.num_states());
+        // Random words from reset: identical output traces.
+        for _ in 0..8 {
+            let word: Vec<InputSym> =
+                g.vec_of(0..24usize, |g| InputSym(g.int_in(0..m.num_inputs() as u32)));
+            let (_, golden) = m.run(m.reset(), &word);
+            let (_, reduced) = min.machine.run(min.machine.reset(), &word);
+            assert_eq!(
+                golden, reduced,
+                "word {word:?} distinguishes machine from its quotient"
+            );
+        }
+        // Classwise: every reachable original state behaves like its class.
+        for s in m.reachable_states() {
+            let class = min.class_of[s.index()].expect("reachable states have a class");
+            let word: Vec<InputSym> =
+                g.vec_of(0..12usize, |g| InputSym(g.int_in(0..m.num_inputs() as u32)));
+            let (_, from_orig) = m.run(s, &word);
+            let (_, from_class) = min.machine.run(StateId(class), &word);
+            assert_eq!(
+                from_orig, from_class,
+                "state s{} deviates from its class",
+                s.0
+            );
+        }
+    });
 }

@@ -59,7 +59,11 @@ impl std::error::Error for BlifError {}
 
 fn net_name(kind: NodeKind, n: &Netlist, idx: usize) -> String {
     match kind {
-        NodeKind::Input(i) => n.input_names().nth(i.index()).expect("input exists").to_string(),
+        NodeKind::Input(i) => n
+            .input_names()
+            .nth(i.index())
+            .expect("input exists")
+            .to_string(),
         NodeKind::LatchOut(l) => format!("L_{}", sanitize(&n.latches()[l.index()].name)),
         _ => format!("n{idx}"),
     }
@@ -67,7 +71,13 @@ fn net_name(kind: NodeKind, n: &Netlist, idx: usize) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_whitespace() || c == '\\' { '_' } else { c })
+        .map(|c| {
+            if c.is_whitespace() || c == '\\' {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect()
 }
 
@@ -196,12 +206,12 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
     let mut covers: HashMap<String, Cover> = HashMap::new();
     let mut current: Option<(String, Cover)> = None;
 
-    let finish_cover =
-        |current: &mut Option<(String, Cover)>, covers: &mut HashMap<String, Cover>| {
-            if let Some((name, cover)) = current.take() {
-                covers.insert(name, cover);
-            }
-        };
+    let finish_cover = |current: &mut Option<(String, Cover)>,
+                        covers: &mut HashMap<String, Cover>| {
+        if let Some((name, cover)) = current.take() {
+            covers.insert(name, cover);
+        }
+    };
 
     for (lineno, line) in &lines {
         let toks: Vec<&str> = line.split_whitespace().collect();
@@ -252,10 +262,17 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                     });
                 }
                 let output = toks.last().expect("len checked").to_string();
-                let ins = toks[1..toks.len() - 1].iter().map(|s| s.to_string()).collect();
+                let ins = toks[1..toks.len() - 1]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
                 current = Some((
                     output,
-                    Cover { inputs: ins, rows: Vec::new(), const_one: false },
+                    Cover {
+                        inputs: ins,
+                        rows: Vec::new(),
+                        const_one: false,
+                    },
                 ));
             }
             ".end" => {

@@ -68,7 +68,9 @@ impl Word {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, lo: usize, width: usize) -> Word {
-        Word { bits: self.bits[lo..lo + width].to_vec() }
+        Word {
+            bits: self.bits[lo..lo + width].to_vec(),
+        }
     }
 
     /// Equality with a constant: `∧_i (bit_i == value_i)`.

@@ -400,12 +400,7 @@ impl Netlist {
         let next = self
             .latches
             .iter()
-            .map(|l| {
-                vals[l
-                    .next
-                    .expect("latch has no next-state function")
-                    .index()]
-            })
+            .map(|l| vals[l.next.expect("latch has no next-state function").index()])
             .collect();
         let outs = self.outputs.iter().map(|&(_, s)| vals[s.index()]).collect();
         (next, outs)
@@ -418,7 +413,10 @@ impl Netlist {
         let mut problems = Vec::new();
         for (i, l) in self.latches.iter().enumerate() {
             if l.next.is_none() {
-                problems.push(format!("latch #{i} `{}` has no next-state function", l.name));
+                problems.push(format!(
+                    "latch #{i} `{}` has no next-state function",
+                    l.name
+                ));
             }
         }
         let n = self.nodes.len() as u32;
@@ -474,7 +472,10 @@ pub struct SimState {
 impl SimState {
     /// Starts a simulation from the power-on state of `n`.
     pub fn new(n: &Netlist) -> Self {
-        SimState { state: n.initial_state(), cycle: 0 }
+        SimState {
+            state: n.initial_state(),
+            cycle: 0,
+        }
     }
 
     /// The current state vector (one bool per latch).
@@ -596,7 +597,10 @@ mod tests {
             n.set_latch_next(l, t);
         }
         assert_eq!(n.module_latches("fetch"), vec![a, c]);
-        assert_eq!(n.module_names(), vec!["fetch".to_string(), "decode".to_string()]);
+        assert_eq!(
+            n.module_names(),
+            vec!["fetch".to_string(), "decode".to_string()]
+        );
         assert_eq!(n.latch_by_name("y"), Some(b));
         assert_eq!(n.latch_by_name("nope"), None);
     }

@@ -45,6 +45,4 @@ pub mod transform;
 
 pub use blif::{from_blif, to_blif, BlifError};
 pub use build::Word;
-pub use circuit::{
-    InputId, Latch, LatchId, Netlist, NetlistStats, NodeKind, SignalId, SimState,
-};
+pub use circuit::{InputId, Latch, LatchId, Netlist, NetlistStats, NodeKind, SignalId, SimState};

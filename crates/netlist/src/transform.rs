@@ -120,13 +120,8 @@ impl<'a> Rewriter<'a> {
         let mut group_handles = Vec::new();
         for g in groups {
             let width = bits_for(g.members.len() as u64);
-            let (word, handle) = crate::build::Word::register(
-                &mut dst,
-                &g.new_name,
-                width,
-                g.init_index,
-                &g.module,
-            );
+            let (word, handle) =
+                crate::build::Word::register(&mut dst, &g.new_name, width, g.init_index, &g.module);
             // Decode expressions for each member.
             for (idx, &m) in g.members.iter().enumerate() {
                 let dec = word.eq_const(&mut dst, idx as u64);
@@ -388,7 +383,10 @@ fn apply_plans(
 /// Removes the latches selected by `pred`; their outputs become fresh
 /// primary inputs named `cut:<latch name>` (the paper's semantics for
 /// signals crossing the abstraction boundary), then sweeps.
-pub fn abstract_latches(src: &Netlist, pred: impl Fn(LatchId, &crate::circuit::Latch) -> bool) -> Netlist {
+pub fn abstract_latches(
+    src: &Netlist,
+    pred: impl Fn(LatchId, &crate::circuit::Latch) -> bool,
+) -> Netlist {
     let plans = src
         .latches()
         .iter()
@@ -419,7 +417,10 @@ pub fn remove_module(src: &Netlist, module: &str) -> Netlist {
 ///
 /// Panics if a bypassed latch's next function depends (combinationally,
 /// through other bypassed latches) on itself.
-pub fn bypass_latches(src: &Netlist, pred: impl Fn(LatchId, &crate::circuit::Latch) -> bool) -> Netlist {
+pub fn bypass_latches(
+    src: &Netlist,
+    pred: impl Fn(LatchId, &crate::circuit::Latch) -> bool,
+) -> Netlist {
     let plans = src
         .latches()
         .iter()
@@ -562,8 +563,7 @@ pub fn tie_inputs(src: &Netlist, names: &[&str], value: bool) -> Netlist {
 /// just syntactically-constant next functions.
 pub fn fold_constant_latches(src: &Netlist) -> Netlist {
     // assumed[l] = Some(init) while latch l is still assumed stuck.
-    let mut assumed: Vec<Option<bool>> =
-        src.latches().iter().map(|l| Some(l.init)).collect();
+    let mut assumed: Vec<Option<bool>> = src.latches().iter().map(|l| Some(l.init)).collect();
     loop {
         let mut changed = false;
         for l in 0..src.num_latches() {
@@ -678,7 +678,9 @@ pub fn reencode_onehot(
         .map(|(i, _)| i)
         .collect();
     if hot.len() != 1 {
-        return Err(ReencodeError::BadInit { hot_count: hot.len() });
+        return Err(ReencodeError::BadInit {
+            hot_count: hot.len(),
+        });
     }
     let module = src.latches()[group[0].index()].module.clone();
     let groups = vec![OneHotGroup {

@@ -1,7 +1,8 @@
 //! Property-based tests: structural transforms preserve observable
-//! behaviour on random netlists.
+//! behaviour on random netlists, on the workspace's hermetic `forall`
+//! driver.
 
-use proptest::prelude::*;
+use simcov_core::testutil::{forall_cfg, Config, Gen};
 use simcov_netlist::{transform, Netlist, SignalId, SimState};
 
 /// A recipe for a random netlist: gate opcodes and operand picks are
@@ -16,23 +17,21 @@ struct Recipe {
     output_picks: Vec<u16>,
 }
 
-fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    (
-        1..4usize,
-        proptest::collection::vec(any::<bool>(), 1..6),
-        proptest::collection::vec((0..5u8, any::<u16>(), any::<u16>(), any::<u16>()), 0..24),
-        proptest::collection::vec(any::<u16>(), 1..6),
-        proptest::collection::vec(any::<u16>(), 1..4),
-    )
-        .prop_map(
-            |(num_inputs, latch_inits, gates, mut latch_next_picks, output_picks)| {
-                latch_next_picks.truncate(latch_inits.len());
-                while latch_next_picks.len() < latch_inits.len() {
-                    latch_next_picks.push(7);
-                }
-                Recipe { num_inputs, latch_inits, gates, latch_next_picks, output_picks }
-            },
-        )
+fn recipe(g: &mut Gen) -> Recipe {
+    let num_inputs = g.int_in(1..4usize);
+    let latch_inits: Vec<bool> = (0..g.int_in(1..6usize)).map(|_| g.bool()).collect();
+    let gates = (0..g.int_in(0..24usize))
+        .map(|_| (g.int_in(0..5u8), g.u16(), g.u16(), g.u16()))
+        .collect();
+    let latch_next_picks = (0..latch_inits.len()).map(|_| g.u16()).collect();
+    let output_picks = (0..g.int_in(1..4usize)).map(|_| g.u16()).collect();
+    Recipe {
+        num_inputs,
+        latch_inits,
+        gates,
+        latch_next_picks,
+        output_picks,
+    }
 }
 
 fn build(r: &Recipe) -> Netlist {
@@ -45,7 +44,13 @@ fn build(r: &Recipe) -> Netlist {
         .latch_inits
         .iter()
         .enumerate()
-        .map(|(i, &init)| n.add_latch_in(format!("q{i}"), init, if i % 2 == 0 { "even" } else { "odd" }))
+        .map(|(i, &init)| {
+            n.add_latch_in(
+                format!("q{i}"),
+                init,
+                if i % 2 == 0 { "even" } else { "odd" },
+            )
+        })
         .collect();
     for &l in &latches {
         pool.push(n.latch_output(l));
@@ -82,7 +87,9 @@ fn input_stream(n: &Netlist, seed: u64, len: usize) -> Vec<Vec<bool>> {
         .map(|_| {
             (0..n.num_inputs())
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     (state >> 33) & 1 == 1
                 })
                 .collect()
@@ -95,15 +102,14 @@ fn trace(n: &Netlist, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
     inputs.iter().map(|v| sim.step(n, v)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Sweeping never changes observable behaviour.
-    #[test]
-    fn sweep_preserves_traces(r in recipe_strategy(), seed in any::<u64>()) {
-        let n = build(&r);
+/// Sweeping never changes observable behaviour.
+#[test]
+fn sweep_preserves_traces() {
+    forall_cfg("sweep_preserves_traces", Config::with_cases(64), |g| {
+        let n = build(&recipe(g));
+        let seed = g.u64();
         let swept = transform::sweep(&n);
-        prop_assert!(swept.stats().latches <= n.stats().latches);
+        assert!(swept.stats().latches <= n.stats().latches);
         let stim_a = input_stream(&n, seed, 16);
         // The swept netlist may have fewer inputs; map by name.
         let stim_b: Vec<Vec<bool>> = stim_a
@@ -118,63 +124,86 @@ proptest! {
                     .collect()
             })
             .collect();
-        prop_assert_eq!(trace(&n, &stim_a), trace(&swept, &stim_b));
-    }
+        assert_eq!(trace(&n, &stim_a), trace(&swept, &stim_b));
+    });
+}
 
-    /// Constant-latch folding never changes observable behaviour (it only
-    /// removes provably-stuck latches).
-    #[test]
-    fn fold_constant_latches_preserves_traces(r in recipe_strategy(), seed in any::<u64>()) {
-        let n = build(&r);
-        let folded = transform::fold_constant_latches(&n);
-        prop_assert!(folded.stats().latches <= n.stats().latches);
-        let stim_a = input_stream(&n, seed, 16);
-        let stim_b: Vec<Vec<bool>> = stim_a
-            .iter()
-            .map(|v| {
-                folded
-                    .input_names()
-                    .map(|name| {
-                        let idx = n.input_by_name(name).expect("kept input exists").index();
-                        v[idx]
-                    })
-                    .collect()
-            })
-            .collect();
-        prop_assert_eq!(trace(&n, &stim_a), trace(&folded, &stim_b));
-    }
+/// Constant-latch folding never changes observable behaviour (it only
+/// removes provably-stuck latches).
+#[test]
+fn fold_constant_latches_preserves_traces() {
+    forall_cfg(
+        "fold_constant_latches_preserves_traces",
+        Config::with_cases(64),
+        |g| {
+            let n = build(&recipe(g));
+            let seed = g.u64();
+            let folded = transform::fold_constant_latches(&n);
+            assert!(folded.stats().latches <= n.stats().latches);
+            let stim_a = input_stream(&n, seed, 16);
+            let stim_b: Vec<Vec<bool>> = stim_a
+                .iter()
+                .map(|v| {
+                    folded
+                        .input_names()
+                        .map(|name| {
+                            let idx = n.input_by_name(name).expect("kept input exists").index();
+                            v[idx]
+                        })
+                        .collect()
+                })
+                .collect();
+            assert_eq!(trace(&n, &stim_a), trace(&folded, &stim_b));
+        },
+    );
+}
 
-    /// tie_inputs equals driving those inputs with the constant.
-    #[test]
-    fn tie_inputs_matches_constant_stimulus(r in recipe_strategy(), seed in any::<u64>()) {
-        let n = build(&r);
-        let tied = transform::tie_inputs(&n, &["i0"], false);
-        let stim: Vec<Vec<bool>> = input_stream(&n, seed, 16)
-            .into_iter()
-            .map(|mut v| { v[0] = false; v })
-            .collect();
-        let stim_tied: Vec<Vec<bool>> = stim
-            .iter()
-            .map(|v| {
-                tied.input_names()
-                    .map(|name| {
-                        let idx = n.input_by_name(name).expect("kept input exists").index();
-                        v[idx]
-                    })
-                    .collect()
-            })
-            .collect();
-        prop_assert_eq!(trace(&n, &stim), trace(&tied, &stim_tied));
-    }
+/// tie_inputs equals driving those inputs with the constant.
+#[test]
+fn tie_inputs_matches_constant_stimulus() {
+    forall_cfg(
+        "tie_inputs_matches_constant_stimulus",
+        Config::with_cases(64),
+        |g| {
+            let n = build(&recipe(g));
+            let seed = g.u64();
+            let tied = transform::tie_inputs(&n, &["i0"], false);
+            let stim: Vec<Vec<bool>> = input_stream(&n, seed, 16)
+                .into_iter()
+                .map(|mut v| {
+                    v[0] = false;
+                    v
+                })
+                .collect();
+            let stim_tied: Vec<Vec<bool>> = stim
+                .iter()
+                .map(|v| {
+                    tied.input_names()
+                        .map(|name| {
+                            let idx = n.input_by_name(name).expect("kept input exists").index();
+                            v[idx]
+                        })
+                        .collect()
+                })
+                .collect();
+            assert_eq!(trace(&n, &stim), trace(&tied, &stim_tied));
+        },
+    );
+}
 
-    /// Hash-consing invariant: evaluating all nodes never panics and the
-    /// structural checker accepts every built netlist.
-    #[test]
-    fn built_netlists_are_well_formed(r in recipe_strategy()) {
-        let n = build(&r);
-        prop_assert!(n.check().is_empty());
-        let zeros_s = vec![false; n.num_latches()];
-        let zeros_i = vec![false; n.num_inputs()];
-        let _ = n.eval_all(&zeros_s, &zeros_i);
-    }
+/// Hash-consing invariant: evaluating all nodes never panics and the
+/// structural checker accepts every built netlist.
+#[test]
+fn built_netlists_are_well_formed() {
+    forall_cfg(
+        "built_netlists_are_well_formed",
+        Config::with_cases(64),
+        |g| {
+            let n = build(&recipe(g));
+            assert!(n.check().is_empty());
+            let zeros_s = vec![false; n.num_latches()];
+            let zeros_i = vec![false; n.num_inputs()];
+            let _ = n.eval_all(&zeros_s, &zeros_i);
+        },
+    );
 }

@@ -1,0 +1,317 @@
+//! A miniature property-based testing driver.
+//!
+//! `proptest`-style workflow with a fraction of the machinery: a property
+//! is a closure over a [`Gen`] handle that draws a pseudo-random test
+//! case and asserts with the standard `assert!` family. [`forall`] runs
+//! the closure over a deterministic seed schedule derived from the
+//! property name; on failure it *shrinks by halving* — the same seed is
+//! replayed with every ranged draw's width cut in half, quartered, and
+//! so on, pulling the case toward the smallest machines / shortest
+//! vectors / least extreme values that still fail — and reports the
+//! seed + shrink denominator of the minimal failing case so it can be
+//! replayed with [`Gen::with_shrink`].
+//!
+//! ```
+//! use simcov_prng::{forall, Gen};
+//!
+//! forall("addition_commutes", |g: &mut Gen| {
+//!     let a = g.int_in(0..1000u32);
+//!     let b = g.int_in(0..1000u32);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Case generation is fully deterministic: no clocks, no global state,
+//! no environment. Re-running a test binary replays the identical case
+//! schedule, which keeps CI hermetic and failures reproducible.
+
+use crate::{Prng, SplitMix64, UniformInt};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Driver configuration for [`forall_cfg`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of pseudo-random cases to run (default 64).
+    pub cases: usize,
+    /// Maximum number of halvings attempted while shrinking (default 16,
+    /// i.e. ranged widths shrink down to 1/65536 of their span).
+    pub max_halvings: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_halvings: 16,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases (shorthand used by the
+    /// workspace's property tests, mirroring
+    /// `ProptestConfig::with_cases`).
+    pub fn with_cases(cases: usize) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// The per-case generation handle handed to properties.
+///
+/// Raw draws ([`bool`](Gen::bool), [`u16`](Gen::u16), …) are full-width
+/// entropy; ranged draws ([`int_in`](Gen::int_in)) respect the current
+/// shrink denominator, collapsing toward the range start as the driver
+/// halves the case.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: Prng,
+    shrink_den: u64,
+}
+
+impl Gen {
+    /// A fresh unshrunk generator (shrink denominator 1).
+    pub fn new(seed: u64) -> Self {
+        Gen::with_shrink(seed, 1)
+    }
+
+    /// Replays the case `seed` at a specific shrink denominator, exactly
+    /// as the driver does — use with the values printed in a failure
+    /// message to reproduce a minimal counterexample under a debugger.
+    pub fn with_shrink(seed: u64, shrink_den: u64) -> Self {
+        Gen {
+            rng: Prng::seed_from_u64(seed),
+            shrink_den: shrink_den.max(1),
+        }
+    }
+
+    /// The active shrink denominator (1 = the original, unshrunk case).
+    pub fn shrink_den(&self) -> u64 {
+        self.shrink_den
+    }
+
+    /// Direct access to the underlying generator for distributions the
+    /// handle doesn't wrap (shuffles, Bernoulli draws, …).
+    pub fn rng(&mut self) -> &mut Prng {
+        &mut self.rng
+    }
+
+    /// Full-entropy boolean.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Full-entropy `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// Full-entropy `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.rng.next_u64() as u16
+    }
+
+    /// Full-entropy `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Full-entropy `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform draw from `[range.start, range.end)`, with the width
+    /// divided by the shrink denominator (never below 1): shrunk replays
+    /// draw from a narrower band hugging the range start, so collection
+    /// lengths and magnitudes fall as the driver halves the case.
+    pub fn int_in<T: UniformInt + ShrinkBound>(&mut self, range: std::ops::Range<T>) -> T {
+        let hi = T::shrunk_hi(range.start, range.end, self.shrink_den);
+        self.rng.gen_range(range.start..hi)
+    }
+
+    /// A vector of `int_in(len_range)` elements, each produced by `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        len_range: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.int_in(len_range);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Integer types that know how to halve their range width for shrinking.
+pub trait ShrinkBound: Copy {
+    /// `lo + max(1, (hi - lo) / den)`, saturating at `hi`.
+    fn shrunk_hi(lo: Self, hi: Self, den: u64) -> Self;
+}
+
+macro_rules! impl_shrink_bound {
+    ($($t:ty => $u:ty),*) => {$(
+        impl ShrinkBound for $t {
+            fn shrunk_hi(lo: Self, hi: Self, den: u64) -> Self {
+                assert!(lo < hi, "int_in called with an empty range");
+                let width = (hi as $u).wrapping_sub(lo as $u) as u64;
+                let shrunk = (width / den).max(1);
+                lo.wrapping_add(shrunk as $t)
+            }
+        }
+    )*};
+}
+
+impl_shrink_bound!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                   i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Runs `prop` over [`Config::default`]'s worth of cases. See the module
+/// docs for the workflow; panics (failing the enclosing `#[test]`) with
+/// the minimal shrunk case on the first property violation.
+pub fn forall(name: &str, prop: impl Fn(&mut Gen)) {
+    forall_cfg(name, Config::default(), prop);
+}
+
+/// [`forall`] with an explicit [`Config`].
+pub fn forall_cfg(name: &str, cfg: Config, prop: impl Fn(&mut Gen)) {
+    let base = fnv1a(name.as_bytes());
+    for case in 0..cfg.cases {
+        // One SplitMix64 step decorrelates consecutive case indices.
+        let seed = SplitMix64::new(base.wrapping_add(case as u64)).next_u64();
+        let Some(original) = run_case(&prop, seed, 1) else {
+            continue;
+        };
+        // Shrink by halving: replay the same seed with ranged widths
+        // divided by 2, 4, 8, … while the property still fails.
+        let mut minimal = (1u64, original);
+        let mut den = 2u64;
+        for _ in 0..cfg.max_halvings {
+            match run_case(&prop, seed, den) {
+                Some(msg) => {
+                    minimal = (den, msg);
+                    den *= 2;
+                }
+                None => break,
+            }
+        }
+        panic!(
+            "property `{name}` failed at case {case}/{} \
+             (seed {seed:#018x}, shrink denominator {})\n\
+             replay with: Gen::with_shrink({seed:#018x}, {})\n{}",
+            cfg.cases, minimal.0, minimal.0, minimal.1
+        );
+    }
+}
+
+/// Runs one case; `Some(message)` if the property panicked.
+fn run_case(prop: &impl Fn(&mut Gen), seed: u64, den: u64) -> Option<String> {
+    let mut g = Gen::with_shrink(seed, den);
+    catch_unwind(AssertUnwindSafe(|| prop(&mut g)))
+        .err()
+        .map(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            }
+        })
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        forall_cfg("always_true", Config::with_cases(10), |g| {
+            count.set(count.get() + 1);
+            let x = g.int_in(0..100u32);
+            assert!(x < 100);
+        });
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_info() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            forall_cfg("always_false", Config::with_cases(5), |g| {
+                let _ = g.u16();
+                panic!("intentional");
+            });
+        }));
+        let msg = r.unwrap_err();
+        let msg = msg.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_false"), "{msg}");
+        assert!(msg.contains("replay with"), "{msg}");
+        assert!(msg.contains("intentional"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_reduces_the_counterexample() {
+        // Property failing for any v >= 10: the shrunk case must report a
+        // much smaller width than an unshrunk draw from 0..10_000 would
+        // typically produce.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            forall_cfg("shrinks", Config::with_cases(20), |g| {
+                let v = g.int_in(0..10_000u32);
+                assert!(v < 10, "v={v}");
+            });
+        }));
+        let msg = r.unwrap_err();
+        let msg = msg.downcast_ref::<String>().expect("string panic");
+        // With width/den < 10 the property passes, so the minimal failing
+        // denominator leaves a width in [10, 20): v is at most 19.
+        let v: u32 = msg
+            .rsplit("v=")
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .expect("message carries v");
+        assert!(
+            v < 20,
+            "shrinking should land just above the threshold: {msg}"
+        );
+    }
+
+    #[test]
+    fn int_in_respects_shrink_denominator() {
+        let mut g = Gen::with_shrink(99, 1 << 20);
+        for _ in 0..100 {
+            // Width 1000 / 2^20 floors to 0, clamps to 1: always lo.
+            assert_eq!(g.int_in(5..1005i32), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_schedule() {
+        let first: std::cell::RefCell<Vec<u64>> = Default::default();
+        forall_cfg("schedule", Config::with_cases(4), |g| {
+            first.borrow_mut().push(g.u64())
+        });
+        let second: std::cell::RefCell<Vec<u64>> = Default::default();
+        forall_cfg("schedule", Config::with_cases(4), |g| {
+            second.borrow_mut().push(g.u64())
+        });
+        assert_eq!(first.into_inner(), second.into_inner());
+    }
+
+    #[test]
+    fn vec_of_length_within_range() {
+        let mut g = Gen::new(1);
+        for _ in 0..50 {
+            let v = g.vec_of(2..9, |g| g.bool());
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+}

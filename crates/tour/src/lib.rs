@@ -56,5 +56,5 @@ pub use greedy::{greedy_transition_tour, state_tour};
 pub use postman::{transition_tour, Tour, TourError};
 pub use random::{random_test_set, TestSet};
 pub use uio::{uio_sequence, uio_test_set, UioError};
-pub use verify::{coverage, coverage_set, CoverageReport};
+pub use verify::{coverage, coverage_set, coverage_set_jobs, CoverageReport};
 pub use wmethod::{characterization_set, w_method_test_set, WMethodError};

@@ -36,7 +36,12 @@ impl Tour {
 
 impl fmt::Display for Tour {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tour of length {} ({} duplicates)", self.len(), self.duplicates)
+        write!(
+            f,
+            "tour of length {} ({} duplicates)",
+            self.len(),
+            self.duplicates
+        )
     }
 }
 
@@ -186,7 +191,10 @@ pub fn transition_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
     }
     let inputs = hierholzer(&multi, g.root);
     debug_assert_eq!(inputs.len(), g.num_edges() + duplicates as usize);
-    Ok(Tour { inputs, duplicates: duplicates as usize })
+    Ok(Tour {
+        inputs,
+        duplicates: duplicates as usize,
+    })
 }
 
 /// Minimum-cost transportation: route `balance > 0` supply to
@@ -467,7 +475,10 @@ mod tests {
         b.add_transition(s0, a, sink, o);
         b.add_transition(sink, a, sink, o);
         let m = b.build(s0).unwrap();
-        assert_eq!(transition_tour(&m).unwrap_err(), TourError::NotStronglyConnected);
+        assert_eq!(
+            transition_tour(&m).unwrap_err(),
+            TourError::NotStronglyConnected
+        );
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Random-walk test sets: the conventional-simulation baseline the hybrid
 //! methodology is compared against.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simcov_fsm::{ExplicitMealy, InputSym};
+use simcov_prng::Prng;
 
 /// A test set: one or more input sequences, each applied from reset
 /// (matching the paper's note that a test set consists of test vector
@@ -17,7 +16,9 @@ pub struct TestSet {
 impl TestSet {
     /// A test set holding a single sequence.
     pub fn single(seq: Vec<InputSym>) -> Self {
-        TestSet { sequences: vec![seq] }
+        TestSet {
+            sequences: vec![seq],
+        }
     }
 
     /// Total number of vectors across all sequences.
@@ -38,7 +39,9 @@ impl TestSet {
 
 impl FromIterator<Vec<InputSym>> for TestSet {
     fn from_iter<T: IntoIterator<Item = Vec<InputSym>>>(iter: T) -> Self {
-        TestSet { sequences: iter.into_iter().collect() }
+        TestSet {
+            sequences: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -60,7 +63,7 @@ pub fn random_test_set(
     length: usize,
     seed: u64,
 ) -> TestSet {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let ni = m.num_inputs() as u32;
     let mut sequences = Vec::with_capacity(num_sequences);
     for _ in 0..num_sequences {

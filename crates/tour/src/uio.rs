@@ -86,7 +86,9 @@ pub fn uio_sequence(
         }
         let node = nodes[idx].clone();
         for i in m.inputs() {
-            let Some((next, out)) = m.step(node.cur, i) else { continue };
+            let Some((next, out)) = m.step(node.cur, i) else {
+                continue;
+            };
             let mut impostors = Vec::new();
             let mut dead_end = false;
             for &t in &node.impostors {
@@ -109,7 +111,10 @@ pub fn uio_sequence(
             // Canonicalize impostor multiset for pruning.
             impostors.sort_unstable();
             impostors.dedup();
-            let child = Node { cur: next, impostors };
+            let child = Node {
+                cur: next,
+                impostors,
+            };
             if child.impostors.is_empty() {
                 // Reconstruct the sequence.
                 let mut seq = vec![i];
@@ -163,7 +168,9 @@ pub fn uio_test_set(m: &ExplicitMealy, max_uio_len: usize) -> Result<TestSet, Ui
     let mut sequences = Vec::new();
     for &s in &reach {
         for i in m.inputs() {
-            let Some((next, _)) = m.step(s, i) else { continue };
+            let Some((next, _)) = m.step(s, i) else {
+                continue;
+            };
             let uio = uios
                 .entry(next)
                 .or_insert_with(|| uio_sequence(m, next, max_uio_len, 200_000));
@@ -267,9 +274,10 @@ mod tests {
                         continue;
                     }
                     let bad = m.with_redirected_transition(s, i, t);
-                    let detected = ts.sequences.iter().any(|seq| {
-                        m.output_trace(seq) != bad.output_trace(seq)
-                    });
+                    let detected = ts
+                        .sequences
+                        .iter()
+                        .any(|seq| m.output_trace(seq) != bad.output_trace(seq));
                     assert!(detected, "transfer ({s:?},{i:?})->{t:?} must be caught");
                 }
             }

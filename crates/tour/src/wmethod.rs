@@ -225,8 +225,7 @@ mod tests {
                 }
                 for o in 0..m.num_outputs() as u32 {
                     if o != out.0 {
-                        let bad =
-                            m.with_changed_output(s, i, simcov_fsm::OutputSym(o));
+                        let bad = m.with_changed_output(s, i, simcov_fsm::OutputSym(o));
                         let caught = ts
                             .sequences
                             .iter()

@@ -1,11 +1,9 @@
 //! Property-based tests for tour generation on random strongly connected
-//! machines.
+//! machines, on the workspace's hermetic `forall` driver.
 
-use proptest::prelude::*;
+use simcov_core::testutil::{forall_cfg, Config, Gen};
 use simcov_fsm::{ExplicitMealy, MealyBuilder, StateId};
-use simcov_tour::{
-    coverage, greedy_transition_tour, random_test_set, state_tour, transition_tour,
-};
+use simcov_tour::{coverage, greedy_transition_tour, random_test_set, state_tour, transition_tour};
 
 /// A random machine guaranteed strongly connected: a base ring on input 0
 /// plus arbitrary extra edges on the remaining inputs.
@@ -16,12 +14,17 @@ struct MachineRecipe {
     num_inputs: usize,
 }
 
-fn machine_strategy() -> impl Strategy<Value = MachineRecipe> {
-    (2..12usize, 1..4usize)
-        .prop_flat_map(|(n, num_inputs)| {
-            proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 0..20)
-                .prop_map(move |extra| MachineRecipe { n, extra, num_inputs })
-        })
+fn machine_recipe(g: &mut Gen) -> MachineRecipe {
+    let n = g.int_in(2..12usize);
+    let num_inputs = g.int_in(1..4usize);
+    let extra = (0..g.int_in(0..20usize))
+        .map(|_| (g.u16(), g.u16(), g.u16()))
+        .collect();
+    MachineRecipe {
+        n,
+        extra,
+        num_inputs,
+    }
 }
 
 fn build(r: &MachineRecipe) -> ExplicitMealy {
@@ -43,91 +46,141 @@ fn build(r: &MachineRecipe) -> ExplicitMealy {
             b.add_transition(states[s], inputs[inp], states[d], outs[d]);
         }
     }
-    b.build(states[0]).expect("recipe machines are deterministic")
+    b.build(states[0])
+        .expect("recipe machines are deterministic")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// The Chinese-postman tour covers every transition and has the promised
+/// length (edges + duplicates) — the certificate invariant of Theorem 3's
+/// test-set construction: `tour.len() == num_transitions + duplicates`.
+#[test]
+fn postman_tour_covers_everything() {
+    forall_cfg(
+        "postman_tour_covers_everything",
+        Config::with_cases(96),
+        |g| {
+            let m = build(&machine_recipe(g));
+            let tour = transition_tour(&m).expect("ring base makes it strongly connected");
+            let report = coverage(&m, &tour.inputs);
+            assert!(report.all_transitions_covered());
+            assert!(report.all_states_covered());
+            assert_eq!(tour.len(), m.num_transitions() + tour.duplicates);
+            // The tour is a circuit: it ends where it started.
+            let (states, _) = m.run(m.reset(), &tour.inputs);
+            assert_eq!(*states.last().unwrap(), m.reset());
+        },
+    );
+}
 
-    /// The Chinese-postman tour covers every transition and has the
-    /// promised length (edges + duplicates).
-    #[test]
-    fn postman_tour_covers_everything(r in machine_strategy()) {
-        let m = build(&r);
-        let tour = transition_tour(&m).expect("ring base makes it strongly connected");
-        let report = coverage(&m, &tour.inputs);
-        prop_assert!(report.all_transitions_covered());
-        prop_assert!(report.all_states_covered());
-        prop_assert_eq!(tour.len(), m.num_transitions() + tour.duplicates);
-        // The tour is a circuit: it ends where it started.
-        let (states, _) = m.run(m.reset(), &tour.inputs);
-        prop_assert_eq!(*states.last().unwrap(), m.reset());
-    }
+/// The greedy tour also covers everything and is never shorter than
+/// the optimum.
+#[test]
+fn greedy_tour_covers_and_bounds() {
+    forall_cfg(
+        "greedy_tour_covers_and_bounds",
+        Config::with_cases(96),
+        |g| {
+            let m = build(&machine_recipe(g));
+            let opt = transition_tour(&m).expect("strongly connected");
+            let greedy = greedy_transition_tour(&m).expect("strongly connected");
+            assert!(coverage(&m, &greedy.inputs).all_transitions_covered());
+            assert!(greedy.len() >= opt.len());
+            // And the optimum is at least the edge count.
+            assert!(opt.len() >= m.num_transitions());
+        },
+    );
+}
 
-    /// The greedy tour also covers everything and is never shorter than
-    /// the optimum.
-    #[test]
-    fn greedy_tour_covers_and_bounds(r in machine_strategy()) {
-        let m = build(&r);
-        let opt = transition_tour(&m).expect("strongly connected");
-        let greedy = greedy_transition_tour(&m).expect("strongly connected");
-        prop_assert!(coverage(&m, &greedy.inputs).all_transitions_covered());
-        prop_assert!(greedy.len() >= opt.len());
-        // And the optimum is at least the edge count.
-        prop_assert!(opt.len() >= m.num_transitions());
-    }
-
-    /// State tours visit every state, never more vectors than a
-    /// transition tour needs.
-    #[test]
-    fn state_tour_covers_states(r in machine_strategy()) {
-        let m = build(&r);
+/// State tours visit every state, never more vectors than a
+/// transition tour needs.
+#[test]
+fn state_tour_covers_states() {
+    forall_cfg("state_tour_covers_states", Config::with_cases(96), |g| {
+        let m = build(&machine_recipe(g));
         let st = state_tour(&m).expect("has transitions");
         let report = coverage(&m, &st.inputs);
-        prop_assert!(report.all_states_covered());
+        assert!(report.all_states_covered());
         let tt = transition_tour(&m).expect("strongly connected");
-        prop_assert!(st.len() <= tt.len());
-    }
+        assert!(st.len() <= tt.len());
+    });
+}
 
-    /// Random test sets are reproducible and respect their budget.
-    #[test]
-    fn random_sets_deterministic(r in machine_strategy(), seed in any::<u64>()) {
-        let m = build(&r);
+/// Random test sets are reproducible and respect their budget.
+#[test]
+fn random_sets_deterministic() {
+    forall_cfg("random_sets_deterministic", Config::with_cases(96), |g| {
+        let m = build(&machine_recipe(g));
+        let seed = g.u64();
         let t1 = random_test_set(&m, 3, 20, seed);
         let t2 = random_test_set(&m, 3, 20, seed);
-        prop_assert_eq!(&t1, &t2);
-        prop_assert!(t1.total_vectors() <= 60);
+        assert_eq!(&t1, &t2);
+        assert!(t1.total_vectors() <= 60);
         // Coverage of a random set never exceeds full coverage and the
         // report's fraction is within [0, 1].
         let seqs: Vec<&[_]> = t1.sequences.iter().map(Vec::as_slice).collect();
         let rep = simcov_tour::coverage_set(&m, seqs);
-        prop_assert!(rep.transition_fraction() <= 1.0);
-        prop_assert!(rep.state_fraction() <= 1.0);
-    }
+        assert!(rep.transition_fraction() <= 1.0);
+        assert!(rep.state_fraction() <= 1.0);
+    });
+}
 
-    /// Tours on machines with unreachable states ignore them.
-    #[test]
-    fn unreachable_states_do_not_affect_tours(r in machine_strategy()) {
-        let m = build(&r);
-        // Append unreachable states by rebuilding with extras.
-        let mut b = MealyBuilder::new();
-        for s in m.states() {
-            b.add_state(m.state_label(s));
-        }
-        let dead = b.add_state("dead");
-        for i in m.inputs() {
-            b.add_input(m.input_label(i));
-        }
-        for o in 0..m.num_outputs() {
-            b.add_output(format!("o{o}"));
-        }
-        for t in m.transitions() {
-            b.add_transition(t.state, t.input, t.next, t.output);
-        }
-        b.add_transition(dead, simcov_fsm::InputSym(0), StateId(0), simcov_fsm::OutputSym(0));
-        let m2 = b.build(m.reset()).expect("extended machine builds");
-        let t1 = transition_tour(&m).expect("sc");
-        let t2 = transition_tour(&m2).expect("sc");
-        prop_assert_eq!(t1.len(), t2.len());
-    }
+/// Tours on machines with unreachable states ignore them.
+#[test]
+fn unreachable_states_do_not_affect_tours() {
+    forall_cfg(
+        "unreachable_states_do_not_affect_tours",
+        Config::with_cases(96),
+        |g| {
+            let m = build(&machine_recipe(g));
+            // Append unreachable states by rebuilding with extras.
+            let mut b = MealyBuilder::new();
+            for s in m.states() {
+                b.add_state(m.state_label(s));
+            }
+            let dead = b.add_state("dead");
+            for i in m.inputs() {
+                b.add_input(m.input_label(i));
+            }
+            for o in 0..m.num_outputs() {
+                b.add_output(format!("o{o}"));
+            }
+            for t in m.transitions() {
+                b.add_transition(t.state, t.input, t.next, t.output);
+            }
+            b.add_transition(
+                dead,
+                simcov_fsm::InputSym(0),
+                StateId(0),
+                simcov_fsm::OutputSym(0),
+            );
+            let m2 = b.build(m.reset()).expect("extended machine builds");
+            let t1 = transition_tour(&m).expect("sc");
+            let t2 = transition_tour(&m2).expect("sc");
+            assert_eq!(t1.len(), t2.len());
+        },
+    );
+}
+
+/// Every generated tour honours its certificate: the coverage report and
+/// the parallel coverage walker agree at every thread count, and the tour
+/// traverses each transition at least once with exactly `duplicates`
+/// re-traversals in total.
+#[test]
+fn tour_certificate_and_parallel_coverage_agree() {
+    forall_cfg(
+        "tour_certificate_and_parallel_coverage_agree",
+        Config::with_cases(96),
+        |g| {
+            let m = build(&machine_recipe(g));
+            let tour = transition_tour(&m).expect("sc");
+            let seq: &[_] = &tour.inputs;
+            let serial = simcov_tour::coverage_set(&m, [seq]);
+            for jobs in [1usize, 2, 8] {
+                let par = simcov_tour::coverage_set_jobs(&m, &[seq], jobs);
+                assert_eq!(par, serial, "coverage must not depend on jobs={jobs}");
+            }
+            assert_eq!(serial.transitions_covered, m.num_transitions());
+            assert_eq!(serial.applied_length, m.num_transitions() + tour.duplicates);
+        },
+    );
 }

@@ -16,12 +16,19 @@ fn main() {
     println!("initial abstract test model (Fig 3a): {}", initial.stats());
     println!("modules:");
     for m in initial.module_names() {
-        println!("  {:<10} {:>3} latches", m, initial.module_latches(&m).len());
+        println!(
+            "  {:<10} {:>3} latches",
+            m,
+            initial.module_latches(&m).len()
+        );
     }
 
     let (fin, reports) = fig3b_pipeline().run(&initial);
     println!("\nabstraction sequence (Fig 3b):");
-    println!("  {:<46} {:>7} {:>5} {:>4}", "step", "latches", "PIs", "POs");
+    println!(
+        "  {:<46} {:>7} {:>5} {:>4}",
+        "step", "latches", "PIs", "POs"
+    );
     println!(
         "  {:<46} {:>7} {:>5} {:>4}",
         "(initial)",
@@ -48,7 +55,10 @@ fn main() {
     let valid = valid_inputs_bdd(&mut fsm);
     fsm.set_valid_inputs(valid);
     let _tr = fsm.transition_relation();
-    println!("  transition relation built in {:?} (paper: ~10 s in 1997)", t0.elapsed());
+    println!(
+        "  transition relation built in {:?} (paper: ~10 s in 1997)",
+        t0.elapsed()
+    );
     println!(
         "  valid input combinations: {} of 2^25 = {} (paper: 8228)",
         fsm.count_valid_inputs(),

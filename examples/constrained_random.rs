@@ -27,8 +27,7 @@ fn main() {
         total
     );
 
-    let in_vars: Vec<simcov::bdd::Var> =
-        (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
+    let in_vars: Vec<simcov::bdd::Var> = (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
     let mut acc = CoverageAccumulator::new();
     let mut state = model.initial_state();
     let mut rng: u128 = 0x853c49e6748fea9b;
@@ -42,8 +41,7 @@ fn main() {
                 rng % bound
             })
             .expect("the valid-input constraint is satisfiable");
-        let assignment =
-            minterm.to_assignment((2 * fsm.num_latches() + fsm.num_inputs()) as u32);
+        let assignment = minterm.to_assignment((2 * fsm.num_latches() + fsm.num_inputs()) as u32);
         let inputs: Vec<bool> = (0..fsm.num_inputs())
             .map(|k| assignment[fsm.input_var(k).0 as usize])
             .collect();

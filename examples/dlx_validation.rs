@@ -19,19 +19,19 @@ fn main() {
     // chains, taken and fall-through branches, a loop, and memory
     // traffic of each width.
     let program = asm::program(&[
-        "addi r1, r0, 5",     // r1 = 5
-        "add  r2, r1, r1",    // d=1 bypass
-        "sw   r2, 0(r0)",     // store 10
-        "lw   r3, 0(r0)",     // load it back
-        "add  r4, r3, r1",    // load-use interlock
+        "addi r1, r0, 5",  // r1 = 5
+        "add  r2, r1, r1", // d=1 bypass
+        "sw   r2, 0(r0)",  // store 10
+        "lw   r3, 0(r0)",  // load it back
+        "add  r4, r3, r1", // load-use interlock
         "subi r1, r1, 1",
-        "bnez r1, -6",        // loop: 5 iterations (hazards each time)
+        "bnez r1, -6", // loop: 5 iterations (hazards each time)
         "lhi  r5, 0x00ff",
         "sb   r5, 8(r0)",
         "lbu  r6, 8(r0)",
-        "beqz r6, 2",         // not taken (r6 = 0 after sb/lbu of 0x00)
+        "beqz r6, 2", // not taken (r6 = 0 after sb/lbu of 0x00)
         "addi r7, r0, 7",
-        "jal  1",             // link + jump
+        "jal  1", // link + jump
         "halt",
         "jr   r31",
         "halt",
@@ -46,7 +46,10 @@ fn main() {
 
     // Each control fault is exposed by the checkpoint comparison.
     for fault in ControlFault::ALL {
-        let mut faulty = PipelineTrace { fault, ..PipelineTrace::default() };
+        let mut faulty = PipelineTrace {
+            fault,
+            ..PipelineTrace::default()
+        };
         match validate(&mut spec, &mut faulty, &program) {
             Ok(n) => println!("{fault:?}: ESCAPED ({n} checkpoints equal) ✘"),
             Err(mismatch) => println!(

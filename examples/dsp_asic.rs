@@ -38,7 +38,10 @@ fn main() {
     let tour = transition_tour(&m).expect("strongly connected");
     let faults = enumerate_single_faults(
         &m,
-        &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+        &FaultSpace {
+            max_faults: usize::MAX,
+            ..FaultSpace::default()
+        },
     );
     let tests = TestSet::single(extend_cyclically(&tour.inputs, cert.k));
     let report = run_campaign(&m, &faults, &tests);

@@ -42,11 +42,17 @@ fn main() {
     // Step 4: every possible single output/transfer error must be caught.
     let faults = enumerate_single_faults(
         &model,
-        &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+        &FaultSpace {
+            max_faults: usize::MAX,
+            ..FaultSpace::default()
+        },
     );
     let tests = TestSet::single(extend_cyclically(&tour.inputs, cert.k));
     let campaign = run_campaign(&model, &faults, &tests);
     println!("fault campaign: {campaign}");
-    assert!(campaign.complete(), "Theorem 3: every fault must be detected");
+    assert!(
+        campaign.complete(),
+        "Theorem 3: every fault must be detected"
+    );
     println!("✔ all {} injected errors exposed by the tour", faults.len());
 }

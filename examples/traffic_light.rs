@@ -12,8 +12,8 @@
 
 use simcov::core::models::traffic_light;
 use simcov::core::{
-    certify_completeness, check_req3_unique_outputs, enumerate_single_faults,
-    extend_cyclically, forall_k_distinguishable, run_campaign, FaultSpace,
+    certify_completeness, check_req3_unique_outputs, enumerate_single_faults, extend_cyclically,
+    forall_k_distinguishable, run_campaign, FaultSpace,
 };
 use simcov::tour::{transition_tour, TestSet};
 
@@ -55,7 +55,10 @@ fn main() {
             let tour = transition_tour(&exposed).expect("strongly connected");
             let faults = enumerate_single_faults(
                 &exposed,
-                &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() },
+                &FaultSpace {
+                    max_faults: usize::MAX,
+                    ..FaultSpace::default()
+                },
             );
             let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
             let report = run_campaign(&exposed, &faults, &tests);
@@ -67,7 +70,10 @@ fn main() {
             // checkers then tell the designer exactly which state to
             // surface next.
             let d = forall_k_distinguishable(&exposed, 6, 4).expect("complete");
-            println!("  still {} indistinguishable pairs at k=6:", d.violations.len());
+            println!(
+                "  still {} indistinguishable pairs at k=6:",
+                d.violations.len()
+            );
             for v in &d.violations {
                 println!(
                     "    {} vs {}",

@@ -31,4 +31,5 @@ pub use simcov_dlx as dlx;
 pub use simcov_dsp as dsp;
 pub use simcov_fsm as fsm;
 pub use simcov_netlist as netlist;
+pub use simcov_prng as prng;
 pub use simcov_tour as tour;

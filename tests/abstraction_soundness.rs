@@ -36,8 +36,15 @@ fn sync_latch_bypass_is_a_retiming() {
         b_hist.push(sim_b.step(&bypassed, &inputs)[0]);
     }
     // a (synchronized) = b (combinational) delayed by 2.
-    assert_eq!(&a_hist[2..], &b_hist[..b_hist.len() - 2], "a={a_hist:?} b={b_hist:?}");
-    assert!(b_hist.iter().any(|&s| s), "the stream must exercise a stall");
+    assert_eq!(
+        &a_hist[2..],
+        &b_hist[..b_hist.len() - 2],
+        "a={a_hist:?} b={b_hist:?}"
+    );
+    assert!(
+        b_hist.iter().any(|&s| s),
+        "the stream must exercise a stall"
+    );
 }
 
 /// The identity quotient of the reduced model is a clean homomorphism,
@@ -97,7 +104,11 @@ fn final_model_outputs_are_the_control_cone() {
     // Monotone latch counts.
     let mut prev = usize::MAX;
     for r in &reports {
-        assert!(r.stats.latches <= prev, "{}: latch count must not grow", r.label);
+        assert!(
+            r.stats.latches <= prev,
+            "{}: latch count must not grow",
+            r.label
+        );
         prev = r.stats.latches;
     }
 }
@@ -114,11 +125,21 @@ fn reduced_model_reflects_full_model_control() {
         transform::bypass_latches(&n, |_, l| l.module == "sync_out")
     };
     let red = simcov::dlx::testmodel::reduced_control_netlist();
-    let lw_full =
-        Instr::Load { width: MemWidth::Word, signed: true, rd: Reg(1), rs1: Reg(2), imm: 0 }
-            .encode();
-    let dep_full =
-        Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(1) }.encode();
+    let lw_full = Instr::Load {
+        width: MemWidth::Word,
+        signed: true,
+        rd: Reg(1),
+        rs1: Reg(2),
+        imm: 0,
+    }
+    .encode();
+    let dep_full = Instr::Alu {
+        op: AluOp::Add,
+        rd: Reg(3),
+        rs1: Reg(1),
+        rs2: Reg(1),
+    }
+    .encode();
     let nop_full = Instr::Nop.encode();
     // Reduced-model input encoding: [op0, op1, rs1, rd, zero_flag].
     let lw_red = [false, true, false, true, false]; // load, rd=r1
@@ -135,6 +156,9 @@ fn reduced_model_reflects_full_model_control() {
         full_stalls.push(sf.step(&full, &fi)[0]);
         red_stalls.push(sr.step(&red, &wr)[0]);
     }
-    assert_eq!(full_stalls, red_stalls, "stall traces must agree on this stimulus");
+    assert_eq!(
+        full_stalls, red_stalls,
+        "stall traces must agree on this stimulus"
+    );
     assert!(full_stalls.iter().any(|&s| s));
 }

@@ -15,7 +15,9 @@ fn roundtrip_equal(n: &simcov::netlist::Netlist, cycles: usize, seed: u64) {
     for cyc in 0..cycles {
         let inputs: Vec<bool> = (0..n.num_inputs())
             .map(|_| {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (rng >> 41) & 1 == 1
             })
             .collect();

@@ -6,7 +6,7 @@
 use simcov::core::models::figure2;
 use simcov::core::{
     certify_completeness, enumerate_single_faults, extend_cyclically, run_campaign,
-    CompletenessViolation, FaultSpace,
+    CompletenessViolation, FaultCampaign, FaultSpace,
 };
 use simcov::dlx::testmodel::{
     reduced_control_netlist, reduced_control_netlist_observable, reduced_valid_inputs,
@@ -15,7 +15,13 @@ use simcov::fsm::enumerate_netlist;
 use simcov::tour::{greedy_transition_tour, state_tour, transition_tour, TestSet};
 
 fn all_faults(m: &simcov::fsm::ExplicitMealy) -> Vec<simcov::core::Fault> {
-    enumerate_single_faults(m, &FaultSpace { max_faults: usize::MAX, ..FaultSpace::default() })
+    enumerate_single_faults(
+        m,
+        &FaultSpace {
+            max_faults: usize::MAX,
+            ..FaultSpace::default()
+        },
+    )
 }
 
 /// Theorem 3, empirically: certified model + extended transition tour =
@@ -26,19 +32,29 @@ fn certified_model_tour_catches_every_fault() {
     let m = enumerate_netlist(&n, &reduced_valid_inputs(&n)).expect("enumerates");
     let cert = certify_completeness(&m, 1, None).expect("certifiable");
     let faults = all_faults(&m);
-    assert!(faults.len() > 10_000, "exhaustive fault space: {}", faults.len());
+    assert!(
+        faults.len() > 10_000,
+        "exhaustive fault space: {}",
+        faults.len()
+    );
 
     for tour in [
         transition_tour(&m).expect("postman tour"),
         greedy_transition_tour(&m).expect("greedy tour"),
     ] {
         let tests = TestSet::single(extend_cyclically(&tour.inputs, cert.k));
-        let report = run_campaign(&m, &faults, &tests);
+        // Drive the parallel engine explicitly (jobs = all cores) so the
+        // paper's flagship campaign also exercises the sharded path.
+        let run = FaultCampaign::new(&m, &faults, &tests).run();
         assert!(
-            report.complete(),
-            "tour of length {} must detect all faults, got {report}",
-            tour.len()
+            run.report.complete(),
+            "tour of length {} must detect all faults, got {}",
+            tour.len(),
+            run.report
         );
+        assert_eq!(run.stats.faults_simulated, faults.len());
+        assert_eq!(run.stats.detected, faults.len());
+        assert_eq!(run.stats.escapes, 0);
     }
 }
 
@@ -60,8 +76,16 @@ fn state_tour_is_incomplete() {
     );
     // But it still catches something — it is a coverage measure, just a
     // far weaker one (≈6% here vs 100% for the transition tour).
-    assert!(report.detection_rate() > 0.02, "rate {}", report.detection_rate());
-    assert!(report.detection_rate() < 0.50, "rate {}", report.detection_rate());
+    assert!(
+        report.detection_rate() > 0.02,
+        "rate {}",
+        report.detection_rate()
+    );
+    assert!(
+        report.detection_rate() < 0.50,
+        "rate {}",
+        report.detection_rate()
+    );
 }
 
 /// On the non-certifiable base model (interaction state hidden), some
@@ -145,7 +169,10 @@ fn w_method_complete_when_applicable() {
     assert!(report.complete(), "W-method must be complete: {report}");
     let n = reduced_control_netlist();
     let m = enumerate_netlist(&n, &reduced_valid_inputs(&n)).expect("enumerates");
-    assert!(matches!(w_method_test_set(&m), Err(WMethodError::NotReduced(_))));
+    assert!(matches!(
+        w_method_test_set(&m),
+        Err(WMethodError::NotReduced(_))
+    ));
 }
 
 /// State minimization diagnoses the hidden model: its 18 reachable
@@ -182,7 +209,11 @@ fn masked_double_fault_detected_as_masked() {
     let s3p = m.state_by_label("3'").unwrap();
     let s4 = m.state_by_label("4").unwrap();
     let b = m.input_by_label("b").unwrap();
-    let f2 = Fault { state: s3p, input: b, kind: FaultKind::Transfer { new_next: s4 } };
+    let f2 = Fault {
+        state: s3p,
+        input: b,
+        kind: FaultKind::Transfer { new_next: s4 },
+    };
     let double = f2.inject(&f1.inject(&m));
     let a = m.input_by_label("a").unwrap();
     // Path a,a,(b): diverges at 3', second fault rejoins at 4 — but the

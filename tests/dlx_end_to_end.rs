@@ -2,22 +2,21 @@
 //! ISA specification over directed and randomized programs, golden and
 //! faulty.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simcov::core::validate;
 use simcov::dlx::asm;
 use simcov::dlx::checkpoint::{PipelineTrace, SpecTrace};
 use simcov::dlx::isa::{AluOp, Instr, MemWidth, Reg};
 use simcov::dlx::ControlFault;
+use simcov::prng::Prng;
 
 /// Random straight-line hazard-rich programs: only forward control flow,
 /// so termination is structural.
 fn random_program(seed: u64, len: usize) -> Vec<Instr> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut prog = Vec::with_capacity(len + 1);
     for i in 0..len {
-        let r = |rng: &mut StdRng| Reg(rng.gen_range(0..8));
-        let instr = match rng.gen_range(0..10) {
+        let r = |rng: &mut Prng| Reg(rng.gen_range(0..8u8));
+        let instr = match rng.gen_range(0..10u32) {
             0..=2 => Instr::Alu {
                 op: AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())],
                 rd: r(&mut rng),
@@ -28,36 +27,41 @@ fn random_program(seed: u64, len: usize) -> Vec<Instr> {
                 op: AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())],
                 rd: r(&mut rng),
                 rs1: r(&mut rng),
-                imm: rng.gen(),
+                imm: rng.next_u64() as u16,
             },
             5 => Instr::Load {
-                width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word]
-                    [rng.gen_range(0..3)],
-                signed: rng.gen(),
+                width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word][rng.gen_range(0..3usize)],
+                signed: rng.gen_bool(0.5),
                 rd: r(&mut rng),
                 rs1: Reg(0),
-                imm: rng.gen_range(0..64) * 4,
+                imm: rng.gen_range(0..64u16) * 4,
             },
             6 => Instr::Store {
-                width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word]
-                    [rng.gen_range(0..3)],
+                width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word][rng.gen_range(0..3usize)],
                 rs2: r(&mut rng),
                 rs1: Reg(0),
-                imm: rng.gen_range(0..64) * 4,
+                imm: rng.gen_range(0..64u16) * 4,
             },
             7 => {
                 // Forward branch over 1-2 instructions (stays in range).
-                let skip = rng.gen_range(1..=2u16);
+                let skip = rng.gen_range(1..3u16);
                 if i + skip as usize + 1 < len {
-                    Instr::Branch { on_zero: rng.gen(), rs1: r(&mut rng), imm: skip }
+                    Instr::Branch {
+                        on_zero: rng.gen_bool(0.5),
+                        rs1: r(&mut rng),
+                        imm: skip,
+                    }
                 } else {
                     Instr::Nop
                 }
             }
             8 => {
-                let skip = rng.gen_range(1..=2i32);
+                let skip = rng.gen_range(1..3i32);
                 if i + skip as usize + 1 < len {
-                    Instr::Jump { link: rng.gen(), offset: skip }
+                    Instr::Jump {
+                        link: rng.gen_bool(0.5),
+                        offset: skip,
+                    }
                 } else {
                     Instr::Nop
                 }
@@ -76,8 +80,7 @@ fn golden_pipeline_matches_spec_on_random_programs() {
     let mut imp = PipelineTrace::default();
     for seed in 0..40 {
         let prog = random_program(seed, 60);
-        let n = validate(&mut spec, &mut imp, &prog)
-            .unwrap_or_else(|m| panic!("seed {seed}: {m}"));
+        let n = validate(&mut spec, &mut imp, &prog).unwrap_or_else(|m| panic!("seed {seed}: {m}"));
         assert!(n > 0, "seed {seed} produced an empty trace");
     }
 }
@@ -106,7 +109,7 @@ fn golden_pipeline_matches_spec_on_loops() {
         asm::program(&[
             // Function call pattern.
             "addi r1, r0, 3",
-            "jal 3",       // call pc+1+3 = 5
+            "jal 3", // call pc+1+3 = 5
             "add r4, r3, r3",
             "halt",
             "nop",
@@ -157,12 +160,18 @@ fn directed_suite_catches_every_control_fault() {
     for fault in ControlFault::ALL {
         let mut caught_by = Vec::new();
         for (name, prog) in &suites {
-            let mut imp = PipelineTrace { fault, ..PipelineTrace::default() };
+            let mut imp = PipelineTrace {
+                fault,
+                ..PipelineTrace::default()
+            };
             if validate(&mut spec, &mut imp, prog).is_err() {
                 caught_by.push(*name);
             }
         }
-        assert!(!caught_by.is_empty(), "{fault:?} escaped the directed suite");
+        assert!(
+            !caught_by.is_empty(),
+            "{fault:?} escaped the directed suite"
+        );
     }
     // The interlock fault is only caught by the load-use program.
     let mut imp = PipelineTrace {

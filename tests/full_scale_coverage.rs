@@ -13,10 +13,12 @@ fn random_simulation_coverage_is_tiny_at_scale() {
     fsm.set_valid_inputs(valid);
     let reach = fsm.reachable();
     let total = fsm.count_transitions(reach.reached);
-    assert!(total > 100_000_000, "full model has hundreds of millions of transitions");
+    assert!(
+        total > 100_000_000,
+        "full model has hundreds of millions of transitions"
+    );
 
-    let in_vars: Vec<simcov::bdd::Var> =
-        (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
+    let in_vars: Vec<simcov::bdd::Var> = (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
     let mut acc = CoverageAccumulator::new();
     let mut state = model.initial_state();
     let mut rng: u128 = 0xda3e39cb94b95bdb;
@@ -44,7 +46,10 @@ fn random_simulation_coverage_is_tiny_at_scale() {
     // Each cycle covers at most one new transition; near-zero repeats at
     // this scale.
     assert!(covered as usize <= budget);
-    assert!(covered as usize > budget / 2, "covered {covered} of {budget} cycles");
+    assert!(
+        covered as usize > budget / 2,
+        "covered {covered} of {budget} cycles"
+    );
     // The coverage fraction is vanishing — the paper's motivation.
     assert!((covered as f64) / (total as f64) < 1e-4);
 }
@@ -55,8 +60,7 @@ fn sampled_inputs_respect_the_constraint() {
     let mut fsm = SymbolicFsm::from_netlist(&model);
     let valid = valid_inputs_bdd(&mut fsm);
     fsm.set_valid_inputs(valid);
-    let in_vars: Vec<simcov::bdd::Var> =
-        (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
+    let in_vars: Vec<simcov::bdd::Var> = (0..fsm.num_inputs()).map(|k| fsm.input_var(k)).collect();
     let mut rng: u128 = 7;
     for _ in 0..200 {
         let mt = fsm

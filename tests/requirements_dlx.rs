@@ -4,9 +4,7 @@
 use simcov::core::{
     check_req2_bounded_processing, check_req3_unique_outputs, check_req5_observable,
 };
-use simcov::dlx::testmodel::{
-    reduced_control_netlist_with_memory, reduced_memory_valid_inputs,
-};
+use simcov::dlx::testmodel::{reduced_control_netlist_with_memory, reduced_memory_valid_inputs};
 use simcov::fsm::enumerate_netlist;
 
 /// Requirement 2 on the memory variant: with `mem_ready` free, a load
@@ -32,7 +30,10 @@ fn req2_memory_wait_is_an_environment_assumption() {
         })
         .collect();
     let witness = check_req2_bounded_processing(&m, |o| stall_outputs[o.index()]);
-    assert!(witness.is_err(), "free mem_ready must allow an infinite stall cycle");
+    assert!(
+        witness.is_err(),
+        "free mem_ready must allow an infinite stall cycle"
+    );
     let cycle = witness.unwrap_err();
     assert!(!cycle.cycle.is_empty());
 
@@ -50,7 +51,11 @@ fn req2_memory_wait_is_an_environment_assumption() {
         .collect();
     let bound = check_req2_bounded_processing(&m, |o| stall_outputs[o.index()])
         .expect("perfect memory bounds the stall");
-    assert!(bound.bound <= 2, "load-use stalls are single-cycle: {:?}", bound);
+    assert!(
+        bound.bound <= 2,
+        "load-use stalls are single-cycle: {:?}",
+        bound
+    );
 }
 
 /// Requirement 3 on the reduced model: the bare model collides outputs
@@ -78,22 +83,11 @@ fn req3_collisions_reported_on_reduced_model() {
 /// instructions, the PSW) against observable-state lists.
 #[test]
 fn req5_dlx_interaction_state() {
-    let interaction = [
-        "ex.dest",
-        "mem.dest",
-        "wb.dest",
-        "psw",
-    ];
+    let interaction = ["ex.dest", "mem.dest", "wb.dest", "psw"];
     // The functional simulation model exposes registers, memory and the
     // pipeline bookkeeping: containment holds.
     let observable = [
-        "regfile",
-        "memory",
-        "ex.dest",
-        "mem.dest",
-        "wb.dest",
-        "psw",
-        "pc",
+        "regfile", "memory", "ex.dest", "mem.dest", "wb.dest", "psw", "pc",
     ];
     assert!(check_req5_observable(&interaction, &observable).is_ok());
     // Hiding the PSW (as a naive testbench might) is flagged.

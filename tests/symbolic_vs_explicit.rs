@@ -58,21 +58,21 @@ fn reduced_models_agree() {
 
 #[test]
 fn random_netlists_agree() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use simcov::prng::Prng;
     // Random 6-latch, 3-input netlists with random gate structure.
     for seed in 0..20u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let mut n = Netlist::new();
         let inputs: Vec<_> = (0..3).map(|i| n.add_input(format!("i{i}"))).collect();
-        let latches: Vec<_> =
-            (0..6).map(|i| n.add_latch(format!("q{i}"), rng.gen())).collect();
+        let latches: Vec<_> = (0..6)
+            .map(|i| n.add_latch(format!("q{i}"), rng.gen_bool(0.5)))
+            .collect();
         let louts: Vec<_> = latches.iter().map(|&l| n.latch_output(l)).collect();
         let mut pool: Vec<_> = inputs.iter().chain(louts.iter()).copied().collect();
         for _ in 0..20 {
             let a = pool[rng.gen_range(0..pool.len())];
             let b = pool[rng.gen_range(0..pool.len())];
-            let g = match rng.gen_range(0..4) {
+            let g = match rng.gen_range(0..4u32) {
                 0 => n.and(a, b),
                 1 => n.or(a, b),
                 2 => n.xor(a, b),
@@ -137,8 +137,11 @@ fn tour_replays_on_netlist() {
         cur = nx;
         let vec = &opts.inputs[i.index()];
         let outs = sim.step(&n, vec);
-        let label: String =
-            outs.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+        let label: String = outs
+            .iter()
+            .rev()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         netlist_outputs.push(label);
     }
     assert_eq!(machine_outputs, netlist_outputs);
