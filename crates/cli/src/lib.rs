@@ -10,6 +10,7 @@
 //! simcov dot <model.blif>                   reachable FSM as Graphviz
 //! simcov normalize <model.blif>             parse + re-emit BLIF
 //! simcov dlx <fig3a|fig3b|final|reduced>    export the case-study models
+//! simcov lint <model.blif>|--dlx <name>     coded static diagnostics
 //! ```
 //!
 //! Models are sequential BLIF files (the SIS interchange format; see
@@ -60,6 +61,26 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// A successful command's printable report plus its process exit code.
+///
+/// Most commands exit 0 on success, but `lint` follows the compiler
+/// convention: the report goes to stdout (so `--format json` stays
+/// machine-parseable) while denials are signalled through a non-zero
+/// exit code.
+#[derive(Debug)]
+pub struct CmdOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// Process exit code (0 unless the command signals findings).
+    pub code: i32,
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> Self {
+        CmdOutput { text, code: 0 }
+    }
+}
+
 /// The usage text.
 pub const USAGE: &str = "\
 simcov — validation methodology using simulation coverage (DAC'97)
@@ -72,10 +93,19 @@ USAGE:
   simcov dot <model.blif>
   simcov normalize <model.blif>
   simcov dlx <fig3a | fig3b | final | reduced | reduced-obs>
+  simcov lint <model.blif> [--format text|json] [--deny C]... [--warn C]... [--allow C]... [--k <K>]
+  simcov lint --dlx <name> [same options]
 
 OPTIONS:
   --jobs <J>    worker threads for the fault campaign (0 or omitted =
                 all available cores); results are identical for every J
+  --deny/--warn/--allow <C>
+                override the severity of lint code C (e.g. SC001 or
+                unreachable-state); repeatable, later flags win
+  --format <F>  lint report format: text (default) or json
+
+Lint exits 0 when no deny-level diagnostics fire, 1 otherwise; the
+report always goes to stdout.
 ";
 
 fn load_model(path: &str) -> Result<Netlist, CliError> {
@@ -247,9 +277,8 @@ pub fn cmd_normalize(path: &str) -> Result<String, CliError> {
     Ok(simcov_netlist::to_blif(&n, name))
 }
 
-/// `simcov dlx`: export the case-study models as BLIF.
-pub fn cmd_dlx(which: &str) -> Result<String, CliError> {
-    let n = match which {
+fn dlx_netlist(which: &str) -> Result<Netlist, CliError> {
+    Ok(match which {
         "fig3a" => simcov_dlx::control::initial_control_netlist(),
         "fig3b" | "final" => simcov_dlx::testmodel::derive_test_model().0,
         "reduced" => simcov_dlx::testmodel::reduced_control_netlist(),
@@ -259,12 +288,108 @@ pub fn cmd_dlx(which: &str) -> Result<String, CliError> {
                 "unknown dlx model `{other}` (fig3a|fig3b|final|reduced|reduced-obs)"
             )))
         }
-    };
+    })
+}
+
+/// `simcov dlx`: export the case-study models as BLIF.
+pub fn cmd_dlx(which: &str) -> Result<String, CliError> {
+    let n = dlx_netlist(which)?;
     Ok(simcov_netlist::to_blif(&n, &format!("dlx_{which}")))
 }
 
+/// What `simcov lint` runs over: a BLIF file or a built-in DLX model.
+#[derive(Debug, Clone, Copy)]
+pub enum LintSource<'a> {
+    /// A sequential BLIF file on disk.
+    Path(&'a str),
+    /// A case-study model by name (`--dlx`), linted with its valid-input
+    /// alphabet where one is defined (`reduced`, `reduced-obs`).
+    Dlx(&'a str),
+}
+
+fn lint_output(d: &simcov_lint::Diagnostics, format: &str) -> CmdOutput {
+    let text = match format {
+        "json" => {
+            let mut s = d.render_json();
+            s.push('\n');
+            s
+        }
+        _ => d.render_text(),
+    };
+    CmdOutput {
+        text,
+        code: if d.has_denials() { 1 } else { 0 },
+    }
+}
+
+/// `simcov lint`: run the `SC0xx` static diagnostics over a model.
+///
+/// Netlist lints (`SC020`–`SC030`) always run; when the model fits the
+/// explicit-enumeration guard (≤ 16 inputs), the reachable machine is
+/// built and the model lints (`SC001`–`SC008`) run on it too, with the
+/// stall predicate for Requirement 2 taken from the output port named
+/// `stall` if one exists. A BLIF parse failure is itself reported as a
+/// lint (`SC028`–`SC030`) rather than a hard error, so `--format json`
+/// output stays machine-readable for malformed inputs.
+pub fn cmd_lint(
+    source: LintSource<'_>,
+    format: &str,
+    config: &simcov_lint::LintConfig,
+    k: usize,
+) -> Result<CmdOutput, CliError> {
+    use simcov_lint::{lint_blif_error, lint_model, lint_netlist, Diagnostics, ModelTarget};
+    let (n, dlx_name) = match source {
+        LintSource::Path(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+            match simcov_netlist::from_blif(&text) {
+                Ok(n) => (n, None),
+                Err(e) => {
+                    let mut d = Diagnostics::new(config.clone());
+                    lint_blif_error(&e, &mut d);
+                    d.sort_by_severity();
+                    return Ok(lint_output(&d, format));
+                }
+            }
+        }
+        LintSource::Dlx(which) => (dlx_netlist(which)?, Some(which)),
+    };
+    let mut diags = lint_netlist(&n, config);
+    if n.num_inputs() <= 16 {
+        let opts = match dlx_name {
+            // The DLX alphabet carries input don't-cares: exhaustive
+            // vectors would include invalid instructions the methodology
+            // never expands, wrongly failing the forall-k lint.
+            Some("reduced") | Some("reduced-obs") => {
+                simcov_dlx::testmodel::reduced_valid_inputs(&n)
+            }
+            _ => EnumerateOptions::exhaustive(&n),
+        };
+        let m = enumerate_netlist(&n, &opts)
+            .map_err(|e| CliError::runtime(format!("enumeration failed: {e}")))?;
+        let mut target = ModelTarget::new(&m);
+        target.k = k;
+        // Output labels are latch-order-reversed bit strings; map the
+        // `stall` port through that convention to the stalled-output
+        // predicate of Requirement 2.
+        if let Some(j) = n.outputs().iter().position(|(name, _)| name == "stall") {
+            target.stalled = Some(
+                (0..m.num_outputs())
+                    .map(|o| {
+                        let label = m.output_label(simcov_fsm::OutputSym(o as u32)).as_bytes();
+                        label[label.len() - 1 - j] == b'1'
+                    })
+                    .collect(),
+            );
+        }
+        diags.merge(lint_model(&target, config));
+    }
+    diags.sort_by_severity();
+    Ok(lint_output(&diags, format))
+}
+
 /// Parses and dispatches a full argument vector (without the program name).
-pub fn run(args: &[String]) -> Result<String, CliError> {
+pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
         return Err(CliError::usage(USAGE));
@@ -283,6 +408,67 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             .ok_or_else(|| CliError::usage(format!("`{cmd}` needs a model path\n\n{USAGE}")))
     };
     match cmd.as_str() {
+        "lint" => {
+            let mut config = simcov_lint::LintConfig::new();
+            let mut i = 0;
+            while i < rest.len() {
+                let severity = match rest[i].as_str() {
+                    "--deny" => Some(simcov_lint::Severity::Deny),
+                    "--warn" => Some(simcov_lint::Severity::Warn),
+                    "--allow" => Some(simcov_lint::Severity::Allow),
+                    _ => None,
+                };
+                if let Some(sev) = severity {
+                    let code = rest
+                        .get(i + 1)
+                        .ok_or_else(|| CliError::usage(format!("{} needs a lint code", rest[i])))?;
+                    if simcov_lint::find_code(code).is_none() {
+                        return Err(CliError::usage(format!("unknown lint code `{code}`")));
+                    }
+                    config.set(code, sev);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let format = flag_value("--format").unwrap_or("text");
+            if format != "text" && format != "json" {
+                return Err(CliError::usage(format!(
+                    "unknown lint format `{format}` (text|json)"
+                )));
+            }
+            let k = flag_value("--k")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::usage("--k must be a number"))
+                })
+                .transpose()?
+                .unwrap_or(1);
+            let source = match flag_value("--dlx") {
+                Some(which) => LintSource::Dlx(which),
+                None => {
+                    // Positional args must skip flag values, not just flags.
+                    let flags_with_value =
+                        ["--deny", "--warn", "--allow", "--format", "--k", "--dlx"];
+                    let mut path = None;
+                    let mut i = 0;
+                    while i < rest.len() {
+                        if flags_with_value.contains(&rest[i].as_str()) {
+                            i += 2;
+                        } else if rest[i].starts_with("--") {
+                            i += 1;
+                        } else {
+                            path = Some(rest[i].as_str());
+                            break;
+                        }
+                    }
+                    LintSource::Path(path.ok_or_else(|| {
+                        CliError::usage(format!("`lint` needs a model path or --dlx\n\n{USAGE}"))
+                    })?)
+                }
+            };
+            return cmd_lint(source, format, &config, k);
+        }
         "stats" => cmd_stats(positional()?),
         "tour" => {
             let kind = if rest.iter().any(|a| a.as_str() == "--greedy") {
@@ -347,6 +533,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "unknown command `{other}`\n\n{USAGE}"
         ))),
     }
+    .map(CmdOutput::from)
 }
 
 #[cfg(test)]
@@ -405,15 +592,171 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         let out = run(&args(&["help"])).unwrap();
-        assert!(out.contains("simcov stats"));
+        assert!(out.text.contains("simcov stats"));
+        assert!(out.text.contains("simcov lint"));
+        assert_eq!(out.code, 0);
     }
 
     #[test]
     fn dlx_export_parses_back() {
         let out = run(&args(&["dlx", "reduced"])).unwrap();
-        let n = simcov_netlist::from_blif(&out).unwrap();
+        let n = simcov_netlist::from_blif(&out.text).unwrap();
         assert_eq!(n.stats().latches, 8);
         assert!(run(&args(&["dlx", "nope"])).is_err());
+    }
+
+    #[test]
+    fn lint_flagship_dlx_model_is_deny_free() {
+        // The acceptance gate: the observable reduced DLX model, linted
+        // over its valid-input alphabet, has zero deny diagnostics.
+        let out = run(&args(&["lint", "--dlx", "reduced-obs"])).unwrap();
+        assert_eq!(out.code, 0, "deny findings:\n{}", out.text);
+        assert!(!out.text.contains("deny["), "{}", out.text);
+        assert!(out.text.contains("summary:"));
+        let json = run(&args(&["lint", "--dlx", "reduced-obs", "--format", "json"])).unwrap();
+        assert_eq!(json.code, 0);
+        assert!(json
+            .text
+            .starts_with("{\"tool\":\"simcov-lint\",\"deny\":0,"));
+    }
+
+    #[test]
+    fn lint_hidden_dlx_model_fails_forall_k() {
+        // Without the Requirement 5 outputs the reduced model is not
+        // forall-k-distinguishable at any depth (deny, with witnesses).
+        // Note the violation is *semantic*: every latch sits in some
+        // output cone (no structural SC027), yet pairs differing only in
+        // interaction state still produce equal output streams.
+        let out = run(&args(&["lint", "--dlx", "reduced", "--k", "3"])).unwrap();
+        assert_eq!(out.code, 1);
+        assert!(out.text.contains("deny[SC008]"), "{}", out.text);
+        assert!(out.text.contains("forall-3"), "{}", out.text);
+    }
+
+    #[test]
+    fn lint_seeded_undefined_net_mutation_flagged() {
+        // Mutation: drop the cover driving the `stall` output buffer from
+        // the exported flagship BLIF. The importer reports an undefined
+        // net, which lint maps to SC029 in both formats, exit code 1.
+        let n = simcov_dlx::testmodel::reduced_control_netlist_observable();
+        let blif = simcov_netlist::to_blif(&n, "mutated");
+        let mutated: String = {
+            let mut lines: Vec<&str> = blif.lines().collect();
+            let idx = lines
+                .iter()
+                .position(|l| l.starts_with(".names") && l.ends_with(" stall"))
+                .expect("stall output buffer exists");
+            lines.drain(idx..idx + 2); // header + its single cover row
+            lines.join("\n")
+        };
+        let tmp = tempfile::path(&mutated);
+        let text = run(&args(&["lint", tmp.as_str()])).unwrap();
+        assert_eq!(text.code, 1);
+        assert!(text.text.contains("deny[SC029]"), "{}", text.text);
+        let json = run(&args(&["lint", tmp.as_str(), "--format", "json"])).unwrap();
+        assert_eq!(json.code, 1);
+        assert!(json.text.contains("\"code\":\"SC029\""), "{}", json.text);
+        assert!(json.text.contains("\"severity\":\"deny\""));
+    }
+
+    #[test]
+    fn lint_seeded_dead_latch_mutation_flagged() {
+        // Mutation: disconnect `rf_wen` from its cone by tying it to a
+        // constant. The mem latches then drive nothing observable: SC022
+        // (dead latch) and SC024 (constant output) both fire as warnings.
+        let n = simcov_dlx::testmodel::reduced_control_netlist();
+        let blif = simcov_netlist::to_blif(&n, "mutated");
+        let mutated: String = {
+            let mut lines: Vec<String> = blif.lines().map(str::to_string).collect();
+            let idx = lines
+                .iter()
+                .position(|l| l.starts_with(".names") && l.ends_with(" rf_wen"))
+                .expect("rf_wen output buffer exists");
+            lines[idx] = ".names rf_wen".to_string(); // constant-zero cover
+            lines.remove(idx + 1); // drop the old `1 1` row
+            lines.join("\n")
+        };
+        let tmp = tempfile::path(&mutated);
+        let out = run(&args(&["lint", tmp.as_str(), "--allow", "SC008"])).unwrap();
+        assert!(out.text.contains("warn[SC024]"), "{}", out.text);
+        assert!(out.text.contains("warn[SC022]"), "{}", out.text);
+        assert!(out.text.contains("rf_wen"));
+        // Escalation: --deny SC024 flips the exit code.
+        let denied = run(&args(&[
+            "lint",
+            tmp.as_str(),
+            "--allow",
+            "SC008",
+            "--deny",
+            "SC024",
+        ]))
+        .unwrap();
+        assert_eq!(denied.code, 1);
+    }
+
+    #[test]
+    fn lint_model_level_mutation_dropped_transition_flagged() {
+        // Model-level mutation per the acceptance criteria: rebuild the
+        // flagship machine minus one transition; the lint must flag the
+        // hole as SC002 (incomplete-input-alphabet) with the right slot.
+        use simcov_fsm::MealyBuilder;
+        use simcov_lint::{lint_model, LintConfig, ModelTarget};
+        let net = simcov_dlx::testmodel::reduced_control_netlist_observable();
+        let m =
+            enumerate_netlist(&net, &simcov_dlx::testmodel::reduced_valid_inputs(&net)).unwrap();
+        let mut b = MealyBuilder::new();
+        for s in m.states() {
+            b.add_state(m.state_label(s));
+        }
+        for i in m.inputs() {
+            b.add_input(m.input_label(i));
+        }
+        for o in 0..m.num_outputs() {
+            b.add_output(m.output_label(simcov_fsm::OutputSym(o as u32)));
+        }
+        let dropped = m.transitions().next().unwrap();
+        for t in m.transitions().skip(1) {
+            b.add_transition(t.state, t.input, t.next, t.output);
+        }
+        let mutated = b.build(m.reset()).unwrap();
+        let d = lint_model(&ModelTarget::new(&mutated), &LintConfig::new());
+        assert!(d.has_denials());
+        let f: Vec<_> = d.with_code("SC002").collect();
+        assert_eq!(f.len(), 1);
+        assert!(
+            f[0].message.contains("no transition defined"),
+            "{}",
+            d.render_text()
+        );
+        let json = d.render_json();
+        assert!(json.contains("\"code\":\"SC002\""));
+        assert!(json.contains(&format!("\"state\":\"{}\"", m.state_label(dropped.state))));
+    }
+
+    #[test]
+    fn lint_flag_validation() {
+        let e = run(&args(&["lint", "--dlx", "reduced-obs", "--deny", "SC999"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown lint code"));
+        let e = run(&args(&["lint", "--dlx", "reduced-obs", "--format", "xml"])).unwrap_err();
+        assert!(e.message.contains("unknown lint format"));
+        let e = run(&args(&["lint", "--format", "json"])).unwrap_err();
+        assert!(e.message.contains("needs a model path"));
+        // Severity overrides accept names as well as codes.
+        let out = run(&args(&[
+            "lint",
+            "--dlx",
+            "reduced",
+            "--allow",
+            "forall-k-indistinguishable",
+            "--allow",
+            "hidden-latch",
+            "--allow",
+            "non-unique-outputs",
+        ]))
+        .unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("allowed"));
     }
 
     #[test]

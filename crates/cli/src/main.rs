@@ -3,7 +3,12 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match simcov_cli::run(&args) {
-        Ok(output) => print!("{output}"),
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.code != 0 {
+                std::process::exit(out.code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {}", e.message);
             std::process::exit(e.code);

@@ -1,0 +1,64 @@
+//! # simcov-lint — static diagnostics for validation models
+//!
+//! The paper's methodology (Gupta, Malik & Ashar, DAC 1997) hinges on
+//! preconditions that are *checkable before any simulation runs*: the
+//! test model must be a deterministic, complete, strongly connected FSM
+//! whose reachable states are ∀k-distinguishable (Theorem 1), the
+//! five Requirements of Section 4 must hold, and the abstraction map
+//! from the design to the test model must preserve transitions without
+//! collapsing outputs (Sections 6.1–6.3). This crate turns each of
+//! those preconditions into a *coded lint* in the style of compiler
+//! diagnostics:
+//!
+//! * every check has a stable code (`SC001`, …) and kebab-case name,
+//!   registered once in [`codes`];
+//! * findings carry a [`Location`] in model vocabulary (state,
+//!   transition, latch, abstract class) and concrete witnesses;
+//! * severities (`deny` / `warn` / `allow`) resolve per code through a
+//!   [`LintConfig`], so CI can tighten or relax policy without code
+//!   changes;
+//! * reports render as human-readable text or deterministic JSON.
+//!
+//! Three pass families cover the three artifact kinds:
+//!
+//! | family | codes | target |
+//! |---|---|---|
+//! | [`model`] | `SC001`–`SC008` | explicit Mealy machines |
+//! | [`netlist`] | `SC020`–`SC030` | sequential circuits |
+//! | [`abstraction`] | `SC040`–`SC042` | quotient maps |
+//!
+//! ```
+//! use simcov_fsm::MealyBuilder;
+//! use simcov_lint::{lint_model, LintConfig, ModelTarget};
+//!
+//! let mut b = MealyBuilder::new();
+//! let s0 = b.add_state("s0");
+//! let dead = b.add_state("dead");
+//! let i = b.add_input("i");
+//! let o = b.add_output("o");
+//! b.add_transition(s0, i, s0, o);
+//! b.add_transition(dead, i, s0, o);
+//! let m = b.build(s0).unwrap();
+//!
+//! let report = lint_model(&ModelTarget::new(&m), &LintConfig::new());
+//! assert!(report.has_code("SC001")); // `dead` is unreachable
+//! assert!(!report.has_denials());    // ... but that is only a warning
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod codes;
+pub mod diag;
+mod json;
+pub mod model;
+pub mod netlist;
+
+pub use abstraction::{lint_quotient, QuotientTarget};
+pub use codes::{all_codes, find_code};
+pub use diag::{
+    run_passes, Diagnostic, Diagnostics, LintCode, LintConfig, LintPass, Location, Severity,
+};
+pub use model::{lint_build_error, lint_model, model_passes, ModelTarget};
+pub use netlist::{lint_blif_error, lint_netlist, netlist_passes};

@@ -11,7 +11,7 @@
 //! cover lists the ON-set (`1` output column), plus constant covers.
 
 use crate::circuit::{LatchId, Netlist, NodeKind, SignalId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 /// Errors from [`from_blif`].
@@ -162,6 +162,8 @@ pub fn to_blif(n: &Netlist, model_name: &str) -> String {
 
 /// One parsed `.names` cover.
 struct Cover {
+    /// Line the `.names` header appeared on (for error reporting).
+    line: usize,
     inputs: Vec<String>,
     /// Rows of the ON-set: input plane characters `0`, `1`, `-`.
     rows: Vec<Vec<u8>>,
@@ -202,15 +204,24 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
     let mut model_seen = false;
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
-    let mut latches: Vec<(String, String, bool)> = Vec::new(); // (next_net, out_net, init)
+    let mut latches: Vec<(usize, String, String, bool)> = Vec::new(); // (line, next_net, out_net, init)
     let mut covers: HashMap<String, Cover> = HashMap::new();
     let mut current: Option<(String, Cover)> = None;
 
     let finish_cover = |current: &mut Option<(String, Cover)>,
-                        covers: &mut HashMap<String, Cover>| {
+                        covers: &mut HashMap<String, Cover>|
+     -> Result<(), BlifError> {
         if let Some((name, cover)) = current.take() {
-            covers.insert(name, cover);
+            let line = cover.line;
+            if covers.insert(name.clone(), cover).is_some() {
+                // Second definition would silently shadow the first.
+                return Err(BlifError::Syntax {
+                    line,
+                    what: format!("net `{name}` has more than one cover"),
+                });
+            }
         }
+        Ok(())
     };
 
     for (lineno, line) in &lines {
@@ -220,7 +231,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
         }
         match toks[0] {
             ".model" => {
-                finish_cover(&mut current, &mut covers);
+                finish_cover(&mut current, &mut covers)?;
                 if model_seen {
                     return Err(BlifError::Unsupported {
                         line: *lineno,
@@ -230,15 +241,15 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                 model_seen = true;
             }
             ".inputs" => {
-                finish_cover(&mut current, &mut covers);
+                finish_cover(&mut current, &mut covers)?;
                 inputs.extend(toks[1..].iter().map(|s| s.to_string()));
             }
             ".outputs" => {
-                finish_cover(&mut current, &mut covers);
+                finish_cover(&mut current, &mut covers)?;
                 outputs.extend(toks[1..].iter().map(|s| s.to_string()));
             }
             ".latch" => {
-                finish_cover(&mut current, &mut covers);
+                finish_cover(&mut current, &mut covers)?;
                 if toks.len() < 3 {
                     return Err(BlifError::Syntax {
                         line: *lineno,
@@ -251,10 +262,10 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                     Some(&"0") | Some(&"2") | Some(&"3") => false,
                     _ => false,
                 };
-                latches.push((toks[1].to_string(), toks[2].to_string(), init));
+                latches.push((*lineno, toks[1].to_string(), toks[2].to_string(), init));
             }
             ".names" => {
-                finish_cover(&mut current, &mut covers);
+                finish_cover(&mut current, &mut covers)?;
                 if toks.len() < 2 {
                     return Err(BlifError::Syntax {
                         line: *lineno,
@@ -269,6 +280,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                 current = Some((
                     output,
                     Cover {
+                        line: *lineno,
                         inputs: ins,
                         rows: Vec::new(),
                         const_one: false,
@@ -276,7 +288,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                 ));
             }
             ".end" => {
-                finish_cover(&mut current, &mut covers);
+                finish_cover(&mut current, &mut covers)?;
             }
             ".subckt" | ".gate" | ".mlatch" | ".exdc" => {
                 return Err(BlifError::Unsupported {
@@ -285,7 +297,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                 })
             }
             ".clock" | ".wire_load_slope" | ".default_input_arrival" => {
-                finish_cover(&mut current, &mut covers);
+                finish_cover(&mut current, &mut covers)?;
             }
             _ => {
                 // A cover row.
@@ -330,77 +342,119 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
             }
         }
     }
-    finish_cover(&mut current, &mut covers);
+    finish_cover(&mut current, &mut covers)?;
     if !model_seen {
         return Err(BlifError::MissingModel);
     }
 
-    // Build the netlist. Latch outputs and inputs seed the net map; cover
-    // nets are resolved recursively.
+    // Build the netlist. Latch outputs and inputs seed the net map; a net
+    // may have exactly one driver, so seeding collisions are errors
+    // (previously the later definition silently shadowed the earlier one).
     let mut n = Netlist::new();
     let mut nets: HashMap<String, SignalId> = HashMap::new();
     for name in &inputs {
         let s = n.add_input(name.clone());
-        nets.insert(name.clone(), s);
+        if nets.insert(name.clone(), s).is_some() {
+            return Err(BlifError::Syntax {
+                line: 0,
+                what: format!("input `{name}` declared more than once"),
+            });
+        }
     }
     let mut latch_ids: Vec<LatchId> = Vec::new();
-    for (_, out_net, init) in &latches {
+    for (lineno, _, out_net, init) in &latches {
         let name = out_net.strip_prefix("L_").unwrap_or(out_net).to_string();
         let l = n.add_latch(name, *init);
         latch_ids.push(l);
         let s = n.latch_output(l);
-        nets.insert(out_net.clone(), s);
+        if nets.insert(out_net.clone(), s).is_some() {
+            return Err(BlifError::Syntax {
+                line: *lineno,
+                what: format!("net `{out_net}` already driven by an input or latch"),
+            });
+        }
+    }
+    for (name, cover) in &covers {
+        if nets.contains_key(name) {
+            return Err(BlifError::Syntax {
+                line: cover.line,
+                what: format!("cover for `{name}` conflicts with an input or latch driver"),
+            });
+        }
     }
 
-    fn resolve(
-        name: &str,
-        covers: &HashMap<String, Cover>,
+    // Resolves a net to a signal, elaborating its cover on demand. The
+    // traversal is an explicit work stack rather than recursion so that
+    // arbitrarily deep cover chains (attacker- or generator-produced)
+    // cannot overflow the call stack: `Elaborate(name)` frames sit below
+    // their operands and fire once every operand is in `nets`, and the
+    // set of pending `Elaborate` frames is exactly the DFS ancestor chain,
+    // which makes `visiting` an exact combinational-cycle detector.
+    enum Frame<'a> {
+        Visit(&'a str),
+        Elaborate(&'a str),
+    }
+    fn resolve<'a>(
+        root: &'a str,
+        covers: &'a HashMap<String, Cover>,
         nets: &mut HashMap<String, SignalId>,
         n: &mut Netlist,
-        visiting: &mut Vec<String>,
+        visiting: &mut HashSet<&'a str>,
     ) -> Result<SignalId, BlifError> {
-        if let Some(&s) = nets.get(name) {
-            return Ok(s);
-        }
-        if visiting.iter().any(|v| v == name) {
-            return Err(BlifError::CombinationalCycle(name.to_string()));
-        }
-        let Some(cover) = covers.get(name) else {
-            return Err(BlifError::UndefinedNet(name.to_string()));
-        };
-        visiting.push(name.to_string());
-        let result = if cover.inputs.is_empty() {
-            Ok(n.constant(cover.const_one))
-        } else {
-            let ins: Result<Vec<SignalId>, BlifError> = cover
-                .inputs
-                .iter()
-                .map(|i| resolve(i, covers, nets, n, visiting))
-                .collect();
-            let ins = ins?;
-            let mut acc = n.constant(false);
-            for row in &cover.rows {
-                let mut term = n.constant(true);
-                for (k, &c) in row.iter().enumerate() {
-                    let lit = match c {
-                        b'1' => ins[k],
-                        b'0' => n.not(ins[k]),
-                        _ => continue,
+        let mut stack = vec![Frame::Visit(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Visit(name) => {
+                    if nets.contains_key(name) {
+                        continue;
+                    }
+                    if visiting.contains(name) {
+                        return Err(BlifError::CombinationalCycle(name.to_string()));
+                    }
+                    let Some(cover) = covers.get(name) else {
+                        return Err(BlifError::UndefinedNet(name.to_string()));
                     };
-                    term = n.and(term, lit);
+                    visiting.insert(name);
+                    stack.push(Frame::Elaborate(name));
+                    for input in cover.inputs.iter().rev() {
+                        stack.push(Frame::Visit(input));
+                    }
                 }
-                acc = n.or(acc, term);
+                Frame::Elaborate(name) => {
+                    let cover = covers.get(name).expect("visited above");
+                    let s = if cover.inputs.is_empty() {
+                        n.constant(cover.const_one)
+                    } else {
+                        let ins: Vec<SignalId> =
+                            cover.inputs.iter().map(|i| nets[i.as_str()]).collect();
+                        let mut acc = n.constant(false);
+                        for row in &cover.rows {
+                            let mut term = n.constant(true);
+                            for (k, &c) in row.iter().enumerate() {
+                                let lit = match c {
+                                    b'1' => ins[k],
+                                    b'0' => n.not(ins[k]),
+                                    _ => continue,
+                                };
+                                term = n.and(term, lit);
+                            }
+                            acc = n.or(acc, term);
+                        }
+                        acc
+                    };
+                    visiting.remove(name);
+                    nets.insert(name.to_string(), s);
+                }
             }
-            Ok(acc)
-        };
-        visiting.pop();
-        let s = result?;
-        nets.insert(name.to_string(), s);
-        Ok(s)
+        }
+        match nets.get(root) {
+            Some(&s) => Ok(s),
+            None => Err(BlifError::UndefinedNet(root.to_string())),
+        }
     }
 
-    let mut visiting = Vec::new();
-    for (i, (next_net, _, _)) in latches.iter().enumerate() {
+    let mut visiting: HashSet<&str> = HashSet::new();
+    for (i, (_, next_net, _, _)) in latches.iter().enumerate() {
         let s = resolve(next_net, &covers, &mut nets, &mut n, &mut visiting)?;
         n.set_latch_next(latch_ids[i], s);
     }
@@ -535,6 +589,81 @@ mod tests {
             from_blif(".model m\n.subckt foo\n.end"),
             Err(BlifError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn deep_cover_chain_does_not_overflow_stack() {
+        // 100k chained buffers: the old recursive resolver blew the call
+        // stack on inputs like this; the iterative one must not.
+        let mut text = String::from(".model deep\n.inputs a\n.outputs o\n");
+        let depth = 100_000;
+        for i in 0..depth {
+            let from = if i == 0 {
+                "a".to_string()
+            } else {
+                format!("n{}", i - 1)
+            };
+            text.push_str(&format!(".names {from} n{i}\n1 1\n"));
+        }
+        text.push_str(&format!(".names n{} o\n1 1\n.end\n", depth - 1));
+        let n = from_blif(&text).unwrap();
+        let vals = n.eval_all(&[], &[true]);
+        let (_, sig) = n.outputs()[0];
+        assert!(vals[sig.index()]);
+    }
+
+    #[test]
+    fn duplicate_cover_rejected() {
+        let text = ".model m\n.inputs a b\n.outputs o\n\
+                    .names a o\n1 1\n.names b o\n1 1\n.end\n";
+        match from_blif(text) {
+            Err(BlifError::Syntax { line, what }) => {
+                assert_eq!(line, 6, "error points at the duplicate definition");
+                assert!(what.contains("more than one cover"), "{what}");
+            }
+            other => panic!("expected Syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cover_shadowing_input_rejected() {
+        // Previously the cover was silently ignored in favour of the input.
+        let text = ".model m\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n";
+        match from_blif(text) {
+            Err(BlifError::Syntax { what, .. }) => {
+                assert!(what.contains("conflicts with an input or latch"), "{what}")
+            }
+            other => panic!("expected Syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_input_and_latch_nets_rejected() {
+        assert!(matches!(
+            from_blif(".model m\n.inputs a a\n.outputs a\n.end"),
+            Err(BlifError::Syntax { .. })
+        ));
+        let text = ".model m\n.inputs d\n.outputs q\n\
+                    .latch d q re NIL 0\n.latch d q re NIL 1\n.end\n";
+        match from_blif(text) {
+            Err(BlifError::Syntax { line, what }) => {
+                assert_eq!(line, 5);
+                assert!(what.contains("already driven"), "{what}");
+            }
+            other => panic!("expected Syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diamond_sharing_is_not_a_false_cycle() {
+        // x feeds both operands of o: the resolver must visit x twice
+        // without mistaking the revisit for a combinational cycle.
+        let text = ".model m\n.inputs a\n.outputs o\n\
+                    .names a x\n0 1\n.names x x o\n11 1\n.end\n";
+        let n = from_blif(text).unwrap();
+        let vals = n.eval_all(&[], &[false]);
+        let (_, sig) = n.outputs()[0];
+        assert!(vals[sig.index()]);
     }
 
     #[test]

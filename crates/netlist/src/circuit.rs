@@ -339,6 +339,13 @@ impl Netlist {
         self.nodes.get(idx).copied()
     }
 
+    /// The [`SignalId`] for node index `idx`, if in range — the inverse of
+    /// [`SignalId::index`], for read-only traversals (e.g. lints) that
+    /// enumerate the node table.
+    pub fn signal_at(&self, idx: usize) -> Option<SignalId> {
+        (idx < self.nodes.len()).then_some(SignalId(idx as u32))
+    }
+
     /// Summary statistics (the numbers reported per abstraction step in
     /// Fig 3(b)).
     pub fn stats(&self) -> NetlistStats {

@@ -207,3 +207,49 @@ fn built_netlists_are_well_formed() {
         },
     );
 }
+
+/// Robustness: `from_blif` returns `Ok` or `Err` on arbitrary input — it
+/// never panics. Tokens are drawn from a BLIF-flavoured vocabulary (plus
+/// raw garbage) so the fuzz reaches deep into the parser and resolver
+/// rather than dying at the first keyword.
+#[test]
+fn from_blif_never_panics() {
+    const VOCAB: &[&str] = &[
+        ".model", ".inputs", ".outputs", ".names", ".latch", ".end", ".subckt", ".clock", "m", "a",
+        "b", "n1", "n2", "o", "re", "NIL", "0", "1", "2", "-", "11", "1-", "-1", "10", "0-1", "\\",
+        "#x", "[", "1 1",
+    ];
+    forall_cfg("from_blif_never_panics", Config::with_cases(256), |g| {
+        let mut text = String::new();
+        for _ in 0..g.int_in(0..60usize) {
+            let tok = VOCAB[g.int_in(0..VOCAB.len())];
+            text.push_str(tok);
+            text.push(if g.bool() { ' ' } else { '\n' });
+        }
+        // Also splice in raw bytes occasionally.
+        if g.bool() {
+            for _ in 0..g.int_in(0..12usize) {
+                text.push(g.u8() as char);
+            }
+        }
+        let _ = simcov_netlist::from_blif(&text);
+    });
+}
+
+/// Round-trip fuzz: every netlist this crate can build exports to BLIF
+/// text that re-imports cleanly (the importer accepts the exporter's
+/// dialect, with behaviour preserved under random stimulus).
+#[test]
+fn blif_roundtrip_on_random_netlists() {
+    forall_cfg(
+        "blif_roundtrip_on_random_netlists",
+        Config::with_cases(48),
+        |g| {
+            let n = build(&recipe(g));
+            let text = simcov_netlist::to_blif(&n, "fuzz");
+            let back = simcov_netlist::from_blif(&text).expect("exporter dialect re-imports");
+            let stim = input_stream(&n, g.u64(), 24);
+            assert_eq!(trace(&n, &stim), trace(&back, &stim));
+        },
+    );
+}
