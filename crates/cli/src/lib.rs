@@ -22,11 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use simcov_core::{enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace};
+use simcov_core::{
+    default_jobs, enumerate_single_faults, extend_cyclically, FaultSpace, ResilientCampaign,
+};
 use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PairFsm, SymbolicFsm};
 use simcov_netlist::Netlist;
 use simcov_tour::{coverage, greedy_transition_tour, state_tour, transition_tour, TestSet};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -90,6 +93,8 @@ USAGE:
   simcov tour <model.blif> [--greedy | --state]
   simcov distinguish <model.blif> --k <K> [--all-pairs]
   simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>] [--jobs <J>]
+                  [--deadline <MS>] [--max-steps <N>] [--max-retries <R>]
+                  [--checkpoint <FILE>] [--resume]
   simcov dot <model.blif>
   simcov normalize <model.blif>
   simcov dlx <fig3a | fig3b | final | reduced | reduced-obs>
@@ -99,13 +104,29 @@ USAGE:
 OPTIONS:
   --jobs <J>    worker threads for the fault campaign (0 or omitted =
                 all available cores); results are identical for every J
+  --deadline <MS>
+                wall-clock budget in milliseconds; the campaign stops
+                cooperatively at the next fault boundary when it expires
+  --max-steps <N>
+                total simulation-step budget (one step per test vector
+                per fault); deterministic truncation, unlike --deadline
+  --max-retries <R>
+                attempts per panicking shard before it is quarantined
+                (default 2)
+  --checkpoint <FILE>
+                journal completed shards to FILE as the campaign runs
+  --resume      restore journaled shards from --checkpoint FILE and
+                simulate only the rest; the merged report is byte-
+                identical to an uninterrupted run
   --deny/--warn/--allow <C>
                 override the severity of lint code C (e.g. SC001 or
                 unreachable-state); repeatable, later flags win
   --format <F>  lint report format: text (default) or json
 
 Lint exits 0 when no deny-level diagnostics fire, 1 otherwise; the
-report always goes to stdout.
+report always goes to stdout. Campaign exits 0 when every fault was
+simulated and 3 on a partial (truncated or shard-quarantined) report,
+so scripts can tell a valid-but-incomplete result from an error.
 ";
 
 fn load_model(path: &str) -> Result<Netlist, CliError> {
@@ -219,15 +240,63 @@ pub fn cmd_distinguish(path: &str, k: usize, all_pairs: bool) -> Result<String, 
     Ok(out)
 }
 
-/// `simcov campaign`: tour-driven fault campaign on the parallel engine
-/// (`jobs` worker threads; 0 = all available cores).
-pub fn cmd_campaign(
-    path: &str,
-    max_faults: usize,
-    seed: u64,
-    k: usize,
-    jobs: usize,
-) -> Result<String, CliError> {
+/// Exit code for a campaign that completed *validly* but not *fully*
+/// (deadline/step-budget truncation or quarantined shards): distinct from
+/// 0 (complete), 1 (runtime error) and 2 (usage error).
+pub const EXIT_PARTIAL: i32 = 3;
+
+/// Options for `simcov campaign` (see [`cmd_campaign`]).
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// Fault-sample cap (`--max-faults`).
+    pub max_faults: usize,
+    /// Fault-sampling seed (`--seed`).
+    pub seed: u64,
+    /// Cyclic tour extension (`--k`).
+    pub k: usize,
+    /// Worker threads; 0 = all available cores (`--jobs`).
+    pub jobs: usize,
+    /// Retry budget per panicking shard (`--max-retries`).
+    pub max_retries: usize,
+    /// Wall-clock budget in milliseconds (`--deadline`).
+    pub deadline_ms: Option<u64>,
+    /// Total simulation-step budget (`--max-steps`).
+    pub max_steps: Option<u64>,
+    /// Checkpoint-journal path (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Restore journaled shards before simulating (`--resume`).
+    pub resume: bool,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        CampaignOpts {
+            max_faults: 2000,
+            seed: 0,
+            k: 2,
+            jobs: 0,
+            max_retries: 2,
+            deadline_ms: None,
+            max_steps: None,
+            checkpoint: None,
+            resume: false,
+        }
+    }
+}
+
+/// `simcov campaign`: tour-driven fault campaign on the supervised
+/// parallel engine.
+///
+/// Always runs under the resilient supervisor, so `--deadline`,
+/// `--max-steps`, `--checkpoint` and `--resume` compose freely with the
+/// plain flags. Exits 0 for a complete report and [`EXIT_PARTIAL`] for a
+/// truncated or shard-quarantined one — every line of a partial report is
+/// still exact; the `status:`/`bounds:` lines account for what is
+/// missing.
+pub fn cmd_campaign(path: &str, opts: &CampaignOpts) -> Result<CmdOutput, CliError> {
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err(CliError::usage("--resume requires --checkpoint <FILE>"));
+    }
     let n = load_model(path)?;
     let m = enumerate(&n)?;
     let tour = transition_tour(&m)
@@ -235,18 +304,67 @@ pub fn cmd_campaign(
     let faults = enumerate_single_faults(
         &m,
         &FaultSpace {
-            max_faults,
-            seed,
+            max_faults: opts.max_faults,
+            seed: opts.seed,
             ..FaultSpace::default()
         },
     );
-    let tests = TestSet::single(extend_cyclically(&tour.inputs, k));
-    let run = FaultCampaign::new(&m, &faults, &tests).jobs(jobs).run();
+    let tests = TestSet::single(extend_cyclically(&tour.inputs, opts.k));
+    // The supervisor clamps jobs(0) to serial, so the CLI's "0 = all
+    // cores" convention is resolved here.
+    let jobs = if opts.jobs == 0 {
+        default_jobs()
+    } else {
+        opts.jobs
+    };
+    let mut campaign = ResilientCampaign::new(&m, &faults, &tests)
+        .jobs(jobs)
+        .max_retries(opts.max_retries);
+    if let Some(ms) = opts.deadline_ms {
+        campaign = campaign.deadline(Duration::from_millis(ms));
+    }
+    if let Some(steps) = opts.max_steps {
+        campaign = campaign.max_steps(steps);
+    }
+    if let Some(path) = &opts.checkpoint {
+        campaign = campaign.checkpoint(path).resume(opts.resume);
+    }
+    let run = campaign
+        .run()
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "model: {m:?}");
-    let _ = writeln!(out, "tour: {tour} (extended by k={k})");
+    let _ = writeln!(out, "tour: {tour} (extended by k={})", opts.k);
     let _ = writeln!(out, "campaign: {}", run.report);
     let _ = writeln!(out, "stats: {}", run.stats);
+    if run.is_complete {
+        let _ = writeln!(out, "status: complete ({} shards)", run.total_shards);
+    } else {
+        let missing = run.skipped.len() + run.failures.len();
+        let reason = match run.stopped {
+            Some(r) => r.to_string(),
+            None => "shards quarantined".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "status: partial ({reason}): {missing} of {} shards missing",
+            run.total_shards
+        );
+        let _ = writeln!(out, "bounds: {}", run.bounds);
+    }
+    if run.restored_shards > 0 {
+        let _ = writeln!(
+            out,
+            "restored: {} of {} shards from checkpoint",
+            run.restored_shards, run.total_shards
+        );
+    }
+    for note in &run.journal_notes {
+        let _ = writeln!(out, "note: {note}");
+    }
+    for f in run.failures.iter().take(8) {
+        let _ = writeln!(out, "failure: {f}");
+    }
     let _ = writeln!(
         out,
         "wall: {:.1} ms on {} worker thread{}",
@@ -257,7 +375,8 @@ pub fn cmd_campaign(
     for esc in run.report.escapes().take(8) {
         let _ = writeln!(out, "  escape: {}", esc.fault);
     }
-    Ok(out)
+    let code = if run.is_complete { 0 } else { EXIT_PARTIAL };
+    Ok(CmdOutput { text: out, code })
 }
 
 /// `simcov dot`: the reachable FSM in Graphviz format.
@@ -401,11 +520,26 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
             .and_then(|i| rest.get(i + 1))
             .map(|s| s.as_str())
     };
+    // Flags that take no value; everything else starting with `--`
+    // consumes the following token, so a positional path is recognised
+    // wherever it appears (`campaign --seed 3 m.blif` and
+    // `campaign m.blif --seed 3` both work).
+    const BOOL_FLAGS: [&str; 5] = ["--greedy", "--state", "--all-pairs", "--resume", "--help"];
     let positional = || -> Result<&str, CliError> {
-        rest.iter()
-            .find(|a| !a.starts_with("--"))
-            .map(|s| s.as_str())
-            .ok_or_else(|| CliError::usage(format!("`{cmd}` needs a model path\n\n{USAGE}")))
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i].as_str();
+            if BOOL_FLAGS.contains(&a) {
+                i += 1;
+            } else if a.starts_with("--") {
+                i += 2;
+            } else {
+                return Ok(a);
+            }
+        }
+        Err(CliError::usage(format!(
+            "`{cmd}` needs a model path\n\n{USAGE}"
+        )))
     };
     match cmd.as_str() {
         "lint" => {
@@ -489,35 +623,32 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
             cmd_distinguish(positional()?, k, all_pairs)
         }
         "campaign" => {
-            let max_faults = flag_value("--max-faults")
-                .map(|v| {
-                    v.parse()
-                        .map_err(|_| CliError::usage("--max-faults must be a number"))
-                })
-                .transpose()?
-                .unwrap_or(2000);
-            let seed = flag_value("--seed")
-                .map(|v| {
-                    v.parse()
-                        .map_err(|_| CliError::usage("--seed must be a number"))
-                })
-                .transpose()?
-                .unwrap_or(0);
-            let k = flag_value("--k")
-                .map(|v| {
-                    v.parse()
-                        .map_err(|_| CliError::usage("--k must be a number"))
-                })
-                .transpose()?
-                .unwrap_or(2);
-            let jobs = flag_value("--jobs")
-                .map(|v| {
-                    v.parse()
-                        .map_err(|_| CliError::usage("--jobs must be a number"))
-                })
-                .transpose()?
-                .unwrap_or(0);
-            cmd_campaign(positional()?, max_faults, seed, k, jobs)
+            fn num<T: std::str::FromStr>(
+                value: Option<&str>,
+                name: &str,
+            ) -> Result<Option<T>, CliError> {
+                value
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| CliError::usage(format!("{name} must be a number")))
+                    })
+                    .transpose()
+            }
+            let defaults = CampaignOpts::default();
+            let opts = CampaignOpts {
+                max_faults: num(flag_value("--max-faults"), "--max-faults")?
+                    .unwrap_or(defaults.max_faults),
+                seed: num(flag_value("--seed"), "--seed")?.unwrap_or(defaults.seed),
+                k: num(flag_value("--k"), "--k")?.unwrap_or(defaults.k),
+                jobs: num(flag_value("--jobs"), "--jobs")?.unwrap_or(defaults.jobs),
+                max_retries: num(flag_value("--max-retries"), "--max-retries")?
+                    .unwrap_or(defaults.max_retries),
+                deadline_ms: num(flag_value("--deadline"), "--deadline")?,
+                max_steps: num(flag_value("--max-steps"), "--max-steps")?,
+                checkpoint: flag_value("--checkpoint").map(str::to_string),
+                resume: rest.iter().any(|a| a.as_str() == "--resume"),
+            };
+            return cmd_campaign(positional()?, &opts);
         }
         "dot" => cmd_dot(positional()?),
         "normalize" => cmd_normalize(positional()?),
@@ -564,14 +695,18 @@ mod tests {
             }
         }
         pub fn path(contents: &str) -> TempPath {
+            path_tagged("model", contents)
+        }
+
+        pub fn path_tagged(tag: &str, contents: &str) -> TempPath {
             let mut p = std::env::temp_dir();
             let unique = format!(
-                "simcov_cli_test_{}_{:?}.blif",
+                "simcov_cli_test_{tag}_{}_{:?}.blif",
                 std::process::id(),
                 std::thread::current().id()
             );
             p.push(unique);
-            std::fs::write(&p, contents).expect("write temp blif");
+            std::fs::write(&p, contents).expect("write temp file");
             TempPath(p)
         }
     }
@@ -801,14 +936,26 @@ mod tests {
         assert!(out.contains("example pair"));
     }
 
+    fn campaign_opts(max_faults: usize, seed: u64, k: usize, jobs: usize) -> CampaignOpts {
+        CampaignOpts {
+            max_faults,
+            seed,
+            k,
+            jobs,
+            ..CampaignOpts::default()
+        }
+    }
+
     #[test]
     fn campaign_runs_and_reports() {
         let tmp = write_reduced_blif();
-        let out = cmd_campaign(tmp.as_str(), 300, 7, 1, 2).unwrap();
-        assert!(out.contains("campaign:"));
-        assert!(out.contains("faults detected"));
-        assert!(out.contains("stats:"));
-        assert!(out.contains("worker thread"));
+        let out = cmd_campaign(tmp.as_str(), &campaign_opts(300, 7, 1, 2)).unwrap();
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("campaign:"));
+        assert!(out.text.contains("faults detected"));
+        assert!(out.text.contains("stats:"));
+        assert!(out.text.contains("status: complete"));
+        assert!(out.text.contains("worker thread"));
     }
 
     #[test]
@@ -820,9 +967,120 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        let one = strip_wall(cmd_campaign(tmp.as_str(), 200, 3, 1, 1).unwrap());
-        let four = strip_wall(cmd_campaign(tmp.as_str(), 200, 3, 1, 4).unwrap());
+        let one = strip_wall(
+            cmd_campaign(tmp.as_str(), &campaign_opts(200, 3, 1, 1))
+                .unwrap()
+                .text,
+        );
+        let four = strip_wall(
+            cmd_campaign(tmp.as_str(), &campaign_opts(200, 3, 1, 4))
+                .unwrap()
+                .text,
+        );
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn campaign_zero_deadline_is_partial_with_exit_code() {
+        let tmp = write_reduced_blif();
+        let out = run(&args(&[
+            "campaign",
+            tmp.as_str(),
+            "--max-faults",
+            "200",
+            "--deadline",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(out.code, EXIT_PARTIAL);
+        assert!(
+            out.text.contains("status: partial (deadline expired)"),
+            "{}",
+            out.text
+        );
+        assert!(
+            out.text.contains("bounds: detection rate in"),
+            "{}",
+            out.text
+        );
+    }
+
+    #[test]
+    fn campaign_checkpoint_resume_matches_single_shot() {
+        let tmp = write_reduced_blif();
+        let journal = tempfile::path_tagged("journal", "");
+        let campaign_lines = |text: &str| -> String {
+            text.lines()
+                .filter(|l| l.starts_with("campaign:") || l.starts_with("stats:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let single = run(&args(&[
+            "campaign",
+            tmp.as_str(),
+            "--max-faults",
+            "200",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(single.code, 0);
+        // Truncated run journals a prefix of the shards...
+        let partial = run(&args(&[
+            "campaign",
+            tmp.as_str(),
+            "--max-faults",
+            "200",
+            "--jobs",
+            "2",
+            "--max-steps",
+            "60000",
+            "--checkpoint",
+            journal.as_str(),
+        ]))
+        .unwrap();
+        assert_eq!(partial.code, EXIT_PARTIAL, "{}", partial.text);
+        // ...and the resumed run completes to a byte-identical report.
+        let resumed = run(&args(&[
+            "campaign",
+            tmp.as_str(),
+            "--max-faults",
+            "200",
+            "--jobs",
+            "2",
+            "--checkpoint",
+            journal.as_str(),
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(resumed.code, 0, "{}", resumed.text);
+        assert!(resumed.text.contains("restored:"), "{}", resumed.text);
+        assert_eq!(campaign_lines(&resumed.text), campaign_lines(&single.text));
+    }
+
+    #[test]
+    fn campaign_resume_requires_checkpoint() {
+        let e = run(&args(&["campaign", "x.blif", "--resume"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--checkpoint"));
+    }
+
+    #[test]
+    fn positional_path_after_flag_values() {
+        let tmp = write_reduced_blif();
+        // The path follows a value-taking flag: must not be mistaken for
+        // the flag's value.
+        let out = run(&args(&[
+            "campaign",
+            "--max-faults",
+            "100",
+            "--seed",
+            "3",
+            tmp.as_str(),
+        ]))
+        .unwrap();
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("status: complete"));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`faults`] — fault campaigns that *empirically* validate the
 //!   certificates: every injected fault must be caught by a transition
 //!   tour on a compliant model;
+//! * [`resilient`] — crash-safe campaign supervision: panic isolation,
+//!   deadlines/step budgets, durable checkpoint/resume and deterministic
+//!   chaos injection;
 //! * [`harness`] — the checkpointed co-simulation harness of Figure 1
 //!   (specification vs implementation, compared at instruction
 //!   completion);
@@ -42,6 +45,7 @@ pub mod harness;
 pub mod models;
 pub mod parallel;
 pub mod requirements;
+pub mod resilient;
 pub mod testutil;
 pub mod theorems;
 
@@ -55,10 +59,14 @@ pub use faults::{
 };
 pub use harness::{validate, MachineTrace, Mismatch, TraceSource};
 pub use parallel::{
-    default_jobs, run_sharded, CampaignRun, CampaignStats, FaultCampaign, ShardTiming,
+    default_jobs, default_shard_size, run_sharded, CampaignRun, CampaignStats, FaultCampaign,
+    ShardTiming,
 };
 pub use requirements::{
     check_req1_uniform_outputs, check_req2_bounded_processing, check_req3_unique_outputs,
-    check_req5_observable, StallBound,
+    check_req5_observable, Req1Violation, StallBound,
+};
+pub use resilient::{
+    CampaignError, CoverageBounds, ResilientCampaign, ResilientRun, ShardFailure, StopReason,
 };
 pub use theorems::{certify_completeness, CompletenessCertificate, CompletenessViolation};

@@ -41,7 +41,11 @@ pub fn default_jobs() -> usize {
 /// Shard size for `len` items: contiguous ranges, at most 256 shards.
 /// Purely a function of `len` so the partition — and therefore every
 /// deterministic field of the result — is independent of the job count.
-fn default_shard_size(len: usize) -> usize {
+///
+/// Public because the shard partition is part of the deterministic result
+/// surface: the resilient supervisor and the checkpoint journal must
+/// compute exactly this partition to restore a campaign bit-identically.
+pub fn default_shard_size(len: usize) -> usize {
     len.div_ceil(256).max(1)
 }
 
@@ -221,43 +225,45 @@ pub struct FaultCampaign<'a> {
 
 impl<'a> FaultCampaign<'a> {
     /// A campaign with automatic worker count ([`default_jobs`]) and
-    /// automatic sharding.
+    /// automatic sharding ([`default_shard_size`]).
     pub fn new(golden: &'a ExplicitMealy, faults: &'a [Fault], tests: &'a TestSet) -> Self {
         FaultCampaign {
             golden,
             faults,
             tests,
-            jobs: 0,
-            shard_size: 0,
+            jobs: default_jobs(),
+            shard_size: default_shard_size(faults.len()),
         }
     }
 
-    /// Sets the worker count (0 = automatic).
+    /// Sets the worker count. `0` is clamped to `1` (serial execution):
+    /// a zero-worker pool cannot make progress, and silently treating `0`
+    /// as "automatic" would make `jobs(0)` mean something different from
+    /// every other value. Use [`default_jobs`] explicitly for "all cores".
     pub fn jobs(mut self, jobs: usize) -> Self {
-        self.jobs = jobs;
+        self.jobs = jobs.max(1);
+        // Documented invariant: the stored worker count is always usable.
+        debug_assert!(self.jobs >= 1, "jobs(0) clamps to serial execution");
         self
     }
 
-    /// Sets the shard size (0 = automatic). The shard partition is part
-    /// of the deterministic result surface (`stats.shards`), so two runs
-    /// only compare equal if they use the same shard size.
+    /// Sets the shard size. `0` is clamped to `1` (one fault per shard):
+    /// zero-sized chunks are meaningless and `slice::chunks` would panic.
+    /// The shard partition is part of the deterministic result surface
+    /// (`stats.shards`), so two runs only compare equal if they use the
+    /// same shard size; use [`default_shard_size`] for the automatic
+    /// partition.
     pub fn shard_size(mut self, shard_size: usize) -> Self {
-        self.shard_size = shard_size;
+        self.shard_size = shard_size.max(1);
+        // Documented invariant: `chunks(shard_size)` never sees zero.
+        debug_assert!(self.shard_size >= 1, "shard_size(0) clamps to 1");
         self
     }
 
     /// Runs the campaign on the worker pool.
     pub fn run(&self) -> CampaignRun {
-        let jobs = if self.jobs == 0 {
-            default_jobs()
-        } else {
-            self.jobs
-        };
-        let shard_size = if self.shard_size == 0 {
-            default_shard_size(self.faults.len())
-        } else {
-            self.shard_size
-        };
+        let jobs = self.jobs;
+        let shard_size = self.shard_size;
         let t0 = Instant::now();
         let per_shard = run_sharded(self.faults, shard_size, jobs, |_, shard| {
             let st = Instant::now();
@@ -408,6 +414,30 @@ mod tests {
         for (i, t) in run.timings.iter().enumerate() {
             assert_eq!(t.shard, i);
         }
+    }
+
+    #[test]
+    fn jobs_zero_clamps_to_serial() {
+        let (m, faults, tests) = fixture();
+        let zero = FaultCampaign::new(&m, &faults, &tests).jobs(0).run();
+        let one = FaultCampaign::new(&m, &faults, &tests).jobs(1).run();
+        assert_eq!(zero.jobs, 1, "jobs(0) must clamp to serial execution");
+        assert_eq!(zero.stats, one.stats);
+        assert_eq!(zero.report, one.report);
+    }
+
+    #[test]
+    fn shard_size_zero_clamps_to_one_fault_per_shard() {
+        let (m, faults, tests) = fixture();
+        let run = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(0)
+            .run();
+        // Clamped to 1 => exactly one shard per fault, and the outcomes
+        // still match the default partition's.
+        assert_eq!(run.stats.shards, faults.len());
+        let baseline = FaultCampaign::new(&m, &faults, &tests).jobs(1).run();
+        assert_eq!(run.report, baseline.report);
     }
 
     #[test]

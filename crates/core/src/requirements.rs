@@ -8,8 +8,32 @@
 //! | 4 | transfer errors are not masked | assumption; per-sequence symptom detector in [`crate::error_model::is_masked_on`] |
 //! | 5 | interaction state is observable | [`check_req5_observable`] (name-set containment) |
 
-use simcov_abstraction::{build_quotient, OutputConflict, Quotient};
+use simcov_abstraction::{build_quotient, OutputConflict, Quotient, QuotientError};
 use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+
+/// Why [`check_req1_uniform_outputs`] rejected an abstraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Req1Violation {
+    /// The quotient's class vectors do not fit the machine's dimensions —
+    /// a malformed abstraction map, not an over-abstraction verdict.
+    WidthMismatch(QuotientError),
+    /// The requirement itself fails: these concrete transition pairs map
+    /// to the same abstract transition but emit different outputs.
+    OutputConflicts(Vec<OutputConflict>),
+}
+
+impl std::fmt::Display for Req1Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Req1Violation::WidthMismatch(e) => write!(f, "malformed abstraction map: {e}"),
+            Req1Violation::OutputConflicts(c) => {
+                write!(f, "{} non-uniform output conflicts", c.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Req1Violation {}
 
 /// Requirement 1 — *"All output errors are uniform."*
 ///
@@ -21,16 +45,19 @@ use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
 ///
 /// # Errors
 ///
-/// The output conflicts found (empty ⇔ requirement satisfied).
+/// [`Req1Violation::OutputConflicts`] with the witnesses (empty ⇔
+/// requirement satisfied), or [`Req1Violation::WidthMismatch`] if the
+/// quotient does not even fit the machine — a user-supplied malformed map
+/// is reported, not panicked on.
 pub fn check_req1_uniform_outputs(
     concrete: &ExplicitMealy,
     q: &Quotient,
-) -> Result<(), Vec<OutputConflict>> {
-    let r = build_quotient(concrete, q).expect("quotient dimensions must match the machine");
+) -> Result<(), Req1Violation> {
+    let r = build_quotient(concrete, q).map_err(Req1Violation::WidthMismatch)?;
     if r.output_conflicts.is_empty() {
         Ok(())
     } else {
-        Err(r.output_conflicts)
+        Err(Req1Violation::OutputConflicts(r.output_conflicts))
     }
 }
 
@@ -226,8 +253,23 @@ mod tests {
         let s3 = m.state_by_label("3").unwrap();
         let s3p = m.state_by_label("3'").unwrap();
         let q = Quotient::by_state_key(&m, |s| if s == s3 || s == s3p { u32::MAX } else { s.0 });
-        let conflicts = check_req1_uniform_outputs(&m, &q).unwrap_err();
-        assert!(!conflicts.is_empty());
+        match check_req1_uniform_outputs(&m, &q).unwrap_err() {
+            Req1Violation::OutputConflicts(conflicts) => assert!(!conflicts.is_empty()),
+            other => panic!("expected output conflicts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn req1_malformed_quotient_rejected_not_panicked() {
+        let (m, _) = crate::testutil::figure2();
+        let mut q = Quotient::identity(&m);
+        q.state_class.pop(); // wrong width: no longer covers every state
+        match check_req1_uniform_outputs(&m, &q).unwrap_err() {
+            Req1Violation::WidthMismatch(e) => {
+                assert!(e.to_string().contains("state"), "{e}");
+            }
+            other => panic!("expected width mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,1516 @@
+//! Crash-safe campaign supervision: panic isolation, deadlines, durable
+//! checkpoint/resume, and deterministic chaos injection.
+//!
+//! At production scale a fault campaign runs for hours across millions of
+//! injected faults, and the plain [`FaultCampaign`](crate::FaultCampaign)
+//! engine has an all-or-nothing failure mode: one panicking shard (or a
+//! `SIGKILL`ed process) throws the whole run away. [`ResilientCampaign`]
+//! layers four guarantees over the same sharded execution model, without
+//! giving up bit-identical determinism:
+//!
+//! 1. **Panic isolation** — each shard runs under
+//!    [`std::panic::catch_unwind`]. A panicking shard is retried up to a
+//!    bounded budget and then *quarantined*: the campaign completes and
+//!    reports the poisoned shards explicitly ([`ShardFailure`]) together
+//!    with coverage bounds over the unsimulated faults.
+//! 2. **Deadlines and step budgets** — a wall-clock deadline and a total
+//!    simulation-step budget are enforced by cooperative cancellation
+//!    checked *between faults*, so a run is truncated at fault
+//!    granularity and the partial report is still valid (every outcome in
+//!    it is exact; the missing shards are accounted for).
+//! 3. **Durable checkpoints** — completed shards are journaled to a
+//!    versioned, zero-dependency text file as they finish. After a crash
+//!    or kill, [`resume`](ResilientCampaign::resume) restores the
+//!    journaled shards and simulates only the rest; because the shard
+//!    partition is a pure function of the fault count
+//!    ([`default_shard_size`]) and per-shard results are deterministic,
+//!    the merged [`CampaignStats`] and [`CampaignReport`] are
+//!    byte-identical to an uninterrupted run. Torn trailing records (the
+//!    `SIGKILL` signature) are detected by a per-record checksum and
+//!    simply re-run.
+//! 4. **Deterministic chaos** *(feature `chaos`, test-only)* — injected
+//!    panics, artificial delays and checkpoint-write failures, all pure
+//!    functions of `(seed, shard, attempt)` via the in-repo
+//!    [`simcov_prng`], so every failure scenario in the test suite is
+//!    reproducible from a single seed.
+//!
+//! The journal format (`simcov-journal v1`) is line-oriented text:
+//!
+//! ```text
+//! simcov-journal v1
+//! campaign faults=210 shards=4 shard_size=64 fingerprint=9bb90e2c07a1f34d
+//! shard 2 faults=64 detected=60 excited=62 masked=3 escapes=2
+//! o 5 1 t 3 0:17 1 0
+//! o 5 1 w 2 - 0 1
+//! ...
+//! end 2 crc=52ae8c11b09df7e3
+//! ```
+//!
+//! The `campaign` header carries an FNV-1a fingerprint of the machine,
+//! the fault list, the test set and the shard size; resuming against a
+//! different campaign is rejected with [`CampaignError::JournalMismatch`]
+//! instead of silently merging incompatible results. Each `shard … end`
+//! block is self-checking (`crc` over its bytes) and shards are verified
+//! fault-by-fault against the expected fault list on load.
+
+use crate::error_model::{Fault, FaultKind};
+use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
+use crate::parallel::{default_jobs, default_shard_size, CampaignStats};
+use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+use simcov_tour::TestSet;
+use std::fmt;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// A campaign-level failure the supervisor cannot degrade around.
+///
+/// Shard-level failures (panics, truncation) never surface here — they
+/// are reported inside [`ResilientRun`]. Only checkpoint-journal problems
+/// that would make the result *wrong* (unreadable journal, journal of a
+/// different campaign) abort the run.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The checkpoint journal could not be read or created.
+    Journal {
+        /// Journal path.
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The journal exists but belongs to a different campaign (different
+    /// model, fault list, test set or shard size) or a different format
+    /// version — resuming from it would merge incompatible results.
+    JournalMismatch {
+        /// Journal path.
+        path: PathBuf,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Journal { path, detail } => {
+                write!(f, "checkpoint journal {}: {detail}", path.display())
+            }
+            CampaignError::JournalMismatch { path, detail } => write!(
+                f,
+                "checkpoint journal {} does not match this campaign: {detail}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+// ---------------------------------------------------------------------------
+// FNV-1a hashing (fingerprints + record checksums), zero-dependency.
+
+/// FNV-1a 64-bit hasher: tiny, stable across platforms, good enough to
+/// fingerprint campaign inputs and checksum journal records (corruption
+/// detection, not cryptographic integrity).
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= u64::from(x);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprints everything the deterministic result depends on: machine
+/// transition table, fault list, test set and shard partition.
+fn fingerprint(m: &ExplicitMealy, faults: &[Fault], tests: &TestSet, shard_size: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(m.num_states() as u64);
+    h.u64(m.num_inputs() as u64);
+    h.u64(m.num_outputs() as u64);
+    h.u64(u64::from(m.reset().0));
+    for s in m.states() {
+        for i in m.inputs() {
+            match m.step(s, i) {
+                Some((n, o)) => {
+                    h.u64(u64::from(n.0));
+                    h.u64(u64::from(o.0));
+                }
+                None => h.u64(u64::MAX),
+            }
+        }
+    }
+    h.u64(faults.len() as u64);
+    for f in faults {
+        h.u64(u64::from(f.state.0));
+        h.u64(u64::from(f.input.0));
+        match f.kind {
+            FaultKind::Transfer { new_next } => {
+                h.u64(1);
+                h.u64(u64::from(new_next.0));
+            }
+            FaultKind::Output { new_output } => {
+                h.u64(2);
+                h.u64(u64::from(new_output.0));
+            }
+        }
+    }
+    h.u64(tests.sequences.len() as u64);
+    for seq in &tests.sequences {
+        h.u64(seq.len() as u64);
+        for sym in seq {
+            h.u64(u64::from(sym.0));
+        }
+    }
+    h.u64(shard_size as u64);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Journal serialization
+
+const JOURNAL_MAGIC: &str = "simcov-journal v1";
+
+/// One `o` line: exact, lossless text encoding of a [`FaultOutcome`].
+fn encode_outcome(o: &FaultOutcome) -> String {
+    let (kind, arg) = match o.fault.kind {
+        FaultKind::Transfer { new_next } => ('t', new_next.0),
+        FaultKind::Output { new_output } => ('w', new_output.0),
+    };
+    let det = match o.detected {
+        Some((si, vi)) => format!("{si}:{vi}"),
+        None => "-".to_string(),
+    };
+    format!(
+        "o {} {} {kind} {arg} {det} {} {}",
+        o.fault.state.0,
+        o.fault.input.0,
+        u8::from(o.excited),
+        u8::from(o.masked_somewhere),
+    )
+}
+
+fn decode_outcome(line: &str) -> Option<FaultOutcome> {
+    let mut it = line.split(' ');
+    if it.next()? != "o" {
+        return None;
+    }
+    let state = StateId(it.next()?.parse().ok()?);
+    let input = InputSym(it.next()?.parse().ok()?);
+    let kind = it.next()?;
+    let arg: u32 = it.next()?.parse().ok()?;
+    let kind = match kind {
+        "t" => FaultKind::Transfer {
+            new_next: StateId(arg),
+        },
+        "w" => FaultKind::Output {
+            new_output: OutputSym(arg),
+        },
+        _ => return None,
+    };
+    let det = it.next()?;
+    let detected = if det == "-" {
+        None
+    } else {
+        let (si, vi) = det.split_once(':')?;
+        Some((si.parse().ok()?, vi.parse().ok()?))
+    };
+    let excited = match it.next()? {
+        "1" => true,
+        "0" => false,
+        _ => return None,
+    };
+    let masked = match it.next()? {
+        "1" => true,
+        "0" => false,
+        _ => return None,
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some(FaultOutcome {
+        fault: Fault { state, input, kind },
+        detected,
+        excited,
+        masked_somewhere: masked,
+    })
+}
+
+fn shard_header_line(shard: usize, stats: &CampaignStats) -> String {
+    format!(
+        "shard {shard} faults={} detected={} excited={} masked={} escapes={}",
+        stats.faults_simulated, stats.detected, stats.excited, stats.masked, stats.escapes
+    )
+}
+
+/// Append-only journal writer. Every [`write_shard`](Self::write_shard)
+/// flushes and fsyncs, so a record either fully lands on disk or is torn
+/// at the tail — and torn tails are exactly what the loader's per-record
+/// checksum discards.
+struct JournalWriter {
+    path: PathBuf,
+    file: BufWriter<std::fs::File>,
+}
+
+impl JournalWriter {
+    fn create(
+        path: &Path,
+        fp: u64,
+        faults: usize,
+        shards: usize,
+        shard_size: usize,
+    ) -> Result<Self, CampaignError> {
+        let io = |e: std::io::Error| CampaignError::Journal {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let file = std::fs::File::create(path).map_err(io)?;
+        let mut w = JournalWriter {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+        };
+        writeln!(w.file, "{JOURNAL_MAGIC}").map_err(io)?;
+        writeln!(
+            w.file,
+            "campaign faults={faults} shards={shards} shard_size={shard_size} \
+             fingerprint={fp:016x}"
+        )
+        .map_err(io)?;
+        w.sync().map_err(io)?;
+        Ok(w)
+    }
+
+    fn append(path: &Path) -> Result<Self, CampaignError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| CampaignError::Journal {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            })?;
+        Ok(JournalWriter {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+        })
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()
+    }
+
+    /// Writes one completed shard as a self-checking record.
+    fn write_shard(
+        &mut self,
+        shard: usize,
+        outcomes: &[FaultOutcome],
+        stats: &CampaignStats,
+    ) -> Result<(), String> {
+        let mut block = String::new();
+        block.push_str(&shard_header_line(shard, stats));
+        block.push('\n');
+        for o in outcomes {
+            block.push_str(&encode_outcome(o));
+            block.push('\n');
+        }
+        let mut h = Fnv::new();
+        h.bytes(block.as_bytes());
+        let crc = h.finish();
+        let res =
+            writeln!(self.file, "{block}end {shard} crc={crc:016x}").and_then(|()| self.sync());
+        res.map_err(|e| format!("{}: {e}", self.path.display()))
+    }
+}
+
+/// One restored shard: its outcomes plus the recomputed tally.
+type RestoredShard = (Vec<FaultOutcome>, CampaignStats);
+
+struct LoadedJournal {
+    shards: Vec<Option<RestoredShard>>,
+    notes: Vec<String>,
+}
+
+/// Parses a journal, validating the header against this campaign and each
+/// record against its checksum and the expected fault list. Malformed or
+/// torn records are *discarded with a note* (their shards re-run); only a
+/// header that cannot belong to this campaign is a hard error.
+fn load_journal(
+    path: &Path,
+    fp: u64,
+    expected_shards: usize,
+    shard_size: usize,
+    total_faults: usize,
+    shards: &[&[Fault]],
+) -> Result<LoadedJournal, CampaignError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CampaignError::Journal {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let mismatch = |detail: String| CampaignError::JournalMismatch {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(JOURNAL_MAGIC) => {}
+        Some(other) => return Err(mismatch(format!("unknown journal version `{other}`"))),
+        None => return Err(mismatch("empty journal".to_string())),
+    }
+    let header = lines
+        .next()
+        .ok_or_else(|| mismatch("missing campaign header".to_string()))?;
+    let expected_header = format!(
+        "campaign faults={total_faults} shards={expected_shards} shard_size={shard_size} \
+         fingerprint={fp:016x}"
+    );
+    if header != expected_header {
+        return Err(mismatch(format!(
+            "header `{header}` (expected `{expected_header}`)"
+        )));
+    }
+
+    let mut restored: Vec<Option<RestoredShard>> = (0..expected_shards).map(|_| None).collect();
+    let mut notes = Vec::new();
+    let rest: Vec<&str> = lines.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let start = rest[i];
+        if !start.starts_with("shard ") {
+            // Stray line (torn record tail from a previous crash): skip.
+            i += 1;
+            continue;
+        }
+        // Collect the block up to its `end` line.
+        let mut j = i + 1;
+        while j < rest.len() && !rest[j].starts_with("end ") && !rest[j].starts_with("shard ") {
+            j += 1;
+        }
+        if j >= rest.len() || !rest[j].starts_with("end ") {
+            notes.push(format!(
+                "journal: discarded torn record starting at `{start}` (shard re-run)"
+            ));
+            i = j;
+            continue;
+        }
+        let block_ok = (|| -> Option<(usize, RestoredShard)> {
+            let shard: usize = start.split(' ').nth(1)?.parse().ok()?;
+            let expected_faults = shards.get(shard)?.len();
+            // Verify the record checksum over the block's exact bytes.
+            let mut h = Fnv::new();
+            for line in &rest[i..j] {
+                h.bytes(line.as_bytes());
+                h.bytes(b"\n");
+            }
+            let end = rest[j];
+            let crc_field = end.strip_prefix(&format!("end {shard} crc="))?;
+            let crc = u64::from_str_radix(crc_field, 16).ok()?;
+            if crc != h.finish() {
+                return None;
+            }
+            let outcomes: Vec<FaultOutcome> = rest[i + 1..j]
+                .iter()
+                .map(|l| decode_outcome(l))
+                .collect::<Option<_>>()?;
+            if outcomes.len() != expected_faults {
+                return None;
+            }
+            // Outcomes must belong to exactly the faults of this shard.
+            if outcomes
+                .iter()
+                .zip(shards[shard].iter())
+                .any(|(o, f)| o.fault != *f)
+            {
+                return None;
+            }
+            let stats = CampaignStats::tally(&outcomes);
+            if shard_header_line(shard, &stats) != *start {
+                return None;
+            }
+            Some((shard, (outcomes, stats)))
+        })();
+        match block_ok {
+            Some((shard, record)) => {
+                if restored[shard].is_some() {
+                    notes.push(format!(
+                        "journal: duplicate record for shard {shard} ignored"
+                    ));
+                } else {
+                    restored[shard] = Some(record);
+                }
+            }
+            None => notes.push(format!(
+                "journal: discarded corrupt record starting at `{start}` (shard re-run)"
+            )),
+        }
+        i = j + 1;
+    }
+    Ok(LoadedJournal {
+        shards: restored,
+        notes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+
+const TRIP_LIVE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_STEPS: u8 = 2;
+
+/// Why a run stopped before simulating every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The total simulation-step budget was exhausted.
+    StepBudget,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Deadline => write!(f, "deadline expired"),
+            StopReason::StepBudget => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+/// Shared cancellation state, checked cooperatively between faults.
+struct Cancel {
+    deadline: Option<Instant>,
+    steps: Option<AtomicU64>,
+    tripped: AtomicU8,
+}
+
+impl Cancel {
+    fn new(deadline: Option<Duration>, max_steps: Option<u64>) -> Self {
+        Cancel {
+            deadline: deadline.map(|d| Instant::now() + d),
+            steps: max_steps.map(AtomicU64::new),
+            tripped: AtomicU8::new(TRIP_LIVE),
+        }
+    }
+
+    /// Charges `cost` steps; returns `false` once the run must stop.
+    /// Sticky: after the first trip every later call returns `false`.
+    fn charge(&self, cost: u64) -> bool {
+        if self.tripped.load(Ordering::Relaxed) != TRIP_LIVE {
+            return false;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                let _ = self.tripped.compare_exchange(
+                    TRIP_LIVE,
+                    TRIP_DEADLINE,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return false;
+            }
+        }
+        if let Some(steps) = &self.steps {
+            let charged = steps
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                    cur.checked_sub(cost)
+                })
+                .is_ok();
+            if !charged {
+                let _ = self.tripped.compare_exchange(
+                    TRIP_LIVE,
+                    TRIP_STEPS,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return false;
+            }
+        }
+        true
+    }
+
+    fn reason(&self) -> Option<StopReason> {
+        match self.tripped.load(Ordering::Relaxed) {
+            TRIP_DEADLINE => Some(StopReason::Deadline),
+            TRIP_STEPS => Some(StopReason::StepBudget),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos (test-only, feature `chaos`)
+
+/// Deterministic fault injection for the supervisor itself (feature
+/// `chaos`; compiled into test builds only). Every decision is a pure
+/// function of `(seed, site, shard, attempt)`, so a failing scenario is
+/// reproducible from its seed alone.
+#[cfg(feature = "chaos")]
+pub mod chaos {
+    use simcov_prng::Prng;
+    use std::time::Duration;
+
+    /// The chaos schedule: independent probabilities per injection site.
+    #[derive(Debug, Clone)]
+    pub struct ChaosPlan {
+        /// Seed all decisions derive from.
+        pub seed: u64,
+        /// Probability a `(shard, attempt)` panics before simulating.
+        pub panic_prob: f64,
+        /// Probability a `(shard, attempt)` sleeps before simulating.
+        pub delay_prob: f64,
+        /// Maximum injected delay.
+        pub max_delay: Duration,
+        /// Probability a completed shard's checkpoint write is dropped.
+        pub checkpoint_fail_prob: f64,
+    }
+
+    impl ChaosPlan {
+        /// A plan with every probability at zero (inject nothing).
+        pub fn new(seed: u64) -> Self {
+            ChaosPlan {
+                seed,
+                panic_prob: 0.0,
+                delay_prob: 0.0,
+                max_delay: Duration::from_millis(2),
+                checkpoint_fail_prob: 0.0,
+            }
+        }
+
+        fn rng(&self, site: u64, shard: usize, attempt: usize) -> Prng {
+            // Distinct streams per site so e.g. raising the panic
+            // probability does not reshuffle delay decisions.
+            let mut h = super::Fnv::new();
+            h.u64(self.seed);
+            h.u64(site);
+            h.u64(shard as u64);
+            h.u64(attempt as u64);
+            Prng::seed_from_u64(h.finish())
+        }
+
+        /// Deterministic: should this `(shard, attempt)` panic?
+        pub fn should_panic(&self, shard: usize, attempt: usize) -> bool {
+            self.panic_prob > 0.0 && self.rng(1, shard, attempt).gen_bool(self.panic_prob)
+        }
+
+        /// Deterministic: injected delay for this `(shard, attempt)`.
+        pub fn delay(&self, shard: usize, attempt: usize) -> Option<Duration> {
+            if self.delay_prob <= 0.0 {
+                return None;
+            }
+            let mut rng = self.rng(2, shard, attempt);
+            if !rng.gen_bool(self.delay_prob) {
+                return None;
+            }
+            let nanos = self.max_delay.as_nanos().max(1) as u64;
+            Some(Duration::from_nanos(rng.gen_range(0..nanos)))
+        }
+
+        /// Deterministic: should this shard's checkpoint write be dropped?
+        pub fn should_fail_checkpoint(&self, shard: usize) -> bool {
+            self.checkpoint_fail_prob > 0.0
+                && self.rng(3, shard, 0).gen_bool(self.checkpoint_fail_prob)
+        }
+    }
+
+    /// Installs (once) a panic hook that suppresses the default report
+    /// for chaos-injected panics — their payload starts with `"chaos:"`
+    /// — so chaos-heavy test runs do not spam stderr. Real panics still
+    /// print through the previous hook.
+    pub fn silence_chaos_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("");
+                if !msg.starts_with("chaos:") {
+                    prev(info);
+                }
+            }));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The supervisor
+
+/// A shard the supervisor gave up on: it panicked on every attempt within
+/// the retry budget and was quarantined.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Shard index in fault order.
+    pub shard: usize,
+    /// Faults in the shard (all unsimulated).
+    pub faults: usize,
+    /// Attempts made (1 + retries).
+    pub attempts: usize,
+    /// The panic payload of the last attempt.
+    pub message: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} ({} faults) poisoned after {} attempt{}: {}",
+            self.shard,
+            self.faults,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+/// Detection-rate bounds for a (possibly partial) campaign: every
+/// unsimulated fault may or may not have been detected, so the true
+/// full-campaign rate lies in `[rate_lo, rate_hi]`. On a complete run the
+/// bounds coincide with the exact rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageBounds {
+    /// Faults known detected (simulated and detected).
+    pub detected_lo: usize,
+    /// Upper bound: known detected + every unsimulated fault.
+    pub detected_hi: usize,
+    /// Total faults in the campaign (simulated or not).
+    pub total_faults: usize,
+}
+
+impl CoverageBounds {
+    /// Lower bound on the full-campaign detection rate.
+    pub fn rate_lo(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected_lo as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Upper bound on the full-campaign detection rate.
+    pub fn rate_hi(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected_hi as f64 / self.total_faults as f64
+        }
+    }
+}
+
+impl fmt::Display for CoverageBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "detection rate in [{:.1}%, {:.1}%] of {} faults",
+            100.0 * self.rate_lo(),
+            100.0 * self.rate_hi(),
+            self.total_faults
+        )
+    }
+}
+
+/// Result of a [`ResilientCampaign`] run: the (possibly partial) report
+/// and stats over completed shards, plus explicit degradation accounting.
+///
+/// When [`is_complete`](Self::is_complete) is `true`, `report` and
+/// `stats` are byte-identical to what the plain
+/// [`FaultCampaign`](crate::FaultCampaign) produces with the same shard
+/// size — regardless of how many shards came from the checkpoint journal
+/// versus fresh simulation, and regardless of thread count.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// Outcomes of completed shards, concatenated in shard order (gaps
+    /// from poisoned/cancelled shards are *omitted*, not padded).
+    pub report: CampaignReport,
+    /// Stats merged over completed shards, in shard order.
+    pub stats: CampaignStats,
+    /// `true` iff every shard was simulated (or restored): no poisoned
+    /// shards, no truncation.
+    pub is_complete: bool,
+    /// Shards quarantined after exhausting the retry budget.
+    pub failures: Vec<ShardFailure>,
+    /// Shards not simulated because the run was cancelled (deadline or
+    /// step budget), in shard order.
+    pub skipped: Vec<usize>,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopReason>,
+    /// Shards restored from the checkpoint journal instead of simulated.
+    pub restored_shards: usize,
+    /// Non-fatal checkpoint problems (torn records discarded on load,
+    /// failed shard writes); the run degrades to weaker durability.
+    pub journal_notes: Vec<String>,
+    /// Detection-rate bounds accounting for unsimulated faults.
+    pub bounds: CoverageBounds,
+    /// Total faults in the campaign (simulated or not).
+    pub total_faults: usize,
+    /// Total shards in the partition.
+    pub total_shards: usize,
+    /// Worker threads the run was configured with.
+    pub jobs: usize,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+enum ShardState {
+    Done(Vec<FaultOutcome>, CampaignStats),
+    Poisoned { attempts: usize, message: String },
+    Cancelled,
+}
+
+/// A supervised fault campaign over the sharded parallel engine. See the
+/// [module docs](self) for the failure model.
+///
+/// ```
+/// use simcov_core::{enumerate_single_faults, FaultSpace, ResilientCampaign};
+/// use simcov_core::models::figure2;
+/// use simcov_tour::{transition_tour, TestSet};
+///
+/// let (m, _) = figure2();
+/// let faults = enumerate_single_faults(&m, &FaultSpace::default());
+/// let tour = transition_tour(&m).unwrap();
+/// let tests = TestSet::single(tour.inputs);
+/// let run = ResilientCampaign::new(&m, &faults, &tests).jobs(2).run().unwrap();
+/// assert!(run.is_complete);
+/// assert_eq!(run.stats.faults_simulated, faults.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientCampaign<'a> {
+    golden: &'a ExplicitMealy,
+    faults: &'a [Fault],
+    tests: &'a TestSet,
+    jobs: usize,
+    shard_size: usize,
+    max_retries: usize,
+    deadline: Option<Duration>,
+    max_steps: Option<u64>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    #[cfg(feature = "chaos")]
+    chaos: Option<chaos::ChaosPlan>,
+}
+
+impl<'a> ResilientCampaign<'a> {
+    /// A supervised campaign with automatic worker count and sharding, a
+    /// retry budget of 2, no deadline, no step budget and no checkpoint.
+    pub fn new(golden: &'a ExplicitMealy, faults: &'a [Fault], tests: &'a TestSet) -> Self {
+        ResilientCampaign {
+            golden,
+            faults,
+            tests,
+            jobs: default_jobs(),
+            shard_size: default_shard_size(faults.len()),
+            max_retries: 2,
+            deadline: None,
+            max_steps: None,
+            checkpoint: None,
+            resume: false,
+            #[cfg(feature = "chaos")]
+            chaos: None,
+        }
+    }
+
+    /// Sets the worker count (`0` clamps to 1, as for
+    /// [`FaultCampaign::jobs`](crate::FaultCampaign::jobs)).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the shard size (`0` clamps to 1). Must match between the
+    /// interrupted and the resuming run — it is part of the journal
+    /// fingerprint.
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// Retry budget per shard: a panicking shard is re-attempted up to
+    /// `max_retries` more times before being quarantined.
+    pub fn max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Wall-clock deadline for the whole run, enforced cooperatively
+    /// between faults. Shards in flight when it expires are discarded
+    /// (not journaled), so truncation is exact at shard granularity.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Total simulation-step budget: each fault charges one step per test
+    /// vector before it is simulated; when the budget runs out the run is
+    /// cancelled cooperatively, like a deadline but deterministic in the
+    /// amount of work admitted.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Journals completed shards to `path`. Without
+    /// [`resume`](Self::resume), an existing file is overwritten.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// With a checkpoint path set: restore completed shards from the
+    /// journal (if it exists) and simulate only the rest. The journal
+    /// must fingerprint-match this campaign. A missing journal file is
+    /// not an error — the run simply starts fresh and creates it.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Installs a deterministic chaos schedule (test-only).
+    #[cfg(feature = "chaos")]
+    pub fn chaos(mut self, plan: chaos::ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Runs the supervised campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError`] only for unrecoverable checkpoint problems
+    /// (unreadable journal, journal of a different campaign). Everything
+    /// else — panics, truncation, failed checkpoint writes — degrades
+    /// into the [`ResilientRun`] accounting.
+    pub fn run(&self) -> Result<ResilientRun, CampaignError> {
+        let t0 = Instant::now();
+        let shards: Vec<&[Fault]> = self.faults.chunks(self.shard_size).collect();
+        let nshards = shards.len();
+        let fp = fingerprint(self.golden, self.faults, self.tests, self.shard_size);
+
+        // Checkpoint setup: load restorable shards, then open for append.
+        let mut restored: Vec<Option<RestoredShard>> = (0..nshards).map(|_| None).collect();
+        let mut notes: Vec<String> = Vec::new();
+        let journal: Option<Mutex<JournalWriter>> = match &self.checkpoint {
+            Some(path) => {
+                let writer = if self.resume && path.exists() {
+                    let loaded = load_journal(
+                        path,
+                        fp,
+                        nshards,
+                        self.shard_size,
+                        self.faults.len(),
+                        &shards,
+                    )?;
+                    restored = loaded.shards;
+                    notes.extend(loaded.notes);
+                    JournalWriter::append(path)?
+                } else {
+                    JournalWriter::create(path, fp, self.faults.len(), nshards, self.shard_size)?
+                };
+                Some(Mutex::new(writer))
+            }
+            None => None,
+        };
+
+        let cancel = Cancel::new(self.deadline, self.max_steps);
+        // One step per test vector, charged before each fault; a test set
+        // with zero vectors still charges 1 so budgets always bind.
+        let cost = (self.tests.total_vectors() as u64).max(1);
+
+        let slots: Mutex<Vec<Option<ShardState>>> =
+            Mutex::new((0..nshards).map(|_| None).collect());
+        let notes_mx = Mutex::new(notes);
+        let restored_ref = &restored;
+        let shards_ref = &shards;
+        let journal_ref = &journal;
+        let slots_ref = &slots;
+        let notes_ref = &notes_mx;
+        let cancel_ref = &cancel;
+
+        let process = |i: usize| {
+            if restored_ref[i].is_some() {
+                return;
+            }
+            let state = self.attempt_shard(i, shards_ref[i], cancel_ref, cost);
+            if let ShardState::Done(outcomes, stats) = &state {
+                if let Some(j) = journal_ref {
+                    #[cfg(feature = "chaos")]
+                    let drop_write = self
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|p| p.should_fail_checkpoint(i));
+                    #[cfg(not(feature = "chaos"))]
+                    let drop_write = false;
+                    if drop_write {
+                        lock(notes_ref).push(format!(
+                            "journal: chaos-injected write failure for shard {i} (not journaled)"
+                        ));
+                    } else if let Err(e) = lock(j).write_shard(i, outcomes, stats) {
+                        lock(notes_ref).push(format!("journal: failed to record shard {i}: {e}"));
+                    }
+                }
+            }
+            lock(slots_ref)[i] = Some(state);
+        };
+
+        let workers = self.jobs.min(nshards.max(1));
+        if workers <= 1 {
+            for i in 0..nshards {
+                process(i);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= nshards {
+                            break;
+                        }
+                        process(i);
+                    });
+                }
+            });
+        }
+
+        // Merge in shard order: restored and fresh shards interleave into
+        // exactly the partition a clean run produces.
+        let mut outcomes = Vec::with_capacity(self.faults.len());
+        let mut stats = CampaignStats::default();
+        let mut failures = Vec::new();
+        let mut skipped = Vec::new();
+        let mut restored_count = 0;
+        let mut slots = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+        for (i, restored_shard) in restored.into_iter().enumerate() {
+            if let Some((outs, st)) = restored_shard {
+                restored_count += 1;
+                stats.merge(&st);
+                outcomes.extend(outs);
+                continue;
+            }
+            match slots[i].take() {
+                Some(ShardState::Done(outs, st)) => {
+                    stats.merge(&st);
+                    outcomes.extend(outs);
+                }
+                Some(ShardState::Poisoned { attempts, message }) => failures.push(ShardFailure {
+                    shard: i,
+                    faults: shards[i].len(),
+                    attempts,
+                    message,
+                }),
+                Some(ShardState::Cancelled) | None => skipped.push(i),
+            }
+        }
+        let is_complete = failures.is_empty() && skipped.is_empty();
+        let detected_lo = stats.detected;
+        let unsimulated = self.faults.len() - stats.faults_simulated;
+        Ok(ResilientRun {
+            report: CampaignReport { outcomes },
+            stats,
+            is_complete,
+            failures,
+            skipped,
+            stopped: cancel.reason(),
+            restored_shards: restored_count,
+            journal_notes: notes_mx.into_inner().unwrap_or_else(|e| e.into_inner()),
+            bounds: CoverageBounds {
+                detected_lo,
+                detected_hi: detected_lo + unsimulated,
+                total_faults: self.faults.len(),
+            },
+            total_faults: self.faults.len(),
+            total_shards: nshards,
+            jobs: self.jobs,
+            wall: t0.elapsed(),
+        })
+    }
+
+    /// Attempts one shard with panic isolation and the retry budget.
+    #[cfg_attr(not(feature = "chaos"), allow(unused_variables))]
+    fn attempt_shard(
+        &self,
+        shard_idx: usize,
+        shard: &[Fault],
+        cancel: &Cancel,
+        cost: u64,
+    ) -> ShardState {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "chaos")]
+                if let Some(plan) = &self.chaos {
+                    if let Some(d) = plan.delay(shard_idx, attempts) {
+                        std::thread::sleep(d);
+                    }
+                    if plan.should_panic(shard_idx, attempts) {
+                        std::panic::panic_any(format!(
+                            "chaos: injected panic in shard {shard_idx} attempt {attempts}"
+                        ));
+                    }
+                }
+                let mut outcomes = Vec::with_capacity(shard.len());
+                for f in shard {
+                    if !cancel.charge(cost) {
+                        return None;
+                    }
+                    outcomes.push(simulate_fault(self.golden, f, self.tests));
+                }
+                Some(outcomes)
+            }));
+            match result {
+                Ok(Some(outcomes)) => {
+                    let stats = CampaignStats::tally(&outcomes);
+                    return ShardState::Done(outcomes, stats);
+                }
+                Ok(None) => return ShardState::Cancelled,
+                Err(payload) => {
+                    if attempts > self.max_retries {
+                        return ShardState::Poisoned {
+                            attempts,
+                            // `&*payload`: downcast the payload itself, not
+                            // the `Box<dyn Any>` unsized into `dyn Any`.
+                            message: panic_message(&*payload),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data even if a holder panicked (the
+/// supervisor must keep going exactly when other code is failing).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{enumerate_single_faults, extend_cyclically, FaultSpace};
+    use crate::parallel::FaultCampaign;
+    use crate::testutil::figure2;
+    use simcov_tour::transition_tour;
+
+    fn fixture() -> (ExplicitMealy, Vec<Fault>, TestSet) {
+        let (m, _) = figure2();
+        let faults = enumerate_single_faults(
+            &m,
+            &FaultSpace {
+                max_faults: usize::MAX,
+                ..FaultSpace::default()
+            },
+        );
+        let tour = transition_tour(&m).unwrap();
+        let tests = TestSet::single(extend_cyclically(&tour.inputs, 3));
+        (m, faults, tests)
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "simcov_resilient_{tag}_{}_{:?}.journal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn complete_run_matches_plain_campaign() {
+        let (m, faults, tests) = fixture();
+        for jobs in [1, 2, 8] {
+            let plain = FaultCampaign::new(&m, &faults, &tests).jobs(jobs).run();
+            let resilient = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(jobs)
+                .run()
+                .unwrap();
+            assert!(resilient.is_complete);
+            assert_eq!(resilient.stopped, None);
+            assert_eq!(resilient.stats, plain.stats, "jobs={jobs}");
+            assert_eq!(resilient.report, plain.report, "jobs={jobs}");
+            assert_eq!(resilient.bounds.detected_lo, resilient.bounds.detected_hi);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_truncates_with_accurate_accounting() {
+        let (m, faults, tests) = fixture();
+        let run = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .deadline(Duration::ZERO)
+            .run()
+            .unwrap();
+        assert!(!run.is_complete);
+        assert_eq!(run.stopped, Some(StopReason::Deadline));
+        assert_eq!(run.stats.faults_simulated, 0);
+        assert_eq!(run.skipped.len(), run.total_shards);
+        assert_eq!(run.bounds.detected_lo, 0);
+        assert_eq!(run.bounds.detected_hi, faults.len());
+        assert!((run.bounds.rate_hi() - 1.0).abs() < 1e-12);
+        assert!(run.bounds.to_string().contains("detection rate"));
+    }
+
+    #[test]
+    fn step_budget_admits_partial_prefix_of_work() {
+        let (m, faults, tests) = fixture();
+        let cost = tests.total_vectors() as u64;
+        // Budget for roughly half the faults, serial so admission order
+        // is the shard order.
+        let budget = cost * (faults.len() as u64 / 2);
+        let run = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .shard_size(7)
+            .max_steps(budget)
+            .run()
+            .unwrap();
+        assert!(!run.is_complete);
+        assert_eq!(run.stopped, Some(StopReason::StepBudget));
+        assert!(run.stats.faults_simulated <= faults.len() / 2 + 7);
+        assert!(!run.skipped.is_empty());
+        // Every simulated outcome is exact: it matches the clean run's
+        // prefix for the completed shards.
+        let clean = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .shard_size(7)
+            .run();
+        assert_eq!(
+            run.report.outcomes[..],
+            clean.report.outcomes[..run.report.outcomes.len()]
+        );
+    }
+
+    #[test]
+    fn checkpoint_then_resume_is_byte_identical() {
+        let (m, faults, tests) = fixture();
+        let path = temp_path("resume");
+        let _c = Cleanup(path.clone());
+        let clean = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(5)
+            .run();
+        // Truncated first run: journal whatever completes.
+        let cost = tests.total_vectors() as u64;
+        let first = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(5)
+            .max_steps(cost * 40)
+            .checkpoint(&path)
+            .run()
+            .unwrap();
+        assert!(!first.is_complete);
+        // Resume: only the missing shards are simulated.
+        let resumed = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(5)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap();
+        assert!(resumed.is_complete, "notes: {:?}", resumed.journal_notes);
+        assert!(resumed.restored_shards > 0);
+        assert_eq!(resumed.stats, clean.stats);
+        assert_eq!(resumed.report, clean.report);
+    }
+
+    #[test]
+    fn resume_with_missing_journal_starts_fresh() {
+        let (m, faults, tests) = fixture();
+        let path = temp_path("fresh");
+        let _c = Cleanup(path.clone());
+        assert!(!path.exists());
+        let run = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap();
+        assert!(run.is_complete);
+        assert_eq!(run.restored_shards, 0);
+        assert!(path.exists());
+    }
+
+    #[test]
+    fn journal_of_different_campaign_is_rejected() {
+        let (m, faults, tests) = fixture();
+        let path = temp_path("mismatch");
+        let _c = Cleanup(path.clone());
+        ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .checkpoint(&path)
+            .run()
+            .unwrap();
+        // Same machine, different fault list => different fingerprint.
+        let fewer = &faults[..faults.len() - 1];
+        let err = ResilientCampaign::new(&m, fewer, &tests)
+            .jobs(1)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, CampaignError::JournalMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn unknown_journal_version_is_rejected() {
+        let (m, faults, tests) = fixture();
+        let path = temp_path("version");
+        let _c = Cleanup(path.clone());
+        std::fs::write(&path, "simcov-journal v999\ncampaign x\n").unwrap();
+        let err = ResilientCampaign::new(&m, &faults, &tests)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn torn_journal_tail_is_discarded_and_rerun() {
+        let (m, faults, tests) = fixture();
+        let path = temp_path("torn");
+        let _c = Cleanup(path.clone());
+        let clean = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .shard_size(5)
+            .run();
+        ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .shard_size(5)
+            .checkpoint(&path)
+            .run()
+            .unwrap();
+        // Tear the file mid-record, as a SIGKILL during a write would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() * 3 / 4;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let resumed = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .shard_size(5)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap();
+        assert!(resumed.is_complete);
+        assert_eq!(resumed.stats, clean.stats);
+        assert_eq!(resumed.report, clean.report);
+    }
+
+    #[test]
+    fn outcome_encoding_roundtrips() {
+        let samples = [
+            FaultOutcome {
+                fault: Fault {
+                    state: StateId(3),
+                    input: InputSym(1),
+                    kind: FaultKind::Transfer {
+                        new_next: StateId(9),
+                    },
+                },
+                detected: Some((2, 17)),
+                excited: true,
+                masked_somewhere: false,
+            },
+            FaultOutcome {
+                fault: Fault {
+                    state: StateId(0),
+                    input: InputSym(0),
+                    kind: FaultKind::Output {
+                        new_output: OutputSym(4),
+                    },
+                },
+                detected: None,
+                excited: false,
+                masked_somewhere: true,
+            },
+        ];
+        for o in &samples {
+            let line = encode_outcome(o);
+            assert_eq!(decode_outcome(&line).as_ref(), Some(o), "{line}");
+        }
+        assert_eq!(decode_outcome("o 1 2 z 3 - 0 0"), None);
+        assert_eq!(decode_outcome("garbage"), None);
+        assert_eq!(decode_outcome("o 1 2 t 3 - 0 0 extra"), None);
+    }
+
+    #[test]
+    fn empty_fault_list_is_trivially_complete() {
+        let (m, _, tests) = fixture();
+        let run = ResilientCampaign::new(&m, &[], &tests).run().unwrap();
+        assert!(run.is_complete);
+        assert_eq!(run.total_shards, 0);
+        assert_eq!(run.stats, CampaignStats::default());
+        assert!((run.bounds.rate_lo() - 1.0).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos_tests {
+        use super::*;
+        use crate::resilient::chaos::{silence_chaos_panics, ChaosPlan};
+
+        #[test]
+        fn chaos_decisions_are_deterministic() {
+            let plan = ChaosPlan {
+                panic_prob: 0.5,
+                delay_prob: 0.5,
+                checkpoint_fail_prob: 0.5,
+                ..ChaosPlan::new(42)
+            };
+            for shard in 0..32 {
+                for attempt in 1..4 {
+                    assert_eq!(
+                        plan.should_panic(shard, attempt),
+                        plan.should_panic(shard, attempt)
+                    );
+                    assert_eq!(plan.delay(shard, attempt), plan.delay(shard, attempt));
+                }
+                assert_eq!(
+                    plan.should_fail_checkpoint(shard),
+                    plan.should_fail_checkpoint(shard)
+                );
+            }
+            // A 50% plan actually injects something over 32 shards.
+            assert!((0..32).any(|s| plan.should_panic(s, 1)));
+            assert!((0..32).any(|s| !plan.should_panic(s, 1)));
+        }
+
+        #[test]
+        fn injected_panics_are_isolated_and_retried_to_success() {
+            silence_chaos_panics();
+            let (m, faults, tests) = fixture();
+            // Panic often, but with a generous retry budget every shard
+            // eventually draws a non-panicking attempt (p = 0.3^11 per
+            // shard of exhausting all attempts — negligible, and the
+            // chaos schedule is deterministic per seed anyway).
+            let plan = ChaosPlan {
+                panic_prob: 0.3,
+                ..ChaosPlan::new(7)
+            };
+            let clean = FaultCampaign::new(&m, &faults, &tests)
+                .jobs(2)
+                .shard_size(5)
+                .run();
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(2)
+                .shard_size(5)
+                .max_retries(10)
+                .chaos(plan)
+                .run()
+                .unwrap();
+            assert!(run.is_complete, "failures: {:?}", run.failures);
+            assert_eq!(run.stats, clean.stats);
+            assert_eq!(run.report, clean.report);
+        }
+
+        #[test]
+        fn exhausted_retries_quarantine_the_shard() {
+            silence_chaos_panics();
+            let (m, faults, tests) = fixture();
+            // Always panic: every shard poisons after 1 + max_retries.
+            let plan = ChaosPlan {
+                panic_prob: 1.0,
+                ..ChaosPlan::new(3)
+            };
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(2)
+                .shard_size(5)
+                .max_retries(1)
+                .chaos(plan)
+                .run()
+                .unwrap();
+            assert!(!run.is_complete);
+            assert_eq!(run.stopped, None, "panics are not cancellation");
+            assert_eq!(run.failures.len(), run.total_shards);
+            assert_eq!(run.stats.faults_simulated, 0);
+            for f in &run.failures {
+                assert_eq!(f.attempts, 2);
+                assert!(f.message.contains("chaos"), "{f}");
+                assert!(f.to_string().contains("poisoned"));
+            }
+            assert_eq!(run.bounds.detected_hi, faults.len());
+        }
+
+        #[test]
+        fn checkpoint_write_failures_degrade_not_corrupt() {
+            silence_chaos_panics();
+            let (m, faults, tests) = fixture();
+            let path = temp_path("ckptfail");
+            let _c = Cleanup(path.clone());
+            let plan = ChaosPlan {
+                checkpoint_fail_prob: 0.5,
+                ..ChaosPlan::new(11)
+            };
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(2)
+                .shard_size(5)
+                .checkpoint(&path)
+                .chaos(plan)
+                .run()
+                .unwrap();
+            assert!(run.is_complete, "write failures must not fail the run");
+            assert!(
+                run.journal_notes.iter().any(|n| n.contains("chaos")),
+                "{:?}",
+                run.journal_notes
+            );
+            // The journal holds a subset of shards; resuming restores that
+            // subset, re-runs the rest, and still matches a clean run.
+            let clean = FaultCampaign::new(&m, &faults, &tests)
+                .jobs(1)
+                .shard_size(5)
+                .run();
+            let resumed = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(1)
+                .shard_size(5)
+                .checkpoint(&path)
+                .resume(true)
+                .run()
+                .unwrap();
+            assert!(resumed.is_complete);
+            assert!(resumed.restored_shards < resumed.total_shards);
+            assert_eq!(resumed.stats, clean.stats);
+            assert_eq!(resumed.report, clean.report);
+        }
+    }
+}

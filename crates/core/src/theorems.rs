@@ -46,6 +46,10 @@ pub enum CompletenessViolation {
     /// The abstraction has non-deterministic outputs: output errors may be
     /// non-uniform (Requirement 1 fails).
     NonUniformOutputs(Vec<OutputConflict>),
+    /// The supplied abstraction evidence is malformed: the quotient's
+    /// class vectors do not fit the concrete machine, so Requirement 1
+    /// cannot even be evaluated.
+    MalformedAbstraction(simcov_abstraction::QuotientError),
     /// The test model is not complete over its valid alphabet.
     Incomplete(DistinguishError),
 }
@@ -66,6 +70,9 @@ impl std::fmt::Display for CompletenessViolation {
                     "{} abstract transitions have non-deterministic outputs",
                     c.len()
                 )
+            }
+            CompletenessViolation::MalformedAbstraction(e) => {
+                write!(f, "malformed abstraction evidence: {e}")
             }
             CompletenessViolation::Incomplete(e) => write!(f, "{e}"),
         }
@@ -92,8 +99,14 @@ pub fn certify_completeness(
 ) -> Result<CompletenessCertificate, CompletenessViolation> {
     let req1_checked = match abstraction_evidence {
         Some((concrete, q)) => {
-            crate::requirements::check_req1_uniform_outputs(concrete, q)
-                .map_err(CompletenessViolation::NonUniformOutputs)?;
+            crate::requirements::check_req1_uniform_outputs(concrete, q).map_err(|e| match e {
+                crate::requirements::Req1Violation::OutputConflicts(c) => {
+                    CompletenessViolation::NonUniformOutputs(c)
+                }
+                crate::requirements::Req1Violation::WidthMismatch(e) => {
+                    CompletenessViolation::MalformedAbstraction(e)
+                }
+            })?;
             true
         }
         None => false,

@@ -88,7 +88,11 @@ pub fn lint_quotient(target: &QuotientTarget<'_>, config: &LintConfig) -> Diagno
     // Req 1 under the quotient: the dedicated checker and the builder's
     // output conflicts agree; use the checker so the lint wraps the same
     // entry point the validation pipeline does.
-    if let Err(conflicts) = check_req1_uniform_outputs(m, target.quotient) {
+    // Width mismatch is impossible here: `build_quotient` above already
+    // validated the dimensions, so only output conflicts can surface.
+    if let Err(simcov_core::Req1Violation::OutputConflicts(conflicts)) =
+        check_req1_uniform_outputs(m, target.quotient)
+    {
         let total_o = conflicts.len();
         for c in conflicts.iter().take(MAX_CONFLICT_WITNESSES) {
             let (s1, i1, o1) = c.first;

@@ -119,10 +119,13 @@ pub fn greedy_transition_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
 ///
 /// # Errors
 ///
-/// [`TourError::NoTransitions`] if the machine has no edges. Unlike
-/// transition tours, state tours do not require strong connectivity —
-/// states are visited in BFS-closest order, which always succeeds on the
-/// reachable set.
+/// * [`TourError::NoTransitions`] if the machine has no edges.
+/// * [`TourError::Trapped`] if the walk enters a region from which no
+///   unvisited state is reachable. Unlike transition tours, state tours
+///   do not require strong connectivity — a single one-way descent (a
+///   dag-shaped machine) is fine — but *diverging* one-way branches
+///   (e.g. two separate sink components) defeat any single walk; a
+///   malformed model must report that, not panic.
 pub fn state_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
     let g = Graph::reachable(m);
     if g.num_edges() == 0 {
@@ -154,7 +157,14 @@ pub fn state_tour(m: &ExplicitMealy) -> Result<Tour, TourError> {
                 }
             }
         }
-        let t = goal.expect("all reachable states are reachable from any visited state via BFS from current position");
+        let Some(t) = goal else {
+            // Reachable-but-unvisitable states remain: the walk committed
+            // to a one-way branch that cannot reach them.
+            return Err(TourError::Trapped {
+                visited: num_visited,
+                total: n,
+            });
+        };
         let mut path = Vec::new();
         let mut walk = t;
         while let Some((p, ei)) = parent[walk] {
@@ -257,5 +267,35 @@ mod tests {
         let tour = state_tour(&m).unwrap();
         assert!(coverage(&m, &tour.inputs).all_states_covered());
         assert!(greedy_transition_tour(&m).is_err());
+    }
+
+    #[test]
+    fn state_tour_reports_trap_instead_of_panicking() {
+        // Diverging one-way branches: root -> s1 and root -> s2, both
+        // absorbing. After descending into either branch the other is
+        // unreachable, so no single walk covers all three states.
+        let mut b = MealyBuilder::new();
+        let root = b.add_state("root");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let o = b.add_output("o");
+        b.add_transition(root, a, s1, o);
+        b.add_transition(root, c, s2, o);
+        b.add_transition(s1, a, s1, o);
+        b.add_transition(s1, c, s1, o);
+        b.add_transition(s2, a, s2, o);
+        b.add_transition(s2, c, s2, o);
+        let m = b.build(root).unwrap();
+        let err = state_tour(&m).unwrap_err();
+        assert_eq!(
+            err,
+            TourError::Trapped {
+                visited: 2,
+                total: 3
+            }
+        );
+        assert!(err.to_string().contains("one-way branch"), "{err}");
     }
 }

@@ -55,6 +55,16 @@ pub enum TourError {
     NotStronglyConnected,
     /// The machine has no transitions from the reset state.
     NoTransitions,
+    /// State-tour generation got trapped: the walk entered a region from
+    /// which no unvisited state is reachable (the reachable graph has
+    /// diverging one-way branches, e.g. two sink components). `visited`
+    /// of `total` reachable states were covered before the trap.
+    Trapped {
+        /// States visited before the trap.
+        visited: usize,
+        /// Total reachable states.
+        total: usize,
+    },
 }
 
 impl fmt::Display for TourError {
@@ -64,6 +74,11 @@ impl fmt::Display for TourError {
                 write!(f, "reachable state graph is not strongly connected")
             }
             TourError::NoTransitions => write!(f, "no transitions reachable from reset"),
+            TourError::Trapped { visited, total } => write!(
+                f,
+                "state tour trapped in a one-way branch after visiting {visited} of {total} \
+                 reachable states"
+            ),
         }
     }
 }

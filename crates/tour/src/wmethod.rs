@@ -24,6 +24,15 @@ pub enum WMethodError {
     /// The machine is not reduced: these state pairs are output-equivalent
     /// under every input sequence, so no characterization set exists.
     NotReduced(Vec<(StateId, StateId)>),
+    /// A reachable transition is undefined. The W-method compares the
+    /// response of every state to every sequence in `W`, so it needs a
+    /// completely specified machine.
+    Incomplete {
+        /// The reachable state with a missing transition.
+        state: StateId,
+        /// The input it does not define.
+        input: InputSym,
+    },
 }
 
 impl std::fmt::Display for WMethodError {
@@ -33,6 +42,13 @@ impl std::fmt::Display for WMethodError {
                 f,
                 "machine is not reduced: {} output-equivalent state pairs",
                 pairs.len()
+            ),
+            WMethodError::Incomplete { state, input } => write!(
+                f,
+                "machine is incomplete: state {} has no transition on input {} \
+                 (the W-method requires a completely specified machine)",
+                state.index(),
+                input.index()
             ),
         }
     }
@@ -50,11 +66,9 @@ impl std::error::Error for WMethodError {}
 ///
 /// # Errors
 ///
-/// [`WMethodError::NotReduced`] with the undistinguishable pairs.
-///
-/// # Panics
-///
-/// Panics if a reachable transition is undefined.
+/// * [`WMethodError::NotReduced`] with the undistinguishable pairs.
+/// * [`WMethodError::Incomplete`] if a reachable transition is undefined
+///   (a malformed model must be reported, not panicked on).
 pub fn characterization_set(m: &ExplicitMealy) -> Result<Vec<Vec<InputSym>>, WMethodError> {
     let reach = m.reachable_states();
     let n = reach.len();
@@ -63,12 +77,19 @@ pub fn characterization_set(m: &ExplicitMealy) -> Result<Vec<Vec<InputSym>>, WMe
     for (i, &s) in reach.iter().enumerate() {
         idx_of[s.index()] = i;
     }
-    let step = |si: usize, i: usize| -> (usize, u32) {
-        let (nx, o) = m
-            .step(reach[si], InputSym(i as u32))
-            .expect("W-method requires a complete machine");
-        (idx_of[nx.index()], o.0)
-    };
+    // Tabulate the reachable transition relation up front; a missing
+    // entry is a typed error instead of a panic deep inside the pair BFS.
+    let mut table: Vec<(usize, u32)> = Vec::with_capacity(n * ni);
+    for &s in &reach {
+        for i in 0..ni {
+            let input = InputSym(i as u32);
+            let (nx, o) = m
+                .step(s, input)
+                .ok_or(WMethodError::Incomplete { state: s, input })?;
+            table.push((idx_of[nx.index()], o.0));
+        }
+    }
+    let step = |si: usize, i: usize| -> (usize, u32) { table[si * ni + i] };
     // For each unordered pair, find a shortest distinguishing sequence by
     // BFS over pair states. (O(n² · |I|) per BFS level; fine at the test
     // model sizes the explicit layer handles.)
@@ -248,9 +269,34 @@ mod tests {
         b.add_transition(s1, a, s0, o);
         let m = b.build(s0).unwrap();
         let err = characterization_set(&m).unwrap_err();
-        let WMethodError::NotReduced(pairs) = err;
-        assert_eq!(pairs, vec![(s0, s1)]);
+        assert_eq!(err, WMethodError::NotReduced(vec![(s0, s1)]));
         assert!(w_method_test_set(&m).is_err());
+    }
+
+    #[test]
+    fn incomplete_machine_rejected_not_panicked() {
+        // s1 defines no transition on `b`: reachable and incomplete.
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let bb = b.add_input("b");
+        let o = b.add_output("o");
+        let p = b.add_output("p");
+        b.add_transition(s0, a, s1, o);
+        b.add_transition(s0, bb, s0, p);
+        b.add_transition(s1, a, s0, p);
+        let m = b.build(s0).unwrap();
+        let err = characterization_set(&m).unwrap_err();
+        assert_eq!(
+            err,
+            WMethodError::Incomplete {
+                state: s1,
+                input: bb
+            }
+        );
+        assert!(err.to_string().contains("incomplete"), "{err}");
+        assert_eq!(w_method_test_set(&m).unwrap_err(), err);
     }
 
     #[test]
