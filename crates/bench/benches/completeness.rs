@@ -1,7 +1,7 @@
 //! E2 / Theorems 1-3: completeness of transition tours on a compliant
 //! test model, validated by exhaustive single-fault injection.
 
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_bench::{reduced_dlx_machine, reduced_dlx_machine_hidden};
 use simcov_core::{
     certify_completeness, enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace,
@@ -42,8 +42,9 @@ fn report() {
 
 fn main() {
     report();
+    let mut rep = BenchReport::new("completeness");
     let m = reduced_dlx_machine();
-    bench("completeness/certify_k1", || {
+    rep.bench("completeness/certify_k1", || {
         certify_completeness(&m, 1, None).unwrap()
     });
     let faults = enumerate_single_faults(
@@ -55,7 +56,15 @@ fn main() {
     );
     let tour = transition_tour(&m).unwrap();
     let tests = TestSet::single(extend_cyclically(&tour.inputs, 1));
-    bench("completeness/campaign_500_faults", || {
+    rep.bench("completeness/campaign_500_faults", || {
         FaultCampaign::new(&m, &faults, &tests).run()
     });
+    // One telemetry-instrumented run snapshots the campaign counters
+    // into the report, so perf numbers carry their workload context.
+    let tel = simcov_obs::Telemetry::new();
+    let _ = FaultCampaign::new(&m, &faults, &tests)
+        .telemetry(tel.clone())
+        .run();
+    rep.counters_from(&tel.snapshot());
+    rep.write().expect("write bench report");
 }

@@ -3,7 +3,7 @@
 //! motivating claim for transition coverage).
 
 use simcov_bench::reduced_dlx_machine;
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_core::{enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace};
 use simcov_tour::{coverage_set, random_test_set, state_tour, transition_tour, TestSet};
 
@@ -59,12 +59,14 @@ fn report() {
 
 fn main() {
     report();
+    let mut rep = BenchReport::new("error_coverage");
     let m = reduced_dlx_machine();
-    bench("error_coverage/transition_tour_gen", || {
+    rep.bench("error_coverage/transition_tour_gen", || {
         transition_tour(&m).unwrap()
     });
-    bench("error_coverage/state_tour_gen", || state_tour(&m).unwrap());
-    bench("error_coverage/random_set_gen", || {
+    rep.bench("error_coverage/state_tour_gen", || state_tour(&m).unwrap());
+    rep.bench("error_coverage/random_set_gen", || {
         random_test_set(&m, 10, 600, 7)
     });
+    rep.write().expect("write bench report");
 }

@@ -4,7 +4,7 @@
 //! excited by every transition tour but exposed only along the <a, b>
 //! continuation — and benchmarks the machinery involved.
 
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_core::models::figure2;
 use simcov_core::{detects, excited_at, forall_k_distinguishable};
 use simcov_tour::transition_tour;
@@ -38,15 +38,17 @@ fn report() {
 
 fn main() {
     report();
+    let mut rep = BenchReport::new("fig2_limitations");
     let (m, fault) = figure2();
-    bench("fig2/transition_tour", || transition_tour(&m).unwrap());
-    bench("fig2/forall_k_check", || {
+    rep.bench("fig2/transition_tour", || transition_tour(&m).unwrap());
+    rep.bench("fig2/forall_k_check", || {
         forall_k_distinguishable(&m, 3, 0).unwrap()
     });
     let faulty = fault.inject(&m);
     let a = m.input_by_label("a").unwrap();
     let c2 = m.input_by_label("c").unwrap();
-    bench("fig2/detect_on_sequence", || {
+    rep.bench("fig2/detect_on_sequence", || {
         detects(&m, &faulty, &[a, a, c2])
     });
+    rep.write().expect("write bench report");
 }

@@ -1,7 +1,7 @@
 //! E3+E4 / Figure 3: the initial test model and the abstraction sequence
 //! 160 -> 118 -> 110 -> 86 -> 54 -> 46 -> 22.
 
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_dlx::control::initial_control_netlist;
 use simcov_dlx::testmodel::{fig3b_pipeline, FIG3B_LATCH_SEQUENCE};
 
@@ -26,9 +26,12 @@ fn report() {
 
 fn main() {
     report();
-    bench("fig3/build_initial_model", initial_control_netlist);
+    let mut rep = BenchReport::new("fig3_abstraction");
+    rep.bench("fig3/build_initial_model", initial_control_netlist);
     let initial = initial_control_netlist();
-    bench("fig3/run_abstraction_pipeline", || {
+    rep.bench("fig3/run_abstraction_pipeline", || {
         fig3b_pipeline().run(&initial)
     });
+    rep.counter("fig3/initial_latches", initial.stats().latches as u64);
+    rep.write().expect("write bench report");
 }

@@ -4,7 +4,7 @@
 //! sweep separately (the latter dominates on large state spaces).
 
 use simcov_bench::reduced_dlx_machine;
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_fsm::{ExplicitMealy, MealyBuilder};
 use simcov_lint::{lint_model, lint_netlist, LintConfig, ModelTarget};
 
@@ -35,10 +35,11 @@ fn random_machine(n: usize) -> ExplicitMealy {
 
 fn main() {
     eprintln!("== Lint throughput ==");
+    let mut rep = BenchReport::new("lint_throughput");
     let cfg = LintConfig::new();
 
     let netlist = simcov_dlx::testmodel::reduced_control_netlist_observable();
-    bench("lint/dlx_netlist", || lint_netlist(&netlist, &cfg));
+    rep.bench("lint/dlx_netlist", || lint_netlist(&netlist, &cfg));
 
     let dlx = reduced_dlx_machine();
     let dlx_target = ModelTarget::new(&dlx);
@@ -49,12 +50,13 @@ fn main() {
         d.items().len(),
         d.deny_count()
     );
-    bench("lint/dlx_model_forall1", || lint_model(&dlx_target, &cfg));
+    rep.counter("lint/dlx_findings", d.items().len() as u64);
+    rep.bench("lint/dlx_model_forall1", || lint_model(&dlx_target, &cfg));
 
     let big = random_machine(10_000);
     let mut structural = ModelTarget::new(&big).with_stall_output_labels(&["o0"]);
     structural.k = 0; // SC001..SC006 only
-    bench("lint/random_10k_structural", || {
+    rep.bench("lint/random_10k_structural", || {
         lint_model(&structural, &cfg)
     });
 
@@ -65,5 +67,7 @@ fn main() {
         d.items().len(),
         d.deny_count()
     );
-    bench("lint/random_10k_forall1", || lint_model(&full, &cfg));
+    rep.counter("lint/random_10k_findings", d.items().len() as u64);
+    rep.bench("lint/random_10k_forall1", || lint_model(&full, &cfg));
+    rep.write().expect("write bench report");
 }

@@ -4,7 +4,7 @@
 
 use simcov_abstraction::{build_quotient, Quotient};
 use simcov_bench::reduced_dlx_machine;
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_core::check_req1_uniform_outputs;
 
 fn strip_quotient(m: &simcov_fsm::ExplicitMealy, bit: usize) -> Quotient {
@@ -39,11 +39,13 @@ fn report() {
 
 fn main() {
     report();
+    let mut rep = BenchReport::new("overabstraction");
     let n = simcov_dlx::testmodel::reduced_control_netlist_observable();
     let m = reduced_dlx_machine();
     let bit = n.latch_by_name("ex.writes").unwrap().index();
-    bench("overabstraction/quotient_and_req1", || {
+    rep.bench("overabstraction/quotient_and_req1", || {
         let q = strip_quotient(&m, bit);
         check_req1_uniform_outputs(&m, &q).is_err()
     });
+    rep.write().expect("write bench report");
 }

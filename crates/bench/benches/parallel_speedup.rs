@@ -7,6 +7,7 @@
 use std::time::Instant;
 
 use simcov_bench::reduced_dlx_machine;
+use simcov_bench::timing::BenchReport;
 use simcov_core::{
     default_jobs, enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace,
 };
@@ -55,6 +56,14 @@ fn main() {
     eprintln!("  jobs=1:       {t1:>10.2?}   {}", serial.stats);
     eprintln!("  jobs={jobs}:       {tn:>10.2?}   {}", parallel.stats);
     eprintln!("  speedup: {speedup:.2}x on {jobs} worker thread(s)");
+
+    let mut rep = BenchReport::new("parallel_speedup");
+    rep.sample("parallel_speedup/jobs_1", t1);
+    rep.sample("parallel_speedup/jobs_all", tn);
+    rep.counter("parallel_speedup/jobs", jobs as u64);
+    rep.counter("parallel_speedup/faults", faults.len() as u64);
+    rep.counter("parallel_speedup/speedup_x100", (speedup * 100.0) as u64);
+    rep.write().expect("write bench report");
 
     if jobs >= 4 {
         assert!(

@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use simcov_bench::reduced_dlx_machine;
+use simcov_bench::timing::BenchReport;
 use simcov_core::{
     default_jobs, enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace,
     ResilientCampaign,
@@ -97,6 +98,18 @@ fn main() {
         "  resumed:    {t_resumed:>10.2?}   {} of {} shards restored from disk",
         resumed.restored_shards, resumed.total_shards
     );
+
+    let mut rep = BenchReport::new("resume_overhead");
+    rep.sample("resume_overhead/plain", t_plain);
+    rep.sample("resume_overhead/journaled", t_journaled);
+    rep.sample("resume_overhead/resumed", t_resumed);
+    rep.counter("resume_overhead/journal_bytes", journal_bytes);
+    rep.counter(
+        "resume_overhead/restored_shards",
+        resumed.restored_shards as u64,
+    );
+    rep.write().expect("write bench report");
+
     assert!(
         overhead < 4.0,
         "checkpoint journaling must stay under 4x of the plain engine, measured {overhead:.2}x"

@@ -2,7 +2,7 @@
 //! 22-latch test model — transition-relation construction time, valid
 //! input combinations, reachable states and transition count.
 
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_dlx::testmodel::{derive_test_model, valid_inputs_bdd};
 use simcov_fsm::SymbolicFsm;
 
@@ -39,20 +39,23 @@ fn report() {
 
 fn main() {
     report();
+    let mut rep = BenchReport::new("table_sec72");
     let (fin, _) = derive_test_model();
-    bench("sec72/build_symbolic_fsm", || {
+    rep.bench("sec72/build_symbolic_fsm", || {
         SymbolicFsm::from_netlist(&fin)
     });
-    bench("sec72/transition_relation", || {
+    rep.bench("sec72/transition_relation", || {
         let mut fsm = SymbolicFsm::from_netlist(&fin);
         let valid = valid_inputs_bdd(&mut fsm);
         fsm.set_valid_inputs(valid);
         fsm.transition_relation()
     });
-    bench("sec72/reachability_fixpoint", || {
+    rep.bench("sec72/reachability_fixpoint", || {
         let mut fsm = SymbolicFsm::from_netlist(&fin);
         let valid = valid_inputs_bdd(&mut fsm);
         fsm.set_valid_inputs(valid);
         fsm.reachable()
     });
+    rep.counter("sec72/latches", fin.stats().latches as u64);
+    rep.write().expect("write bench report");
 }

@@ -2,7 +2,7 @@
 //! greedy heuristic (the paper's own tour was "not an optimal tour"),
 //! across model sizes.
 
-use simcov_bench::timing::bench;
+use simcov_bench::timing::BenchReport;
 use simcov_bench::{reduced_dlx_machine, ring_with_chords};
 use simcov_tour::{greedy_transition_tour, transition_tour};
 
@@ -36,13 +36,15 @@ fn report() {
 
 fn main() {
     report();
+    let mut rep = BenchReport::new("tour_quality");
     for n in [16usize, 64, 256] {
         let m = ring_with_chords(n);
-        bench(&format!("tour_quality/postman/{n}"), || {
+        rep.bench(&format!("tour_quality/postman/{n}"), || {
             transition_tour(&m).unwrap()
         });
-        bench(&format!("tour_quality/greedy/{n}"), || {
+        rep.bench(&format!("tour_quality/greedy/{n}"), || {
             greedy_transition_tour(&m).unwrap()
         });
     }
+    rep.write().expect("write bench report");
 }

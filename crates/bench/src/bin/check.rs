@@ -1,0 +1,107 @@
+//! The `simcov-bench` binary: perf-regression gate over the
+//! `BENCH_<name>.json` reports that the bench binaries emit.
+//!
+//! ```text
+//! simcov-bench --check ci/bench-baseline.json [--dir DIR] [--tolerance PCT]
+//! simcov-bench --emit-baseline ci/bench-baseline.json [--dir DIR]
+//! ```
+//!
+//! `--check` exits 0 when every entry's current median is within
+//! tolerance (default 25%) of the committed baseline, 1 on regressions
+//! or vanished entries, 2 on usage/IO errors. `--emit-baseline` merges
+//! the reports into a fresh baseline document (what
+//! `scripts/bench-baseline.sh` commits).
+
+use simcov_bench::check::{
+    baseline_medians, collect_reports, compare, render_baseline, DEFAULT_TOLERANCE,
+};
+use simcov_bench::timing::report_dir;
+use simcov_obs::json;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage:
+  simcov-bench --check <baseline.json> [--dir <reports-dir>] [--tolerance <pct>]
+  simcov-bench --emit-baseline <out.json> [--dir <reports-dir>]
+
+Reads every BENCH_*.json in the reports directory ($SIMCOV_BENCH_DIR or
+target/bench-reports by default) and either gates medians against a
+committed baseline (--check; >pct% growth or vanished entries fail) or
+writes a fresh baseline document (--emit-baseline).
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check: Option<PathBuf> = None;
+    let mut emit: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => die(&format!("{flag} needs a value")),
+            }
+        };
+        match arg.as_str() {
+            "--check" => check = Some(PathBuf::from(value("--check"))),
+            "--emit-baseline" => emit = Some(PathBuf::from(value("--emit-baseline"))),
+            "--dir" => dir = Some(PathBuf::from(value("--dir"))),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                match raw.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 => tolerance = pct / 100.0,
+                    _ => die(&format!(
+                        "--tolerance wants a non-negative percent, got `{raw}`"
+                    )),
+                }
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let dir = dir.unwrap_or_else(report_dir);
+    let current = match collect_reports(&dir) {
+        Ok(c) => c,
+        Err(e) => die(&e),
+    };
+
+    match (check, emit) {
+        (Some(baseline_path), None) => {
+            let text = match std::fs::read_to_string(&baseline_path) {
+                Ok(t) => t,
+                Err(e) => die(&format!("cannot read {}: {e}", baseline_path.display())),
+            };
+            let doc = match json::parse(&text) {
+                Ok(d) => d,
+                Err(e) => die(&format!("{}: {e}", baseline_path.display())),
+            };
+            let baseline = match baseline_medians(&doc) {
+                Ok(b) => b,
+                Err(e) => die(&format!("{}: {e}", baseline_path.display())),
+            };
+            let outcome = compare(&baseline, &current, tolerance);
+            print!("{}", outcome.render());
+            std::process::exit(if outcome.passed() { 0 } else { 1 });
+        }
+        (None, Some(out_path)) => {
+            let text = render_baseline(&current);
+            if let Err(e) = std::fs::write(&out_path, &text) {
+                die(&format!("cannot write {}: {e}", out_path.display()));
+            }
+            eprintln!("wrote {} ({} entries)", out_path.display(), current.len());
+        }
+        _ => die("pass exactly one of --check or --emit-baseline"),
+    }
+}

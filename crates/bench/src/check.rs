@@ -1,0 +1,357 @@
+//! Perf-regression comparator over `BENCH_<name>.json` reports.
+//!
+//! The CI perf job runs every bench binary (writing one report per
+//! binary, see [`crate::timing::BenchReport`]), then invokes the
+//! `simcov-bench` binary with `--check ci/bench-baseline.json`. The
+//! comparator fails when any entry's current median exceeds its
+//! committed baseline median by more than the tolerance (default
+//! [`DEFAULT_TOLERANCE`] = 25%), or when a baseline entry vanished from
+//! the current run (a silently deleted benchmark would otherwise mask
+//! regressions forever). Entries present now but absent from the
+//! baseline are listed informationally — they start gating once
+//! `scripts/bench-baseline.sh` regenerates the baseline.
+//!
+//! Baseline schema (`simcov-bench-baseline` v1): a flat name → median
+//! map, so diffs of the committed file stay one-line-per-entry small:
+//!
+//! ```json
+//! {"schema":"simcov-bench-baseline","version":1,
+//!  "entries":{"fig2/transition_tour":{"median_ns":12345}}}
+//! ```
+
+use simcov_obs::json::{self, escape, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Baseline-format identifier.
+pub const BASELINE_SCHEMA: &str = "simcov-bench-baseline";
+/// Baseline-format version.
+pub const BASELINE_VERSION: u64 = 1;
+/// Allowed median growth before an entry counts as a regression: 0.25
+/// means `current > baseline * 1.25` fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One entry whose current median exceeds the tolerated baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Entry name (`<bench>/<case>`).
+    pub name: String,
+    /// Committed baseline median, ns/iteration.
+    pub baseline_ns: u64,
+    /// Measured current median, ns/iteration.
+    pub current_ns: u64,
+}
+
+impl Regression {
+    /// `current / baseline` slowdown factor.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns as f64 / (self.baseline_ns as f64).max(f64::EPSILON)
+    }
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Entries slower than `baseline * (1 + tolerance)`.
+    pub regressions: Vec<Regression>,
+    /// Baseline entries missing from the current reports.
+    pub missing: Vec<String>,
+    /// Current entries not yet in the baseline (informational).
+    pub new_entries: Vec<String>,
+    /// Number of entries compared against the baseline.
+    pub compared: usize,
+    /// The tolerance the comparison ran with.
+    pub tolerance: f64,
+}
+
+impl CheckOutcome {
+    /// True when no entry regressed and no baseline entry vanished.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable verdict for CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench check: {} entr{} compared, tolerance {:.0}%",
+            self.compared,
+            if self.compared == 1 { "y" } else { "ies" },
+            self.tolerance * 100.0
+        );
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  REGRESSION {:<44} {:>12} -> {:>12} ns/iter ({:.2}x)",
+                r.name,
+                r.baseline_ns,
+                r.current_ns,
+                r.ratio()
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "  MISSING    {name:<44} (in baseline, not measured)");
+        }
+        for name in &self.new_entries {
+            let _ = writeln!(out, "  new        {name:<44} (not in baseline yet)");
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Extracts `name -> median_ns` from one parsed `simcov-bench` report.
+pub fn report_medians(report: &Json) -> Result<BTreeMap<String, u64>, String> {
+    if report.get("schema").and_then(|s| s.as_str()) != Some(crate::timing::BENCH_SCHEMA) {
+        return Err("not a simcov-bench report (bad `schema`)".into());
+    }
+    if report.get("version").and_then(|v| v.as_u64()) != Some(crate::timing::BENCH_VERSION) {
+        return Err("unsupported simcov-bench report version".into());
+    }
+    let entries = report
+        .get("entries")
+        .and_then(|e| e.as_arr())
+        .ok_or_else(|| "report has no `entries` array".to_string())?;
+    let mut out = BTreeMap::new();
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| "entry without a string `name`".to_string())?;
+        let median = e
+            .get("median_ns")
+            .and_then(|m| m.as_u64())
+            .ok_or_else(|| format!("entry `{name}` without integer `median_ns`"))?;
+        out.insert(name.to_string(), median);
+    }
+    Ok(out)
+}
+
+/// Extracts `name -> median_ns` from a parsed baseline document.
+pub fn baseline_medians(baseline: &Json) -> Result<BTreeMap<String, u64>, String> {
+    if baseline.get("schema").and_then(|s| s.as_str()) != Some(BASELINE_SCHEMA) {
+        return Err("not a simcov-bench baseline (bad `schema`)".into());
+    }
+    if baseline.get("version").and_then(|v| v.as_u64()) != Some(BASELINE_VERSION) {
+        return Err("unsupported baseline version".into());
+    }
+    let entries = baseline
+        .get("entries")
+        .and_then(|e| e.as_obj())
+        .ok_or_else(|| "baseline has no `entries` object".to_string())?;
+    let mut out = BTreeMap::new();
+    for (name, v) in entries {
+        let median = v
+            .get("median_ns")
+            .and_then(|m| m.as_u64())
+            .ok_or_else(|| format!("baseline entry `{name}` without integer `median_ns`"))?;
+        out.insert(name.clone(), median);
+    }
+    Ok(out)
+}
+
+/// Compares current medians against a baseline. An entry regresses when
+/// `current > baseline * (1 + tolerance)` (integer-exact: fast entries
+/// with tiny baselines still get the full relative allowance).
+pub fn compare(
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+    tolerance: f64,
+) -> CheckOutcome {
+    let mut outcome = CheckOutcome {
+        tolerance,
+        ..CheckOutcome::default()
+    };
+    for (name, &base) in baseline {
+        match current.get(name) {
+            None => outcome.missing.push(name.clone()),
+            Some(&cur) => {
+                outcome.compared += 1;
+                let allowed = (base as f64) * (1.0 + tolerance);
+                if (cur as f64) > allowed {
+                    outcome.regressions.push(Regression {
+                        name: name.clone(),
+                        baseline_ns: base,
+                        current_ns: cur,
+                    });
+                }
+            }
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            outcome.new_entries.push(name.clone());
+        }
+    }
+    outcome
+}
+
+/// Renders a baseline document from current medians (what
+/// `scripts/bench-baseline.sh` commits as `ci/bench-baseline.json`).
+/// One entry per line so baseline churn reviews cleanly.
+pub fn render_baseline(current: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{BASELINE_SCHEMA}\",\"version\":{BASELINE_VERSION},\"entries\":{{"
+    );
+    for (i, (name, median)) in current.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n  \"{}\":{{\"median_ns\":{median}}}", escape(name));
+    }
+    out.push_str("\n}}\n");
+    out
+}
+
+/// Reads every `BENCH_*.json` in `dir` and merges their medians.
+/// Duplicate entry names across reports are an error (two binaries
+/// claiming the same entry would make the baseline ambiguous).
+pub fn collect_reports(dir: &std::path::Path) -> Result<BTreeMap<String, u64>, String> {
+    let mut merged = BTreeMap::new();
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read report dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json reports in {}", dir.display()));
+    }
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        for (name, median) in
+            report_medians(&doc).map_err(|e| format!("{}: {e}", path.display()))?
+        {
+            if merged.insert(name.clone(), median).is_some() {
+                return Err(format!(
+                    "duplicate bench entry `{name}` (second copy in {})",
+                    path.display()
+                ));
+            }
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn injected_two_x_slowdown_fails_the_check() {
+        // The acceptance criterion: a 2x slowdown on one entry must trip
+        // the >25% gate.
+        let baseline = map(&[
+            ("fig2/transition_tour", 100_000),
+            ("lint/dlx_model", 50_000),
+        ]);
+        let current = map(&[
+            ("fig2/transition_tour", 200_000),
+            ("lint/dlx_model", 50_000),
+        ]);
+        let outcome = compare(&baseline, &current, DEFAULT_TOLERANCE);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 1);
+        let r = &outcome.regressions[0];
+        assert_eq!(r.name, "fig2/transition_tour");
+        assert!((r.ratio() - 2.0).abs() < 1e-9);
+        assert!(outcome.render().contains("REGRESSION fig2/transition_tour"));
+        assert!(outcome.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = map(&[("a", 100), ("b", 1_000_000)]);
+        let current = map(&[("a", 125), ("b", 1_250_000)]);
+        let outcome = compare(&baseline, &current, DEFAULT_TOLERANCE);
+        assert!(outcome.passed(), "{}", outcome.render());
+        assert_eq!(outcome.compared, 2);
+        // One nanosecond past the allowance fails.
+        let outcome = compare(&baseline, &map(&[("a", 126), ("b", 1_000_000)]), 0.25);
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn vanished_baseline_entry_fails_and_new_entries_are_informational() {
+        let baseline = map(&[("kept", 100), ("deleted", 100)]);
+        let current = map(&[("kept", 90), ("brand_new", 1)]);
+        let outcome = compare(&baseline, &current, DEFAULT_TOLERANCE);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.missing, vec!["deleted".to_string()]);
+        assert_eq!(outcome.new_entries, vec!["brand_new".to_string()]);
+        assert!(outcome.render().contains("MISSING    deleted"));
+    }
+
+    #[test]
+    fn baseline_renders_and_parses_back() {
+        let medians = map(&[("x/alpha", 42), ("x/beta", 7)]);
+        let text = render_baseline(&medians);
+        let doc = json::parse(&text).expect("baseline is valid JSON");
+        assert_eq!(baseline_medians(&doc).unwrap(), medians);
+    }
+
+    #[test]
+    fn report_medians_reads_the_bench_report_format() {
+        let mut r = crate::timing::BenchReport::new("unit");
+        r.sample("unit/a", std::time::Duration::from_nanos(500));
+        r.sample("unit/b", std::time::Duration::from_nanos(900));
+        let doc = json::parse(&r.to_json()).unwrap();
+        let medians = report_medians(&doc).unwrap();
+        assert_eq!(medians, map(&[("unit/a", 500), ("unit/b", 900)]));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        let bad = json::parse("{\"schema\":\"other\",\"version\":1}").unwrap();
+        assert!(report_medians(&bad).is_err());
+        assert!(baseline_medians(&bad).is_err());
+        let no_entries =
+            json::parse("{\"schema\":\"simcov-bench-baseline\",\"version\":1}").unwrap();
+        assert!(baseline_medians(&no_entries)
+            .unwrap_err()
+            .contains("entries"));
+    }
+
+    #[test]
+    fn collect_reports_merges_and_rejects_duplicates() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("simcov_bench_check_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut a = crate::timing::BenchReport::new("alpha");
+        a.sample("alpha/x", std::time::Duration::from_nanos(10));
+        std::fs::write(dir.join("BENCH_alpha.json"), a.to_json()).unwrap();
+        let mut b = crate::timing::BenchReport::new("beta");
+        b.sample("beta/y", std::time::Duration::from_nanos(20));
+        std::fs::write(dir.join("BENCH_beta.json"), b.to_json()).unwrap();
+
+        let merged = collect_reports(&dir).unwrap();
+        assert_eq!(merged, map(&[("alpha/x", 10), ("beta/y", 20)]));
+
+        // A second report re-claiming alpha/x is ambiguous.
+        let mut dup = crate::timing::BenchReport::new("gamma");
+        dup.sample("alpha/x", std::time::Duration::from_nanos(30));
+        std::fs::write(dir.join("BENCH_gamma.json"), dup.to_json()).unwrap();
+        assert!(collect_reports(&dir).unwrap_err().contains("duplicate"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,6 +4,7 @@
 
 use simcov_fsm::{ExplicitMealy, MealyBuilder};
 
+pub mod check;
 pub mod timing;
 
 /// A strongly connected ring machine with *unevenly distributed* chord

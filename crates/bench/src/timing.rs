@@ -3,18 +3,83 @@
 //!
 //! Methodology: one untimed warm-up call sizes the iteration count to a
 //! ~0.5 s budget (clamped to [5, 10_000] iterations), then the measured
-//! loop reports mean wall time per iteration. `std::hint::black_box`
-//! keeps the optimizer from deleting the benchmarked computation.
+//! loop is split into up to [`GROUPS`] groups; each group's mean wall
+//! time per iteration is one *sample*, and the entry reports the median
+//! and p90 over samples. `std::hint::black_box` keeps the optimizer from
+//! deleting the benchmarked computation.
+//!
+//! Beyond the human-readable stderr lines, a [`BenchReport`] collects
+//! every entry (plus raw one-shot [`BenchReport::sample`] measurements
+//! and counter snapshots) and writes a machine-readable
+//! `BENCH_<name>.json` per bench binary — schema `simcov-bench` v1 —
+//! into `$SIMCOV_BENCH_DIR` (default `target/bench-reports/`). The CI
+//! perf job feeds those files to the `simcov-bench --check` comparator
+//! (see [`crate::check`]) to gate >25% median regressions against the
+//! committed `ci/bench-baseline.json`.
 
+use simcov_obs::json::escape;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// Target total measured time per benchmark.
+/// Target total measured time per benchmark entry.
 const BUDGET: Duration = Duration::from_millis(500);
 
-/// Times `f` and prints `name: <mean>/iter (<iters> iters)` to stderr.
-/// Returns the mean duration so callers can assert on relative timings
-/// (e.g. the parallel-speedup bench).
-pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
+/// Maximum number of sample groups the measured loop is split into.
+pub const GROUPS: usize = 16;
+
+/// Report-format identifier written into every `BENCH_<name>.json`.
+pub const BENCH_SCHEMA: &str = "simcov-bench";
+/// Report-format version written into every `BENCH_<name>.json`.
+pub const BENCH_VERSION: u64 = 1;
+
+/// One finished benchmark entry: per-group samples in ns/iteration.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Entry name, conventionally `<bench>/<case>`.
+    pub name: String,
+    /// Mean ns/iteration of each sample group, in measurement order.
+    pub samples_ns: Vec<u64>,
+    /// Total measured iterations across all groups (1 for one-shot
+    /// [`BenchReport::sample`] entries).
+    pub iters: u32,
+}
+
+impl Entry {
+    /// Median of the per-group samples (nearest rank).
+    pub fn median_ns(&self) -> u64 {
+        percentile_ns(&self.samples_ns, 50)
+    }
+
+    /// 90th percentile of the per-group samples (nearest rank).
+    pub fn p90_ns(&self) -> u64 {
+        percentile_ns(&self.samples_ns, 90)
+    }
+}
+
+/// Nearest-rank percentile over a non-empty sample set.
+fn percentile_ns(samples: &[u64], pct: usize) -> u64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[((sorted.len() - 1) * pct + 50) / 100]
+}
+
+/// Directory that bench reports are written to: `$SIMCOV_BENCH_DIR`,
+/// defaulting to `target/bench-reports` relative to the working
+/// directory. Note that `cargo bench` runs bench binaries with the
+/// *package* directory as cwd, so CI and scripts should export an
+/// absolute `SIMCOV_BENCH_DIR` to collect every report in one place.
+pub fn report_dir() -> PathBuf {
+    std::env::var_os("SIMCOV_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/bench-reports"))
+}
+
+/// Warm up, size the iteration count, and time `f` in sample groups.
+/// Returns the per-group samples (ns/iter) and total iterations.
+fn measure<R>(mut f: impl FnMut() -> R) -> (Vec<u64>, u32) {
     let t0 = Instant::now();
     std::hint::black_box(f());
     let once = t0.elapsed();
@@ -23,24 +88,224 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
     } else {
         (BUDGET.as_nanos() / once.as_nanos().max(1)).clamp(5, 10_000) as u32
     };
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(f());
+    let groups = (iters as usize).min(GROUPS) as u32;
+    let per_group = (iters / groups).max(1);
+    let mut samples = Vec::with_capacity(groups as usize);
+    for _ in 0..groups {
+        let t0 = Instant::now();
+        for _ in 0..per_group {
+            std::hint::black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos() / u128::from(per_group);
+        samples.push(u64::try_from(ns).unwrap_or(u64::MAX));
     }
-    let mean = t0.elapsed() / iters;
-    eprintln!("  {name:<44} {mean:>12.2?}/iter ({iters} iters)");
-    mean
+    (samples, per_group * groups)
+}
+
+/// Times `f` and prints `name: <median>/iter (<iters> iters)` to stderr.
+/// Returns the median duration so callers can assert on relative timings.
+///
+/// Standalone variant of [`BenchReport::bench`] for callers that do not
+/// need a machine-readable report.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Duration {
+    let (samples, iters) = measure(f);
+    let median = Duration::from_nanos(percentile_ns(&samples, 50));
+    eprintln!("  {name:<44} {median:>12.2?}/iter ({iters} iters)");
+    median
+}
+
+/// A per-binary benchmark session accumulating entries, one-shot
+/// samples and counters, then serialized as `BENCH_<name>.json`.
+///
+/// ```
+/// let mut report = simcov_bench::timing::BenchReport::new("doc_example");
+/// report.bench("doc_example/sum", || (0..1000u64).sum::<u64>());
+/// report.counter("doc_example/n", 1000);
+/// let json = report.to_json();
+/// assert!(json.starts_with("{\"schema\":\"simcov-bench\",\"version\":1,"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    entries: Vec<Entry>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl BenchReport {
+    /// Starts an empty report for the bench binary `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            entries: Vec::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Times `f` like [`bench`](fn@bench), records the entry, and
+    /// returns the median duration per iteration.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) -> Duration {
+        let (samples, iters) = measure(f);
+        let entry = Entry {
+            name: name.to_string(),
+            samples_ns: samples,
+            iters,
+        };
+        let median = Duration::from_nanos(entry.median_ns());
+        eprintln!("  {name:<44} {median:>12.2?}/iter ({iters} iters)");
+        self.entries.push(entry);
+        median
+    }
+
+    /// Records an externally timed one-shot measurement (e.g. a single
+    /// campaign wall-clock) as an entry with one sample.
+    pub fn sample(&mut self, name: &str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.entries.push(Entry {
+            name: name.to_string(),
+            samples_ns: vec![ns],
+            iters: 1,
+        });
+    }
+
+    /// Records a scalar context value (fault counts, journal bytes,
+    /// speedup × 100, ...) under `name`. Last write wins.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Copies every counter out of a telemetry snapshot, prefixing each
+    /// with this report's name (`<bench>/<counter>`).
+    pub fn counters_from(&mut self, snapshot: &simcov_obs::Snapshot) {
+        for (k, v) in &snapshot.counters {
+            self.counters.insert(format!("{}/{k}", self.name), *v);
+        }
+    }
+
+    /// Recorded entries, in measurement order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Serializes the report as a single-line `simcov-bench` v1 JSON
+    /// document (trailing newline included). Counters are name-sorted
+    /// so the layout is deterministic for a given set of measurements.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{BENCH_SCHEMA}\",\"version\":{BENCH_VERSION},\"name\":\"{}\",\"entries\":[",
+            escape(&self.name)
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"p90_ns\":{},\"samples_ns\":[",
+                escape(&e.name),
+                e.iters,
+                e.median_ns(),
+                e.p90_ns()
+            );
+            for (j, s) in e.samples_ns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{s}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape(k));
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into [`report_dir`], creating the
+    /// directory if needed, and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = report_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        eprintln!("  report: {}", path.display());
+        Ok(path)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcov_obs::json;
 
     #[test]
-    fn bench_returns_positive_mean_for_real_work() {
-        let mean = bench("timing/self_test", || {
+    fn bench_returns_positive_median_for_real_work() {
+        let median = bench("timing/self_test", || {
             std::hint::black_box((0..10_000u64).sum::<u64>())
         });
-        assert!(mean < Duration::from_secs(1));
+        assert!(median < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = [40u64, 10, 30, 20, 50];
+        assert_eq!(percentile_ns(&s, 50), 30);
+        assert_eq!(percentile_ns(&s, 90), 50);
+        assert_eq!(percentile_ns(&[7], 50), 7);
+        assert_eq!(percentile_ns(&[7], 90), 7);
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_obs_parser() {
+        let mut r = BenchReport::new("unit");
+        r.bench("unit/sum", || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        r.sample("unit/one_shot", Duration::from_micros(42));
+        r.counter("unit/faults", 123);
+        let doc = json::parse(&r.to_json()).expect("report is valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("name").and_then(|s| s.as_str()), Some("unit"));
+        let entries = doc.get("entries").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[1].get("name").and_then(|s| s.as_str()),
+            Some("unit/one_shot")
+        );
+        assert_eq!(
+            entries[1].get("median_ns").and_then(|v| v.as_u64()),
+            Some(42_000)
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("unit/faults"))
+                .and_then(|v| v.as_u64()),
+            Some(123)
+        );
+    }
+
+    #[test]
+    fn counters_from_snapshot_are_prefixed() {
+        let tel = simcov_obs::Telemetry::new();
+        tel.counter_add("campaign.faults_simulated", 7);
+        let mut r = BenchReport::new("unit");
+        r.counters_from(&tel.snapshot());
+        let doc = json::parse(&r.to_json()).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("unit/campaign.faults_simulated"))
+                .and_then(|v| v.as_u64()),
+            Some(7)
+        );
     }
 }

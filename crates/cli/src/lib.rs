@@ -27,7 +27,8 @@ use simcov_core::{
 };
 use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PairFsm, SymbolicFsm};
 use simcov_netlist::Netlist;
-use simcov_tour::{coverage, greedy_transition_tour, state_tour, transition_tour, TestSet};
+use simcov_obs::Telemetry;
+use simcov_tour::{coverage, generate_tour_traced, TestSet, TourKind};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -76,11 +77,59 @@ pub struct CmdOutput {
     pub text: String,
     /// Process exit code (0 unless the command signals findings).
     pub code: i32,
+    /// End-of-run metrics table (`--metrics`), printed on **stderr** so
+    /// stdout stays machine-parseable.
+    pub metrics: Option<String>,
 }
 
 impl From<String> for CmdOutput {
     fn from(text: String) -> Self {
-        CmdOutput { text, code: 0 }
+        CmdOutput {
+            text,
+            code: 0,
+            metrics: None,
+        }
+    }
+}
+
+/// Observability options shared by `campaign`, `tour` and `lint`:
+/// `--trace-out <FILE>` (deterministic JSONL trace) and `--metrics`
+/// (human table on stderr).
+#[derive(Debug, Clone, Default)]
+pub struct ObsOpts {
+    /// Write the deterministic JSONL trace here (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Render the metrics table to stderr (`--metrics`).
+    pub metrics: bool,
+}
+
+impl ObsOpts {
+    fn parse(rest: &[&String]) -> ObsOpts {
+        ObsOpts {
+            trace_out: rest
+                .iter()
+                .position(|a| a.as_str() == "--trace-out")
+                .and_then(|i| rest.get(i + 1))
+                .map(|s| s.to_string()),
+            metrics: rest.iter().any(|a| a.as_str() == "--metrics"),
+        }
+    }
+
+    /// Finalizes a command's telemetry: writes the JSONL trace and/or
+    /// attaches the metrics table, per the flags.
+    fn finish(&self, telemetry: &Telemetry, out: &mut CmdOutput) -> Result<(), CliError> {
+        if self.trace_out.is_none() && !self.metrics {
+            return Ok(());
+        }
+        let snap = telemetry.snapshot();
+        if let Some(path) = &self.trace_out {
+            snap.write_jsonl_file(path)
+                .map_err(|e| CliError::runtime(format!("cannot write trace {path}: {e}")))?;
+        }
+        if self.metrics {
+            out.metrics = Some(snap.render_table());
+        }
+        Ok(())
     }
 }
 
@@ -90,15 +139,17 @@ simcov — validation methodology using simulation coverage (DAC'97)
 
 USAGE:
   simcov stats <model.blif>
-  simcov tour <model.blif> [--greedy | --state]
+  simcov tour <model.blif> [--greedy | --state] [--trace-out <FILE>] [--metrics]
   simcov distinguish <model.blif> --k <K> [--all-pairs]
   simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>] [--jobs <J>]
                   [--deadline <MS>] [--max-steps <N>] [--max-retries <R>]
                   [--checkpoint <FILE>] [--resume]
+                  [--trace-out <FILE>] [--metrics]
   simcov dot <model.blif>
   simcov normalize <model.blif>
   simcov dlx <fig3a | fig3b | final | reduced | reduced-obs>
   simcov lint <model.blif> [--format text|json] [--deny C]... [--warn C]... [--allow C]... [--k <K>]
+              [--trace-out <FILE>] [--metrics]
   simcov lint --dlx <name> [same options]
 
 OPTIONS:
@@ -106,7 +157,11 @@ OPTIONS:
                 all available cores); results are identical for every J
   --deadline <MS>
                 wall-clock budget in milliseconds; the campaign stops
-                cooperatively at the next fault boundary when it expires
+                cooperatively at the next fault boundary when it expires.
+                0 uniformly means expire-immediately: nothing is
+                simulated, every unrestored shard reports as skipped
+                (with --resume the journal is still restored for free,
+                so `--deadline 0 --resume` audits a checkpoint)
   --max-steps <N>
                 total simulation-step budget (one step per test vector
                 per fault); deterministic truncation, unlike --deadline
@@ -118,6 +173,12 @@ OPTIONS:
   --resume      restore journaled shards from --checkpoint FILE and
                 simulate only the rest; the merged report is byte-
                 identical to an uninterrupted run
+  --trace-out <FILE>
+                write a deterministic JSONL telemetry trace (schema
+                `simcov-trace` v1, FNV-64 fingerprint footer); byte-
+                identical across --jobs for the same work
+  --metrics     print an end-of-run metrics table (spans, counters,
+                gauges) on stderr; stdout stays machine-parseable
   --deny/--warn/--allow <C>
                 override the severity of lint code C (e.g. SC001 or
                 unreachable-state); repeatable, later flags win
@@ -177,22 +238,21 @@ pub fn cmd_stats(path: &str) -> Result<String, CliError> {
 }
 
 /// `simcov tour`: generate a transition (default), greedy, or state tour.
-pub fn cmd_tour(path: &str, kind: &str) -> Result<String, CliError> {
+pub fn cmd_tour(path: &str, kind: &str, obs: &ObsOpts) -> Result<CmdOutput, CliError> {
+    let kind: TourKind = kind.parse().map_err(CliError::usage)?;
     let n = load_model(path)?;
     let m = enumerate(&n)?;
-    let tour = match kind {
-        "postman" => transition_tour(&m),
-        "greedy" => greedy_transition_tour(&m),
-        "state" => state_tour(&m),
-        other => return Err(CliError::usage(format!("unknown tour kind `{other}`"))),
-    }
-    .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
+    let tel = Telemetry::new();
+    let tour = generate_tour_traced(&m, kind, &tel)
+        .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
     let report = coverage(&m, &tour.inputs);
     let mut out = String::new();
-    let _ = writeln!(out, "# {kind} tour: {tour}; coverage: {report}");
+    let _ = writeln!(out, "# {} tour: {tour}; coverage: {report}", kind.name());
     for &i in &tour.inputs {
         let _ = writeln!(out, "{}", m.input_label(i));
     }
+    let mut out = CmdOutput::from(out);
+    obs.finish(&tel, &mut out)?;
     Ok(out)
 }
 
@@ -293,13 +353,14 @@ impl Default for CampaignOpts {
 /// truncated or shard-quarantined one — every line of a partial report is
 /// still exact; the `status:`/`bounds:` lines account for what is
 /// missing.
-pub fn cmd_campaign(path: &str, opts: &CampaignOpts) -> Result<CmdOutput, CliError> {
+pub fn cmd_campaign(path: &str, opts: &CampaignOpts, obs: &ObsOpts) -> Result<CmdOutput, CliError> {
     if opts.resume && opts.checkpoint.is_none() {
         return Err(CliError::usage("--resume requires --checkpoint <FILE>"));
     }
     let n = load_model(path)?;
     let m = enumerate(&n)?;
-    let tour = transition_tour(&m)
+    let tel = Telemetry::new();
+    let tour = generate_tour_traced(&m, TourKind::Postman, &tel)
         .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
     let faults = enumerate_single_faults(
         &m,
@@ -310,6 +371,8 @@ pub fn cmd_campaign(path: &str, opts: &CampaignOpts) -> Result<CmdOutput, CliErr
         },
     );
     let tests = TestSet::single(extend_cyclically(&tour.inputs, opts.k));
+    tel.counter_add("campaign.faults_enumerated", faults.len() as u64);
+    tel.gauge_set("campaign.test_vectors", tests.total_vectors() as u64);
     // The supervisor clamps jobs(0) to serial, so the CLI's "0 = all
     // cores" convention is resolved here.
     let jobs = if opts.jobs == 0 {
@@ -319,7 +382,8 @@ pub fn cmd_campaign(path: &str, opts: &CampaignOpts) -> Result<CmdOutput, CliErr
     };
     let mut campaign = ResilientCampaign::new(&m, &faults, &tests)
         .jobs(jobs)
-        .max_retries(opts.max_retries);
+        .max_retries(opts.max_retries)
+        .telemetry(tel.clone());
     if let Some(ms) = opts.deadline_ms {
         campaign = campaign.deadline(Duration::from_millis(ms));
     }
@@ -376,7 +440,13 @@ pub fn cmd_campaign(path: &str, opts: &CampaignOpts) -> Result<CmdOutput, CliErr
         let _ = writeln!(out, "  escape: {}", esc.fault);
     }
     let code = if run.is_complete { 0 } else { EXIT_PARTIAL };
-    Ok(CmdOutput { text: out, code })
+    let mut out = CmdOutput {
+        text: out,
+        code,
+        metrics: None,
+    };
+    obs.finish(&tel, &mut out)?;
+    Ok(out)
 }
 
 /// `simcov dot`: the reachable FSM in Graphviz format.
@@ -438,6 +508,7 @@ fn lint_output(d: &simcov_lint::Diagnostics, format: &str) -> CmdOutput {
     CmdOutput {
         text,
         code: if d.has_denials() { 1 } else { 0 },
+        metrics: None,
     }
 }
 
@@ -455,8 +526,12 @@ pub fn cmd_lint(
     format: &str,
     config: &simcov_lint::LintConfig,
     k: usize,
+    obs: &ObsOpts,
 ) -> Result<CmdOutput, CliError> {
-    use simcov_lint::{lint_blif_error, lint_model, lint_netlist, Diagnostics, ModelTarget};
+    use simcov_lint::{
+        lint_blif_error, lint_model_traced, lint_netlist_traced, Diagnostics, ModelTarget,
+    };
+    let tel = Telemetry::new();
     let (n, dlx_name) = match source {
         LintSource::Path(path) => {
             let text = std::fs::read_to_string(path)
@@ -467,13 +542,15 @@ pub fn cmd_lint(
                     let mut d = Diagnostics::new(config.clone());
                     lint_blif_error(&e, &mut d);
                     d.sort_by_severity();
-                    return Ok(lint_output(&d, format));
+                    let mut out = lint_output(&d, format);
+                    obs.finish(&tel, &mut out)?;
+                    return Ok(out);
                 }
             }
         }
         LintSource::Dlx(which) => (dlx_netlist(which)?, Some(which)),
     };
-    let mut diags = lint_netlist(&n, config);
+    let mut diags = lint_netlist_traced(&n, config, &tel);
     if n.num_inputs() <= 16 {
         let opts = match dlx_name {
             // The DLX alphabet carries input don't-cares: exhaustive
@@ -501,10 +578,12 @@ pub fn cmd_lint(
                     .collect(),
             );
         }
-        diags.merge(lint_model(&target, config));
+        diags.merge(lint_model_traced(&target, config, &tel));
     }
     diags.sort_by_severity();
-    Ok(lint_output(&diags, format))
+    let mut out = lint_output(&diags, format);
+    obs.finish(&tel, &mut out)?;
+    Ok(out)
 }
 
 /// Parses and dispatches a full argument vector (without the program name).
@@ -524,7 +603,14 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     // consumes the following token, so a positional path is recognised
     // wherever it appears (`campaign --seed 3 m.blif` and
     // `campaign m.blif --seed 3` both work).
-    const BOOL_FLAGS: [&str; 5] = ["--greedy", "--state", "--all-pairs", "--resume", "--help"];
+    const BOOL_FLAGS: [&str; 6] = [
+        "--greedy",
+        "--state",
+        "--all-pairs",
+        "--resume",
+        "--metrics",
+        "--help",
+    ];
     let positional = || -> Result<&str, CliError> {
         let mut i = 0;
         while i < rest.len() {
@@ -582,8 +668,15 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                 Some(which) => LintSource::Dlx(which),
                 None => {
                     // Positional args must skip flag values, not just flags.
-                    let flags_with_value =
-                        ["--deny", "--warn", "--allow", "--format", "--k", "--dlx"];
+                    let flags_with_value = [
+                        "--deny",
+                        "--warn",
+                        "--allow",
+                        "--format",
+                        "--k",
+                        "--dlx",
+                        "--trace-out",
+                    ];
                     let mut path = None;
                     let mut i = 0;
                     while i < rest.len() {
@@ -601,7 +694,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     })?)
                 }
             };
-            return cmd_lint(source, format, &config, k);
+            return cmd_lint(source, format, &config, k, &ObsOpts::parse(&rest));
         }
         "stats" => cmd_stats(positional()?),
         "tour" => {
@@ -612,7 +705,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
             } else {
                 "postman"
             };
-            cmd_tour(positional()?, kind)
+            return cmd_tour(positional()?, kind, &ObsOpts::parse(&rest));
         }
         "distinguish" => {
             let k: usize = flag_value("--k")
@@ -648,7 +741,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                 checkpoint: flag_value("--checkpoint").map(str::to_string),
                 resume: rest.iter().any(|a| a.as_str() == "--resume"),
             };
-            return cmd_campaign(positional()?, &opts);
+            return cmd_campaign(positional()?, &opts, &ObsOpts::parse(&rest));
         }
         "dot" => cmd_dot(positional()?),
         "normalize" => cmd_normalize(positional()?),
@@ -905,7 +998,9 @@ mod tests {
     #[test]
     fn tour_covers_and_prints_vectors() {
         let tmp = write_reduced_blif();
-        let out = cmd_tour(tmp.as_str(), "postman").unwrap();
+        let out = cmd_tour(tmp.as_str(), "postman", &ObsOpts::default())
+            .unwrap()
+            .text;
         assert!(out.contains("transitions"));
         // One vector per line after the header; the model has 5 inputs.
         let vectors: Vec<&str> = out
@@ -915,9 +1010,9 @@ mod tests {
         assert!(vectors.len() > 100);
         assert!(vectors.iter().all(|v| v.len() == 5));
         // Greedy and state tours also work.
-        assert!(cmd_tour(tmp.as_str(), "greedy").is_ok());
-        assert!(cmd_tour(tmp.as_str(), "state").is_ok());
-        assert!(cmd_tour(tmp.as_str(), "zigzag").is_err());
+        assert!(cmd_tour(tmp.as_str(), "greedy", &ObsOpts::default()).is_ok());
+        assert!(cmd_tour(tmp.as_str(), "state", &ObsOpts::default()).is_ok());
+        assert!(cmd_tour(tmp.as_str(), "zigzag", &ObsOpts::default()).is_err());
     }
 
     #[test]
@@ -949,7 +1044,12 @@ mod tests {
     #[test]
     fn campaign_runs_and_reports() {
         let tmp = write_reduced_blif();
-        let out = cmd_campaign(tmp.as_str(), &campaign_opts(300, 7, 1, 2)).unwrap();
+        let out = cmd_campaign(
+            tmp.as_str(),
+            &campaign_opts(300, 7, 1, 2),
+            &ObsOpts::default(),
+        )
+        .unwrap();
         assert_eq!(out.code, 0);
         assert!(out.text.contains("campaign:"));
         assert!(out.text.contains("faults detected"));
@@ -968,14 +1068,22 @@ mod tests {
                 .join("\n")
         };
         let one = strip_wall(
-            cmd_campaign(tmp.as_str(), &campaign_opts(200, 3, 1, 1))
-                .unwrap()
-                .text,
+            cmd_campaign(
+                tmp.as_str(),
+                &campaign_opts(200, 3, 1, 1),
+                &ObsOpts::default(),
+            )
+            .unwrap()
+            .text,
         );
         let four = strip_wall(
-            cmd_campaign(tmp.as_str(), &campaign_opts(200, 3, 1, 4))
-                .unwrap()
-                .text,
+            cmd_campaign(
+                tmp.as_str(),
+                &campaign_opts(200, 3, 1, 4),
+                &ObsOpts::default(),
+            )
+            .unwrap()
+            .text,
         );
         assert_eq!(one, four);
     }

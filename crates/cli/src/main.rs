@@ -5,6 +5,11 @@ fn main() {
     match simcov_cli::run(&args) {
         Ok(out) => {
             print!("{}", out.text);
+            // The metrics table goes to stderr so stdout stays parseable
+            // (JSON lint reports, tour vectors, ...).
+            if let Some(metrics) = &out.metrics {
+                eprint!("{metrics}");
+            }
             if out.code != 0 {
                 std::process::exit(out.code);
             }

@@ -1,0 +1,224 @@
+//! Telemetry contract tests over the CLI surface (the acceptance
+//! property of the observability layer):
+//!
+//! 1. a campaign run with `--trace-out` produces a JSONL trace whose
+//!    counter totals **exactly** equal the merged `CampaignStats` the
+//!    command prints (faults simulated / detected), and whose per-shard
+//!    event fields sum to the same totals;
+//! 2. the trace is **byte-identical** across `--jobs 1/2/8` for the same
+//!    seed (thread-count blindness);
+//! 3. the trace verifies against its FNV-64 fingerprint footer.
+
+use simcov_cli::run;
+use simcov_obs::{json, verify_trace};
+use std::path::PathBuf;
+
+struct TempPath(PathBuf);
+impl TempPath {
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 path")
+    }
+}
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn temp(tag: &str, ext: &str, contents: &str) -> TempPath {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "simcov_telemetry_{tag}_{}_{:?}.{ext}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&p, contents).expect("write temp file");
+    TempPath(p)
+}
+
+fn reduced_blif(tag: &str) -> TempPath {
+    let n = simcov_dlx::testmodel::reduced_control_netlist_observable();
+    temp(tag, "blif", &simcov_netlist::to_blif(&n, "reduced"))
+}
+
+fn args(s: &[&str]) -> Vec<String> {
+    s.iter().map(|x| x.to_string()).collect()
+}
+
+/// Pulls `<n> faults simulated: <m> detected` out of the `stats:` line.
+fn stats_line_counts(text: &str) -> (u64, u64) {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("stats: "))
+        .expect("stats line");
+    let mut words = line.split_whitespace();
+    let simulated: u64 = words.nth(1).unwrap().parse().expect("faults simulated");
+    let detected: u64 = words.nth(2).unwrap().parse().expect("faults detected");
+    (simulated, detected)
+}
+
+/// Reads a named counter line out of a parsed trace.
+fn trace_counter(lines: &[json::Json], name: &str) -> u64 {
+    lines
+        .iter()
+        .find(|l| {
+            l.get("type").and_then(|t| t.as_str()) == Some("counter")
+                && l.get("name").and_then(|n| n.as_str()) == Some(name)
+        })
+        .and_then(|l| l.get("value"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("counter {name} missing from trace"))
+}
+
+#[test]
+fn campaign_trace_reconciles_with_stats_and_is_jobs_invariant() {
+    let model = reduced_blif("campaign");
+    for seed in [3u64, 11] {
+        let mut traces: Vec<String> = Vec::new();
+        let mut stats: Vec<(u64, u64)> = Vec::new();
+        for jobs in [1usize, 2, 8] {
+            let trace = temp(&format!("trace_s{seed}_j{jobs}"), "jsonl", "");
+            let out = run(&args(&[
+                "campaign",
+                model.as_str(),
+                "--max-faults",
+                "400",
+                "--seed",
+                &seed.to_string(),
+                "--k",
+                "1",
+                "--jobs",
+                &jobs.to_string(),
+                "--trace-out",
+                trace.as_str(),
+                "--metrics",
+            ]))
+            .expect("campaign runs");
+            assert_eq!(out.code, 0, "{}", out.text);
+            let metrics = out.metrics.expect("--metrics renders a table");
+            assert!(metrics.contains("campaign.faults_simulated"), "{metrics}");
+            assert!(metrics.contains("spans (wall clock):"), "{metrics}");
+            stats.push(stats_line_counts(&out.text));
+            traces.push(std::fs::read_to_string(trace.as_str()).expect("trace written"));
+        }
+        // Property 2: byte-identical across thread counts.
+        assert_eq!(traces[0], traces[1], "seed {seed}: jobs 1 vs 2");
+        assert_eq!(traces[0], traces[2], "seed {seed}: jobs 1 vs 8");
+        assert_eq!(stats[0], stats[1]);
+        assert_eq!(stats[0], stats[2]);
+
+        // Property 3: the trace verifies (schema header + fingerprint).
+        let lines = verify_trace(&traces[0]).expect("trace verifies");
+
+        // Property 1: counters == printed stats == sum of event fields.
+        let (simulated, detected) = stats[0];
+        assert_eq!(
+            trace_counter(&lines, "campaign.faults_simulated"),
+            simulated
+        );
+        assert_eq!(trace_counter(&lines, "campaign.faults_detected"), detected);
+        let events: Vec<&json::Json> = lines
+            .iter()
+            .filter(|l| {
+                l.get("type").and_then(|t| t.as_str()) == Some("event")
+                    && l.get("name").and_then(|n| n.as_str()) == Some("campaign.shard")
+            })
+            .collect();
+        assert!(!events.is_empty());
+        let field_sum = |key: &str| -> u64 {
+            events
+                .iter()
+                .map(|e| {
+                    e.get("fields")
+                        .and_then(|f| f.get(key))
+                        .and_then(|v| v.as_u64())
+                        .expect("event field")
+                })
+                .sum()
+        };
+        assert_eq!(field_sum("faults"), simulated);
+        assert_eq!(field_sum("detected"), detected);
+        assert_eq!(
+            trace_counter(&lines, "campaign.shards"),
+            events.len() as u64
+        );
+    }
+}
+
+#[test]
+fn tour_and_lint_traces_are_deterministic_and_verify() {
+    let model = reduced_blif("tourlint");
+    for cmd in [
+        vec!["tour", model.as_str()],
+        vec!["lint", "--dlx", "reduced-obs"],
+    ] {
+        let mut traces = Vec::new();
+        for round in 0..2 {
+            let trace = temp(&format!("{}_{round}", cmd[0]), "jsonl", "");
+            let mut full: Vec<&str> = cmd.clone();
+            full.extend_from_slice(&["--trace-out", trace.as_str()]);
+            let out = run(&args(&full)).expect("command runs");
+            assert_eq!(out.code, 0, "{}", out.text);
+            traces.push(std::fs::read_to_string(trace.as_str()).expect("trace written"));
+        }
+        assert_eq!(traces[0], traces[1], "{} trace must be stable", cmd[0]);
+        let lines = verify_trace(&traces[0]).expect("trace verifies");
+        let has_counter = |name: &str| {
+            lines.iter().any(|l| {
+                l.get("type").and_then(|t| t.as_str()) == Some("counter")
+                    && l.get("name").and_then(|n| n.as_str()) == Some(name)
+            })
+        };
+        match cmd[0] {
+            "tour" => assert!(has_counter("tour.length")),
+            _ => assert!(has_counter("lint.findings")),
+        }
+    }
+}
+
+#[test]
+fn zero_deadline_checkpoint_journal_is_valid_for_resume() {
+    // Regression for the `--deadline 0` semantics: expire-immediately
+    // must still write a well-formed (header-only) journal, and a
+    // subsequent `--resume` without the deadline completes normally.
+    let model = reduced_blif("zerodl");
+    let journal = temp("zerodl", "journal", "");
+    let partial = run(&args(&[
+        "campaign",
+        model.as_str(),
+        "--max-faults",
+        "150",
+        "--deadline",
+        "0",
+        "--checkpoint",
+        journal.as_str(),
+    ]))
+    .expect("zero-deadline campaign runs");
+    assert_eq!(partial.code, simcov_cli::EXIT_PARTIAL);
+    assert!(
+        partial.text.contains("status: partial (deadline expired)"),
+        "{}",
+        partial.text
+    );
+    assert!(
+        partial.text.contains("0 faults simulated"),
+        "expire-immediately means zero work: {}",
+        partial.text
+    );
+    let resumed = run(&args(&[
+        "campaign",
+        model.as_str(),
+        "--max-faults",
+        "150",
+        "--checkpoint",
+        journal.as_str(),
+        "--resume",
+    ]))
+    .expect("resume after zero-deadline runs");
+    assert_eq!(resumed.code, 0, "{}", resumed.text);
+    assert!(
+        resumed.text.contains("status: complete"),
+        "{}",
+        resumed.text
+    );
+}

@@ -238,9 +238,10 @@ pub fn simulate_fault(golden: &ExplicitMealy, fault: &Fault, tests: &TestSet) ->
 /// Dispatches through the sharded worker pool of
 /// [`FaultCampaign`](crate::parallel::FaultCampaign) with an automatic
 /// job count; results are bit-identical to a serial run (see the module
-/// docs of [`crate::parallel`]). Use [`FaultCampaign`](crate::parallel::
-/// FaultCampaign) directly to control the worker count or to read the
-/// per-campaign counters and shard timings.
+/// docs of [`crate::parallel`]). Use
+/// [`FaultCampaign`](crate::parallel::FaultCampaign) directly to control
+/// the worker count or to read the per-campaign counters and shard
+/// timings.
 pub fn run_campaign(golden: &ExplicitMealy, faults: &[Fault], tests: &TestSet) -> CampaignReport {
     crate::parallel::FaultCampaign::new(golden, faults, tests)
         .run()

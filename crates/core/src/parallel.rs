@@ -25,6 +25,7 @@
 use crate::error_model::Fault;
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
 use simcov_fsm::ExplicitMealy;
+use simcov_obs::Telemetry;
 use simcov_tour::TestSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -221,6 +222,7 @@ pub struct FaultCampaign<'a> {
     tests: &'a TestSet,
     jobs: usize,
     shard_size: usize,
+    telemetry: Option<Telemetry>,
 }
 
 impl<'a> FaultCampaign<'a> {
@@ -233,7 +235,21 @@ impl<'a> FaultCampaign<'a> {
             tests,
             jobs: default_jobs(),
             shard_size: default_shard_size(faults.len()),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink. The run records a `campaign` span with
+    /// per-shard `campaign/shard` children, the campaign counters
+    /// (`campaign.faults_simulated`, `campaign.faults_detected`,
+    /// `campaign.shards`) and one `campaign.shard` event per shard.
+    ///
+    /// Events are emitted from the serial, shard-ordered merge loop —
+    /// never from workers — so the recorded event stream (and hence the
+    /// JSONL trace) is byte-identical across thread counts.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Sets the worker count. `0` is clamped to `1` (serial execution):
@@ -264,8 +280,12 @@ impl<'a> FaultCampaign<'a> {
     pub fn run(&self) -> CampaignRun {
         let jobs = self.jobs;
         let shard_size = self.shard_size;
+        let span = self.telemetry.as_ref().map(|t| t.span("campaign"));
         let t0 = Instant::now();
         let per_shard = run_sharded(self.faults, shard_size, jobs, |_, shard| {
+            // Spans are aggregated commutatively, so timing a shard from
+            // a worker thread is trace-safe; events are not (see below).
+            let _shard_span = span.as_ref().map(|s| s.child("shard"));
             let st = Instant::now();
             let outcomes: Vec<FaultOutcome> = shard
                 .iter()
@@ -278,6 +298,21 @@ impl<'a> FaultCampaign<'a> {
         let mut stats = CampaignStats::default();
         let mut timings = Vec::with_capacity(per_shard.len());
         for (shard, (shard_outcomes, shard_stats, wall)) in per_shard.into_iter().enumerate() {
+            // Serial merge loop in shard order: the only place events are
+            // recorded, which keeps the trace byte-stable across `jobs`.
+            if let Some(tel) = &self.telemetry {
+                tel.event(
+                    "campaign.shard",
+                    &[
+                        ("shard", shard as u64),
+                        ("faults", shard_stats.faults_simulated as u64),
+                        ("detected", shard_stats.detected as u64),
+                        ("excited", shard_stats.excited as u64),
+                        ("masked", shard_stats.masked as u64),
+                        ("escapes", shard_stats.escapes as u64),
+                    ],
+                );
+            }
             timings.push(ShardTiming {
                 shard,
                 faults: shard_outcomes.len(),
@@ -286,6 +321,15 @@ impl<'a> FaultCampaign<'a> {
             stats.merge(&shard_stats);
             outcomes.extend(shard_outcomes);
         }
+        if let Some(tel) = &self.telemetry {
+            tel.counter_add("campaign.faults_simulated", stats.faults_simulated as u64);
+            tel.counter_add("campaign.faults_detected", stats.detected as u64);
+            tel.counter_add("campaign.faults_excited", stats.excited as u64);
+            tel.counter_add("campaign.faults_masked", stats.masked as u64);
+            tel.counter_add("campaign.escapes", stats.escapes as u64);
+            tel.counter_add("campaign.shards", stats.shards as u64);
+        }
+        drop(span);
         CampaignRun {
             report: CampaignReport { outcomes },
             stats,
@@ -438,6 +482,41 @@ mod tests {
         assert_eq!(run.stats.shards, faults.len());
         let baseline = FaultCampaign::new(&m, &faults, &tests).jobs(1).run();
         assert_eq!(run.report, baseline.report);
+    }
+
+    #[test]
+    fn telemetry_trace_is_byte_identical_across_thread_counts() {
+        let (m, faults, tests) = fixture();
+        let traces: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&jobs| {
+                let tel = Telemetry::new();
+                let run = FaultCampaign::new(&m, &faults, &tests)
+                    .jobs(jobs)
+                    .telemetry(tel.clone())
+                    .run();
+                let snap = tel.snapshot();
+                // Counters reconcile with the merged stats exactly.
+                assert_eq!(
+                    snap.counter("campaign.faults_simulated"),
+                    Some(run.stats.faults_simulated as u64)
+                );
+                assert_eq!(
+                    snap.counter("campaign.faults_detected"),
+                    Some(run.stats.detected as u64)
+                );
+                assert_eq!(
+                    snap.counter("campaign.shards"),
+                    Some(run.stats.shards as u64)
+                );
+                // One event per shard, in shard order.
+                assert_eq!(snap.events.len(), run.stats.shards);
+                snap.to_jsonl()
+            })
+            .collect();
+        assert_eq!(traces[0], traces[1]);
+        assert_eq!(traces[0], traces[2]);
+        simcov_obs::verify_trace(&traces[0]).expect("trace verifies");
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::error_model::{Fault, FaultKind};
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
 use crate::parallel::{default_jobs, default_shard_size, CampaignStats};
 use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+use simcov_obs::Telemetry;
 use simcov_tour::TestSet;
 use std::fmt;
 use std::io::{BufWriter, Write as _};
@@ -112,34 +113,11 @@ impl fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {}
 
 // ---------------------------------------------------------------------------
-// FNV-1a hashing (fingerprints + record checksums), zero-dependency.
-
-/// FNV-1a 64-bit hasher: tiny, stable across platforms, good enough to
-/// fingerprint campaign inputs and checksum journal records (corruption
-/// detection, not cryptographic integrity).
-#[derive(Debug, Clone)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, b: &[u8]) {
-        for &x in b {
-            self.0 ^= u64::from(x);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn u64(&mut self, x: u64) {
-        self.bytes(&x.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
+// FNV-1a hashing (fingerprints + record checksums): the workspace-wide
+// implementation from `simcov_obs`, so journals and telemetry traces
+// share one checksum discipline. Same algorithm (and therefore the same
+// journal bytes) as the private hasher this module originally carried.
+use simcov_obs::fnv::Fnv64 as Fnv;
 
 /// Fingerprints everything the deterministic result depends on: machine
 /// transition table, fault list, test set and shard partition.
@@ -319,13 +297,15 @@ impl JournalWriter {
         self.file.get_ref().sync_data()
     }
 
-    /// Writes one completed shard as a self-checking record.
+    /// Writes one completed shard as a self-checking record. Returns the
+    /// record size in bytes (deterministic: a pure function of the shard's
+    /// outcomes), which feeds the `campaign.checkpoint_bytes` counter.
     fn write_shard(
         &mut self,
         shard: usize,
         outcomes: &[FaultOutcome],
         stats: &CampaignStats,
-    ) -> Result<(), String> {
+    ) -> Result<usize, String> {
         let mut block = String::new();
         block.push_str(&shard_header_line(shard, stats));
         block.push('\n');
@@ -336,9 +316,13 @@ impl JournalWriter {
         let mut h = Fnv::new();
         h.bytes(block.as_bytes());
         let crc = h.finish();
-        let res =
-            writeln!(self.file, "{block}end {shard} crc={crc:016x}").and_then(|()| self.sync());
-        res.map_err(|e| format!("{}: {e}", self.path.display()))
+        let record = format!("{block}end {shard} crc={crc:016x}\n");
+        let res = self
+            .file
+            .write_all(record.as_bytes())
+            .and_then(|()| self.sync());
+        res.map_err(|e| format!("{}: {e}", self.path.display()))?;
+        Ok(record.len())
     }
 }
 
@@ -504,10 +488,19 @@ struct Cancel {
 
 impl Cancel {
     fn new(deadline: Option<Duration>, max_steps: Option<u64>) -> Self {
+        // A zero deadline means "expire immediately", uniformly: trip at
+        // construction instead of relying on the first `charge` observing
+        // `now >= start`. This guarantees zero simulation work, and that
+        // `reason()` reports `Deadline` even on paths that never charge.
+        let already_expired = deadline == Some(Duration::ZERO);
         Cancel {
             deadline: deadline.map(|d| Instant::now() + d),
             steps: max_steps.map(AtomicU64::new),
-            tripped: AtomicU8::new(TRIP_LIVE),
+            tripped: AtomicU8::new(if already_expired {
+                TRIP_DEADLINE
+            } else {
+                TRIP_LIVE
+            }),
         }
     }
 
@@ -807,6 +800,7 @@ pub struct ResilientCampaign<'a> {
     max_steps: Option<u64>,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    telemetry: Option<Telemetry>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::ChaosPlan>,
 }
@@ -826,6 +820,7 @@ impl<'a> ResilientCampaign<'a> {
             max_steps: None,
             checkpoint: None,
             resume: false,
+            telemetry: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -856,6 +851,13 @@ impl<'a> ResilientCampaign<'a> {
     /// Wall-clock deadline for the whole run, enforced cooperatively
     /// between faults. Shards in flight when it expires are discarded
     /// (not journaled), so truncation is exact at shard granularity.
+    ///
+    /// A **zero** deadline uniformly means *expire immediately*: no fault
+    /// is simulated, every unrestored shard is reported as skipped, and
+    /// [`ResilientRun::stopped`] is [`StopReason::Deadline`]. Combined
+    /// with [`resume`](Self::resume), journal restoration still happens
+    /// (it costs no simulation steps), which makes `deadline(ZERO)` a
+    /// cheap way to audit what a checkpoint already contains.
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
@@ -883,6 +885,22 @@ impl<'a> ResilientCampaign<'a> {
     /// not an error — the run simply starts fresh and creates it.
     pub fn resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Attaches a telemetry sink. The run records the same `campaign`
+    /// span tree, counters and per-shard events as
+    /// [`FaultCampaign::telemetry`](crate::FaultCampaign::telemetry),
+    /// plus the supervisor's own counters: `campaign.shards_retried`
+    /// (panic retries), `campaign.shards_restored` (journal hits),
+    /// `campaign.shards_skipped`, `campaign.shards_poisoned` and
+    /// `campaign.checkpoint_bytes` (journal bytes written).
+    ///
+    /// Events are emitted only from the serial shard-ordered merge loop,
+    /// so the recorded event stream is byte-identical across thread
+    /// counts for the same work.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -937,6 +955,7 @@ impl<'a> ResilientCampaign<'a> {
         // with zero vectors still charges 1 so budgets always bind.
         let cost = (self.tests.total_vectors() as u64).max(1);
 
+        let span = self.telemetry.as_ref().map(|t| t.span("campaign"));
         let slots: Mutex<Vec<Option<ShardState>>> =
             Mutex::new((0..nshards).map(|_| None).collect());
         let notes_mx = Mutex::new(notes);
@@ -946,11 +965,15 @@ impl<'a> ResilientCampaign<'a> {
         let slots_ref = &slots;
         let notes_ref = &notes_mx;
         let cancel_ref = &cancel;
+        let span_ref = &span;
 
         let process = |i: usize| {
             if restored_ref[i].is_some() {
                 return;
             }
+            // Span timing from workers is trace-safe (commutative
+            // aggregation); events are confined to the merge loop below.
+            let _shard_span = span_ref.as_ref().map(|s| s.child("shard"));
             let state = self.attempt_shard(i, shards_ref[i], cancel_ref, cost);
             if let ShardState::Done(outcomes, stats) = &state {
                 if let Some(j) = journal_ref {
@@ -965,8 +988,16 @@ impl<'a> ResilientCampaign<'a> {
                         lock(notes_ref).push(format!(
                             "journal: chaos-injected write failure for shard {i} (not journaled)"
                         ));
-                    } else if let Err(e) = lock(j).write_shard(i, outcomes, stats) {
-                        lock(notes_ref).push(format!("journal: failed to record shard {i}: {e}"));
+                    } else {
+                        match lock(j).write_shard(i, outcomes, stats) {
+                            Ok(bytes) => {
+                                if let Some(tel) = &self.telemetry {
+                                    tel.counter_add("campaign.checkpoint_bytes", bytes as u64);
+                                }
+                            }
+                            Err(e) => lock(notes_ref)
+                                .push(format!("journal: failed to record shard {i}: {e}")),
+                        }
                     }
                 }
             }
@@ -1001,28 +1032,79 @@ impl<'a> ResilientCampaign<'a> {
         let mut skipped = Vec::new();
         let mut restored_count = 0;
         let mut slots = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+        // Events only here: serial, shard-ordered, thread-count blind.
+        let shard_event = |st: &CampaignStats, i: usize, restored: bool| {
+            if let Some(tel) = &self.telemetry {
+                tel.event(
+                    "campaign.shard",
+                    &[
+                        ("shard", i as u64),
+                        ("faults", st.faults_simulated as u64),
+                        ("detected", st.detected as u64),
+                        ("excited", st.excited as u64),
+                        ("masked", st.masked as u64),
+                        ("escapes", st.escapes as u64),
+                        ("restored", u64::from(restored)),
+                    ],
+                );
+            }
+        };
         for (i, restored_shard) in restored.into_iter().enumerate() {
             if let Some((outs, st)) = restored_shard {
                 restored_count += 1;
+                shard_event(&st, i, true);
                 stats.merge(&st);
                 outcomes.extend(outs);
                 continue;
             }
             match slots[i].take() {
                 Some(ShardState::Done(outs, st)) => {
+                    shard_event(&st, i, false);
                     stats.merge(&st);
                     outcomes.extend(outs);
                 }
-                Some(ShardState::Poisoned { attempts, message }) => failures.push(ShardFailure {
-                    shard: i,
-                    faults: shards[i].len(),
-                    attempts,
-                    message,
-                }),
-                Some(ShardState::Cancelled) | None => skipped.push(i),
+                Some(ShardState::Poisoned { attempts, message }) => {
+                    if let Some(tel) = &self.telemetry {
+                        tel.event(
+                            "campaign.shard_poisoned",
+                            &[
+                                ("shard", i as u64),
+                                ("faults", shards[i].len() as u64),
+                                ("attempts", attempts as u64),
+                            ],
+                        );
+                    }
+                    failures.push(ShardFailure {
+                        shard: i,
+                        faults: shards[i].len(),
+                        attempts,
+                        message,
+                    });
+                }
+                Some(ShardState::Cancelled) | None => {
+                    if let Some(tel) = &self.telemetry {
+                        tel.event(
+                            "campaign.shard_skipped",
+                            &[("shard", i as u64), ("faults", shards[i].len() as u64)],
+                        );
+                    }
+                    skipped.push(i);
+                }
             }
         }
         let is_complete = failures.is_empty() && skipped.is_empty();
+        if let Some(tel) = &self.telemetry {
+            tel.counter_add("campaign.faults_simulated", stats.faults_simulated as u64);
+            tel.counter_add("campaign.faults_detected", stats.detected as u64);
+            tel.counter_add("campaign.faults_excited", stats.excited as u64);
+            tel.counter_add("campaign.faults_masked", stats.masked as u64);
+            tel.counter_add("campaign.escapes", stats.escapes as u64);
+            tel.counter_add("campaign.shards", stats.shards as u64);
+            tel.counter_add("campaign.shards_restored", restored_count as u64);
+            tel.counter_add("campaign.shards_skipped", skipped.len() as u64);
+            tel.counter_add("campaign.shards_poisoned", failures.len() as u64);
+        }
+        drop(span);
         let detected_lo = stats.detected;
         let unsimulated = self.faults.len() - stats.faults_simulated;
         Ok(ResilientRun {
@@ -1093,6 +1175,11 @@ impl<'a> ResilientCampaign<'a> {
                             // the `Box<dyn Any>` unsized into `dyn Any`.
                             message: panic_message(&*payload),
                         };
+                    }
+                    // Counter, not event: retries are observed from worker
+                    // threads, and counter addition is order-blind.
+                    if let Some(tel) = &self.telemetry {
+                        tel.counter_add("campaign.shards_retried", 1);
                     }
                 }
             }
@@ -1186,6 +1273,100 @@ mod tests {
         assert_eq!(run.bounds.detected_hi, faults.len());
         assert!((run.bounds.rate_hi() - 1.0).abs() < 1e-12);
         assert!(run.bounds.to_string().contains("detection rate"));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately_regardless_of_jobs() {
+        // Regression: a zero deadline must uniformly mean "expire
+        // immediately" — zero faults simulated, every shard skipped —
+        // not "whatever the first clock read decides".
+        let (m, faults, tests) = fixture();
+        for jobs in [1, 4] {
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(jobs)
+                .deadline(Duration::ZERO)
+                .run()
+                .unwrap();
+            assert_eq!(run.stats.faults_simulated, 0, "jobs={jobs}");
+            assert_eq!(run.stopped, Some(StopReason::Deadline), "jobs={jobs}");
+            assert_eq!(run.skipped.len(), run.total_shards, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_with_resume_still_restores_the_journal() {
+        // Documented: journal restoration costs no simulation steps, so
+        // deadline(ZERO) + resume audits a checkpoint without simulating.
+        let (m, faults, tests) = fixture();
+        let path = temp_path("zero_resume");
+        let _c = Cleanup(path.clone());
+        let full = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(5)
+            .checkpoint(&path)
+            .run()
+            .unwrap();
+        assert!(full.is_complete);
+        let audit = ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(5)
+            .deadline(Duration::ZERO)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap();
+        assert_eq!(audit.restored_shards, audit.total_shards);
+        assert!(audit.is_complete, "nothing remained to simulate");
+        assert_eq!(audit.stats, full.stats);
+        assert_eq!(audit.stopped, Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn telemetry_counters_reconcile_and_trace_is_thread_count_blind() {
+        let (m, faults, tests) = fixture();
+        let traces: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&jobs| {
+                let path = temp_path(&format!("tel{jobs}"));
+                let _c = Cleanup(path.clone());
+                let tel = Telemetry::new();
+                let run = ResilientCampaign::new(&m, &faults, &tests)
+                    .jobs(jobs)
+                    .shard_size(5)
+                    .checkpoint(&path)
+                    .telemetry(tel.clone())
+                    .run()
+                    .unwrap();
+                assert!(run.is_complete);
+                let snap = tel.snapshot();
+                assert_eq!(
+                    snap.counter("campaign.faults_simulated"),
+                    Some(run.stats.faults_simulated as u64)
+                );
+                assert_eq!(
+                    snap.counter("campaign.faults_detected"),
+                    Some(run.stats.detected as u64)
+                );
+                assert_eq!(
+                    snap.counter("campaign.checkpoint_bytes"),
+                    Some(
+                        std::fs::metadata(&path).unwrap().len() - {
+                            // Header lines precede the first shard record.
+                            let text = std::fs::read_to_string(&path).unwrap();
+                            text.lines()
+                                .take(2)
+                                .map(|l| l.len() as u64 + 1)
+                                .sum::<u64>()
+                        }
+                    ),
+                    "checkpoint_bytes covers exactly the shard records"
+                );
+                assert_eq!(snap.events.len(), run.total_shards);
+                snap.to_jsonl()
+            })
+            .collect();
+        assert_eq!(traces[0], traces[1]);
+        assert_eq!(traces[0], traces[2]);
     }
 
     #[test]

@@ -62,3 +62,86 @@ pub use diag::{
 };
 pub use model::{lint_build_error, lint_model, model_passes, ModelTarget};
 pub use netlist::{lint_blif_error, lint_netlist, netlist_passes};
+
+use simcov_obs::Telemetry;
+
+/// Records a finished lint family's findings into a telemetry sink: the
+/// `lint.findings` / `lint.denials` / `lint.warnings` / `lint.suppressed`
+/// counters (pure functions of the linted artifact, so traces stay
+/// deterministic).
+fn record_diags(telemetry: &Telemetry, d: &Diagnostics) {
+    telemetry.counter_add("lint.findings", d.items().len() as u64);
+    telemetry.counter_add("lint.denials", d.deny_count() as u64);
+    telemetry.counter_add("lint.warnings", d.warn_count() as u64);
+    telemetry.counter_add("lint.suppressed", d.suppressed() as u64);
+}
+
+/// [`lint_netlist`] with telemetry: a `lint/netlist` span around the
+/// pass family plus the `lint.*` counters.
+pub fn lint_netlist_traced(
+    n: &simcov_netlist::Netlist,
+    config: &LintConfig,
+    telemetry: &Telemetry,
+) -> Diagnostics {
+    let d = {
+        let root = telemetry.span("lint");
+        let _s = root.child("netlist");
+        lint_netlist(n, config)
+    };
+    record_diags(telemetry, &d);
+    d
+}
+
+/// [`lint_model`] with telemetry: a `lint/model` span around the pass
+/// family plus the `lint.*` counters (accumulated on top of any earlier
+/// family's, mirroring [`Diagnostics::merge`]).
+pub fn lint_model_traced(
+    target: &ModelTarget<'_>,
+    config: &LintConfig,
+    telemetry: &Telemetry,
+) -> Diagnostics {
+    let d = {
+        let root = telemetry.span("lint");
+        let _s = root.child("model");
+        lint_model(target, config)
+    };
+    record_diags(telemetry, &d);
+    d
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+    use simcov_fsm::MealyBuilder;
+
+    #[test]
+    fn traced_lint_matches_untraced_and_records_counters() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let dead = b.add_state("dead");
+        let i = b.add_input("i");
+        let o = b.add_output("o");
+        b.add_transition(s0, i, s0, o);
+        b.add_transition(dead, i, s0, o);
+        let m = b.build(s0).unwrap();
+        let config = LintConfig::new();
+        let tel = Telemetry::new();
+        let traced = lint_model_traced(&ModelTarget::new(&m), &config, &tel);
+        let plain = lint_model(&ModelTarget::new(&m), &config);
+        assert_eq!(traced.items().len(), plain.items().len());
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter("lint.findings"),
+            Some(plain.items().len() as u64)
+        );
+        assert_eq!(
+            snap.counter("lint.denials"),
+            Some(plain.deny_count() as u64)
+        );
+        assert_eq!(
+            snap.counter("lint.warnings"),
+            Some(plain.warn_count() as u64)
+        );
+        assert_eq!(snap.span("lint/model").unwrap().count, 1);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! `proptest`-style workflow with a fraction of the machinery: a property
 //! is a closure over a [`Gen`] handle that draws a pseudo-random test
-//! case and asserts with the standard `assert!` family. [`forall`] runs
+//! case and asserts with the standard `assert!` family. [`forall`](fn@forall) runs
 //! the closure over a deterministic seed schedule derived from the
 //! property name; on failure it *shrinks by halving* — the same seed is
 //! replayed with every ranged draw's width cut in half, quartered, and
@@ -172,7 +172,7 @@ pub fn forall(name: &str, prop: impl Fn(&mut Gen)) {
     forall_cfg(name, Config::default(), prop);
 }
 
-/// [`forall`] with an explicit [`Config`].
+/// [`forall`](fn@forall) with an explicit [`Config`].
 pub fn forall_cfg(name: &str, cfg: Config, prop: impl Fn(&mut Gen)) {
     let base = fnv1a(name.as_bytes());
     for case in 0..cfg.cases {

@@ -14,7 +14,7 @@
 //!   [`shuffle`](Prng::shuffle), [`choose`](Prng::choose) and
 //!   [`choose_multiple`](Prng::choose_multiple) (the `SliceRandom`-style
 //!   surface the workspace previously got from the `rand` crate);
-//! * [`forall`] — a miniature property-test driver with seeded case
+//! * [`forall`](fn@forall) — a miniature property-test driver with seeded case
 //!   generation and shrinking-by-halving, replacing `proptest`.
 //!
 //! All algorithms are sequence-stable: the same seed yields the same

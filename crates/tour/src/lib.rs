@@ -58,3 +58,94 @@ pub use random::{random_test_set, TestSet};
 pub use uio::{uio_sequence, uio_test_set, UioError};
 pub use verify::{coverage, coverage_set, coverage_set_jobs, CoverageReport};
 pub use wmethod::{characterization_set, w_method_test_set, WMethodError};
+
+use simcov_fsm::ExplicitMealy;
+use simcov_obs::Telemetry;
+
+/// Which tour algorithm to run: the selector behind the CLI's
+/// `--greedy`/`--state` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TourKind {
+    /// Optimal transition tour (Chinese postman) — [`transition_tour`].
+    Postman,
+    /// Greedy nearest-uncovered heuristic — [`greedy_transition_tour`].
+    Greedy,
+    /// State tour (every state at least once) — [`state_tour`].
+    State,
+}
+
+impl TourKind {
+    /// The CLI spelling of this kind (also the telemetry span suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            TourKind::Postman => "postman",
+            TourKind::Greedy => "greedy",
+            TourKind::State => "state",
+        }
+    }
+}
+
+impl std::str::FromStr for TourKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "postman" => Ok(TourKind::Postman),
+            "greedy" => Ok(TourKind::Greedy),
+            "state" => Ok(TourKind::State),
+            other => Err(format!("unknown tour kind `{other}`")),
+        }
+    }
+}
+
+/// Generates a tour of the given kind with telemetry: a `tour/<kind>`
+/// span around the generation, plus the `tour.length` and
+/// `tour.duplicates` counters on success. The recorded data is a pure
+/// function of the machine and the kind, so traces stay deterministic.
+pub fn generate_tour_traced(
+    m: &ExplicitMealy,
+    kind: TourKind,
+    telemetry: &Telemetry,
+) -> Result<Tour, TourError> {
+    let tour = {
+        let root = telemetry.span("tour");
+        let _s = root.child(kind.name());
+        match kind {
+            TourKind::Postman => transition_tour(m),
+            TourKind::Greedy => greedy_transition_tour(m),
+            TourKind::State => state_tour(m),
+        }?
+    };
+    telemetry.counter_add("tour.length", tour.len() as u64);
+    telemetry.counter_add("tour.duplicates", tour.duplicates as u64);
+    Ok(tour)
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+    use simcov_fsm::MealyBuilder;
+
+    #[test]
+    fn traced_generation_matches_untraced_and_records() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let a = b.add_input("a");
+        let o = b.add_output("o");
+        b.add_transition(s0, a, s1, o);
+        b.add_transition(s1, a, s0, o);
+        let m = b.build(s0).unwrap();
+        for kind in [TourKind::Postman, TourKind::Greedy, TourKind::State] {
+            let tel = Telemetry::new();
+            let tour = generate_tour_traced(&m, kind, &tel).unwrap();
+            let snap = tel.snapshot();
+            assert_eq!(snap.counter("tour.length"), Some(tour.len() as u64));
+            assert_eq!(
+                snap.span(&format!("tour/{}", kind.name())).unwrap().count,
+                1
+            );
+            assert_eq!(kind.name().parse::<TourKind>().unwrap(), kind);
+        }
+        assert!("zigzag".parse::<TourKind>().is_err());
+    }
+}

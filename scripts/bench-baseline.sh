@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Regenerates the committed perf baseline (ci/bench-baseline.json) that
+# the CI perf job gates against via `simcov-bench --check`.
+#
+# Run from the workspace root on a quiet machine:
+#
+#   scripts/bench-baseline.sh
+#
+# All benchmark workloads use fixed seeds (compiled in), so the set of
+# entries is deterministic; only the medians depend on the host. Commit
+# the regenerated file together with any change that intentionally
+# shifts performance by more than the check tolerance (25%).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with the package dir as cwd.
+REPORT_DIR="${SIMCOV_BENCH_DIR:-$PWD/target/bench-reports}"
+BASELINE="ci/bench-baseline.json"
+
+rm -rf "$REPORT_DIR"
+mkdir -p "$REPORT_DIR" ci
+
+# Release build: the committed medians must reflect optimized code, the
+# same profile `cargo bench` uses.
+SIMCOV_BENCH_DIR="$REPORT_DIR" cargo bench --offline --workspace
+
+cargo run --offline --release -p simcov-bench --bin simcov-bench -- \
+    --emit-baseline "$BASELINE" --dir "$REPORT_DIR"
+
+echo "baseline written to $BASELINE; review and commit it"

@@ -19,6 +19,8 @@
 //!   Requirements 1–5, fault campaigns, co-simulation harness
 //! * [`lint`] — coded static diagnostics (`SC0xx`) checking the
 //!   methodology's preconditions on models, netlists and abstraction maps
+//! * [`obs`] — zero-dependency observability: hierarchical spans, typed
+//!   counters/gauges, deterministic JSONL event traces
 //! * [`dlx`] — the paper's case study: DLX ISA spec, 5-stage pipelined
 //!   implementation, control test-model derivation
 //! * [`dsp`] — a second case study: a fixed-program FIR-filter ASIC (the
@@ -34,5 +36,6 @@ pub use simcov_dsp as dsp;
 pub use simcov_fsm as fsm;
 pub use simcov_lint as lint;
 pub use simcov_netlist as netlist;
+pub use simcov_obs as obs;
 pub use simcov_prng as prng;
 pub use simcov_tour as tour;
