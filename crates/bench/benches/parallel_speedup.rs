@@ -3,13 +3,19 @@
 //! is asserted unconditionally (stats must be bit-identical at every
 //! thread count); the >=2x speedup bar applies only on machines with at
 //! least 4 cores, so single-core CI still runs the bench meaningfully.
+//!
+//! The campaign pins the *naive* simulation engine: thread-pool scaling
+//! needs a simulation-bound workload, and the differential engine (see
+//! the `differential_speedup` bench) finishes this fixture in a few
+//! hundred microseconds, where scheduling overhead would drown the
+//! signal.
 
 use std::time::Instant;
 
 use simcov_bench::reduced_dlx_machine;
 use simcov_bench::timing::BenchReport;
 use simcov_core::{
-    default_jobs, enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace,
+    default_jobs, enumerate_single_faults, extend_cyclically, Engine, FaultCampaign, FaultSpace,
 };
 use simcov_tour::{transition_tour, TestSet};
 
@@ -35,7 +41,10 @@ fn main() {
 
     let time_at = |j: usize| {
         let t0 = Instant::now();
-        let run = FaultCampaign::new(&m, &faults, &tests).jobs(j).run();
+        let run = FaultCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Naive)
+            .jobs(j)
+            .run();
         (run, t0.elapsed())
     };
     // Warm up caches so the serial baseline is not penalized.

@@ -6,13 +6,19 @@
 //! within 4x of the plain engine (the durable journal fsyncs once per
 //! shard, which dominates on slow disks — the bar guards against
 //! accidental quadratic behaviour, not fsync cost).
+//!
+//! All runs pin the *naive* simulation engine: the overhead ratio is
+//! only meaningful while simulation dominates wall time, and the
+//! differential engine collapses the simulation cost by orders of
+//! magnitude (see the `differential_speedup` bench), which would turn
+//! this bar into a measure of per-shard fsync latency.
 
 use std::time::Instant;
 
 use simcov_bench::reduced_dlx_machine;
 use simcov_bench::timing::BenchReport;
 use simcov_core::{
-    default_jobs, enumerate_single_faults, extend_cyclically, FaultCampaign, FaultSpace,
+    default_jobs, enumerate_single_faults, extend_cyclically, Engine, FaultCampaign, FaultSpace,
     ResilientCampaign,
 };
 use simcov_tour::{transition_tour, TestSet};
@@ -46,12 +52,16 @@ fn main() {
 
     // Baseline: the unsupervised engine.
     let t0 = Instant::now();
-    let plain = FaultCampaign::new(&m, &faults, &tests).jobs(jobs).run();
+    let plain = FaultCampaign::new(&m, &faults, &tests)
+        .engine(Engine::Naive)
+        .jobs(jobs)
+        .run();
     let t_plain = t0.elapsed();
 
     // Supervised + journaled full run (checkpoint-write overhead).
     let t0 = Instant::now();
     let journaled = ResilientCampaign::new(&m, &faults, &tests)
+        .engine(Engine::Naive)
         .jobs(jobs)
         .checkpoint(&journal)
         .run()
@@ -62,6 +72,7 @@ fn main() {
     // Interrupted run: half the step budget, journaled.
     let half_budget = cost * (faults.len() as u64) / 2;
     let interrupted = ResilientCampaign::new(&m, &faults, &tests)
+        .engine(Engine::Naive)
         .jobs(jobs)
         .max_steps(half_budget)
         .checkpoint(&journal)
@@ -71,6 +82,7 @@ fn main() {
     // Resume: restore the journaled prefix, simulate the rest.
     let t0 = Instant::now();
     let resumed = ResilientCampaign::new(&m, &faults, &tests)
+        .engine(Engine::Naive)
         .jobs(jobs)
         .checkpoint(&journal)
         .resume(true)

@@ -23,7 +23,7 @@
 #![warn(missing_docs)]
 
 use simcov_core::{
-    default_jobs, enumerate_single_faults, extend_cyclically, FaultSpace, ResilientCampaign,
+    default_jobs, enumerate_single_faults, extend_cyclically, Engine, FaultSpace, ResilientCampaign,
 };
 use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PairFsm, SymbolicFsm};
 use simcov_netlist::Netlist;
@@ -142,6 +142,7 @@ USAGE:
   simcov tour <model.blif> [--greedy | --state] [--trace-out <FILE>] [--metrics]
   simcov distinguish <model.blif> --k <K> [--all-pairs]
   simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>] [--jobs <J>]
+                  [--engine naive|differential]
                   [--deadline <MS>] [--max-steps <N>] [--max-retries <R>]
                   [--checkpoint <FILE>] [--resume]
                   [--trace-out <FILE>] [--metrics]
@@ -155,6 +156,10 @@ USAGE:
 OPTIONS:
   --jobs <J>    worker threads for the fault campaign (0 or omitted =
                 all available cores); results are identical for every J
+  --engine <E>  fault-simulation engine: differential (default; shares
+                the memoized golden trace and replays only divergent
+                suffixes) or naive (clone-and-replay oracle); reports
+                are bit-identical for either engine
   --deadline <MS>
                 wall-clock budget in milliseconds; the campaign stops
                 cooperatively at the next fault boundary when it expires.
@@ -326,6 +331,10 @@ pub struct CampaignOpts {
     pub checkpoint: Option<String>,
     /// Restore journaled shards before simulating (`--resume`).
     pub resume: bool,
+    /// Fault-simulation engine (`--engine`). Both engines produce
+    /// bit-identical reports; `naive` exists as the differential
+    /// engine's oracle for equivalence gates.
+    pub engine: Engine,
 }
 
 impl Default for CampaignOpts {
@@ -340,6 +349,7 @@ impl Default for CampaignOpts {
             max_steps: None,
             checkpoint: None,
             resume: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -381,6 +391,7 @@ pub fn cmd_campaign(path: &str, opts: &CampaignOpts, obs: &ObsOpts) -> Result<Cm
         opts.jobs
     };
     let mut campaign = ResilientCampaign::new(&m, &faults, &tests)
+        .engine(opts.engine)
         .jobs(jobs)
         .max_retries(opts.max_retries)
         .telemetry(tel.clone());
@@ -399,6 +410,7 @@ pub fn cmd_campaign(path: &str, opts: &CampaignOpts, obs: &ObsOpts) -> Result<Cm
     let mut out = String::new();
     let _ = writeln!(out, "model: {m:?}");
     let _ = writeln!(out, "tour: {tour} (extended by k={})", opts.k);
+    let _ = writeln!(out, "engine: {}", opts.engine);
     let _ = writeln!(out, "campaign: {}", run.report);
     let _ = writeln!(out, "stats: {}", run.stats);
     if run.is_complete {
@@ -740,6 +752,16 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                 max_steps: num(flag_value("--max-steps"), "--max-steps")?,
                 checkpoint: flag_value("--checkpoint").map(str::to_string),
                 resume: rest.iter().any(|a| a.as_str() == "--resume"),
+                engine: match flag_value("--engine") {
+                    None => defaults.engine,
+                    Some("naive") => Engine::Naive,
+                    Some("differential") => Engine::Differential,
+                    Some(other) => {
+                        return Err(CliError::usage(format!(
+                            "unknown engine `{other}` (naive|differential)"
+                        )))
+                    }
+                },
             };
             return cmd_campaign(positional()?, &opts, &ObsOpts::parse(&rest));
         }
@@ -1086,6 +1108,49 @@ mod tests {
             .text,
         );
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn campaign_engine_flag_is_parsed_and_engine_independent() {
+        let tmp = write_reduced_blif();
+        let campaign_lines = |text: &str| -> String {
+            text.lines()
+                .filter(|l| l.starts_with("campaign:") || l.starts_with("stats:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let base = &[
+            "campaign",
+            tmp.as_str(),
+            "--max-faults",
+            "200",
+            "--seed",
+            "3",
+        ];
+        let with_engine = |e: &str| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(["--engine", e]);
+            run(&args(&argv)).unwrap()
+        };
+        let naive = with_engine("naive");
+        let differential = with_engine("differential");
+        assert!(naive.text.contains("engine: naive"), "{}", naive.text);
+        assert!(
+            differential.text.contains("engine: differential"),
+            "{}",
+            differential.text
+        );
+        assert_eq!(
+            campaign_lines(&naive.text),
+            campaign_lines(&differential.text),
+            "reports must be engine-independent"
+        );
+        // Omitting the flag selects the differential default.
+        let default = run(&args(base)).unwrap();
+        assert!(default.text.contains("engine: differential"));
+        let err = run(&args(&["campaign", tmp.as_str(), "--engine", "magic"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown engine"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! when a later transfer error steers control back onto the correct state
 //! sequence before any output difference is observed.
 
-use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, PatchedMealy, StateId};
 
 /// The two error kinds of the fault model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +50,34 @@ impl Fault {
             }
             FaultKind::Transfer { new_next } => {
                 golden.with_redirected_transition(self.state, self.input, new_next)
+            }
+        }
+    }
+
+    /// Builds the faulty implementation as a zero-clone overlay: the
+    /// golden machine borrowed with this one transition replaced
+    /// ([`PatchedMealy`]), stepped via
+    /// [`step_patched`](PatchedMealy::step_patched).
+    ///
+    /// Observationally equivalent to [`inject`](Self::inject) — same
+    /// transition function, same truncation behaviour — but allocation-
+    /// free, which is what lets the differential campaign engine
+    /// materialise one mutant per fault without copying the transition
+    /// table (see [`crate::differential`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition `(state, input)` is undefined in `golden`.
+    pub fn patch<'a>(&self, golden: &'a ExplicitMealy) -> PatchedMealy<'a> {
+        let (next, out) = golden
+            .step(self.state, self.input)
+            .expect("transition must be defined to be patched");
+        match self.kind {
+            FaultKind::Output { new_output } => {
+                golden.patched(self.state, self.input, next, new_output)
+            }
+            FaultKind::Transfer { new_next } => {
+                golden.patched(self.state, self.input, new_next, out)
             }
         }
     }
@@ -225,6 +253,30 @@ mod tests {
         // <a, a, b, a>: exposed at step 2, even though states reconverge
         // afterwards (both return to 1).
         assert!(!is_masked_on(&m, &faulty, &[a, a, b, a]));
+    }
+
+    #[test]
+    fn patch_is_observationally_identical_to_inject() {
+        let (m, fault) = figure2();
+        let a = m.input_by_label("a").unwrap();
+        for f in [
+            fault,
+            Fault {
+                state: m.reset(),
+                input: a,
+                kind: FaultKind::Output {
+                    new_output: simcov_fsm::OutputSym(1),
+                },
+            },
+        ] {
+            let cloned = f.inject(&m);
+            let patched = f.patch(&m);
+            for s in m.states() {
+                for i in m.inputs() {
+                    assert_eq!(patched.step_patched(s, i), cloned.step(s, i), "{f}");
+                }
+            }
+        }
     }
 
     #[test]

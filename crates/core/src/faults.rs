@@ -249,13 +249,20 @@ pub fn run_campaign(golden: &ExplicitMealy, faults: &[Fault], tests: &TestSet) -
 }
 
 /// Extends a tour cyclically by `k` vectors: a transition tour is a
-/// circuit back to the reset state, so replaying its first `k` inputs is a
-/// valid continuation — giving every error excited near the end of the
-/// tour its `k`-step exposure window (Theorem 1's "the simulator must also
-/// know how long to simulate").
+/// circuit back to the reset state, so replaying its inputs from the start
+/// is a valid continuation — giving every error excited near the end of
+/// the tour its `k`-step exposure window (Theorem 1's "the simulator must
+/// also know how long to simulate").
+///
+/// The extension *wraps*: with `k` greater than the tour length the tour
+/// is replayed as many whole times as needed (`extend_cyclically(&[a, b],
+/// 5)` is `[a, b, a, b, a, b, a]`), so large exposure windows — e.g. a
+/// certificate's `k` on a very short tour — are honoured rather than
+/// silently capped at one extra lap. An empty tour stays empty for any
+/// `k` (there is nothing to replay).
 pub fn extend_cyclically(tour: &[InputSym], k: usize) -> Vec<InputSym> {
     let mut v = tour.to_vec();
-    v.extend(tour.iter().take(k).copied());
+    v.extend(tour.iter().cycle().take(k).copied());
     v
 }
 
@@ -368,8 +375,27 @@ mod tests {
         let b = m.input_by_label("b").unwrap();
         let ext = extend_cyclically(&[a, b], 1);
         assert_eq!(ext, vec![a, b, a]);
+        let ext = extend_cyclically(&[a, b], 2);
+        assert_eq!(ext, vec![a, b, a, b]);
+    }
+
+    #[test]
+    fn extend_cyclically_handles_k_at_or_beyond_tour_length() {
+        // Regression: `take(k)` used to cap the extension at one lap, so
+        // k > len under-extended the exposure window.
+        let (m, _) = figure2();
+        let a = m.input_by_label("a").unwrap();
+        let b = m.input_by_label("b").unwrap();
         let ext = extend_cyclically(&[a, b], 5);
-        assert_eq!(ext.len(), 4); // capped at tour length
+        assert_eq!(ext, vec![a, b, a, b, a, b, a]);
+        // k exactly equal to the tour length replays it once in full.
+        let ext = extend_cyclically(&[a, b], 2);
+        assert_eq!(ext, vec![a, b, a, b]);
+        // Single-input tours wrap too.
+        let ext = extend_cyclically(&[b], 3);
+        assert_eq!(ext, vec![b, b, b, b]);
+        // An empty tour has nothing to replay.
+        assert!(extend_cyclically(&[], 4).is_empty());
     }
 
     #[test]

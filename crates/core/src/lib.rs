@@ -24,6 +24,10 @@
 //! * [`faults`] — fault campaigns that *empirically* validate the
 //!   certificates: every injected fault must be caught by a transition
 //!   tour on a compliant model;
+//! * [`differential`] — the differential fault-simulation engine:
+//!   golden-trace memoization, excitation indexing and zero-clone suffix
+//!   replay, bit-identical to the naive engine but asymptotically
+//!   cheaper;
 //! * [`resilient`] — crash-safe campaign supervision: panic isolation,
 //!   deadlines/step budgets, durable checkpoint/resume and deterministic
 //!   chaos injection;
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod differential;
 pub mod distinguish;
 pub mod error_model;
 pub mod expand;
@@ -49,6 +54,7 @@ pub mod resilient;
 pub mod testutil;
 pub mod theorems;
 
+pub use differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 pub use distinguish::{
     forall_k_distinguishable, DistinguishError, Distinguishability, PairWitness,
 };

@@ -22,6 +22,7 @@
 //! produces the same [`CampaignReport`] and the same [`CampaignStats`],
 //! byte for byte. Only the wall-clock [`ShardTiming`]s differ.
 
+use crate::differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 use crate::error_model::Fault;
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
 use simcov_fsm::ExplicitMealy;
@@ -198,6 +199,9 @@ pub struct CampaignRun {
     pub jobs: usize,
     /// End-to-end wall time of the campaign.
     pub wall: Duration,
+    /// Differential-engine effort counters (all zero under
+    /// [`Engine::Naive`]); deterministic across thread counts.
+    pub diff: DiffStats,
 }
 
 /// A configured fault campaign: the golden machine, the fault list, the
@@ -222,12 +226,14 @@ pub struct FaultCampaign<'a> {
     tests: &'a TestSet,
     jobs: usize,
     shard_size: usize,
+    engine: Engine,
     telemetry: Option<Telemetry>,
 }
 
 impl<'a> FaultCampaign<'a> {
-    /// A campaign with automatic worker count ([`default_jobs`]) and
-    /// automatic sharding ([`default_shard_size`]).
+    /// A campaign with automatic worker count ([`default_jobs`]),
+    /// automatic sharding ([`default_shard_size`]) and the default
+    /// [`Engine::Differential`].
     pub fn new(golden: &'a ExplicitMealy, faults: &'a [Fault], tests: &'a TestSet) -> Self {
         FaultCampaign {
             golden,
@@ -235,8 +241,20 @@ impl<'a> FaultCampaign<'a> {
             tests,
             jobs: default_jobs(),
             shard_size: default_shard_size(faults.len()),
+            engine: Engine::default(),
             telemetry: None,
         }
+    }
+
+    /// Selects the fault-simulation engine. The default
+    /// [`Engine::Differential`] memoizes one golden trace and classifies
+    /// faults against it; [`Engine::Naive`] clones and replays per fault.
+    /// The two produce bit-identical [`CampaignReport`]s and
+    /// [`CampaignStats`] (see [`crate::differential`]), so this knob only
+    /// trades wall-clock for cross-checkability.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Attaches a telemetry sink. The run records a `campaign` span with
@@ -282,22 +300,47 @@ impl<'a> FaultCampaign<'a> {
         let shard_size = self.shard_size;
         let span = self.telemetry.as_ref().map(|t| t.span("campaign"));
         let t0 = Instant::now();
+        // One golden simulation of the whole test set, memoized up front
+        // and shared read-only across every shard (the differential
+        // engine's layer 1).
+        let trace = match self.engine {
+            Engine::Differential => Some(GoldenTrace::build(self.golden, self.tests)),
+            Engine::Naive => None,
+        };
         let per_shard = run_sharded(self.faults, shard_size, jobs, |_, shard| {
             // Spans are aggregated commutatively, so timing a shard from
             // a worker thread is trace-safe; events are not (see below).
             let _shard_span = span.as_ref().map(|s| s.child("shard"));
             let st = Instant::now();
-            let outcomes: Vec<FaultOutcome> = shard
-                .iter()
-                .map(|f| simulate_fault(self.golden, f, self.tests))
-                .collect();
+            let mut shard_diff = DiffStats::default();
+            let outcomes: Vec<FaultOutcome> = match &trace {
+                Some(trace) => shard
+                    .iter()
+                    .map(|f| {
+                        simulate_fault_differential(
+                            self.golden,
+                            trace,
+                            f,
+                            self.tests,
+                            &mut shard_diff,
+                        )
+                    })
+                    .collect(),
+                None => shard
+                    .iter()
+                    .map(|f| simulate_fault(self.golden, f, self.tests))
+                    .collect(),
+            };
             let stats = CampaignStats::tally(&outcomes);
-            (outcomes, stats, st.elapsed())
+            (outcomes, stats, shard_diff, st.elapsed())
         });
         let mut outcomes = Vec::with_capacity(self.faults.len());
         let mut stats = CampaignStats::default();
+        let mut diff = DiffStats::default();
         let mut timings = Vec::with_capacity(per_shard.len());
-        for (shard, (shard_outcomes, shard_stats, wall)) in per_shard.into_iter().enumerate() {
+        for (shard, (shard_outcomes, shard_stats, shard_diff, wall)) in
+            per_shard.into_iter().enumerate()
+        {
             // Serial merge loop in shard order: the only place events are
             // recorded, which keeps the trace byte-stable across `jobs`.
             if let Some(tel) = &self.telemetry {
@@ -319,6 +362,7 @@ impl<'a> FaultCampaign<'a> {
                 wall,
             });
             stats.merge(&shard_stats);
+            diff.merge(&shard_diff);
             outcomes.extend(shard_outcomes);
         }
         if let Some(tel) = &self.telemetry {
@@ -328,6 +372,24 @@ impl<'a> FaultCampaign<'a> {
             tel.counter_add("campaign.faults_masked", stats.masked as u64);
             tel.counter_add("campaign.escapes", stats.escapes as u64);
             tel.counter_add("campaign.shards", stats.shards as u64);
+            // Engine-effort counters, emitted once from the merged total
+            // (not per shard) so the trace stays byte-identical across
+            // thread counts. DiffStats is per-fault deterministic, hence
+            // the totals are too.
+            if self.engine == Engine::Differential {
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
+                    diff.faults_skipped_by_index as u64,
+                );
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_PREFIX_STEPS_SAVED,
+                    diff.prefix_steps_saved as u64,
+                );
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_DIVERGENCE_REPLAYS,
+                    diff.divergence_replays as u64,
+                );
+            }
         }
         drop(span);
         CampaignRun {
@@ -336,6 +398,7 @@ impl<'a> FaultCampaign<'a> {
             timings,
             jobs,
             wall: t0.elapsed(),
+            diff,
         }
     }
 }
@@ -517,6 +580,55 @@ mod tests {
         assert_eq!(traces[0], traces[1]);
         assert_eq!(traces[0], traces[2]);
         simcov_obs::verify_trace(&traces[0]).expect("trace verifies");
+    }
+
+    #[test]
+    fn engines_produce_bit_identical_results() {
+        let (m, faults, tests) = fixture();
+        let naive = FaultCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Naive)
+            .jobs(1)
+            .run();
+        assert_eq!(naive.diff, DiffStats::default(), "naive does no diffing");
+        for jobs in [1, 2, 8] {
+            let differential = FaultCampaign::new(&m, &faults, &tests)
+                .engine(Engine::Differential)
+                .jobs(jobs)
+                .run();
+            assert_eq!(differential.report, naive.report, "jobs={jobs}");
+            assert_eq!(differential.stats, naive.stats, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn diff_counters_are_deterministic_and_traced() {
+        let (m, faults, tests) = fixture();
+        let baseline = FaultCampaign::new(&m, &faults, &tests).jobs(1).run();
+        // The tour-based fixture excites every fault, so nothing is
+        // skipped but plenty of prefix work is saved.
+        assert!(baseline.diff.prefix_steps_saved > 0);
+        for jobs in [2, 8] {
+            let run = FaultCampaign::new(&m, &faults, &tests).jobs(jobs).run();
+            assert_eq!(run.diff, baseline.diff, "diff counters at jobs={jobs}");
+        }
+        let tel = Telemetry::new();
+        let run = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(4)
+            .telemetry(tel.clone())
+            .run();
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter(simcov_obs::names::CAMPAIGN_FAULTS_SKIPPED_BY_INDEX),
+            Some(run.diff.faults_skipped_by_index as u64)
+        );
+        assert_eq!(
+            snap.counter(simcov_obs::names::CAMPAIGN_PREFIX_STEPS_SAVED),
+            Some(run.diff.prefix_steps_saved as u64)
+        );
+        assert_eq!(
+            snap.counter(simcov_obs::names::CAMPAIGN_DIVERGENCE_REPLAYS),
+            Some(run.diff.divergence_replays as u64)
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! block is self-checking (`crc` over its bytes) and shards are verified
 //! fault-by-fault against the expected fault list on load.
 
+use crate::differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 use crate::error_model::{Fault, FaultKind};
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
 use crate::parallel::{default_jobs, default_shard_size, CampaignStats};
@@ -764,10 +765,16 @@ pub struct ResilientRun {
     pub jobs: usize,
     /// End-to-end wall time.
     pub wall: Duration,
+    /// Differential-engine effort counters over *freshly simulated*
+    /// shards (zero under [`Engine::Naive`]; restored shards contribute
+    /// nothing because no simulation happened this run). Deterministic
+    /// across thread counts, but — unlike `report`/`stats` — *not*
+    /// invariant under checkpoint/resume splits.
+    pub diff: DiffStats,
 }
 
 enum ShardState {
-    Done(Vec<FaultOutcome>, CampaignStats),
+    Done(Vec<FaultOutcome>, CampaignStats, DiffStats),
     Poisoned { attempts: usize, message: String },
     Cancelled,
 }
@@ -800,6 +807,7 @@ pub struct ResilientCampaign<'a> {
     max_steps: Option<u64>,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    engine: Engine,
     telemetry: Option<Telemetry>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::ChaosPlan>,
@@ -820,10 +828,21 @@ impl<'a> ResilientCampaign<'a> {
             max_steps: None,
             checkpoint: None,
             resume: false,
+            engine: Engine::default(),
             telemetry: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
+    }
+
+    /// Selects the fault-simulation engine, as for
+    /// [`FaultCampaign::engine`](crate::FaultCampaign::engine). Outcomes
+    /// and stats are bit-identical either way, so the engine is *not*
+    /// part of the journal fingerprint: a campaign checkpointed under one
+    /// engine resumes soundly under the other.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the worker count (`0` clamps to 1, as for
@@ -956,6 +975,15 @@ impl<'a> ResilientCampaign<'a> {
         let cost = (self.tests.total_vectors() as u64).max(1);
 
         let span = self.telemetry.as_ref().map(|t| t.span("campaign"));
+        // One golden simulation of the test set, shared read-only across
+        // workers (differential engine layer 1). Built after journal
+        // restoration so a fully restored resume still pays it only once
+        // — it costs no cancellation budget (no *fault* is simulated).
+        let trace = match self.engine {
+            Engine::Differential => Some(GoldenTrace::build(self.golden, self.tests)),
+            Engine::Naive => None,
+        };
+        let trace_ref = trace.as_ref();
         let slots: Mutex<Vec<Option<ShardState>>> =
             Mutex::new((0..nshards).map(|_| None).collect());
         let notes_mx = Mutex::new(notes);
@@ -974,8 +1002,8 @@ impl<'a> ResilientCampaign<'a> {
             // Span timing from workers is trace-safe (commutative
             // aggregation); events are confined to the merge loop below.
             let _shard_span = span_ref.as_ref().map(|s| s.child("shard"));
-            let state = self.attempt_shard(i, shards_ref[i], cancel_ref, cost);
-            if let ShardState::Done(outcomes, stats) = &state {
+            let state = self.attempt_shard(i, shards_ref[i], trace_ref, cancel_ref, cost);
+            if let ShardState::Done(outcomes, stats, _) = &state {
                 if let Some(j) = journal_ref {
                     #[cfg(feature = "chaos")]
                     let drop_write = self
@@ -1028,6 +1056,7 @@ impl<'a> ResilientCampaign<'a> {
         // exactly the partition a clean run produces.
         let mut outcomes = Vec::with_capacity(self.faults.len());
         let mut stats = CampaignStats::default();
+        let mut diff = DiffStats::default();
         let mut failures = Vec::new();
         let mut skipped = Vec::new();
         let mut restored_count = 0;
@@ -1058,9 +1087,10 @@ impl<'a> ResilientCampaign<'a> {
                 continue;
             }
             match slots[i].take() {
-                Some(ShardState::Done(outs, st)) => {
+                Some(ShardState::Done(outs, st, sd)) => {
                     shard_event(&st, i, false);
                     stats.merge(&st);
+                    diff.merge(&sd);
                     outcomes.extend(outs);
                 }
                 Some(ShardState::Poisoned { attempts, message }) => {
@@ -1103,6 +1133,23 @@ impl<'a> ResilientCampaign<'a> {
             tel.counter_add("campaign.shards_restored", restored_count as u64);
             tel.counter_add("campaign.shards_skipped", skipped.len() as u64);
             tel.counter_add("campaign.shards_poisoned", failures.len() as u64);
+            // Differential-effort counters, merged serially in shard
+            // order from freshly simulated shards only (restored shards
+            // did no simulation this run).
+            if self.engine == Engine::Differential {
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
+                    diff.faults_skipped_by_index as u64,
+                );
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_PREFIX_STEPS_SAVED,
+                    diff.prefix_steps_saved as u64,
+                );
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_DIVERGENCE_REPLAYS,
+                    diff.divergence_replays as u64,
+                );
+            }
         }
         drop(span);
         let detected_lo = stats.detected;
@@ -1125,15 +1172,19 @@ impl<'a> ResilientCampaign<'a> {
             total_shards: nshards,
             jobs: self.jobs,
             wall: t0.elapsed(),
+            diff,
         })
     }
 
     /// Attempts one shard with panic isolation and the retry budget.
+    /// `trace` is the shared golden memo (`Some` iff the engine is
+    /// differential).
     #[cfg_attr(not(feature = "chaos"), allow(unused_variables))]
     fn attempt_shard(
         &self,
         shard_idx: usize,
         shard: &[Fault],
+        trace: Option<&GoldenTrace>,
         cancel: &Cancel,
         cost: u64,
     ) -> ShardState {
@@ -1153,18 +1204,33 @@ impl<'a> ResilientCampaign<'a> {
                     }
                 }
                 let mut outcomes = Vec::with_capacity(shard.len());
+                let mut shard_diff = DiffStats::default();
                 for f in shard {
+                    // Cancellation charges the full per-fault cost before
+                    // simulating regardless of engine: budgets must admit
+                    // the same prefix of faults under either engine so
+                    // truncation points (and resumes from them) stay
+                    // deterministic and engine-independent.
                     if !cancel.charge(cost) {
                         return None;
                     }
-                    outcomes.push(simulate_fault(self.golden, f, self.tests));
+                    outcomes.push(match trace {
+                        Some(trace) => simulate_fault_differential(
+                            self.golden,
+                            trace,
+                            f,
+                            self.tests,
+                            &mut shard_diff,
+                        ),
+                        None => simulate_fault(self.golden, f, self.tests),
+                    });
                 }
-                Some(outcomes)
+                Some((outcomes, shard_diff))
             }));
             match result {
-                Ok(Some(outcomes)) => {
+                Ok(Some((outcomes, shard_diff))) => {
                     let stats = CampaignStats::tally(&outcomes);
-                    return ShardState::Done(outcomes, stats);
+                    return ShardState::Done(outcomes, stats, shard_diff);
                 }
                 Ok(None) => return ShardState::Cancelled,
                 Err(payload) => {
@@ -1429,6 +1495,65 @@ mod tests {
         assert!(resumed.restored_shards > 0);
         assert_eq!(resumed.stats, clean.stats);
         assert_eq!(resumed.report, clean.report);
+    }
+
+    #[test]
+    fn engines_agree_under_supervision() {
+        let (m, faults, tests) = fixture();
+        let naive = ResilientCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Naive)
+            .jobs(2)
+            .run()
+            .unwrap();
+        assert_eq!(naive.diff, DiffStats::default(), "naive does no diffing");
+        for jobs in [1, 2, 8] {
+            let differential = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(jobs)
+                .run()
+                .unwrap();
+            assert_eq!(differential.report, naive.report, "jobs={jobs}");
+            assert_eq!(differential.stats, naive.stats, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cross_engine_checkpoint_resume_is_byte_identical() {
+        // The engine is deliberately not part of the journal fingerprint:
+        // outcomes are engine-independent, so a campaign interrupted
+        // under the naive engine must resume soundly (and bit-identically)
+        // under the differential one.
+        let (m, faults, tests) = fixture();
+        let path = temp_path("cross_engine");
+        let _c = Cleanup(path.clone());
+        let clean = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .shard_size(5)
+            .run();
+        let cost = tests.total_vectors() as u64;
+        let first = ResilientCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Naive)
+            .jobs(2)
+            .shard_size(5)
+            .max_steps(cost * 40)
+            .checkpoint(&path)
+            .run()
+            .unwrap();
+        assert!(!first.is_complete);
+        let resumed = ResilientCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Differential)
+            .jobs(2)
+            .shard_size(5)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap();
+        assert!(resumed.is_complete, "notes: {:?}", resumed.journal_notes);
+        assert!(resumed.restored_shards > 0);
+        assert_eq!(resumed.stats, clean.stats);
+        assert_eq!(resumed.report, clean.report);
+        // Only the freshly simulated shards did differential work.
+        assert!(resumed.diff.divergence_replays > 0);
+        assert!(resumed.diff.divergence_replays < clean.diff.divergence_replays);
     }
 
     #[test]

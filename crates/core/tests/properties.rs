@@ -4,7 +4,7 @@
 use simcov_core::testutil::{forall_cfg, Config, Gen};
 use simcov_core::{
     certify_completeness, detects, enumerate_single_faults, extend_cyclically,
-    forall_k_distinguishable, run_campaign, Fault, FaultKind, FaultSpace,
+    forall_k_distinguishable, run_campaign, Engine, Fault, FaultCampaign, FaultKind, FaultSpace,
 };
 use simcov_fsm::{ExplicitMealy, InputSym, MealyBuilder, OutputSym, StateId};
 use simcov_tour::{transition_tour, TestSet};
@@ -176,6 +176,62 @@ fn tours_excite_all_faults() {
             }
         }
     });
+}
+
+/// The differential engine is a pure optimization: on random machines
+/// and random test sets it produces the same per-fault outcomes and the
+/// same merged stats as the naive clone-and-replay engine, at any job
+/// count.
+#[test]
+fn differential_engine_matches_naive_engine() {
+    forall_cfg(
+        "differential_engine_matches_naive_engine",
+        Config::with_cases(48),
+        |g| {
+            let r = recipe(g);
+            let m = build(&r);
+            let faults = enumerate_single_faults(
+                &m,
+                &FaultSpace {
+                    max_faults: 150,
+                    seed: g.u16() as u64,
+                    ..FaultSpace::default()
+                },
+            );
+            // Random multi-sequence test sets: some short sequences that
+            // leave many faults unexcited (exercising the index skip),
+            // plus one tour-like long sequence.
+            let nseq = g.int_in(1..4usize);
+            let mut sequences = Vec::with_capacity(nseq);
+            for _ in 0..nseq {
+                let len = g.int_in(0..12usize);
+                sequences.push(
+                    (0..len)
+                        .map(|_| simcov_fsm::InputSym(g.u16() as u32 % m.num_inputs() as u32))
+                        .collect(),
+                );
+            }
+            let tests = TestSet { sequences };
+            let naive = FaultCampaign::new(&m, &faults, &tests)
+                .engine(Engine::Naive)
+                .jobs(1)
+                .run();
+            for jobs in [1, 2, 8] {
+                let diff = FaultCampaign::new(&m, &faults, &tests)
+                    .engine(Engine::Differential)
+                    .jobs(jobs)
+                    .run();
+                assert_eq!(
+                    diff.report.outcomes, naive.report.outcomes,
+                    "outcomes must be engine-independent at jobs={jobs}"
+                );
+                assert_eq!(
+                    diff.stats, naive.stats,
+                    "stats must be engine-independent at jobs={jobs}"
+                );
+            }
+        },
+    );
 }
 
 /// Witness soundness: every reported indistinguishable pair's witness

@@ -414,6 +414,40 @@ impl ExplicitMealy {
         m
     }
 
+    /// Returns a zero-clone view of this machine with the single
+    /// transition `(state, input)` replaced by `(next, output)`.
+    ///
+    /// Unlike [`with_redirected_transition`](Self::with_redirected_transition)
+    /// and [`with_changed_output`](Self::with_changed_output), which copy
+    /// the whole dense table (and every label vector), the returned
+    /// [`PatchedMealy`] borrows the base machine and overlays exactly one
+    /// cell — the natural representation of a *single* injected error, and
+    /// the reason a differential fault simulator can step thousands of
+    /// faulty machines without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition `(state, input)` is undefined, matching
+    /// the contract of the cloning mutators.
+    pub fn patched(
+        &self,
+        state: StateId,
+        input: InputSym,
+        next: StateId,
+        output: OutputSym,
+    ) -> PatchedMealy<'_> {
+        let cell = state.index() * self.num_inputs() + input.index();
+        assert!(
+            self.table[cell].is_some(),
+            "transition must be defined to be patched"
+        );
+        PatchedMealy {
+            base: self,
+            cell,
+            repl: (next, output),
+        }
+    }
+
     /// Renders the machine in Graphviz DOT format (reachable part only).
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
@@ -445,6 +479,79 @@ impl ExplicitMealy {
         }
         s.push_str("}\n");
         s
+    }
+}
+
+/// A borrowed [`ExplicitMealy`] with exactly one transition overlaid —
+/// the zero-clone representation of a single-fault mutant.
+///
+/// Construct with [`ExplicitMealy::patched`]; step with
+/// [`step_patched`](Self::step_patched). The overlay is a `Copy` value of
+/// three words, so campaigns can materialise one per fault with no heap
+/// traffic where the cloning mutators would copy the full transition
+/// table per fault.
+///
+/// ```
+/// use simcov_fsm::{MealyBuilder, StateId};
+///
+/// let mut b = MealyBuilder::new();
+/// let s0 = b.add_state("s0");
+/// let s1 = b.add_state("s1");
+/// let i = b.add_input("i");
+/// let o = b.add_output("o");
+/// b.add_transition(s0, i, s1, o);
+/// b.add_transition(s1, i, s0, o);
+/// let m = b.build(s0).unwrap();
+/// let patched = m.patched(s0, i, s0, o); // redirect s0 -i-> s0
+/// assert_eq!(patched.step_patched(s0, i), Some((s0, o)));
+/// assert_eq!(patched.step_patched(s1, i), m.step(s1, i));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PatchedMealy<'a> {
+    base: &'a ExplicitMealy,
+    /// Dense-table cell index of the overlaid transition.
+    cell: usize,
+    /// Replacement `(next, output)` for that cell.
+    repl: (StateId, OutputSym),
+}
+
+impl PatchedMealy<'_> {
+    /// The underlying (golden) machine.
+    pub fn base(&self) -> &ExplicitMealy {
+        self.base
+    }
+
+    /// The transition from `state` on `input` under the overlay: the
+    /// replacement pair on the patched cell, the base machine's entry
+    /// everywhere else. Branch-light by design — one integer compare on
+    /// the hot path of differential fault simulation.
+    #[inline]
+    pub fn step_patched(&self, state: StateId, input: InputSym) -> Option<(StateId, OutputSym)> {
+        let cell = state.index() * self.base.num_inputs() + input.index();
+        if cell == self.cell {
+            Some(self.repl)
+        } else {
+            self.base.table[cell]
+        }
+    }
+
+    /// Runs the patched machine from `from`, mirroring
+    /// [`ExplicitMealy::run`] (truncates at an undefined transition).
+    pub fn run(&self, from: StateId, inputs: &[InputSym]) -> (Vec<StateId>, Vec<OutputSym>) {
+        let mut states = vec![from];
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut cur = from;
+        for &i in inputs {
+            match self.step_patched(cur, i) {
+                Some((n, o)) => {
+                    states.push(n);
+                    outputs.push(o);
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        (states, outputs)
     }
 }
 
@@ -582,6 +689,67 @@ mod tests {
         let bad2 = m.with_changed_output(s0, inc, high);
         assert_eq!(bad2.step(s0, inc).unwrap().1, high);
         assert_eq!(bad2.step(s0, inc).unwrap().0, m.step(s0, inc).unwrap().0);
+    }
+
+    #[test]
+    fn patched_agrees_with_cloning_mutators_on_every_cell() {
+        let m = mod3();
+        let inc = m.input_by_label("inc").unwrap();
+        let hold = m.input_by_label("hold").unwrap();
+        // Redirection overlay vs with_redirected_transition.
+        let s0 = m.reset();
+        let redirected = m.with_redirected_transition(s0, inc, s0);
+        let out = m.step(s0, inc).unwrap().1;
+        let patched = m.patched(s0, inc, s0, out);
+        for s in m.states() {
+            for i in [inc, hold] {
+                assert_eq!(patched.step_patched(s, i), redirected.step(s, i));
+            }
+        }
+        // Output overlay vs with_changed_output.
+        let high = OutputSym(1);
+        let relabeled = m.with_changed_output(s0, hold, high);
+        let next = m.step(s0, hold).unwrap().0;
+        let patched = m.patched(s0, hold, next, high);
+        for s in m.states() {
+            for i in [inc, hold] {
+                assert_eq!(patched.step_patched(s, i), relabeled.step(s, i));
+            }
+        }
+        assert_eq!(patched.base().num_states(), m.num_states());
+    }
+
+    #[test]
+    fn patched_run_matches_cloned_run_and_truncates() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let i = b.add_input("i");
+        let j = b.add_input("j");
+        let o = b.add_output("o");
+        b.add_transition(s0, i, s1, o);
+        b.add_transition(s1, i, s0, o);
+        b.add_transition(s0, j, s0, o);
+        // (s1, j) undefined: runs through it truncate in both views.
+        let m = b.build(s0).unwrap();
+        let cloned = m.with_redirected_transition(s0, i, s0);
+        let patched = m.patched(s0, i, s0, o);
+        for seq in [vec![i, i, j, i], vec![i, j, j], vec![j, i, i, i, j]] {
+            assert_eq!(patched.run(s0, &seq), cloned.run(s0, &seq), "{seq:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "transition must be defined")]
+    fn patched_panics_on_undefined_transition() {
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let i = b.add_input("i");
+        let o = b.add_output("o");
+        b.add_transition(s0, i, s1, o);
+        let m = b.build(s0).unwrap();
+        let _ = m.patched(s1, i, s0, o);
     }
 
     #[test]

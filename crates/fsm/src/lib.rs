@@ -47,7 +47,7 @@ mod symbolic;
 
 pub use enumerate::{enumerate_netlist, EnumerateError, EnumerateOptions};
 pub use explicit::{
-    BuildError, ExplicitMealy, InputSym, MealyBuilder, OutputSym, StateId, Transition,
+    BuildError, ExplicitMealy, InputSym, MealyBuilder, OutputSym, PatchedMealy, StateId, Transition,
 };
 pub use input_classes::{input_equivalence_classes, InputClasses};
 pub use minimize::{minimize, Minimized};

@@ -64,6 +64,7 @@
 
 pub mod fnv;
 pub mod json;
+pub mod names;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,0 +1,43 @@
+//! Well-known telemetry counter names shared between producers and
+//! consumers.
+//!
+//! Counter names are part of the byte-stable trace surface (see the
+//! [determinism contract](crate)): a renamed counter silently breaks
+//! every downstream trace diff, metrics reader and bench baseline. The
+//! names used from more than one crate therefore live here as constants
+//! instead of string literals scattered across the engines.
+//!
+//! Only the differential-engine counters are declared so far — the
+//! campaign counters that predate this module (`campaign.faults_simulated`
+//! and friends) keep their literal spellings at their single emission
+//! site; move them here if a second producer ever appears.
+
+/// Faults classified with zero simulation because their transition never
+/// appears in the golden trace's excitation index (differential engine;
+/// see `simcov_core::differential::DiffStats::faults_skipped_by_index`).
+pub const CAMPAIGN_FAULTS_SKIPPED_BY_INDEX: &str = "campaign.faults_skipped_by_index";
+
+/// Golden-trace vectors whose faulty-machine execution was skipped by
+/// prefix sharing (differential engine; see
+/// `simcov_core::differential::DiffStats::prefix_steps_saved`).
+pub const CAMPAIGN_PREFIX_STEPS_SAVED: &str = "campaign.prefix_steps_saved";
+
+/// Suffix replays performed from a first divergence point (differential
+/// engine; see `simcov_core::differential::DiffStats::divergence_replays`).
+pub const CAMPAIGN_DIVERGENCE_REPLAYS: &str = "campaign.divergence_replays";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_share_the_campaign_prefix() {
+        for n in [
+            CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
+            CAMPAIGN_PREFIX_STEPS_SAVED,
+            CAMPAIGN_DIVERGENCE_REPLAYS,
+        ] {
+            assert!(n.starts_with("campaign."), "{n}");
+        }
+    }
+}
