@@ -142,7 +142,7 @@ USAGE:
   simcov tour <model.blif> [--greedy | --state] [--trace-out <FILE>] [--metrics]
   simcov distinguish <model.blif> --k <K> [--all-pairs]
   simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>] [--jobs <J>]
-                  [--engine naive|differential]
+                  [--engine naive|differential|packed]
                   [--deadline <MS>] [--max-steps <N>] [--max-retries <R>]
                   [--checkpoint <FILE>] [--resume]
                   [--trace-out <FILE>] [--metrics]
@@ -158,8 +158,10 @@ OPTIONS:
                 all available cores); results are identical for every J
   --engine <E>  fault-simulation engine: differential (default; shares
                 the memoized golden trace and replays only divergent
-                suffixes) or naive (clone-and-replay oracle); reports
-                are bit-identical for either engine
+                suffixes), packed (the differential replays batched 64
+                faults per machine word, lane-parallel) or naive
+                (clone-and-replay oracle); reports are bit-identical
+                for every engine
   --deadline <MS>
                 wall-clock budget in milliseconds; the campaign stops
                 cooperatively at the next fault boundary when it expires.
@@ -756,9 +758,10 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     None => defaults.engine,
                     Some("naive") => Engine::Naive,
                     Some("differential") => Engine::Differential,
+                    Some("packed") => Engine::Packed,
                     Some(other) => {
                         return Err(CliError::usage(format!(
-                            "unknown engine `{other}` (naive|differential)"
+                            "unknown engine `{other}` (naive|differential|packed)"
                         )))
                     }
                 },
@@ -1134,16 +1137,23 @@ mod tests {
         };
         let naive = with_engine("naive");
         let differential = with_engine("differential");
+        let packed = with_engine("packed");
         assert!(naive.text.contains("engine: naive"), "{}", naive.text);
         assert!(
             differential.text.contains("engine: differential"),
             "{}",
             differential.text
         );
+        assert!(packed.text.contains("engine: packed"), "{}", packed.text);
         assert_eq!(
             campaign_lines(&naive.text),
             campaign_lines(&differential.text),
             "reports must be engine-independent"
+        );
+        assert_eq!(
+            campaign_lines(&naive.text),
+            campaign_lines(&packed.text),
+            "packed reports must match the scalar engines"
         );
         // Omitting the flag selects the differential default.
         let default = run(&args(base)).unwrap();

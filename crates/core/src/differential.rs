@@ -37,7 +37,7 @@
 
 use crate::error_model::{Fault, FaultKind};
 use crate::faults::FaultOutcome;
-use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, PackedMealy, StateId, LANES};
 use simcov_tour::TestSet;
 
 /// Which fault-simulation engine a campaign runs.
@@ -53,15 +53,23 @@ pub enum Engine {
     /// bit-identical outcomes to [`Engine::Naive`].
     #[default]
     Differential,
+    /// Bit-parallel word packing over the differential engine's replay
+    /// structure ([`crate::packed::simulate_shard_packed`]): up to 64
+    /// effective transfer faults per shard share one lane-parallel suffix
+    /// replay over struct-of-arrays tables
+    /// ([`simcov_fsm::PackedMealy`]). Produces bit-identical outcomes to
+    /// both scalar engines.
+    Packed,
 }
 
 impl Engine {
-    /// Stable lower-case name (`naive` / `differential`), used by the CLI
-    /// `--engine` flag and its output.
+    /// Stable lower-case name (`naive` / `differential` / `packed`), used
+    /// by the CLI `--engine` flag and its output.
     pub fn name(self) -> &'static str {
         match self {
             Engine::Naive => "naive",
             Engine::Differential => "differential",
+            Engine::Packed => "packed",
         }
     }
 }
@@ -123,21 +131,63 @@ impl DiffStats {
 /// // traversed at position 1 of the only sequence.
 /// assert_eq!(trace.excitations(fault.state, fault.input), &[(0, 1)]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoldenTrace {
     /// Per-sequence visited states (`len + 1` entries each, truncated at
     /// the first undefined transition) — mirrors [`ExplicitMealy::run`].
     states: Vec<Vec<StateId>>,
     /// Per-sequence emitted outputs (`len` entries each, truncated).
     outputs: Vec<Vec<OutputSym>>,
-    /// `index[s * num_inputs + i]` = positions `(sequence, vector)` where
-    /// the golden run traverses the transition `(s, i)`, in ascending
-    /// `(sequence, vector)` order.
-    index: Vec<Vec<(u32, u32)>>,
+    /// CSR excitation index: cell `c = s * num_inputs + i` owns
+    /// `index_entries[index_offsets[c]..index_offsets[c + 1]]`, the
+    /// positions `(sequence, vector)` where the golden run traverses the
+    /// transition `(s, i)`, in ascending `(sequence, vector)` order. Two
+    /// flat arrays instead of one `Vec` per cell: a 10^4-state machine
+    /// has ~10^4·|I| cells, and per-cell vectors cost one heap
+    /// allocation per *touched* cell — the dominant cost of trace
+    /// construction on large machines.
+    index_offsets: Vec<u32>,
+    index_entries: Vec<(u32, u32)>,
     /// Input-alphabet size of the machine the index is keyed by.
     num_inputs: usize,
     /// Total golden vectors simulated (sum of output lengths).
     total_steps: usize,
+}
+
+/// Builds the CSR excitation index by stable counting sort. `cells`
+/// holds the traversed cell of every golden step in ascending
+/// `(sequence, vector)` order; each sequence contributed exactly
+/// `outputs[si].len()` entries (one per emitted output). Both trace
+/// builders feed this one helper, which is what guarantees their
+/// indices are bit-identical: same flat record order in, same
+/// `(offsets, entries)` out.
+fn csr_index(
+    ncells: usize,
+    outputs: &[Vec<OutputSym>],
+    cells: &[u32],
+) -> (Vec<u32>, Vec<(u32, u32)>) {
+    let mut offsets = vec![0u32; ncells + 1];
+    for &c in cells {
+        offsets[c as usize + 1] += 1;
+    }
+    for i in 0..ncells {
+        offsets[i + 1] += offsets[i];
+    }
+    // Scatter with a per-cell cursor; the ascending input order makes
+    // the sort stable, so each cell's entries stay ascending too.
+    let mut cursor: Vec<u32> = offsets[..ncells].to_vec();
+    let mut entries = vec![(0u32, 0u32); cells.len()];
+    let mut k = 0usize;
+    for (si, out) in outputs.iter().enumerate() {
+        for vi in 0..out.len() {
+            let c = cells[k] as usize;
+            k += 1;
+            entries[cursor[c] as usize] = (si as u32, vi as u32);
+            cursor[c] += 1;
+        }
+    }
+    debug_assert_eq!(k, cells.len());
+    (offsets, entries)
 }
 
 impl GoldenTrace {
@@ -145,20 +195,20 @@ impl GoldenTrace {
     /// trajectories and the excitation index.
     pub fn build(golden: &ExplicitMealy, tests: &TestSet) -> GoldenTrace {
         let ni = golden.num_inputs();
-        let mut index = vec![Vec::new(); golden.num_states() * ni];
         let mut states = Vec::with_capacity(tests.sequences.len());
         let mut outputs = Vec::with_capacity(tests.sequences.len());
+        let mut cells: Vec<u32> = Vec::new();
         let mut total_steps = 0usize;
-        for (si, seq) in tests.sequences.iter().enumerate() {
+        for seq in &tests.sequences {
             let mut st = Vec::with_capacity(seq.len() + 1);
             let mut out = Vec::with_capacity(seq.len());
             let mut cur = golden.reset();
             st.push(cur);
-            for (vi, &i) in seq.iter().enumerate() {
+            for &i in seq.iter() {
                 let Some((n, o)) = golden.step(cur, i) else {
                     break;
                 };
-                index[cur.index() * ni + i.index()].push((si as u32, vi as u32));
+                cells.push((cur.index() * ni + i.index()) as u32);
                 st.push(n);
                 out.push(o);
                 cur = n;
@@ -167,10 +217,57 @@ impl GoldenTrace {
             states.push(st);
             outputs.push(out);
         }
+        let (index_offsets, index_entries) = csr_index(golden.num_states() * ni, &outputs, &cells);
         GoldenTrace {
             states,
             outputs,
-            index,
+            index_offsets,
+            index_entries,
+            num_inputs: ni,
+            total_steps,
+        }
+    }
+
+    /// Builds the same trace as [`build`](Self::build) — bit-identical,
+    /// field for field — but walks up to [`LANES`]
+    /// sequences lane-parallel over the packed tables. The scalar build
+    /// is a serial pointer chase (each lookup depends on the previous
+    /// step's state); packing independent sequences keeps that many table
+    /// loads in flight at once, which is where the packed engine's
+    /// trace-construction speedup comes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` was not built from `golden`.
+    pub fn build_packed(
+        golden: &ExplicitMealy,
+        packed: &PackedMealy,
+        tests: &TestSet,
+    ) -> GoldenTrace {
+        assert_eq!(packed.num_states(), golden.num_states());
+        assert_eq!(packed.num_inputs(), golden.num_inputs());
+        assert_eq!(packed.reset(), golden.reset());
+        let ni = golden.num_inputs();
+        let mut states = Vec::with_capacity(tests.sequences.len());
+        let mut outputs = Vec::with_capacity(tests.sequences.len());
+        let mut cells: Vec<u32> = Vec::new();
+        let mut total_steps = 0usize;
+        for chunk in tests.sequences.chunks(LANES) {
+            let refs: Vec<&[InputSym]> = chunk.iter().map(|s| s.as_slice()).collect();
+            let (st, out, lane_cells) = packed.walk_lanes(&refs);
+            for ((st, out), lane_cells) in st.into_iter().zip(out).zip(lane_cells) {
+                cells.extend_from_slice(&lane_cells);
+                total_steps += out.len();
+                states.push(st);
+                outputs.push(out);
+            }
+        }
+        let (index_offsets, index_entries) = csr_index(golden.num_states() * ni, &outputs, &cells);
+        GoldenTrace {
+            states,
+            outputs,
+            index_offsets,
+            index_entries,
             num_inputs: ni,
             total_steps,
         }
@@ -180,7 +277,26 @@ impl GoldenTrace {
     /// transition `(state, input)`, ascending. Empty iff no sequence ever
     /// excites a fault on that transition.
     pub fn excitations(&self, state: StateId, input: InputSym) -> &[(u32, u32)] {
-        &self.index[state.index() * self.num_inputs + input.index()]
+        let c = state.index() * self.num_inputs + input.index();
+        &self.index_entries[self.index_offsets[c] as usize..self.index_offsets[c + 1] as usize]
+    }
+
+    /// Number of memoized sequences (= the test set's sequence count).
+    pub fn num_sequences(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Memoized golden state trajectory of sequence `si`: `len + 1`
+    /// entries starting at reset, truncated at the first undefined
+    /// transition — mirrors [`ExplicitMealy::run`].
+    pub fn seq_states(&self, si: usize) -> &[StateId] {
+        &self.states[si]
+    }
+
+    /// Memoized golden outputs of sequence `si` (`len` entries,
+    /// truncated).
+    pub fn seq_outputs(&self, si: usize) -> &[OutputSym] {
+        &self.outputs[si]
     }
 
     /// Total golden vectors simulated across the test set.
@@ -553,6 +669,39 @@ mod tests {
     fn engine_names_are_stable() {
         assert_eq!(Engine::Naive.name(), "naive");
         assert_eq!(Engine::Differential.to_string(), "differential");
+        assert_eq!(Engine::Packed.name(), "packed");
         assert_eq!(Engine::default(), Engine::Differential);
+    }
+
+    #[test]
+    fn packed_trace_build_is_field_identical_to_scalar_build() {
+        // Scalar and lane-parallel construction must agree on every field
+        // — trajectories, outputs, the excitation index's entry order and
+        // the step total — including truncation on partial machines.
+        let (m, _) = figure2();
+        let a = m.input_by_label("a").unwrap();
+        let b = m.input_by_label("b").unwrap();
+        let c = m.input_by_label("c").unwrap();
+        let tour = transition_tour(&m).unwrap();
+        let sets = [
+            TestSet::single(extend_cyclically(&tour.inputs, 2)),
+            TestSet {
+                sequences: vec![vec![c, c], vec![], vec![a, a, c], vec![b, a, b, c, a]],
+            },
+            TestSet { sequences: vec![] },
+            // More sequences than LANES forces multiple chunks.
+            TestSet {
+                sequences: (0..150).map(|k| vec![[a, b, c][k % 3]; k % 7]).collect(),
+            },
+        ];
+        let packed = PackedMealy::from_explicit(&m);
+        for tests in &sets {
+            assert_eq!(
+                GoldenTrace::build_packed(&m, &packed, tests),
+                GoldenTrace::build(&m, tests),
+                "{} sequences",
+                tests.sequences.len()
+            );
+        }
     }
 }

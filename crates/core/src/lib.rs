@@ -28,6 +28,9 @@
 //!   golden-trace memoization, excitation indexing and zero-clone suffix
 //!   replay, bit-identical to the naive engine but asymptotically
 //!   cheaper;
+//! * [`packed`] — the bit-parallel engine: the differential engine's
+//!   suffix replays advanced 64 lanes at a time over word-packed
+//!   struct-of-arrays tables, bit-identical to both scalar engines;
 //! * [`resilient`] — crash-safe campaign supervision: panic isolation,
 //!   deadlines/step budgets, durable checkpoint/resume and deterministic
 //!   chaos injection;
@@ -48,6 +51,7 @@ pub mod expand;
 pub mod faults;
 pub mod harness;
 pub mod models;
+pub mod packed;
 pub mod parallel;
 pub mod requirements;
 pub mod resilient;
@@ -64,6 +68,7 @@ pub use faults::{
     CampaignReport, FaultOutcome, FaultSpace,
 };
 pub use harness::{validate, MachineTrace, Mismatch, TraceSource};
+pub use packed::{simulate_shard_packed, PackedStats, ReplayScript};
 pub use parallel::{
     default_jobs, default_shard_size, run_sharded, CampaignRun, CampaignStats, FaultCampaign,
     ShardTiming,

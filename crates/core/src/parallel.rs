@@ -25,7 +25,8 @@
 use crate::differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 use crate::error_model::Fault;
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
-use simcov_fsm::ExplicitMealy;
+use crate::packed::{simulate_shard_packed, PackedStats, ReplayScript};
+use simcov_fsm::{ExplicitMealy, PackedMealy};
 use simcov_obs::Telemetry;
 use simcov_tour::TestSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -202,6 +203,9 @@ pub struct CampaignRun {
     /// Differential-engine effort counters (all zero under
     /// [`Engine::Naive`]); deterministic across thread counts.
     pub diff: DiffStats,
+    /// Word-packing effort counters (all zero unless the run used
+    /// [`Engine::Packed`]); deterministic across thread counts.
+    pub packed: PackedStats,
 }
 
 /// A configured fault campaign: the golden machine, the fault list, the
@@ -303,9 +307,24 @@ impl<'a> FaultCampaign<'a> {
         // One golden simulation of the whole test set, memoized up front
         // and shared read-only across every shard (the differential
         // engine's layer 1).
+        let tables =
+            (self.engine == Engine::Packed).then(|| PackedMealy::from_explicit(self.golden));
         let trace = match self.engine {
             Engine::Differential => Some(GoldenTrace::build(self.golden, self.tests)),
+            Engine::Packed => Some(GoldenTrace::build_packed(
+                self.golden,
+                tables
+                    .as_ref()
+                    .expect("packed tables built for Engine::Packed"),
+                self.tests,
+            )),
             Engine::Naive => None,
+        };
+        // The packed engine's replay lowering of the golden run, built
+        // once and shared read-only across shards like the trace.
+        let script = match (&trace, self.engine) {
+            (Some(trace), Engine::Packed) => Some(ReplayScript::build(trace, self.tests)),
+            _ => None,
         };
         let per_shard = run_sharded(self.faults, shard_size, jobs, |_, shard| {
             // Spans are aggregated commutatively, so timing a shard from
@@ -313,8 +332,19 @@ impl<'a> FaultCampaign<'a> {
             let _shard_span = span.as_ref().map(|s| s.child("shard"));
             let st = Instant::now();
             let mut shard_diff = DiffStats::default();
-            let outcomes: Vec<FaultOutcome> = match &trace {
-                Some(trace) => shard
+            let mut shard_packed = PackedStats::default();
+            let outcomes: Vec<FaultOutcome> = match (&tables, &trace) {
+                (Some(tables), Some(trace)) => simulate_shard_packed(
+                    self.golden,
+                    tables,
+                    trace,
+                    script.as_ref().expect("script built for Engine::Packed"),
+                    shard,
+                    self.tests,
+                    &mut shard_diff,
+                    &mut shard_packed,
+                ),
+                (None, Some(trace)) => shard
                     .iter()
                     .map(|f| {
                         simulate_fault_differential(
@@ -326,19 +356,20 @@ impl<'a> FaultCampaign<'a> {
                         )
                     })
                     .collect(),
-                None => shard
+                (_, None) => shard
                     .iter()
                     .map(|f| simulate_fault(self.golden, f, self.tests))
                     .collect(),
             };
             let stats = CampaignStats::tally(&outcomes);
-            (outcomes, stats, shard_diff, st.elapsed())
+            (outcomes, stats, shard_diff, shard_packed, st.elapsed())
         });
         let mut outcomes = Vec::with_capacity(self.faults.len());
         let mut stats = CampaignStats::default();
         let mut diff = DiffStats::default();
+        let mut packed = PackedStats::default();
         let mut timings = Vec::with_capacity(per_shard.len());
-        for (shard, (shard_outcomes, shard_stats, shard_diff, wall)) in
+        for (shard, (shard_outcomes, shard_stats, shard_diff, shard_packed, wall)) in
             per_shard.into_iter().enumerate()
         {
             // Serial merge loop in shard order: the only place events are
@@ -363,6 +394,7 @@ impl<'a> FaultCampaign<'a> {
             });
             stats.merge(&shard_stats);
             diff.merge(&shard_diff);
+            packed.merge(&shard_packed);
             outcomes.extend(shard_outcomes);
         }
         if let Some(tel) = &self.telemetry {
@@ -375,8 +407,9 @@ impl<'a> FaultCampaign<'a> {
             // Engine-effort counters, emitted once from the merged total
             // (not per shard) so the trace stays byte-identical across
             // thread counts. DiffStats is per-fault deterministic, hence
-            // the totals are too.
-            if self.engine == Engine::Differential {
+            // the totals are too; the packed engine shares the
+            // differential engine's accounting and adds its own.
+            if self.engine != Engine::Naive {
                 tel.counter_add(
                     simcov_obs::names::CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
                     diff.faults_skipped_by_index as u64,
@@ -390,6 +423,16 @@ impl<'a> FaultCampaign<'a> {
                     diff.divergence_replays as u64,
                 );
             }
+            if self.engine == Engine::Packed {
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_PACKED_WORDS,
+                    packed.packed_words as u64,
+                );
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_LANES_ACTIVE,
+                    packed.lanes_active as u64,
+                );
+            }
         }
         drop(span);
         CampaignRun {
@@ -399,6 +442,7 @@ impl<'a> FaultCampaign<'a> {
             jobs,
             wall: t0.elapsed(),
             diff,
+            packed,
         }
     }
 }
@@ -590,6 +634,7 @@ mod tests {
             .jobs(1)
             .run();
         assert_eq!(naive.diff, DiffStats::default(), "naive does no diffing");
+        assert_eq!(naive.packed, PackedStats::default(), "naive packs nothing");
         for jobs in [1, 2, 8] {
             let differential = FaultCampaign::new(&m, &faults, &tests)
                 .engine(Engine::Differential)
@@ -597,7 +642,55 @@ mod tests {
                 .run();
             assert_eq!(differential.report, naive.report, "jobs={jobs}");
             assert_eq!(differential.stats, naive.stats, "jobs={jobs}");
+            let packed = FaultCampaign::new(&m, &faults, &tests)
+                .engine(Engine::Packed)
+                .jobs(jobs)
+                .run();
+            assert_eq!(packed.report, naive.report, "packed, jobs={jobs}");
+            assert_eq!(packed.stats, naive.stats, "packed, jobs={jobs}");
+            assert_eq!(
+                packed.diff, differential.diff,
+                "packed replays save exactly the differential effort, jobs={jobs}"
+            );
+            assert!(
+                packed.packed.packed_words > 0,
+                "fixture has effective transfers"
+            );
         }
+    }
+
+    #[test]
+    fn packed_telemetry_trace_is_byte_identical_across_thread_counts() {
+        let (m, faults, tests) = fixture();
+        let traces: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&jobs| {
+                let tel = Telemetry::new();
+                let run = FaultCampaign::new(&m, &faults, &tests)
+                    .engine(Engine::Packed)
+                    .jobs(jobs)
+                    .telemetry(tel.clone())
+                    .run();
+                let snap = tel.snapshot();
+                assert_eq!(
+                    snap.counter(simcov_obs::names::CAMPAIGN_PACKED_WORDS),
+                    Some(run.packed.packed_words as u64)
+                );
+                assert_eq!(
+                    snap.counter(simcov_obs::names::CAMPAIGN_LANES_ACTIVE),
+                    Some(run.packed.lanes_active as u64)
+                );
+                assert_eq!(
+                    snap.counter(simcov_obs::names::CAMPAIGN_DIVERGENCE_REPLAYS),
+                    Some(run.diff.divergence_replays as u64),
+                    "packed runs emit the differential effort counters too"
+                );
+                snap.to_jsonl()
+            })
+            .collect();
+        assert_eq!(traces[0], traces[1]);
+        assert_eq!(traces[0], traces[2]);
+        simcov_obs::verify_trace(&traces[0]).expect("trace verifies");
     }
 
     #[test]

@@ -56,8 +56,9 @@
 use crate::differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 use crate::error_model::{Fault, FaultKind};
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
+use crate::packed::{simulate_shard_packed, PackedStats, ReplayScript};
 use crate::parallel::{default_jobs, default_shard_size, CampaignStats};
-use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, StateId};
+use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, PackedMealy, StateId};
 use simcov_obs::Telemetry;
 use simcov_tour::TestSet;
 use std::fmt;
@@ -242,13 +243,27 @@ fn shard_header_line(shard: usize, stats: &CampaignStats) -> String {
     )
 }
 
+/// Durability batch size: [`write_shard`](JournalWriter::write_shard)
+/// fsyncs once at least this many bytes have accumulated since the last
+/// sync, rather than per record. Records are still *written* (flushed to
+/// the OS) per shard, so only a machine crash — not a process crash —
+/// can lose a batch; torn or missing tails are exactly what the loader's
+/// per-record checksum already discards, costing a re-run of those
+/// shards, never correctness.
+const JOURNAL_SYNC_BYTES: usize = 256 * 1024;
+
 /// Append-only journal writer. Every [`write_shard`](Self::write_shard)
-/// flushes and fsyncs, so a record either fully lands on disk or is torn
-/// at the tail — and torn tails are exactly what the loader's per-record
-/// checksum discards.
+/// flushes, and the writer fsyncs every [`JOURNAL_SYNC_BYTES`] and again
+/// at [`finish`](Self::finish) — so a record either fully lands on disk
+/// or is torn at the tail, and torn tails are exactly what the loader's
+/// per-record checksum discards. Batching the fsyncs (instead of one per
+/// shard) is what keeps checkpointing's overhead near the plain
+/// campaign's wall time.
 struct JournalWriter {
     path: PathBuf,
     file: BufWriter<std::fs::File>,
+    /// Bytes written since the last fsync.
+    unsynced: usize,
 }
 
 impl JournalWriter {
@@ -267,6 +282,7 @@ impl JournalWriter {
         let mut w = JournalWriter {
             path: path.to_path_buf(),
             file: BufWriter::new(file),
+            unsynced: 0,
         };
         writeln!(w.file, "{JOURNAL_MAGIC}").map_err(io)?;
         writeln!(
@@ -290,17 +306,22 @@ impl JournalWriter {
         Ok(JournalWriter {
             path: path.to_path_buf(),
             file: BufWriter::new(file),
+            unsynced: 0,
         })
     }
 
     fn sync(&mut self) -> std::io::Result<()> {
         self.file.flush()?;
-        self.file.get_ref().sync_data()
+        self.file.get_ref().sync_data()?;
+        self.unsynced = 0;
+        Ok(())
     }
 
-    /// Writes one completed shard as a self-checking record. Returns the
-    /// record size in bytes (deterministic: a pure function of the shard's
-    /// outcomes), which feeds the `campaign.checkpoint_bytes` counter.
+    /// Writes one completed shard as a self-checking record, flushing it
+    /// to the OS immediately and fsyncing once per [`JOURNAL_SYNC_BYTES`]
+    /// batch. Returns the record size in bytes (deterministic: a pure
+    /// function of the shard's outcomes), which feeds the
+    /// `campaign.checkpoint_bytes` counter.
     fn write_shard(
         &mut self,
         shard: usize,
@@ -318,12 +339,23 @@ impl JournalWriter {
         h.bytes(block.as_bytes());
         let crc = h.finish();
         let record = format!("{block}end {shard} crc={crc:016x}\n");
-        let res = self
-            .file
-            .write_all(record.as_bytes())
-            .and_then(|()| self.sync());
+        self.unsynced += record.len();
+        let res = self.file.write_all(record.as_bytes()).and_then(|()| {
+            if self.unsynced >= JOURNAL_SYNC_BYTES {
+                self.sync()
+            } else {
+                self.file.flush()
+            }
+        });
         res.map_err(|e| format!("{}: {e}", self.path.display()))?;
         Ok(record.len())
+    }
+
+    /// Durability barrier at end of run: fsyncs whatever the batched
+    /// [`write_shard`](Self::write_shard)s left pending.
+    fn finish(&mut self) -> Result<(), String> {
+        self.sync()
+            .map_err(|e| format!("{}: {e}", self.path.display()))
     }
 }
 
@@ -771,10 +803,13 @@ pub struct ResilientRun {
     /// across thread counts, but — unlike `report`/`stats` — *not*
     /// invariant under checkpoint/resume splits.
     pub diff: DiffStats,
+    /// Word-packing effort counters over freshly simulated shards (zero
+    /// unless the run used [`Engine::Packed`]); same caveats as `diff`.
+    pub packed: PackedStats,
 }
 
 enum ShardState {
-    Done(Vec<FaultOutcome>, CampaignStats, DiffStats),
+    Done(Vec<FaultOutcome>, CampaignStats, DiffStats, PackedStats),
     Poisoned { attempts: usize, message: String },
     Cancelled,
 }
@@ -979,11 +1014,28 @@ impl<'a> ResilientCampaign<'a> {
         // workers (differential engine layer 1). Built after journal
         // restoration so a fully restored resume still pays it only once
         // — it costs no cancellation budget (no *fault* is simulated).
+        let tables =
+            (self.engine == Engine::Packed).then(|| PackedMealy::from_explicit(self.golden));
         let trace = match self.engine {
             Engine::Differential => Some(GoldenTrace::build(self.golden, self.tests)),
+            Engine::Packed => Some(GoldenTrace::build_packed(
+                self.golden,
+                tables
+                    .as_ref()
+                    .expect("packed tables built for Engine::Packed"),
+                self.tests,
+            )),
             Engine::Naive => None,
         };
         let trace_ref = trace.as_ref();
+        let tables_ref = tables.as_ref();
+        // The packed engine's replay lowering of the golden run, built
+        // once and shared read-only across workers like the trace.
+        let script = match (&trace, self.engine) {
+            (Some(trace), Engine::Packed) => Some(ReplayScript::build(trace, self.tests)),
+            _ => None,
+        };
+        let script_ref = script.as_ref();
         let slots: Mutex<Vec<Option<ShardState>>> =
             Mutex::new((0..nshards).map(|_| None).collect());
         let notes_mx = Mutex::new(notes);
@@ -1002,8 +1054,16 @@ impl<'a> ResilientCampaign<'a> {
             // Span timing from workers is trace-safe (commutative
             // aggregation); events are confined to the merge loop below.
             let _shard_span = span_ref.as_ref().map(|s| s.child("shard"));
-            let state = self.attempt_shard(i, shards_ref[i], trace_ref, cancel_ref, cost);
-            if let ShardState::Done(outcomes, stats, _) = &state {
+            let state = self.attempt_shard(
+                i,
+                shards_ref[i],
+                trace_ref,
+                tables_ref,
+                script_ref,
+                cancel_ref,
+                cost,
+            );
+            if let ShardState::Done(outcomes, stats, _, _) = &state {
                 if let Some(j) = journal_ref {
                     #[cfg(feature = "chaos")]
                     let drop_write = self
@@ -1052,11 +1112,20 @@ impl<'a> ResilientCampaign<'a> {
             });
         }
 
+        // Durability barrier: fsync whatever the batched per-shard writes
+        // left pending before this run reports its shards as journaled.
+        if let Some(j) = &journal {
+            if let Err(e) = lock(j).finish() {
+                lock(&notes_mx).push(format!("journal: final sync failed: {e}"));
+            }
+        }
+
         // Merge in shard order: restored and fresh shards interleave into
         // exactly the partition a clean run produces.
         let mut outcomes = Vec::with_capacity(self.faults.len());
         let mut stats = CampaignStats::default();
         let mut diff = DiffStats::default();
+        let mut packed = PackedStats::default();
         let mut failures = Vec::new();
         let mut skipped = Vec::new();
         let mut restored_count = 0;
@@ -1087,10 +1156,11 @@ impl<'a> ResilientCampaign<'a> {
                 continue;
             }
             match slots[i].take() {
-                Some(ShardState::Done(outs, st, sd)) => {
+                Some(ShardState::Done(outs, st, sd, sp)) => {
                     shard_event(&st, i, false);
                     stats.merge(&st);
                     diff.merge(&sd);
+                    packed.merge(&sp);
                     outcomes.extend(outs);
                 }
                 Some(ShardState::Poisoned { attempts, message }) => {
@@ -1135,8 +1205,9 @@ impl<'a> ResilientCampaign<'a> {
             tel.counter_add("campaign.shards_poisoned", failures.len() as u64);
             // Differential-effort counters, merged serially in shard
             // order from freshly simulated shards only (restored shards
-            // did no simulation this run).
-            if self.engine == Engine::Differential {
+            // did no simulation this run). The packed engine shares the
+            // differential accounting and adds its word counters.
+            if self.engine != Engine::Naive {
                 tel.counter_add(
                     simcov_obs::names::CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
                     diff.faults_skipped_by_index as u64,
@@ -1148,6 +1219,16 @@ impl<'a> ResilientCampaign<'a> {
                 tel.counter_add(
                     simcov_obs::names::CAMPAIGN_DIVERGENCE_REPLAYS,
                     diff.divergence_replays as u64,
+                );
+            }
+            if self.engine == Engine::Packed {
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_PACKED_WORDS,
+                    packed.packed_words as u64,
+                );
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_LANES_ACTIVE,
+                    packed.lanes_active as u64,
                 );
             }
         }
@@ -1173,18 +1254,23 @@ impl<'a> ResilientCampaign<'a> {
             jobs: self.jobs,
             wall: t0.elapsed(),
             diff,
+            packed,
         })
     }
 
     /// Attempts one shard with panic isolation and the retry budget.
-    /// `trace` is the shared golden memo (`Some` iff the engine is
-    /// differential).
+    /// `trace` is the shared golden memo (`Some` unless the engine is
+    /// naive); `tables` the shared packed transition tables (`Some` iff
+    /// the engine is packed).
     #[cfg_attr(not(feature = "chaos"), allow(unused_variables))]
+    #[allow(clippy::too_many_arguments)] // one optional shared lowering per engine
     fn attempt_shard(
         &self,
         shard_idx: usize,
         shard: &[Fault],
         trace: Option<&GoldenTrace>,
+        tables: Option<&PackedMealy>,
+        script: Option<&ReplayScript>,
         cancel: &Cancel,
         cost: u64,
     ) -> ShardState {
@@ -1203,8 +1289,37 @@ impl<'a> ResilientCampaign<'a> {
                         ));
                     }
                 }
-                let mut outcomes = Vec::with_capacity(shard.len());
                 let mut shard_diff = DiffStats::default();
+                let mut shard_packed = PackedStats::default();
+                if let Some(tables) = tables {
+                    // Packed engine: the word replay is shard-at-a-time,
+                    // so charge the whole shard's budget up front — the
+                    // same per-fault deductions, in the same fault order,
+                    // as the scalar loop below, so budgets admit work at
+                    // identical points under every engine. A mid-shard
+                    // refusal cancels the whole shard, exactly like a
+                    // mid-shard refusal in the scalar loop (partial
+                    // shards are never reported or journaled).
+                    for _ in shard {
+                        if !cancel.charge(cost) {
+                            return None;
+                        }
+                    }
+                    let trace = trace.expect("packed engine always builds a trace");
+                    let script = script.expect("packed engine always builds a script");
+                    let outcomes = simulate_shard_packed(
+                        self.golden,
+                        tables,
+                        trace,
+                        script,
+                        shard,
+                        self.tests,
+                        &mut shard_diff,
+                        &mut shard_packed,
+                    );
+                    return Some((outcomes, shard_diff, shard_packed));
+                }
+                let mut outcomes = Vec::with_capacity(shard.len());
                 for f in shard {
                     // Cancellation charges the full per-fault cost before
                     // simulating regardless of engine: budgets must admit
@@ -1225,12 +1340,12 @@ impl<'a> ResilientCampaign<'a> {
                         None => simulate_fault(self.golden, f, self.tests),
                     });
                 }
-                Some((outcomes, shard_diff))
+                Some((outcomes, shard_diff, shard_packed))
             }));
             match result {
-                Ok(Some((outcomes, shard_diff))) => {
+                Ok(Some((outcomes, shard_diff, shard_packed))) => {
                     let stats = CampaignStats::tally(&outcomes);
-                    return ShardState::Done(outcomes, stats, shard_diff);
+                    return ShardState::Done(outcomes, stats, shard_diff, shard_packed);
                 }
                 Ok(None) => return ShardState::Cancelled,
                 Err(payload) => {
@@ -1513,6 +1628,125 @@ mod tests {
                 .unwrap();
             assert_eq!(differential.report, naive.report, "jobs={jobs}");
             assert_eq!(differential.stats, naive.stats, "jobs={jobs}");
+            let packed = ResilientCampaign::new(&m, &faults, &tests)
+                .engine(Engine::Packed)
+                .jobs(jobs)
+                .run()
+                .unwrap();
+            assert_eq!(packed.report, naive.report, "packed, jobs={jobs}");
+            assert_eq!(packed.stats, naive.stats, "packed, jobs={jobs}");
+            assert_eq!(
+                packed.diff, differential.diff,
+                "packed saves exactly the differential effort, jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_checkpoint_resumes_under_naive_bit_identically() {
+        // The engine is excluded from the journal fingerprint, so a
+        // campaign interrupted under the packed engine must resume
+        // soundly — and bit-identically — under the naive oracle.
+        let (m, faults, tests) = fixture();
+        let path = temp_path("packed_to_naive");
+        let _c = Cleanup(path.clone());
+        let clean = FaultCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Naive)
+            .jobs(2)
+            .shard_size(5)
+            .run();
+        let cost = tests.total_vectors() as u64;
+        let first = ResilientCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Packed)
+            .jobs(2)
+            .shard_size(5)
+            .max_steps(cost * 40)
+            .checkpoint(&path)
+            .run()
+            .unwrap();
+        assert!(!first.is_complete);
+        let header_under_packed: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .take(2)
+            .map(str::to_string)
+            .collect();
+        let resumed = ResilientCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Naive)
+            .jobs(2)
+            .shard_size(5)
+            .checkpoint(&path)
+            .resume(true)
+            .run()
+            .unwrap();
+        assert!(resumed.is_complete, "notes: {:?}", resumed.journal_notes);
+        assert!(resumed.restored_shards > 0);
+        assert_eq!(resumed.stats, clean.stats);
+        assert_eq!(resumed.report, clean.report);
+        assert_eq!(
+            resumed.packed,
+            PackedStats::default(),
+            "naive packs nothing"
+        );
+        // The fingerprint header a naive run writes is byte-identical to
+        // the packed run's — the engine really is outside the fingerprint.
+        let path2 = temp_path("naive_header");
+        let _c2 = Cleanup(path2.clone());
+        ResilientCampaign::new(&m, &faults, &tests)
+            .engine(Engine::Naive)
+            .jobs(1)
+            .shard_size(5)
+            .max_steps(0)
+            .checkpoint(&path2)
+            .run()
+            .unwrap();
+        let header_under_naive: Vec<String> = std::fs::read_to_string(&path2)
+            .unwrap()
+            .lines()
+            .take(2)
+            .map(str::to_string)
+            .collect();
+        assert_eq!(header_under_packed, header_under_naive);
+    }
+
+    #[test]
+    fn batched_journal_writes_survive_truncation_at_any_offset() {
+        // write_shard batches fsyncs (one per JOURNAL_SYNC_BYTES, plus a
+        // finish() barrier), so a crash may tear the file anywhere — not
+        // just inside the last record. Any prefix must restore exactly
+        // its complete records and re-run the rest.
+        let (m, faults, tests) = fixture();
+        let path = temp_path("any_offset");
+        let _c = Cleanup(path.clone());
+        let clean = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .shard_size(5)
+            .run();
+        ResilientCampaign::new(&m, &faults, &tests)
+            .jobs(1)
+            .shard_size(5)
+            .checkpoint(&path)
+            .run()
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header_end = {
+            let mut it = text.match_indices('\n');
+            it.next();
+            it.next().map(|(i, _)| i + 1).unwrap()
+        };
+        for frac in [0, 1, 2, 3, 5, 7, 8] {
+            let cut = header_end + (text.len() - header_end) * frac / 8;
+            std::fs::write(&path, &text[..cut]).unwrap();
+            let resumed = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(1)
+                .shard_size(5)
+                .checkpoint(&path)
+                .resume(true)
+                .run()
+                .unwrap();
+            assert!(resumed.is_complete, "cut at {cut} bytes");
+            assert_eq!(resumed.stats, clean.stats, "cut at {cut} bytes");
+            assert_eq!(resumed.report, clean.report, "cut at {cut} bytes");
         }
     }
 

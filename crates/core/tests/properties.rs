@@ -229,6 +229,22 @@ fn differential_engine_matches_naive_engine() {
                     diff.stats, naive.stats,
                     "stats must be engine-independent at jobs={jobs}"
                 );
+                let packed = FaultCampaign::new(&m, &faults, &tests)
+                    .engine(Engine::Packed)
+                    .jobs(jobs)
+                    .run();
+                assert_eq!(
+                    packed.report.outcomes, naive.report.outcomes,
+                    "packed outcomes must be engine-independent at jobs={jobs}"
+                );
+                assert_eq!(
+                    packed.stats, naive.stats,
+                    "packed stats must be engine-independent at jobs={jobs}"
+                );
+                assert_eq!(
+                    packed.diff, diff.diff,
+                    "packed replays must save exactly the differential effort at jobs={jobs}"
+                );
             }
         },
     );

@@ -12,7 +12,11 @@
 //!   statistics;
 //! * [`enumerate`] — extraction of an [`ExplicitMealy`] from a netlist by
 //!   forward enumeration of the reachable state graph under a declared set
-//!   of valid input vectors (the paper's input don't-cares).
+//!   of valid input vectors (the paper's input don't-cares);
+//! * [`PackedMealy`] — word-packed struct-of-arrays transition tables
+//!   stepping up to [`LANES`] independent machines per round, with
+//!   [`LanePatch`] one-cell overlays: the substrate of the bit-parallel
+//!   fault-simulation engine.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@ pub mod enumerate;
 mod explicit;
 mod input_classes;
 mod minimize;
+mod packed;
 mod product;
 mod symbolic;
 
@@ -51,5 +56,6 @@ pub use explicit::{
 };
 pub use input_classes::{input_equivalence_classes, InputClasses};
 pub use minimize::{minimize, Minimized};
+pub use packed::{LanePatch, PackedMealy, LANES, UNDEFINED_NARROW, UNDEFINED_RECORD};
 pub use product::{forall_k_symbolic, PairAnalysisResult, PairFsm};
 pub use symbolic::{CoverageAccumulator, ReachResult, SymbolicFsm, SymbolicStats};

@@ -1,0 +1,214 @@
+//! Word-packed (bit-parallel) netlist evaluation.
+//!
+//! [`Netlist::eval_all`] computes one boolean per node; its packed
+//! counterparts here compute **64 independent evaluations at once** by
+//! carrying one `u64` per signal — bit `l` of every word belongs to lane
+//! `l`. Gates become single bitwise machine ops (`Mux(s, t, e)` =
+//! `(s & t) | (!s & e)`, `Const` = all-zeros / all-ones), so one pass over
+//! the two-level DAG prices 64 input/state vectors at roughly the cost the
+//! scalar walk pays for one.
+//!
+//! Lane semantics: for every lane `l`,
+//! `eval_all_packed(state, inputs)` bit `l` equals
+//! `eval_all(state_l, inputs_l)` where `state_l`/`inputs_l` select bit `l`
+//! of each word. All 64 lanes are always evaluated — a caller packing
+//! fewer than 64 vectors owns the tail masking, exactly as with the
+//! packed Mealy tables in `simcov_fsm`. The property tests below pin the
+//! per-lane equivalence on random netlists.
+
+use crate::circuit::{Netlist, NodeKind};
+
+impl Netlist {
+    /// Evaluates every node over 64 boolean lanes packed into `u64`
+    /// words: `state[i]` carries latch `i`'s value for all 64 lanes,
+    /// `inputs[j]` input `j`'s. Returns one word per node, in node order
+    /// — the packed mirror of [`eval_all`](Self::eval_all).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch, like the scalar evaluator.
+    pub fn eval_all_packed(&self, state: &[u64], inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(state.len(), self.latches.len(), "state width mismatch");
+        assert_eq!(inputs.len(), self.inputs.len(), "input width mismatch");
+        let mut vals = vec![0u64; self.nodes.len()];
+        // Nodes are created in topological order (operands precede users),
+        // so a single forward pass evaluates everything — per lane, the
+        // same recurrence as the scalar walk, just 64 abreast.
+        for (i, kind) in self.nodes.iter().enumerate() {
+            vals[i] = match *kind {
+                NodeKind::Const(v) => {
+                    if v {
+                        !0u64
+                    } else {
+                        0
+                    }
+                }
+                NodeKind::Input(id) => inputs[id.index()],
+                NodeKind::LatchOut(id) => state[id.index()],
+                NodeKind::Not(a) => !vals[a.index()],
+                NodeKind::And(a, b) => vals[a.index()] & vals[b.index()],
+                NodeKind::Or(a, b) => vals[a.index()] | vals[b.index()],
+                NodeKind::Xor(a, b) => vals[a.index()] ^ vals[b.index()],
+                NodeKind::Mux(s, t, e) => {
+                    let sel = vals[s.index()];
+                    (sel & vals[t.index()]) | (!sel & vals[e.index()])
+                }
+            };
+        }
+        vals
+    }
+
+    /// Advances 64 lanes one clock cycle at once: returns
+    /// `(next_state, outputs)` as one `u64` word per latch / per primary
+    /// output — the packed mirror of [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latch has no next-state function assigned, or on
+    /// width mismatch.
+    pub fn step_packed(&self, state: &[u64], inputs: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let vals = self.eval_all_packed(state, inputs);
+        let next = self
+            .latches
+            .iter()
+            .map(|l| vals[l.next.expect("latch has no next-state function").index()])
+            .collect();
+        let outs = self.outputs.iter().map(|&(_, s)| vals[s.index()]).collect();
+        (next, outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SignalId;
+    use simcov_prng::{forall_cfg, Config, Gen};
+
+    /// Random two-level netlist: a few inputs and latches, a pile of
+    /// random gates over already-built signals, random outputs and
+    /// next-state functions.
+    fn random_netlist(g: &mut Gen) -> Netlist {
+        let ni = g.int_in(1..5usize);
+        let nl = g.int_in(1..5usize);
+        let mut n = Netlist::new();
+        let mut sigs: Vec<SignalId> = Vec::new();
+        sigs.push(n.constant(false));
+        sigs.push(n.constant(true));
+        for i in 0..ni {
+            sigs.push(n.add_input(format!("i{i}")));
+        }
+        let latches: Vec<_> = (0..nl)
+            .map(|i| n.add_latch(format!("q{i}"), g.bool()))
+            .collect();
+        for &l in &latches {
+            sigs.push(n.latch_output(l));
+        }
+        for _ in 0..g.int_in(5..40usize) {
+            let pick = |g: &mut Gen, sigs: &[SignalId]| sigs[g.int_in(0..sigs.len())];
+            let s = match g.int_in(0..5u32) {
+                0 => {
+                    let a = pick(g, &sigs);
+                    n.not(a)
+                }
+                1 => {
+                    let (a, b) = (pick(g, &sigs), pick(g, &sigs));
+                    n.and(a, b)
+                }
+                2 => {
+                    let (a, b) = (pick(g, &sigs), pick(g, &sigs));
+                    n.or(a, b)
+                }
+                3 => {
+                    let (a, b) = (pick(g, &sigs), pick(g, &sigs));
+                    n.xor(a, b)
+                }
+                _ => {
+                    let (s, t, e) = (pick(g, &sigs), pick(g, &sigs), pick(g, &sigs));
+                    n.mux(s, t, e)
+                }
+            };
+            sigs.push(s);
+        }
+        for (i, &l) in latches.iter().enumerate() {
+            let next = sigs[g.int_in(0..sigs.len())];
+            n.set_latch_next(l, next);
+            if i % 2 == 0 {
+                n.add_output(format!("o{i}"), next);
+            }
+        }
+        n
+    }
+
+    /// Transposes lane `l` out of a packed word vector.
+    fn lane(words: &[u64], l: usize) -> Vec<bool> {
+        words.iter().map(|w| w >> l & 1 == 1).collect()
+    }
+
+    #[test]
+    fn packed_eval_matches_scalar_eval_on_every_lane() {
+        forall_cfg(
+            "netlist_packed_eval",
+            Config::with_cases(32),
+            |g: &mut Gen| {
+                let n = random_netlist(g);
+                let state: Vec<u64> = (0..n.num_latches()).map(|_| g.u64()).collect();
+                let inputs: Vec<u64> = (0..n.num_inputs()).map(|_| g.u64()).collect();
+                let packed = n.eval_all_packed(&state, &inputs);
+                // All 64 lanes would be slow under shrinking; spot-check a
+                // fixed spread plus one random lane.
+                for l in [0usize, 1, 31, 62, 63, g.int_in(0..64usize)] {
+                    let scalar = n.eval_all(&lane(&state, l), &lane(&inputs, l));
+                    assert_eq!(lane(&packed, l), scalar, "lane {l}");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn packed_step_matches_scalar_step_on_every_lane() {
+        forall_cfg(
+            "netlist_packed_step",
+            Config::with_cases(32),
+            |g: &mut Gen| {
+                let n = random_netlist(g);
+                let state: Vec<u64> = (0..n.num_latches()).map(|_| g.u64()).collect();
+                let inputs: Vec<u64> = (0..n.num_inputs()).map(|_| g.u64()).collect();
+                let (pnext, pouts) = n.step_packed(&state, &inputs);
+                for l in [0usize, 17, 63, g.int_in(0..64usize)] {
+                    let (snext, souts) = n.step(&lane(&state, l), &lane(&inputs, l));
+                    assert_eq!(lane(&pnext, l), snext, "next, lane {l}");
+                    assert_eq!(lane(&pouts, l), souts, "outs, lane {l}");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn single_divergent_lane_stays_isolated() {
+        // One lane carries a different input vector; the other 63 must be
+        // bit-identical to each other — no cross-lane leakage.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let q = n.add_latch("q", false);
+        let qo = n.latch_output(q);
+        let nx = n.xor(a, qo);
+        n.set_latch_next(q, nx);
+        n.add_output("o", nx);
+        let victim = 11usize;
+        let inputs = [1u64 << victim];
+        let state = [0u64];
+        let (next, outs) = n.step_packed(&state, &inputs);
+        assert_eq!(next[0], 1 << victim);
+        assert_eq!(outs[0], 1 << victim);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width mismatch")]
+    fn packed_eval_wrong_width_panics() {
+        let mut n = Netlist::new();
+        let q = n.add_latch("q", false);
+        let qo = n.latch_output(q);
+        n.set_latch_next(q, qo);
+        n.eval_all_packed(&[], &[]);
+    }
+}

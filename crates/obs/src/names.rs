@@ -7,7 +7,8 @@
 //! names used from more than one crate therefore live here as constants
 //! instead of string literals scattered across the engines.
 //!
-//! Only the differential-engine counters are declared so far — the
+//! Only the differential- and packed-engine counters are declared so far
+//! — the
 //! campaign counters that predate this module (`campaign.faults_simulated`
 //! and friends) keep their literal spellings at their single emission
 //! site; move them here if a second producer ever appears.
@@ -26,6 +27,15 @@ pub const CAMPAIGN_PREFIX_STEPS_SAVED: &str = "campaign.prefix_steps_saved";
 /// engine; see `simcov_core::differential::DiffStats::divergence_replays`).
 pub const CAMPAIGN_DIVERGENCE_REPLAYS: &str = "campaign.divergence_replays";
 
+/// Fault words replayed by the bit-parallel engine, each batching up to
+/// 64 effective transfer faults (packed engine; see
+/// `simcov_core::packed::PackedStats::packed_words`).
+pub const CAMPAIGN_PACKED_WORDS: &str = "campaign.packed_words";
+
+/// Lanes occupied across all fault words (packed engine; see
+/// `simcov_core::packed::PackedStats::lanes_active`).
+pub const CAMPAIGN_LANES_ACTIVE: &str = "campaign.lanes_active";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,6 +46,8 @@ mod tests {
             CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
             CAMPAIGN_PREFIX_STEPS_SAVED,
             CAMPAIGN_DIVERGENCE_REPLAYS,
+            CAMPAIGN_PACKED_WORDS,
+            CAMPAIGN_LANES_ACTIVE,
         ] {
             assert!(n.starts_with("campaign."), "{n}");
         }
