@@ -1,0 +1,610 @@
+//! The whole-model collapse analysis: from `(machine, fault list)` to a
+//! validated [`CollapseCertificate`].
+//!
+//! Equivalence is only ever claimed between faults at the *same*
+//! `(state, input)` cell (plus one global class for faults on unreachable
+//! states): a fault's excitation time on any sequence is determined by
+//! the cell alone — the faulty walk equals the golden walk until the
+//! cell's first traversal — so faults at different cells can be told
+//! apart by a test set that traverses one cell and not the other.
+//! Within a cell, four facts drive the partition (DESIGN.md §13):
+//!
+//! 1. **Unreachable** — a fault on a state unreachable from reset is
+//!    never excited (patching a state's outgoing edge cannot make the
+//!    state reachable), so its outcome is `{not detected, not excited,
+//!    not masked}` under every test set: one global class.
+//! 2. **Ineffective** — a no-op fault (original destination or original
+//!    output) patches the machine into itself; only excitation is
+//!    observable, and that is cell-determined: one class per cell,
+//!    covering both kinds.
+//! 3. **Output** — every effective output fault at a cell is detected at
+//!    the cell's first traversal inside the compared output prefix,
+//!    whatever the wrong label; the state walk never diverges, so
+//!    masking is impossible: one class per cell.
+//! 4. **Transfer** — two effective transfer faults at a cell are
+//!    equivalent iff their post-excitation *joint* walks (faulty state
+//!    `p` stepped under the patch, golden state `q`) are bisimilar with
+//!    respect to the labels the simulator observes: per-step output
+//!    difference, per-side truncation, and state re-convergence
+//!    (`p == q`, which is what [`simcov_core::is_masked_on`] reads).
+//!    Computed by [`refine_partition`] over the union of every target's
+//!    joint-config graph, with three absorbing truncation sinks; cells
+//!    whose graph exceeds the node budget degrade soundly to singletons
+//!    and are reported as ambiguous (`SC050`).
+//!
+//! Dominance: detecting an effective transfer fault at a cell requires
+//! the faulty walk to diverge, which requires the cell to be traversed
+//! inside the compared output prefix — exactly the condition under which
+//! every effective output fault at that cell is detected. Hence every
+//! effective transfer class *dominates* its cell's output class: any
+//! test set detecting the former detects the latter.
+
+use simcov_core::error_model::{Fault, FaultKind};
+use simcov_core::{ClassKind, CollapseCertificate};
+use simcov_fsm::{partition_by_rows, refine_partition, ExplicitMealy, InputSym, StateId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Tuning knobs for [`analyze_collapse`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Per-cell cap on joint-config nodes explored by the transfer-fault
+    /// bisimulation (the union graph has at most `targets × states²`
+    /// configs). A cell exceeding the cap keeps its faults as singletons
+    /// — sound, just not collapsed — and is reported as ambiguous.
+    pub max_nodes_per_cell: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            max_nodes_per_cell: 1 << 16,
+        }
+    }
+}
+
+/// A fault list the analysis (and any campaign) cannot process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// A fault sits on an undefined or out-of-range `(state, input)`
+    /// cell — [`Fault::inject`] would panic on it, so no campaign could
+    /// simulate it either.
+    UndefinedFaultCell {
+        /// Index of the offending fault.
+        fault: usize,
+    },
+    /// A transfer fault's destination or an output fault's label is
+    /// outside the machine's alphabets.
+    InvalidFaultTarget {
+        /// Index of the offending fault.
+        fault: usize,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::UndefinedFaultCell { fault } => {
+                write!(f, "fault {fault} sits on an undefined (state, input) cell")
+            }
+            AnalyzeError::InvalidFaultTarget { fault } => {
+                write!(
+                    f,
+                    "fault {fault} targets a state or output outside the machine"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Aggregate accounting of one analysis run (rendered by `simcov
+/// analyze` and fed to telemetry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeStats {
+    /// Faults analysed.
+    pub faults: usize,
+    /// Equivalence classes produced.
+    pub classes: usize,
+    /// Faults a `--collapse on` campaign skips (`faults - classes`).
+    pub collapsed_faults: usize,
+    /// Faults on unreachable states (all in the one global class).
+    pub unreachable_faults: usize,
+    /// No-op faults (grouped per cell).
+    pub ineffective_faults: usize,
+    /// Classes of kind [`ClassKind::Output`].
+    pub output_classes: usize,
+    /// Classes of kind [`ClassKind::Transfer`].
+    pub transfer_classes: usize,
+    /// Classes of kind [`ClassKind::Ineffective`].
+    pub ineffective_classes: usize,
+    /// Classes of kind [`ClassKind::Singleton`] (budget-exceeded cells).
+    pub singleton_classes: usize,
+    /// Dominance edges (transfer class over same-cell output class).
+    pub dominance_edges: usize,
+    /// Cells whose bisimulation exceeded the node budget.
+    pub ambiguous_cells: usize,
+}
+
+/// The full analysis result: the certificate plus everything the lint
+/// passes and reports surface about how it was obtained.
+#[derive(Debug, Clone)]
+pub struct CollapseAnalysis {
+    /// The validated, campaign-consumable partition.
+    pub certificate: CollapseCertificate,
+    /// Cells whose transfer bisimulation exceeded the node budget (their
+    /// faults stay singletons; surfaced as `SC050`).
+    pub ambiguous_cells: Vec<(StateId, InputSym)>,
+    /// Aggregate accounting.
+    pub stats: AnalyzeStats,
+}
+
+/// Distinguishes the class-key variants when assigning canonical IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Unreachable,
+    Ineffective(usize),
+    Output(usize),
+    Transfer(usize, u32),
+    Ambiguous(usize, u32),
+}
+
+/// Computes the fault-equivalence partition of `faults` over `m` and
+/// packages it as a bound [`CollapseCertificate`].
+///
+/// Classes are numbered canonically (first appearance in fault order),
+/// each class's representative is its first member, and the certificate
+/// carries the dominance edges described in the module docs. The
+/// analysis is deterministic: same machine, fault list and options ⇒
+/// bit-identical certificate (and fingerprint).
+///
+/// # Errors
+///
+/// [`AnalyzeError`] if any fault references an undefined cell or an
+/// out-of-range target — such a fault cannot be simulated at all
+/// ([`Fault::inject`] panics), so there is no outcome to collapse.
+pub fn analyze_collapse(
+    m: &ExplicitMealy,
+    faults: &[Fault],
+    opts: &AnalyzeOptions,
+) -> Result<CollapseAnalysis, AnalyzeError> {
+    let ns = m.num_states();
+    let ni = m.num_inputs();
+    let no = m.num_outputs() as u32;
+    for (idx, f) in faults.iter().enumerate() {
+        if f.state.index() >= ns || f.input.index() >= ni || m.step(f.state, f.input).is_none() {
+            return Err(AnalyzeError::UndefinedFaultCell { fault: idx });
+        }
+        match f.kind {
+            FaultKind::Transfer { new_next } if new_next.index() >= ns => {
+                return Err(AnalyzeError::InvalidFaultTarget { fault: idx });
+            }
+            FaultKind::Output { new_output } if new_output.0 >= no => {
+                return Err(AnalyzeError::InvalidFaultTarget { fault: idx });
+            }
+            _ => {}
+        }
+    }
+
+    let mut reachable = vec![false; ns];
+    for s in m.reachable_states() {
+        reachable[s.index()] = true;
+    }
+
+    // Distinct effective transfer targets per cell, in fault order
+    // (BTreeMap so the per-cell work is iterated deterministically).
+    let mut transfer_targets: BTreeMap<usize, Vec<StateId>> = BTreeMap::new();
+    for f in faults {
+        if !reachable[f.state.index()] || !f.is_effective(m) {
+            continue;
+        }
+        if let FaultKind::Transfer { new_next } = f.kind {
+            let cell = f.state.index() * ni + f.input.index();
+            let targets = transfer_targets.entry(cell).or_default();
+            if !targets.contains(&new_next) {
+                targets.push(new_next);
+            }
+        }
+    }
+
+    // Per-cell bisimulation classes of the targets (None = budget hit).
+    let mut cell_classes: HashMap<usize, Option<HashMap<u32, u32>>> = HashMap::new();
+    let mut ambiguous_cells = Vec::new();
+    for (&cell, targets) in &transfer_targets {
+        let s = StateId((cell / ni) as u32);
+        let i = InputSym((cell % ni) as u32);
+        let classes = bisim_classes(m, s, i, targets, opts.max_nodes_per_cell);
+        if classes.is_none() {
+            ambiguous_cells.push((s, i));
+        }
+        cell_classes.insert(cell, classes);
+    }
+
+    // Canonical class assignment: IDs by first appearance in fault order.
+    let mut class_ids: HashMap<Key, u32> = HashMap::new();
+    let mut class_of: Vec<u32> = Vec::with_capacity(faults.len());
+    let mut kinds: Vec<ClassKind> = Vec::new();
+    // For dominance: the cell of each class and whether it holds
+    // effective transfer faults.
+    let mut class_cell: Vec<Option<(usize, bool)>> = Vec::new();
+    let mut unreachable_faults = 0usize;
+    let mut ineffective_faults = 0usize;
+    for f in faults {
+        let cell = f.state.index() * ni + f.input.index();
+        let (key, kind, cell_info) = if !reachable[f.state.index()] {
+            unreachable_faults += 1;
+            (Key::Unreachable, ClassKind::Unreachable, None)
+        } else if !f.is_effective(m) {
+            ineffective_faults += 1;
+            (Key::Ineffective(cell), ClassKind::Ineffective, None)
+        } else {
+            match f.kind {
+                FaultKind::Output { .. } => {
+                    (Key::Output(cell), ClassKind::Output, Some((cell, false)))
+                }
+                FaultKind::Transfer { new_next } => match &cell_classes[&cell] {
+                    Some(by_target) => (
+                        Key::Transfer(cell, by_target[&new_next.0]),
+                        ClassKind::Transfer,
+                        Some((cell, true)),
+                    ),
+                    // Budget exceeded: identical faults still share a
+                    // class (trivial equivalence); distinct targets don't.
+                    None => (
+                        Key::Ambiguous(cell, new_next.0),
+                        ClassKind::Singleton,
+                        Some((cell, true)),
+                    ),
+                },
+            }
+        };
+        let fresh = kinds.len() as u32;
+        let c = *class_ids.entry(key).or_insert_with(|| {
+            kinds.push(kind);
+            class_cell.push(cell_info);
+            fresh
+        });
+        class_of.push(c);
+    }
+
+    // Dominance: every effective transfer class over its cell's output
+    // class, ascending by dominating class ID.
+    let mut output_at_cell: HashMap<usize, u32> = HashMap::new();
+    for (c, info) in class_cell.iter().enumerate() {
+        if let Some((cell, false)) = info {
+            output_at_cell.insert(*cell, c as u32);
+        }
+    }
+    let mut dominance: Vec<(u32, u32)> = Vec::new();
+    for (c, info) in class_cell.iter().enumerate() {
+        if let Some((cell, true)) = info {
+            if let Some(&oc) = output_at_cell.get(cell) {
+                dominance.push((c as u32, oc));
+            }
+        }
+    }
+
+    let certificate = CollapseCertificate::new(m, faults, class_of, kinds, dominance)
+        .expect("analysis emits canonical classes by construction");
+    let count = |k: ClassKind| certificate.kinds().iter().filter(|&&x| x == k).count();
+    let stats = AnalyzeStats {
+        faults: faults.len(),
+        classes: certificate.num_classes(),
+        collapsed_faults: certificate.collapsed_faults(),
+        unreachable_faults,
+        ineffective_faults,
+        output_classes: count(ClassKind::Output),
+        transfer_classes: count(ClassKind::Transfer),
+        ineffective_classes: count(ClassKind::Ineffective),
+        singleton_classes: count(ClassKind::Singleton),
+        dominance_edges: certificate.dominance().len(),
+        ambiguous_cells: ambiguous_cells.len(),
+    };
+    Ok(CollapseAnalysis {
+        certificate,
+        ambiguous_cells,
+        stats,
+    })
+}
+
+/// Bisimulation classes of the transfer `targets` at cell `(s, i)`:
+/// `target.0 -> class` with classes numbered by first appearance in
+/// target order, or `None` when the union graph exceeds `max_nodes`.
+///
+/// Nodes are joint configs `(target index, faulty state p, golden state
+/// q)` reachable from each target's post-excitation start `(τ, golden
+/// next)`, where `p` steps under the patch (`(s, i) ↦ τ`) and `q` steps
+/// in the golden machine, plus three absorbing truncation sinks
+/// (faulty-side undefined, golden-side undefined, both). The initial
+/// partition keys each node by everything the simulator observes in one
+/// step — state re-convergence `p == q` plus, per input, truncation kind
+/// or output (dis)agreement — and [`refine_partition`] closes it under
+/// successors. Equal start-node classes ⇒ identical label streams on
+/// every input word ⇒ identical `detects` / `is_masked_on` results on
+/// every sequence.
+fn bisim_classes(
+    m: &ExplicitMealy,
+    s: StateId,
+    i: InputSym,
+    targets: &[StateId],
+    max_nodes: usize,
+) -> Option<HashMap<u32, u32>> {
+    if targets.len() == 1 {
+        return Some(HashMap::from([(targets[0].0, 0u32)]));
+    }
+    let ni = m.num_inputs();
+    let (_, cell_out) = m.step(s, i).expect("caller validated the cell");
+    const SINKS: usize = 3; // ids 0 (f-trunc), 1 (g-trunc), 2 (both).
+
+    let mut ids: HashMap<(u32, u32, u32), usize> = HashMap::new();
+    let mut nodes: Vec<(u32, u32, u32)> = Vec::new();
+    fn intern(
+        key: (u32, u32, u32),
+        nodes: &mut Vec<(u32, u32, u32)>,
+        ids: &mut HashMap<(u32, u32, u32), usize>,
+    ) -> usize {
+        *ids.entry(key).or_insert_with(|| {
+            nodes.push(key);
+            SINKS + nodes.len() - 1
+        })
+    }
+    let golden_next = m.step(s, i).expect("caller validated the cell").0;
+    let starts: Vec<usize> = targets
+        .iter()
+        .enumerate()
+        .map(|(ti, &t)| intern((ti as u32, t.0, golden_next.0), &mut nodes, &mut ids))
+        .collect();
+
+    // BFS in id order; per real node, one label row (width ni + 1) and
+    // one successor row (width ni).
+    let mut rows: Vec<u32> = Vec::new();
+    let mut succ: Vec<u32> = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < nodes.len() {
+        if nodes.len() > max_nodes {
+            return None;
+        }
+        let (ti, p, q) = nodes[cursor];
+        cursor += 1;
+        rows.push(u32::from(p == q));
+        for x in 0..ni as u32 {
+            let fstep = if p == s.0 && x == i.0 {
+                // The patched cell: destination replaced, output kept.
+                Some((targets[ti as usize].0, cell_out.0))
+            } else {
+                m.step(StateId(p), InputSym(x)).map(|(n, o)| (n.0, o.0))
+            };
+            let gstep = m.step(StateId(q), InputSym(x)).map(|(n, o)| (n.0, o.0));
+            let (letter, next) = match (fstep, gstep) {
+                (None, Some(_)) => (0, 0usize),
+                (Some(_), None) => (1, 1usize),
+                (None, None) => (2, 2usize),
+                (Some((fp, fo)), Some((gq, go))) => (
+                    3 + u32::from(fo != go),
+                    intern((ti, fp, gq), &mut nodes, &mut ids),
+                ),
+            };
+            rows.push(letter);
+            succ.push(next as u32);
+        }
+    }
+    if nodes.len() > max_nodes {
+        return None;
+    }
+
+    // Assemble the full item space: sinks first (unique labels, self
+    // loops on every input), then the real nodes.
+    let width = ni + 1;
+    let total = SINKS + nodes.len();
+    let mut all_rows: Vec<u32> = Vec::with_capacity(total * width);
+    let mut all_succ: Vec<u32> = Vec::with_capacity(total * ni);
+    for sink in 0..SINKS as u32 {
+        all_rows.push(2 + sink); // distinct from the {0, 1} node labels
+        all_rows.extend(std::iter::repeat_n(9, ni));
+        all_succ.extend(std::iter::repeat_n(sink, ni));
+    }
+    all_rows.extend_from_slice(&rows);
+    all_succ.extend_from_slice(&succ);
+
+    let initial = partition_by_rows(&all_rows, width);
+    let part = refine_partition(&initial.class_of, ni, &all_succ);
+
+    // Canonical target classes by first appearance in target order.
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut out = HashMap::with_capacity(targets.len());
+    for (ti, &t) in targets.iter().enumerate() {
+        let raw = part.class_of[starts[ti]];
+        let fresh = remap.len() as u32;
+        out.insert(t.0, *remap.entry(raw).or_insert(fresh));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_core::testutil::figure2;
+    use simcov_core::{enumerate_single_faults, FaultSpace};
+    use simcov_fsm::{MealyBuilder, OutputSym};
+
+    /// A machine with two bisimilar-but-distinct states `d1` / `d2` and
+    /// a behaviourally different state `a`, all valid transfer targets
+    /// for the cell `(a, x)` (golden next `b`).
+    fn twin_targets() -> (ExplicitMealy, StateId, InputSym) {
+        let mut b = MealyBuilder::new();
+        let a = b.add_state("a");
+        let bb = b.add_state("b");
+        let d1 = b.add_state("d1");
+        let d2 = b.add_state("d2");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let o0 = b.add_output("o0");
+        let o1 = b.add_output("o1");
+        b.add_transition(a, x, bb, o0);
+        b.add_transition(a, y, a, o0);
+        b.add_transition(bb, x, a, o1);
+        b.add_transition(bb, y, bb, o0);
+        b.add_transition(d1, x, a, o0);
+        b.add_transition(d1, y, d1, o1);
+        b.add_transition(d2, x, a, o0);
+        b.add_transition(d2, y, d2, o1);
+        let m = b.build(a).unwrap();
+        (m, a, x)
+    }
+
+    fn transfer(s: StateId, i: InputSym, t: StateId) -> Fault {
+        Fault {
+            state: s,
+            input: i,
+            kind: FaultKind::Transfer { new_next: t },
+        }
+    }
+
+    fn output(s: StateId, i: InputSym, o: u32) -> Fault {
+        Fault {
+            state: s,
+            input: i,
+            kind: FaultKind::Output {
+                new_output: OutputSym(o),
+            },
+        }
+    }
+
+    #[test]
+    fn bisimilar_transfer_targets_share_a_class() {
+        let (m, a, x) = twin_targets();
+        let faults = vec![
+            transfer(a, x, StateId(2)), // -> d1
+            transfer(a, x, StateId(3)), // -> d2
+            transfer(a, x, a),          // -> a (behaviourally different)
+        ];
+        let r = analyze_collapse(&m, &faults, &AnalyzeOptions::default()).unwrap();
+        let c = r.certificate.class_of();
+        assert_eq!(c[0], c[1], "d1 and d2 are bisimilar targets");
+        assert_ne!(c[0], c[2], "a is observably different");
+        assert_eq!(r.certificate.num_classes(), 2);
+        assert_eq!(r.certificate.kinds(), &[ClassKind::Transfer; 2]);
+        assert!(r.ambiguous_cells.is_empty());
+        assert_eq!(r.stats.collapsed_faults, 1);
+    }
+
+    #[test]
+    fn output_faults_at_one_cell_collapse() {
+        let (m, a, x) = twin_targets();
+        // Three effective relabellings of (a, x) plus the no-op one.
+        let faults = vec![
+            output(a, x, 1),
+            output(a, x, 0),            // golden output: ineffective
+            transfer(a, x, StateId(1)), // golden next: ineffective
+        ];
+        let r = analyze_collapse(&m, &faults, &AnalyzeOptions::default()).unwrap();
+        let c = r.certificate.class_of();
+        assert_eq!(
+            c[1], c[2],
+            "no-op faults of both kinds share the cell's ineffective class"
+        );
+        assert_ne!(c[0], c[1]);
+        assert_eq!(
+            r.certificate.kinds(),
+            &[ClassKind::Output, ClassKind::Ineffective]
+        );
+        assert_eq!(r.stats.ineffective_faults, 2);
+    }
+
+    #[test]
+    fn unreachable_faults_form_one_global_class() {
+        // d1/d2 are unreachable in twin_targets (nothing reaches them).
+        let (m, a, x) = twin_targets();
+        let y = InputSym(1);
+        let faults = vec![
+            transfer(StateId(2), x, a), // on unreachable d1
+            output(StateId(3), y, 0),   // on unreachable d2
+            output(a, x, 1),            // reachable, for contrast
+        ];
+        let r = analyze_collapse(&m, &faults, &AnalyzeOptions::default()).unwrap();
+        let c = r.certificate.class_of();
+        assert_eq!(
+            c[0], c[1],
+            "unreachable faults merge across cells and kinds"
+        );
+        assert_ne!(c[0], c[2]);
+        assert_eq!(r.certificate.kinds()[0], ClassKind::Unreachable);
+        assert_eq!(r.stats.unreachable_faults, 2);
+    }
+
+    #[test]
+    fn budget_exceeded_degrades_to_singletons() {
+        let (m, a, x) = twin_targets();
+        let faults = vec![
+            transfer(a, x, StateId(2)),
+            transfer(a, x, StateId(3)),
+            transfer(a, x, StateId(2)), // duplicate of fault 0
+        ];
+        let opts = AnalyzeOptions {
+            max_nodes_per_cell: 1,
+        };
+        let r = analyze_collapse(&m, &faults, &opts).unwrap();
+        let c = r.certificate.class_of();
+        assert_ne!(c[0], c[1], "distinct targets stay apart under budget");
+        assert_eq!(c[0], c[2], "identical faults still share trivially");
+        assert_eq!(r.ambiguous_cells, vec![(a, x)]);
+        assert_eq!(r.certificate.kinds(), &[ClassKind::Singleton; 2]);
+        assert_eq!(r.stats.singleton_classes, 2);
+    }
+
+    #[test]
+    fn dominance_edges_point_at_the_cells_output_class() {
+        let (m, a, x) = twin_targets();
+        let faults = vec![
+            output(a, x, 1),            // class 0: output
+            transfer(a, x, StateId(2)), // class 1: transfer
+            transfer(a, x, a),          // class 2: transfer
+        ];
+        let r = analyze_collapse(&m, &faults, &AnalyzeOptions::default()).unwrap();
+        assert_eq!(r.certificate.dominance(), &[(1, 0), (2, 0)]);
+        assert_eq!(r.stats.dominance_edges, 2);
+    }
+
+    #[test]
+    fn rejects_undefined_cells_and_bad_targets() {
+        // A partial machine: (s0, j) has no transition.
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let i = b.add_input("i");
+        let j = b.add_input("j");
+        let o = b.add_output("o");
+        b.add_transition(s0, i, s0, o);
+        let m = b.build(s0).unwrap();
+        let err =
+            analyze_collapse(&m, &[transfer(s0, j, s0)], &AnalyzeOptions::default()).unwrap_err();
+        assert_eq!(err, AnalyzeError::UndefinedFaultCell { fault: 0 });
+
+        let (m2, a, x) = twin_targets();
+        let err = analyze_collapse(
+            &m2,
+            &[transfer(a, x, StateId(99))],
+            &AnalyzeOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalyzeError::InvalidFaultTarget { fault: 0 });
+        let err =
+            analyze_collapse(&m2, &[output(a, x, 99)], &AnalyzeOptions::default()).unwrap_err();
+        assert_eq!(err, AnalyzeError::InvalidFaultTarget { fault: 0 });
+    }
+
+    #[test]
+    fn analysis_is_deterministic_and_binds_the_campaign() {
+        let (m, _) = figure2();
+        let faults = enumerate_single_faults(&m, &FaultSpace::default());
+        let a = analyze_collapse(&m, &faults, &AnalyzeOptions::default()).unwrap();
+        let b = analyze_collapse(&m, &faults, &AnalyzeOptions::default()).unwrap();
+        assert_eq!(a.certificate, b.certificate);
+        assert_eq!(a.certificate.fingerprint(), b.certificate.fingerprint());
+        assert!(a.certificate.check(&m, &faults).is_ok());
+        assert!(
+            a.stats.collapsed_faults > 0,
+            "figure2's enumerated fault space must collapse somewhere"
+        );
+    }
+}

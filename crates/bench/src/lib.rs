@@ -125,6 +125,36 @@ pub fn excited_transfer_faults(
         .collect()
 }
 
+/// A strongly connected two-input ring with a *wide* output alphabet —
+/// the collapse-rich workload for static fault collapsing. Output-fault
+/// enumeration produces `outputs - 1` wrong labels per `(state, input)`
+/// cell, and every one of them is detected at the cell's first traversal
+/// whatever the wrong label is, so the whole cell folds into a single
+/// equivalence class: the certificate prunes an output-fault campaign by
+/// a factor approaching `outputs - 1`. The `skip` chords keep vertex
+/// degrees balanced enough for the postman tour to stay cheap.
+pub fn wide_output_ring(n: usize, outputs: usize) -> ExplicitMealy {
+    assert!(n >= 4, "ring needs at least 4 states");
+    assert!(outputs >= 2, "collapsing needs at least 2 output symbols");
+    let mut b = MealyBuilder::new();
+    let states: Vec<_> = (0..n).map(|i| b.add_state(format!("s{i}"))).collect();
+    let step = b.add_input("step");
+    let skip = b.add_input("skip");
+    let outs: Vec<_> = (0..outputs)
+        .map(|i| b.add_output(format!("o{i}")))
+        .collect();
+    for i in 0..n {
+        b.add_transition(states[i], step, states[(i + 1) % n], outs[i % outputs]);
+        b.add_transition(
+            states[i],
+            skip,
+            states[(i + 2) % n],
+            outs[(i * 7 + 3) % outputs],
+        );
+    }
+    b.build(states[0]).expect("wide-output ring is well-formed")
+}
+
 /// The reduced DLX control model (observable variant) as an explicit
 /// machine — the standard fixture for completeness and coverage
 /// experiments.
@@ -166,5 +196,9 @@ mod tests {
         assert!(m.is_complete());
         let h = reduced_dlx_machine_hidden();
         assert_eq!(m.num_states(), h.num_states());
+        let w = wide_output_ring(64, 16);
+        assert!(w.is_strongly_connected());
+        assert!(w.is_complete());
+        assert_eq!(w.num_outputs(), 16);
     }
 }

@@ -12,6 +12,14 @@
 //! `E_0` holds for every pair; `E_j(s, t)` holds iff some input keeps the
 //! outputs equal and leads to a pair in `E_{j-1}`. A pair is
 //! ∀k-distinguishable iff it is *not* in `E_k`.
+//!
+//! The relation chain is materialised once as [`DistinguishLevels`]: every
+//! `E_j` up to the requested bound (or the fixpoint, whichever comes
+//! first) is stored as a word-packed bitset over state pairs. Witness
+//! reconstruction and queries at *every* `k ≤ k_max` then read the stored
+//! levels instead of re-running the traversal — one golden sweep shared
+//! across all witnesses and all `k` values, which is what keeps linting
+//! large machines (10k+ states) out of the seconds range.
 
 use simcov_fsm::{ExplicitMealy, InputSym, StateId};
 
@@ -48,7 +56,7 @@ impl Distinguishability {
     }
 }
 
-/// Errors from [`forall_k_distinguishable`].
+/// Errors from [`forall_k_distinguishable`] / [`DistinguishLevels::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DistinguishError {
     /// Some reachable `(state, input)` transition is undefined; the
@@ -76,9 +84,211 @@ impl std::fmt::Display for DistinguishError {
 
 impl std::error::Error for DistinguishError {}
 
+#[inline]
+fn bit_get(bits: &[u64], p: usize) -> bool {
+    bits[p >> 6] & (1 << (p & 63)) != 0
+}
+
+#[inline]
+fn bit_set(bits: &mut [u64], p: usize) {
+    bits[p >> 6] |= 1 << (p & 63);
+}
+
+/// The memoized `E_0 ⊇ E_1 ⊇ … ⊇ E_{k_max}` chain over one machine's
+/// reachable state pairs, each level a word-packed bitset.
+///
+/// Build once with [`build`](Self::build), then query
+/// [`analyze`](Self::analyze) for any `k ≤ k_max`: violations and their
+/// witnesses are read off the stored levels with no further traversal of
+/// the machine. The chain is cut at its fixpoint (`E_{j+1} = E_j` implies
+/// every later level is identical), so memory is
+/// `O(min(k_max, fixpoint) · n²/64)` words.
+#[derive(Debug, Clone)]
+pub struct DistinguishLevels {
+    k_max: usize,
+    reach: Vec<StateId>,
+    n: usize,
+    ni: usize,
+    /// Dense successor table over reachable-state indices.
+    succ: Vec<usize>,
+    /// Dense output table over reachable-state indices.
+    out: Vec<u32>,
+    /// `levels[j] = E_j` for `j ≤` the stored bound; queries past the end
+    /// clamp to the last level (the fixpoint).
+    levels: Vec<Vec<u64>>,
+}
+
+impl DistinguishLevels {
+    /// Runs the pair-relation fixpoint up to `k_max` rounds (stopping
+    /// early at the fixpoint) over the reachable part of `m`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistinguishError::IncompleteMachine`] if a reachable transition
+    /// is missing — restrict the machine to its valid alphabet first.
+    ///
+    /// # Complexity
+    ///
+    /// `O(min(k_max, fix) · n² · |I|)` time, `O(min(k_max, fix) · n²/64)`
+    /// space over `n` reachable states.
+    pub fn build(m: &ExplicitMealy, k_max: usize) -> Result<Self, DistinguishError> {
+        let reach = m.reachable_states();
+        let n = reach.len();
+        let ni = m.num_inputs();
+        // Dense renumbering of reachable states.
+        let mut idx_of = vec![usize::MAX; m.num_states()];
+        for (i, &s) in reach.iter().enumerate() {
+            idx_of[s.index()] = i;
+        }
+        for &s in &reach {
+            for i in m.inputs() {
+                if m.step(s, i).is_none() {
+                    return Err(DistinguishError::IncompleteMachine { state: s, input: i });
+                }
+            }
+        }
+        // Precompute dense successor/output tables.
+        let mut succ = vec![0usize; n * ni];
+        let mut out = vec![0u32; n * ni];
+        for (si, &s) in reach.iter().enumerate() {
+            for i in 0..ni {
+                let (nx, o) = m.step(s, InputSym(i as u32)).expect("checked complete");
+                succ[si * ni + i] = idx_of[nx.index()];
+                out[si * ni + i] = o.0;
+            }
+        }
+        // Pairs are ordered (a, b) with a <= b, bit a * n + b (only those
+        // canonical positions are ever set, so levels compare with plain
+        // word equality).
+        let words = (n * n).div_ceil(64).max(1);
+        let mut e0 = vec![0u64; words];
+        for a in 0..n {
+            for b in a..n {
+                bit_set(&mut e0, a * n + b);
+            }
+        }
+        let mut levels = vec![e0];
+        for _ in 0..k_max {
+            let prev = levels.last().expect("nonempty");
+            let mut next = vec![0u64; words];
+            for a in 0..n {
+                bit_set(&mut next, a * n + a);
+                for b in (a + 1)..n {
+                    for i in 0..ni {
+                        if out[a * ni + i] == out[b * ni + i] {
+                            let (sa, sb) = (succ[a * ni + i], succ[b * ni + i]);
+                            let p = if sa <= sb { sa * n + sb } else { sb * n + sa };
+                            if bit_get(prev, p) {
+                                bit_set(&mut next, a * n + b);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if next == *levels.last().expect("nonempty") {
+                // Fixed point: E_j = E_{j+1} = … ; later levels clamp.
+                break;
+            }
+            levels.push(next);
+        }
+        Ok(DistinguishLevels {
+            k_max,
+            reach,
+            n,
+            ni,
+            succ,
+            out,
+            levels,
+        })
+    }
+
+    /// The `k_max` bound the chain was built for.
+    pub fn max_k(&self) -> usize {
+        self.k_max
+    }
+
+    /// `E_j`, clamping past the stored fixpoint.
+    fn level(&self, j: usize) -> &[u64] {
+        &self.levels[j.min(self.levels.len() - 1)]
+    }
+
+    /// Violating pairs (with witnesses) at depth `k`, read off the stored
+    /// chain. Witnesses are reconstructed for at most `max_witnesses`
+    /// violations; the violation count is exact regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.max_k()` — the chain was not built deep enough
+    /// to answer that query exactly.
+    pub fn analyze(&self, k: usize, max_witnesses: usize) -> Distinguishability {
+        assert!(
+            k <= self.k_max,
+            "analyze({k}) beyond the built bound {}",
+            self.k_max
+        );
+        let n = self.n;
+        let ek = self.level(k);
+        let mut violations = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if bit_get(ek, a * n + b) {
+                    let witness = if violations.len() < max_witnesses {
+                        self.reconstruct_witness(k, a, b)
+                    } else {
+                        Vec::new()
+                    };
+                    violations.push(PairWitness {
+                        s1: self.reach[a],
+                        s2: self.reach[b],
+                        witness,
+                    });
+                }
+            }
+        }
+        Distinguishability {
+            k,
+            states: n,
+            violations,
+        }
+    }
+
+    /// Reads one equal-output sequence of length `k` for the pair
+    /// `(a, b)` off the stored levels — `O(k · |I|)`, no recomputation.
+    fn reconstruct_witness(&self, k: usize, a: usize, b: usize) -> Vec<InputSym> {
+        let (n, ni) = (self.n, self.ni);
+        let mut seq = Vec::with_capacity(k);
+        let (mut x, mut y) = (a, b);
+        for j in (1..=k).rev() {
+            let prev = self.level(j - 1);
+            let mut chosen = None;
+            for i in 0..ni {
+                if self.out[x * ni + i] == self.out[y * ni + i] {
+                    let (sx, sy) = (self.succ[x * ni + i], self.succ[y * ni + i]);
+                    let p = if sx <= sy { sx * n + sy } else { sy * n + sx };
+                    if bit_get(prev, p) {
+                        chosen = Some((i, sx, sy));
+                        break;
+                    }
+                }
+            }
+            let (i, nx, ny) = chosen.expect("pair is in E_j, a continuation must exist");
+            seq.push(InputSym(i as u32));
+            x = nx;
+            y = ny;
+        }
+        seq
+    }
+}
+
 /// Checks ∀k-distinguishability of every pair of distinct reachable states
 /// of `m`, returning witnesses for the violating pairs (at most
 /// `max_witnesses`; the count of violations is exact regardless).
+///
+/// Convenience wrapper over [`DistinguishLevels`]: builds the chain for
+/// this single `k` and queries it once. Callers sweeping several `k`
+/// values (or reconstructing many witnesses) should build
+/// [`DistinguishLevels`] themselves and share it.
 ///
 /// # Errors
 ///
@@ -87,146 +297,13 @@ impl std::error::Error for DistinguishError {}
 ///
 /// # Complexity
 ///
-/// `O(k · n² · |I|)` time, `O(n²)` space over `n` reachable states.
+/// `O(k · n² · |I|)` time, `O(k · n²/64)` space over `n` reachable states.
 pub fn forall_k_distinguishable(
     m: &ExplicitMealy,
     k: usize,
     max_witnesses: usize,
 ) -> Result<Distinguishability, DistinguishError> {
-    let reach = m.reachable_states();
-    let n = reach.len();
-    let ni = m.num_inputs();
-    // Dense renumbering of reachable states.
-    let mut idx_of = vec![usize::MAX; m.num_states()];
-    for (i, &s) in reach.iter().enumerate() {
-        idx_of[s.index()] = i;
-    }
-    for &s in &reach {
-        for i in m.inputs() {
-            if m.step(s, i).is_none() {
-                return Err(DistinguishError::IncompleteMachine { state: s, input: i });
-            }
-        }
-    }
-    // Precompute dense successor/output tables.
-    let mut succ = vec![0usize; n * ni];
-    let mut out = vec![0u32; n * ni];
-    for (si, &s) in reach.iter().enumerate() {
-        for i in 0..ni {
-            let (nx, o) = m.step(s, InputSym(i as u32)).expect("checked complete");
-            succ[si * ni + i] = idx_of[nx.index()];
-            out[si * ni + i] = o.0;
-        }
-    }
-    // e[p] = true iff pair p is in E_j. Pairs are ordered (s, t) with
-    // s <= t stored at s * n + t (diagonal always true).
-    let pair = |a: usize, b: usize| if a <= b { a * n + b } else { b * n + a };
-    let mut e = vec![true; n * n];
-    for round in 0..k {
-        let mut next = vec![false; n * n];
-        let mut changed = false;
-        for a in 0..n {
-            next[pair(a, a)] = true;
-            for b in (a + 1)..n {
-                let mut hold = false;
-                for i in 0..ni {
-                    if out[a * ni + i] == out[b * ni + i]
-                        && e[pair(succ[a * ni + i], succ[b * ni + i])]
-                    {
-                        hold = true;
-                        break;
-                    }
-                }
-                next[pair(a, b)] = hold;
-                if hold != e[pair(a, b)] {
-                    changed = true;
-                }
-            }
-        }
-        e = next;
-        if !changed && round > 0 {
-            // Fixed point: E_j = E_{j+1} = ... = E_k.
-            break;
-        }
-    }
-    // Collect violations with witnesses.
-    let mut violations = Vec::new();
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if e[pair(a, b)] {
-                let witness = if violations.len() < max_witnesses {
-                    reconstruct_witness(n, ni, &succ, &out, k, a, b)
-                } else {
-                    Vec::new()
-                };
-                violations.push(PairWitness {
-                    s1: reach[a],
-                    s2: reach[b],
-                    witness,
-                });
-            }
-        }
-    }
-    Ok(Distinguishability {
-        k,
-        states: n,
-        violations,
-    })
-}
-
-/// Rebuilds one equal-output sequence of length `k` for the pair `(a, b)`
-/// by recomputing the `E_j` levels (memory-light: recompute rather than
-/// store all k levels).
-fn reconstruct_witness(
-    n: usize,
-    ni: usize,
-    succ: &[usize],
-    out: &[u32],
-    k: usize,
-    a: usize,
-    b: usize,
-) -> Vec<InputSym> {
-    // levels[j] = E_j for j in 0..=k (E_0 all true).
-    let pair = |x: usize, y: usize| if x <= y { x * n + y } else { y * n + x };
-    let mut levels: Vec<Vec<bool>> = Vec::with_capacity(k + 1);
-    levels.push(vec![true; n * n]);
-    for _ in 0..k {
-        let prev = levels.last().expect("nonempty");
-        let mut next = vec![false; n * n];
-        for x in 0..n {
-            next[pair(x, x)] = true;
-            for y in (x + 1)..n {
-                for i in 0..ni {
-                    if out[x * ni + i] == out[y * ni + i]
-                        && prev[pair(succ[x * ni + i], succ[y * ni + i])]
-                    {
-                        next[pair(x, y)] = true;
-                        break;
-                    }
-                }
-            }
-        }
-        levels.push(next);
-    }
-    let mut seq = Vec::with_capacity(k);
-    let (mut x, mut y) = (a, b);
-    for j in (1..=k).rev() {
-        let mut chosen = None;
-        for i in 0..ni {
-            if out[x * ni + i] == out[y * ni + i]
-                && levels[j - 1][pair(succ[x * ni + i], succ[y * ni + i])]
-            {
-                chosen = Some(i);
-                break;
-            }
-        }
-        let i = chosen.expect("pair is in E_j, a continuation must exist");
-        seq.push(InputSym(i as u32));
-        let (nx, nyy) = (succ[x * ni + i], succ[y * ni + i]);
-        x = nx;
-        y = nyy;
-    }
-    seq
+    Ok(DistinguishLevels::build(m, k)?.analyze(k, max_witnesses))
 }
 
 #[cfg(test)]
@@ -378,5 +455,48 @@ mod tests {
             .filter(|v| !v.witness.is_empty())
             .count();
         assert!(with_witness <= 1);
+    }
+
+    /// One shared chain answers every k ≤ k_max identically to the
+    /// dedicated per-k computation — the memoized sweep.
+    #[test]
+    fn shared_levels_match_per_k_runs() {
+        let (m, _) = crate::testutil::figure2();
+        let levels = DistinguishLevels::build(&m, 4).unwrap();
+        assert_eq!(levels.max_k(), 4);
+        for k in 0..=4 {
+            let swept = levels.analyze(k, usize::MAX);
+            let direct = forall_k_distinguishable(&m, k, usize::MAX).unwrap();
+            assert_eq!(swept, direct, "k={k}");
+        }
+    }
+
+    /// The chain is cut at its fixpoint, and clamped queries past it stay
+    /// correct (E_fix = E_{fix+1} = …).
+    #[test]
+    fn fixpoint_clamps_deep_queries() {
+        let (m, _) = crate::testutil::figure2();
+        let deep = DistinguishLevels::build(&m, 64).unwrap();
+        assert!(
+            deep.levels.len() <= m.num_states() * m.num_states() + 1,
+            "chain must stop at the fixpoint, not at k_max"
+        );
+        let d64 = deep.analyze(64, 8);
+        for v in &d64.violations {
+            if !v.witness.is_empty() {
+                assert_eq!(v.witness.len(), 64);
+                let (_, out1) = m.run(v.s1, &v.witness);
+                let (_, out2) = m.run(v.s2, &v.witness);
+                assert_eq!(out1, out2, "clamped witness must keep outputs equal");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the built bound")]
+    fn analyze_past_the_bound_panics() {
+        let (m, _) = crate::testutil::figure2();
+        let levels = DistinguishLevels::build(&m, 2).unwrap();
+        let _ = levels.analyze(3, 0);
     }
 }

@@ -1,0 +1,116 @@
+//! Shared FNV-1a fingerprinting of the campaign's deterministic inputs.
+//!
+//! Three artifacts in this workspace bind results to the exact inputs
+//! they were computed from: the checkpoint journal (`simcov-journal v1`,
+//! [`crate::resilient`]), the collapse certificate
+//! ([`crate::collapse::CollapseCertificate`]) and the `simcov lint` /
+//! `simcov analyze` JSON reports. They must agree on *how* a machine, a
+//! fault list and a test set hash — otherwise "same fingerprint" would
+//! not mean "same campaign". This module is that single definition; the
+//! hash algorithm is the workspace-wide [`simcov_obs::fnv::Fnv64`], so
+//! the bytes feed the same checksum discipline as telemetry traces.
+//!
+//! The encodings here are exactly the ones the journal has used since it
+//! was introduced (dimension counts, then the dense transition table with
+//! `u64::MAX` for undefined cells, then tagged faults, then
+//! length-prefixed sequences) — extracted, not changed, so existing
+//! journal fingerprints are preserved byte for byte.
+
+use crate::error_model::{Fault, FaultKind};
+use simcov_fsm::ExplicitMealy;
+use simcov_obs::fnv::Fnv64;
+use simcov_tour::TestSet;
+
+/// Feeds the machine's dimensions, reset state and dense transition table
+/// into `h` (undefined cells hash as `u64::MAX`).
+pub fn hash_machine(h: &mut Fnv64, m: &ExplicitMealy) {
+    h.u64(m.num_states() as u64);
+    h.u64(m.num_inputs() as u64);
+    h.u64(m.num_outputs() as u64);
+    h.u64(u64::from(m.reset().0));
+    for s in m.states() {
+        for i in m.inputs() {
+            match m.step(s, i) {
+                Some((n, o)) => {
+                    h.u64(u64::from(n.0));
+                    h.u64(u64::from(o.0));
+                }
+                None => h.u64(u64::MAX),
+            }
+        }
+    }
+}
+
+/// Feeds a length-prefixed, kind-tagged encoding of the fault list into
+/// `h` (transfer faults tag `1`, output faults tag `2`).
+pub fn hash_faults(h: &mut Fnv64, faults: &[Fault]) {
+    h.u64(faults.len() as u64);
+    for f in faults {
+        h.u64(u64::from(f.state.0));
+        h.u64(u64::from(f.input.0));
+        match f.kind {
+            FaultKind::Transfer { new_next } => {
+                h.u64(1);
+                h.u64(u64::from(new_next.0));
+            }
+            FaultKind::Output { new_output } => {
+                h.u64(2);
+                h.u64(u64::from(new_output.0));
+            }
+        }
+    }
+}
+
+/// Feeds a length-prefixed encoding of every test sequence into `h`.
+pub fn hash_tests(h: &mut Fnv64, tests: &TestSet) {
+    h.u64(tests.sequences.len() as u64);
+    for seq in &tests.sequences {
+        h.u64(seq.len() as u64);
+        for sym in seq {
+            h.u64(u64::from(sym.0));
+        }
+    }
+}
+
+/// FNV-1a 64 fingerprint of a machine alone — the identity under which
+/// `simcov lint` and `simcov analyze` reports are diffable across runs
+/// and cacheable (same fingerprint ⇒ same transition structure ⇒ same
+/// report for the same tool configuration).
+pub fn machine_fingerprint(m: &ExplicitMealy) -> u64 {
+    let mut h = Fnv64::new();
+    hash_machine(&mut h, m);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::figure2;
+
+    #[test]
+    fn machine_fingerprint_is_stable_and_sensitive() {
+        let (m, fault) = figure2();
+        let fp = machine_fingerprint(&m);
+        assert_eq!(fp, machine_fingerprint(&m), "deterministic");
+        let mutated = fault.inject(&m);
+        assert_ne!(
+            fp,
+            machine_fingerprint(&mutated),
+            "one redirected transition must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fault_list_hash_is_order_sensitive() {
+        let (m, _) = figure2();
+        let faults =
+            crate::faults::enumerate_single_faults(&m, &crate::faults::FaultSpace::default());
+        let mut a = Fnv64::new();
+        hash_faults(&mut a, &faults);
+        let mut rev = faults.clone();
+        rev.reverse();
+        let mut b = Fnv64::new();
+        hash_faults(&mut b, &rev);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

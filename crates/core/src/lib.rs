@@ -34,6 +34,9 @@
 //! * [`resilient`] — crash-safe campaign supervision: panic isolation,
 //!   deadlines/step budgets, durable checkpoint/resume and deterministic
 //!   chaos injection;
+//! * [`collapse`] — fault-collapsing certificates: statically proven
+//!   fault-equivalence partitions that campaigns consume to simulate
+//!   only class representatives (and can audit with `verify`);
 //! * [`harness`] — the checkpointed co-simulation harness of Figure 1
 //!   (specification vs implementation, compared at instruction
 //!   completion);
@@ -44,11 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collapse;
 pub mod differential;
 pub mod distinguish;
 pub mod error_model;
 pub mod expand;
 pub mod faults;
+pub mod fingerprint;
 pub mod harness;
 pub mod models;
 pub mod packed;
@@ -58,9 +63,13 @@ pub mod resilient;
 pub mod testutil;
 pub mod theorems;
 
+pub use collapse::{
+    same_observable_outcome, CertificateError, ClassKind, CollapseCertificate, CollapseMode,
+    CollapseSummary, CollapseViolation,
+};
 pub use differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 pub use distinguish::{
-    forall_k_distinguishable, DistinguishError, Distinguishability, PairWitness,
+    forall_k_distinguishable, DistinguishError, DistinguishLevels, Distinguishability, PairWitness,
 };
 pub use error_model::{detects, excited_at, is_masked_on, Fault, FaultKind};
 pub use faults::{

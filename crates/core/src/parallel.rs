@@ -22,6 +22,7 @@
 //! produces the same [`CampaignReport`] and the same [`CampaignStats`],
 //! byte for byte. Only the wall-clock [`ShardTiming`]s differ.
 
+use crate::collapse::{CollapseCertificate, CollapseMode, CollapseSummary};
 use crate::differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 use crate::error_model::Fault;
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
@@ -206,6 +207,9 @@ pub struct CampaignRun {
     /// Word-packing effort counters (all zero unless the run used
     /// [`Engine::Packed`]); deterministic across thread counts.
     pub packed: PackedStats,
+    /// Collapse accounting when the run consumed a certificate
+    /// (`None` for plain runs and [`CollapseMode::Off`]).
+    pub collapse: Option<CollapseSummary>,
 }
 
 /// A configured fault campaign: the golden machine, the fault list, the
@@ -232,6 +236,7 @@ pub struct FaultCampaign<'a> {
     shard_size: usize,
     engine: Engine,
     telemetry: Option<Telemetry>,
+    collapse: Option<(&'a CollapseCertificate, CollapseMode)>,
 }
 
 impl<'a> FaultCampaign<'a> {
@@ -247,7 +252,30 @@ impl<'a> FaultCampaign<'a> {
             shard_size: default_shard_size(faults.len()),
             engine: Engine::default(),
             telemetry: None,
+            collapse: None,
         }
+    }
+
+    /// Attaches a [`CollapseCertificate`].
+    ///
+    /// * [`CollapseMode::On`] simulates only one representative per
+    ///   class and expands the remaining outcomes deterministically —
+    ///   the merged [`CampaignStats`], the per-fault [`CampaignReport`]
+    ///   and the `campaign.shard` event stream stay bit-identical to an
+    ///   uncollapsed run of the same campaign (for a sound certificate),
+    ///   while [`ShardTiming`]s and the engine-effort counters reflect
+    ///   the pruned work actually performed.
+    /// * [`CollapseMode::Verify`] simulates everything and audits every
+    ///   class member against its representative, reporting divergences
+    ///   in [`CollapseSummary::violations`].
+    /// * [`CollapseMode::Off`] ignores the certificate entirely.
+    ///
+    /// [`run`](Self::run) panics if the certificate does not bind this
+    /// campaign's machine and fault list; validate ahead of time with
+    /// [`CollapseCertificate::check`] to handle that case gracefully.
+    pub fn collapse(mut self, cert: &'a CollapseCertificate, mode: CollapseMode) -> Self {
+        self.collapse = Some((cert, mode));
+        self
     }
 
     /// Selects the fault-simulation engine. The default
@@ -299,9 +327,27 @@ impl<'a> FaultCampaign<'a> {
     }
 
     /// Runs the campaign on the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a certificate attached via [`collapse`](Self::collapse)
+    /// does not bind this campaign's `(machine, faults)` pair.
     pub fn run(&self) -> CampaignRun {
         let jobs = self.jobs;
         let shard_size = self.shard_size;
+        // Collapse setup: `Off` behaves exactly as if no certificate were
+        // attached; `On` swaps the simulated list for the class
+        // representatives (expanded back after the merge); `Verify`
+        // simulates everything and audits afterwards.
+        let collapse = self.collapse.filter(|&(_, mode)| mode != CollapseMode::Off);
+        if let Some((cert, _)) = collapse {
+            cert.check(self.golden, self.faults)
+                .expect("collapse certificate must bind this campaign");
+        }
+        let pruned: Option<Vec<Fault>> = collapse.and_then(|(cert, mode)| {
+            (mode == CollapseMode::On).then(|| cert.representative_faults(self.faults))
+        });
+        let sim_faults: &[Fault] = pruned.as_deref().unwrap_or(self.faults);
         let span = self.telemetry.as_ref().map(|t| t.span("campaign"));
         let t0 = Instant::now();
         // One golden simulation of the whole test set, memoized up front
@@ -326,7 +372,7 @@ impl<'a> FaultCampaign<'a> {
             (Some(trace), Engine::Packed) => Some(ReplayScript::build(trace, self.tests)),
             _ => None,
         };
-        let per_shard = run_sharded(self.faults, shard_size, jobs, |_, shard| {
+        let per_shard = run_sharded(sim_faults, shard_size, jobs, |_, shard| {
             // Spans are aggregated commutatively, so timing a shard from
             // a worker thread is trace-safe; events are not (see below).
             let _shard_span = span.as_ref().map(|s| s.child("shard"));
@@ -364,16 +410,60 @@ impl<'a> FaultCampaign<'a> {
             let stats = CampaignStats::tally(&outcomes);
             (outcomes, stats, shard_diff, shard_packed, st.elapsed())
         });
-        let mut outcomes = Vec::with_capacity(self.faults.len());
-        let mut stats = CampaignStats::default();
+        let mut outcomes = Vec::with_capacity(sim_faults.len());
         let mut diff = DiffStats::default();
         let mut packed = PackedStats::default();
         let mut timings = Vec::with_capacity(per_shard.len());
-        for (shard, (shard_outcomes, shard_stats, shard_diff, shard_packed, wall)) in
+        for (shard, (shard_outcomes, _, shard_diff, shard_packed, wall)) in
             per_shard.into_iter().enumerate()
         {
-            // Serial merge loop in shard order: the only place events are
-            // recorded, which keeps the trace byte-stable across `jobs`.
+            // Timings describe the shards actually executed — under
+            // `--collapse on` that is the pruned representative list, not
+            // the full fault universe.
+            timings.push(ShardTiming {
+                shard,
+                faults: shard_outcomes.len(),
+                wall,
+            });
+            diff.merge(&shard_diff);
+            packed.merge(&shard_packed);
+            outcomes.extend(shard_outcomes);
+        }
+        // Expand per-representative outcomes back to the full fault list
+        // (a no-op unless `--collapse on`).
+        let (outcomes, summary) = match collapse {
+            Some((cert, CollapseMode::On)) => (
+                cert.expand_outcomes(self.faults, &outcomes),
+                Some(CollapseSummary {
+                    mode: CollapseMode::On,
+                    classes: cert.num_classes(),
+                    collapsed_faults: cert.collapsed_faults(),
+                    violations: Vec::new(),
+                }),
+            ),
+            Some((cert, CollapseMode::Verify)) => {
+                let violations = cert.violations(&outcomes);
+                (
+                    outcomes,
+                    Some(CollapseSummary {
+                        mode: CollapseMode::Verify,
+                        classes: cert.num_classes(),
+                        collapsed_faults: 0,
+                        violations,
+                    }),
+                )
+            }
+            _ => (outcomes, None),
+        };
+        // Stats and shard events are derived from the *expanded* outcomes
+        // under the full fault list's shard partition — the serial,
+        // shard-ordered loop below is the only place events are recorded,
+        // which keeps the trace byte-stable across `jobs` and makes the
+        // merged stats and event stream bit-identical between
+        // `--collapse on` and `off` for a sound certificate.
+        let mut stats = CampaignStats::default();
+        for (shard, chunk) in outcomes.chunks(shard_size).enumerate() {
+            let shard_stats = CampaignStats::tally(chunk);
             if let Some(tel) = &self.telemetry {
                 tel.event(
                     "campaign.shard",
@@ -387,15 +477,7 @@ impl<'a> FaultCampaign<'a> {
                     ],
                 );
             }
-            timings.push(ShardTiming {
-                shard,
-                faults: shard_outcomes.len(),
-                wall,
-            });
             stats.merge(&shard_stats);
-            diff.merge(&shard_diff);
-            packed.merge(&shard_packed);
-            outcomes.extend(shard_outcomes);
         }
         if let Some(tel) = &self.telemetry {
             tel.counter_add("campaign.faults_simulated", stats.faults_simulated as u64);
@@ -433,6 +515,22 @@ impl<'a> FaultCampaign<'a> {
                     packed.lanes_active as u64,
                 );
             }
+            // Collapse accounting, only when a certificate was active —
+            // plain runs carry no collapse counters at all, so their
+            // traces are unchanged by this feature existing.
+            if let Some(summary) = &summary {
+                tel.counter_add(
+                    simcov_obs::names::CAMPAIGN_COLLAPSED_FAULTS,
+                    summary.collapsed_faults as u64,
+                );
+                tel.counter_add(simcov_obs::names::CAMPAIGN_CLASSES, summary.classes as u64);
+                if summary.mode == CollapseMode::Verify {
+                    tel.counter_add(
+                        simcov_obs::names::CAMPAIGN_COLLAPSE_VIOLATIONS,
+                        summary.violations.len() as u64,
+                    );
+                }
+            }
         }
         drop(span);
         CampaignRun {
@@ -443,6 +541,7 @@ impl<'a> FaultCampaign<'a> {
             wall: t0.elapsed(),
             diff,
             packed,
+            collapse: summary,
         }
     }
 }
@@ -721,6 +820,197 @@ mod tests {
         assert_eq!(
             snap.counter(simcov_obs::names::CAMPAIGN_DIVERGENCE_REPLAYS),
             Some(run.diff.divergence_replays as u64)
+        );
+    }
+
+    fn singleton_cert(m: &ExplicitMealy, faults: &[Fault]) -> crate::CollapseCertificate {
+        let class_of: Vec<u32> = (0..faults.len() as u32).collect();
+        let kinds = vec![crate::ClassKind::Singleton; faults.len()];
+        crate::CollapseCertificate::new(m, faults, class_of, kinds, Vec::new()).unwrap()
+    }
+
+    /// One state, one input, three outputs: the two effective output
+    /// faults at the single cell are genuinely equivalent (both detected
+    /// at the first vector), so collapsing them is sound and actually
+    /// prunes work.
+    fn output_pair_fixture() -> (
+        ExplicitMealy,
+        Vec<Fault>,
+        TestSet,
+        crate::CollapseCertificate,
+    ) {
+        use simcov_fsm::MealyBuilder;
+        let mut b = MealyBuilder::new();
+        let s0 = b.add_state("s0");
+        let i0 = b.add_input("i0");
+        let o0 = b.add_output("o0");
+        let o1 = b.add_output("o1");
+        let o2 = b.add_output("o2");
+        b.add_transition(s0, i0, s0, o0);
+        let m = b.build(s0).unwrap();
+        let faults = vec![
+            Fault {
+                state: s0,
+                input: i0,
+                kind: crate::FaultKind::Output { new_output: o1 },
+            },
+            Fault {
+                state: s0,
+                input: i0,
+                kind: crate::FaultKind::Output { new_output: o2 },
+            },
+        ];
+        let tests = TestSet::single(vec![i0, i0]);
+        let cert = crate::CollapseCertificate::new(
+            &m,
+            &faults,
+            vec![0, 0],
+            vec![crate::ClassKind::Output],
+            Vec::new(),
+        )
+        .unwrap();
+        assert_eq!(cert.collapsed_faults(), 1);
+        (m, faults, tests, cert)
+    }
+
+    #[test]
+    fn collapse_on_matches_off_and_prunes_work() {
+        let (m, faults, tests, cert) = output_pair_fixture();
+        let off = FaultCampaign::new(&m, &faults, &tests).jobs(1).run();
+        for jobs in [1, 2, 8] {
+            let on = FaultCampaign::new(&m, &faults, &tests)
+                .jobs(jobs)
+                .collapse(&cert, CollapseMode::On)
+                .run();
+            assert_eq!(on.report, off.report, "jobs={jobs}");
+            assert_eq!(on.stats, off.stats, "jobs={jobs}");
+            let summary = on.collapse.expect("collapse run carries a summary");
+            assert_eq!(summary.mode, CollapseMode::On);
+            assert_eq!(summary.classes, 1);
+            assert_eq!(summary.collapsed_faults, 1);
+            assert!(summary.violations.is_empty());
+            // Only the representative was simulated.
+            let simulated: usize = on.timings.iter().map(|t| t.faults).sum();
+            assert_eq!(simulated, 1, "jobs={jobs}");
+        }
+        assert!(off.collapse.is_none(), "plain runs carry no summary");
+    }
+
+    #[test]
+    fn collapse_on_with_singletons_is_a_noop() {
+        let (m, faults, tests) = fixture();
+        let cert = singleton_cert(&m, &faults);
+        let off = FaultCampaign::new(&m, &faults, &tests).jobs(2).run();
+        let on = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .collapse(&cert, CollapseMode::On)
+            .run();
+        assert_eq!(on.report, off.report);
+        assert_eq!(on.stats, off.stats);
+        assert_eq!(on.collapse.unwrap().collapsed_faults, 0);
+        // Off mode ignores the certificate entirely.
+        let explicit_off = FaultCampaign::new(&m, &faults, &tests)
+            .jobs(2)
+            .collapse(&cert, CollapseMode::Off)
+            .run();
+        assert!(explicit_off.collapse.is_none());
+        assert_eq!(explicit_off.report, off.report);
+    }
+
+    #[test]
+    fn collapse_verify_passes_sound_and_catches_bogus_certificates() {
+        let (m, faults, tests) = fixture();
+        let sound = singleton_cert(&m, &faults);
+        let run = FaultCampaign::new(&m, &faults, &tests)
+            .collapse(&sound, CollapseMode::Verify)
+            .run();
+        let summary = run.collapse.unwrap();
+        assert_eq!(summary.mode, CollapseMode::Verify);
+        assert!(summary.violations.is_empty(), "singletons are always sound");
+        // A structurally valid but semantically bogus certificate: the
+        // fixture's faults do not all share one outcome, so lumping them
+        // into one class must produce violations.
+        let bogus = crate::CollapseCertificate::new(
+            &m,
+            &faults,
+            vec![0; faults.len()],
+            vec![crate::ClassKind::Singleton],
+            Vec::new(),
+        )
+        .unwrap();
+        let run = FaultCampaign::new(&m, &faults, &tests)
+            .collapse(&bogus, CollapseMode::Verify)
+            .run();
+        let summary = run.collapse.unwrap();
+        assert!(!summary.violations.is_empty(), "bogus class must be caught");
+        // Verify never prunes: the report is the full, honest one.
+        let off = FaultCampaign::new(&m, &faults, &tests).run();
+        assert_eq!(run.report, off.report);
+    }
+
+    #[test]
+    #[should_panic(expected = "collapse certificate must bind this campaign")]
+    fn collapse_rejects_stale_certificate() {
+        let (m, faults, tests) = fixture();
+        let cert = singleton_cert(&m, &faults[1..]);
+        let _ = FaultCampaign::new(&m, &faults, &tests)
+            .collapse(&cert, CollapseMode::On)
+            .run();
+    }
+
+    #[test]
+    fn collapse_trace_is_byte_identical_across_thread_counts() {
+        let (m, faults, tests) = fixture();
+        let cert = singleton_cert(&m, &faults);
+        let traces: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&jobs| {
+                let tel = Telemetry::new();
+                let run = FaultCampaign::new(&m, &faults, &tests)
+                    .jobs(jobs)
+                    .collapse(&cert, CollapseMode::On)
+                    .telemetry(tel.clone())
+                    .run();
+                let snap = tel.snapshot();
+                let summary = run.collapse.unwrap();
+                assert_eq!(
+                    snap.counter(simcov_obs::names::CAMPAIGN_CLASSES),
+                    Some(summary.classes as u64)
+                );
+                assert_eq!(
+                    snap.counter(simcov_obs::names::CAMPAIGN_COLLAPSED_FAULTS),
+                    Some(summary.collapsed_faults as u64)
+                );
+                // Shard events describe the full fault universe, not the
+                // pruned list.
+                assert_eq!(snap.events.len(), run.stats.shards);
+                snap.to_jsonl()
+            })
+            .collect();
+        assert_eq!(traces[0], traces[1]);
+        assert_eq!(traces[0], traces[2]);
+        simcov_obs::verify_trace(&traces[0]).expect("trace verifies");
+    }
+
+    #[test]
+    fn collapse_on_shard_events_match_off_mode() {
+        let (m, faults, tests, cert) = output_pair_fixture();
+        let events = |collapsed: bool| {
+            let tel = Telemetry::new();
+            let mut c = FaultCampaign::new(&m, &faults, &tests)
+                .jobs(2)
+                .telemetry(tel.clone());
+            if collapsed {
+                c = c.collapse(&cert, CollapseMode::On);
+            }
+            c.run();
+            let snap = tel.snapshot();
+            snap.events.clone()
+        };
+        assert_eq!(
+            events(true),
+            events(false),
+            "shard events are derived from the expanded outcomes"
         );
     }
 

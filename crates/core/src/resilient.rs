@@ -53,6 +53,7 @@
 //! block is self-checking (`crc` over its bytes) and shards are verified
 //! fault-by-fault against the expected fault list on load.
 
+use crate::collapse::{CollapseCertificate, CollapseMode, CollapseSummary};
 use crate::differential::{simulate_fault_differential, DiffStats, Engine, GoldenTrace};
 use crate::error_model::{Fault, FaultKind};
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
@@ -95,6 +96,13 @@ pub enum CampaignError {
         /// What disagreed.
         detail: String,
     },
+    /// The collapse certificate does not bind this campaign's machine and
+    /// fault list (stale or tampered) — pruning with it would expand
+    /// garbage.
+    Certificate {
+        /// What disagreed.
+        detail: crate::collapse::CertificateError,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -108,6 +116,9 @@ impl fmt::Display for CampaignError {
                 "checkpoint journal {} does not match this campaign: {detail}",
                 path.display()
             ),
+            CampaignError::Certificate { detail } => {
+                write!(f, "collapse certificate rejected: {detail}")
+            }
         }
     }
 }
@@ -122,46 +133,16 @@ impl std::error::Error for CampaignError {}
 use simcov_obs::fnv::Fnv64 as Fnv;
 
 /// Fingerprints everything the deterministic result depends on: machine
-/// transition table, fault list, test set and shard partition.
+/// transition table, fault list, test set and shard partition. The
+/// component encodings live in [`crate::fingerprint`] (shared with the
+/// collapse certificate and the report fingerprints); the concatenation
+/// order here is the journal's original one, so journal fingerprints are
+/// unchanged.
 fn fingerprint(m: &ExplicitMealy, faults: &[Fault], tests: &TestSet, shard_size: usize) -> u64 {
     let mut h = Fnv::new();
-    h.u64(m.num_states() as u64);
-    h.u64(m.num_inputs() as u64);
-    h.u64(m.num_outputs() as u64);
-    h.u64(u64::from(m.reset().0));
-    for s in m.states() {
-        for i in m.inputs() {
-            match m.step(s, i) {
-                Some((n, o)) => {
-                    h.u64(u64::from(n.0));
-                    h.u64(u64::from(o.0));
-                }
-                None => h.u64(u64::MAX),
-            }
-        }
-    }
-    h.u64(faults.len() as u64);
-    for f in faults {
-        h.u64(u64::from(f.state.0));
-        h.u64(u64::from(f.input.0));
-        match f.kind {
-            FaultKind::Transfer { new_next } => {
-                h.u64(1);
-                h.u64(u64::from(new_next.0));
-            }
-            FaultKind::Output { new_output } => {
-                h.u64(2);
-                h.u64(u64::from(new_output.0));
-            }
-        }
-    }
-    h.u64(tests.sequences.len() as u64);
-    for seq in &tests.sequences {
-        h.u64(seq.len() as u64);
-        for sym in seq {
-            h.u64(u64::from(sym.0));
-        }
-    }
+    crate::fingerprint::hash_machine(&mut h, m);
+    crate::fingerprint::hash_faults(&mut h, faults);
+    crate::fingerprint::hash_tests(&mut h, tests);
     h.u64(shard_size as u64);
     h.finish()
 }
@@ -806,6 +787,9 @@ pub struct ResilientRun {
     /// Word-packing effort counters over freshly simulated shards (zero
     /// unless the run used [`Engine::Packed`]); same caveats as `diff`.
     pub packed: PackedStats,
+    /// Collapse accounting when the run consumed a certificate (`None`
+    /// for plain runs and [`CollapseMode::Off`]).
+    pub collapse: Option<CollapseSummary>,
 }
 
 enum ShardState {
@@ -844,6 +828,7 @@ pub struct ResilientCampaign<'a> {
     resume: bool,
     engine: Engine,
     telemetry: Option<Telemetry>,
+    collapse: Option<(&'a CollapseCertificate, CollapseMode)>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::ChaosPlan>,
 }
@@ -865,9 +850,33 @@ impl<'a> ResilientCampaign<'a> {
             resume: false,
             engine: Engine::default(),
             telemetry: None,
+            collapse: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
+    }
+
+    /// Attaches a [`CollapseCertificate`], as for
+    /// [`FaultCampaign::collapse`](crate::FaultCampaign::collapse).
+    ///
+    /// Under [`CollapseMode::On`] the supervisor runs over the *pruned*
+    /// representative list — sharding, checkpoint journal, retries and
+    /// cancellation all see pruned reality (and the journal fingerprint
+    /// covers the pruned fault list, so collapsed and uncollapsed
+    /// checkpoints can never be cross-resumed). On a complete run the
+    /// outcomes are expanded and the merged stats recomputed over the full
+    /// fault list's shard partition, so `report`/`stats` are bit-identical
+    /// to an uncollapsed run (for a sound certificate); on a partial run
+    /// only classes whose representative completed are expanded, and the
+    /// coverage bounds account for the rest. Telemetry counters and shard
+    /// events describe the pruned work actually performed.
+    ///
+    /// Under [`CollapseMode::Verify`] everything is simulated; the audit
+    /// runs only when the campaign completes (an incomplete report cannot
+    /// be audited — a journal note records the skip).
+    pub fn collapse(mut self, cert: &'a CollapseCertificate, mode: CollapseMode) -> Self {
+        self.collapse = Some((cert, mode));
+        self
     }
 
     /// Selects the fault-simulation engine, as for
@@ -970,14 +979,144 @@ impl<'a> ResilientCampaign<'a> {
     /// # Errors
     ///
     /// [`CampaignError`] only for unrecoverable checkpoint problems
-    /// (unreadable journal, journal of a different campaign). Everything
-    /// else — panics, truncation, failed checkpoint writes — degrades
-    /// into the [`ResilientRun`] accounting.
+    /// (unreadable journal, journal of a different campaign) or a collapse
+    /// certificate that does not bind this campaign. Everything else —
+    /// panics, truncation, failed checkpoint writes — degrades into the
+    /// [`ResilientRun`] accounting.
     pub fn run(&self) -> Result<ResilientRun, CampaignError> {
+        let collapse = self.collapse.filter(|&(_, mode)| mode != CollapseMode::Off);
+        let Some((cert, mode)) = collapse else {
+            return self.run_inner(self.faults);
+        };
+        cert.check(self.golden, self.faults)
+            .map_err(|detail| CampaignError::Certificate { detail })?;
+        match mode {
+            CollapseMode::On => {
+                let pruned = cert.representative_faults(self.faults);
+                let mut run = self.run_inner(&pruned)?;
+                self.expand_run(&mut run, cert, &pruned);
+                Ok(run)
+            }
+            _ => {
+                let mut run = self.run_inner(self.faults)?;
+                let violations = if run.is_complete {
+                    cert.violations(&run.report.outcomes)
+                } else {
+                    run.journal_notes
+                        .push("collapse: verify audit skipped (run incomplete)".to_string());
+                    Vec::new()
+                };
+                if let Some(tel) = &self.telemetry {
+                    tel.counter_add(simcov_obs::names::CAMPAIGN_COLLAPSED_FAULTS, 0);
+                    tel.counter_add(
+                        simcov_obs::names::CAMPAIGN_CLASSES,
+                        cert.num_classes() as u64,
+                    );
+                    tel.counter_add(
+                        simcov_obs::names::CAMPAIGN_COLLAPSE_VIOLATIONS,
+                        violations.len() as u64,
+                    );
+                }
+                run.collapse = Some(CollapseSummary {
+                    mode: CollapseMode::Verify,
+                    classes: cert.num_classes(),
+                    collapsed_faults: 0,
+                    violations,
+                });
+                Ok(run)
+            }
+        }
+    }
+
+    /// Post-processes a pruned [`CollapseMode::On`] run back onto the
+    /// full fault universe: expands the outcomes of every class whose
+    /// representative completed, recomputes the merged stats (over the
+    /// full shard partition when complete, so they are bit-identical to an
+    /// uncollapsed run) and rebases the coverage bounds on the full fault
+    /// count.
+    fn expand_run(&self, run: &mut ResilientRun, cert: &CollapseCertificate, pruned: &[Fault]) {
+        let incomplete: std::collections::HashSet<usize> = run
+            .failures
+            .iter()
+            .map(|f| f.shard)
+            .chain(run.skipped.iter().copied())
+            .collect();
+        // Walk the pruned shard partition; completed shards' outcomes sit
+        // concatenated in `run.report` in shard order (gaps omitted).
+        let mut expanded: Vec<Option<FaultOutcome>> = vec![None; self.faults.len()];
+        let mut rep_outcomes = run.report.outcomes.iter();
+        let mut completed_shards = 0usize;
+        for (shard, chunk) in pruned.chunks(self.shard_size).enumerate() {
+            let lo = shard * self.shard_size;
+            if incomplete.contains(&shard) {
+                continue;
+            }
+            completed_shards += 1;
+            for class in lo..lo + chunk.len() {
+                let rep = rep_outcomes
+                    .next()
+                    .expect("one completed outcome per representative");
+                for &member in cert.members(class as u32) {
+                    expanded[member as usize] = Some(FaultOutcome {
+                        fault: self.faults[member as usize],
+                        detected: rep.detected,
+                        excited: rep.excited,
+                        masked_somewhere: rep.masked_somewhere,
+                    });
+                }
+            }
+        }
+        let outcomes: Vec<FaultOutcome> = expanded.into_iter().flatten().collect();
+        let stats = if run.is_complete {
+            // Complete: re-derive the stats from the full fault list's
+            // shard partition — bit-identical to an uncollapsed run.
+            let mut stats = CampaignStats::default();
+            for chunk in outcomes.chunks(self.shard_size) {
+                stats.merge(&CampaignStats::tally(chunk));
+            }
+            stats
+        } else {
+            // Partial: one honest tally over what the certificate lets us
+            // conclude; `shards` counts the pruned shards that completed.
+            let mut stats = CampaignStats::tally(&outcomes);
+            stats.shards = completed_shards;
+            stats
+        };
+        let detected_lo = stats.detected;
+        let unsimulated = self.faults.len() - outcomes.len();
+        run.report = CampaignReport { outcomes };
+        run.stats = stats;
+        run.bounds = CoverageBounds {
+            detected_lo,
+            detected_hi: detected_lo + unsimulated,
+            total_faults: self.faults.len(),
+        };
+        run.total_faults = self.faults.len();
+        if let Some(tel) = &self.telemetry {
+            tel.counter_add(
+                simcov_obs::names::CAMPAIGN_COLLAPSED_FAULTS,
+                cert.collapsed_faults() as u64,
+            );
+            tel.counter_add(
+                simcov_obs::names::CAMPAIGN_CLASSES,
+                cert.num_classes() as u64,
+            );
+        }
+        run.collapse = Some(CollapseSummary {
+            mode: CollapseMode::On,
+            classes: cert.num_classes(),
+            collapsed_faults: cert.collapsed_faults(),
+            violations: Vec::new(),
+        });
+    }
+
+    /// The supervision loop proper, over whatever fault list the collapse
+    /// mode selected (`self.faults`, or the pruned representatives).
+    fn run_inner(&self, sim_faults: &[Fault]) -> Result<ResilientRun, CampaignError> {
         let t0 = Instant::now();
-        let shards: Vec<&[Fault]> = self.faults.chunks(self.shard_size).collect();
+        let shards: Vec<&[Fault]> = sim_faults.chunks(self.shard_size).collect();
         let nshards = shards.len();
-        let fp = fingerprint(self.golden, self.faults, self.tests, self.shard_size);
+        let fp = fingerprint(self.golden, sim_faults, self.tests, self.shard_size);
 
         // Checkpoint setup: load restorable shards, then open for append.
         let mut restored: Vec<Option<RestoredShard>> = (0..nshards).map(|_| None).collect();
@@ -990,14 +1129,14 @@ impl<'a> ResilientCampaign<'a> {
                         fp,
                         nshards,
                         self.shard_size,
-                        self.faults.len(),
+                        sim_faults.len(),
                         &shards,
                     )?;
                     restored = loaded.shards;
                     notes.extend(loaded.notes);
                     JournalWriter::append(path)?
                 } else {
-                    JournalWriter::create(path, fp, self.faults.len(), nshards, self.shard_size)?
+                    JournalWriter::create(path, fp, sim_faults.len(), nshards, self.shard_size)?
                 };
                 Some(Mutex::new(writer))
             }
@@ -1122,7 +1261,7 @@ impl<'a> ResilientCampaign<'a> {
 
         // Merge in shard order: restored and fresh shards interleave into
         // exactly the partition a clean run produces.
-        let mut outcomes = Vec::with_capacity(self.faults.len());
+        let mut outcomes = Vec::with_capacity(sim_faults.len());
         let mut stats = CampaignStats::default();
         let mut diff = DiffStats::default();
         let mut packed = PackedStats::default();
@@ -1234,7 +1373,7 @@ impl<'a> ResilientCampaign<'a> {
         }
         drop(span);
         let detected_lo = stats.detected;
-        let unsimulated = self.faults.len() - stats.faults_simulated;
+        let unsimulated = sim_faults.len() - stats.faults_simulated;
         Ok(ResilientRun {
             report: CampaignReport { outcomes },
             stats,
@@ -1247,14 +1386,15 @@ impl<'a> ResilientCampaign<'a> {
             bounds: CoverageBounds {
                 detected_lo,
                 detected_hi: detected_lo + unsimulated,
-                total_faults: self.faults.len(),
+                total_faults: sim_faults.len(),
             },
-            total_faults: self.faults.len(),
+            total_faults: sim_faults.len(),
             total_shards: nshards,
             jobs: self.jobs,
             wall: t0.elapsed(),
             diff,
             packed,
+            collapse: None,
         })
     }
 
@@ -2051,6 +2191,157 @@ mod tests {
             assert!(resumed.restored_shards < resumed.total_shards);
             assert_eq!(resumed.stats, clean.stats);
             assert_eq!(resumed.report, clean.report);
+        }
+    }
+
+    mod collapse_modes {
+        use super::*;
+        use crate::{ClassKind, CollapseCertificate, CollapseMode};
+
+        fn singleton_cert(m: &ExplicitMealy, faults: &[Fault]) -> CollapseCertificate {
+            let class_of: Vec<u32> = (0..faults.len() as u32).collect();
+            let kinds = vec![ClassKind::Singleton; faults.len()];
+            CollapseCertificate::new(m, faults, class_of, kinds, Vec::new()).unwrap()
+        }
+
+        #[test]
+        fn collapse_on_complete_matches_uncollapsed() {
+            let (m, faults, tests) = fixture();
+            let cert = singleton_cert(&m, &faults);
+            let off = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(2)
+                .run()
+                .unwrap();
+            for jobs in [1, 2, 8] {
+                let on = ResilientCampaign::new(&m, &faults, &tests)
+                    .jobs(jobs)
+                    .collapse(&cert, CollapseMode::On)
+                    .run()
+                    .unwrap();
+                assert!(on.is_complete);
+                assert_eq!(on.report, off.report, "jobs={jobs}");
+                assert_eq!(on.stats, off.stats, "jobs={jobs}");
+                assert_eq!(on.bounds, off.bounds, "jobs={jobs}");
+                let summary = on.collapse.expect("collapse run carries a summary");
+                assert_eq!(summary.collapsed_faults, 0, "singletons prune nothing");
+            }
+            assert!(off.collapse.is_none());
+        }
+
+        #[test]
+        fn collapse_on_partial_bounds_cover_the_full_universe() {
+            let (m, faults, tests) = fixture();
+            let cert = singleton_cert(&m, &faults);
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .jobs(1)
+                .shard_size(5)
+                .deadline(Duration::ZERO)
+                .collapse(&cert, CollapseMode::On)
+                .run()
+                .unwrap();
+            assert!(!run.is_complete);
+            assert_eq!(run.stopped, Some(StopReason::Deadline));
+            assert!(run.report.outcomes.is_empty());
+            assert_eq!(run.total_faults, faults.len());
+            assert_eq!(run.bounds.total_faults, faults.len());
+            assert_eq!(run.bounds.detected_hi, faults.len());
+        }
+
+        #[test]
+        fn collapse_verify_audits_complete_runs() {
+            let (m, faults, tests) = fixture();
+            let sound = singleton_cert(&m, &faults);
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .collapse(&sound, CollapseMode::Verify)
+                .run()
+                .unwrap();
+            assert!(run.is_complete);
+            let summary = run.collapse.unwrap();
+            assert!(summary.violations.is_empty());
+            // A bogus one-big-class certificate is caught.
+            let bogus = CollapseCertificate::new(
+                &m,
+                &faults,
+                vec![0; faults.len()],
+                vec![ClassKind::Singleton],
+                Vec::new(),
+            )
+            .unwrap();
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .collapse(&bogus, CollapseMode::Verify)
+                .run()
+                .unwrap();
+            assert!(!run.collapse.unwrap().violations.is_empty());
+        }
+
+        #[test]
+        fn collapse_verify_skips_audit_on_incomplete_runs() {
+            let (m, faults, tests) = fixture();
+            let cert = singleton_cert(&m, &faults);
+            let run = ResilientCampaign::new(&m, &faults, &tests)
+                .deadline(Duration::ZERO)
+                .collapse(&cert, CollapseMode::Verify)
+                .run()
+                .unwrap();
+            assert!(!run.is_complete);
+            let summary = run.collapse.unwrap();
+            assert!(summary.violations.is_empty());
+            assert!(
+                run.journal_notes
+                    .iter()
+                    .any(|n| n.contains("verify audit skipped")),
+                "{:?}",
+                run.journal_notes
+            );
+        }
+
+        #[test]
+        fn stale_certificate_is_a_campaign_error() {
+            let (m, faults, tests) = fixture();
+            let cert = singleton_cert(&m, &faults[1..]);
+            let err = ResilientCampaign::new(&m, &faults, &tests)
+                .collapse(&cert, CollapseMode::On)
+                .run()
+                .unwrap_err();
+            assert!(matches!(err, CampaignError::Certificate { .. }), "{err}");
+        }
+
+        #[test]
+        fn collapsed_and_uncollapsed_journals_never_cross_resume() {
+            let (m, faults, tests) = fixture();
+            let path = temp_path("collapse_cross");
+            let _cleanup = Cleanup(path.clone());
+            // Journal a plain run, then try to resume it collapsed: even
+            // though singleton pruning keeps the same fault list length,
+            // an *actually pruning* certificate would not — and the
+            // fingerprint guards both cases. Exercise it with a genuinely
+            // pruned list: two faults in one class.
+            let merged = CollapseCertificate::new(
+                &m,
+                &faults,
+                std::iter::once(0u32)
+                    .chain(std::iter::once(0u32))
+                    .chain(1..faults.len() as u32 - 1)
+                    .collect(),
+                vec![ClassKind::Singleton; faults.len() - 1],
+                Vec::new(),
+            )
+            .unwrap();
+            assert_eq!(merged.collapsed_faults(), 1);
+            ResilientCampaign::new(&m, &faults, &tests)
+                .checkpoint(&path)
+                .run()
+                .unwrap();
+            let err = ResilientCampaign::new(&m, &faults, &tests)
+                .checkpoint(&path)
+                .resume(true)
+                .collapse(&merged, CollapseMode::On)
+                .run()
+                .unwrap_err();
+            assert!(
+                matches!(err, CampaignError::JournalMismatch { .. }),
+                "{err}"
+            );
         }
     }
 }

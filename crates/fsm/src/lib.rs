@@ -48,6 +48,7 @@ mod input_classes;
 mod minimize;
 mod packed;
 mod product;
+pub mod refine;
 mod symbolic;
 
 pub use enumerate::{enumerate_netlist, EnumerateError, EnumerateOptions};
@@ -58,4 +59,5 @@ pub use input_classes::{input_equivalence_classes, InputClasses};
 pub use minimize::{minimize, Minimized};
 pub use packed::{LanePatch, PackedMealy, LANES, UNDEFINED_NARROW, UNDEFINED_RECORD};
 pub use product::{forall_k_symbolic, PairAnalysisResult, PairFsm};
+pub use refine::{partition_by_rows, refine_partition, Partition};
 pub use symbolic::{CoverageAccumulator, ReachResult, SymbolicFsm, SymbolicStats};

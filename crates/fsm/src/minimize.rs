@@ -10,6 +10,7 @@
 //! precisely the interaction state the outputs fail to expose.
 
 use crate::explicit::{ExplicitMealy, InputSym, MealyBuilder, StateId};
+use crate::refine::{partition_by_rows, refine_partition};
 use std::collections::HashMap;
 
 /// Result of [`minimize`].
@@ -76,45 +77,22 @@ pub fn minimize(m: &ExplicitMealy) -> Minimized {
             out[si * ni + i] = o.0;
         }
     }
-    // Initial partition: by output row.
-    let mut class = vec![0u32; n];
-    {
-        let mut seen: HashMap<&[u32], u32> = HashMap::new();
-        for s in 0..n {
-            let row = &out[s * ni..(s + 1) * ni];
-            let next_id = seen.len() as u32;
-            class[s] = *seen.entry(row).or_insert(next_id);
+    // Initial partition by output row, refined to the coarsest congruence
+    // of the successor structure by the shared fixpoint loop. With an
+    // empty alphabet no observation separates any state.
+    let refined = if ni == 0 {
+        crate::refine::Partition {
+            class_of: vec![0u32; n],
+            num_classes: u32::from(n > 0),
         }
-    }
-    // Refine: signature = (class, successor classes). The signature
-    // includes the current class, so classes only ever split; the
-    // partition is stable when the class count stops growing.
-    loop {
-        let before = 1 + class.iter().copied().max().unwrap_or(0);
-        let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
-        let mut next_class = vec![0u32; n];
-        for s in 0..n {
-            let mut sig = Vec::with_capacity(ni + 1);
-            sig.push(class[s]);
-            for i in 0..ni {
-                sig.push(class[succ[s * ni + i]]);
-            }
-            let next_id = seen.len() as u32;
-            next_class[s] = *seen.entry(sig).or_insert(next_id);
-        }
-        let after = seen.len() as u32;
-        class = next_class;
-        if after == before {
-            break;
-        }
-    }
+    } else {
+        let succ_u32: Vec<u32> = succ.iter().map(|&s| s as u32).collect();
+        let initial = partition_by_rows(&out, ni);
+        refine_partition(&initial.class_of, ni, &succ_u32)
+    };
+    let class = refined.class_of;
     // Build the quotient machine.
-    let num_classes = class
-        .iter()
-        .copied()
-        .max()
-        .map(|m| m as usize + 1)
-        .unwrap_or(0);
+    let num_classes = refined.num_classes as usize;
     let mut b = MealyBuilder::new();
     for c in 0..num_classes {
         // Label with a representative original state.

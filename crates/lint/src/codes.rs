@@ -5,7 +5,10 @@
 //!
 //! * `SC001`–`SC019` — **model lints** over explicit Mealy machines;
 //! * `SC020`–`SC039` — **netlist lints** over sequential circuits;
-//! * `SC040`–`SC049` — **abstraction lints** over quotient maps.
+//! * `SC040`–`SC049` — **abstraction lints** over quotient maps;
+//! * `SC050`–`SC059` — **collapse-analysis lints** over fault-equivalence
+//!   partitions (the passes live in `simcov-analyze`; the codes are
+//!   registered here so policy and documentation stay in one registry).
 //!
 //! Codes are never renumbered or reused once published; retired checks
 //! leave a hole.
@@ -211,9 +214,37 @@ pub static SC042_OVER_ABSTRACTION: LintCode = LintCode {
     paper_ref: "Requirement 1 / Sec 6.3 (the measure of having abstracted too much)",
 };
 
+/// SC050 — a transfer-fault cell exceeded the refinement budget.
+pub static SC050_COLLAPSE_AMBIGUITY: LintCode = LintCode {
+    code: "SC050",
+    name: "collapse-ambiguity",
+    default_severity: Severity::Warn,
+    summary:
+        "transfer-fault bisimulation exceeded the node budget; the cell's faults stay singletons",
+    paper_ref: "Defs 1-4 (static equivalence over the output/transfer error model)",
+};
+
+/// SC051 — a class of ineffective (no-op) faults.
+pub static SC051_INEFFECTIVE_FAULT_CLASS: LintCode = LintCode {
+    code: "SC051",
+    name: "ineffective-fault-class",
+    default_severity: Severity::Warn,
+    summary: "fault class is a no-op (patched machine equals the golden machine); never detectable",
+    paper_ref: "Defs 1/3 (an error must change an output or a destination)",
+};
+
+/// SC052 — faults targeting unreachable states.
+pub static SC052_UNREACHABLE_FAULT_CLASS: LintCode = LintCode {
+    code: "SC052",
+    name: "unreachable-fault-class",
+    default_severity: Severity::Warn,
+    summary: "faults on unreachable states can never be excited, detected or masked",
+    paper_ref: "Sec 5 (tours exercise only the reachable transition graph)",
+};
+
 /// Every registered code, in numeric order.
 pub fn all_codes() -> &'static [&'static LintCode] {
-    static ALL: [&LintCode; 22] = [
+    static ALL: [&LintCode; 25] = [
         &SC001_UNREACHABLE_STATE,
         &SC002_INCOMPLETE_ALPHABET,
         &SC003_MALFORMED_MACHINE,
@@ -236,6 +267,9 @@ pub fn all_codes() -> &'static [&'static LintCode] {
         &SC040_QUOTIENT_WIDTH_MISMATCH,
         &SC041_NON_HOMOMORPHIC_MAP,
         &SC042_OVER_ABSTRACTION,
+        &SC050_COLLAPSE_AMBIGUITY,
+        &SC051_INEFFECTIVE_FAULT_CLASS,
+        &SC052_UNREACHABLE_FAULT_CLASS,
     ];
     &ALL
 }

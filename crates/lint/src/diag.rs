@@ -264,6 +264,7 @@ pub struct Diagnostics {
     config: LintConfig,
     items: Vec<Diagnostic>,
     suppressed: usize,
+    fingerprint: Option<u64>,
 }
 
 impl Diagnostics {
@@ -273,6 +274,7 @@ impl Diagnostics {
             config,
             items: Vec::new(),
             suppressed: 0,
+            fingerprint: None,
         }
     }
 
@@ -368,11 +370,28 @@ impl Diagnostics {
         });
     }
 
+    /// Binds the report to the linted artifact's FNV-64 fingerprint (the
+    /// machine fingerprint for enumerable models, the normalized-source
+    /// hash otherwise). Rendered by [`Diagnostics::render_json`] so two
+    /// reports are diffable — and cacheable — exactly when they describe
+    /// the same model under the same policy.
+    pub fn set_fingerprint(&mut self, fingerprint: u64) {
+        self.fingerprint = Some(fingerprint);
+    }
+
+    /// The bound artifact fingerprint, if one was set.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
     /// Merges another sink's findings into this one (used to combine the
     /// netlist, model and abstraction pass families into one report).
+    /// A fingerprint set on either side survives; `self`'s wins if both
+    /// are set.
     pub fn merge(&mut self, other: Diagnostics) {
         self.items.extend(other.items);
         self.suppressed += other.suppressed;
+        self.fingerprint = self.fingerprint.or(other.fingerprint);
     }
 
     /// Renders the human-readable report, one finding per line, notes
@@ -413,6 +432,9 @@ impl Diagnostics {
     pub fn render_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\"tool\":\"simcov-lint\",");
+        if let Some(fp) = self.fingerprint {
+            s.push_str(&format!("\"fingerprint\":\"{fp:#018x}\","));
+        }
         s.push_str(&format!(
             "\"deny\":{},\"warn\":{},\"allowed\":{},\"diagnostics\":[",
             self.deny_count(),
@@ -543,6 +565,30 @@ mod tests {
         assert!(json.contains("\"code\":\"SC999\""));
         assert!(json.contains("\"severity\":\"deny\""));
         assert!(json.contains("\"notes\":[\"context\"]"));
+    }
+
+    #[test]
+    fn fingerprint_renders_in_json_and_survives_merge() {
+        let mut d = Diagnostics::with_defaults();
+        assert_eq!(d.fingerprint(), None);
+        assert!(d
+            .render_json()
+            .starts_with("{\"tool\":\"simcov-lint\",\"deny\":"));
+        d.set_fingerprint(0xDEAD_BEEF);
+        assert!(d
+            .render_json()
+            .starts_with("{\"tool\":\"simcov-lint\",\"fingerprint\":\"0x00000000deadbeef\","));
+        // Merge: an unset side adopts the set side's fingerprint.
+        let mut plain = Diagnostics::with_defaults();
+        let mut stamped = Diagnostics::with_defaults();
+        stamped.set_fingerprint(7);
+        plain.merge(stamped);
+        assert_eq!(plain.fingerprint(), Some(7));
+        // ...and a set fingerprint is not overwritten.
+        let mut other = Diagnostics::with_defaults();
+        other.set_fingerprint(9);
+        plain.merge(other);
+        assert_eq!(plain.fingerprint(), Some(7));
     }
 
     #[test]

@@ -258,8 +258,12 @@ impl LintPass<ModelTarget<'_>> for ForallKDistinguishable {
         if t.k == 0 || !m.is_complete_on_reachable() {
             return;
         }
-        let d = simcov_core::forall_k_distinguishable(m, t.k, MAX_PAIR_WITNESSES)
-            .expect("completeness checked above");
+        // One shared level chain: the pair-relation sweep runs once and
+        // every witness (and any k ≤ t.k) is read off the memoized
+        // levels, instead of re-traversing the machine per witness.
+        let d = simcov_core::DistinguishLevels::build(m, t.k)
+            .expect("completeness checked above")
+            .analyze(t.k, MAX_PAIR_WITNESSES);
         if d.holds() {
             return;
         }

@@ -36,6 +36,20 @@ pub const CAMPAIGN_PACKED_WORDS: &str = "campaign.packed_words";
 /// `simcov_core::packed::PackedStats::lanes_active`).
 pub const CAMPAIGN_LANES_ACTIVE: &str = "campaign.lanes_active";
 
+/// Faults whose simulation was skipped because a collapse certificate
+/// proved them equivalent to an already-simulated class representative
+/// (`--collapse on`; see `simcov_core::collapse::CollapseCertificate`).
+pub const CAMPAIGN_COLLAPSED_FAULTS: &str = "campaign.collapsed_faults";
+
+/// Equivalence classes in the active collapse certificate (emitted only
+/// when a campaign runs with `--collapse on` or `--collapse verify`).
+pub const CAMPAIGN_CLASSES: &str = "campaign.classes";
+
+/// Class members whose simulated outcome diverged from their
+/// representative's under `--collapse verify` (0 for a sound
+/// certificate).
+pub const CAMPAIGN_COLLAPSE_VIOLATIONS: &str = "campaign.collapse_violations";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +62,9 @@ mod tests {
             CAMPAIGN_DIVERGENCE_REPLAYS,
             CAMPAIGN_PACKED_WORDS,
             CAMPAIGN_LANES_ACTIVE,
+            CAMPAIGN_COLLAPSED_FAULTS,
+            CAMPAIGN_CLASSES,
+            CAMPAIGN_COLLAPSE_VIOLATIONS,
         ] {
             assert!(n.starts_with("campaign."), "{n}");
         }
