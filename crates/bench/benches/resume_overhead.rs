@@ -3,9 +3,10 @@
 //! restoring half the shards from disk (journal parse + merge cost vs
 //! re-simulation). Byte-identity of all three reports is asserted
 //! unconditionally; the supervision-overhead bar keeps the journaled run
-//! within 4x of the plain engine (the durable journal fsyncs once per
-//! shard, which dominates on slow disks — the bar guards against
-//! accidental quadratic behaviour, not fsync cost).
+//! within 1.3x of the plain engine. Checkpoint records are serialized
+//! and written off the simulation thread (a dedicated journal writer
+//! drains a channel), so the simulation pays only the cost of handing
+//! off each shard's record — the bar guards that handoff staying cheap.
 //!
 //! All runs pin the *naive* simulation engine: the overhead ratio is
 //! only meaningful while simulation dominates wall time, and the
@@ -123,7 +124,8 @@ fn main() {
     rep.write().expect("write bench report");
 
     assert!(
-        overhead < 4.0,
-        "checkpoint journaling must stay under 4x of the plain engine, measured {overhead:.2}x"
+        overhead < 1.3,
+        "off-thread checkpoint journaling must stay under 1.3x of the plain engine, \
+         measured {overhead:.2}x"
     );
 }

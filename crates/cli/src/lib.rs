@@ -12,6 +12,8 @@
 //! simcov dlx <fig3a|fig3b|final|reduced>    export the case-study models
 //! simcov lint <model.blif>|--dlx <name>     coded static diagnostics
 //! simcov analyze <model.blif>|--dlx <name>  static fault collapsing
+//! simcov serve [--addr H:P] [--workers N]   multi-tenant job server
+//! simcov submit <addr> <jobs.jsonl>         submit jobs to a server
 //! ```
 //!
 //! Models are sequential BLIF files (the SIS interchange format; see
@@ -19,23 +21,28 @@
 //! `campaign`, `dot`) enumerate the model over its full input alphabet
 //! and are guarded to 16 primary inputs; `stats` and `distinguish` work
 //! symbolically and scale much further.
+//!
+//! The job-shaped subcommands (`campaign`, `tour`, `lint`, `analyze`)
+//! delegate to [`simcov_serve::jobs`], the execution layer shared with
+//! `simcov serve` — a served job and its single-shot subcommand run the
+//! same function, so their reports are byte-identical by construction.
+//! Exit codes follow the uniform [`ExitStatus`] contract: 0 ok, 1
+//! error, 2 usage, 3 valid-but-partial.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use simcov_analyze::{analyze_collapse, lint_analysis, AnalyzeOptions, AnalyzeTarget};
-use simcov_core::fingerprint::machine_fingerprint;
-use simcov_core::{
-    default_jobs, enumerate_single_faults, extend_cyclically, CollapseMode, Engine, FaultSpace,
-    ResilientCampaign,
-};
-use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PairFsm, SymbolicFsm};
+use simcov_core::Engine;
+use simcov_fsm::{ExplicitMealy, PairFsm, SymbolicFsm};
 use simcov_netlist::Netlist;
-use simcov_obs::fnv::Fnv64;
 use simcov_obs::Telemetry;
-use simcov_tour::{coverage, generate_tour_traced, TestSet, TourKind};
+use simcov_serve::jobs::{self, JobKind, JobSpec, ModelSource};
+use simcov_serve::{Client, ExecCtx, JobError, Server, ServerConfig};
+use simcov_tour::TourKind;
 use std::fmt::Write as _;
-use std::time::Duration;
+
+pub use simcov_serve::jobs::{AnalyzeOpts, CampaignOpts, SeverityOverrides};
+pub use simcov_serve::ExitStatus;
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -50,14 +57,23 @@ impl CliError {
     fn usage(message: impl Into<String>) -> Self {
         CliError {
             message: message.into(),
-            code: 2,
+            code: ExitStatus::Usage.code(),
         }
     }
 
     fn runtime(message: impl Into<String>) -> Self {
         CliError {
             message: message.into(),
-            code: 1,
+            code: ExitStatus::Error.code(),
+        }
+    }
+}
+
+impl From<JobError> for CliError {
+    fn from(e: JobError) -> Self {
+        CliError {
+            message: e.message,
+            code: e.status.code(),
         }
     }
 }
@@ -162,6 +178,11 @@ USAGE:
                  [--format text|json] [--deny C]... [--warn C]... [--allow C]...
                  [--trace-out <FILE>] [--metrics]
   simcov analyze --dlx <name> [same options]
+  simcov serve [--addr <HOST:PORT>] [--workers <N>] [--queue <N>] [--cache <N>]
+               [--max-retries <R>] [--seed <S>] [--audit-sample <N>]
+               [--journal <FILE>] [--resume] [--trace-out <FILE>]
+  simcov submit <addr> <jobs.jsonl> [--connections <N>] [--dump-dir <DIR>]
+                [--shutdown]
 
 OPTIONS:
   --jobs <J>    worker threads for the fault campaign (0 or omitted =
@@ -211,14 +232,41 @@ OPTIONS:
                 override the severity of lint code C (e.g. SC001 or
                 unreachable-state); repeatable, later flags win
   --format <F>  lint report format: text (default) or json
+  --addr <A>    serve: listen address (default 127.0.0.1:0; the chosen
+                port is printed as `listening HOST:PORT` on startup)
+  --queue <N>   serve: admission-queue capacity; a full queue rejects
+                with a retry-after hint instead of growing (default 256)
+  --cache <N>   serve: golden-trace cache capacity in traces, LRU
+                evicted (default 8)
+  --audit-sample <N>
+                serve: faults sampled per engine-equivalence audit; an
+                engine that disagrees with the naive oracle on the
+                sample is degraded packed → differential → naive
+                (0 disables auditing; default 8)
+  --journal <FILE>
+                serve: crash-safe server journal; admitted jobs are
+                fsynced before they are acknowledged
+  --resume      serve: recover admitted-but-unfinished jobs from
+                --journal FILE and re-run them before accepting new work
+  --connections <N>
+                submit: client connections to spread the jobs over
+                (default 1); results are printed in file order whatever
+                the interleaving
+  --dump-dir <DIR>
+                submit: also write each result to DIR/<id>.out with its
+                exit status in DIR/<id>.exit
+  --shutdown    submit: ask the server to drain and exit afterwards
 
-Lint and analyze exit 0 when no deny-level diagnostics fire, 1
-otherwise; the report always goes to stdout, and the JSON form carries
-the model's FNV-64 fingerprint so reports are diffable across runs and
-cacheable by model identity. Campaign exits 0 when every fault was
-simulated and 3 on a partial (truncated or shard-quarantined) report,
-so scripts can tell a valid-but-incomplete result from an error;
---collapse verify violations exit 1.
+Every subcommand shares one exit-code contract: 0 complete, 1 runtime
+error (including lint/analyze denials and failed collapse audits), 2
+usage error, 3 valid-but-partial. Lint and analyze exit 0 when no
+deny-level diagnostics fire, 1 otherwise; the report always goes to
+stdout, and the JSON form carries the model's FNV-64 fingerprint so
+reports are diffable across runs and cacheable by model identity.
+Campaign exits 0 when every fault was simulated and 3 on a partial
+(truncated or shard-quarantined) report, so scripts can tell a
+valid-but-incomplete result from an error; --collapse verify
+violations exit 1. Submit exits with the worst status over its jobs.
 ";
 
 fn load_model(path: &str) -> Result<Netlist, CliError> {
@@ -228,16 +276,39 @@ fn load_model(path: &str) -> Result<Netlist, CliError> {
         .map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))
 }
 
+/// Reads a BLIF file into the [`ModelSource`] the job layer consumes;
+/// parse errors surface later, labelled with the path.
+fn load_model_source(path: &str) -> Result<ModelSource, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    Ok(ModelSource::Blif {
+        name: path.to_string(),
+        text,
+    })
+}
+
 fn enumerate(n: &Netlist) -> Result<ExplicitMealy, CliError> {
-    if n.num_inputs() > 16 {
-        return Err(CliError::runtime(format!(
-            "model has {} primary inputs; explicit commands are limited to 16 \
-             (use `stats`/`distinguish`, which work symbolically)",
-            n.num_inputs()
-        )));
-    }
-    enumerate_netlist(n, &EnumerateOptions::exhaustive(n))
-        .map_err(|e| CliError::runtime(format!("enumeration failed: {e}")))
+    Ok(jobs::enumerate(n)?)
+}
+
+/// Runs one job through the shared execution layer under the CLI
+/// context (no cache, no audit) — exactly what `simcov serve` runs for
+/// the same spec, which is what keeps the two byte-identical.
+fn execute_job(model: ModelSource, kind: JobKind, obs: &ObsOpts) -> Result<CmdOutput, CliError> {
+    let tel = Telemetry::new();
+    let spec = JobSpec {
+        id: "cli".to_string(),
+        model,
+        kind,
+    };
+    let outcome = jobs::execute(&spec, &tel, &ExecCtx::default())?;
+    let mut out = CmdOutput {
+        text: outcome.text,
+        code: outcome.status.code(),
+        metrics: None,
+    };
+    obs.finish(&tel, &mut out)?;
+    Ok(out)
 }
 
 /// `simcov stats`: interface + symbolic reachability statistics.
@@ -270,21 +341,17 @@ pub fn cmd_stats(path: &str) -> Result<String, CliError> {
 
 /// `simcov tour`: generate a transition (default), greedy, or state tour.
 pub fn cmd_tour(path: &str, kind: &str, obs: &ObsOpts) -> Result<CmdOutput, CliError> {
-    let kind: TourKind = kind.parse().map_err(CliError::usage)?;
-    let n = load_model(path)?;
-    let m = enumerate(&n)?;
-    let tel = Telemetry::new();
-    let tour = generate_tour_traced(&m, kind, &tel)
-        .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
-    let report = coverage(&m, &tour.inputs);
-    let mut out = String::new();
-    let _ = writeln!(out, "# {} tour: {tour}; coverage: {report}", kind.name());
-    for &i in &tour.inputs {
-        let _ = writeln!(out, "{}", m.input_label(i));
-    }
-    let mut out = CmdOutput::from(out);
-    obs.finish(&tel, &mut out)?;
-    Ok(out)
+    // Validate the kind before touching the file, as the flag parser
+    // always has.
+    let _: TourKind = kind.parse().map_err(CliError::usage)?;
+    let model = load_model_source(path)?;
+    execute_job(
+        model,
+        JobKind::Tour {
+            kind: kind.to_string(),
+        },
+        obs,
+    )
 }
 
 /// `simcov distinguish`: symbolic ∀k-distinguishability.
@@ -333,57 +400,9 @@ pub fn cmd_distinguish(path: &str, k: usize, all_pairs: bool) -> Result<String, 
 
 /// Exit code for a campaign that completed *validly* but not *fully*
 /// (deadline/step-budget truncation or quarantined shards): distinct from
-/// 0 (complete), 1 (runtime error) and 2 (usage error).
-pub const EXIT_PARTIAL: i32 = 3;
-
-/// Options for `simcov campaign` (see [`cmd_campaign`]).
-#[derive(Debug, Clone)]
-pub struct CampaignOpts {
-    /// Fault-sample cap (`--max-faults`).
-    pub max_faults: usize,
-    /// Fault-sampling seed (`--seed`).
-    pub seed: u64,
-    /// Cyclic tour extension (`--k`).
-    pub k: usize,
-    /// Worker threads; 0 = all available cores (`--jobs`).
-    pub jobs: usize,
-    /// Retry budget per panicking shard (`--max-retries`).
-    pub max_retries: usize,
-    /// Wall-clock budget in milliseconds (`--deadline`).
-    pub deadline_ms: Option<u64>,
-    /// Total simulation-step budget (`--max-steps`).
-    pub max_steps: Option<u64>,
-    /// Checkpoint-journal path (`--checkpoint`).
-    pub checkpoint: Option<String>,
-    /// Restore journaled shards before simulating (`--resume`).
-    pub resume: bool,
-    /// Fault-simulation engine (`--engine`). Both engines produce
-    /// bit-identical reports; `naive` exists as the differential
-    /// engine's oracle for equivalence gates.
-    pub engine: Engine,
-    /// Static fault collapsing (`--collapse`): `off` simulates every
-    /// fault, `on` prunes to class representatives (bit-identical
-    /// report), `verify` audits the certificate against a full run.
-    pub collapse: CollapseMode,
-}
-
-impl Default for CampaignOpts {
-    fn default() -> Self {
-        CampaignOpts {
-            max_faults: 2000,
-            seed: 0,
-            k: 2,
-            jobs: 0,
-            max_retries: 2,
-            deadline_ms: None,
-            max_steps: None,
-            checkpoint: None,
-            resume: false,
-            engine: Engine::default(),
-            collapse: CollapseMode::Off,
-        }
-    }
-}
+/// 0 (complete), 1 (runtime error) and 2 (usage error). The numeric face
+/// of [`ExitStatus::Partial`].
+pub const EXIT_PARTIAL: i32 = ExitStatus::Partial.code();
 
 /// `simcov campaign`: tour-driven fault campaign on the supervised
 /// parallel engine.
@@ -395,136 +414,13 @@ impl Default for CampaignOpts {
 /// still exact; the `status:`/`bounds:` lines account for what is
 /// missing.
 pub fn cmd_campaign(path: &str, opts: &CampaignOpts, obs: &ObsOpts) -> Result<CmdOutput, CliError> {
+    // Usage errors must precede file access: `--resume` without
+    // `--checkpoint` reports before a missing model does.
     if opts.resume && opts.checkpoint.is_none() {
         return Err(CliError::usage("--resume requires --checkpoint <FILE>"));
     }
-    let n = load_model(path)?;
-    let m = enumerate(&n)?;
-    let tel = Telemetry::new();
-    let tour = generate_tour_traced(&m, TourKind::Postman, &tel)
-        .map_err(|e| CliError::runtime(format!("tour generation failed: {e}")))?;
-    let faults = enumerate_single_faults(
-        &m,
-        &FaultSpace {
-            max_faults: opts.max_faults,
-            seed: opts.seed,
-            ..FaultSpace::default()
-        },
-    );
-    let tests = TestSet::single(extend_cyclically(&tour.inputs, opts.k));
-    tel.counter_add("campaign.faults_enumerated", faults.len() as u64);
-    tel.gauge_set("campaign.test_vectors", tests.total_vectors() as u64);
-    // Static collapsing runs the whole-model analysis up front; the
-    // certificate binds exactly this (machine, fault list) pair.
-    let analysis = match opts.collapse {
-        CollapseMode::Off => None,
-        _ => Some(
-            analyze_collapse(&m, &faults, &AnalyzeOptions::default())
-                .map_err(|e| CliError::runtime(format!("collapse analysis failed: {e}")))?,
-        ),
-    };
-    // The supervisor clamps jobs(0) to serial, so the CLI's "0 = all
-    // cores" convention is resolved here.
-    let jobs = if opts.jobs == 0 {
-        default_jobs()
-    } else {
-        opts.jobs
-    };
-    let mut campaign = ResilientCampaign::new(&m, &faults, &tests)
-        .engine(opts.engine)
-        .jobs(jobs)
-        .max_retries(opts.max_retries)
-        .telemetry(tel.clone());
-    if let Some(a) = &analysis {
-        campaign = campaign.collapse(&a.certificate, opts.collapse);
-    }
-    if let Some(ms) = opts.deadline_ms {
-        campaign = campaign.deadline(Duration::from_millis(ms));
-    }
-    if let Some(steps) = opts.max_steps {
-        campaign = campaign.max_steps(steps);
-    }
-    if let Some(path) = &opts.checkpoint {
-        campaign = campaign.checkpoint(path).resume(opts.resume);
-    }
-    let run = campaign
-        .run()
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-    let mut out = String::new();
-    let _ = writeln!(out, "model: {m:?}");
-    let _ = writeln!(out, "tour: {tour} (extended by k={})", opts.k);
-    let _ = writeln!(out, "engine: {}", opts.engine);
-    let _ = writeln!(out, "campaign: {}", run.report);
-    let _ = writeln!(out, "stats: {}", run.stats);
-    if let Some(c) = &run.collapse {
-        let _ = writeln!(
-            out,
-            "collapse: {} ({} classes, {} faults pruned, {} violations)",
-            c.mode,
-            c.classes,
-            c.collapsed_faults,
-            c.violations.len()
-        );
-        for v in c.violations.iter().take(8) {
-            let _ = writeln!(out, "  violation: {v}");
-        }
-    }
-    if run.is_complete {
-        let _ = writeln!(out, "status: complete ({} shards)", run.total_shards);
-    } else {
-        let missing = run.skipped.len() + run.failures.len();
-        let reason = match run.stopped {
-            Some(r) => r.to_string(),
-            None => "shards quarantined".to_string(),
-        };
-        let _ = writeln!(
-            out,
-            "status: partial ({reason}): {missing} of {} shards missing",
-            run.total_shards
-        );
-        let _ = writeln!(out, "bounds: {}", run.bounds);
-    }
-    if run.restored_shards > 0 {
-        let _ = writeln!(
-            out,
-            "restored: {} of {} shards from checkpoint",
-            run.restored_shards, run.total_shards
-        );
-    }
-    for note in &run.journal_notes {
-        let _ = writeln!(out, "note: {note}");
-    }
-    for f in run.failures.iter().take(8) {
-        let _ = writeln!(out, "failure: {f}");
-    }
-    let _ = writeln!(
-        out,
-        "wall: {:.1} ms on {} worker thread{}",
-        run.wall.as_secs_f64() * 1e3,
-        run.jobs,
-        if run.jobs == 1 { "" } else { "s" }
-    );
-    for esc in run.report.escapes().take(8) {
-        let _ = writeln!(out, "  escape: {}", esc.fault);
-    }
-    let audit_failed = run
-        .collapse
-        .as_ref()
-        .is_some_and(|c| !c.violations.is_empty());
-    let code = if audit_failed {
-        1
-    } else if run.is_complete {
-        0
-    } else {
-        EXIT_PARTIAL
-    };
-    let mut out = CmdOutput {
-        text: out,
-        code,
-        metrics: None,
-    };
-    obs.finish(&tel, &mut out)?;
-    Ok(out)
+    let model = load_model_source(path)?;
+    execute_job(model, JobKind::Campaign(opts.clone()), obs)
 }
 
 /// `simcov dot`: the reachable FSM in Graphviz format.
@@ -545,17 +441,7 @@ pub fn cmd_normalize(path: &str) -> Result<String, CliError> {
 }
 
 fn dlx_netlist(which: &str) -> Result<Netlist, CliError> {
-    Ok(match which {
-        "fig3a" => simcov_dlx::control::initial_control_netlist(),
-        "fig3b" | "final" => simcov_dlx::testmodel::derive_test_model().0,
-        "reduced" => simcov_dlx::testmodel::reduced_control_netlist(),
-        "reduced-obs" => simcov_dlx::testmodel::reduced_control_netlist_observable(),
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown dlx model `{other}` (fig3a|fig3b|final|reduced|reduced-obs)"
-            )))
-        }
-    })
+    Ok(jobs::dlx_netlist(which)?)
 }
 
 /// `simcov dlx`: export the case-study models as BLIF.
@@ -574,22 +460,6 @@ pub enum LintSource<'a> {
     Dlx(&'a str),
 }
 
-fn lint_output(d: &simcov_lint::Diagnostics, format: &str) -> CmdOutput {
-    let text = match format {
-        "json" => {
-            let mut s = d.render_json();
-            s.push('\n');
-            s
-        }
-        _ => d.render_text(),
-    };
-    CmdOutput {
-        text,
-        code: if d.has_denials() { 1 } else { 0 },
-        metrics: None,
-    }
-}
-
 /// `simcov lint`: run the `SC0xx` static diagnostics over a model.
 ///
 /// Netlist lints (`SC020`–`SC030`) always run; when the model fits the
@@ -602,94 +472,23 @@ fn lint_output(d: &simcov_lint::Diagnostics, format: &str) -> CmdOutput {
 pub fn cmd_lint(
     source: LintSource<'_>,
     format: &str,
-    config: &simcov_lint::LintConfig,
+    overrides: &SeverityOverrides,
     k: usize,
     obs: &ObsOpts,
 ) -> Result<CmdOutput, CliError> {
-    use simcov_lint::{
-        lint_blif_error, lint_model_traced, lint_netlist_traced, Diagnostics, ModelTarget,
+    let model = match source {
+        LintSource::Path(path) => load_model_source(path)?,
+        LintSource::Dlx(which) => ModelSource::Dlx(which.to_string()),
     };
-    let tel = Telemetry::new();
-    let (n, dlx_name) = match source {
-        LintSource::Path(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
-            match simcov_netlist::from_blif(&text) {
-                Ok(n) => (n, None),
-                Err(e) => {
-                    let mut d = Diagnostics::new(config.clone());
-                    lint_blif_error(&e, &mut d);
-                    d.sort_by_severity();
-                    let mut out = lint_output(&d, format);
-                    obs.finish(&tel, &mut out)?;
-                    return Ok(out);
-                }
-            }
-        }
-        LintSource::Dlx(which) => (dlx_netlist(which)?, Some(which)),
-    };
-    let mut diags = lint_netlist_traced(&n, config, &tel);
-    if n.num_inputs() <= 16 {
-        let opts = match dlx_name {
-            // The DLX alphabet carries input don't-cares: exhaustive
-            // vectors would include invalid instructions the methodology
-            // never expands, wrongly failing the forall-k lint.
-            Some("reduced") | Some("reduced-obs") => {
-                simcov_dlx::testmodel::reduced_valid_inputs(&n)
-            }
-            _ => EnumerateOptions::exhaustive(&n),
-        };
-        let m = enumerate_netlist(&n, &opts)
-            .map_err(|e| CliError::runtime(format!("enumeration failed: {e}")))?;
-        diags.set_fingerprint(machine_fingerprint(&m));
-        let mut target = ModelTarget::new(&m);
-        target.k = k;
-        // Output labels are latch-order-reversed bit strings; map the
-        // `stall` port through that convention to the stalled-output
-        // predicate of Requirement 2.
-        if let Some(j) = n.outputs().iter().position(|(name, _)| name == "stall") {
-            target.stalled = Some(
-                (0..m.num_outputs())
-                    .map(|o| {
-                        let label = m.output_label(simcov_fsm::OutputSym(o as u32)).as_bytes();
-                        label[label.len() - 1 - j] == b'1'
-                    })
-                    .collect(),
-            );
-        }
-        diags.merge(lint_model_traced(&target, config, &tel));
-    } else {
-        // Too wide to enumerate: bind the report to the normalized
-        // source instead of the machine fingerprint.
-        diags.set_fingerprint(Fnv64::hash(simcov_netlist::to_blif(&n, "model").as_bytes()));
-    }
-    diags.sort_by_severity();
-    let mut out = lint_output(&diags, format);
-    obs.finish(&tel, &mut out)?;
-    Ok(out)
-}
-
-/// Options for `simcov analyze` (see [`cmd_analyze`]).
-#[derive(Debug, Clone)]
-pub struct AnalyzeOpts {
-    /// Fault-sample cap (`--max-faults`), matching `campaign`'s default
-    /// so the analyzed universe is the one a campaign would simulate.
-    pub max_faults: usize,
-    /// Fault-sampling seed (`--seed`).
-    pub seed: u64,
-    /// Per-cell node budget for the transfer-fault bisimulation
-    /// (`--max-nodes`).
-    pub max_nodes: usize,
-}
-
-impl Default for AnalyzeOpts {
-    fn default() -> Self {
-        AnalyzeOpts {
-            max_faults: 2000,
-            seed: 0,
-            max_nodes: AnalyzeOptions::default().max_nodes_per_cell,
-        }
-    }
+    execute_job(
+        model,
+        JobKind::Lint {
+            format: format.to_string(),
+            k,
+            overrides: overrides.clone(),
+        },
+        obs,
+    )
 }
 
 /// `simcov analyze`: whole-model static fault collapsing.
@@ -704,122 +503,229 @@ impl Default for AnalyzeOpts {
 pub fn cmd_analyze(
     source: LintSource<'_>,
     format: &str,
-    config: &simcov_lint::LintConfig,
+    overrides: &SeverityOverrides,
     opts: &AnalyzeOpts,
     obs: &ObsOpts,
 ) -> Result<CmdOutput, CliError> {
-    let tel = Telemetry::new();
-    let n = match source {
-        LintSource::Path(path) => load_model(path)?,
-        LintSource::Dlx(which) => dlx_netlist(which)?,
+    let model = match source {
+        LintSource::Path(path) => load_model_source(path)?,
+        LintSource::Dlx(which) => ModelSource::Dlx(which.to_string()),
     };
-    let m = enumerate(&n)?;
-    let faults = enumerate_single_faults(
-        &m,
-        &FaultSpace {
-            max_faults: opts.max_faults,
-            seed: opts.seed,
-            ..FaultSpace::default()
+    execute_job(
+        model,
+        JobKind::Analyze {
+            format: format.to_string(),
+            opts: opts.clone(),
+            overrides: overrides.clone(),
         },
-    );
-    let analysis = analyze_collapse(
-        &m,
-        &faults,
-        &AnalyzeOptions {
-            max_nodes_per_cell: opts.max_nodes,
-        },
+        obs,
     )
-    .map_err(|e| CliError::runtime(format!("collapse analysis failed: {e}")))?;
-    let stats = &analysis.stats;
-    tel.counter_add("analyze.faults", stats.faults as u64);
-    tel.counter_add("analyze.classes", stats.classes as u64);
-    tel.counter_add("analyze.collapsed_faults", stats.collapsed_faults as u64);
-    let mut diags = lint_analysis(
-        &AnalyzeTarget {
-            machine: &m,
-            faults: &faults,
-            analysis: &analysis,
-        },
-        config,
+}
+
+/// `simcov serve`: run the multi-tenant job server until a client sends
+/// a `shutdown` request.
+///
+/// Prints `listening HOST:PORT` (flushed) before the accept loop blocks,
+/// so scripts that bind port 0 can parse the chosen port. Exits 0 for a
+/// clean run and [`EXIT_PARTIAL`] when any job was quarantined or any
+/// journal record was lost. `trace_out` writes the server's own
+/// telemetry trace — counters only, so it is byte-identical across
+/// `--workers` for the same job stream.
+pub fn cmd_serve(config: ServerConfig, trace_out: Option<&str>) -> Result<CmdOutput, CliError> {
+    let server =
+        Server::bind(config).map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::runtime(format!("cannot resolve listen address: {e}")))?;
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(stdout, "listening {addr}");
+        let _ = stdout.flush();
+    }
+    let summary = server
+        .serve()
+        .map_err(|e| CliError::runtime(format!("serve failed: {e}")))?;
+    if let Some(path) = trace_out {
+        std::fs::write(path, &summary.trace)
+            .map_err(|e| CliError::runtime(format!("cannot write trace {path}: {e}")))?;
+    }
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "served: {} job(s) completed, {} quarantined, {} journal failure(s)",
+        summary.completed, summary.quarantined, summary.journal_failures
     );
-    diags.set_fingerprint(machine_fingerprint(&m));
-    let mut out = if format == "json" {
-        lint_output(&diags, format)
-    } else {
-        let mut text = String::new();
-        let _ = writeln!(text, "model: {m:?}");
-        let _ = writeln!(text, "fingerprint: {:#018x}", machine_fingerprint(&m));
-        let _ = writeln!(
-            text,
-            "faults: {} in {} classes ({} collapsed away)",
-            stats.faults, stats.classes, stats.collapsed_faults
-        );
-        let _ = writeln!(
-            text,
-            "classes: {} output, {} transfer, {} ineffective, {} singleton{}",
-            stats.output_classes,
-            stats.transfer_classes,
-            stats.ineffective_classes,
-            stats.singleton_classes,
-            if stats.unreachable_faults > 0 {
-                format!(" (+1 unreachable, {} faults)", stats.unreachable_faults)
-            } else {
-                String::new()
-            }
-        );
-        let _ = writeln!(text, "dominance: {} edge(s)", stats.dominance_edges);
-        let _ = writeln!(
-            text,
-            "certificate: {:#018x}",
-            analysis.certificate.fingerprint()
-        );
-        text.push_str(&diags.render_text());
-        CmdOutput {
-            text,
-            code: if diags.has_denials() { 1 } else { 0 },
-            metrics: None,
-        }
+    Ok(CmdOutput {
+        text,
+        code: summary.status().code(),
+        metrics: None,
+    })
+}
+
+/// The worse of two exit statuses, in escalation order
+/// `Ok < Usage < Partial < Error`.
+fn worse(a: ExitStatus, b: ExitStatus) -> ExitStatus {
+    let rank = |s: ExitStatus| match s {
+        ExitStatus::Ok => 0,
+        ExitStatus::Usage => 1,
+        ExitStatus::Partial => 2,
+        ExitStatus::Error => 3,
     };
-    obs.finish(&tel, &mut out)?;
-    Ok(out)
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// `simcov submit`: run a file of job requests against a server.
+///
+/// Each non-empty line of `file` is one wire `submit` request (a JSON
+/// object carrying its own `id`). Lines are spread round-robin over
+/// `connections` client connections; results are printed in file order
+/// whatever the completion interleaving, so the output is deterministic.
+/// With `dump_dir`, each result is also written to `<dir>/<id>.out` with
+/// its exit code in `<dir>/<id>.exit`. Exits with the worst status over
+/// all jobs.
+pub fn cmd_submit(
+    addr: &str,
+    file: &str,
+    connections: usize,
+    dump_dir: Option<&str>,
+    shutdown: bool,
+) -> Result<CmdOutput, CliError> {
+    use simcov_obs::json::{self, Json};
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CliError::runtime(format!("cannot read {file}: {e}")))?;
+    let requests: Vec<(String, String)> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|line| {
+            let parsed =
+                json::parse(line).map_err(|e| CliError::usage(format!("bad request line: {e}")))?;
+            let id = parsed
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| CliError::usage(format!("request line missing `id`: {line}")))?;
+            Ok((id.to_string(), line.to_string()))
+        })
+        .collect::<Result<_, CliError>>()?;
+    if requests.is_empty() {
+        return Err(CliError::usage(format!("{file} contains no requests")));
+    }
+    let connections = connections.clamp(1, requests.len());
+    let mut results: Vec<Option<Result<Json, String>>> =
+        (0..requests.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..connections {
+            let requests = &requests;
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, Result<Json, String>)> = Vec::new();
+                let mut client = match Client::connect(addr) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        for i in (c..requests.len()).step_by(connections) {
+                            out.push((i, Err(format!("cannot connect to {addr}: {e}"))));
+                        }
+                        return out;
+                    }
+                };
+                for i in (c..requests.len()).step_by(connections) {
+                    let (id, payload) = &requests[i];
+                    out.push((i, client.run_job(payload, id).map_err(|e| e.to_string())));
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("submit worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    if let Some(dir) = dump_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::runtime(format!("cannot create {dir}: {e}")))?;
+    }
+    let mut text = String::new();
+    let mut status = ExitStatus::Ok;
+    for ((id, _), slot) in requests.iter().zip(&results) {
+        match slot.as_ref().expect("every request was dispatched") {
+            Ok(frame) => {
+                let job_status = frame
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .unwrap_or("error");
+                let exit = frame.get("exit").and_then(Json::as_u64).unwrap_or(1) as i32;
+                let output = frame.get("output").and_then(Json::as_str).unwrap_or("");
+                let _ = writeln!(text, "== {id}: {job_status} (exit {exit})");
+                text.push_str(output);
+                if let Some(dir) = dump_dir {
+                    std::fs::write(format!("{dir}/{id}.out"), output).map_err(|e| {
+                        CliError::runtime(format!("cannot write {dir}/{id}.out: {e}"))
+                    })?;
+                    std::fs::write(format!("{dir}/{id}.exit"), format!("{exit}\n")).map_err(
+                        |e| CliError::runtime(format!("cannot write {dir}/{id}.exit: {e}")),
+                    )?;
+                }
+                status = worse(
+                    status,
+                    ExitStatus::from_code(exit).unwrap_or(ExitStatus::Error),
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(text, "== {id}: failed ({e})");
+                status = worse(status, ExitStatus::Error);
+            }
+        }
+    }
+    if shutdown {
+        let mut client = Client::connect(addr)
+            .map_err(|e| CliError::runtime(format!("cannot connect to {addr}: {e}")))?;
+        let _ = client.request(&simcov_serve::client::shutdown());
+    }
+    Ok(CmdOutput {
+        text,
+        code: status.code(),
+        metrics: None,
+    })
 }
 
 /// Parses repeated `--deny/--warn/--allow <code>` severity overrides
-/// (shared by `lint` and `analyze`).
-fn severity_overrides(rest: &[&String]) -> Result<simcov_lint::LintConfig, CliError> {
-    let mut config = simcov_lint::LintConfig::new();
+/// (shared by `lint` and `analyze`) into the wire-transportable pair
+/// form, validating eagerly so `--deny bogus` is a usage error before
+/// any model work happens.
+fn severity_overrides(rest: &[&String]) -> Result<SeverityOverrides, CliError> {
+    let mut overrides = SeverityOverrides::new();
     let mut i = 0;
     while i < rest.len() {
         let severity = match rest[i].as_str() {
-            "--deny" => Some(simcov_lint::Severity::Deny),
-            "--warn" => Some(simcov_lint::Severity::Warn),
-            "--allow" => Some(simcov_lint::Severity::Allow),
+            "--deny" => Some("deny"),
+            "--warn" => Some("warn"),
+            "--allow" => Some("allow"),
             _ => None,
         };
         if let Some(sev) = severity {
             let code = rest
                 .get(i + 1)
                 .ok_or_else(|| CliError::usage(format!("{} needs a lint code", rest[i])))?;
-            if simcov_lint::find_code(code).is_none() {
-                return Err(CliError::usage(format!("unknown lint code `{code}`")));
-            }
-            config.set(code, sev);
+            overrides.push((code.to_string(), sev.to_string()));
             i += 2;
         } else {
             i += 1;
         }
     }
-    Ok(config)
+    jobs::lint_config(&overrides)?;
+    Ok(overrides)
 }
 
 /// Validates a `--format` value for the report-producing commands.
 fn report_format(value: Option<&str>) -> Result<&str, CliError> {
     let format = value.unwrap_or("text");
-    if format != "text" && format != "json" {
-        return Err(CliError::usage(format!(
-            "unknown lint format `{format}` (text|json)"
-        )));
-    }
+    jobs::report_format(format)?;
     Ok(format)
 }
 
@@ -867,12 +773,13 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     // consumes the following token, so a positional path is recognised
     // wherever it appears (`campaign --seed 3 m.blif` and
     // `campaign m.blif --seed 3` both work).
-    const BOOL_FLAGS: [&str; 6] = [
+    const BOOL_FLAGS: [&str; 7] = [
         "--greedy",
         "--state",
         "--all-pairs",
         "--resume",
         "--metrics",
+        "--shutdown",
         "--help",
     ];
     let positional = || -> Result<&str, CliError> {
@@ -893,7 +800,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     };
     match cmd.as_str() {
         "lint" => {
-            let config = severity_overrides(&rest)?;
+            let overrides = severity_overrides(&rest)?;
             let format = report_format(flag_value("--format"))?;
             let k = parse_num(flag_value("--k"), "--k")?.unwrap_or(1);
             let source = match flag_value("--dlx") {
@@ -918,10 +825,10 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     )?)
                 }
             };
-            return cmd_lint(source, format, &config, k, &ObsOpts::parse(&rest));
+            return cmd_lint(source, format, &overrides, k, &ObsOpts::parse(&rest));
         }
         "analyze" => {
-            let config = severity_overrides(&rest)?;
+            let overrides = severity_overrides(&rest)?;
             let format = report_format(flag_value("--format"))?;
             let defaults = AnalyzeOpts::default();
             let opts = AnalyzeOpts {
@@ -954,7 +861,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     )?)
                 }
             };
-            return cmd_analyze(source, format, &config, &opts, &ObsOpts::parse(&rest));
+            return cmd_analyze(source, format, &overrides, &opts, &ObsOpts::parse(&rest));
         }
         "stats" => cmd_stats(positional()?),
         "tour" => {
@@ -1006,6 +913,93 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                 },
             };
             return cmd_campaign(positional()?, &opts, &ObsOpts::parse(&rest));
+        }
+        "serve" => {
+            let defaults = ServerConfig::default();
+            let mut config = ServerConfig {
+                addr: flag_value("--addr").unwrap_or(&defaults.addr).to_string(),
+                workers: parse_num(flag_value("--workers"), "--workers")?
+                    .unwrap_or(defaults.workers),
+                queue_capacity: parse_num(flag_value("--queue"), "--queue")?
+                    .unwrap_or(defaults.queue_capacity),
+                cache_capacity: parse_num(flag_value("--cache"), "--cache")?
+                    .unwrap_or(defaults.cache_capacity),
+                max_retries: parse_num(flag_value("--max-retries"), "--max-retries")?
+                    .unwrap_or(defaults.max_retries),
+                seed: parse_num(flag_value("--seed"), "--seed")?.unwrap_or(defaults.seed),
+                journal: flag_value("--journal").map(str::to_string),
+                resume: rest.iter().any(|a| a.as_str() == "--resume"),
+                ..defaults
+            };
+            if config.resume && config.journal.is_none() {
+                return Err(CliError::usage("--resume requires --journal <FILE>"));
+            }
+            if let Some(sample) =
+                parse_num::<usize>(flag_value("--audit-sample"), "--audit-sample")?
+            {
+                config.audit = (sample > 0).then_some(jobs::AuditPolicy {
+                    sample,
+                    seed: config.seed,
+                });
+            }
+            #[cfg(feature = "chaos")]
+            {
+                let seed = parse_num(flag_value("--chaos-seed"), "--chaos-seed")?;
+                let drop = parse_num(flag_value("--chaos-drop"), "--chaos-drop")?;
+                let slow = parse_num(flag_value("--chaos-slow"), "--chaos-slow")?;
+                let panic = parse_num(flag_value("--chaos-panic"), "--chaos-panic")?;
+                let audit = parse_num(flag_value("--chaos-audit"), "--chaos-audit")?;
+                let journal_fail =
+                    parse_num(flag_value("--chaos-journal-fail"), "--chaos-journal-fail")?;
+                if seed.is_some()
+                    || drop.is_some()
+                    || slow.is_some()
+                    || panic.is_some()
+                    || audit.is_some()
+                    || journal_fail.is_some()
+                {
+                    let mut plan = simcov_serve::chaos::ServeChaosPlan::new(seed.unwrap_or(0));
+                    plan.drop_connection_prob = drop.unwrap_or(0.0);
+                    plan.slow_client_prob = slow.unwrap_or(0.0);
+                    plan.job_panic_prob = panic.unwrap_or(0.0);
+                    plan.audit_fail_prob = audit.unwrap_or(0.0);
+                    plan.journal_fail_after = journal_fail.unwrap_or(usize::MAX);
+                    config.chaos = Some(plan);
+                }
+            }
+            return cmd_serve(config, flag_value("--trace-out"));
+        }
+        "submit" => {
+            let flags_with_value = ["--connections", "--dump-dir"];
+            let mut positionals = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                let a = rest[i].as_str();
+                if flags_with_value.contains(&a) {
+                    i += 2;
+                } else if a.starts_with("--") {
+                    i += 1;
+                } else {
+                    positionals.push(a);
+                    i += 1;
+                }
+            }
+            let (addr, file) = match positionals[..] {
+                [addr, file] => (addr, file),
+                _ => {
+                    return Err(CliError::usage(format!(
+                        "`submit` needs <addr> and <jobs.jsonl>\n\n{USAGE}"
+                    )))
+                }
+            };
+            let connections = parse_num(flag_value("--connections"), "--connections")?.unwrap_or(1);
+            return cmd_submit(
+                addr,
+                file,
+                connections,
+                flag_value("--dump-dir"),
+                rest.iter().any(|a| a.as_str() == "--shutdown"),
+            );
         }
         "dot" => cmd_dot(positional()?),
         "normalize" => cmd_normalize(positional()?),
@@ -1212,7 +1206,7 @@ mod tests {
         // Model-level mutation per the acceptance criteria: rebuild the
         // flagship machine minus one transition; the lint must flag the
         // hole as SC002 (incomplete-input-alphabet) with the right slot.
-        use simcov_fsm::MealyBuilder;
+        use simcov_fsm::{enumerate_netlist, MealyBuilder};
         use simcov_lint::{lint_model, LintConfig, ModelTarget};
         let net = simcov_dlx::testmodel::reduced_control_netlist_observable();
         let m =

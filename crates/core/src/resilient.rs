@@ -66,7 +66,7 @@ use std::fmt;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -337,6 +337,99 @@ impl JournalWriter {
     fn finish(&mut self) -> Result<(), String> {
         self.sync()
             .map_err(|e| format!("{}: {e}", self.path.display()))
+    }
+}
+
+/// Bounded hand-off depth between simulation workers and the journal
+/// writer thread. Small enough that a stalled disk backpressures the
+/// workers after ~[`JOURNAL_CHANNEL_CAP`] completed shards instead of
+/// buffering the whole campaign in memory; large enough that bursts of
+/// small shards never stall a healthy disk.
+const JOURNAL_CHANNEL_CAP: usize = 64;
+
+/// One completed shard in flight to the writer thread.
+struct JournalMsg {
+    shard: usize,
+    outcomes: Vec<FaultOutcome>,
+    stats: CampaignStats,
+}
+
+/// Off-thread checkpoint writer: completed shards are handed over a
+/// *bounded* channel to a dedicated thread that owns the
+/// [`JournalWriter`], so record encoding, write syscalls and the batched
+/// fsyncs never run on a simulation worker. Workers pay only a memcpy of
+/// the shard's outcomes plus a channel send; when the channel is full
+/// (slow disk) the send blocks, which is the backpressure that keeps
+/// memory bounded. Journal failures degrade to notes exactly as before —
+/// they are collected on the writer thread and merged at
+/// [`finish`](JournalHandle::finish), which joins the thread and is the
+/// run's durability barrier.
+struct JournalHandle {
+    tx: Option<std::sync::mpsc::SyncSender<JournalMsg>>,
+    thread: Option<std::thread::JoinHandle<Vec<String>>>,
+}
+
+impl JournalHandle {
+    fn spawn(mut writer: JournalWriter, telemetry: Option<Telemetry>) -> JournalHandle {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<JournalMsg>(JOURNAL_CHANNEL_CAP);
+        let thread = std::thread::spawn(move || {
+            let mut notes = Vec::new();
+            for msg in rx {
+                match writer.write_shard(msg.shard, &msg.outcomes, &msg.stats) {
+                    Ok(bytes) => {
+                        if let Some(tel) = &telemetry {
+                            tel.counter_add("campaign.checkpoint_bytes", bytes as u64);
+                        }
+                    }
+                    Err(e) => {
+                        notes.push(format!(
+                            "journal: failed to record shard {}: {e}",
+                            msg.shard
+                        ));
+                    }
+                }
+            }
+            if let Err(e) = writer.finish() {
+                notes.push(format!("journal: final sync failed: {e}"));
+            }
+            notes
+        });
+        JournalHandle {
+            tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+
+    /// Hands a completed shard to the writer thread, blocking while the
+    /// bounded channel is full. An error means the writer thread is gone
+    /// (it never exits early unless it panicked) — the shard simply goes
+    /// unjournaled, like any other degraded write.
+    fn record(
+        &self,
+        shard: usize,
+        outcomes: &[FaultOutcome],
+        stats: &CampaignStats,
+    ) -> Result<(), String> {
+        let tx = self.tx.as_ref().expect("record() after finish()");
+        tx.send(JournalMsg {
+            shard,
+            outcomes: outcomes.to_vec(),
+            stats: stats.clone(),
+        })
+        .map_err(|_| "journal writer thread exited early".to_string())
+    }
+
+    /// Durability barrier: closes the channel, joins the writer thread
+    /// (draining every pending record and fsyncing the tail batch) and
+    /// returns the notes for writes that failed.
+    fn finish(&mut self) -> Vec<String> {
+        drop(self.tx.take());
+        match self.thread.take() {
+            Some(t) => t
+                .join()
+                .unwrap_or_else(|_| vec!["journal: writer thread panicked".to_string()]),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -829,6 +922,7 @@ pub struct ResilientCampaign<'a> {
     engine: Engine,
     telemetry: Option<Telemetry>,
     collapse: Option<(&'a CollapseCertificate, CollapseMode)>,
+    shared_trace: Option<Arc<GoldenTrace>>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::ChaosPlan>,
 }
@@ -851,6 +945,7 @@ impl<'a> ResilientCampaign<'a> {
             engine: Engine::default(),
             telemetry: None,
             collapse: None,
+            shared_trace: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -964,6 +1059,18 @@ impl<'a> ResilientCampaign<'a> {
     /// counts for the same work.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Shares a pre-built golden trace instead of building one — the hook
+    /// for cross-request caches (`simcov serve` keys its cache by
+    /// *(machine fingerprint, test-set fingerprint)*, which is exactly the
+    /// contract here: the trace must have been built from this `golden`
+    /// and this test set). Safe across engines because
+    /// [`GoldenTrace::build`] and [`GoldenTrace::build_packed`] are
+    /// bit-identical field for field. Ignored under [`Engine::Naive`].
+    pub fn golden_trace(mut self, trace: Arc<GoldenTrace>) -> Self {
+        self.shared_trace = Some(trace);
         self
     }
 
@@ -1121,7 +1228,7 @@ impl<'a> ResilientCampaign<'a> {
         // Checkpoint setup: load restorable shards, then open for append.
         let mut restored: Vec<Option<RestoredShard>> = (0..nshards).map(|_| None).collect();
         let mut notes: Vec<String> = Vec::new();
-        let journal: Option<Mutex<JournalWriter>> = match &self.checkpoint {
+        let mut journal: Option<JournalHandle> = match &self.checkpoint {
             Some(path) => {
                 let writer = if self.resume && path.exists() {
                     let loaded = load_journal(
@@ -1138,7 +1245,10 @@ impl<'a> ResilientCampaign<'a> {
                 } else {
                     JournalWriter::create(path, fp, sim_faults.len(), nshards, self.shard_size)?
                 };
-                Some(Mutex::new(writer))
+                // Header and journal load stay synchronous (their errors
+                // are campaign-fatal); everything per-shard moves to the
+                // writer thread behind a bounded channel.
+                Some(JournalHandle::spawn(writer, self.telemetry.clone()))
             }
             None => None,
         };
@@ -1155,18 +1265,26 @@ impl<'a> ResilientCampaign<'a> {
         // — it costs no cancellation budget (no *fault* is simulated).
         let tables =
             (self.engine == Engine::Packed).then(|| PackedMealy::from_explicit(self.golden));
-        let trace = match self.engine {
-            Engine::Differential => Some(GoldenTrace::build(self.golden, self.tests)),
-            Engine::Packed => Some(GoldenTrace::build_packed(
-                self.golden,
-                tables
-                    .as_ref()
-                    .expect("packed tables built for Engine::Packed"),
-                self.tests,
-            )),
+        let trace: Option<Arc<GoldenTrace>> = match self.engine {
             Engine::Naive => None,
+            engine => Some(match &self.shared_trace {
+                // A cache-provided trace (see `golden_trace`): the caller
+                // vouches it was built from this (machine, test set).
+                Some(shared) => Arc::clone(shared),
+                None => Arc::new(match engine {
+                    Engine::Differential => GoldenTrace::build(self.golden, self.tests),
+                    Engine::Packed => GoldenTrace::build_packed(
+                        self.golden,
+                        tables
+                            .as_ref()
+                            .expect("packed tables built for Engine::Packed"),
+                        self.tests,
+                    ),
+                    Engine::Naive => unreachable!("matched above"),
+                }),
+            }),
         };
-        let trace_ref = trace.as_ref();
+        let trace_ref = trace.as_deref();
         let tables_ref = tables.as_ref();
         // The packed engine's replay lowering of the golden run, built
         // once and shared read-only across workers like the trace.
@@ -1215,16 +1333,8 @@ impl<'a> ResilientCampaign<'a> {
                         lock(notes_ref).push(format!(
                             "journal: chaos-injected write failure for shard {i} (not journaled)"
                         ));
-                    } else {
-                        match lock(j).write_shard(i, outcomes, stats) {
-                            Ok(bytes) => {
-                                if let Some(tel) = &self.telemetry {
-                                    tel.counter_add("campaign.checkpoint_bytes", bytes as u64);
-                                }
-                            }
-                            Err(e) => lock(notes_ref)
-                                .push(format!("journal: failed to record shard {i}: {e}")),
-                        }
+                    } else if let Err(e) = j.record(i, outcomes, stats) {
+                        lock(notes_ref).push(format!("journal: failed to record shard {i}: {e}"));
                     }
                 }
             }
@@ -1251,11 +1361,13 @@ impl<'a> ResilientCampaign<'a> {
             });
         }
 
-        // Durability barrier: fsync whatever the batched per-shard writes
-        // left pending before this run reports its shards as journaled.
-        if let Some(j) = &journal {
-            if let Err(e) = lock(j).finish() {
-                lock(&notes_mx).push(format!("journal: final sync failed: {e}"));
+        // Durability barrier: close the channel and join the writer
+        // thread — it drains every pending record and fsyncs the tail
+        // batch before this run reports its shards as journaled.
+        if let Some(j) = &mut journal {
+            let writer_notes = j.finish();
+            if !writer_notes.is_empty() {
+                lock(&notes_mx).extend(writer_notes);
             }
         }
 

@@ -50,6 +50,52 @@ pub const CAMPAIGN_CLASSES: &str = "campaign.classes";
 /// certificate).
 pub const CAMPAIGN_COLLAPSE_VIOLATIONS: &str = "campaign.collapse_violations";
 
+// ---------------------------------------------------------------------------
+// `simcov serve` counters. These live on the *server's* telemetry sink,
+// never on a job's (each job records the same trace it would record under
+// the single-shot CLI). All of them are commutative counters emitted from
+// worker or reader threads, so a server trace is byte-identical across
+// worker counts for the same admitted job set (see the determinism
+// contract in [`crate`]); only the backpressure counters
+// (`serve.jobs_rejected`) depend on offered load, by design.
+
+/// Jobs accepted into the bounded admission queue.
+pub const SERVE_JOBS_ADMITTED: &str = "serve.jobs_admitted";
+
+/// Jobs refused admission because the queue was at capacity (the client
+/// is told to retry after a backoff) or their fingerprint is quarantined.
+pub const SERVE_JOBS_REJECTED: &str = "serve.jobs_rejected";
+
+/// Job attempts re-run after a panic (bounded by the retry budget).
+pub const SERVE_JOBS_RETRIED: &str = "serve.jobs_retried";
+
+/// Rungs descended on the engine-degradation ladder
+/// (`packed → differential → naive`) after a failed equivalence audit.
+pub const SERVE_JOBS_DEGRADED: &str = "serve.jobs_degraded";
+
+/// Jobs quarantined after exhausting the retry budget; resubmissions of
+/// the same job fingerprint are rejected until the server restarts.
+pub const SERVE_JOBS_QUARANTINED: &str = "serve.jobs_quarantined";
+
+/// Jobs that ran to a result (ok, partial or error — anything but a
+/// panic-quarantine).
+pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs_completed";
+
+/// Campaign jobs whose golden trace was served from the cross-request
+/// `GoldenTrace` cache.
+pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+
+/// Campaign jobs that had to build (and then share) their golden trace.
+pub const SERVE_CACHE_MISSES: &str = "serve.cache_misses";
+
+/// Admitted-but-unfinished jobs re-executed from the server journal by
+/// `serve --resume`.
+pub const SERVE_JOBS_RESTORED: &str = "serve.jobs_restored";
+
+/// Request frames answered with a structured protocol error (malformed
+/// JSON, oversized frame, unknown kind).
+pub const SERVE_PROTOCOL_ERRORS: &str = "serve.protocol_errors";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +113,24 @@ mod tests {
             CAMPAIGN_COLLAPSE_VIOLATIONS,
         ] {
             assert!(n.starts_with("campaign."), "{n}");
+        }
+    }
+
+    #[test]
+    fn serve_names_share_the_serve_prefix() {
+        for n in [
+            SERVE_JOBS_ADMITTED,
+            SERVE_JOBS_REJECTED,
+            SERVE_JOBS_RETRIED,
+            SERVE_JOBS_DEGRADED,
+            SERVE_JOBS_QUARANTINED,
+            SERVE_JOBS_COMPLETED,
+            SERVE_CACHE_HITS,
+            SERVE_CACHE_MISSES,
+            SERVE_JOBS_RESTORED,
+            SERVE_PROTOCOL_ERRORS,
+        ] {
+            assert!(n.starts_with("serve."), "{n}");
         }
     }
 }

@@ -1,0 +1,150 @@
+//! Deterministic service-layer failure injection (feature `chaos`).
+//!
+//! Extends [`simcov_core::resilient::chaos`]'s shard-level plan to the
+//! server's failure surface: dropped connections, slow clients, mid-job
+//! panics, journal-write failures and forced engine-audit trips. Every
+//! decision is a pure function of `(seed, site, job fingerprint,
+//! attempt)` with distinct FNV-derived streams per site, so raising one
+//! probability never reshuffles another site's decisions — the same
+//! property the core plan guarantees, which is what lets the load-test
+//! harness assert *byte-identical results under chaos* instead of merely
+//! "no crash".
+
+use simcov_obs::fnv::Fnv64;
+use simcov_prng::Prng;
+use std::time::Duration;
+
+pub use simcov_core::resilient::chaos::silence_chaos_panics;
+
+/// The service chaos schedule: independent probabilities per site.
+#[derive(Debug, Clone)]
+pub struct ServeChaosPlan {
+    /// Seed all decisions derive from.
+    pub seed: u64,
+    /// Probability a job's result write is replaced by a dropped
+    /// connection (the client must reconnect and `query`).
+    pub drop_connection_prob: f64,
+    /// Probability (and bound) of an injected delay before a result is
+    /// written — a slow client on the other end of the write.
+    pub slow_client_prob: f64,
+    /// Maximum injected slow-client delay.
+    pub max_delay: Duration,
+    /// Probability a `(job, attempt)` panics inside the worker *before*
+    /// executing (the job body itself stays deterministic — injecting
+    /// into the engines would change results, which core chaos covers).
+    pub job_panic_prob: f64,
+    /// Probability a job's engine audit is forced to fail, tripping the
+    /// degradation ladder.
+    pub audit_fail_prob: f64,
+    /// Number of journal records that succeed before writes start
+    /// failing (`usize::MAX` = never fail).
+    pub journal_fail_after: usize,
+}
+
+impl ServeChaosPlan {
+    /// A plan with every probability at zero (inject nothing).
+    pub fn new(seed: u64) -> Self {
+        ServeChaosPlan {
+            seed,
+            drop_connection_prob: 0.0,
+            slow_client_prob: 0.0,
+            max_delay: Duration::from_millis(2),
+            job_panic_prob: 0.0,
+            audit_fail_prob: 0.0,
+            journal_fail_after: usize::MAX,
+        }
+    }
+
+    fn rng(&self, site: u64, fingerprint: u64, attempt: usize) -> Prng {
+        let mut h = Fnv64::new();
+        h.u64(self.seed);
+        h.u64(site);
+        h.u64(fingerprint);
+        h.u64(attempt as u64);
+        Prng::seed_from_u64(h.finish())
+    }
+
+    /// Deterministic: drop the connection instead of writing this job's
+    /// result?
+    pub fn should_drop_connection(&self, fingerprint: u64) -> bool {
+        self.drop_connection_prob > 0.0
+            && self
+                .rng(1, fingerprint, 0)
+                .gen_bool(self.drop_connection_prob)
+    }
+
+    /// Deterministic: injected slow-client delay before this job's
+    /// result write.
+    pub fn slow_client_delay(&self, fingerprint: u64) -> Option<Duration> {
+        if self.slow_client_prob <= 0.0 {
+            return None;
+        }
+        let mut rng = self.rng(2, fingerprint, 0);
+        if !rng.gen_bool(self.slow_client_prob) {
+            return None;
+        }
+        let nanos = self.max_delay.as_nanos().max(1) as u64;
+        Some(Duration::from_nanos(rng.gen_range(0..nanos)))
+    }
+
+    /// Deterministic: should this `(job, attempt)` panic in the worker?
+    pub fn should_panic(&self, fingerprint: u64, attempt: usize) -> bool {
+        self.job_panic_prob > 0.0
+            && self
+                .rng(3, fingerprint, attempt)
+                .gen_bool(self.job_panic_prob)
+    }
+
+    /// Deterministic: force this job's engine audit to fail?
+    pub fn should_fail_audit(&self, fingerprint: u64) -> bool {
+        self.audit_fail_prob > 0.0 && self.rng(4, fingerprint, 0).gen_bool(self.audit_fail_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_site_independent() {
+        let a = ServeChaosPlan {
+            job_panic_prob: 0.5,
+            audit_fail_prob: 0.5,
+            ..ServeChaosPlan::new(42)
+        };
+        let b = a.clone();
+        for fp in 0..64u64 {
+            assert_eq!(a.should_panic(fp, 0), b.should_panic(fp, 0));
+            assert_eq!(a.should_fail_audit(fp), b.should_fail_audit(fp));
+        }
+        // Raising one site's probability must not reshuffle another's.
+        let c = ServeChaosPlan {
+            drop_connection_prob: 0.9,
+            ..a.clone()
+        };
+        for fp in 0..64u64 {
+            assert_eq!(a.should_panic(fp, 1), c.should_panic(fp, 1));
+        }
+    }
+
+    #[test]
+    fn zero_probabilities_inject_nothing() {
+        let plan = ServeChaosPlan::new(7);
+        for fp in 0..32u64 {
+            assert!(!plan.should_drop_connection(fp));
+            assert!(plan.slow_client_delay(fp).is_none());
+            assert!(!plan.should_panic(fp, 0));
+            assert!(!plan.should_fail_audit(fp));
+        }
+    }
+
+    #[test]
+    fn nonzero_probabilities_fire_sometimes_but_not_always() {
+        let plan = ServeChaosPlan {
+            job_panic_prob: 0.5,
+            ..ServeChaosPlan::new(9)
+        };
+        let fired = (0..128u64).filter(|&fp| plan.should_panic(fp, 0)).count();
+        assert!(fired > 16 && fired < 112, "p=0.5 fired {fired}/128");
+    }
+}

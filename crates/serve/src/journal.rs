@@ -1,0 +1,312 @@
+//! The crash-safe server journal (`simcov-serve-journal v1`).
+//!
+//! The durability contract: a job is acknowledged as *admitted* only
+//! after its `admit` record has reached disk (fsync), and a finished
+//! job's result is recorded with a `done` record. On `serve --resume`,
+//! jobs with an `admit` but no matching `done` are re-queued and re-run
+//! — and because every job is a pure function of its spec, the re-run's
+//! result is byte-identical to what the crashed server would have
+//! produced. Completed results are *restored*, not re-run, so a client
+//! polling `query` after a server restart sees exactly the bytes the
+//! first execution produced.
+//!
+//! The format is line-oriented text, one self-checking record per line
+//! (FNV-64 over the record body, the same integrity scheme as the
+//! campaign checkpoint journal):
+//!
+//! ```text
+//! simcov-serve-journal v1
+//! admit 4f1c… "<escaped request JSON>" crc=9a40…
+//! done 4f1c… "<escaped result JSON>" crc=02bd…
+//! ```
+//!
+//! `admit` stores the original *request frame payload*, not a re-encoded
+//! spec: resume re-parses it through the same [`crate::protocol`] path a
+//! live request takes, so a journaled job cannot drift from its wire
+//! meaning. Records failing their CRC (torn tail writes) are dropped
+//! from the tail onward, exactly like the campaign journal.
+
+use simcov_obs::fnv::Fnv64;
+use simcov_obs::json::{self, Json};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const MAGIC: &str = "simcov-serve-journal v1";
+
+fn record(kind: &str, fingerprint: u64, payload: &str) -> String {
+    let body = format!("{kind} {fingerprint:016x} \"{}\"", json::escape(payload));
+    let crc = Fnv64::hash(body.as_bytes());
+    format!("{body} crc={crc:016x}\n")
+}
+
+fn parse_record(line: &str) -> Option<(&str, u64, String)> {
+    let (body, crc_field) = line.rsplit_once(" crc=")?;
+    let crc = u64::from_str_radix(crc_field, 16).ok()?;
+    if crc != Fnv64::hash(body.as_bytes()) {
+        return None;
+    }
+    let (kind, rest) = body.split_once(' ')?;
+    let (fp, quoted) = rest.split_once(' ')?;
+    let fingerprint = u64::from_str_radix(fp, 16).ok()?;
+    // The payload is a JSON string literal; the shared parser unescapes it.
+    let payload = match json::parse(quoted).ok()? {
+        Json::Str(s) => s,
+        _ => return None,
+    };
+    Some((kind, fingerprint, payload))
+}
+
+/// One recovered journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// An admitted job: the original request frame payload.
+    Admit {
+        /// The job-spec fingerprint the admission was keyed by.
+        fingerprint: u64,
+        /// The request JSON exactly as the client sent it.
+        request: String,
+    },
+    /// A finished job: the result frame payload.
+    Done {
+        /// The job-spec fingerprint.
+        fingerprint: u64,
+        /// The result JSON exactly as the server sent it.
+        result: String,
+    },
+}
+
+/// The append-only server journal. Writes are serialized by an internal
+/// mutex; `admit` records are fsynced before returning (the ack barrier),
+/// `done` records are flushed but ride the next sync.
+pub struct ServerJournal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    /// Chaos hook: when set, every write reports failure after `n` more
+    /// successful records (deterministic injection for the journal-fault
+    /// tests). `usize::MAX` disables.
+    #[cfg(feature = "chaos")]
+    fail_after: std::sync::atomic::AtomicUsize,
+}
+
+impl ServerJournal {
+    /// Creates (or truncates) a journal at `path` and writes the header.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<ServerJournal> {
+        let path = path.as_ref().to_path_buf();
+        let mut writer = BufWriter::new(File::create(&path)?);
+        writeln!(writer, "{MAGIC}")?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        Ok(ServerJournal {
+            path,
+            writer: Mutex::new(writer),
+            #[cfg(feature = "chaos")]
+            fail_after: std::sync::atomic::AtomicUsize::new(usize::MAX),
+        })
+    }
+
+    /// Opens an existing journal for appending (after [`ServerJournal::recover`]).
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<ServerJournal> {
+        let path = path.as_ref().to_path_buf();
+        let writer = BufWriter::new(OpenOptions::new().append(true).open(&path)?);
+        Ok(ServerJournal {
+            path,
+            writer: Mutex::new(writer),
+            #[cfg(feature = "chaos")]
+            fail_after: std::sync::atomic::AtomicUsize::new(usize::MAX),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Arms the deterministic write-failure injection: the next `n`
+    /// records succeed, every later one fails.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_fail_after(&self, n: usize) {
+        self.fail_after
+            .store(n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn write_record(&self, line: String, sync: bool) -> std::io::Result<()> {
+        #[cfg(feature = "chaos")]
+        {
+            use std::sync::atomic::Ordering;
+            let remaining = self.fail_after.load(Ordering::SeqCst);
+            if remaining != usize::MAX {
+                if remaining == 0 {
+                    return Err(std::io::Error::other("chaos: journal write failed"));
+                }
+                self.fail_after.store(remaining - 1, Ordering::SeqCst);
+            }
+        }
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        writer.write_all(line.as_bytes())?;
+        writer.flush()?;
+        if sync {
+            writer.get_ref().sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Records an admission (fsynced — the ack barrier).
+    pub fn admit(&self, fingerprint: u64, request: &str) -> std::io::Result<()> {
+        self.write_record(record("admit", fingerprint, request), true)
+    }
+
+    /// Records a finished job's result (flushed, synced opportunistically
+    /// with the next admit).
+    pub fn done(&self, fingerprint: u64, result: &str) -> std::io::Result<()> {
+        self.write_record(record("done", fingerprint, result), false)
+    }
+
+    /// Reads a journal back, dropping any torn tail. Returns the entries
+    /// in write order; the caller pairs `admit`s with `done`s.
+    pub fn recover(path: impl AsRef<Path>) -> std::io::Result<Vec<Entry>> {
+        let mut text = String::new();
+        File::open(path.as_ref())?.read_to_string(&mut text)?;
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(std::io::Error::other(format!(
+                "{}: not a {MAGIC} file",
+                path.as_ref().display()
+            )));
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            let Some((kind, fingerprint, payload)) = parse_record(line) else {
+                // A record that fails its CRC is a torn tail write from
+                // the crash; nothing after it can be trusted either.
+                break;
+            };
+            match kind {
+                "admit" => entries.push(Entry::Admit {
+                    fingerprint,
+                    request: payload,
+                }),
+                "done" => entries.push(Entry::Done {
+                    fingerprint,
+                    result: payload,
+                }),
+                _ => break,
+            }
+        }
+        Ok(entries)
+    }
+}
+
+/// A recovered record: the request fingerprint plus its payload (a
+/// completed result or an unfinished request frame).
+pub type Recovered = Vec<(u64, String)>;
+
+/// Splits recovered entries into (completed results, unfinished request
+/// payloads), both in first-write order and deduplicated by fingerprint.
+pub fn unfinished(entries: &[Entry]) -> (Recovered, Recovered) {
+    let mut done_fps = std::collections::HashSet::new();
+    let mut completed = Vec::new();
+    for e in entries {
+        if let Entry::Done {
+            fingerprint,
+            result,
+        } = e
+        {
+            if done_fps.insert(*fingerprint) {
+                completed.push((*fingerprint, result.clone()));
+            }
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut pending = Vec::new();
+    for e in entries {
+        if let Entry::Admit {
+            fingerprint,
+            request,
+        } = e
+        {
+            if !done_fps.contains(fingerprint) && seen.insert(*fingerprint) {
+                pending.push((*fingerprint, request.clone()));
+            }
+        }
+    }
+    (completed, pending)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "simcov-serve-journal-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrips_admit_and_done() {
+        let path = tempfile("roundtrip");
+        let j = ServerJournal::create(&path).unwrap();
+        j.admit(
+            0xabc,
+            r#"{"type":"stats","note":"with \"quotes\" and
+newline"}"#,
+        )
+        .unwrap();
+        j.done(0xabc, r#"{"type":"result"}"#).unwrap();
+        j.admit(0xdef, r#"{"type":"tour"}"#).unwrap();
+        drop(j);
+        let entries = ServerJournal::recover(&path).unwrap();
+        assert_eq!(entries.len(), 3);
+        let (completed, pending) = unfinished(&entries);
+        assert_eq!(completed, vec![(0xabc, r#"{"type":"result"}"#.to_string())]);
+        assert_eq!(pending, vec![(0xdef, r#"{"type":"tour"}"#.to_string())]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tempfile("torn");
+        let j = ServerJournal::create(&path).unwrap();
+        j.admit(1, r#"{"type":"tour","id":"a"}"#).unwrap();
+        j.admit(2, r#"{"type":"tour","id":"b"}"#).unwrap();
+        drop(j);
+        // Corrupt the last record's CRC byte-for-byte.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() - 3);
+        text.push_str("0\n");
+        std::fs::write(&path, text).unwrap();
+        let entries = ServerJournal::recover(&path).unwrap();
+        assert_eq!(entries.len(), 1, "torn tail record dropped");
+        assert!(matches!(&entries[0], Entry::Admit { fingerprint: 1, .. }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_admits_resume_once() {
+        let path = tempfile("dedup");
+        let j = ServerJournal::create(&path).unwrap();
+        j.admit(9, "{}").unwrap();
+        j.admit(9, "{}").unwrap();
+        drop(j);
+        let (completed, pending) = unfinished(&ServerJournal::recover(&path).unwrap());
+        assert!(completed.is_empty());
+        assert_eq!(pending.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let path = tempfile("magic");
+        std::fs::write(&path, "simcov-serve-journal v999\n").unwrap();
+        assert!(ServerJournal::recover(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

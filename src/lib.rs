@@ -25,6 +25,9 @@
 //!   implementation, control test-model derivation
 //! * [`dsp`] — a second case study: a fixed-program FIR-filter ASIC (the
 //!   paper's other design class)
+//! * [`serve`] — the multi-tenant campaign service: length-prefixed JSON
+//!   jobs over TCP with bounded admission, retries/quarantine, engine
+//!   degradation and a crash-safe server journal
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through.
 
@@ -38,4 +41,5 @@ pub use simcov_lint as lint;
 pub use simcov_netlist as netlist;
 pub use simcov_obs as obs;
 pub use simcov_prng as prng;
+pub use simcov_serve as serve;
 pub use simcov_tour as tour;
