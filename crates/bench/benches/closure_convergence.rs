@@ -1,0 +1,102 @@
+//! Coverage-directed closure vs the one-shot tour: the feedback loop
+//! must detect at least as many faults as the extended transition tour
+//! (Section 7.2's one-shot workload) while generating strictly fewer
+//! test vectors on the flagship DLX fixture. Equal detection is
+//! asserted unconditionally before timing; the step gate is the point
+//! of the adaptive driver — stimulus is spent only where coverage
+//! feedback says faults survive.
+
+use simcov_bench::reduced_dlx_machine;
+use simcov_bench::timing::BenchReport;
+use simcov_core::adaptive::{ClosureConfig, ClosureDriver};
+use simcov_core::{enumerate_single_faults, extend_cyclically, run_campaign, FaultSpace};
+use simcov_tour::{transition_tour, TestSet};
+
+fn main() {
+    eprintln!("== Closure convergence vs one-shot tour ==");
+    let mut rep = BenchReport::new("closure_convergence");
+
+    let m = reduced_dlx_machine();
+    let faults = enumerate_single_faults(
+        &m,
+        &FaultSpace {
+            max_faults: 500,
+            seed: 7,
+            ..FaultSpace::default()
+        },
+    );
+
+    // One-shot baseline: the postman transition tour, extended cyclically
+    // by one lap so excited errors get a propagation window — the
+    // methodology's own single-pass workload shape.
+    let tour = transition_tour(&m).expect("fixture is strongly connected");
+    let tests = TestSet::single(extend_cyclically(&tour.inputs, tour.inputs.len()));
+    let oneshot = run_campaign(&m, &faults, &tests);
+    let oneshot_steps = tests.total_vectors() as u64;
+
+    // Adaptive closure with the default budgets.
+    let config = ClosureConfig {
+        seed: 7,
+        ..ClosureConfig::default()
+    };
+    let adaptive = ClosureDriver::new(&m, &faults, config.clone()).run();
+
+    eprintln!(
+        "  one-shot tour: {} vectors, {}/{} detected",
+        oneshot_steps,
+        oneshot.num_detected(),
+        faults.len()
+    );
+    eprintln!(
+        "  adaptive: {} vectors over {} round(s), {}/{} detected ({} undetectable), closed={}",
+        adaptive.total_steps,
+        adaptive.rounds.len(),
+        adaptive.stats.detected,
+        faults.len(),
+        adaptive.undetectable,
+        adaptive.closed
+    );
+
+    rep.bench("closure_convergence/dlx_oneshot", || {
+        run_campaign(&m, &faults, &tests)
+    });
+    rep.bench("closure_convergence/dlx_adaptive", || {
+        ClosureDriver::new(&m, &faults, config.clone()).run()
+    });
+    rep.counter("closure_convergence/dlx_oneshot_steps", oneshot_steps);
+    rep.counter(
+        "closure_convergence/dlx_adaptive_steps",
+        adaptive.total_steps,
+    );
+    rep.counter(
+        "closure_convergence/dlx_adaptive_rounds",
+        adaptive.rounds.len() as u64,
+    );
+    rep.counter(
+        "closure_convergence/dlx_adaptive_detected",
+        adaptive.stats.detected as u64,
+    );
+    rep.write().expect("write bench report");
+
+    // Gates. Closure means every detectable fault was detected, so the
+    // adaptive run can never trail the tour on detections; the step gate
+    // is strict.
+    assert!(
+        adaptive.closed,
+        "adaptive driver must reach closure on the DLX fixture: {:?}",
+        adaptive.rounds
+    );
+    assert!(
+        adaptive.stats.detected >= oneshot.num_detected(),
+        "closure detected {} < one-shot tour's {}",
+        adaptive.stats.detected,
+        oneshot.num_detected()
+    );
+    assert!(
+        adaptive.total_steps < oneshot_steps,
+        "expected the feedback loop to close with strictly fewer test \
+         vectors than the one-shot tour: adaptive {} vs tour {}",
+        adaptive.total_steps,
+        oneshot_steps
+    );
+}

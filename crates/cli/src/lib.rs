@@ -12,6 +12,7 @@
 //! simcov dlx <fig3a|fig3b|final|reduced>    export the case-study models
 //! simcov lint <model.blif>|--dlx <name>     coded static diagnostics
 //! simcov analyze <model.blif>|--dlx <name>  static fault collapsing
+//! simcov close <model.blif>|--dlx <name>    coverage-directed closure
 //! simcov serve [--addr H:P] [--workers N]   multi-tenant job server
 //! simcov submit <addr> <jobs.jsonl>         submit jobs to a server
 //! ```
@@ -22,8 +23,8 @@
 //! and are guarded to 16 primary inputs; `stats` and `distinguish` work
 //! symbolically and scale much further.
 //!
-//! The job-shaped subcommands (`campaign`, `tour`, `lint`, `analyze`)
-//! delegate to [`simcov_serve::jobs`], the execution layer shared with
+//! The job-shaped subcommands (`campaign`, `tour`, `lint`, `analyze`,
+//! `close`) delegate to [`simcov_serve::jobs`], the execution layer shared with
 //! `simcov serve` — a served job and its single-shot subcommand run the
 //! same function, so their reports are byte-identical by construction.
 //! Exit codes follow the uniform [`ExitStatus`] contract: 0 ok, 1
@@ -41,7 +42,7 @@ use simcov_serve::{Client, ExecCtx, JobError, Server, ServerConfig};
 use simcov_tour::TourKind;
 use std::fmt::Write as _;
 
-pub use simcov_serve::jobs::{AnalyzeOpts, CampaignOpts, SeverityOverrides};
+pub use simcov_serve::jobs::{AnalyzeOpts, CampaignOpts, CloseOpts, SeverityOverrides};
 pub use simcov_serve::ExitStatus;
 
 /// A CLI failure: message plus suggested exit code.
@@ -178,6 +179,11 @@ USAGE:
                  [--format text|json] [--deny C]... [--warn C]... [--allow C]...
                  [--trace-out <FILE>] [--metrics]
   simcov analyze --dlx <name> [same options]
+  simcov close <model.blif> [--max-faults <N>] [--seed <S>] [--rounds <R>]
+               [--budget <STEPS>] [--jobs <J>]
+               [--engine naive|differential|packed] [--collapse off|on]
+               [--format text|json] [--trace-out <FILE>] [--metrics]
+  simcov close --dlx <name> [same options]
   simcov serve [--addr <HOST:PORT>] [--workers <N>] [--queue <N>] [--cache <N>]
                [--max-retries <R>] [--seed <S>] [--audit-sample <N>]
                [--journal <FILE>] [--resume] [--trace-out <FILE>]
@@ -214,6 +220,11 @@ OPTIONS:
   --max-steps <N>
                 total simulation-step budget (one step per test vector
                 per fault); deterministic truncation, unlike --deadline
+  --rounds <R>  close: feedback-round budget (default 8); the loop also
+                stops at closure or after 3 rounds without progress
+  --budget <STEPS>
+                close: soft test-step budget across all rounds; the
+                round that crosses it is the last
   --max-retries <R>
                 attempts per panicking shard before it is quarantined
                 (default 2)
@@ -266,7 +277,11 @@ reports are diffable across runs and cacheable by model identity.
 Campaign exits 0 when every fault was simulated and 3 on a partial
 (truncated or shard-quarantined) report, so scripts can tell a
 valid-but-incomplete result from an error; --collapse verify
-violations exit 1. Submit exits with the worst status over its jobs.
+violations exit 1. Close exits 0 when it reaches closure (every
+detectable fault detected) and 3 when a round/step budget or
+stagnation stops it first; its round schedule and report are
+byte-identical for every --jobs value and engine. Submit exits with
+the worst status over its jobs.
 ";
 
 fn load_model(path: &str) -> Result<Netlist, CliError> {
@@ -520,6 +535,30 @@ pub fn cmd_analyze(
         },
         obs,
     )
+}
+
+/// `simcov close`: coverage-directed closure — iterate stimulus
+/// generation against fault-campaign feedback until every detectable
+/// fault is detected or a budget expires.
+///
+/// Each round harvests the surviving faults and cold `(state, input)`
+/// cells from the accumulated campaign and feeds them to the bias-aware
+/// tour generators; provably-undetectable faults (observationally
+/// equivalent mutants) are pruned from the closure target as they are
+/// identified. Exits 0 at closure and [`EXIT_PARTIAL`] when the round
+/// budget, `--budget` step cap or stagnation stopped the loop first.
+/// For a fixed `--seed` the round schedule, report and telemetry trace
+/// are byte-identical for every `--jobs` value and engine.
+pub fn cmd_close(
+    source: LintSource<'_>,
+    opts: &CloseOpts,
+    obs: &ObsOpts,
+) -> Result<CmdOutput, CliError> {
+    let model = match source {
+        LintSource::Path(path) => load_model_source(path)?,
+        LintSource::Dlx(which) => ModelSource::Dlx(which.to_string()),
+    };
+    execute_job(model, JobKind::Close(opts.clone()), obs)
 }
 
 /// `simcov serve`: run the multi-tenant job server until a client sends
@@ -913,6 +952,67 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                 },
             };
             return cmd_campaign(positional()?, &opts, &ObsOpts::parse(&rest));
+        }
+        "close" => {
+            let format = report_format(flag_value("--format"))?;
+            let defaults = CloseOpts::default();
+            let opts = CloseOpts {
+                max_faults: parse_num(flag_value("--max-faults"), "--max-faults")?
+                    .unwrap_or(defaults.max_faults),
+                seed: parse_num(flag_value("--seed"), "--seed")?.unwrap_or(defaults.seed),
+                rounds: parse_num(flag_value("--rounds"), "--rounds")?.unwrap_or(defaults.rounds),
+                budget: parse_num(flag_value("--budget"), "--budget")?,
+                jobs: parse_num(flag_value("--jobs"), "--jobs")?.unwrap_or(defaults.jobs),
+                engine: match flag_value("--engine") {
+                    None => defaults.engine,
+                    Some("naive") => Engine::Naive,
+                    Some("differential") => Engine::Differential,
+                    Some("packed") => Engine::Packed,
+                    Some(other) => {
+                        return Err(CliError::usage(format!(
+                            "unknown engine `{other}` (naive|differential|packed)"
+                        )))
+                    }
+                },
+                // Rounds either simulate every fault or one representative
+                // per collapse class; there is no `verify` mode because the
+                // certificate is audited up front by the driver.
+                collapse: match flag_value("--collapse") {
+                    None | Some("off") => false,
+                    Some("on") => true,
+                    Some(other) => {
+                        return Err(CliError::usage(format!(
+                            "unknown collapse mode `{other}` for close (off|on)"
+                        )))
+                    }
+                },
+                format: format.to_string(),
+            };
+            let source = match flag_value("--dlx") {
+                Some(which) => LintSource::Dlx(which),
+                None => {
+                    let flags_with_value = [
+                        "--max-faults",
+                        "--seed",
+                        "--rounds",
+                        "--budget",
+                        "--jobs",
+                        "--engine",
+                        "--collapse",
+                        "--format",
+                        "--dlx",
+                        "--trace-out",
+                    ];
+                    LintSource::Path(positional_after(&rest, &flags_with_value).ok_or_else(
+                        || {
+                            CliError::usage(format!(
+                                "`close` needs a model path or --dlx\n\n{USAGE}"
+                            ))
+                        },
+                    )?)
+                }
+            };
+            return cmd_close(source, &opts, &ObsOpts::parse(&rest));
         }
         "serve" => {
             let defaults = ServerConfig::default();
@@ -1561,6 +1661,131 @@ mod tests {
             "{}",
             out.text
         );
+    }
+
+    #[test]
+    fn close_reaches_closure_on_the_flagship_model() {
+        // The acceptance gate: coverage-directed feedback drives the
+        // observable reduced DLX model to closure within the default
+        // round budget, from a BLIF path as well as --dlx.
+        let out = run(&args(&[
+            "close",
+            "--dlx",
+            "reduced-obs",
+            "--max-faults",
+            "120",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("round 0:"), "{}", out.text);
+        assert!(out.text.contains("closure: reached"), "{}", out.text);
+        let tmp = write_reduced_blif();
+        let from_path = run(&args(&[
+            "close",
+            tmp.as_str(),
+            "--max-faults",
+            "120",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(from_path.code, 0, "{}", from_path.text);
+        assert!(from_path.text.contains("closure: reached"));
+    }
+
+    #[test]
+    fn close_json_is_byte_identical_across_jobs_and_engines() {
+        let with = |jobs: &str, engine: &str| {
+            run(&args(&[
+                "close",
+                "--dlx",
+                "reduced-obs",
+                "--max-faults",
+                "120",
+                "--seed",
+                "3",
+                "--jobs",
+                jobs,
+                "--engine",
+                engine,
+                "--format",
+                "json",
+            ]))
+            .unwrap()
+        };
+        let one = with("1", "differential");
+        let two = with("2", "differential");
+        let eight = with("8", "differential");
+        assert_eq!(one.text, two.text);
+        assert_eq!(one.text, eight.text);
+        assert!(one.text.contains("\"closed\":true"), "{}", one.text);
+        assert!(
+            one.text.starts_with("{\"schema\":\"simcov-close\""),
+            "{}",
+            one.text
+        );
+        // The engines agree on everything but the engine label itself.
+        let strip_engine = |t: &str| {
+            t.replacen("\"engine\":\"naive\"", "", 1)
+                .replacen("\"engine\":\"differential\"", "", 1)
+        };
+        let naive = with("2", "naive");
+        assert_eq!(strip_engine(&one.text), strip_engine(&naive.text));
+    }
+
+    #[test]
+    fn close_zero_round_budget_is_partial_with_exit_code() {
+        let out = run(&args(&[
+            "close",
+            "--dlx",
+            "reduced-obs",
+            "--max-faults",
+            "120",
+            "--rounds",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(out.code, EXIT_PARTIAL, "{}", out.text);
+        assert!(out.text.contains("closure: NOT reached"), "{}", out.text);
+    }
+
+    #[test]
+    fn close_flag_validation() {
+        let e = run(&args(&["close", "--format", "xml", "--dlx", "reduced-obs"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown lint format"));
+        let e = run(&args(&["close"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("needs a model path or --dlx"));
+        let e = run(&args(&[
+            "close",
+            "--dlx",
+            "reduced-obs",
+            "--engine",
+            "warp",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("unknown engine"));
+        let e = run(&args(&[
+            "close",
+            "--dlx",
+            "reduced-obs",
+            "--collapse",
+            "verify",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("unknown collapse mode"));
+        let e = run(&args(&[
+            "close",
+            "--dlx",
+            "reduced-obs",
+            "--rounds",
+            "many",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("--rounds must be a number"));
     }
 
     #[test]

@@ -111,6 +111,43 @@ impl std::fmt::Display for Fault {
     }
 }
 
+/// `true` if *some* input sequence from reset exposes this fault — i.e.
+/// the faulty machine is **not** observationally equivalent to the
+/// golden one.
+///
+/// Decided exactly by breadth-first search over the reachable part of
+/// the golden × faulty product: a state pair is distinguishing when some
+/// input is defined on exactly one side (truncation asymmetry, which
+/// [`detects`] reports) or defined on both with differing outputs. If no
+/// distinguishing pair is reachable from `(reset, reset)`, no test — of
+/// any length — can tell the machines apart, the redundant-fault case of
+/// ATPG. The closure loop ([`crate::adaptive`]) uses this to prune
+/// provably-undetectable survivors from its targets instead of spending
+/// rounds on them.
+pub fn is_detectable(golden: &ExplicitMealy, fault: &Fault) -> bool {
+    let faulty = fault.inject(golden);
+    let start = (golden.reset(), faulty.reset());
+    let mut seen = std::collections::HashSet::from([start]);
+    let mut q = std::collections::VecDeque::from([start]);
+    while let Some((a, b)) = q.pop_front() {
+        for i in golden.inputs() {
+            match (golden.step(a, i), faulty.step(b, i)) {
+                (None, None) => {}
+                (None, Some(_)) | (Some(_), None) => return true,
+                (Some((na, oa)), Some((nb, ob))) => {
+                    if oa != ob {
+                        return true;
+                    }
+                    if seen.insert((na, nb)) {
+                        q.push_back((na, nb));
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Simulates `seq` from reset on both machines and returns the index of
 /// the first differing output, if any — the moment the error is *exposed*.
 ///
@@ -276,6 +313,39 @@ mod tests {
                     assert_eq!(patched.step_patched(s, i), cloned.step(s, i), "{f}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn detectability_agrees_with_the_w_method_oracle() {
+        use crate::faults::{enumerate_single_faults, simulate_fault, FaultSpace};
+        // Independent oracle: on a *reduced* specification the W-method
+        // suite detects every mutant with at most as many states as the
+        // specification — which single-transition mutants are — unless
+        // the mutant is observationally equivalent. So `is_detectable`
+        // must agree with the suite's verdict exactly.
+        let m = crate::models::traffic_light(true);
+        let tests = simcov_tour::w_method_test_set(&m).expect("exposed traffic light is reduced");
+        let faults = enumerate_single_faults(&m, &FaultSpace::default());
+        for f in &faults {
+            let out = simulate_fault(&m, f, &tests);
+            assert_eq!(is_detectable(&m, f), out.detected.is_some(), "{f}");
+        }
+    }
+
+    #[test]
+    fn undetectable_verdicts_on_figure2_resist_heavy_random_testing() {
+        use crate::faults::{enumerate_single_faults, simulate_fault, FaultSpace};
+        let (m, _) = figure2();
+        let faults = enumerate_single_faults(&m, &FaultSpace::default());
+        let undetectable: Vec<_> = faults.iter().filter(|f| !is_detectable(&m, f)).collect();
+        // Figure 2 keeps a bisimilar state pair (3 ≈ 3′ under input c's
+        // closure), so some transfer mutants are equivalent machines.
+        assert!(!undetectable.is_empty());
+        let tests = simcov_tour::random_test_set(&m, 64, 64, 42);
+        for f in undetectable {
+            let out = simulate_fault(&m, f, &tests);
+            assert_eq!(out.detected, None, "{f} was declared undetectable");
         }
     }
 

@@ -34,6 +34,10 @@
 //! * [`resilient`] — crash-safe campaign supervision: panic isolation,
 //!   deadlines/step budgets, durable checkpoint/resume and deterministic
 //!   chaos injection;
+//! * [`adaptive`] — coverage-directed closure: the iterative campaign
+//!   driver that feeds surviving faults and cold cells back into the
+//!   `simcov-tour` generators until every fault is detected or a budget
+//!   expires;
 //! * [`collapse`] — fault-collapsing certificates: statically proven
 //!   fault-equivalence partitions that campaigns consume to simulate
 //!   only class representatives (and can audit with `verify`);
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod collapse;
 pub mod differential;
 pub mod distinguish;
@@ -63,6 +68,7 @@ pub mod resilient;
 pub mod testutil;
 pub mod theorems;
 
+pub use adaptive::{ClosureConfig, ClosureDriver, ClosureRun, RoundRecord};
 pub use collapse::{
     same_observable_outcome, CertificateError, ClassKind, CollapseCertificate, CollapseMode,
     CollapseSummary, CollapseViolation,
@@ -71,7 +77,7 @@ pub use differential::{simulate_fault_differential, DiffStats, Engine, GoldenTra
 pub use distinguish::{
     forall_k_distinguishable, DistinguishError, DistinguishLevels, Distinguishability, PairWitness,
 };
-pub use error_model::{detects, excited_at, is_masked_on, Fault, FaultKind};
+pub use error_model::{detects, excited_at, is_detectable, is_masked_on, Fault, FaultKind};
 pub use faults::{
     enumerate_single_faults, extend_cyclically, run_campaign, sample_faults, simulate_fault,
     CampaignReport, FaultOutcome, FaultSpace,

@@ -96,9 +96,60 @@ pub const SERVE_JOBS_RESTORED: &str = "serve.jobs_restored";
 /// JSON, oversized frame, unknown kind).
 pub const SERVE_PROTOCOL_ERRORS: &str = "serve.protocol_errors";
 
+// ---------------------------------------------------------------------------
+// Coverage-directed closure counters (`simcov_core::adaptive`). All are
+// emitted by the serial round driver after each round's campaign merge,
+// never from worker threads, so closure traces are byte-identical across
+// `--jobs` by construction. Per-round detail rides on the `adaptive.round`
+// event stream; these counters summarize the whole closure run.
+
+/// Feedback rounds executed (including round 0, the seed tour).
+pub const ADAPTIVE_ROUNDS: &str = "adaptive.rounds";
+
+/// Test sequences generated across all rounds.
+pub const ADAPTIVE_TESTS_ADDED: &str = "adaptive.tests_added";
+
+/// Input vectors (test steps) generated across all rounds.
+pub const ADAPTIVE_STEPS_ADDED: &str = "adaptive.steps_added";
+
+/// Faults newly detected across all rounds (= total detections).
+pub const ADAPTIVE_NEW_DETECTIONS: &str = "adaptive.new_detections";
+
+/// Detectable faults still undetected when the loop stopped (0 at
+/// closure).
+pub const ADAPTIVE_SURVIVORS: &str = "adaptive.survivors";
+
+/// Faults proven undetectable (observationally equivalent mutant) and
+/// excluded from the closure target.
+pub const ADAPTIVE_UNDETECTABLE: &str = "adaptive.undetectable";
+
+/// Reachable `(state, input)` cells still unexcited when the loop
+/// stopped.
+pub const ADAPTIVE_COLD_CELLS: &str = "adaptive.cold_cells";
+
+/// 1 when the loop reached closure (every targeted fault detected), 0
+/// when a round/step budget or stagnation stopped it first.
+pub const ADAPTIVE_CLOSED: &str = "adaptive.closed";
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn adaptive_names_share_the_adaptive_prefix() {
+        for n in [
+            ADAPTIVE_ROUNDS,
+            ADAPTIVE_TESTS_ADDED,
+            ADAPTIVE_STEPS_ADDED,
+            ADAPTIVE_NEW_DETECTIONS,
+            ADAPTIVE_SURVIVORS,
+            ADAPTIVE_UNDETECTABLE,
+            ADAPTIVE_COLD_CELLS,
+            ADAPTIVE_CLOSED,
+        ] {
+            assert!(n.starts_with("adaptive."), "{n}");
+        }
+    }
 
     #[test]
     fn names_share_the_campaign_prefix() {

@@ -1,6 +1,7 @@
 //! The job-execution layer shared by the single-shot CLI and the server.
 //!
-//! Every job kind the server accepts (campaign, lint, tour, analyze) is
+//! Every job kind the server accepts (campaign, lint, tour, analyze,
+//! close) is
 //! executed by [`execute`], and the CLI subcommands delegate to the very
 //! same function — so a served job's report text, exit status and
 //! telemetry trace are byte-identical to the single-shot `simcov` run of
@@ -17,9 +18,9 @@ use simcov_core::differential::simulate_fault_differential;
 use simcov_core::fingerprint::machine_fingerprint;
 use simcov_core::packed::simulate_shard_packed;
 use simcov_core::{
-    default_jobs, enumerate_single_faults, extend_cyclically, simulate_fault, CollapseMode,
-    DiffStats, Engine, Fault, FaultSpace, GoldenTrace, PackedStats, ReplayScript,
-    ResilientCampaign,
+    default_jobs, enumerate_single_faults, extend_cyclically, simulate_fault, ClosureConfig,
+    ClosureDriver, CollapseMode, DiffStats, Engine, Fault, FaultSpace, GoldenTrace, PackedStats,
+    ReplayScript, ResilientCampaign,
 };
 use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PackedMealy};
 use simcov_netlist::Netlist;
@@ -201,6 +202,43 @@ impl Default for AnalyzeOpts {
     }
 }
 
+/// Options for a closure job (`simcov close`'s flags).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloseOpts {
+    /// Fault-sample cap (`--max-faults`).
+    pub max_faults: usize,
+    /// Seed for fault sampling *and* stimulus generation (`--seed`).
+    pub seed: u64,
+    /// Feedback-round budget (`--rounds`).
+    pub rounds: usize,
+    /// Soft test-step budget across all rounds (`--budget`).
+    pub budget: Option<u64>,
+    /// Worker threads; 0 = all available cores (`--jobs`). The closure
+    /// schedule and report are identical for any value.
+    pub jobs: usize,
+    /// Fault-simulation engine for every round (`--engine`).
+    pub engine: Engine,
+    /// Run rounds over collapse-class representatives (`--collapse`).
+    pub collapse: bool,
+    /// Report format: `text` or `json`.
+    pub format: String,
+}
+
+impl Default for CloseOpts {
+    fn default() -> Self {
+        CloseOpts {
+            max_faults: 2000,
+            seed: 0,
+            rounds: 8,
+            budget: None,
+            jobs: 0,
+            engine: Engine::default(),
+            collapse: false,
+            format: "text".to_string(),
+        }
+    }
+}
+
 /// Severity overrides as `(code, severity)` string pairs — the
 /// wire-transportable form of `--deny/--warn/--allow` flags. Validated
 /// into a [`simcov_lint::LintConfig`] at execution time.
@@ -259,6 +297,9 @@ pub enum JobKind {
         /// `--deny/--warn/--allow` pairs.
         overrides: SeverityOverrides,
     },
+    /// Coverage-directed closure: the adaptive feedback loop of
+    /// `simcov_core::adaptive`.
+    Close(CloseOpts),
 }
 
 impl JobKind {
@@ -269,6 +310,7 @@ impl JobKind {
             JobKind::Lint { .. } => "lint",
             JobKind::Tour { .. } => "tour",
             JobKind::Analyze { .. } => "analyze",
+            JobKind::Close(_) => "close",
         }
     }
 }
@@ -427,6 +469,7 @@ pub fn execute(spec: &JobSpec, tel: &Telemetry, ctx: &ExecCtx<'_>) -> Result<Job
             let config = lint_config(overrides)?;
             execute_analyze(&spec.model, format, &config, opts, tel)
         }
+        JobKind::Close(opts) => execute_close(&spec.model, opts, tel),
     }
 }
 
@@ -603,6 +646,181 @@ fn execute_campaign(
         engine_used: Some(engine),
         degraded,
         cache_hit,
+    })
+}
+
+/// Closure execution: the body of `simcov close` — the adaptive
+/// feedback loop driven to coverage closure.
+///
+/// The `json` report is a single line with no wall-clock field, so it is
+/// byte-identical across `--jobs` values and machines — that is what the
+/// CI closure gate diffs. The `text` report ends with a `wall:` line and
+/// is for humans.
+fn execute_close(
+    model: &ModelSource,
+    opts: &CloseOpts,
+    tel: &Telemetry,
+) -> Result<JobOutcome, JobError> {
+    report_format(&opts.format)?;
+    let n = model.netlist()?;
+    let m = enumerate(&n)?;
+    let faults = enumerate_single_faults(
+        &m,
+        &FaultSpace {
+            max_faults: opts.max_faults,
+            seed: opts.seed,
+            ..FaultSpace::default()
+        },
+    );
+    tel.counter_add("campaign.faults_enumerated", faults.len() as u64);
+    let analysis = if opts.collapse {
+        Some(
+            analyze_collapse(&m, &faults, &AnalyzeOptions::default())
+                .map_err(|e| JobError::runtime(format!("collapse analysis failed: {e}")))?,
+        )
+    } else {
+        None
+    };
+    let config = ClosureConfig {
+        max_rounds: opts.rounds,
+        max_steps: opts.budget,
+        seed: opts.seed,
+        engine: opts.engine,
+        jobs: opts.jobs,
+        ..ClosureConfig::default()
+    };
+    let mut driver = ClosureDriver::new(&m, &faults, config).telemetry(tel.clone());
+    if let Some(a) = &analysis {
+        driver = driver.collapse(&a.certificate);
+    }
+    let started = std::time::Instant::now();
+    let run = driver.run();
+    let wall = started.elapsed();
+
+    let mut out = String::new();
+    if opts.format == "json" {
+        let _ = write!(
+            out,
+            "{{\"schema\":\"simcov-close\",\"version\":1,\
+             \"fingerprint\":\"{:#018x}\",\"engine\":\"{}\",\"seed\":{},\
+             \"faults\":{},\"classes\":{},\"rounds\":[",
+            machine_fingerprint(&m),
+            opts.engine,
+            opts.seed,
+            faults.len(),
+            analysis
+                .as_ref()
+                .map_or(faults.len(), |a| a.certificate.num_classes()),
+        );
+        for (idx, r) in run.rounds.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"round\":{},\"tests_added\":{},\"steps_added\":{},\
+                 \"new_detections\":{},\"detected_total\":{},\"survivors\":{},\
+                 \"undetectable\":{},\"transitions_covered\":{},\
+                 \"transitions_total\":{},\"cold_cells\":{}}}",
+                if idx == 0 { "" } else { "," },
+                r.round,
+                r.tests_added,
+                r.steps_added,
+                r.new_detections,
+                r.detected_total,
+                r.survivors,
+                r.undetectable,
+                r.transitions_covered,
+                r.transitions_total,
+                r.cold_cells,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "],\"closed\":{},\"undetectable\":{},\"total_steps\":{},\
+             \"stats\":{{\"faults_simulated\":{},\"detected\":{},\"excited\":{},\
+             \"masked\":{},\"escapes\":{}}}}}",
+            run.closed,
+            run.undetectable,
+            run.total_steps,
+            run.stats.faults_simulated,
+            run.stats.detected,
+            run.stats.excited,
+            run.stats.masked,
+            run.stats.escapes,
+        );
+    } else {
+        let _ = writeln!(out, "model: {m:?}");
+        let _ = writeln!(out, "engine: {}", opts.engine);
+        match &analysis {
+            Some(a) => {
+                let _ = writeln!(
+                    out,
+                    "faults: {} in {} classes (rounds target representatives)",
+                    faults.len(),
+                    a.certificate.num_classes()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "faults: {}", faults.len());
+            }
+        }
+        for r in &run.rounds {
+            let _ = writeln!(
+                out,
+                "round {}: +{} tests (+{} steps), detected {} (+{}), survivors {}, \
+                 undetectable {}, coverage {}/{}",
+                r.round,
+                r.tests_added,
+                r.steps_added,
+                r.detected_total,
+                r.new_detections,
+                r.survivors,
+                r.undetectable,
+                r.transitions_covered,
+                r.transitions_total,
+            );
+        }
+        if run.closed {
+            let _ = writeln!(
+                out,
+                "closure: reached after {} round{}{}",
+                run.rounds.len(),
+                if run.rounds.len() == 1 { "" } else { "s" },
+                if run.undetectable > 0 {
+                    format!(
+                        " ({} provably undetectable faults excluded)",
+                        run.undetectable
+                    )
+                } else {
+                    String::new()
+                }
+            );
+        } else {
+            // With an empty round budget nothing was ever targeted, so
+            // every undetected fault is a survivor.
+            let survivors = run.rounds.last().map_or(
+                run.stats
+                    .faults_simulated
+                    .saturating_sub(run.stats.detected),
+                |r| r.survivors,
+            );
+            let _ = writeln!(
+                out,
+                "closure: NOT reached after {} rounds ({survivors} survivors)",
+                run.rounds.len()
+            );
+        }
+        let _ = writeln!(out, "stats: {}", run.stats);
+        let _ = writeln!(out, "wall: {:.1} ms", wall.as_secs_f64() * 1e3);
+    }
+    Ok(JobOutcome {
+        text: out,
+        status: if run.closed {
+            ExitStatus::Ok
+        } else {
+            ExitStatus::Partial
+        },
+        engine_used: Some(opts.engine),
+        degraded: 0,
+        cache_hit: None,
     })
 }
 
@@ -903,6 +1121,134 @@ mod tests {
         let out = execute(&spec, &Telemetry::new(), &ctx).unwrap();
         assert_eq!(out.engine_used, Some(Engine::Packed));
         assert_eq!(out.degraded, 0);
+    }
+
+    fn close_spec(jobs: usize, engine: Engine, format: &str) -> JobSpec {
+        JobSpec {
+            id: format!("close{jobs}-{engine}"),
+            model: ModelSource::Dlx("reduced-obs".to_string()),
+            kind: JobKind::Close(CloseOpts {
+                max_faults: 120,
+                seed: 3,
+                jobs,
+                engine,
+                format: format.to_string(),
+                ..CloseOpts::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn close_reaches_closure_and_is_identical_across_jobs() {
+        let tel1 = Telemetry::new();
+        let a = execute(
+            &close_spec(1, Engine::Differential, "json"),
+            &tel1,
+            &ExecCtx::default(),
+        )
+        .unwrap();
+        assert_eq!(a.status, ExitStatus::Ok, "{}", a.text);
+        assert!(a.text.contains("\"closed\":true"), "{}", a.text);
+        for jobs in [2, 8] {
+            let tel = Telemetry::new();
+            let b = execute(
+                &close_spec(jobs, Engine::Differential, "json"),
+                &tel,
+                &ExecCtx::default(),
+            )
+            .unwrap();
+            assert_eq!(a.text, b.text, "json report must be byte-identical");
+            assert_eq!(
+                tel1.snapshot().to_jsonl(),
+                tel.snapshot().to_jsonl(),
+                "trace must be byte-identical at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_engines_agree_and_text_reports_closure() {
+        let base = execute(
+            &close_spec(2, Engine::Naive, "json"),
+            &Telemetry::new(),
+            &ExecCtx::default(),
+        )
+        .unwrap();
+        for engine in [Engine::Differential, Engine::Packed] {
+            let other = execute(
+                &close_spec(2, engine, "json"),
+                &Telemetry::new(),
+                &ExecCtx::default(),
+            )
+            .unwrap();
+            // Engine name is part of the report header; everything after
+            // it (rounds, stats) must agree.
+            let strip = |s: &str| s.split("\"seed\"").nth(1).unwrap().to_string();
+            assert_eq!(strip(&base.text), strip(&other.text), "{engine}");
+        }
+        let text = execute(
+            &close_spec(2, Engine::Differential, "text"),
+            &Telemetry::new(),
+            &ExecCtx::default(),
+        )
+        .unwrap();
+        assert!(text.text.contains("closure: reached"), "{}", text.text);
+        assert!(text.text.contains("round 0:"), "{}", text.text);
+    }
+
+    #[test]
+    fn close_with_collapse_still_closes() {
+        let spec = JobSpec {
+            id: "close-collapse".to_string(),
+            model: ModelSource::Dlx("reduced-obs".to_string()),
+            kind: JobKind::Close(CloseOpts {
+                max_faults: 120,
+                seed: 3,
+                jobs: 2,
+                collapse: true,
+                format: "json".to_string(),
+                ..CloseOpts::default()
+            }),
+        };
+        let out = execute(&spec, &Telemetry::new(), &ExecCtx::default()).unwrap();
+        assert_eq!(out.status, ExitStatus::Ok, "{}", out.text);
+        assert!(out.text.contains("\"closed\":true"), "{}", out.text);
+        // The classes field shows the representative universe shrank.
+        let classes: usize = out
+            .text
+            .split("\"classes\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let faults: usize = out
+            .text
+            .split("\"faults\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(classes < faults, "{classes} vs {faults}");
+    }
+
+    #[test]
+    fn close_rejects_bad_format() {
+        let spec = JobSpec {
+            id: "close-bad".to_string(),
+            model: ModelSource::Dlx("reduced-obs".to_string()),
+            kind: JobKind::Close(CloseOpts {
+                format: "yaml".to_string(),
+                ..CloseOpts::default()
+            }),
+        };
+        let e = execute(&spec, &Telemetry::new(), &ExecCtx::default()).unwrap_err();
+        assert_eq!(e.status, ExitStatus::Usage);
     }
 
     #[test]

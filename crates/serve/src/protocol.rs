@@ -21,7 +21,9 @@
 //! are `ack`, `result`, `stats` and `error` objects — see DESIGN.md §14
 //! for the full grammar and a worked session.
 
-use crate::jobs::{AnalyzeOpts, CampaignOpts, JobKind, JobSpec, ModelSource, SeverityOverrides};
+use crate::jobs::{
+    AnalyzeOpts, CampaignOpts, CloseOpts, JobKind, JobSpec, ModelSource, SeverityOverrides,
+};
 use simcov_core::{CollapseMode, Engine};
 use simcov_obs::json::{self, Json};
 use std::io::{Read, Write};
@@ -222,7 +224,7 @@ pub fn parse_request(req: &Json) -> Result<Request, String> {
         }),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
-        "campaign" | "lint" | "tour" | "analyze" => {
+        "campaign" | "lint" | "tour" | "analyze" | "close" => {
             let id = get_str(req, "id")?.to_string();
             let model = parse_model(req)?;
             let job = match kind {
@@ -303,6 +305,33 @@ pub fn parse_request(req: &Json) -> Result<Request, String> {
                         overrides: parse_overrides(req)?,
                     }
                 }
+                "close" => {
+                    let engine = match req.get("engine") {
+                        None => Engine::default(),
+                        Some(v) => match v.as_str() {
+                            Some("naive") => Engine::Naive,
+                            Some("differential") => Engine::Differential,
+                            Some("packed") => Engine::Packed,
+                            _ => return Err("`engine` must be naive|differential|packed".into()),
+                        },
+                    };
+                    let defaults = CloseOpts::default();
+                    JobKind::Close(CloseOpts {
+                        max_faults: get_u64(req, "max_faults", defaults.max_faults as u64)?
+                            as usize,
+                        seed: get_u64(req, "seed", defaults.seed)?,
+                        rounds: get_u64(req, "rounds", defaults.rounds as u64)? as usize,
+                        budget: get_opt_u64(req, "budget")?,
+                        jobs: get_u64(req, "jobs", defaults.jobs as u64)? as usize,
+                        engine,
+                        collapse: matches!(req.get("collapse"), Some(Json::Bool(true))),
+                        format: req
+                            .get("format")
+                            .map(|v| v.as_str().map(str::to_string))
+                            .unwrap_or(Some(defaults.format))
+                            .ok_or("`format` must be a string")?,
+                    })
+                }
                 _ => unreachable!("matched above"),
             };
             let want_trace = matches!(req.get("trace"), Some(Json::Bool(true)));
@@ -316,7 +345,8 @@ pub fn parse_request(req: &Json) -> Result<Request, String> {
             })
         }
         other => Err(format!(
-            "unknown request type `{other}` (campaign|lint|tour|analyze|query|stats|shutdown)"
+            "unknown request type `{other}` \
+             (campaign|lint|tour|analyze|close|query|stats|shutdown)"
         )),
     }
 }
@@ -415,6 +445,38 @@ mod tests {
                     other => panic!("expected campaign, got {other:?}"),
                 }
             }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_request_parses_with_defaults_and_overrides() {
+        let req = simcov_obs::json::parse(
+            r#"{"type":"close","id":"c1","model":{"dlx":"reduced-obs"},"seed":7,
+                "rounds":4,"budget":5000,"collapse":true,"format":"json"}"#,
+        )
+        .unwrap();
+        match parse_request(&req).unwrap() {
+            Request::Submit { spec, .. } => match spec.kind {
+                JobKind::Close(opts) => {
+                    assert_eq!(opts.seed, 7);
+                    assert_eq!(opts.rounds, 4);
+                    assert_eq!(opts.budget, Some(5000));
+                    assert!(opts.collapse);
+                    assert_eq!(opts.format, "json");
+                    assert_eq!(opts.max_faults, CloseOpts::default().max_faults);
+                }
+                other => panic!("expected close, got {other:?}"),
+            },
+            other => panic!("expected submit, got {other:?}"),
+        }
+        let bare = simcov_obs::json::parse(r#"{"type":"close","id":"c2","model":{"dlx":"final"}}"#)
+            .unwrap();
+        match parse_request(&bare).unwrap() {
+            Request::Submit { spec, .. } => match spec.kind {
+                JobKind::Close(opts) => assert_eq!(opts, CloseOpts::default()),
+                other => panic!("expected close, got {other:?}"),
+            },
             other => panic!("expected submit, got {other:?}"),
         }
     }

@@ -19,6 +19,10 @@
 //!   coverage measure of Iwashita et al. that Section 1 contrasts with);
 //! * [`random_test_set`] — random-walk functional vectors, the
 //!   conventional-simulation baseline;
+//! * [`targeted_tour`] / [`biased_random_test_set`] — bias-aware
+//!   generators aimed at a caller-supplied set of `(state, input)`
+//!   cells, the stimulus half of the coverage-directed closure loop in
+//!   `simcov-core`;
 //! * [`coverage`] — transition/state coverage measurement for any input
 //!   sequence.
 //!
@@ -45,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bias;
 mod greedy;
 mod postman;
 mod random;
@@ -52,6 +57,7 @@ mod uio;
 mod verify;
 mod wmethod;
 
+pub use bias::{biased_random_test_set, targeted_tour};
 pub use greedy::{greedy_transition_tour, state_tour};
 pub use postman::{transition_tour, Tour, TourError};
 pub use random::{random_test_set, TestSet};
