@@ -43,4 +43,4 @@ mod ops;
 mod util;
 
 pub use cube::{Assignment, Cube, CubeIter};
-pub use manager::{Bdd, BddManager, Var};
+pub use manager::{Bdd, BddManager, BddRuntimeStats, Var};

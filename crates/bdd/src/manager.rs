@@ -1,6 +1,6 @@
 //! Node storage, unique table and the [`BddManager`] type.
 
-use crate::util::TripleMap;
+use crate::util::{DirectCache, TripleMap};
 use std::fmt;
 
 /// A BDD variable, identified by its level in the (static) variable order.
@@ -66,11 +66,48 @@ impl Bdd {
 /// Variable level assigned to terminal nodes: below every real variable.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
+/// Node-store size below which [`BddManager::maybe_gc`] never collects
+/// (collecting tiny managers only costs cache warmth).
+const GC_MIN_NODES: usize = 1 << 16;
+
+/// Growth multiple over the last collection's node count that triggers
+/// the next cache-eviction collection.
+const GC_GROWTH_FACTOR: usize = 4;
+
 #[derive(Clone, Copy)]
 pub(crate) struct Node {
     pub(crate) var: u32,
     pub(crate) low: u32,
     pub(crate) high: u32,
+}
+
+/// Cumulative operation counters of a [`BddManager`] — the backing store
+/// of the `bdd.*` observability counters (`simcov_obs::names::BDD_*`).
+///
+/// All counts are pure functions of the operation sequence issued against
+/// the manager, so two runs performing the same symbolic computation
+/// report identical values regardless of thread count or host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddRuntimeStats {
+    /// ITE calls answered from the memoization cache.
+    pub ite_cache_hits: u64,
+    /// ITE calls that had to recurse (and then filled the cache).
+    pub ite_cache_misses: u64,
+    /// Cache-eviction collections performed by [`BddManager::maybe_gc`].
+    pub gc_collections: u64,
+}
+
+impl BddRuntimeStats {
+    /// Component-wise difference against an earlier snapshot of the same
+    /// manager (or of the manager this one was cloned from): the work done
+    /// *since* that snapshot.
+    pub fn since(&self, earlier: &BddRuntimeStats) -> BddRuntimeStats {
+        BddRuntimeStats {
+            ite_cache_hits: self.ite_cache_hits - earlier.ite_cache_hits,
+            ite_cache_misses: self.ite_cache_misses - earlier.ite_cache_misses,
+            gc_collections: self.gc_collections - earlier.gc_collections,
+        }
+    }
 }
 
 /// A manager owning a forest of hash-consed ROBDD nodes over a fixed
@@ -91,14 +128,19 @@ pub(crate) struct Node {
 /// let not_a = m.not(a);
 /// assert_eq!(m.or(a, not_a), Bdd::TRUE);
 /// ```
+#[derive(Clone)]
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
     unique: TripleMap,
-    pub(crate) ite_cache: TripleMap,
-    pub(crate) quant_cache: TripleMap,
-    pub(crate) and_exists_cache: TripleMap,
-    pub(crate) compose_cache: TripleMap,
+    pub(crate) ite_cache: DirectCache,
+    pub(crate) quant_cache: DirectCache,
+    pub(crate) and_exists_cache: DirectCache,
+    pub(crate) compose_cache: DirectCache,
     num_vars: u32,
+    pub(crate) stats: BddRuntimeStats,
+    /// Node count at the last collection (or construction): the growth
+    /// reference [`BddManager::maybe_gc`] triggers against.
+    gc_node_floor: usize,
 }
 
 impl BddManager {
@@ -125,11 +167,13 @@ impl BddManager {
         BddManager {
             nodes,
             unique: TripleMap::with_capacity_pow2(1 << 12),
-            ite_cache: TripleMap::with_capacity_pow2(1 << 12),
-            quant_cache: TripleMap::with_capacity_pow2(1 << 10),
-            and_exists_cache: TripleMap::with_capacity_pow2(1 << 10),
-            compose_cache: TripleMap::with_capacity_pow2(1 << 10),
+            ite_cache: DirectCache::with_capacity_pow2(1 << 12),
+            quant_cache: DirectCache::with_capacity_pow2(1 << 10),
+            and_exists_cache: DirectCache::with_capacity_pow2(1 << 10),
+            compose_cache: DirectCache::with_capacity_pow2(1 << 10),
             num_vars,
+            stats: BddRuntimeStats::default(),
+            gc_node_floor: GC_MIN_NODES,
         }
     }
 
@@ -189,17 +233,28 @@ impl BddManager {
         if low == high {
             return low;
         }
-        if let Some(idx) = self.unique.get(var, low.0, high.0) {
-            return Bdd(idx);
-        }
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(Node {
-            var,
-            low: low.0,
-            high: high.0,
+        let nodes = &mut self.nodes;
+        let idx = self.unique.get_or_insert_with(var, low.0, high.0, || {
+            let idx = nodes.len() as u32;
+            nodes.push(Node {
+                var,
+                low: low.0,
+                high: high.0,
+            });
+            idx
         });
-        self.unique.insert(var, low.0, high.0, idx);
         Bdd(idx)
+    }
+
+    /// Top variable level of `f` together with its low/high children
+    /// (children are meaningless for terminals, whose level is
+    /// `TERMINAL_LEVEL`). One node load where separate `level_of` +
+    /// `cofactors` calls would take two; the node array outgrows L2 on
+    /// image-computation workloads, so the hot binary applies use this.
+    #[inline]
+    pub(crate) fn expand(&self, f: Bdd) -> (u32, Bdd, Bdd) {
+        let n = self.nodes[f.0 as usize];
+        (n.var, Bdd(n.low), Bdd(n.high))
     }
 
     /// Level of the top variable of `f` (`u32::MAX` for terminals).
@@ -293,6 +348,32 @@ impl BddManager {
         self.quant_cache.clear();
         self.and_exists_cache.clear();
         self.compose_cache.clear();
+    }
+
+    /// Cumulative operation counters (see [`BddRuntimeStats`]).
+    pub fn runtime_stats(&self) -> BddRuntimeStats {
+        self.stats
+    }
+
+    /// Cache-eviction garbage collection: when the node store has grown by
+    /// `GC_GROWTH_FACTOR`× since the last collection, drop the operation
+    /// caches (whose entries reference mostly-dead intermediate results of
+    /// completed computations) and reset the growth reference.
+    ///
+    /// The unique table — and therefore every issued [`Bdd`] handle — is
+    /// untouched, so this is always safe to call between computations. The
+    /// trigger depends only on the operation sequence, never on wall clock
+    /// or memory pressure, keeping symbolic campaigns deterministic.
+    /// Returns `true` if a collection ran (counted in
+    /// [`BddRuntimeStats::gc_collections`]).
+    pub fn maybe_gc(&mut self) -> bool {
+        if self.nodes.len() < self.gc_node_floor.saturating_mul(GC_GROWTH_FACTOR) {
+            return false;
+        }
+        self.clear_caches();
+        self.gc_node_floor = self.nodes.len().max(GC_MIN_NODES);
+        self.stats.gc_collections += 1;
+        true
     }
 
     /// Approximate heap usage of the node store, in bytes. Useful for
@@ -401,5 +482,51 @@ mod tests {
         let b = m.var(1);
         assert_eq!(m.top_var(b), Some(Var(1)));
         assert_eq!(m.top_var(Bdd::TRUE), None);
+    }
+
+    #[test]
+    fn runtime_stats_count_ite_traffic() {
+        let mut m = BddManager::new(6);
+        assert_eq!(m.runtime_stats(), BddRuntimeStats::default());
+        let a = m.var(0);
+        let b = m.var(3);
+        let _ = m.xor(a, b);
+        let after_first = m.runtime_stats();
+        assert!(after_first.ite_cache_misses > 0);
+        // The identical operation replays from the cache.
+        let _ = m.xor(a, b);
+        let after_second = m.runtime_stats();
+        assert!(after_second.ite_cache_hits > after_first.ite_cache_hits);
+        let delta = after_second.since(&after_first);
+        assert_eq!(delta.ite_cache_misses, 0);
+    }
+
+    #[test]
+    fn maybe_gc_is_a_noop_below_the_floor() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert!(!m.maybe_gc());
+        assert_eq!(m.runtime_stats().gc_collections, 0);
+        // Results stay canonical either way.
+        let f2 = m.and(a, b);
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn cloned_manager_is_independent() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let b = m.var(2);
+        let f = m.and(a, b);
+        let mut c = m.clone();
+        // Same handles are valid in the clone and denote the same function.
+        assert!(c.eval(f, &[true, false, true, false]));
+        // New nodes in the clone do not appear in the original.
+        let before = m.num_nodes();
+        let g = c.or(f, a);
+        assert!(!g.is_const());
+        assert_eq!(m.num_nodes(), before);
     }
 }

@@ -27,8 +27,10 @@ impl BddManager {
             return f;
         }
         if let Some(r) = self.ite_cache.get(f.0, g.0, h.0) {
+            self.stats.ite_cache_hits += 1;
             return Bdd(r);
         }
+        self.stats.ite_cache_misses += 1;
         let lf = self.level_of(f);
         let lg = self.level_of(g);
         let lh = self.level_of(h);
@@ -50,13 +52,71 @@ impl BddManager {
     }
 
     /// Logical conjunction.
+    ///
+    /// Dedicated binary apply rather than `ite(f, g, FALSE)`: conjunction
+    /// is the workhorse of transition-relation construction, and the
+    /// two-operand recursion (no third cofactor set) with a *commutative*
+    /// cache key — operands sorted, so `f ∧ g` and `g ∧ f` share one entry
+    /// — measurably cuts both per-call cost and cache misses. The cache
+    /// namespace is shared with `ite(f, g, FALSE)`, whose entries mean the
+    /// same thing.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, g, Bdd::FALSE)
+        if f == g || g.is_true() {
+            return f;
+        }
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(r) = self.ite_cache.get(f.0, g.0, Bdd::FALSE.0) {
+            self.stats.ite_cache_hits += 1;
+            return Bdd(r);
+        }
+        self.stats.ite_cache_misses += 1;
+        let (lf, fl, fh) = self.expand(f);
+        let (lg, gl, gh) = self.expand(g);
+        let top = lf.min(lg);
+        let (f0, f1) = if lf == top { (fl, fh) } else { (f, f) };
+        let (g0, g1) = if lg == top { (gl, gh) } else { (g, g) };
+        let r0 = self.and(f0, g0);
+        let r1 = self.and(f1, g1);
+        let r = self.mk_node(top, r0, r1);
+        self.ite_cache.insert(f.0, g.0, Bdd::FALSE.0, r.0);
+        r
     }
 
-    /// Logical disjunction.
+    /// Logical disjunction. Like [`BddManager::and`], a dedicated binary
+    /// apply with a commutative cache key, sharing the `ite(f, TRUE, g)`
+    /// cache namespace.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, Bdd::TRUE, g)
+        if f == g || g.is_false() {
+            return f;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if f.is_true() || g.is_true() {
+            return Bdd::TRUE;
+        }
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(r) = self.ite_cache.get(f.0, Bdd::TRUE.0, g.0) {
+            self.stats.ite_cache_hits += 1;
+            return Bdd(r);
+        }
+        self.stats.ite_cache_misses += 1;
+        let (lf, fl, fh) = self.expand(f);
+        let (lg, gl, gh) = self.expand(g);
+        let top = lf.min(lg);
+        let (f0, f1) = if lf == top { (fl, fh) } else { (f, f) };
+        let (g0, g1) = if lg == top { (gl, gh) } else { (g, g) };
+        let r0 = self.or(f0, g0);
+        let r1 = self.or(f1, g1);
+        let r = self.mk_node(top, r0, r1);
+        self.ite_cache.insert(f.0, Bdd::TRUE.0, g.0, r.0);
+        r
     }
 
     /// Exclusive or.

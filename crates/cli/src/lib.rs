@@ -164,11 +164,12 @@ USAGE:
   simcov tour <model.blif> [--greedy | --state] [--trace-out <FILE>] [--metrics]
   simcov distinguish <model.blif> --k <K> [--all-pairs]
   simcov campaign <model.blif> [--max-faults <N>] [--seed <S>] [--k <K>] [--jobs <J>]
-                  [--engine naive|differential|packed]
+                  [--engine naive|differential|packed|symbolic]
                   [--collapse off|on|verify]
                   [--deadline <MS>] [--max-steps <N>] [--max-retries <R>]
                   [--checkpoint <FILE>] [--resume]
                   [--trace-out <FILE>] [--metrics]
+  simcov campaign --dlx <name> [same options]
   simcov dot <model.blif>
   simcov normalize <model.blif>
   simcov dlx <fig3a | fig3b | final | reduced | reduced-obs>
@@ -181,7 +182,7 @@ USAGE:
   simcov analyze --dlx <name> [same options]
   simcov close <model.blif> [--max-faults <N>] [--seed <S>] [--rounds <R>]
                [--budget <STEPS>] [--jobs <J>]
-               [--engine naive|differential|packed] [--collapse off|on]
+               [--engine naive|differential|packed|symbolic] [--collapse off|on]
                [--format text|json] [--trace-out <FILE>] [--metrics]
   simcov close --dlx <name> [same options]
   simcov serve [--addr <HOST:PORT>] [--workers <N>] [--queue <N>] [--cache <N>]
@@ -196,9 +197,11 @@ OPTIONS:
   --engine <E>  fault-simulation engine: differential (default; shares
                 the memoized golden trace and replays only divergent
                 suffixes), packed (the differential replays batched 64
-                faults per machine word, lane-parallel) or naive
-                (clone-and-replay oracle); reports are bit-identical
-                for every engine
+                faults per machine word, lane-parallel), symbolic
+                (shards walked as BDD relations over a fault-id space;
+                on models too wide to enumerate, an implicit fault-
+                family campaign) or naive (clone-and-replay oracle);
+                reports are bit-identical for every engine
   --collapse <M>
                 static fault collapsing: off (default) simulates every
                 fault; on simulates one representative per equivalence
@@ -428,13 +431,20 @@ pub const EXIT_PARTIAL: i32 = ExitStatus::Partial.code();
 /// truncated or shard-quarantined one — every line of a partial report is
 /// still exact; the `status:`/`bounds:` lines account for what is
 /// missing.
-pub fn cmd_campaign(path: &str, opts: &CampaignOpts, obs: &ObsOpts) -> Result<CmdOutput, CliError> {
+pub fn cmd_campaign(
+    source: LintSource<'_>,
+    opts: &CampaignOpts,
+    obs: &ObsOpts,
+) -> Result<CmdOutput, CliError> {
     // Usage errors must precede file access: `--resume` without
     // `--checkpoint` reports before a missing model does.
     if opts.resume && opts.checkpoint.is_none() {
         return Err(CliError::usage("--resume requires --checkpoint <FILE>"));
     }
-    let model = load_model_source(path)?;
+    let model = match source {
+        LintSource::Path(path) => load_model_source(path)?,
+        LintSource::Dlx(which) => ModelSource::Dlx(which.to_string()),
+    };
     execute_job(model, JobKind::Campaign(opts.clone()), obs)
 }
 
@@ -940,9 +950,10 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     Some("naive") => Engine::Naive,
                     Some("differential") => Engine::Differential,
                     Some("packed") => Engine::Packed,
+                    Some("symbolic") => Engine::Symbolic,
                     Some(other) => {
                         return Err(CliError::usage(format!(
-                            "unknown engine `{other}` (naive|differential|packed)"
+                            "unknown engine `{other}` (naive|differential|packed|symbolic)"
                         )))
                     }
                 },
@@ -951,7 +962,33 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     Some(mode) => mode.parse().map_err(CliError::usage)?,
                 },
             };
-            return cmd_campaign(positional()?, &opts, &ObsOpts::parse(&rest));
+            let source = match flag_value("--dlx") {
+                Some(which) => LintSource::Dlx(which),
+                None => {
+                    let flags_with_value = [
+                        "--max-faults",
+                        "--seed",
+                        "--k",
+                        "--jobs",
+                        "--engine",
+                        "--collapse",
+                        "--deadline",
+                        "--max-steps",
+                        "--max-retries",
+                        "--checkpoint",
+                        "--dlx",
+                        "--trace-out",
+                    ];
+                    LintSource::Path(positional_after(&rest, &flags_with_value).ok_or_else(
+                        || {
+                            CliError::usage(format!(
+                                "`campaign` needs a model path or --dlx\n\n{USAGE}"
+                            ))
+                        },
+                    )?)
+                }
+            };
+            return cmd_campaign(source, &opts, &ObsOpts::parse(&rest));
         }
         "close" => {
             let format = report_format(flag_value("--format"))?;
@@ -968,9 +1005,10 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     Some("naive") => Engine::Naive,
                     Some("differential") => Engine::Differential,
                     Some("packed") => Engine::Packed,
+                    Some("symbolic") => Engine::Symbolic,
                     Some(other) => {
                         return Err(CliError::usage(format!(
-                            "unknown engine `{other}` (naive|differential|packed)"
+                            "unknown engine `{other}` (naive|differential|packed|symbolic)"
                         )))
                     }
                 },
@@ -1500,7 +1538,7 @@ mod tests {
     fn campaign_runs_and_reports() {
         let tmp = write_reduced_blif();
         let out = cmd_campaign(
-            tmp.as_str(),
+            LintSource::Path(tmp.as_str()),
             &campaign_opts(300, 7, 1, 2),
             &ObsOpts::default(),
         )
@@ -1524,7 +1562,7 @@ mod tests {
         };
         let one = strip_wall(
             cmd_campaign(
-                tmp.as_str(),
+                LintSource::Path(tmp.as_str()),
                 &campaign_opts(200, 3, 1, 1),
                 &ObsOpts::default(),
             )
@@ -1533,7 +1571,7 @@ mod tests {
         );
         let four = strip_wall(
             cmd_campaign(
-                tmp.as_str(),
+                LintSource::Path(tmp.as_str()),
                 &campaign_opts(200, 3, 1, 4),
                 &ObsOpts::default(),
             )

@@ -60,16 +60,25 @@ pub enum Engine {
     /// ([`simcov_fsm::PackedMealy`]). Produces bit-identical outcomes to
     /// both scalar engines.
     Packed,
+    /// Implicit fault enumeration over BDDs
+    /// ([`crate::symbolic::simulate_shard_symbolic`]): each shard's faults
+    /// become a cofactor cube of a shared fault-id variable space, the
+    /// faulty next-state/output functions are patched symbolically, and
+    /// one relational-product walk per test sequence classifies every
+    /// fault in the shard at once. Produces bit-identical outcomes to the
+    /// explicit engines.
+    Symbolic,
 }
 
 impl Engine {
-    /// Stable lower-case name (`naive` / `differential` / `packed`), used
-    /// by the CLI `--engine` flag and its output.
+    /// Stable lower-case name (`naive` / `differential` / `packed` /
+    /// `symbolic`), used by the CLI `--engine` flag and its output.
     pub fn name(self) -> &'static str {
         match self {
             Engine::Naive => "naive",
             Engine::Differential => "differential",
             Engine::Packed => "packed",
+            Engine::Symbolic => "symbolic",
         }
     }
 }

@@ -65,6 +65,7 @@ pub mod packed;
 pub mod parallel;
 pub mod requirements;
 pub mod resilient;
+pub mod symbolic;
 pub mod testutil;
 pub mod theorems;
 
@@ -92,6 +93,11 @@ pub use requirements::{
     check_req1_uniform_outputs, check_req2_bounded_processing, check_req3_unique_outputs,
     check_req5_observable, Req1Violation, StallBound,
 };
+pub use symbolic::{
+    run_implicit_campaign, simulate_shard_symbolic, ImplicitConfig, ImplicitReport,
+    SymbolicContext, SymbolicContextError, SymbolicEngineStats,
+};
+
 pub use resilient::{
     CampaignError, CoverageBounds, ResilientCampaign, ResilientRun, ShardFailure, StopReason,
 };

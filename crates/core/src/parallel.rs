@@ -27,6 +27,7 @@ use crate::differential::{simulate_fault_differential, DiffStats, Engine, Golden
 use crate::error_model::Fault;
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
 use crate::packed::{simulate_shard_packed, PackedStats, ReplayScript};
+use crate::symbolic::{simulate_shard_symbolic, SymbolicContext, SymbolicEngineStats};
 use simcov_fsm::{ExplicitMealy, PackedMealy};
 use simcov_obs::Telemetry;
 use simcov_tour::TestSet;
@@ -210,6 +211,9 @@ pub struct CampaignRun {
     /// Collapse accounting when the run consumed a certificate
     /// (`None` for plain runs and [`CollapseMode::Off`]).
     pub collapse: Option<CollapseSummary>,
+    /// BDD-package effort counters (all zero unless the run used
+    /// [`Engine::Symbolic`]); deterministic across thread counts.
+    pub sym: SymbolicEngineStats,
 }
 
 /// A configured fault campaign: the golden machine, the fault list, the
@@ -237,6 +241,7 @@ pub struct FaultCampaign<'a> {
     engine: Engine,
     telemetry: Option<Telemetry>,
     collapse: Option<(&'a CollapseCertificate, CollapseMode)>,
+    symbolic: Option<&'a SymbolicContext<'a>>,
 }
 
 impl<'a> FaultCampaign<'a> {
@@ -253,7 +258,18 @@ impl<'a> FaultCampaign<'a> {
             engine: Engine::default(),
             telemetry: None,
             collapse: None,
+            symbolic: None,
         }
+    }
+
+    /// Attaches the netlist bridge required by [`Engine::Symbolic`]:
+    /// `ctx` must have been validated against this campaign's golden
+    /// machine ([`SymbolicContext::new`]). Ignored by the explicit
+    /// engines; [`run`](Self::run) panics if [`Engine::Symbolic`] is
+    /// selected without one.
+    pub fn symbolic(mut self, ctx: &'a SymbolicContext<'a>) -> Self {
+        self.symbolic = Some(ctx);
+        self
     }
 
     /// Attaches a [`CollapseCertificate`].
@@ -364,8 +380,12 @@ impl<'a> FaultCampaign<'a> {
                     .expect("packed tables built for Engine::Packed"),
                 self.tests,
             )),
-            Engine::Naive => None,
+            Engine::Naive | Engine::Symbolic => None,
         };
+        let sym_ctx = (self.engine == Engine::Symbolic).then(|| {
+            self.symbolic
+                .expect("Engine::Symbolic requires FaultCampaign::symbolic(ctx)")
+        });
         // The packed engine's replay lowering of the golden run, built
         // once and shared read-only across shards like the trace.
         let script = match (&trace, self.engine) {
@@ -379,6 +399,7 @@ impl<'a> FaultCampaign<'a> {
             let st = Instant::now();
             let mut shard_diff = DiffStats::default();
             let mut shard_packed = PackedStats::default();
+            let mut shard_sym = SymbolicEngineStats::default();
             let outcomes: Vec<FaultOutcome> = match (&tables, &trace) {
                 (Some(tables), Some(trace)) => simulate_shard_packed(
                     self.golden,
@@ -402,19 +423,32 @@ impl<'a> FaultCampaign<'a> {
                         )
                     })
                     .collect(),
-                (_, None) => shard
-                    .iter()
-                    .map(|f| simulate_fault(self.golden, f, self.tests))
-                    .collect(),
+                (_, None) => match sym_ctx {
+                    Some(ctx) => {
+                        simulate_shard_symbolic(ctx, self.golden, shard, self.tests, &mut shard_sym)
+                    }
+                    None => shard
+                        .iter()
+                        .map(|f| simulate_fault(self.golden, f, self.tests))
+                        .collect(),
+                },
             };
             let stats = CampaignStats::tally(&outcomes);
-            (outcomes, stats, shard_diff, shard_packed, st.elapsed())
+            (
+                outcomes,
+                stats,
+                shard_diff,
+                shard_packed,
+                shard_sym,
+                st.elapsed(),
+            )
         });
         let mut outcomes = Vec::with_capacity(sim_faults.len());
         let mut diff = DiffStats::default();
         let mut packed = PackedStats::default();
+        let mut sym = SymbolicEngineStats::default();
         let mut timings = Vec::with_capacity(per_shard.len());
-        for (shard, (shard_outcomes, _, shard_diff, shard_packed, wall)) in
+        for (shard, (shard_outcomes, _, shard_diff, shard_packed, shard_sym, wall)) in
             per_shard.into_iter().enumerate()
         {
             // Timings describe the shards actually executed — under
@@ -427,6 +461,7 @@ impl<'a> FaultCampaign<'a> {
             });
             diff.merge(&shard_diff);
             packed.merge(&shard_packed);
+            sym.merge(&shard_sym);
             outcomes.extend(shard_outcomes);
         }
         // Expand per-representative outcomes back to the full fault list
@@ -490,8 +525,9 @@ impl<'a> FaultCampaign<'a> {
             // (not per shard) so the trace stays byte-identical across
             // thread counts. DiffStats is per-fault deterministic, hence
             // the totals are too; the packed engine shares the
-            // differential engine's accounting and adds its own.
-            if self.engine != Engine::Naive {
+            // differential engine's accounting and adds its own. The
+            // symbolic engine reports BDD-package effort instead.
+            if matches!(self.engine, Engine::Differential | Engine::Packed) {
                 tel.counter_add(
                     simcov_obs::names::CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
                     diff.faults_skipped_by_index as u64,
@@ -514,6 +550,18 @@ impl<'a> FaultCampaign<'a> {
                     simcov_obs::names::CAMPAIGN_LANES_ACTIVE,
                     packed.lanes_active as u64,
                 );
+            }
+            // Per-shard managers run deterministic operation sequences
+            // and are merged in shard order, so these sums are
+            // byte-identical across `--jobs` (see `simcov_obs::names`).
+            if self.engine == Engine::Symbolic {
+                tel.counter_add(simcov_obs::names::BDD_UNIQUE_NODES, sym.unique_nodes);
+                tel.counter_add(simcov_obs::names::BDD_ITE_CACHE_HITS, sym.ite_cache_hits);
+                tel.counter_add(
+                    simcov_obs::names::BDD_ITE_CACHE_MISSES,
+                    sym.ite_cache_misses,
+                );
+                tel.counter_add(simcov_obs::names::BDD_GC_COLLECTIONS, sym.gc_collections);
             }
             // Collapse accounting, only when a certificate was active —
             // plain runs carry no collapse counters at all, so their
@@ -542,6 +590,7 @@ impl<'a> FaultCampaign<'a> {
             diff,
             packed,
             collapse: summary,
+            sym,
         }
     }
 }

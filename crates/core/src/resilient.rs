@@ -59,6 +59,7 @@ use crate::error_model::{Fault, FaultKind};
 use crate::faults::{simulate_fault, CampaignReport, FaultOutcome};
 use crate::packed::{simulate_shard_packed, PackedStats, ReplayScript};
 use crate::parallel::{default_jobs, default_shard_size, CampaignStats};
+use crate::symbolic::{simulate_shard_symbolic, SymbolicContext, SymbolicEngineStats};
 use simcov_fsm::{ExplicitMealy, InputSym, OutputSym, PackedMealy, StateId};
 use simcov_obs::Telemetry;
 use simcov_tour::TestSet;
@@ -880,14 +881,26 @@ pub struct ResilientRun {
     /// Word-packing effort counters over freshly simulated shards (zero
     /// unless the run used [`Engine::Packed`]); same caveats as `diff`.
     pub packed: PackedStats,
+    /// BDD-package effort counters over freshly simulated shards (zero
+    /// unless the run used [`Engine::Symbolic`]); same caveats as `diff`.
+    pub sym: SymbolicEngineStats,
     /// Collapse accounting when the run consumed a certificate (`None`
     /// for plain runs and [`CollapseMode::Off`]).
     pub collapse: Option<CollapseSummary>,
 }
 
 enum ShardState {
-    Done(Vec<FaultOutcome>, CampaignStats, DiffStats, PackedStats),
-    Poisoned { attempts: usize, message: String },
+    Done(
+        Vec<FaultOutcome>,
+        CampaignStats,
+        DiffStats,
+        PackedStats,
+        SymbolicEngineStats,
+    ),
+    Poisoned {
+        attempts: usize,
+        message: String,
+    },
     Cancelled,
 }
 
@@ -923,6 +936,7 @@ pub struct ResilientCampaign<'a> {
     telemetry: Option<Telemetry>,
     collapse: Option<(&'a CollapseCertificate, CollapseMode)>,
     shared_trace: Option<Arc<GoldenTrace>>,
+    symbolic: Option<&'a SymbolicContext<'a>>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::ChaosPlan>,
 }
@@ -946,9 +960,19 @@ impl<'a> ResilientCampaign<'a> {
             telemetry: None,
             collapse: None,
             shared_trace: None,
+            symbolic: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
+    }
+
+    /// Attaches the netlist bridge required by [`Engine::Symbolic`], as
+    /// for [`FaultCampaign::symbolic`](crate::FaultCampaign::symbolic).
+    /// [`run`](Self::run) panics if [`Engine::Symbolic`] is selected
+    /// without one.
+    pub fn symbolic(mut self, ctx: &'a SymbolicContext<'a>) -> Self {
+        self.symbolic = Some(ctx);
+        self
     }
 
     /// Attaches a [`CollapseCertificate`], as for
@@ -1266,7 +1290,7 @@ impl<'a> ResilientCampaign<'a> {
         let tables =
             (self.engine == Engine::Packed).then(|| PackedMealy::from_explicit(self.golden));
         let trace: Option<Arc<GoldenTrace>> = match self.engine {
-            Engine::Naive => None,
+            Engine::Naive | Engine::Symbolic => None,
             engine => Some(match &self.shared_trace {
                 // A cache-provided trace (see `golden_trace`): the caller
                 // vouches it was built from this (machine, test set).
@@ -1280,7 +1304,7 @@ impl<'a> ResilientCampaign<'a> {
                             .expect("packed tables built for Engine::Packed"),
                         self.tests,
                     ),
-                    Engine::Naive => unreachable!("matched above"),
+                    Engine::Naive | Engine::Symbolic => unreachable!("matched above"),
                 }),
             }),
         };
@@ -1320,7 +1344,7 @@ impl<'a> ResilientCampaign<'a> {
                 cancel_ref,
                 cost,
             );
-            if let ShardState::Done(outcomes, stats, _, _) = &state {
+            if let ShardState::Done(outcomes, stats, _, _, _) = &state {
                 if let Some(j) = journal_ref {
                     #[cfg(feature = "chaos")]
                     let drop_write = self
@@ -1377,6 +1401,7 @@ impl<'a> ResilientCampaign<'a> {
         let mut stats = CampaignStats::default();
         let mut diff = DiffStats::default();
         let mut packed = PackedStats::default();
+        let mut sym = SymbolicEngineStats::default();
         let mut failures = Vec::new();
         let mut skipped = Vec::new();
         let mut restored_count = 0;
@@ -1407,11 +1432,12 @@ impl<'a> ResilientCampaign<'a> {
                 continue;
             }
             match slots[i].take() {
-                Some(ShardState::Done(outs, st, sd, sp)) => {
+                Some(ShardState::Done(outs, st, sd, sp, ss)) => {
                     shard_event(&st, i, false);
                     stats.merge(&st);
                     diff.merge(&sd);
                     packed.merge(&sp);
+                    sym.merge(&ss);
                     outcomes.extend(outs);
                 }
                 Some(ShardState::Poisoned { attempts, message }) => {
@@ -1457,8 +1483,9 @@ impl<'a> ResilientCampaign<'a> {
             // Differential-effort counters, merged serially in shard
             // order from freshly simulated shards only (restored shards
             // did no simulation this run). The packed engine shares the
-            // differential accounting and adds its word counters.
-            if self.engine != Engine::Naive {
+            // differential accounting and adds its word counters; the
+            // symbolic engine reports BDD-package effort instead.
+            if matches!(self.engine, Engine::Differential | Engine::Packed) {
                 tel.counter_add(
                     simcov_obs::names::CAMPAIGN_FAULTS_SKIPPED_BY_INDEX,
                     diff.faults_skipped_by_index as u64,
@@ -1481,6 +1508,17 @@ impl<'a> ResilientCampaign<'a> {
                     simcov_obs::names::CAMPAIGN_LANES_ACTIVE,
                     packed.lanes_active as u64,
                 );
+            }
+            // Summed from freshly simulated shards in shard order;
+            // byte-identical across `--jobs` (see `simcov_obs::names`).
+            if self.engine == Engine::Symbolic {
+                tel.counter_add(simcov_obs::names::BDD_UNIQUE_NODES, sym.unique_nodes);
+                tel.counter_add(simcov_obs::names::BDD_ITE_CACHE_HITS, sym.ite_cache_hits);
+                tel.counter_add(
+                    simcov_obs::names::BDD_ITE_CACHE_MISSES,
+                    sym.ite_cache_misses,
+                );
+                tel.counter_add(simcov_obs::names::BDD_GC_COLLECTIONS, sym.gc_collections);
             }
         }
         drop(span);
@@ -1506,6 +1544,7 @@ impl<'a> ResilientCampaign<'a> {
             wall: t0.elapsed(),
             diff,
             packed,
+            sym,
             collapse: None,
         })
     }
@@ -1543,6 +1582,29 @@ impl<'a> ResilientCampaign<'a> {
                 }
                 let mut shard_diff = DiffStats::default();
                 let mut shard_packed = PackedStats::default();
+                let mut shard_sym = SymbolicEngineStats::default();
+                if self.engine == Engine::Symbolic {
+                    // Symbolic engine: like the packed engine the walk is
+                    // shard-at-a-time, so charge the whole shard's budget
+                    // up front with the same per-fault deductions as the
+                    // scalar loop (partial shards are never reported).
+                    for _ in shard {
+                        if !cancel.charge(cost) {
+                            return None;
+                        }
+                    }
+                    let ctx = self
+                        .symbolic
+                        .expect("Engine::Symbolic requires ResilientCampaign::symbolic(ctx)");
+                    let outcomes = simulate_shard_symbolic(
+                        ctx,
+                        self.golden,
+                        shard,
+                        self.tests,
+                        &mut shard_sym,
+                    );
+                    return Some((outcomes, shard_diff, shard_packed, shard_sym));
+                }
                 if let Some(tables) = tables {
                     // Packed engine: the word replay is shard-at-a-time,
                     // so charge the whole shard's budget up front — the
@@ -1569,7 +1631,7 @@ impl<'a> ResilientCampaign<'a> {
                         &mut shard_diff,
                         &mut shard_packed,
                     );
-                    return Some((outcomes, shard_diff, shard_packed));
+                    return Some((outcomes, shard_diff, shard_packed, shard_sym));
                 }
                 let mut outcomes = Vec::with_capacity(shard.len());
                 for f in shard {
@@ -1592,12 +1654,12 @@ impl<'a> ResilientCampaign<'a> {
                         None => simulate_fault(self.golden, f, self.tests),
                     });
                 }
-                Some((outcomes, shard_diff, shard_packed))
+                Some((outcomes, shard_diff, shard_packed, shard_sym))
             }));
             match result {
-                Ok(Some((outcomes, shard_diff, shard_packed))) => {
+                Ok(Some((outcomes, shard_diff, shard_packed, shard_sym))) => {
                     let stats = CampaignStats::tally(&outcomes);
-                    return ShardState::Done(outcomes, stats, shard_diff, shard_packed);
+                    return ShardState::Done(outcomes, stats, shard_diff, shard_packed, shard_sym);
                 }
                 Ok(None) => return ShardState::Cancelled,
                 Err(payload) => {

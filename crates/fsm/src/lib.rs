@@ -58,6 +58,6 @@ pub use explicit::{
 pub use input_classes::{input_equivalence_classes, InputClasses};
 pub use minimize::{minimize, Minimized};
 pub use packed::{LanePatch, PackedMealy, LANES, UNDEFINED_NARROW, UNDEFINED_RECORD};
-pub use product::{forall_k_symbolic, PairAnalysisResult, PairFsm};
+pub use product::{forall_k_symbolic, PairAnalysisResult, PairFsm, TransferDetectPrep};
 pub use refine::{partition_by_rows, refine_partition, Partition};
 pub use symbolic::{CoverageAccumulator, ReachResult, SymbolicFsm, SymbolicStats};

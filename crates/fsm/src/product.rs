@@ -40,7 +40,40 @@ pub struct PairAnalysisResult {
     pub fixed_point: bool,
 }
 
+/// Result of preparing a transfer-fault detectability analysis:
+/// everything that does not depend on which latch the fault flips, shared
+/// across the per-latch queries of [`PairFsm::transfer_flip_detectable`].
+///
+/// Cloning the owning [`PairFsm`] *after* building the prep (both are
+/// `Clone`) gives shard workers independent managers with identical handle
+/// spaces, so the prep's BDD handles stay valid in every clone.
+#[derive(Debug, Clone)]
+pub struct TransferDetectPrep {
+    /// Reachable states of the golden machine (over copy-A current-state
+    /// variables).
+    pub reached: Bdd,
+    /// `reached ∧ valid`: the reachable `(state, input)` cells (over
+    /// copy-A current-state + shared input variables).
+    pub reachable_cells_set: Bdd,
+    /// `E_k ∧ distinct` renamed to the next-state slots: pairs of
+    /// *successor* states from which some valid `k`-sequence keeps all
+    /// outputs equal (over levels `4j+2` / `4j+3`).
+    pub escape_next: Bdd,
+    /// Whether the `E` iteration converged before `k` rounds (the
+    /// per-latch results are then valid for every `k' ≥ k`).
+    pub fixed_point: bool,
+    /// The `k` that was prepared.
+    pub k: usize,
+    /// Number of reachable states (saturates to `u128::MAX` above 127
+    /// support variables).
+    pub reachable_states: u128,
+    /// Number of reachable `(state, input)` cells — the per-latch fault
+    /// universe (saturates like `reachable_states`).
+    pub reachable_cells: u128,
+}
+
 /// A symbolic pair machine over a netlist; see the module docs.
+#[derive(Clone)]
 pub struct PairFsm {
     mgr: BddManager,
     num_latches: usize,
@@ -128,6 +161,16 @@ impl PairFsm {
     /// The manager, for constraint construction.
     pub fn mgr(&mut self) -> &mut BddManager {
         &mut self.mgr
+    }
+
+    /// Read-only manager access (stats, counting).
+    pub fn mgr_ref(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// Number of latches of one machine copy.
+    pub fn num_latches(&self) -> usize {
+        self.num_latches
     }
 
     /// Copy-A current-state variable of latch `j`.
@@ -342,14 +385,104 @@ impl PairFsm {
 
     fn count_over_a(&self, f: Bdd) -> u128 {
         let total = (4 * self.num_latches + self.num_inputs) as u32;
+        if total > 127 {
+            return u128::MAX;
+        }
         let free = total - self.num_latches as u32;
         self.mgr.sat_count(f, total) >> free
     }
 
     fn count_over_ab(&self, f: Bdd) -> u128 {
         let total = (4 * self.num_latches + self.num_inputs) as u32;
+        if total > 127 {
+            return u128::MAX;
+        }
         let free = total - 2 * self.num_latches as u32;
         self.mgr.sat_count(f, total) >> free
+    }
+
+    /// Count over copy-A state + shared input variables (the `(state,
+    /// input)` cells), saturating above 127 support variables.
+    fn count_over_cells(&self, f: Bdd) -> u128 {
+        let total = (4 * self.num_latches + self.num_inputs) as u32;
+        if total > 127 {
+            return u128::MAX;
+        }
+        let free = 3 * self.num_latches as u32;
+        self.mgr.sat_count(f, total) >> free
+    }
+
+    /// Prepares the flip-independent parts of a transfer-fault
+    /// detectability analysis: golden reachability, the reachable-cell
+    /// relation, and the `k`-step output-equality escape relation over
+    /// successor pairs. See [`PairFsm::transfer_flip_detectable`].
+    pub fn transfer_detect_prep(&mut self, init: &[bool], k: usize) -> TransferDetectPrep {
+        assert_eq!(init.len(), self.num_latches, "init width mismatch");
+        let (bad, fixed_point) = self.equal_output_pairs(k);
+        // Rename the escape relation from current-state pair slots
+        // (4j, 4j+1) to next-state pair slots (4j+2, 4j+3): its support is
+        // state-pair variables only, and the map is level-monotone.
+        let map: Vec<(Var, Var)> = (0..self.num_latches)
+            .flat_map(|j| {
+                [
+                    (Var(4 * j as u32), Var(4 * j as u32 + 2)),
+                    (Var(4 * j as u32 + 1), Var(4 * j as u32 + 3)),
+                ]
+            })
+            .collect();
+        let escape_next = self.mgr.rename(bad, &map);
+        let reached = self.reachable_a(init);
+        let reachable_cells_set = self.mgr.and(reached, self.valid);
+        TransferDetectPrep {
+            reached,
+            reachable_cells_set,
+            escape_next,
+            fixed_point,
+            k,
+            reachable_states: self.count_over_a(reached),
+            reachable_cells: self.count_over_cells(reachable_cells_set),
+        }
+    }
+
+    /// Number of reachable `(state, input)` cells at which a transfer
+    /// fault flipping latch `flip` (Definition 3 of the paper: the stored
+    /// next-state bit is inverted at that one cell) is *guaranteed* to be
+    /// detected within `prep.k` further vectors — i.e. every valid
+    /// `k`-long continuation drives the golden/faulty successor pair to an
+    /// output difference.
+    ///
+    /// The count is implicit over all cells at once: the faulty successor
+    /// is `δ(x, i) ⊕ e_flip`, so a cell escapes detection iff
+    /// `E_k(δ(x, i), δ(x, i) ⊕ e_flip)` — one relational-product chain per
+    /// latch, never an enumeration of the (here, hundreds of millions of)
+    /// cells. Saturates to `u128::MAX` above 127 support variables.
+    pub fn transfer_flip_detectable(&mut self, prep: &TransferDetectPrep, flip: usize) -> u128 {
+        let nl = self.num_latches;
+        assert!(flip < nl, "flip latch out of range");
+        // esc_ya(yA) = ∃ yB . escape_next ∧ (yB = yA ⊕ e_flip).
+        let mut esc = prep.escape_next;
+        for j in 0..nl {
+            let ya = self.mgr.var(4 * j as u32 + 2);
+            let yb = self.mgr.var(4 * j as u32 + 3);
+            let rel = if j == flip {
+                self.mgr.xor(ya, yb) // yb = ¬ya
+            } else {
+                self.mgr.iff(ya, yb)
+            };
+            let cube = self.mgr.cube_from_vars(&[Var(4 * j as u32 + 3)]);
+            esc = self.mgr.and_exists(esc, rel, cube);
+        }
+        // esc(xA, i) = ∃ yA . esc_ya ∧ (yA ⇔ δA(xA, i)).
+        for j in 0..nl {
+            let ya = self.mgr.var(4 * j as u32 + 2);
+            let f = self.next_a[j];
+            let conj = self.mgr.iff(ya, f);
+            let cube = self.mgr.cube_from_vars(&[Var(4 * j as u32 + 2)]);
+            esc = self.mgr.and_exists(esc, conj, cube);
+        }
+        let not_esc = self.mgr.not(esc);
+        let detected = self.mgr.and(prep.reachable_cells_set, not_esc);
+        self.count_over_cells(detected)
     }
 
     /// Extracts up to `limit` violating pairs as pairs of state
@@ -539,6 +672,105 @@ mod tests {
             }
             count
         }
+    }
+
+    /// `transfer_flip_detectable` agrees with a brute-force walk of every
+    /// `(state, input, flipped latch)` on a small machine, for several `k`.
+    #[test]
+    fn transfer_detectability_matches_explicit() {
+        for observable in [false, true] {
+            let mut n = Netlist::new();
+            let a = n.add_input("a");
+            let q0 = n.add_latch("q0", false);
+            let q1 = n.add_latch("q1", false);
+            let q2 = n.add_latch("q2", false);
+            let o0 = n.latch_output(q0);
+            let o1 = n.latch_output(q1);
+            let o2 = n.latch_output(q2);
+            n.set_latch_next(q0, a);
+            n.set_latch_next(q1, o0);
+            n.set_latch_next(q2, o1);
+            n.add_output("tap", o2);
+            if observable {
+                n.add_output("front", o0);
+            }
+            let nl = 3usize;
+            // Explicit escape relation over all 8x8 state pairs:
+            // esc[t](a, b) = some t-long input sequence keeps outputs equal.
+            let state =
+                |bits: usize| -> Vec<bool> { (0..nl).map(|j| bits >> j & 1 == 1).collect() };
+            let step = |bits: usize, i: bool| -> (usize, Vec<bool>) {
+                let (nx, out) = n.step(&state(bits), &[i]);
+                let mut v = 0usize;
+                for (j, &b) in nx.iter().enumerate() {
+                    v |= (b as usize) << j;
+                }
+                (v, out)
+            };
+            for k in 1..=3usize {
+                let mut esc = vec![vec![true; 8]; 8];
+                for _ in 0..k {
+                    let mut next = vec![vec![false; 8]; 8];
+                    #[allow(clippy::needless_range_loop)]
+                    for sa in 0..8 {
+                        for sb in 0..8 {
+                            for i in [false, true] {
+                                let (na, oa) = step(sa, i);
+                                let (nb, ob) = step(sb, i);
+                                if oa == ob && esc[na][nb] {
+                                    next[sa][sb] = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    esc = next;
+                }
+                // Reachable states by BFS.
+                let mut reach = [false; 8];
+                let mut work = vec![0usize];
+                reach[0] = true;
+                while let Some(s) = work.pop() {
+                    for i in [false, true] {
+                        let (nx, _) = step(s, i);
+                        if !reach[nx] {
+                            reach[nx] = true;
+                            work.push(nx);
+                        }
+                    }
+                }
+                let mut pf = PairFsm::from_netlist(&n);
+                let prep = pf.transfer_detect_prep(&n.initial_state(), k);
+                let cells: usize = reach.iter().filter(|&&r| r).count() * 2;
+                assert_eq!(prep.reachable_cells, cells as u128, "k={k}");
+                for flip in 0..nl {
+                    let mut expected = 0u128;
+                    for (s, _) in reach.iter().enumerate().filter(|&(_, &r)| r) {
+                        for i in [false, true] {
+                            let (nx, _) = step(s, i);
+                            let flipped = nx ^ (1 << flip);
+                            if !esc[nx][flipped] {
+                                expected += 1;
+                            }
+                        }
+                    }
+                    let got = pf.transfer_flip_detectable(&prep, flip);
+                    assert_eq!(got, expected, "observable={observable} k={k} flip={flip}");
+                }
+            }
+        }
+    }
+
+    /// The prep survives cloning the pair machine: clones answer the same
+    /// per-latch queries (the shard-worker pattern of the symbolic engine).
+    #[test]
+    fn transfer_prep_valid_in_clones() {
+        let n = lookalike();
+        let mut pf = PairFsm::from_netlist(&n);
+        let prep = pf.transfer_detect_prep(&[false], 2);
+        let direct = pf.transfer_flip_detectable(&prep, 0);
+        let mut clone = pf.clone();
+        assert_eq!(clone.transfer_flip_detectable(&prep, 0), direct);
     }
 
     #[test]

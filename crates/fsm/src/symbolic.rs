@@ -30,6 +30,11 @@ pub struct SymbolicStats {
     pub outputs: usize,
     /// Live BDD nodes in the manager.
     pub bdd_nodes: usize,
+    /// `true` when the machine has more than 127 support variables, in
+    /// which case the exact `count_*` methods cannot represent their
+    /// result in `u128` and *saturate* to `u128::MAX` instead of
+    /// panicking (or, worse, silently wrapping).
+    pub counts_saturate: bool,
 }
 
 /// A Mealy machine represented by BDD next-state and output functions,
@@ -286,11 +291,19 @@ impl SymbolicFsm {
     /// conjoined with the valid-input constraint. This is the object whose
     /// construction time Section 7.2 reports ("about 10 seconds on an
     /// UltraSparc").
+    ///
+    /// Conjuncts accumulate in reverse latch order, so the partial product
+    /// picks up the deepest-levelled `y_j ⇔ f_j` parts first and each new
+    /// conjunct's top variable sits above most of what has been built —
+    /// measured fastest among the schedules tried on the DLX model
+    /// (size-ordered and balanced-tree reductions both lost; the real cost
+    /// lives in the BDD package's cache behaviour, not the schedule). The
+    /// result is the same canonical BDD under any order.
     pub fn transition_relation(&mut self) -> Bdd {
         self.ensure_trans_parts();
         let parts = self.trans_parts.clone().expect("just built");
         let mut t = self.valid;
-        for p in parts {
+        for p in parts.into_iter().rev() {
             t = self.mgr.and(t, p);
         }
         t
@@ -339,23 +352,36 @@ impl SymbolicFsm {
         }
     }
 
+    /// `true` when the machine has too many support variables
+    /// (`2·latches + inputs > 127`) for `u128` satisfying-assignment
+    /// counts; the `count_*` methods then saturate to `u128::MAX`.
+    /// Mirrored as [`SymbolicStats::counts_saturate`].
+    pub fn counts_saturate(&self) -> bool {
+        2 * self.num_latches + self.num_inputs > 127
+    }
+
     /// Exact number of states in `set` (a function over current-state
     /// variables only).
     ///
+    /// Returns `u128::MAX` when the machine has more than 127 support
+    /// variables (see [`SymbolicFsm::counts_saturate`]): `2^128` and up is
+    /// not representable, and saturating beats both panicking mid-campaign
+    /// and the silent wraparound the shift correction would produce.
+    ///
     /// # Panics
     ///
-    /// Panics if the machine has more than 63 latches (count would not be
-    /// meaningful as `u128` through the free-variable correction) or if
-    /// `set` depends on non-state variables.
+    /// Panics if `set` depends on non-state variables.
     pub fn count_states(&self, set: Bdd) -> u128 {
-        let total = 2 * self.num_latches + self.num_inputs;
-        assert!(total <= 127, "too many variables for exact counting");
         for v in self.mgr.support(set) {
             assert!(
                 v.0 % 2 == 0 && (v.0 as usize) < 2 * self.num_latches,
                 "count_states: set depends on non-state variable {v}"
             );
         }
+        if self.counts_saturate() {
+            return u128::MAX;
+        }
+        let total = 2 * self.num_latches + self.num_inputs;
         let free = total - self.num_latches;
         self.mgr.sat_count(set, total as u32) >> free
     }
@@ -364,9 +390,14 @@ impl SymbolicFsm {
     /// input)` with the state in `reached` and the input valid. This is
     /// the paper's transition count (each such pair is one edge of the
     /// state transition graph that a transition tour must visit).
+    ///
+    /// Saturates to `u128::MAX` on machines with more than 127 support
+    /// variables (see [`SymbolicFsm::counts_saturate`]).
     pub fn count_transitions(&mut self, reached: Bdd) -> u128 {
+        if self.counts_saturate() {
+            return u128::MAX;
+        }
         let total = 2 * self.num_latches + self.num_inputs;
-        assert!(total <= 127, "too many variables for exact counting");
         let both = self.mgr.and(reached, self.valid);
         // Free variables: the next-state variables.
         let free = self.num_latches;
@@ -376,9 +407,14 @@ impl SymbolicFsm {
     /// Exact number of valid input vectors (assignments to the inputs
     /// satisfying the valid-input constraint), assuming the constraint
     /// mentions input variables only.
+    ///
+    /// Saturates to `u128::MAX` on machines with more than 127 support
+    /// variables (see [`SymbolicFsm::counts_saturate`]).
     pub fn count_valid_inputs(&self) -> u128 {
+        if self.counts_saturate() {
+            return u128::MAX;
+        }
         let total = 2 * self.num_latches + self.num_inputs;
-        assert!(total <= 127, "too many variables for exact counting");
         let free = 2 * self.num_latches;
         self.mgr.sat_count(self.valid, total as u32) >> free
     }
@@ -390,6 +426,7 @@ impl SymbolicFsm {
             inputs: self.num_inputs,
             outputs: self.output_fns.len(),
             bdd_nodes: self.mgr.num_nodes(),
+            counts_saturate: self.counts_saturate(),
         }
     }
 }
@@ -452,9 +489,14 @@ impl SymbolicFsm {
     }
 
     /// Number of distinct `(state, input)` transitions recorded.
+    ///
+    /// Saturates to `u128::MAX` on machines with more than 127 support
+    /// variables (see [`SymbolicFsm::counts_saturate`]).
     pub fn coverage_count(&self, acc: &CoverageAccumulator) -> u128 {
+        if self.counts_saturate() {
+            return u128::MAX;
+        }
         let total = 2 * self.num_latches + self.num_inputs;
-        assert!(total <= 127, "too many variables for exact counting");
         let free = self.num_latches; // next-state vars unconstrained
         self.mgr.sat_count(acc.visited, total as u32) >> free
     }
@@ -618,5 +660,38 @@ mod tests {
         assert_eq!(fsm.output_fns()[0].0, "msb");
         assert_eq!(fsm.stats().latches, 3);
         assert_eq!(fsm.stats().inputs, 1);
+        assert!(!fsm.stats().counts_saturate);
+    }
+
+    /// A machine wide enough that `2·latches + inputs > 127`: a 70-bit
+    /// shift-register-of-itself (each latch feeds itself), one input.
+    fn wide70() -> Netlist {
+        let mut n = Netlist::new();
+        let _en = n.add_input("en");
+        for i in 0..70 {
+            let l = n.add_latch(format!("b{i}"), false);
+            let o = n.latch_output(l);
+            n.set_latch_next(l, o);
+            if i == 69 {
+                n.add_output("msb", o);
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_overflowing() {
+        // 2·70 + 1 = 141 support variables: 2^141 assignments cannot be
+        // shift-corrected within u128, so every count saturates rather
+        // than panicking or wrapping.
+        let mut fsm = SymbolicFsm::from_netlist(&wide70());
+        assert!(fsm.counts_saturate());
+        assert!(fsm.stats().counts_saturate);
+        let r = fsm.reachable();
+        assert_eq!(fsm.count_states(r.reached), u128::MAX);
+        assert_eq!(fsm.count_transitions(r.reached), u128::MAX);
+        assert_eq!(fsm.count_valid_inputs(), u128::MAX);
+        let acc = CoverageAccumulator::new();
+        assert_eq!(fsm.coverage_count(&acc), u128::MAX);
     }
 }

@@ -18,9 +18,10 @@ use simcov_core::differential::simulate_fault_differential;
 use simcov_core::fingerprint::machine_fingerprint;
 use simcov_core::packed::simulate_shard_packed;
 use simcov_core::{
-    default_jobs, enumerate_single_faults, extend_cyclically, simulate_fault, ClosureConfig,
-    ClosureDriver, CollapseMode, DiffStats, Engine, Fault, FaultSpace, GoldenTrace, PackedStats,
-    ReplayScript, ResilientCampaign,
+    default_jobs, enumerate_single_faults, extend_cyclically, run_implicit_campaign,
+    simulate_fault, simulate_shard_symbolic, ClosureConfig, ClosureDriver, CollapseMode, DiffStats,
+    Engine, Fault, FaultSpace, GoldenTrace, ImplicitConfig, PackedStats, ReplayScript,
+    ResilientCampaign, SymbolicContext, SymbolicEngineStats,
 };
 use simcov_fsm::{enumerate_netlist, EnumerateOptions, ExplicitMealy, PackedMealy};
 use simcov_netlist::Netlist;
@@ -30,7 +31,7 @@ use simcov_prng::Prng;
 use simcov_tour::{coverage, generate_tour_traced, TestSet, TourKind};
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A job failure: message plus the exit status it maps to (usage errors
 /// are the client's fault, runtime errors the model's).
@@ -390,6 +391,8 @@ impl Default for AuditPolicy {
 /// Audits `engine` against the naive oracle on a seeded fault sample;
 /// `true` means every sampled outcome agreed. Runs entirely outside the
 /// job's telemetry so a passed audit leaves no trace in the job's trace.
+/// `sym` is the netlist bridge for [`Engine::Symbolic`] (auditing that
+/// engine without one fails the audit, descending the ladder).
 pub fn audit_engine(
     m: &ExplicitMealy,
     trace: &GoldenTrace,
@@ -397,6 +400,7 @@ pub fn audit_engine(
     tests: &TestSet,
     engine: Engine,
     policy: AuditPolicy,
+    sym: Option<&SymbolicContext<'_>>,
 ) -> bool {
     if faults.is_empty() || engine == Engine::Naive {
         return true;
@@ -433,6 +437,11 @@ pub fn audit_engine(
                 &mut packed,
             )
         }
+        Engine::Symbolic => {
+            let Some(ctx) = sym else { return false };
+            let mut stats = SymbolicEngineStats::default();
+            simulate_shard_symbolic(ctx, m, &sample, tests, &mut stats)
+        }
     };
     got == expected
 }
@@ -440,6 +449,7 @@ pub fn audit_engine(
 /// One rung down the degradation ladder.
 fn degrade(engine: Engine) -> Engine {
     match engine {
+        Engine::Symbolic => Engine::Differential,
         Engine::Packed => Engine::Differential,
         Engine::Differential | Engine::Naive => Engine::Naive,
     }
@@ -487,6 +497,11 @@ fn execute_campaign(
         return Err(JobError::usage("--resume requires --checkpoint <FILE>"));
     }
     let n = model.netlist()?;
+    if opts.engine == Engine::Symbolic && n.num_inputs() > 16 {
+        // Too wide to enumerate: run the implicit (fault-family) campaign
+        // instead of the explicit-comparable shard engine.
+        return execute_campaign_implicit(model, &n, opts, tel);
+    }
     let m = enumerate(&n)?;
     let tour = generate_tour_traced(&m, TourKind::Postman, tel)
         .map_err(|e| JobError::runtime(format!("tour generation failed: {e}")))?;
@@ -501,6 +516,17 @@ fn execute_campaign(
     let tests = TestSet::single(extend_cyclically(&tour.inputs, opts.k));
     tel.counter_add("campaign.faults_enumerated", faults.len() as u64);
     tel.gauge_set("campaign.test_vectors", tests.total_vectors() as u64);
+
+    // The symbolic shard engine needs the netlist bridge; building it
+    // revalidates the netlist against the enumerated machine.
+    let exhaustive_inputs = EnumerateOptions::exhaustive(&n).inputs;
+    let sym_ctx = match opts.engine {
+        Engine::Symbolic => Some(
+            SymbolicContext::new(&n, &m, &exhaustive_inputs)
+                .map_err(|e| JobError::runtime(format!("symbolic context: {e}")))?,
+        ),
+        _ => None,
+    };
 
     // Server-side extras, both invisible to the job's telemetry: fetch
     // the golden trace (cache or local build) once, audit the requested
@@ -523,7 +549,7 @@ fn execute_campaign(
         while engine != Engine::Naive {
             let fail = match ctx.force_audit_fail {
                 Some(force) => force(engine),
-                None => !audit_engine(&m, trace, &faults, &tests, engine, policy),
+                None => !audit_engine(&m, trace, &faults, &tests, engine, policy, sym_ctx.as_ref()),
             };
             if !fail {
                 break;
@@ -554,8 +580,14 @@ fn execute_campaign(
         .jobs(jobs)
         .max_retries(opts.max_retries)
         .telemetry(tel.clone());
-    if let (Some(trace), true) = (&shared_trace, engine != Engine::Naive) {
+    if let (Some(trace), true) = (
+        &shared_trace,
+        matches!(engine, Engine::Differential | Engine::Packed),
+    ) {
         campaign = campaign.golden_trace(Arc::clone(trace));
+    }
+    if let (Some(ctx), Engine::Symbolic) = (&sym_ctx, engine) {
+        campaign = campaign.symbolic(ctx);
     }
     if let Some(a) = &analysis {
         campaign = campaign.collapse(&a.certificate, opts.collapse);
@@ -646,6 +678,115 @@ fn execute_campaign(
         engine_used: Some(engine),
         degraded,
         cache_hit,
+    })
+}
+
+/// Implicit symbolic campaign: models too wide to enumerate (the
+/// full-width DLX) get their single-bit-flip fault families analysed
+/// over BDDs instead of an explicit fault list. Full-width DLX models
+/// carry the abstract-ISA valid-input constraint; anything else runs
+/// unconstrained.
+fn execute_campaign_implicit(
+    model: &ModelSource,
+    n: &Netlist,
+    opts: &CampaignOpts,
+    tel: &Telemetry,
+) -> Result<JobOutcome, JobError> {
+    let started = Instant::now();
+    let constrained = matches!(model.dlx_name(), Some("fig3b") | Some("final"));
+    let names: Vec<String> = n.input_names().map(str::to_string).collect();
+    let jobs = if opts.jobs == 0 {
+        default_jobs()
+    } else {
+        opts.jobs
+    };
+    let cfg = ImplicitConfig {
+        k: opts.k.max(1),
+        jobs,
+    };
+    let report = run_implicit_campaign(
+        n,
+        |pf| {
+            if constrained {
+                let vars: Vec<_> = names
+                    .iter()
+                    .map(|nm| pf.input_var_by_name(nm).expect("netlist input present"))
+                    .collect();
+                simcov_dlx::testmodel::valid_inputs_constraint(pf.mgr(), &|name| {
+                    let i = names
+                        .iter()
+                        .position(|nm| nm == name)
+                        .unwrap_or_else(|| panic!("model lost input `{name}`"));
+                    vars[i]
+                })
+            } else {
+                pf.mgr().constant(true)
+            }
+        },
+        &cfg,
+    );
+    tel.counter_add(
+        "campaign.faults_enumerated",
+        u64::try_from(report.output_faults.saturating_add(report.transfer_faults))
+            .unwrap_or(u64::MAX),
+    );
+    tel.counter_add(simcov_obs::names::BDD_UNIQUE_NODES, report.sym.unique_nodes);
+    tel.counter_add(
+        simcov_obs::names::BDD_ITE_CACHE_HITS,
+        report.sym.ite_cache_hits,
+    );
+    tel.counter_add(
+        simcov_obs::names::BDD_ITE_CACHE_MISSES,
+        report.sym.ite_cache_misses,
+    );
+    tel.counter_add(
+        simcov_obs::names::BDD_GC_COLLECTIONS,
+        report.sym.gc_collections,
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model: {} ({} inputs, {} latches, {} outputs; implicit)",
+        match model {
+            ModelSource::Blif { name, .. } => name.as_str(),
+            ModelSource::Dlx(which) => which.as_str(),
+        },
+        n.num_inputs(),
+        report.num_latches,
+        report.num_outputs
+    );
+    let _ = writeln!(
+        out,
+        "engine: symbolic (implicit; {})",
+        if constrained {
+            "abstract-ISA valid inputs"
+        } else {
+            "all inputs valid"
+        }
+    );
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "status: {}",
+        if report.fixed_point {
+            "complete (fixed point)"
+        } else {
+            "complete (horizon-bounded)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "wall: {:.1} ms on {} worker thread{}",
+        started.elapsed().as_secs_f64() * 1e3,
+        jobs,
+        if jobs == 1 { "" } else { "s" }
+    );
+    Ok(JobOutcome {
+        text: out,
+        status: ExitStatus::Ok,
+        engine_used: Some(Engine::Symbolic),
+        degraded: 0,
+        cache_hit: None,
     })
 }
 

@@ -243,7 +243,12 @@ pub fn parse_request(req: &Json) -> Result<Request, String> {
                             Some("naive") => Engine::Naive,
                             Some("differential") => Engine::Differential,
                             Some("packed") => Engine::Packed,
-                            _ => return Err("`engine` must be naive|differential|packed".into()),
+                            Some("symbolic") => Engine::Symbolic,
+                            _ => {
+                                return Err(
+                                    "`engine` must be naive|differential|packed|symbolic".into()
+                                )
+                            }
                         },
                     };
                     let collapse = match req.get("collapse") {
@@ -312,7 +317,12 @@ pub fn parse_request(req: &Json) -> Result<Request, String> {
                             Some("naive") => Engine::Naive,
                             Some("differential") => Engine::Differential,
                             Some("packed") => Engine::Packed,
-                            _ => return Err("`engine` must be naive|differential|packed".into()),
+                            Some("symbolic") => Engine::Symbolic,
+                            _ => {
+                                return Err(
+                                    "`engine` must be naive|differential|packed|symbolic".into()
+                                )
+                            }
                         },
                     };
                     let defaults = CloseOpts::default();
